@@ -1,0 +1,91 @@
+// Ablation A (DESIGN.md): partition-size sweep at both levels.
+// process_partition_size trades master-level parallelism (more blocks in
+// flight, wider wavefront) against per-task overhead and halo traffic;
+// thread_partition_size does the same inside a node.  The paper fixes
+// 200/10 for its evaluation; this bench shows where those sit.
+#include "common.hpp"
+#include "easyhps/dp/editdist.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easyhps;
+  using namespace easyhps::bench;
+
+  PaperSetup setup = setupFromArgs(argc, argv);
+  const auto problem = makeSwgg(setup);
+  const int nodes = 4;
+  const int ct = 8;
+
+  std::cout << trace::banner(
+      "Ablation A — partition-size sweep, SWGG on Experiment_4_" +
+      std::to_string(sim::Deployment::forThreads(nodes, ct).totalCores));
+
+  {
+    trace::Table table({"process_partition", "blocks", "elapsed_s",
+                        "speedup", "bytes_MB", "master_busy_frac"});
+    for (std::int64_t pp : {50, 100, 200, 500, 1000, 2500}) {
+      if (pp > setup.seqLen) {
+        continue;
+      }
+      auto cfg = simConfig(setup, nodes, ct);
+      cfg.processPartitionRows = cfg.processPartitionCols = pp;
+      const sim::SimResult r = sim::simulate(*problem, cfg);
+      const auto grid = (setup.seqLen + pp - 1) / pp;
+      table.addRow(
+          {trace::Table::num(pp), trace::Table::num(grid * grid),
+           trace::Table::num(r.makespan), trace::Table::num(r.speedup(), 2),
+           trace::Table::num(r.bytesTransferred / 1e6, 1),
+           trace::Table::num(r.masterBusy / r.makespan, 4)});
+    }
+    std::cout << "\nthread_partition fixed at " << setup.threadPartition
+              << "\n"
+              << table.render();
+  }
+
+  {
+    trace::Table table(
+        {"thread_partition", "subblocks/block", "elapsed_s", "speedup"});
+    for (std::int64_t tp : {5, 10, 20, 50, 100, 200}) {
+      if (tp > setup.processPartition) {
+        continue;
+      }
+      auto cfg = simConfig(setup, nodes, ct);
+      cfg.threadPartitionRows = cfg.threadPartitionCols = tp;
+      const sim::SimResult r = sim::simulate(*problem, cfg);
+      const auto sub = (setup.processPartition + tp - 1) / tp;
+      table.addRow({trace::Table::num(tp), trace::Table::num(sub * sub),
+                    trace::Table::num(r.makespan),
+                    trace::Table::num(r.speedup(), 2)});
+    }
+    std::cout << "\nprocess_partition fixed at " << setup.processPartition
+              << "\n"
+              << table.render();
+  }
+
+  // SWGG cells are O(n)-expensive, so thread-level dispatch overhead never
+  // dominates above tp=5; a cheap-cell 2D/0D problem (edit distance) shows
+  // the full U: too-fine sub-blocks drown in dispatch overhead.
+  {
+    EditDistance cheap(randomSequence(2000, 401), randomSequence(2000, 402));
+    trace::Table table(
+        {"thread_partition", "subblocks/block", "elapsed_s", "speedup"});
+    for (std::int64_t tp : {1, 2, 5, 10, 25, 50, 100, 200}) {
+      sim::SimConfig cfg = simConfig(setup, nodes, ct);
+      cfg.processPartitionRows = cfg.processPartitionCols = 200;
+      cfg.threadPartitionRows = cfg.threadPartitionCols = tp;
+      const sim::SimResult r = sim::simulate(cheap, cfg);
+      const auto sub = (200 + tp - 1) / tp;
+      table.addRow({trace::Table::num(tp), trace::Table::num(sub * sub),
+                    trace::Table::num(r.makespan, 4),
+                    trace::Table::num(r.speedup(), 2)});
+    }
+    std::cout << "\nedit distance n=2000 (O(1) cells), process_partition=200\n"
+              << table.render();
+  }
+
+  std::cout << "\nShape check: the process-level sweep is U-shaped (per-task "
+               "overhead + master serialization vs wavefront starvation). "
+               "The thread-level sweep is U-shaped for cheap-cell problems; "
+               "for SWGG's O(n) cells the overhead side only appears below "
+               "thread_partition=5.\n";
+  return 0;
+}

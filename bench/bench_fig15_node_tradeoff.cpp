@@ -1,0 +1,66 @@
+// Reproduces paper Fig 15: equal total cores deployed across different node
+// counts.  The paper observes that with 20 cores, 4 nodes beat 5 nodes,
+// while with 40 cores, 5 nodes beat 4 — the node-count sweet spot moves as
+// the core budget grows (scheduling-core tax vs per-node thread saturation).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easyhps;
+  using namespace easyhps::bench;
+
+  const PaperSetup setup = setupFromArgs(argc, argv);
+
+  const struct {
+    const char* label;
+    std::unique_ptr<DpProblem> problem;
+  } workloads[] = {
+      {"SWGG", makeSwgg(setup)},
+      {"Nussinov", makeNussinov(setup)},
+  };
+
+  std::cout << trace::banner(
+      "Fig 15 — same total cores, different node counts");
+
+  for (const auto& w : workloads) {
+    trace::Table table({"total_cores", "nodes", "computing_threads",
+                        "threads/node", "elapsed_s", "speedup"});
+    for (int cores : {16, 20, 28, 40}) {
+      double best = 1e300;
+      int bestNodes = 0;
+      for (int nodes = 2; nodes <= 5; ++nodes) {
+        sim::Deployment d{nodes, cores};
+        if (d.computingThreads() < d.computingNodes()) {
+          continue;  // fewer computing cores than nodes: skip
+        }
+        const auto tpn = d.threadsPerNode();
+        if (tpn.front() > setup.maxThreadsPerNode) {
+          continue;  // exceeds the per-node core budget of the testbed
+        }
+        const auto cfg = simConfigForCores(setup, nodes, cores);
+        const sim::SimResult r = sim::simulate(*w.problem, cfg);
+        if (r.makespan < best) {
+          best = r.makespan;
+          bestNodes = nodes;
+        }
+        std::string tl;
+        for (std::size_t i = 0; i < tpn.size(); ++i) {
+          tl += (i ? "+" : "") + std::to_string(tpn[i]);
+        }
+        table.addRow({trace::Table::num(static_cast<std::int64_t>(cores)),
+                      trace::Table::num(static_cast<std::int64_t>(nodes)),
+                      trace::Table::num(static_cast<std::int64_t>(
+                          d.computingThreads())),
+                      tl, trace::Table::num(r.makespan),
+                      trace::Table::num(r.speedup(), 2)});
+      }
+      table.addRow({"->", "best=" + std::to_string(bestNodes), "", "", "",
+                    ""});
+    }
+    std::cout << "\n(" << w.label << ")\n" << table.render();
+  }
+  std::cout << "\nPaper shape check: at 20 total cores fewer nodes win "
+               "(scheduling cores are a bigger fraction of the budget); at "
+               "40 cores more nodes win (per-node thread scaling saturates "
+               "on the intra-block wavefront).\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces paper Fig 16: elapsed time and speedup of SWGG and Nussinov
+// with the *optimal* node-grouping strategy per core count.  The paper
+// reports ~30× speedup at 50 cores for SWGG and ~20× for Nussinov against
+// an ideal linear line.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easyhps;
+  using namespace easyhps::bench;
+
+  const PaperSetup setup = setupFromArgs(argc, argv);
+
+  const struct {
+    const char* label;
+    std::unique_ptr<DpProblem> problem;
+  } workloads[] = {
+      {"SWGG (a,b)", makeSwgg(setup)},
+      {"Nussinov (c,d)", makeNussinov(setup)},
+  };
+
+  std::cout << trace::banner(
+      "Fig 16 — elapsed time & speedup with optimal node grouping");
+
+  for (const auto& w : workloads) {
+    trace::Table table({"total_cores", "best_nodes", "elapsed_s", "speedup",
+                        "ideal_speedup"});
+    double speedupAt50plus = 0;
+    for (int cores : {4, 6, 8, 10, 14, 18, 22, 26, 30, 34, 38, 42, 46, 50,
+                      53}) {
+      double best = 1e300;
+      int bestNodes = 0;
+      double bestSpeedup = 0;
+      for (int nodes = 2; nodes <= 5; ++nodes) {
+        sim::Deployment d{nodes, cores};
+        if (d.computingThreads() < d.computingNodes()) {
+          continue;
+        }
+        if (d.threadsPerNode().front() > setup.maxThreadsPerNode) {
+          continue;
+        }
+        const sim::SimResult r =
+            sim::simulate(*w.problem, simConfigForCores(setup, nodes, cores));
+        if (r.makespan < best) {
+          best = r.makespan;
+          bestNodes = nodes;
+          bestSpeedup = r.speedup();
+        }
+      }
+      if (bestNodes == 0) {
+        continue;  // no feasible deployment at this core count
+      }
+      if (cores >= 50) {
+        speedupAt50plus = std::max(speedupAt50plus, bestSpeedup);
+      }
+      table.addRow({trace::Table::num(static_cast<std::int64_t>(cores)),
+                    trace::Table::num(static_cast<std::int64_t>(bestNodes)),
+                    trace::Table::num(best),
+                    trace::Table::num(bestSpeedup, 2),
+                    trace::Table::num(static_cast<std::int64_t>(cores))});
+    }
+    std::cout << "\n(" << w.label << ")\n" << table.render();
+    std::cout << "speedup at >=50 cores: "
+              << trace::Table::num(speedupAt50plus, 1)
+              << "  (paper: ~30x for SWGG, ~20x for Nussinov)\n";
+  }
+  return 0;
+}

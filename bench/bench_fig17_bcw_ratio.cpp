@@ -1,0 +1,57 @@
+// Reproduces paper Fig 17: BCW/EasyHPS runtime ratio for SWGG and Nussinov
+// on 2..5 nodes.  Ratio > 1 means the EasyHPS dynamic worker pool beats the
+// static block-cyclic wavefront schedule under identical conditions; the
+// paper finds nearly all points above the 1.00 line.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easyhps;
+  using namespace easyhps::bench;
+
+  const PaperSetup setup = setupFromArgs(argc, argv);
+
+  const struct {
+    const char* label;
+    std::unique_ptr<DpProblem> problem;
+  } workloads[] = {
+      {"SWGG", makeSwgg(setup)},
+      {"Nussinov", makeNussinov(setup)},
+  };
+
+  std::cout << trace::banner(
+      "Fig 17 — BCW/EasyHPS runtime ratio (1.00 LINE = parity)");
+
+  int above = 0;
+  int total = 0;
+  for (int nodes = 2; nodes <= 5; ++nodes) {
+    trace::Table table({"total_cores", "algorithm", "easyhps_s", "bcw_s",
+                        "bcw/easyhps", "bcw_stalls"});
+    for (const auto& w : workloads) {
+      for (int ct : {1, 3, 5, 7, 9, 11}) {
+        auto cfg = simConfig(setup, nodes, ct);
+        const sim::SimResult dyn = sim::simulate(*w.problem, cfg);
+        cfg.masterPolicy = PolicyKind::kBlockCyclicWavefront;
+        cfg.slavePolicy = PolicyKind::kBlockCyclicWavefront;
+        const sim::SimResult bcw = sim::simulate(*w.problem, cfg);
+        const double ratio = bcw.makespan / dyn.makespan;
+        ++total;
+        if (ratio >= 1.0) {
+          ++above;
+        }
+        table.addRow(
+            {trace::Table::num(
+                 static_cast<std::int64_t>(cfg.deployment.totalCores)),
+             w.label, trace::Table::num(dyn.makespan),
+             trace::Table::num(bcw.makespan), trace::Table::num(ratio, 3),
+             trace::Table::num(bcw.masterStalledPicks +
+                               bcw.threadStalledPicks)});
+      }
+    }
+    std::cout << "\n(" << (nodes - 1) << ") Deployed on " << nodes
+              << " nodes\n"
+              << table.render();
+  }
+  std::cout << "\nPoints at or above the 1.00 LINE: " << above << "/" << total
+            << "  (paper: almost all rate curves above the baseline)\n";
+  return 0;
+}

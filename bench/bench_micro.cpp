@@ -1,0 +1,185 @@
+// Micro-benchmarks (google-benchmark): per-cell kernel throughput, DAG
+// construction and parsing, policy picks, worker-pool structures, the
+// message substrate and wire codecs.  These are the constants behind the
+// simulator's platform model.
+#include <benchmark/benchmark.h>
+
+#include "easyhps/dag/library.hpp"
+#include "easyhps/dag/parse_state.hpp"
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/msg/cluster.hpp"
+#include "easyhps/runtime/wire.hpp"
+#include "easyhps/sched/policy.hpp"
+#include "easyhps/util/concurrent.hpp"
+
+namespace easyhps {
+namespace {
+
+void BM_EditDistanceKernel(benchmark::State& state) {
+  const auto n = state.range(0);
+  EditDistance p(randomSequence(n, 1), randomSequence(n, 2));
+  const CellRect rect{0, 0, n, n};
+  for (auto _ : state) {
+    Window w(rect, p.boundaryFn());
+    p.computeBlock(w, rect);
+    benchmark::DoNotOptimize(w.get(n - 1, n - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_EditDistanceKernel)->Arg(64)->Arg(256);
+
+void BM_SwggKernel(benchmark::State& state) {
+  const auto n = state.range(0);
+  SmithWatermanGeneralGap p(randomSequence(n, 3), randomSequence(n, 4));
+  const CellRect rect{0, 0, n, n};
+  for (auto _ : state) {
+    Window w(rect, p.boundaryFn());
+    p.computeBlock(w, rect);
+    benchmark::DoNotOptimize(w.get(n - 1, n - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SwggKernel)->Arg(64)->Arg(128);
+
+void BM_NussinovKernel(benchmark::State& state) {
+  const auto n = state.range(0);
+  Nussinov p(randomRna(n, 5));
+  const CellRect rect{0, 0, n, n};
+  for (auto _ : state) {
+    Window w(rect, p.boundaryFn());
+    p.computeBlock(w, rect);
+    benchmark::DoNotOptimize(w.get(0, n - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n / 2);
+}
+BENCHMARK(BM_NussinovKernel)->Arg(64)->Arg(128);
+
+void BM_DagBuildWavefront(benchmark::State& state) {
+  const auto g = state.range(0);
+  const BlockGrid grid(g, g, 1, 1);
+  for (auto _ : state) {
+    auto dag = makeWavefront2D(grid);
+    benchmark::DoNotOptimize(dag.vertexCount());
+  }
+  state.SetItemsProcessed(state.iterations() * g * g);
+}
+BENCHMARK(BM_DagBuildWavefront)->Arg(32)->Arg(128);
+
+void BM_DagParseFullTraversal(benchmark::State& state) {
+  const auto g = state.range(0);
+  const auto dag = makeWavefront2D(BlockGrid(g, g, 1, 1));
+  for (auto _ : state) {
+    DagParseState parse(dag.dag);
+    std::vector<VertexId> frontier = parse.initiallyComputable();
+    while (!frontier.empty()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      for (VertexId n : parse.finish(v)) {
+        frontier.push_back(n);
+      }
+    }
+    benchmark::DoNotOptimize(parse.allDone());
+  }
+  state.SetItemsProcessed(state.iterations() * g * g);
+}
+BENCHMARK(BM_DagParseFullTraversal)->Arg(32)->Arg(128);
+
+void BM_PolicyPickDynamic(benchmark::State& state) {
+  const auto dag = makeWavefront2D(BlockGrid(64, 64, 1, 1));
+  for (auto _ : state) {
+    auto p = makePolicy(PolicyKind::kDynamic, dag, 8);
+    for (VertexId v = 0; v < 1024; ++v) {
+      p->onReady(v);
+    }
+    for (int i = 0; i < 1024; ++i) {
+      benchmark::DoNotOptimize(p->pick(i % 8));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PolicyPickDynamic);
+
+void BM_PolicyPickBcw(benchmark::State& state) {
+  const auto dag = makeWavefront2D(BlockGrid(64, 64, 1, 1));
+  for (auto _ : state) {
+    auto p = makePolicy(PolicyKind::kBlockCyclicWavefront, dag, 8);
+    for (VertexId v = 0; v < 1024; ++v) {
+      p->onReady(v);
+    }
+    for (int i = 0; i < 2048; ++i) {
+      benchmark::DoNotOptimize(p->pick(i % 8));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PolicyPickBcw);
+
+void BM_BlockingStackPushPop(benchmark::State& state) {
+  BlockingStack<std::int64_t> s;
+  for (auto _ : state) {
+    s.push(1);
+    benchmark::DoNotOptimize(s.tryPop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockingStackPushPop);
+
+void BM_WireAssignRoundTrip(benchmark::State& state) {
+  const auto cells = state.range(0);
+  wire::AssignPayload p;
+  p.vertex = 7;
+  p.rect = CellRect{0, 0, cells, cells};
+  p.halos.push_back(wire::HaloBlock{
+      CellRect{0, 0, 1, cells},
+      std::vector<Score>(static_cast<std::size_t>(cells), 3)});
+  for (auto _ : state) {
+    auto bytes = wire::encodeAssign(p);
+    auto back = wire::decodeAssign(bytes);
+    benchmark::DoNotOptimize(back.vertex);
+  }
+  state.SetBytesProcessed(state.iterations() * cells *
+                          static_cast<std::int64_t>(sizeof(Score)));
+}
+BENCHMARK(BM_WireAssignRoundTrip)->Arg(64)->Arg(512);
+
+void BM_ClusterPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    auto report = msg::Cluster::run(2, [](msg::Comm& comm) {
+      for (int i = 0; i < 100; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(1, 1, {});
+          (void)comm.recv(1, 2);
+        } else {
+          (void)comm.recv(0, 1);
+          comm.send(0, 2, {});
+        }
+      }
+    });
+    benchmark::DoNotOptimize(report.messages);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_ClusterPingPong);
+
+void BM_WindowExtractInject(benchmark::State& state) {
+  const auto n = state.range(0);
+  Window w(CellRect{0, 0, n, n},
+           [](std::int64_t, std::int64_t) { return Score{0}; });
+  const CellRect rect{n / 4, n / 4, n / 2, n / 2};
+  for (auto _ : state) {
+    auto buf = w.extract(rect);
+    w.inject(rect, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * rect.cellCount() *
+                          static_cast<std::int64_t>(sizeof(Score)));
+}
+BENCHMARK(BM_WindowExtractInject)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace easyhps
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#pragma once
+/// Shared helpers for the figure benches: the paper's workloads (§VI) and
+/// experiment sweeps.
+///
+/// Paper settings: seq_len = 10000, process_partition_size = 200,
+/// thread_partition_size = 10, deployments Experiment_X_Y with X ∈ [2,5]
+/// and up to 11 computing threads per node.  Pass --quick to any figure
+/// bench to shrink the sequence length (CI-friendly); shapes persist.
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/sim/simulator.hpp"
+#include "easyhps/trace/report.hpp"
+
+namespace easyhps::bench {
+
+struct PaperSetup {
+  std::int64_t seqLen = 10000;
+  std::int64_t processPartition = 200;
+  std::int64_t threadPartition = 10;
+  int maxThreadsPerNode = 11;  // Tianhe-1A node limit in the paper
+};
+
+inline PaperSetup setupFromArgs(int argc, char** argv) {
+  PaperSetup s;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      s.seqLen = 2000;
+      s.processPartition = 100;
+      s.threadPartition = 10;
+    }
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      s.seqLen = 600;
+      s.processPartition = 100;
+      s.threadPartition = 10;
+    }
+  }
+  return s;
+}
+
+inline std::unique_ptr<DpProblem> makeSwgg(const PaperSetup& s) {
+  return std::make_unique<SmithWatermanGeneralGap>(
+      randomSequence(s.seqLen, 101), randomSequence(s.seqLen, 102));
+}
+
+inline std::unique_ptr<DpProblem> makeNussinov(const PaperSetup& s) {
+  return std::make_unique<Nussinov>(randomRna(s.seqLen, 103));
+}
+
+inline sim::SimConfig simConfig(const PaperSetup& s, int nodes,
+                                int threadsPerNode) {
+  sim::SimConfig cfg;
+  cfg.deployment = sim::Deployment::forThreads(nodes, threadsPerNode);
+  cfg.processPartitionRows = cfg.processPartitionCols = s.processPartition;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = s.threadPartition;
+  return cfg;
+}
+
+/// Sim config for an arbitrary (X, Y) even when Y−2X+1 doesn't divide
+/// evenly (threads distributed round-robin).
+inline sim::SimConfig simConfigForCores(const PaperSetup& s, int nodes,
+                                        int totalCores) {
+  sim::SimConfig cfg;
+  cfg.deployment.nodes = nodes;
+  cfg.deployment.totalCores = totalCores;
+  cfg.processPartitionRows = cfg.processPartitionCols = s.processPartition;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = s.threadPartition;
+  return cfg;
+}
+
+}  // namespace easyhps::bench

@@ -1,0 +1,63 @@
+// The "easy" functional API (paper Table I): parallelize a dynamic program
+// by writing one cell-recurrence lambda and a boundary lambda — no block
+// kernels, halos or threading code.
+//
+// The DP here is weighted longest common subsequence: match scores vary by
+// character, gaps are free (classic LCS generalization):
+//
+//   W[i][j] = W[i-1][j-1] + weight(a_i)        if a_i == b_j
+//           = max(W[i-1][j], W[i][j-1])        otherwise
+//
+// Build & run:  ./build/examples/example_easy_api [seq_len]
+#include <cstdlib>
+#include <iostream>
+
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/runtime/api.hpp"
+#include "easyhps/runtime/runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easyhps;
+
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 400;
+  const std::string a = randomSequence(n, 31);
+  const std::string b = randomSequence(n, 32);
+
+  auto weight = [](char c) -> Score {
+    switch (c) {  // rarer matches worth more
+      case 'G': return 3;
+      case 'C': return 2;
+      default: return 1;
+    }
+  };
+
+  api::Spec spec;
+  spec.name = "weighted-lcs";
+  spec.pattern = PatternKind::kWavefront2D;  // dag_pattern_type
+  spec.rows = spec.cols = n;                 // dag_size
+  spec.boundary = [](std::int64_t, std::int64_t) { return Score{0}; };
+  spec.cell = [&](const api::CellCtx& m, std::int64_t r,
+                  std::int64_t c) -> Score {  // the `process` function
+    if (a[static_cast<std::size_t>(r)] == b[static_cast<std::size_t>(c)]) {
+      return static_cast<Score>(m(r - 1, c - 1) +
+                                weight(a[static_cast<std::size_t>(r)]));
+    }
+    return std::max(m(r - 1, c), m(r, c - 1));
+  };
+
+  api::FunctionalDpProblem problem(std::move(spec));
+
+  RuntimeConfig cfg;
+  cfg.slaveCount = 3;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 100;  // Table I:
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 20;     // partition_size
+
+  const RunResult result = Runtime(cfg).run(problem);
+  std::cout << "weighted LCS score of two " << n << "-base sequences: "
+            << result.matrix.get(n - 1, n - 1) << "\n";
+  std::cout << "parallelized over " << result.stats.completedTasks
+            << " sub-tasks / " << cfg.slaveCount << " slaves in "
+            << result.stats.elapsedSeconds << " s — with one lambda.\n";
+  return 0;
+}

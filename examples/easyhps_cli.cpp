@@ -1,0 +1,227 @@
+// easyhps_cli — drive any shipped DP problem through the real runtime or
+// the cluster simulator from the command line.
+//
+//   example_easyhps_cli run  <problem> [options]   real in-process cluster
+//   example_easyhps_cli sim  <problem> [options]   discrete-event simulator
+//
+// problems: editdist swgg nussinov obst 2d2d lcs nw mcm viterbi
+// options:
+//   --n N           problem size                (default 300 run / 4000 sim)
+//   --slaves K      slave nodes                 (default 3)
+//   --threads T     computing threads per node  (default 2)
+//   --ppart P       process partition size      (default 50 run / 200 sim)
+//   --tpart P       thread partition size       (default 10)
+//   --policy NAME   dynamic | bcw | cw          (default dynamic)
+//   --seed S        workload seed               (default 1)
+//   --gantt         (sim only) print an ASCII Gantt chart of the schedule
+//
+// Build & run:  ./build/examples/example_easyhps_cli sim swgg --slaves 4
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/lcs.hpp"
+#include "easyhps/dp/mcm.hpp"
+#include "easyhps/dp/needleman.hpp"
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/obst.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/dp/twod2d.hpp"
+#include "easyhps/dp/viterbi.hpp"
+#include "easyhps/dp/knapsack.hpp"
+#include "easyhps/runtime/runtime.hpp"
+#include "easyhps/sim/simulator.hpp"
+#include "easyhps/trace/gantt.hpp"
+#include "easyhps/trace/report.hpp"
+
+namespace {
+
+using namespace easyhps;
+
+struct Options {
+  std::string mode;
+  std::string problem;
+  std::int64_t n = -1;
+  int slaves = 3;
+  int threads = 2;
+  std::int64_t ppart = -1;
+  std::int64_t tpart = 10;
+  PolicyKind policy = PolicyKind::kDynamic;
+  std::uint64_t seed = 1;
+  bool gantt = false;
+};
+
+std::unique_ptr<DpProblem> makeProblem(const Options& opt) {
+  const std::int64_t n = opt.n;
+  const std::uint64_t s = opt.seed;
+  if (opt.problem == "editdist") {
+    return std::make_unique<EditDistance>(randomSequence(n, s),
+                                          randomSequence(n, s + 1));
+  }
+  if (opt.problem == "swgg") {
+    return std::make_unique<SmithWatermanGeneralGap>(randomSequence(n, s),
+                                                     randomSequence(n, s + 1));
+  }
+  if (opt.problem == "nussinov") {
+    return std::make_unique<Nussinov>(randomRna(n, s));
+  }
+  if (opt.problem == "obst") {
+    return std::make_unique<OptimalBst>(n, s);
+  }
+  if (opt.problem == "2d2d") {
+    return std::make_unique<TwoDTwoD>(std::min<std::int64_t>(n, 64), s);
+  }
+  if (opt.problem == "lcs") {
+    return std::make_unique<LongestCommonSubsequence>(randomSequence(n, s),
+                                                      randomSequence(n, s + 1));
+  }
+  if (opt.problem == "nw") {
+    return std::make_unique<NeedlemanWunsch>(randomSequence(n, s),
+                                             randomSequence(n, s + 1));
+  }
+  if (opt.problem == "mcm") {
+    return std::make_unique<MatrixChain>(n, s);
+  }
+  if (opt.problem == "viterbi") {
+    return std::make_unique<Viterbi>(n, 24, s);
+  }
+  if (opt.problem == "knapsack") {
+    return std::make_unique<Knapsack>(n, n, s);
+  }
+  throw Error("unknown problem: " + opt.problem);
+}
+
+PolicyKind parsePolicy(const std::string& s) {
+  if (s == "dynamic") {
+    return PolicyKind::kDynamic;
+  }
+  if (s == "bcw") {
+    return PolicyKind::kBlockCyclicWavefront;
+  }
+  if (s == "cw") {
+    return PolicyKind::kColumnWavefront;
+  }
+  throw Error("unknown policy: " + s + " (use dynamic|bcw|cw)");
+}
+
+int usage() {
+  std::cerr << "usage: easyhps_cli <run|sim> <problem> [--n N] [--slaves K]"
+               " [--threads T] [--ppart P] [--tpart P] [--policy NAME]"
+               " [--seed S]\n"
+               "problems: editdist swgg nussinov obst 2d2d lcs nw mcm"
+               " viterbi\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  Options opt;
+  opt.mode = argv[1];
+  opt.problem = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--gantt") {
+      opt.gantt = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "flag " << flag << " needs a value\n";
+      return usage();
+    }
+    const char* value = argv[++i];
+    if (flag == "--n") {
+      opt.n = std::atoll(value);
+    } else if (flag == "--slaves") {
+      opt.slaves = std::atoi(value);
+    } else if (flag == "--threads") {
+      opt.threads = std::atoi(value);
+    } else if (flag == "--ppart") {
+      opt.ppart = std::atoll(value);
+    } else if (flag == "--tpart") {
+      opt.tpart = std::atoll(value);
+    } else if (flag == "--policy") {
+      opt.policy = parsePolicy(value);
+    } else if (flag == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(value));
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return usage();
+    }
+  }
+  const bool simMode = opt.mode == "sim";
+  if (!simMode && opt.mode != "run") {
+    return usage();
+  }
+  if (opt.n < 0) {
+    opt.n = simMode ? 4000 : 300;
+  }
+  if (opt.ppart < 0) {
+    opt.ppart = simMode ? 200 : 50;
+  }
+
+  try {
+    const auto problem = makeProblem(opt);
+    if (simMode) {
+      sim::SimConfig cfg;
+      cfg.deployment = sim::Deployment::forThreads(opt.slaves + 1,
+                                                   opt.threads);
+      cfg.processPartitionRows = cfg.processPartitionCols = opt.ppart;
+      cfg.threadPartitionRows = cfg.threadPartitionCols = opt.tpart;
+      cfg.masterPolicy = cfg.slavePolicy = opt.policy;
+      cfg.collectTrace = opt.gantt;
+      const sim::SimResult r = sim::simulate(*problem, cfg);
+      trace::Table t({"metric", "value"});
+      t.addRow({"problem", problem->name()});
+      t.addRow({"policy", policyKindName(opt.policy)});
+      t.addRow({"virtual makespan (s)", trace::Table::num(r.makespan)});
+      t.addRow({"serial time (s)", trace::Table::num(r.serialTime)});
+      t.addRow({"speedup", trace::Table::num(r.speedup(), 2)});
+      t.addRow({"tasks", trace::Table::num(r.tasks)});
+      t.addRow({"messages", trace::Table::num(
+                                static_cast<std::int64_t>(r.messages))});
+      t.addRow({"bytes (MB)", trace::Table::num(r.bytesTransferred / 1e6, 2)});
+      t.addRow({"node utilization", trace::Table::num(r.nodeUtilization(), 3)});
+      t.addRow({"stalled picks", trace::Table::num(r.masterStalledPicks +
+                                                   r.threadStalledPicks)});
+      std::cout << t.render();
+      if (opt.gantt) {
+        std::cout << "\n" << trace::asciiGantt(
+            r.trace, r.makespan, cfg.deployment.computingNodes());
+      }
+    } else {
+      RuntimeConfig cfg;
+      cfg.slaveCount = opt.slaves;
+      cfg.threadsPerSlave = opt.threads;
+      cfg.processPartitionRows = cfg.processPartitionCols = opt.ppart;
+      cfg.threadPartitionRows = cfg.threadPartitionCols = opt.tpart;
+      cfg.masterPolicy = cfg.slavePolicy = opt.policy;
+      const RunResult r = Runtime(cfg).run(*problem);
+      trace::Table t({"metric", "value"});
+      t.addRow({"problem", problem->name()});
+      t.addRow({"policy", policyKindName(opt.policy)});
+      t.addRow({"elapsed (s)", trace::Table::num(r.stats.elapsedSeconds)});
+      t.addRow({"tasks", trace::Table::num(r.stats.completedTasks)});
+      t.addRow({"messages", trace::Table::num(static_cast<std::int64_t>(
+                                r.stats.messages))});
+      t.addRow({"bytes (MB)", trace::Table::num(
+                                  static_cast<double>(r.stats.bytes) / 1e6,
+                                  2)});
+      t.addRow({"task imbalance", trace::Table::num(r.stats.taskImbalance(),
+                                                    2)});
+      t.addRow({"stalled picks", trace::Table::num(
+                                     r.stats.masterStalledPicks)});
+      std::cout << t.render();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// RNA secondary-structure prediction with the Nussinov algorithm — the
+// paper's second workload and its running DAG Pattern Model example
+// (Fig 5).  Solves the folding DP on the runtime, then tracebacks one
+// optimal structure and prints it in dot-bracket notation.
+//
+// Build & run:  ./build/examples/example_nussinov_rna [seq_len]
+#include <cstdlib>
+#include <iostream>
+
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/runtime/runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easyhps;
+
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 120;
+  const std::string rna = randomRna(n, 21);
+  Nussinov problem(rna, /*minLoop=*/3);  // hairpins need >= 3 unpaired bases
+
+  RuntimeConfig cfg;
+  cfg.slaveCount = 2;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 40;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 10;
+
+  const RunResult result = Runtime(cfg).run(problem);
+
+  const Score pairs = problem.bestScore(result.matrix);
+  const auto structure = problem.structure(result.matrix);
+
+  std::cout << "sequence (" << n << " nt):\n  " << rna << "\n";
+  std::cout << "optimal pairs: " << pairs << "\n";
+  std::cout << "structure:\n  " << problem.dotBracket(structure) << "\n";
+  std::cout << "\nfirst pairs: ";
+  for (std::size_t i = 0; i < std::min<std::size_t>(structure.size(), 8);
+       ++i) {
+    std::cout << "(" << structure[i].first << "," << structure[i].second
+              << ") ";
+  }
+  std::cout << "\n\nruntime: " << result.stats.completedTasks
+            << " sub-tasks over " << cfg.slaveCount << " slaves, "
+            << result.stats.messages << " messages, "
+            << result.stats.elapsedSeconds << " s\n";
+  std::cout << "(triangular DAG: only "
+            << result.stats.completedTasks << " of "
+            << (n / 40 + (n % 40 ? 1 : 0)) * (n / 40 + (n % 40 ? 1 : 0))
+            << " grid blocks are active)\n";
+  return 0;
+}

@@ -1,0 +1,202 @@
+#include "easyhps/dag/library.hpp"
+
+namespace easyhps {
+namespace {
+
+/// Shared scaffolding: enumerate active blocks, number them, wire edges.
+PartitionedDag buildFromPreds(const BlockGrid& grid, PatternKind kind,
+                              const PredsFn& topoPreds,
+                              const PredsFn& dataPreds,
+                              const ActiveFn& activeFn) {
+  const std::int64_t blocks = grid.blockCount();
+  std::vector<VertexId> blockToVertex(static_cast<std::size_t>(blocks), -1);
+  std::vector<BlockCoord> coords;
+  for (std::int64_t bi = 0; bi < grid.gridRows(); ++bi) {
+    for (std::int64_t bj = 0; bj < grid.gridCols(); ++bj) {
+      if (activeFn && !activeFn(bi, bj)) {
+        continue;
+      }
+      blockToVertex[static_cast<std::size_t>(grid.linearId(bi, bj))] =
+          static_cast<VertexId>(coords.size());
+      coords.push_back(BlockCoord{bi, bj});
+    }
+  }
+
+  auto vertexAt = [&](std::int64_t bi, std::int64_t bj) -> VertexId {
+    if (bi < 0 || bi >= grid.gridRows() || bj < 0 || bj >= grid.gridCols()) {
+      return -1;
+    }
+    return blockToVertex[static_cast<std::size_t>(grid.linearId(bi, bj))];
+  };
+
+  DagPattern::Builder builder(static_cast<std::int64_t>(coords.size()));
+  for (std::size_t vi = 0; vi < coords.size(); ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    const auto [bi, bj] = coords[vi];
+    for (const BlockCoord& p : topoPreds(bi, bj)) {
+      const VertexId pv = vertexAt(p.bi, p.bj);
+      if (pv >= 0) {
+        builder.addEdge(pv, v);
+      }
+    }
+    const auto& dataFn = dataPreds ? dataPreds : topoPreds;
+    for (const BlockCoord& p : dataFn(bi, bj)) {
+      const VertexId pv = vertexAt(p.bi, p.bj);
+      if (pv >= 0) {
+        builder.addDataEdge(pv, v);
+      }
+    }
+  }
+
+  PartitionedDag out{std::move(builder).finalize(), grid, kind,
+                     std::move(coords), std::move(blockToVertex)};
+  return out;
+}
+
+}  // namespace
+
+std::string patternKindName(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kWavefront2D:
+      return "wavefront-2d";
+    case PatternKind::kFlippedWavefront2D:
+      return "flipped-wavefront-2d";
+    case PatternKind::kTriangular2D1D:
+      return "triangular-2d1d";
+    case PatternKind::kFull2D2D:
+      return "full-2d2d";
+    case PatternKind::kLinear1D:
+      return "linear-1d";
+    case PatternKind::kRowDependent2D:
+      return "row-dependent-2d";
+    case PatternKind::kUserDefined:
+      return "user-defined";
+  }
+  return "unknown";
+}
+
+PartitionedDag makeWavefront2D(const BlockGrid& grid) {
+  auto topo = [](std::int64_t bi, std::int64_t bj) {
+    return std::vector<BlockCoord>{{bi - 1, bj}, {bi, bj - 1}};
+  };
+  auto data = [](std::int64_t bi, std::int64_t bj) {
+    return std::vector<BlockCoord>{
+        {bi - 1, bj}, {bi, bj - 1}, {bi - 1, bj - 1}};
+  };
+  return buildFromPreds(grid, PatternKind::kWavefront2D, topo, data, nullptr);
+}
+
+PartitionedDag makeFlippedWavefront2D(const BlockGrid& grid) {
+  auto topo = [](std::int64_t bi, std::int64_t bj) {
+    return std::vector<BlockCoord>{{bi + 1, bj}, {bi, bj - 1}};
+  };
+  auto data = [](std::int64_t bi, std::int64_t bj) {
+    return std::vector<BlockCoord>{
+        {bi + 1, bj}, {bi, bj - 1}, {bi + 1, bj - 1}};
+  };
+  return buildFromPreds(grid, PatternKind::kFlippedWavefront2D, topo, data,
+                        nullptr);
+}
+
+PartitionedDag makeTriangular2D1D(const BlockGrid& grid) {
+  // A block is active when its rectangle intersects the upper triangle
+  // {r <= c} — geometric so ragged edge blocks are handled.
+  auto active = [&grid](std::int64_t bi, std::int64_t bj) {
+    const CellRect r = grid.blockRect(bi, bj);
+    return r.row0 <= r.colEnd() - 1;
+  };
+  auto topo = [](std::int64_t bi, std::int64_t bj) {
+    return std::vector<BlockCoord>{{bi + 1, bj}, {bi, bj - 1}};
+  };
+  auto data = [&grid](std::int64_t bi, std::int64_t bj) {
+    // Row segment (bi, K) for K < bj, and column segment (K, bj) for
+    // K > bi: the split term of 2D/1D recurrences reads the whole row to
+    // the left and the whole column below.
+    std::vector<BlockCoord> preds;
+    for (std::int64_t k = bi; k < bj; ++k) {
+      preds.push_back({bi, k});
+    }
+    for (std::int64_t k = bi + 1; k <= bj && k < grid.gridRows(); ++k) {
+      preds.push_back({k, bj});
+    }
+    preds.push_back({bi + 1, bj - 1});  // diagonal neighbour (pair term)
+    return preds;
+  };
+  return buildFromPreds(grid, PatternKind::kTriangular2D1D, topo, data,
+                        active);
+}
+
+PartitionedDag makeFull2D2D(const BlockGrid& grid) {
+  EASYHPS_CHECK(grid.blockCount() <= 16384,
+                "2D/2D data edges are quadratic in block count; partition "
+                "more coarsely");
+  auto topo = [](std::int64_t bi, std::int64_t bj) {
+    return std::vector<BlockCoord>{{bi - 1, bj}, {bi, bj - 1}};
+  };
+  auto data = [](std::int64_t bi, std::int64_t bj) {
+    std::vector<BlockCoord> preds;
+    for (std::int64_t i = 0; i <= bi; ++i) {
+      for (std::int64_t j = 0; j <= bj; ++j) {
+        if (i != bi || j != bj) {
+          preds.push_back({i, j});
+        }
+      }
+    }
+    return preds;
+  };
+  return buildFromPreds(grid, PatternKind::kFull2D2D, topo, data, nullptr);
+}
+
+PartitionedDag makeRowDependent2D(const BlockGrid& grid) {
+  auto preds = [&grid](std::int64_t bi, std::int64_t bj) {
+    (void)bj;
+    std::vector<BlockCoord> out;
+    if (bi > 0) {
+      out.reserve(static_cast<std::size_t>(grid.gridCols()));
+      for (std::int64_t k = 0; k < grid.gridCols(); ++k) {
+        out.push_back({bi - 1, k});
+      }
+    }
+    return out;
+  };
+  return buildFromPreds(grid, PatternKind::kRowDependent2D, preds, preds,
+                        nullptr);
+}
+
+PartitionedDag makeLinear1D(std::int64_t length) {
+  EASYHPS_EXPECTS(length > 0);
+  const BlockGrid grid(1, length, 1, 1);
+  auto topo = [](std::int64_t, std::int64_t bj) {
+    return std::vector<BlockCoord>{{0, bj - 1}};
+  };
+  return buildFromPreds(grid, PatternKind::kLinear1D, topo, nullptr, nullptr);
+}
+
+PartitionedDag makeCustom(const BlockGrid& grid, const PredsFn& topoPreds,
+                          const PredsFn& dataPreds, const ActiveFn& activeFn) {
+  EASYHPS_EXPECTS(topoPreds != nullptr);
+  return buildFromPreds(grid, PatternKind::kUserDefined, topoPreds, dataPreds,
+                        activeFn);
+}
+
+PartitionedDag makeFromLibrary(PatternKind kind, const BlockGrid& grid) {
+  switch (kind) {
+    case PatternKind::kWavefront2D:
+      return makeWavefront2D(grid);
+    case PatternKind::kFlippedWavefront2D:
+      return makeFlippedWavefront2D(grid);
+    case PatternKind::kTriangular2D1D:
+      return makeTriangular2D1D(grid);
+    case PatternKind::kFull2D2D:
+      return makeFull2D2D(grid);
+    case PatternKind::kLinear1D:
+      return makeLinear1D(grid.gridRows() * grid.gridCols());
+    case PatternKind::kRowDependent2D:
+      return makeRowDependent2D(grid);
+    case PatternKind::kUserDefined:
+      break;
+  }
+  throw LogicError("makeFromLibrary: kUserDefined requires makeCustom");
+}
+
+}  // namespace easyhps

@@ -1,0 +1,113 @@
+#pragma once
+/// \file library.hpp
+/// The DAG Pattern Model library (paper §IV-C).
+///
+/// The paper classifies DP algorithms as tD/eD (matrix size O(n^t), each
+/// cell depending on O(n^e) cells) and ships frequently used patterns in a
+/// library; users can also register their own ("user-defined patterns").
+/// Patterns here are generated directly at *block* granularity: after task
+/// partition (Fig 6) each vertex is a block of cells, so the library
+/// functions take a `BlockGrid` and emit the abstract DAG of Fig 6(c).
+/// Generating at cell granularity is the special case of 1×1 blocks — the
+/// partitioner tests exploit that to cross-validate block DAGs against cell
+/// DAGs.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "easyhps/dag/pattern.hpp"
+#include "easyhps/matrix/geometry.hpp"
+
+namespace easyhps {
+
+/// Built-in pattern shapes (`dag_pattern_type` in the paper's Table I).
+enum class PatternKind {
+  kWavefront2D,         ///< 2D/0D: cell (i,j) ← (i-1,j), (i,j-1), (i-1,j-1)
+  kFlippedWavefront2D,  ///< cell (i,j) ← (i+1,j), (i,j-1) — triangular DPs
+                        ///  inside one rectangular block
+  kTriangular2D1D,      ///< 2D/1D on the upper triangle (Nussinov, OBST)
+  kFull2D2D,            ///< 2D/2D: cell (i,j) ← all (i'<i, j'<j)
+  kLinear1D,            ///< simple chain
+  kRowDependent2D,      ///< cell (i,j) ← every cell of row i-1 (Viterbi-
+                        ///  class DPs: whole previous stage per step)
+  kUserDefined,         ///< built via makeCustom
+};
+
+std::string patternKindName(PatternKind kind);
+
+/// A block-level DAG plus the geometry that produced it.  `coords` maps
+/// vertex ids to block coordinates; `blockToVertex` is the inverse (−1 for
+/// blocks outside the active region, e.g. below the diagonal of a
+/// triangular pattern).
+struct PartitionedDag {
+  DagPattern dag;
+  BlockGrid grid;
+  PatternKind kind = PatternKind::kUserDefined;
+  std::vector<BlockCoord> coords;
+  std::vector<VertexId> blockToVertex;
+
+  std::int64_t vertexCount() const { return dag.vertexCount(); }
+
+  BlockCoord coordOf(VertexId v) const {
+    EASYHPS_EXPECTS(v >= 0 && v < vertexCount());
+    return coords[static_cast<std::size_t>(v)];
+  }
+
+  CellRect rectOf(VertexId v) const { return grid.blockRect(coordOf(v)); }
+
+  /// Vertex at block (bi,bj), or −1 if that block is inactive.
+  VertexId vertexAt(std::int64_t bi, std::int64_t bj) const {
+    if (bi < 0 || bi >= grid.gridRows() || bj < 0 || bj >= grid.gridCols()) {
+      return -1;
+    }
+    return blockToVertex[static_cast<std::size_t>(grid.linearId(bi, bj))];
+  }
+};
+
+/// Classic down-right wavefront (Smith-Waterman, edit distance).
+PartitionedDag makeWavefront2D(const BlockGrid& grid);
+
+/// Up-right wavefront: dependencies point up and right-ward fill — the
+/// intra-block pattern of triangular DPs (Nussinov: (i,j) ← (i+1,j),(i,j-1)).
+PartitionedDag makeFlippedWavefront2D(const BlockGrid& grid);
+
+/// Upper-triangular 2D/1D pattern: active blocks intersect {r ≤ c}; block
+/// (bi,bj) ← (bi+1,bj), (bi,bj-1); data deps: whole row-segment (bi,K),
+/// K<bj and column-segment (K,bj), K>bi.
+PartitionedDag makeTriangular2D1D(const BlockGrid& grid);
+
+/// 2D/2D pattern: precedence reduces to the wavefront; data deps are every
+/// block weakly up-left.  Quadratic in block count — intended for modest
+/// grids (guarded).
+PartitionedDag makeFull2D2D(const BlockGrid& grid);
+
+/// Chain over blocks in row-major order (1D DPs).
+PartitionedDag makeLinear1D(std::int64_t length);
+
+/// Row-dependent pattern: block (bi, bj) ← all blocks (bi-1, k).  The
+/// shape of staged DPs (Viterbi, Bellman-Ford rounds) where every cell of
+/// a stage reads the whole previous stage.  Blocks in one row must not
+/// read each other — valid only when cell rows never depend on cells of
+/// the same row, which holds by construction for stage DPs.
+PartitionedDag makeRowDependent2D(const BlockGrid& grid);
+
+/// User-defined pattern (paper: "programmers should define and implement
+/// the DAG Pattern Model by themselves").
+///  * activeFn(bi,bj)    — whether the block exists (nullptr ⇒ all active)
+///  * topoPreds(bi,bj)   — precedence predecessors as block coords
+///  * dataPreds(bi,bj)   — data-dependency predecessors (nullptr ⇒ same as
+///                         topological predecessors)
+/// Inactive or out-of-grid predecessors are ignored.
+using ActiveFn = std::function<bool(std::int64_t bi, std::int64_t bj)>;
+using PredsFn =
+    std::function<std::vector<BlockCoord>(std::int64_t bi, std::int64_t bj)>;
+
+PartitionedDag makeCustom(const BlockGrid& grid, const PredsFn& topoPreds,
+                          const PredsFn& dataPreds = nullptr,
+                          const ActiveFn& activeFn = nullptr);
+
+/// Dispatch by kind for the built-in library (`kUserDefined` not allowed).
+PartitionedDag makeFromLibrary(PatternKind kind, const BlockGrid& grid);
+
+}  // namespace easyhps

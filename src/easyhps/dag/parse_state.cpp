@@ -1,0 +1,41 @@
+#include "easyhps/dag/parse_state.hpp"
+
+namespace easyhps {
+
+DagParseState::DagParseState(const DagPattern& dag) : dag_(&dag) {
+  reset();
+}
+
+void DagParseState::reset() {
+  const auto n = static_cast<std::size_t>(dag_->vertexCount());
+  remaining_preds_.resize(n);
+  for (VertexId v = 0; v < dag_->vertexCount(); ++v) {
+    remaining_preds_[static_cast<std::size_t>(v)] = dag_->predCount(v);
+  }
+  finished_.assign(n, false);
+  finished_count_ = 0;
+}
+
+std::vector<VertexId> DagParseState::initiallyComputable() const {
+  return dag_->sources();
+}
+
+std::vector<VertexId> DagParseState::finish(VertexId v) {
+  EASYHPS_EXPECTS(v >= 0 && v < vertexCount());
+  EASYHPS_CHECK(remaining_preds_[static_cast<std::size_t>(v)] == 0,
+                "finishing a vertex whose predecessors are incomplete");
+  if (finished_[static_cast<std::size_t>(v)]) {
+    return {};  // duplicate completion (fault-tolerance re-delivery)
+  }
+  finished_[static_cast<std::size_t>(v)] = true;
+  ++finished_count_;
+  std::vector<VertexId> newly;
+  for (VertexId s : dag_->successors(v)) {
+    if (--remaining_preds_[static_cast<std::size_t>(s)] == 0) {
+      newly.push_back(s);
+    }
+  }
+  return newly;
+}
+
+}  // namespace easyhps

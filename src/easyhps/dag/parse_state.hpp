@@ -1,0 +1,52 @@
+#pragma once
+/// \file parse_state.hpp
+/// Runtime DAG parsing (paper §IV-E, Fig 8).
+///
+/// "Parsing" the DAG Pattern Model is incremental topological sorting: a
+/// vertex is *computable* when it has no unfinished predecessor; finishing a
+/// vertex "removes it with its connecting edges", possibly exposing new
+/// computable vertices.  `DagParseState` implements that with remaining
+/// predecessor counters instead of physical edge removal.
+///
+/// finish() is idempotent by design: the fault-tolerance path can deliver
+/// the same sub-task result twice (a timed-out slave may still reply after
+/// the task was re-distributed), and the second delivery must be a no-op.
+
+#include <cstdint>
+#include <vector>
+
+#include "easyhps/dag/pattern.hpp"
+
+namespace easyhps {
+
+class DagParseState {
+ public:
+  explicit DagParseState(const DagPattern& dag);
+
+  /// Vertices computable before anything finished (DAG sources).
+  std::vector<VertexId> initiallyComputable() const;
+
+  /// Marks `v` finished; returns the vertices that just became computable.
+  /// Finishing an already-finished vertex returns an empty list.
+  std::vector<VertexId> finish(VertexId v);
+
+  bool isFinished(VertexId v) const {
+    EASYHPS_EXPECTS(v >= 0 && v < vertexCount());
+    return finished_[static_cast<std::size_t>(v)];
+  }
+
+  std::int64_t vertexCount() const { return dag_->vertexCount(); }
+  std::int64_t finishedCount() const { return finished_count_; }
+  bool allDone() const { return finished_count_ == vertexCount(); }
+
+  /// Restores the initial state (used when a slave re-runs a sub-task DAG).
+  void reset();
+
+ private:
+  const DagPattern* dag_;
+  std::vector<std::int64_t> remaining_preds_;
+  std::vector<bool> finished_;
+  std::int64_t finished_count_ = 0;
+};
+
+}  // namespace easyhps

@@ -1,0 +1,117 @@
+#pragma once
+/// \file pattern.hpp
+/// The DAG Pattern Model (paper §IV-A).
+///
+/// A `DagPattern` D = {V, E} stores, for every vertex (sub-task):
+///  * successor list        — `posfix_id` in the paper's Table I,
+///  * predecessor count     — `pre_cnt`,
+///  * data-dependency list  — `data_prefix_id`.
+///
+/// The paper distinguishes two levels of the model (§IV-D, Fig 7): the
+/// *topological level* (precedence edges, used for parsing/scheduling) and
+/// the *data-communication level* (which earlier vertices' data a sub-task
+/// must receive).  Data edges are always a superset-closure of topological
+/// reachability: every data predecessor is topologically before the vertex,
+/// which is what makes "halo is available when the task becomes ready" an
+/// invariant of the runtime.
+///
+/// Storage is CSR-style (offset + flat arrays): cache-friendly, O(V+E)
+/// memory, and cheap to traverse during parsing.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+
+/// Vertex id within one DAG pattern; dense in [0, vertexCount).
+using VertexId = std::int64_t;
+
+/// Immutable DAG with topological edges and data-dependency edges.
+class DagPattern {
+ public:
+  /// Incremental builder; finalize() validates and produces the pattern.
+  class Builder {
+   public:
+    explicit Builder(std::int64_t vertexCount);
+
+    /// Adds a precedence edge from → to (to cannot start before from).
+    void addEdge(VertexId from, VertexId to);
+
+    /// Adds a data-dependency: `to` needs data produced by `from`.
+    void addDataEdge(VertexId from, VertexId to);
+
+    /// Validates acyclicity and builds the immutable pattern.
+    /// Throws LogicError if the graph has a cycle.
+    DagPattern finalize() &&;
+
+   private:
+    std::int64_t vertex_count_;
+    std::vector<std::vector<VertexId>> successors_;
+    std::vector<std::vector<VertexId>> data_predecessors_;
+  };
+
+  std::int64_t vertexCount() const { return pred_count_.size(); }
+  std::int64_t edgeCount() const {
+    return static_cast<std::int64_t>(succ_flat_.size());
+  }
+  std::int64_t dataEdgeCount() const {
+    return static_cast<std::int64_t>(data_pred_flat_.size());
+  }
+
+  /// Topological successors of v (`posfix_id`).
+  std::span<const VertexId> successors(VertexId v) const {
+    checkVertex(v);
+    return {succ_flat_.data() + succ_offset_[static_cast<std::size_t>(v)],
+            succ_flat_.data() + succ_offset_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  /// Number of topological predecessors of v (`pre_cnt`).
+  std::int64_t predCount(VertexId v) const {
+    checkVertex(v);
+    return pred_count_[static_cast<std::size_t>(v)];
+  }
+
+  /// Number of topological successors of v (`pos_cnt`).
+  std::int64_t succCount(VertexId v) const {
+    return static_cast<std::int64_t>(successors(v).size());
+  }
+
+  /// Data-dependency predecessors of v (`data_prefix_id`).
+  std::span<const VertexId> dataPredecessors(VertexId v) const {
+    checkVertex(v);
+    return {
+        data_pred_flat_.data() +
+            data_pred_offset_[static_cast<std::size_t>(v)],
+        data_pred_flat_.data() +
+            data_pred_offset_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  /// Vertices with no topological predecessor (initially computable).
+  std::vector<VertexId> sources() const;
+
+  /// One valid topological order (deterministic; Kahn with min-id tie-break
+  /// would be O(E log V), so this uses plain FIFO order, still stable).
+  std::vector<VertexId> topologicalOrder() const;
+
+  /// True if every data predecessor of every vertex is topologically
+  /// reachable from that vertex going backwards — the halo-availability
+  /// invariant the runtime relies on.
+  bool dataEdgesCoveredByPrecedence() const;
+
+ private:
+  DagPattern() = default;
+  void checkVertex(VertexId v) const {
+    EASYHPS_EXPECTS(v >= 0 && v < vertexCount());
+  }
+
+  std::vector<std::int64_t> pred_count_;
+  std::vector<std::size_t> succ_offset_;   // vertexCount()+1 entries
+  std::vector<VertexId> succ_flat_;
+  std::vector<std::size_t> data_pred_offset_;
+  std::vector<VertexId> data_pred_flat_;
+};
+
+}  // namespace easyhps

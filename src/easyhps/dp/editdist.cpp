@@ -1,0 +1,101 @@
+#include "easyhps/dp/editdist.hpp"
+
+#include <algorithm>
+
+namespace easyhps {
+
+EditDistance::EditDistance(std::string a, std::string b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  EASYHPS_EXPECTS(!a_.empty() && !b_.empty());
+}
+
+std::int64_t EditDistance::rows() const {
+  return static_cast<std::int64_t>(a_.size());
+}
+
+std::int64_t EditDistance::cols() const {
+  return static_cast<std::int64_t>(b_.size());
+}
+
+Score EditDistance::boundary(std::int64_t r, std::int64_t c) const {
+  // D[-1][c] is the cost of building b's prefix from nothing and vice versa.
+  if (r < 0 && c < 0) {
+    return 0;
+  }
+  if (r < 0) {
+    return static_cast<Score>(c + 1);
+  }
+  if (c < 0) {
+    return static_cast<Score>(r + 1);
+  }
+  throw LogicError("EditDistance::boundary: in-matrix read of " +
+                   std::to_string(r) + "," + std::to_string(c) +
+                   " — halo missing");
+}
+
+std::vector<CellRect> EditDistance::haloFor(const CellRect& rect) const {
+  std::vector<CellRect> halos;
+  if (rect.row0 > 0) {
+    halos.push_back(CellRect{rect.row0 - 1, rect.col0, 1, rect.cols});
+  }
+  if (rect.col0 > 0) {
+    halos.push_back(CellRect{rect.row0, rect.col0 - 1, rect.rows, 1});
+  }
+  if (rect.row0 > 0 && rect.col0 > 0) {
+    halos.push_back(CellRect{rect.row0 - 1, rect.col0 - 1, 1, 1});
+  }
+  return halos;
+}
+
+template <typename W>
+void EditDistance::kernel(W& w, const CellRect& rect) const {
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
+      const Score sub = w.get(r - 1, c - 1) +
+                        (a_[static_cast<std::size_t>(r)] ==
+                                 b_[static_cast<std::size_t>(c)]
+                             ? 0
+                             : 1);
+      const Score del = w.get(r - 1, c) + 1;
+      const Score ins = w.get(r, c - 1) + 1;
+      w.set(r, c, std::min({sub, del, ins}));
+    }
+  }
+}
+
+void EditDistance::computeBlock(Window& w, const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+void EditDistance::computeBlockSparse(SparseWindow& w,
+                                      const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+DenseMatrix<Score> EditDistance::solveReference() const {
+  const std::int64_t n = rows();
+  const std::int64_t m = cols();
+  DenseMatrix<Score> d(n, m);
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < m; ++c) {
+      const Score up = r > 0 ? d.at(r - 1, c) : static_cast<Score>(c + 1);
+      const Score left = c > 0 ? d.at(r, c - 1) : static_cast<Score>(r + 1);
+      const Score diag =
+          (r > 0 && c > 0)
+              ? d.at(r - 1, c - 1)
+              : static_cast<Score>(r > 0 ? r : (c > 0 ? c : 0));
+      const Score sub = diag + (a_[static_cast<std::size_t>(r)] ==
+                                        b_[static_cast<std::size_t>(c)]
+                                    ? 0
+                                    : 1);
+      d.at(r, c) = std::min({sub, up + 1, left + 1});
+    }
+  }
+  return d;
+}
+
+Score EditDistance::distanceFrom(const Window& solved) const {
+  return solved.get(rows() - 1, cols() - 1);
+}
+
+}  // namespace easyhps

@@ -1,0 +1,51 @@
+#pragma once
+/// \file editdist.hpp
+/// Levenshtein edit distance — the canonical 2D/0D algorithm
+/// (paper Algorithm 4.1: each cell depends on O(1) neighbours).
+///
+///   D[i][j] = min( D[i-1][j] + 1,
+///                  D[i][j-1] + 1,
+///                  D[i-1][j-1] + (a_i != b_j) )
+///
+/// Matrix cell (r, c) holds D for prefixes a[0..r] / b[0..c] (lengths
+/// r+1, c+1); the classical first row/column are virtual boundary cells:
+/// D[r][-1] = r+1, D[-1][c] = c+1, D[-1][-1] = 0.
+
+#include <string>
+
+#include "easyhps/dp/problem.hpp"
+
+namespace easyhps {
+
+class EditDistance final : public DpProblem {
+ public:
+  EditDistance(std::string a, std::string b);
+
+  std::string name() const override { return "edit-distance"; }
+  std::int64_t rows() const override;
+  std::int64_t cols() const override;
+  PatternKind masterPatternKind() const override {
+    return PatternKind::kWavefront2D;
+  }
+  PatternKind slavePatternKind() const override {
+    return PatternKind::kWavefront2D;
+  }
+  Score boundary(std::int64_t r, std::int64_t c) const override;
+  std::vector<CellRect> haloFor(const CellRect& rect) const override;
+  void computeBlock(Window& w, const CellRect& rect) const override;
+  void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
+      override;
+  DenseMatrix<Score> solveReference() const override;
+
+  /// The answer: distance between the two full strings.
+  Score distanceFrom(const Window& solved) const;
+
+ private:
+  template <typename W>
+  void kernel(W& w, const CellRect& rect) const;
+
+  std::string a_;
+  std::string b_;
+};
+
+}  // namespace easyhps

@@ -1,0 +1,119 @@
+#include "easyhps/dp/knapsack.hpp"
+
+#include <algorithm>
+
+#include "easyhps/util/rng.hpp"
+
+namespace easyhps {
+
+Knapsack::Knapsack(std::int64_t n, std::int64_t capacity, std::uint64_t seed,
+                   std::int32_t maxWeight, std::int32_t maxValue)
+    : capacity_(capacity) {
+  EASYHPS_EXPECTS(n > 0 && capacity > 0);
+  EASYHPS_EXPECTS(maxWeight >= 1 && maxValue >= 1);
+  Rng rng(seed);
+  items_.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    Item item;
+    item.weight = static_cast<std::int32_t>(rng.nextInRange(1, maxWeight));
+    item.value = static_cast<std::int32_t>(rng.nextInRange(1, maxValue));
+    items_.push_back(item);
+  }
+}
+
+Knapsack::Knapsack(std::vector<Item> items, std::int64_t capacity)
+    : items_(std::move(items)), capacity_(capacity) {
+  EASYHPS_EXPECTS(!items_.empty() && capacity > 0);
+  for (const Item& item : items_) {
+    EASYHPS_EXPECTS(item.weight >= 1);
+  }
+}
+
+Score Knapsack::boundary(std::int64_t r, std::int64_t c) const {
+  if (r < 0 || c < 0) {
+    return 0;  // no items considered, or capacity 0
+  }
+  throw LogicError("Knapsack::boundary: in-matrix read — halo missing");
+}
+
+std::vector<CellRect> Knapsack::haloFor(const CellRect& rect) const {
+  std::vector<CellRect> halos;
+  // The jump dependency (r-1, c - weight) reaches arbitrarily far left:
+  // full prefix of the row above, left strip of own rows.
+  if (rect.row0 > 0) {
+    halos.push_back(CellRect{rect.row0 - 1, 0, 1, rect.colEnd()});
+  }
+  if (rect.col0 > 0) {
+    halos.push_back(CellRect{rect.row0, 0, rect.rows, rect.col0});
+  }
+  return halos;
+}
+
+template <typename W>
+void Knapsack::kernel(W& w, const CellRect& rect) const {
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    const Item& item = items_[static_cast<std::size_t>(r)];
+    for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
+      Score best = w.get(r - 1, c);  // skip the item
+      if (item.weight <= c + 1) {    // capacity c+1 fits the item
+        best = std::max(best,
+                        static_cast<Score>(item.value +
+                                           w.get(r - 1, c - item.weight)));
+      }
+      w.set(r, c, best);
+    }
+  }
+}
+
+void Knapsack::computeBlock(Window& w, const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+void Knapsack::computeBlockSparse(SparseWindow& w,
+                                  const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+DenseMatrix<Score> Knapsack::solveReference() const {
+  DenseMatrix<Score> m(rows(), cols());
+  auto get = [&](std::int64_t r, std::int64_t c) -> Score {
+    return (r < 0 || c < 0) ? 0 : m.at(r, c);
+  };
+  for (std::int64_t r = 0; r < rows(); ++r) {
+    const Item& item = items_[static_cast<std::size_t>(r)];
+    for (std::int64_t c = 0; c < cols(); ++c) {
+      Score best = get(r - 1, c);
+      if (item.weight <= c + 1) {
+        best = std::max(best, static_cast<Score>(item.value +
+                                                 get(r - 1, c - item.weight)));
+      }
+      m.at(r, c) = best;
+    }
+  }
+  return m;
+}
+
+Score Knapsack::bestValue(const Window& solved) const {
+  return solved.get(rows() - 1, cols() - 1);
+}
+
+std::vector<std::int64_t> Knapsack::chosenItems(const Window& solved) const {
+  std::vector<std::int64_t> chosen;
+  auto get = [&](std::int64_t r, std::int64_t c) -> Score {
+    return (r < 0 || c < 0) ? 0 : solved.get(r, c);
+  };
+  std::int64_t c = cols() - 1;
+  for (std::int64_t r = rows() - 1; r >= 0; --r) {
+    if (get(r, c) != get(r - 1, c)) {  // the item was taken
+      chosen.push_back(r);
+      c -= items_[static_cast<std::size_t>(r)].weight;
+      if (c < 0) {
+        break;
+      }
+    }
+  }
+  std::reverse(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace easyhps

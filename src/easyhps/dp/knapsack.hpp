@@ -1,0 +1,70 @@
+#pragma once
+/// \file knapsack.hpp
+/// 0/1 knapsack — a 2D/0D DP whose second dependency *jumps*:
+///
+///   D[i][w] = max( D[i-1][w],
+///                  value_i + D[i-1][w - weight_i] )   if weight_i <= w
+///
+/// Matrix cell (r, c) holds D for the first r+1 items at capacity c+1.
+/// Unlike the unit-step wavefront DPs, the jump (w − weight_i) can cross
+/// many block columns, so a block's halo is the *full prefix* of the row
+/// above plus the left strip of its own rows — precedence still reduces to
+/// the wavefront (up/left), which covers those strips transitively.
+/// `chosenItems()` tracebacks the optimal item set.
+
+#include <cstdint>
+#include <vector>
+
+#include "easyhps/dp/problem.hpp"
+
+namespace easyhps {
+
+class Knapsack final : public DpProblem {
+ public:
+  struct Item {
+    std::int32_t weight = 1;
+    std::int32_t value = 0;
+  };
+
+  /// `n` items with weights in [1, maxWeight], values in [1, maxValue],
+  /// capacity `capacity`, all derived from `seed`.
+  Knapsack(std::int64_t n, std::int64_t capacity, std::uint64_t seed,
+           std::int32_t maxWeight = 12, std::int32_t maxValue = 20);
+
+  Knapsack(std::vector<Item> items, std::int64_t capacity);
+
+  std::string name() const override { return "knapsack"; }
+  std::int64_t rows() const override {
+    return static_cast<std::int64_t>(items_.size());
+  }
+  std::int64_t cols() const override { return capacity_; }
+  PatternKind masterPatternKind() const override {
+    return PatternKind::kWavefront2D;
+  }
+  PatternKind slavePatternKind() const override {
+    return PatternKind::kWavefront2D;
+  }
+  Score boundary(std::int64_t r, std::int64_t c) const override;
+  std::vector<CellRect> haloFor(const CellRect& rect) const override;
+  void computeBlock(Window& w, const CellRect& rect) const override;
+  void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
+      override;
+  DenseMatrix<Score> solveReference() const override;
+
+  /// Optimal total value at full capacity.
+  Score bestValue(const Window& solved) const;
+
+  /// Indices of one optimal item set, via traceback.
+  std::vector<std::int64_t> chosenItems(const Window& solved) const;
+
+  const std::vector<Item>& items() const { return items_; }
+
+ private:
+  template <typename W>
+  void kernel(W& w, const CellRect& rect) const;
+
+  std::vector<Item> items_;
+  std::int64_t capacity_ = 0;
+};
+
+}  // namespace easyhps

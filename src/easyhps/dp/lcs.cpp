@@ -1,0 +1,111 @@
+#include "easyhps/dp/lcs.hpp"
+
+#include <algorithm>
+
+namespace easyhps {
+
+LongestCommonSubsequence::LongestCommonSubsequence(std::string a,
+                                                   std::string b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  EASYHPS_EXPECTS(!a_.empty() && !b_.empty());
+}
+
+std::int64_t LongestCommonSubsequence::rows() const {
+  return static_cast<std::int64_t>(a_.size());
+}
+
+std::int64_t LongestCommonSubsequence::cols() const {
+  return static_cast<std::int64_t>(b_.size());
+}
+
+Score LongestCommonSubsequence::boundary(std::int64_t r,
+                                         std::int64_t c) const {
+  if (r < 0 || c < 0) {
+    return 0;
+  }
+  throw LogicError("LCS::boundary: in-matrix read — halo missing");
+}
+
+std::vector<CellRect> LongestCommonSubsequence::haloFor(
+    const CellRect& rect) const {
+  std::vector<CellRect> halos;
+  if (rect.row0 > 0) {
+    halos.push_back(CellRect{rect.row0 - 1, rect.col0, 1, rect.cols});
+  }
+  if (rect.col0 > 0) {
+    halos.push_back(CellRect{rect.row0, rect.col0 - 1, rect.rows, 1});
+  }
+  if (rect.row0 > 0 && rect.col0 > 0) {
+    halos.push_back(CellRect{rect.row0 - 1, rect.col0 - 1, 1, 1});
+  }
+  return halos;
+}
+
+template <typename W>
+void LongestCommonSubsequence::kernel(W& w, const CellRect& rect) const {
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
+      if (a_[static_cast<std::size_t>(r)] == b_[static_cast<std::size_t>(c)]) {
+        w.set(r, c, static_cast<Score>(w.get(r - 1, c - 1) + 1));
+      } else {
+        w.set(r, c, std::max(w.get(r - 1, c), w.get(r, c - 1)));
+      }
+    }
+  }
+}
+
+void LongestCommonSubsequence::computeBlock(Window& w,
+                                            const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+void LongestCommonSubsequence::computeBlockSparse(SparseWindow& w,
+                                                  const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+DenseMatrix<Score> LongestCommonSubsequence::solveReference() const {
+  DenseMatrix<Score> m(rows(), cols());
+  auto get = [&](std::int64_t r, std::int64_t c) -> Score {
+    return (r < 0 || c < 0) ? 0 : m.at(r, c);
+  };
+  for (std::int64_t r = 0; r < rows(); ++r) {
+    for (std::int64_t c = 0; c < cols(); ++c) {
+      if (a_[static_cast<std::size_t>(r)] == b_[static_cast<std::size_t>(c)]) {
+        m.at(r, c) = static_cast<Score>(get(r - 1, c - 1) + 1);
+      } else {
+        m.at(r, c) = std::max(get(r - 1, c), get(r, c - 1));
+      }
+    }
+  }
+  return m;
+}
+
+Score LongestCommonSubsequence::length(const Window& solved) const {
+  return solved.get(rows() - 1, cols() - 1);
+}
+
+std::string LongestCommonSubsequence::subsequence(const Window& solved) const {
+  std::string out;
+  std::int64_t r = rows() - 1;
+  std::int64_t c = cols() - 1;
+  auto get = [&](std::int64_t rr, std::int64_t cc) -> Score {
+    return (rr < 0 || cc < 0) ? 0 : solved.get(rr, cc);
+  };
+  while (r >= 0 && c >= 0) {
+    if (a_[static_cast<std::size_t>(r)] == b_[static_cast<std::size_t>(c)] &&
+        get(r, c) == get(r - 1, c - 1) + 1) {
+      out.push_back(a_[static_cast<std::size_t>(r)]);
+      --r;
+      --c;
+    } else if (get(r - 1, c) >= get(r, c - 1)) {
+      --r;
+    } else {
+      --c;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace easyhps

@@ -1,0 +1,52 @@
+#pragma once
+/// \file lcs.hpp
+/// Longest Common Subsequence — a 2D/0D algorithm with traceback.
+///
+///   L[i][j] = L[i-1][j-1] + 1                  if a_i == b_j
+///           = max(L[i-1][j], L[i][j-1])        otherwise
+///
+/// boundary: L[-1][*] = L[*][-1] = 0.  `subsequence()` recovers one LCS
+/// string from the solved matrix, so examples get an actual answer rather
+/// than just a length.
+
+#include <string>
+
+#include "easyhps/dp/problem.hpp"
+
+namespace easyhps {
+
+class LongestCommonSubsequence final : public DpProblem {
+ public:
+  LongestCommonSubsequence(std::string a, std::string b);
+
+  std::string name() const override { return "lcs"; }
+  std::int64_t rows() const override;
+  std::int64_t cols() const override;
+  PatternKind masterPatternKind() const override {
+    return PatternKind::kWavefront2D;
+  }
+  PatternKind slavePatternKind() const override {
+    return PatternKind::kWavefront2D;
+  }
+  Score boundary(std::int64_t r, std::int64_t c) const override;
+  std::vector<CellRect> haloFor(const CellRect& rect) const override;
+  void computeBlock(Window& w, const CellRect& rect) const override;
+  void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
+      override;
+  DenseMatrix<Score> solveReference() const override;
+
+  /// LCS length of the full strings.
+  Score length(const Window& solved) const;
+
+  /// One longest common subsequence, via traceback.
+  std::string subsequence(const Window& solved) const;
+
+ private:
+  template <typename W>
+  void kernel(W& w, const CellRect& rect) const;
+
+  std::string a_;
+  std::string b_;
+};
+
+}  // namespace easyhps

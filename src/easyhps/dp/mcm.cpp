@@ -1,0 +1,132 @@
+#include "easyhps/dp/mcm.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "easyhps/util/rng.hpp"
+
+namespace easyhps {
+
+MatrixChain::MatrixChain(std::int64_t n, std::uint64_t seed,
+                         std::int32_t maxDim) {
+  EASYHPS_EXPECTS(n > 0);
+  EASYHPS_EXPECTS(maxDim >= 1);
+  Rng rng(seed);
+  dims_.reserve(static_cast<std::size_t>(n) + 1);
+  for (std::int64_t i = 0; i <= n; ++i) {
+    dims_.push_back(static_cast<std::int32_t>(rng.nextInRange(1, maxDim)));
+  }
+  n_ = n;
+}
+
+MatrixChain::MatrixChain(std::vector<std::int32_t> dims)
+    : dims_(std::move(dims)) {
+  EASYHPS_EXPECTS(dims_.size() >= 2);
+  n_ = static_cast<std::int64_t>(dims_.size()) - 1;
+}
+
+Score MatrixChain::boundary(std::int64_t r, std::int64_t c) const {
+  (void)r;
+  (void)c;
+  return 0;
+}
+
+std::vector<CellRect> MatrixChain::haloFor(const CellRect& rect) const {
+  // M[i][k] (row segment left of the block) and M[k+1][j] (column segment
+  // below) — identical trapezoid to the other triangular 2D/1D problems.
+  std::vector<CellRect> halos;
+  if (rect.col0 > rect.row0) {
+    halos.push_back(
+        CellRect{rect.row0, rect.row0, rect.rows, rect.col0 - rect.row0});
+  }
+  if (rect.colEnd() > rect.rowEnd() && rect.rowEnd() < n_) {
+    halos.push_back(CellRect{rect.rowEnd(), rect.col0,
+                             std::min(rect.colEnd(), n_) - rect.rowEnd(),
+                             rect.cols});
+  }
+  return halos;
+}
+
+template <typename W>
+void MatrixChain::kernel(W& w, const CellRect& rect) const {
+  for (std::int64_t i = rect.rowEnd() - 1; i >= rect.row0; --i) {
+    for (std::int64_t j = std::max(rect.col0, i); j < rect.colEnd(); ++j) {
+      if (i == j) {
+        w.set(i, j, 0);
+        continue;
+      }
+      Score best = std::numeric_limits<Score>::max();
+      for (std::int64_t k = i; k < j; ++k) {
+        best = std::min(best,
+                        static_cast<Score>(w.get(i, k) + w.get(k + 1, j) +
+                                           mulCost(i, k, j)));
+      }
+      w.set(i, j, best);
+    }
+  }
+}
+
+void MatrixChain::computeBlock(Window& w, const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+void MatrixChain::computeBlockSparse(SparseWindow& w,
+                                     const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+DenseMatrix<Score> MatrixChain::solveReference() const {
+  DenseMatrix<Score> m(n_, n_, 0);
+  for (std::int64_t span = 1; span < n_; ++span) {
+    for (std::int64_t i = 0; i + span < n_; ++i) {
+      const std::int64_t j = i + span;
+      Score best = std::numeric_limits<Score>::max();
+      for (std::int64_t k = i; k < j; ++k) {
+        best = std::min(best, static_cast<Score>(m.at(i, k) + m.at(k + 1, j) +
+                                                 mulCost(i, k, j)));
+      }
+      m.at(i, j) = best;
+    }
+  }
+  return m;
+}
+
+double MatrixChain::blockOps(const CellRect& rect) const {
+  double total = 0;
+  for (std::int64_t i = rect.row0; i < rect.rowEnd(); ++i) {
+    const std::int64_t jLo = std::max(rect.col0, i);
+    const std::int64_t jHi = rect.colEnd() - 1;
+    for (std::int64_t j = jLo; j <= jHi; ++j) {
+      total += static_cast<double>(std::max<std::int64_t>(j - i, 1));
+    }
+  }
+  return total;
+}
+
+Score MatrixChain::bestCost(const Window& solved) const {
+  return solved.get(0, n_ - 1);
+}
+
+std::string MatrixChain::parenthesization(const Window& solved) const {
+  auto get = [&](std::int64_t i, std::int64_t j) -> Score {
+    return i >= j ? 0 : solved.get(i, j);
+  };
+  // Recursive reconstruction via an explicit stack of (i, j, out slot)
+  // would obscure the logic; chain lengths are modest, so plain recursion.
+  std::function<std::string(std::int64_t, std::int64_t)> build =
+      [&](std::int64_t i, std::int64_t j) -> std::string {
+    if (i == j) {
+      return "A" + std::to_string(i);
+    }
+    for (std::int64_t k = i; k < j; ++k) {
+      if (get(i, j) == get(i, k) + get(k + 1, j) + mulCost(i, k, j)) {
+        return "(" + build(i, k) + " " + build(k + 1, j) + ")";
+      }
+    }
+    throw LogicError("MatrixChain traceback: inconsistent matrix");
+  };
+  return build(0, n_ - 1);
+}
+
+}  // namespace easyhps

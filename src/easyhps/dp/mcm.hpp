@@ -1,0 +1,71 @@
+#pragma once
+/// \file mcm.hpp
+/// Matrix-Chain Multiplication — the classic 2D/1D triangular DP
+/// (Bradford's parallel-DP example, paper §II):
+///
+///   M[i][j] = min_{i<=k<j} ( M[i][k] + M[k+1][j] + d_i · d_{k+1} · d_{j+1} )
+///
+/// with M[i][i] = 0, over matrices A_i of shape d_i × d_{i+1}.
+/// `parenthesization()` rebuilds one optimal bracketing string.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "easyhps/dp/problem.hpp"
+
+namespace easyhps {
+
+class MatrixChain final : public DpProblem {
+ public:
+  /// `n` matrices with dimensions drawn uniformly from [1, maxDim].
+  MatrixChain(std::int64_t n, std::uint64_t seed, std::int32_t maxDim = 20);
+
+  /// Explicit dimension vector d_0..d_n (n matrices).
+  explicit MatrixChain(std::vector<std::int32_t> dims);
+
+  std::string name() const override { return "matrix-chain"; }
+  std::int64_t rows() const override { return n_; }
+  std::int64_t cols() const override { return n_; }
+  PatternKind masterPatternKind() const override {
+    return PatternKind::kTriangular2D1D;
+  }
+  PatternKind slavePatternKind() const override {
+    return PatternKind::kFlippedWavefront2D;
+  }
+  Score boundary(std::int64_t r, std::int64_t c) const override;
+  bool cellActive(std::int64_t r, std::int64_t c) const override {
+    return r <= c;
+  }
+  bool rectActive(const CellRect& rect) const override {
+    return rect.row0 <= rect.colEnd() - 1;
+  }
+  std::vector<CellRect> haloFor(const CellRect& rect) const override;
+  void computeBlock(Window& w, const CellRect& rect) const override;
+  void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
+      override;
+  DenseMatrix<Score> solveReference() const override;
+  double blockOps(const CellRect& rect) const override;
+
+  /// Minimum scalar multiplications for the whole chain.
+  Score bestCost(const Window& solved) const;
+
+  /// One optimal bracketing, e.g. "((A0 A1) (A2 A3))".
+  std::string parenthesization(const Window& solved) const;
+
+ private:
+  template <typename W>
+  void kernel(W& w, const CellRect& rect) const;
+
+  Score mulCost(std::int64_t i, std::int64_t k, std::int64_t j) const {
+    return static_cast<Score>(
+        static_cast<std::int64_t>(dims_[static_cast<std::size_t>(i)]) *
+        dims_[static_cast<std::size_t>(k + 1)] *
+        dims_[static_cast<std::size_t>(j + 1)]);
+  }
+
+  std::vector<std::int32_t> dims_;  // n_ + 1 entries
+  std::int64_t n_ = 0;
+};
+
+}  // namespace easyhps

@@ -1,0 +1,125 @@
+#include "easyhps/dp/needleman.hpp"
+
+#include <algorithm>
+
+namespace easyhps {
+
+NeedlemanWunsch::NeedlemanWunsch(std::string a, std::string b)
+    : NeedlemanWunsch(std::move(a), std::move(b), Params{}) {}
+
+NeedlemanWunsch::NeedlemanWunsch(std::string a, std::string b, Params params)
+    : a_(std::move(a)), b_(std::move(b)), params_(params) {
+  EASYHPS_EXPECTS(!a_.empty() && !b_.empty());
+  EASYHPS_EXPECTS(params_.gap >= 0);
+}
+
+std::int64_t NeedlemanWunsch::rows() const {
+  return static_cast<std::int64_t>(a_.size());
+}
+
+std::int64_t NeedlemanWunsch::cols() const {
+  return static_cast<std::int64_t>(b_.size());
+}
+
+Score NeedlemanWunsch::boundary(std::int64_t r, std::int64_t c) const {
+  if (r < 0 && c < 0) {
+    return 0;
+  }
+  if (r < 0) {
+    return static_cast<Score>(-(c + 1) * params_.gap);
+  }
+  if (c < 0) {
+    return static_cast<Score>(-(r + 1) * params_.gap);
+  }
+  throw LogicError("NW::boundary: in-matrix read — halo missing");
+}
+
+std::vector<CellRect> NeedlemanWunsch::haloFor(const CellRect& rect) const {
+  std::vector<CellRect> halos;
+  if (rect.row0 > 0) {
+    halos.push_back(CellRect{rect.row0 - 1, rect.col0, 1, rect.cols});
+  }
+  if (rect.col0 > 0) {
+    halos.push_back(CellRect{rect.row0, rect.col0 - 1, rect.rows, 1});
+  }
+  if (rect.row0 > 0 && rect.col0 > 0) {
+    halos.push_back(CellRect{rect.row0 - 1, rect.col0 - 1, 1, 1});
+  }
+  return halos;
+}
+
+template <typename W>
+void NeedlemanWunsch::kernel(W& w, const CellRect& rect) const {
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
+      const Score diag =
+          static_cast<Score>(w.get(r - 1, c - 1) + substitution(r, c));
+      const Score up = static_cast<Score>(w.get(r - 1, c) - params_.gap);
+      const Score left = static_cast<Score>(w.get(r, c - 1) - params_.gap);
+      w.set(r, c, std::max({diag, up, left}));
+    }
+  }
+}
+
+void NeedlemanWunsch::computeBlock(Window& w, const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+void NeedlemanWunsch::computeBlockSparse(SparseWindow& w,
+                                         const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+DenseMatrix<Score> NeedlemanWunsch::solveReference() const {
+  DenseMatrix<Score> m(rows(), cols());
+  auto get = [&](std::int64_t r, std::int64_t c) -> Score {
+    return (r >= 0 && c >= 0) ? m.at(r, c) : boundary(r, c);
+  };
+  for (std::int64_t r = 0; r < rows(); ++r) {
+    for (std::int64_t c = 0; c < cols(); ++c) {
+      m.at(r, c) = std::max(
+          {static_cast<Score>(get(r - 1, c - 1) + substitution(r, c)),
+           static_cast<Score>(get(r - 1, c) - params_.gap),
+           static_cast<Score>(get(r, c - 1) - params_.gap)});
+    }
+  }
+  return m;
+}
+
+Score NeedlemanWunsch::score(const Window& solved) const {
+  return solved.get(rows() - 1, cols() - 1);
+}
+
+std::pair<std::string, std::string> NeedlemanWunsch::alignment(
+    const Window& solved) const {
+  std::string top;
+  std::string bottom;
+  std::int64_t r = rows() - 1;
+  std::int64_t c = cols() - 1;
+  auto get = [&](std::int64_t rr, std::int64_t cc) -> Score {
+    return (rr >= 0 && cc >= 0) ? solved.get(rr, cc) : boundary(rr, cc);
+  };
+  while (r >= 0 || c >= 0) {
+    if (r >= 0 && c >= 0 &&
+        get(r, c) == get(r - 1, c - 1) + substitution(r, c)) {
+      top.push_back(a_[static_cast<std::size_t>(r)]);
+      bottom.push_back(b_[static_cast<std::size_t>(c)]);
+      --r;
+      --c;
+    } else if (r >= 0 && get(r, c) == get(r - 1, c) - params_.gap) {
+      top.push_back(a_[static_cast<std::size_t>(r)]);
+      bottom.push_back('-');
+      --r;
+    } else {
+      EASYHPS_CHECK(c >= 0, "NW traceback: inconsistent matrix");
+      top.push_back('-');
+      bottom.push_back(b_[static_cast<std::size_t>(c)]);
+      --c;
+    }
+  }
+  std::reverse(top.begin(), top.end());
+  std::reverse(bottom.begin(), bottom.end());
+  return {top, bottom};
+}
+
+}  // namespace easyhps

@@ -1,0 +1,69 @@
+#pragma once
+/// \file needleman.hpp
+/// Needleman-Wunsch global alignment (linear gap) — 2D/0D, with a full
+/// alignment traceback.
+///
+///   D[i][j] = max( D[i-1][j-1] + s(a_i, b_j),
+///                  D[i-1][j]   - gap,
+///                  D[i][j-1]   - gap )
+///
+/// boundary: D[-1][j] = -(j+1)·gap, D[i][-1] = -(i+1)·gap, D[-1][-1] = 0 —
+/// the classical first row/column of a global alignment matrix expressed
+/// as virtual cells.
+
+#include <string>
+#include <utility>
+
+#include "easyhps/dp/problem.hpp"
+
+namespace easyhps {
+
+class NeedlemanWunsch final : public DpProblem {
+ public:
+  struct Params {
+    Score match = 1;
+    Score mismatch = -1;
+    Score gap = 2;
+  };
+
+  NeedlemanWunsch(std::string a, std::string b);
+  NeedlemanWunsch(std::string a, std::string b, Params params);
+
+  std::string name() const override { return "needleman-wunsch"; }
+  std::int64_t rows() const override;
+  std::int64_t cols() const override;
+  PatternKind masterPatternKind() const override {
+    return PatternKind::kWavefront2D;
+  }
+  PatternKind slavePatternKind() const override {
+    return PatternKind::kWavefront2D;
+  }
+  Score boundary(std::int64_t r, std::int64_t c) const override;
+  std::vector<CellRect> haloFor(const CellRect& rect) const override;
+  void computeBlock(Window& w, const CellRect& rect) const override;
+  void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
+      override;
+  DenseMatrix<Score> solveReference() const override;
+
+  /// Global alignment score of the full strings.
+  Score score(const Window& solved) const;
+
+  /// The aligned strings with '-' gaps, via traceback.
+  std::pair<std::string, std::string> alignment(const Window& solved) const;
+
+ private:
+  template <typename W>
+  void kernel(W& w, const CellRect& rect) const;
+
+  Score substitution(std::int64_t r, std::int64_t c) const {
+    return a_[static_cast<std::size_t>(r)] == b_[static_cast<std::size_t>(c)]
+               ? params_.match
+               : params_.mismatch;
+  }
+
+  std::string a_;
+  std::string b_;
+  Params params_;
+};
+
+}  // namespace easyhps

@@ -1,0 +1,187 @@
+#include "easyhps/dp/nussinov.hpp"
+
+#include <algorithm>
+
+#include "easyhps/dp/sequence.hpp"
+
+namespace easyhps {
+
+Nussinov::Nussinov(std::string rna, std::int64_t minLoop)
+    : rna_(std::move(rna)), n_(static_cast<std::int64_t>(rna_.size())),
+      min_loop_(minLoop) {
+  EASYHPS_EXPECTS(n_ > 0);
+  EASYHPS_EXPECTS(minLoop >= 0);
+}
+
+Score Nussinov::pairScore(std::int64_t i, std::int64_t j) const {
+  if (j - i <= min_loop_) {
+    return -1;  // pairing disallowed: hairpin too tight
+  }
+  return rnaPairs(rna_[static_cast<std::size_t>(i)],
+                  rna_[static_cast<std::size_t>(j)])
+             ? 1
+             : -1;
+}
+
+Score Nussinov::boundary(std::int64_t r, std::int64_t c) const {
+  (void)r;
+  (void)c;
+  return 0;  // N[i][j] = 0 whenever j <= i or outside the matrix
+}
+
+std::vector<CellRect> Nussinov::haloFor(const CellRect& rect) const {
+  // Split term N[i][k] + N[k+1][j]: row segments to the LEFT of the block
+  // (columns [row0, col0)) and column segments BELOW it (rows
+  // [rowEnd, colEnd)), plus the single below-left corner reached by the
+  // pair term N[i+1][j-1] at the block's bottom-left cell.
+  std::vector<CellRect> halos;
+  if (rect.col0 > rect.row0) {
+    halos.push_back(
+        CellRect{rect.row0, rect.row0, rect.rows, rect.col0 - rect.row0});
+  }
+  if (rect.colEnd() > rect.rowEnd() && rect.rowEnd() < n_) {
+    halos.push_back(CellRect{rect.rowEnd(), rect.col0,
+                             std::min(rect.colEnd(), n_) - rect.rowEnd(),
+                             rect.cols});
+  }
+  if (rect.rowEnd() < n_ && rect.col0 > 0 && rect.rowEnd() <= rect.col0 - 1) {
+    halos.push_back(CellRect{rect.rowEnd(), rect.col0 - 1, 1, 1});
+  }
+  return halos;
+}
+
+template <typename W>
+void Nussinov::kernel(W& w, const CellRect& rect) const {
+  // Rows bottom-up, columns left-to-right: inside a block, (i,j) needs
+  // (i+1,j) and (i,j-1).
+  for (std::int64_t i = rect.rowEnd() - 1; i >= rect.row0; --i) {
+    for (std::int64_t j = std::max(rect.col0, i); j < rect.colEnd(); ++j) {
+      if (i == j) {
+        w.set(i, j, 0);
+        continue;
+      }
+      Score best = std::max(w.get(i + 1, j), w.get(i, j - 1));
+      const Score p = pairScore(i, j);
+      if (p > 0) {
+        best = std::max(best, static_cast<Score>(w.get(i + 1, j - 1) + p));
+      }
+      for (std::int64_t k = i + 1; k < j; ++k) {
+        best = std::max(best,
+                        static_cast<Score>(w.get(i, k) + w.get(k + 1, j)));
+      }
+      w.set(i, j, best);
+    }
+  }
+}
+
+void Nussinov::computeBlock(Window& w, const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+void Nussinov::computeBlockSparse(SparseWindow& w,
+                                  const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+DenseMatrix<Score> Nussinov::solveReference() const {
+  DenseMatrix<Score> m(n_, n_, 0);
+  auto get = [&](std::int64_t r, std::int64_t c) -> Score {
+    return (r < 0 || c < 0 || r >= n_ || c >= n_ || r > c) ? 0 : m.at(r, c);
+  };
+  for (std::int64_t span = 1; span < n_; ++span) {
+    for (std::int64_t i = 0; i + span < n_; ++i) {
+      const std::int64_t j = i + span;
+      Score best = std::max(get(i + 1, j), get(i, j - 1));
+      const Score p = pairScore(i, j);
+      if (p > 0) {
+        best = std::max(best, static_cast<Score>(get(i + 1, j - 1) + p));
+      }
+      for (std::int64_t k = i + 1; k < j; ++k) {
+        best = std::max(best, static_cast<Score>(get(i, k) + get(k + 1, j)));
+      }
+      m.at(i, j) = best;
+    }
+  }
+  return m;
+}
+
+double Nussinov::blockOps(const CellRect& rect) const {
+  // Sum of max(1, j - i) over active cells (i <= j) of the rect.
+  double total = 0;
+  for (std::int64_t i = rect.row0; i < rect.rowEnd(); ++i) {
+    const std::int64_t jLo = std::max(rect.col0, i);
+    const std::int64_t jHi = rect.colEnd() - 1;
+    if (jLo > jHi) {
+      continue;
+    }
+    // sum over j of max(1, j-i): j==i contributes 1, else j-i.
+    const std::int64_t lo = std::max<std::int64_t>(jLo - i, 1);
+    const std::int64_t hi = jHi - i;
+    const auto count = static_cast<double>(hi - std::max<std::int64_t>(
+                                                    jLo - i, 1) +
+                                           1);
+    total += count * static_cast<double>(lo + hi) / 2.0;
+    if (jLo == i) {
+      total += 1.0;  // the diagonal cell itself
+    }
+  }
+  return total;
+}
+
+Score Nussinov::bestScore(const Window& solved) const {
+  return solved.get(0, n_ - 1);
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> Nussinov::structure(
+    const Window& solved) const {
+  std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
+  std::vector<std::pair<std::int64_t, std::int64_t>> stack{{0, n_ - 1}};
+  auto get = [&](std::int64_t r, std::int64_t c) -> Score {
+    return (r > c) ? 0 : solved.get(r, c);
+  };
+  while (!stack.empty()) {
+    const auto [i, j] = stack.back();
+    stack.pop_back();
+    if (i >= j) {
+      continue;
+    }
+    const Score v = get(i, j);
+    if (v == get(i + 1, j)) {
+      stack.push_back({i + 1, j});
+      continue;
+    }
+    if (v == get(i, j - 1)) {
+      stack.push_back({i, j - 1});
+      continue;
+    }
+    const Score p = pairScore(i, j);
+    if (p > 0 && v == get(i + 1, j - 1) + p) {
+      pairs.push_back({i, j});
+      stack.push_back({i + 1, j - 1});
+      continue;
+    }
+    bool split = false;
+    for (std::int64_t k = i + 1; k < j && !split; ++k) {
+      if (v == get(i, k) + get(k + 1, j)) {
+        stack.push_back({i, k});
+        stack.push_back({k + 1, j});
+        split = true;
+      }
+    }
+    EASYHPS_CHECK(split, "Nussinov traceback: inconsistent matrix");
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::string Nussinov::dotBracket(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& pairs) const {
+  std::string s(static_cast<std::size_t>(n_), '.');
+  for (const auto& [i, j] : pairs) {
+    s[static_cast<std::size_t>(i)] = '(';
+    s[static_cast<std::size_t>(j)] = ')';
+  }
+  return s;
+}
+
+}  // namespace easyhps

@@ -1,0 +1,80 @@
+#pragma once
+/// \file nussinov.hpp
+/// Nussinov RNA secondary-structure prediction — the paper's second
+/// evaluation workload and its running example for the DAG Pattern Model
+/// (Fig 5).  A 2D/1D algorithm on the upper triangle:
+///
+///   N[i][j] = max( N[i+1][j],
+///                  N[i][j-1],
+///                  N[i+1][j-1] + pair(s_i, s_j)      (if j - i > minLoop),
+///                  max_{i<k<j} N[i][k] + N[k+1][j] )
+///
+/// with N[i][i] = 0 and N[i][j] = 0 for j < i.  Cells fill from the main
+/// diagonal toward the upper-right corner; inside a rectangular block the
+/// dependency wavefront is *flipped* (cell (i,j) needs (i+1,j) below it),
+/// which is why `slavePatternKind` is kFlippedWavefront2D.
+///
+/// The traceback (`structure`) recovers one optimal set of base pairs so
+/// examples can print an actual secondary structure, not just the score.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "easyhps/dp/problem.hpp"
+
+namespace easyhps {
+
+class Nussinov final : public DpProblem {
+ public:
+  /// `minLoop`: minimum unpaired bases between a pair (j - i > minLoop).
+  explicit Nussinov(std::string rna, std::int64_t minLoop = 1);
+
+  std::string name() const override { return "nussinov"; }
+  std::int64_t rows() const override { return n_; }
+  std::int64_t cols() const override { return n_; }
+  PatternKind masterPatternKind() const override {
+    return PatternKind::kTriangular2D1D;
+  }
+  PatternKind slavePatternKind() const override {
+    return PatternKind::kFlippedWavefront2D;
+  }
+  Score boundary(std::int64_t r, std::int64_t c) const override;
+  bool cellActive(std::int64_t r, std::int64_t c) const override {
+    return r <= c;
+  }
+  bool rectActive(const CellRect& rect) const override {
+    return rect.row0 <= rect.colEnd() - 1;
+  }
+  std::vector<CellRect> haloFor(const CellRect& rect) const override;
+  void computeBlock(Window& w, const CellRect& rect) const override;
+  void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
+      override;
+  DenseMatrix<Score> solveReference() const override;
+
+  /// Per-cell work is Θ(j - i) (the split scan); summed over active cells.
+  double blockOps(const CellRect& rect) const override;
+
+  /// Optimal number of pairs for the whole sequence.
+  Score bestScore(const Window& solved) const;
+
+  /// One optimal pairing, as (i, j) index pairs, via traceback.
+  std::vector<std::pair<std::int64_t, std::int64_t>> structure(
+      const Window& solved) const;
+
+  /// Dot-bracket rendering of a pairing.
+  std::string dotBracket(
+      const std::vector<std::pair<std::int64_t, std::int64_t>>& pairs) const;
+
+ private:
+  template <typename W>
+  void kernel(W& w, const CellRect& rect) const;
+
+  Score pairScore(std::int64_t i, std::int64_t j) const;
+
+  std::string rna_;
+  std::int64_t n_;
+  std::int64_t min_loop_;
+};
+
+}  // namespace easyhps

@@ -1,0 +1,133 @@
+#include "easyhps/dp/obst.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "easyhps/util/rng.hpp"
+
+namespace easyhps {
+
+OptimalBst::OptimalBst(std::int64_t n, std::uint64_t seed,
+                       std::int32_t maxFreq) {
+  EASYHPS_EXPECTS(n > 0);
+  EASYHPS_EXPECTS(maxFreq >= 1);
+  Rng rng(seed);
+  freqs_.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    freqs_.push_back(static_cast<std::int32_t>(
+        rng.nextInRange(1, maxFreq)));
+  }
+  buildPrefix();
+}
+
+OptimalBst::OptimalBst(std::vector<std::int32_t> freqs)
+    : freqs_(std::move(freqs)) {
+  EASYHPS_EXPECTS(!freqs_.empty());
+  buildPrefix();
+}
+
+void OptimalBst::buildPrefix() {
+  n_ = static_cast<std::int64_t>(freqs_.size());
+  prefix_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (std::int64_t i = 0; i < n_; ++i) {
+    prefix_[static_cast<std::size_t>(i) + 1] =
+        prefix_[static_cast<std::size_t>(i)] +
+        freqs_[static_cast<std::size_t>(i)];
+  }
+}
+
+Score OptimalBst::weight(std::int64_t i, std::int64_t j) const {
+  EASYHPS_EXPECTS(i >= 0 && j < n_ && i <= j);
+  return static_cast<Score>(prefix_[static_cast<std::size_t>(j) + 1] -
+                            prefix_[static_cast<std::size_t>(i)]);
+}
+
+Score OptimalBst::boundary(std::int64_t r, std::int64_t c) const {
+  (void)r;
+  (void)c;
+  return 0;  // below-diagonal / out-of-matrix reads are empty ranges
+}
+
+std::vector<CellRect> OptimalBst::haloFor(const CellRect& rect) const {
+  // Same trapezoid as every triangular 2D/1D DP: row segments left of the
+  // block, column segments below it (D[i][k-1] / D[k][j]).
+  std::vector<CellRect> halos;
+  if (rect.col0 > rect.row0) {
+    halos.push_back(
+        CellRect{rect.row0, rect.row0, rect.rows, rect.col0 - rect.row0});
+  }
+  if (rect.colEnd() > rect.rowEnd() && rect.rowEnd() < n_) {
+    halos.push_back(CellRect{rect.rowEnd(), rect.col0,
+                             std::min(rect.colEnd(), n_) - rect.rowEnd(),
+                             rect.cols});
+  }
+  return halos;
+}
+
+template <typename W>
+void OptimalBst::kernel(W& w, const CellRect& rect) const {
+  for (std::int64_t i = rect.rowEnd() - 1; i >= rect.row0; --i) {
+    for (std::int64_t j = std::max(rect.col0, i); j < rect.colEnd(); ++j) {
+      if (i == j) {
+        w.set(i, j, 0);
+        continue;
+      }
+      // min over i < k <= j of D[i][k-1] + D[k][j] (paper Algorithm 4.2).
+      Score best = std::numeric_limits<Score>::max();
+      for (std::int64_t k = i + 1; k <= j; ++k) {
+        best = std::min(best,
+                        static_cast<Score>(w.get(i, k - 1) + w.get(k, j)));
+      }
+      w.set(i, j, static_cast<Score>(best + weight(i, j)));
+    }
+  }
+}
+
+void OptimalBst::computeBlock(Window& w, const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+void OptimalBst::computeBlockSparse(SparseWindow& w,
+                                    const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+DenseMatrix<Score> OptimalBst::solveReference() const {
+  DenseMatrix<Score> m(n_, n_, 0);
+  auto get = [&](std::int64_t r, std::int64_t c) -> Score {
+    return (r > c || r < 0 || c >= n_) ? 0 : m.at(r, c);
+  };
+  for (std::int64_t span = 1; span < n_; ++span) {
+    for (std::int64_t i = 0; i + span < n_; ++i) {
+      const std::int64_t j = i + span;
+      Score best = std::numeric_limits<Score>::max();
+      for (std::int64_t k = i + 1; k <= j; ++k) {
+        best = std::min(best,
+                        static_cast<Score>(get(i, k - 1) + get(k, j)));
+      }
+      m.at(i, j) = static_cast<Score>(best + weight(i, j));
+    }
+  }
+  return m;
+}
+
+double OptimalBst::blockOps(const CellRect& rect) const {
+  double total = 0;
+  for (std::int64_t i = rect.row0; i < rect.rowEnd(); ++i) {
+    const std::int64_t jLo = std::max(rect.col0, i);
+    const std::int64_t jHi = rect.colEnd() - 1;
+    if (jLo > jHi) {
+      continue;
+    }
+    for (std::int64_t j = jLo; j <= jHi; ++j) {
+      total += static_cast<double>(std::max<std::int64_t>(j - i, 1));
+    }
+  }
+  return total;
+}
+
+Score OptimalBst::bestCost(const Window& solved) const {
+  return solved.get(0, n_ - 1);
+}
+
+}  // namespace easyhps

@@ -1,0 +1,67 @@
+#pragma once
+/// \file obst.hpp
+/// Optimal Binary Search Tree — the paper's Algorithm 4.2 (2D/1D):
+///
+///   D[i][j] = w(i, j) + min_{i<k<=j} ( D[i][k-1] + D[k][j] ),  D[i][i] = 0
+///
+/// where w(i, j) is the total access frequency of keys i..j.  Structurally
+/// identical to Nussinov (triangular, split scan) but a *min* recurrence
+/// with weights, so it exercises a second 2D/1D instance through every
+/// layer of the system; keys' frequencies are seeded pseudo-random.
+
+#include <cstdint>
+#include <vector>
+
+#include "easyhps/dp/problem.hpp"
+
+namespace easyhps {
+
+class OptimalBst final : public DpProblem {
+ public:
+  /// `n` keys with frequencies drawn uniformly from [1, maxFreq] at `seed`.
+  OptimalBst(std::int64_t n, std::uint64_t seed, std::int32_t maxFreq = 10);
+
+  /// Explicit frequencies (must be non-empty).
+  explicit OptimalBst(std::vector<std::int32_t> freqs);
+
+  std::string name() const override { return "optimal-bst"; }
+  std::int64_t rows() const override { return n_; }
+  std::int64_t cols() const override { return n_; }
+  PatternKind masterPatternKind() const override {
+    return PatternKind::kTriangular2D1D;
+  }
+  PatternKind slavePatternKind() const override {
+    return PatternKind::kFlippedWavefront2D;
+  }
+  Score boundary(std::int64_t r, std::int64_t c) const override;
+  bool cellActive(std::int64_t r, std::int64_t c) const override {
+    return r <= c;
+  }
+  bool rectActive(const CellRect& rect) const override {
+    return rect.row0 <= rect.colEnd() - 1;
+  }
+  std::vector<CellRect> haloFor(const CellRect& rect) const override;
+  void computeBlock(Window& w, const CellRect& rect) const override;
+  void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
+      override;
+  DenseMatrix<Score> solveReference() const override;
+  double blockOps(const CellRect& rect) const override;
+
+  /// Total weighted search cost of the optimal tree over all keys.
+  Score bestCost(const Window& solved) const;
+
+  /// w(i, j): total frequency of keys i..j.
+  Score weight(std::int64_t i, std::int64_t j) const;
+
+ private:
+  template <typename W>
+  void kernel(W& w, const CellRect& rect) const;
+
+  void buildPrefix();
+
+  std::vector<std::int32_t> freqs_;
+  std::vector<std::int64_t> prefix_;  // prefix_[k] = sum of freqs_[0..k)
+  std::int64_t n_ = 0;
+};
+
+}  // namespace easyhps

@@ -1,0 +1,132 @@
+#include "easyhps/dp/problem.hpp"
+
+#include <algorithm>
+
+namespace easyhps {
+
+CellRect boundingBox(const CellRect& block,
+                     const std::vector<CellRect>& halos) {
+  std::int64_t r0 = block.row0;
+  std::int64_t c0 = block.col0;
+  std::int64_t r1 = block.rowEnd();
+  std::int64_t c1 = block.colEnd();
+  for (const CellRect& h : halos) {
+    if (h.cellCount() == 0) {
+      continue;
+    }
+    r0 = std::min(r0, h.row0);
+    c0 = std::min(c0, h.col0);
+    r1 = std::max(r1, h.rowEnd());
+    c1 = std::max(c1, h.colEnd());
+  }
+  return CellRect{r0, c0, r1 - r0, c1 - c0};
+}
+
+PartitionedDag buildMasterDag(const DpProblem& problem,
+                              std::int64_t processPartitionRows,
+                              std::int64_t processPartitionCols) {
+  const BlockGrid grid(problem.rows(), problem.cols(), processPartitionRows,
+                       processPartitionCols);
+  return problem.masterDag(grid);
+}
+
+PartitionedDag buildSlaveDag(const DpProblem& problem,
+                             const CellRect& blockRect,
+                             std::int64_t threadPartitionRows,
+                             std::int64_t threadPartitionCols) {
+  return problem.slaveDagFor(blockRect, threadPartitionRows,
+                             threadPartitionCols);
+}
+
+PartitionedDag DpProblem::slaveDagFor(const CellRect& blockRect,
+                                      std::int64_t threadPartitionRows,
+                                      std::int64_t threadPartitionCols) const {
+  const DpProblem& problem = *this;
+  const BlockGrid grid(blockRect.rows, blockRect.cols, threadPartitionRows,
+                       threadPartitionCols);
+  const PatternKind kind = problem.slavePatternKind();
+  EASYHPS_CHECK(kind == PatternKind::kWavefront2D ||
+                    kind == PatternKind::kFlippedWavefront2D,
+                "slave-level pattern must be a wavefront variant");
+
+  auto active = [&](std::int64_t bi, std::int64_t bj) {
+    CellRect local = grid.blockRect(bi, bj);
+    local.row0 += blockRect.row0;
+    local.col0 += blockRect.col0;
+    return problem.rectActive(local);
+  };
+  PredsFn topo;
+  PredsFn data;
+  if (kind == PatternKind::kWavefront2D) {
+    topo = [](std::int64_t bi, std::int64_t bj) {
+      return std::vector<BlockCoord>{{bi - 1, bj}, {bi, bj - 1}};
+    };
+    data = [](std::int64_t bi, std::int64_t bj) {
+      return std::vector<BlockCoord>{
+          {bi - 1, bj}, {bi, bj - 1}, {bi - 1, bj - 1}};
+    };
+  } else {
+    topo = [](std::int64_t bi, std::int64_t bj) {
+      return std::vector<BlockCoord>{{bi + 1, bj}, {bi, bj - 1}};
+    };
+    data = [](std::int64_t bi, std::int64_t bj) {
+      return std::vector<BlockCoord>{
+          {bi + 1, bj}, {bi, bj - 1}, {bi + 1, bj - 1}};
+    };
+  }
+  PartitionedDag dag = makeCustom(grid, topo, data, active);
+  dag.kind = kind;
+  return dag;
+}
+
+CellRect slaveVertexRect(const PartitionedDag& slaveDag,
+                         const CellRect& blockRect, VertexId v) {
+  CellRect local = slaveDag.rectOf(v);
+  local.row0 += blockRect.row0;
+  local.col0 += blockRect.col0;
+  EASYHPS_ENSURES(local.rowEnd() <= blockRect.rowEnd());
+  EASYHPS_ENSURES(local.colEnd() <= blockRect.colEnd());
+  return local;
+}
+
+Window solveBlocked(const DpProblem& problem, std::int64_t partitionRows,
+                    std::int64_t partitionCols) {
+  const PartitionedDag dag =
+      buildMasterDag(problem, partitionRows, partitionCols);
+  Window w(CellRect{0, 0, problem.rows(), problem.cols()},
+           problem.boundaryFn());
+  for (VertexId v : dag.dag.topologicalOrder()) {
+    problem.computeBlock(w, dag.rectOf(v));
+  }
+  return w;
+}
+
+Window solveBlockedTwoLevel(const DpProblem& problem,
+                            std::int64_t processPartitionRows,
+                            std::int64_t processPartitionCols,
+                            std::int64_t threadPartitionRows,
+                            std::int64_t threadPartitionCols) {
+  const PartitionedDag master =
+      buildMasterDag(problem, processPartitionRows, processPartitionCols);
+  Window w(CellRect{0, 0, problem.rows(), problem.cols()},
+           problem.boundaryFn());
+  for (VertexId v : master.dag.topologicalOrder()) {
+    const CellRect blockRect = master.rectOf(v);
+    const PartitionedDag slave = buildSlaveDag(
+        problem, blockRect, threadPartitionRows, threadPartitionCols);
+    for (VertexId sv : slave.dag.topologicalOrder()) {
+      problem.computeBlock(w, slaveVertexRect(slave, blockRect, sv));
+    }
+  }
+  return w;
+}
+
+std::int64_t haloBytes(const DpProblem& problem, const CellRect& rect) {
+  std::int64_t cells = 0;
+  for (const CellRect& h : problem.haloFor(rect)) {
+    cells += h.cellCount();
+  }
+  return cells * static_cast<std::int64_t>(sizeof(Score));
+}
+
+}  // namespace easyhps

@@ -1,0 +1,148 @@
+#pragma once
+/// \file problem.hpp
+/// The user-facing DP problem abstraction.
+///
+/// To run a dynamic program under EasyHPS, a user implements `DpProblem`
+/// (or uses one of the shipped algorithms in this directory).  The
+/// interface mirrors the paper's Table I user API:
+///
+///  * `masterPatternKind` / `slavePatternKind` — the `dag_pattern_type`
+///    selected from the DAG Pattern Model library (§IV-C),
+///  * `haloFor`          — the `data_mapping_function` (which earlier data
+///    a sub-task's block needs),
+///  * `computeBlock`     — the `process` task function for a DAG vertex,
+///  * `boundary`         — virtual matrix edge cells (H[-1][j] etc.),
+///  * `blockOps`         — abstract work, consumed by the simulator's cost
+///    model (not part of the paper API; needed because our evaluation
+///    substrate is a simulator, see DESIGN.md).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "easyhps/dag/library.hpp"
+#include "easyhps/dp/sparse_window.hpp"
+#include "easyhps/dp/window.hpp"
+#include "easyhps/matrix/dense.hpp"
+
+namespace easyhps {
+
+class DpProblem {
+ public:
+  virtual ~DpProblem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Matrix dimensions (cells actually indexed by kernels).
+  virtual std::int64_t rows() const = 0;
+  virtual std::int64_t cols() const = 0;
+
+  /// Block-level precedence pattern at the master (process) level.
+  virtual PatternKind masterPatternKind() const = 0;
+
+  /// Sub-block precedence inside one master block (thread level).
+  /// Down-right wavefront problems keep the wavefront; triangular problems
+  /// flip it (cell (i,j) ← (i+1,j), (i,j-1)).
+  virtual PatternKind slavePatternKind() const = 0;
+
+  /// Boundary value for reads outside the matrix.
+  virtual Score boundary(std::int64_t r, std::int64_t c) const = 0;
+
+  /// Whether a cell inside the matrix is actually computed (triangular
+  /// problems leave the lower-left half untouched; such cells read as 0).
+  virtual bool cellActive(std::int64_t r, std::int64_t c) const {
+    (void)r;
+    (void)c;
+    return true;
+  }
+
+  /// True iff `rect` contains at least one active cell.
+  virtual bool rectActive(const CellRect& rect) const {
+    (void)rect;
+    return true;
+  }
+
+  /// Block-level DAG over `grid`.  The default dispatches into the DAG
+  /// Pattern Model library by masterPatternKind(); problems with
+  /// user-defined patterns (kUserDefined) override this with makeCustom —
+  /// the paper's "programmers should define and implement the DAG Pattern
+  /// Model by themselves" path (see examples/custom_pattern.cpp).
+  virtual PartitionedDag masterDag(const BlockGrid& grid) const {
+    return makeFromLibrary(masterPatternKind(), grid);
+  }
+
+  /// Thread-level DAG over one master block.  The default partitions the
+  /// block by slavePatternKind() (wavefront or flipped wavefront with the
+  /// problem's activity mask); stage DPs like Viterbi override it, e.g. to
+  /// force single-row sub-blocks (cells of one stage may not be split
+  /// across dependent sub-blocks).
+  virtual PartitionedDag slaveDagFor(const CellRect& blockRect,
+                                     std::int64_t threadPartitionRows,
+                                     std::int64_t threadPartitionCols) const;
+
+  /// Rectangles outside `rect` the kernel reads while computing `rect`
+  /// (the data-communication level of the DAG Data Driven Model).  Every
+  /// returned rect lies inside the matrix and is disjoint from `rect`.
+  virtual std::vector<CellRect> haloFor(const CellRect& rect) const = 0;
+
+  /// Computes every active cell of `rect` in a dependency-correct order.
+  /// All halo cells are readable through `w` when called.
+  virtual void computeBlock(Window& w, const CellRect& rect) const = 0;
+
+  /// Same kernel over a SparseWindow — the memory-bounded execution path
+  /// slaves use by default (RuntimeConfig::sparseSlaveWindows).  Problems
+  /// implement both by instantiating one kernel template twice, so the hot
+  /// loops stay devirtualized for either storage.
+  virtual void computeBlockSparse(SparseWindow& w,
+                                  const CellRect& rect) const = 0;
+
+  /// Straightforward textbook solution; the ground truth in tests.
+  virtual DenseMatrix<Score> solveReference() const = 0;
+
+  /// Abstract operation count for `rect` (simulator cost model).
+  virtual double blockOps(const CellRect& rect) const {
+    return static_cast<double>(rect.cellCount());
+  }
+
+  /// Boundary function bound to this problem (for constructing Windows).
+  BoundaryFn boundaryFn() const {
+    return [this](std::int64_t r, std::int64_t c) { return boundary(r, c); };
+  }
+};
+
+/// Builds the master-level (process) DAG for a problem.
+PartitionedDag buildMasterDag(const DpProblem& problem,
+                              std::int64_t processPartitionRows,
+                              std::int64_t processPartitionCols);
+
+/// Builds the slave-level (thread) DAG for one master block.  Vertices are
+/// sub-blocks of `blockRect` in *global* coordinates; inactive sub-blocks
+/// (entirely outside the problem's active region) are excluded.
+PartitionedDag buildSlaveDag(const DpProblem& problem,
+                             const CellRect& blockRect,
+                             std::int64_t threadPartitionRows,
+                             std::int64_t threadPartitionCols);
+
+/// Rectangle of the slave-DAG vertex `v` in global matrix coordinates.
+CellRect slaveVertexRect(const PartitionedDag& slaveDag,
+                         const CellRect& blockRect, VertexId v);
+
+/// Solves the problem serially through the *block* kernels, walking the
+/// master DAG in topological order over a whole-matrix window.  Exercises
+/// the exact code path the runtime distributes; used as a mid-level oracle
+/// between solveReference() and the full runtime.
+Window solveBlocked(const DpProblem& problem, std::int64_t partitionRows,
+                    std::int64_t partitionCols);
+
+/// Like solveBlocked but additionally partitions every master block with
+/// the slave DAG, mimicking the two-level decomposition end to end.
+Window solveBlockedTwoLevel(const DpProblem& problem,
+                            std::int64_t processPartitionRows,
+                            std::int64_t processPartitionCols,
+                            std::int64_t threadPartitionRows,
+                            std::int64_t threadPartitionCols);
+
+/// Total bytes of halo data shipped for a block (simulator + stats).
+std::int64_t haloBytes(const DpProblem& problem, const CellRect& rect);
+
+}  // namespace easyhps

@@ -1,0 +1,40 @@
+#include "easyhps/dp/sequence.hpp"
+
+#include "easyhps/util/error.hpp"
+#include "easyhps/util/rng.hpp"
+
+namespace easyhps {
+
+std::string randomSequence(std::int64_t length, std::uint64_t seed,
+                           const std::string& alphabet) {
+  EASYHPS_EXPECTS(length >= 0);
+  EASYHPS_EXPECTS(!alphabet.empty());
+  Rng rng(seed);
+  std::string s;
+  s.reserve(static_cast<std::size_t>(length));
+  for (std::int64_t i = 0; i < length; ++i) {
+    s.push_back(alphabet[rng.nextBelow(alphabet.size())]);
+  }
+  return s;
+}
+
+std::string randomRna(std::int64_t length, std::uint64_t seed) {
+  return randomSequence(length, seed, "AUCG");
+}
+
+bool rnaPairs(char a, char b) {
+  return (a == 'A' && b == 'U') || (a == 'U' && b == 'A') ||
+         (a == 'G' && b == 'C') || (a == 'C' && b == 'G') ||
+         (a == 'G' && b == 'U') || (a == 'U' && b == 'G');
+}
+
+std::int32_t hashWeight(std::int64_t i, std::int64_t j, std::uint64_t seed,
+                        std::int32_t bound) {
+  EASYHPS_EXPECTS(bound > 0);
+  SplitMix64 mixer(seed ^ (static_cast<std::uint64_t>(i) * 0x100000001B3ULL) ^
+                   (static_cast<std::uint64_t>(j) + 0x9E3779B97F4A7C15ULL));
+  return static_cast<std::int32_t>(mixer.next() %
+                                   static_cast<std::uint64_t>(bound));
+}
+
+}  // namespace easyhps

@@ -1,0 +1,33 @@
+#pragma once
+/// \file sequence.hpp
+/// Synthetic biological sequences and deterministic weight functions.
+///
+/// The paper evaluates on Smith-Waterman General Gap and Nussinov with
+/// random sequences of length 10000; real traces are not published, so the
+/// workload generator here produces seeded pseudo-random DNA/RNA sequences
+/// (the same substitution recorded in DESIGN.md).  Determinism matters:
+/// every experiment names a seed, so paper-figure benches are reproducible
+/// bit-for-bit.
+
+#include <cstdint>
+#include <string>
+
+namespace easyhps {
+
+/// Random sequence over `alphabet` (defaults to DNA).
+std::string randomSequence(std::int64_t length, std::uint64_t seed,
+                           const std::string& alphabet = "ACGT");
+
+/// Random RNA sequence (AUCG).
+std::string randomRna(std::int64_t length, std::uint64_t seed);
+
+/// True for Watson-Crick (A-U, G-C) and wobble (G-U) pairs.
+bool rnaPairs(char a, char b);
+
+/// Deterministic pseudo-random weight in [0, bound) for an (i, j) index
+/// pair; a stand-in for application weight tables (OBST frequencies,
+/// 2D/2D composition weights).  Pure function of (i, j, seed).
+std::int32_t hashWeight(std::int64_t i, std::int64_t j, std::uint64_t seed,
+                        std::int32_t bound);
+
+}  // namespace easyhps

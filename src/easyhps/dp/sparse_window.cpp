@@ -1,0 +1,78 @@
+#include "easyhps/dp/sparse_window.hpp"
+
+#include <algorithm>
+
+namespace easyhps {
+
+SparseWindow::SparseWindow(std::vector<CellRect> segments,
+                           BoundaryFn boundary)
+    : boundary_(std::move(boundary)) {
+  EASYHPS_EXPECTS(boundary_ != nullptr);
+  segments_.reserve(segments.size());
+  for (const CellRect& r : segments) {
+    if (r.cellCount() == 0) {
+      continue;
+    }
+    for (const Segment& existing : segments_) {
+      const bool disjoint = r.rowEnd() <= existing.rect.row0 ||
+                            existing.rect.rowEnd() <= r.row0 ||
+                            r.colEnd() <= existing.rect.col0 ||
+                            existing.rect.colEnd() <= r.col0;
+      EASYHPS_CHECK(disjoint, "SparseWindow segments overlap");
+    }
+    segments_.push_back(
+        Segment{r, std::vector<Score>(static_cast<std::size_t>(r.cellCount()),
+                                      Score{0})});
+  }
+  EASYHPS_CHECK(!segments_.empty(), "SparseWindow needs >= 1 segment");
+}
+
+const SparseWindow::Segment* SparseWindow::segmentContaining(
+    const CellRect& rect) const {
+  for (const Segment& s : segments_) {
+    if (rect.row0 >= s.rect.row0 && rect.rowEnd() <= s.rect.rowEnd() &&
+        rect.col0 >= s.rect.col0 && rect.colEnd() <= s.rect.colEnd()) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Score> SparseWindow::extract(const CellRect& rect) const {
+  const Segment* s = segmentContaining(rect);
+  EASYHPS_CHECK(s != nullptr,
+                "SparseWindow::extract rect spans no single segment");
+  std::vector<Score> out(static_cast<std::size_t>(rect.cellCount()));
+  for (std::int64_t r = 0; r < rect.rows; ++r) {
+    const Score* src = s->data.data() + s->index(rect.row0 + r, rect.col0);
+    std::copy(src, src + rect.cols,
+              out.begin() + static_cast<std::ptrdiff_t>(r * rect.cols));
+  }
+  return out;
+}
+
+void SparseWindow::inject(const CellRect& rect,
+                          const std::vector<Score>& values) {
+  EASYHPS_EXPECTS(static_cast<std::int64_t>(values.size()) ==
+                  rect.cellCount());
+  Segment* s = const_cast<Segment*>(segmentContaining(rect));
+  EASYHPS_CHECK(s != nullptr,
+                "SparseWindow::inject rect spans no single segment");
+  for (std::int64_t r = 0; r < rect.rows; ++r) {
+    std::copy(values.begin() + static_cast<std::ptrdiff_t>(r * rect.cols),
+              values.begin() + static_cast<std::ptrdiff_t>((r + 1) *
+                                                           rect.cols),
+              s->data.begin() + static_cast<std::ptrdiff_t>(
+                                    s->index(rect.row0 + r, rect.col0)));
+  }
+}
+
+std::int64_t SparseWindow::storedCells() const {
+  std::int64_t total = 0;
+  for (const Segment& s : segments_) {
+    total += s.rect.cellCount();
+  }
+  return total;
+}
+
+}  // namespace easyhps

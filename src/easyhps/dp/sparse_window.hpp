@@ -1,0 +1,95 @@
+#pragma once
+/// \file sparse_window.hpp
+/// Segment-backed score window — the memory fix for the paper's stated
+/// limitation ("EasyHPS consumes a lot of memories", §VII future work).
+///
+/// A slave computing block (bi, bj) of SWGG needs halo strips reaching all
+/// the way to the matrix edges; the *bounding box* of block + halo is
+/// nearly the whole upper-left quadrant, so a dense `Window` over it costs
+/// O(i·j) cells even though only O(block + strips) are ever touched.  For
+/// seq_len = 10000 with 200-cell blocks that is ~400 MB dense vs ~16 MB
+/// sparse for the worst block.
+///
+/// `SparseWindow` stores exactly the declared segments (the block itself
+/// plus each halo rectangle) and answers reads by locating the containing
+/// segment — a linear scan over a handful of rects, branch-predicted in
+/// hot kernels.  Reads outside every segment fall back to the boundary
+/// function, preserving `Window` semantics for triangular problems whose
+/// inactive cells read as 0.
+
+#include <cstdint>
+#include <vector>
+
+#include "easyhps/dp/window.hpp"
+#include "easyhps/matrix/geometry.hpp"
+
+namespace easyhps {
+
+class SparseWindow {
+ public:
+  /// Creates a window with one zero-initialized segment per rect.
+  /// Segments must be pairwise disjoint (checked).
+  SparseWindow(std::vector<CellRect> segments, BoundaryFn boundary);
+
+  /// Read cell (r, c); boundary fallback outside all segments.
+  Score get(std::int64_t r, std::int64_t c) const {
+    // The most recently touched segment is checked first: DP kernels read
+    // in runs within one segment (own block, then one halo strip).
+    const auto n = segments_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = (last_hit_ + k) % n;
+      const Segment& s = segments_[idx];
+      if (s.rect.contains(r, c)) {
+        last_hit_ = idx;
+        return s.data[s.index(r, c)];
+      }
+    }
+    return boundary_(r, c);
+  }
+
+  /// Write cell (r, c); must fall into some segment.
+  void set(std::int64_t r, std::int64_t c, Score v) {
+    const auto n = segments_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = (last_hit_ + k) % n;
+      Segment& s = segments_[idx];
+      if (s.rect.contains(r, c)) {
+        last_hit_ = idx;
+        s.data[s.index(r, c)] = v;
+        return;
+      }
+    }
+    throw LogicError("SparseWindow::set outside every segment: (" +
+                     std::to_string(r) + "," + std::to_string(c) + ")");
+  }
+
+  /// Copies `rect` (must lie within a single segment) to a flat buffer.
+  std::vector<Score> extract(const CellRect& rect) const;
+
+  /// Writes a flat buffer into `rect` (must lie within a single segment).
+  void inject(const CellRect& rect, const std::vector<Score>& values);
+
+  /// Cells actually stored (the memory footprint).
+  std::int64_t storedCells() const;
+
+  std::size_t segmentCount() const { return segments_.size(); }
+
+ private:
+  struct Segment {
+    CellRect rect;
+    std::vector<Score> data;
+
+    std::size_t index(std::int64_t r, std::int64_t c) const {
+      return static_cast<std::size_t>((r - rect.row0) * rect.cols +
+                                      (c - rect.col0));
+    }
+  };
+
+  const Segment* segmentContaining(const CellRect& rect) const;
+
+  std::vector<Segment> segments_;
+  BoundaryFn boundary_;
+  mutable std::size_t last_hit_ = 0;
+};
+
+}  // namespace easyhps

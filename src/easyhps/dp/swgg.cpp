@@ -1,0 +1,142 @@
+#include "easyhps/dp/swgg.hpp"
+
+#include <algorithm>
+
+namespace easyhps {
+
+GapFn affineGap(Score open, Score extend) {
+  return [open, extend](std::int64_t k) {
+    return static_cast<Score>(open + extend * (k - 1));
+  };
+}
+
+SmithWatermanGeneralGap::SmithWatermanGeneralGap(std::string a, std::string b)
+    : SmithWatermanGeneralGap(std::move(a), std::move(b), Params{}) {}
+
+SmithWatermanGeneralGap::SmithWatermanGeneralGap(std::string a, std::string b,
+                                                 Params params)
+    : a_(std::move(a)), b_(std::move(b)), params_(std::move(params)) {
+  EASYHPS_EXPECTS(!a_.empty() && !b_.empty());
+  if (!params_.gap) {
+    params_.gap = affineGap(2, 1);
+  }
+}
+
+std::int64_t SmithWatermanGeneralGap::rows() const {
+  return static_cast<std::int64_t>(a_.size());
+}
+
+std::int64_t SmithWatermanGeneralGap::cols() const {
+  return static_cast<std::int64_t>(b_.size());
+}
+
+Score SmithWatermanGeneralGap::boundary(std::int64_t r, std::int64_t c) const {
+  if (r < 0 || c < 0) {
+    return 0;  // H[0][*] = H[*][0] = 0 for local alignment
+  }
+  throw LogicError("SWGG::boundary: in-matrix read of " + std::to_string(r) +
+                   "," + std::to_string(c) + " — halo missing");
+}
+
+std::vector<CellRect> SmithWatermanGeneralGap::haloFor(
+    const CellRect& rect) const {
+  // General gap: the vertical scan of any cell reaches every row above the
+  // block (same columns), the horizontal scan every column to its left
+  // (same rows); the diagonal term additionally needs the single corner.
+  std::vector<CellRect> halos;
+  if (rect.row0 > 0) {
+    halos.push_back(CellRect{0, rect.col0, rect.row0, rect.cols});
+  }
+  if (rect.col0 > 0) {
+    halos.push_back(CellRect{rect.row0, 0, rect.rows, rect.col0});
+  }
+  if (rect.row0 > 0 && rect.col0 > 0) {
+    halos.push_back(CellRect{rect.row0 - 1, rect.col0 - 1, 1, 1});
+  }
+  return halos;
+}
+
+template <typename W>
+void SmithWatermanGeneralGap::kernel(W& w, const CellRect& rect) const {
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
+      Score best = 0;
+      best = std::max(best,
+                      static_cast<Score>(w.get(r - 1, c - 1) +
+                                         substitution(r, c)));
+      for (std::int64_t k = 1; k <= r + 1; ++k) {
+        best = std::max(best,
+                        static_cast<Score>(w.get(r - k, c) - params_.gap(k)));
+      }
+      for (std::int64_t l = 1; l <= c + 1; ++l) {
+        best = std::max(best,
+                        static_cast<Score>(w.get(r, c - l) - params_.gap(l)));
+      }
+      w.set(r, c, best);
+    }
+  }
+}
+
+void SmithWatermanGeneralGap::computeBlock(Window& w,
+                                           const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+void SmithWatermanGeneralGap::computeBlockSparse(SparseWindow& w,
+                                                 const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+DenseMatrix<Score> SmithWatermanGeneralGap::solveReference() const {
+  const std::int64_t n = rows();
+  const std::int64_t m = cols();
+  DenseMatrix<Score> h(n, m);
+  auto get = [&h](std::int64_t r, std::int64_t c) -> Score {
+    return (r < 0 || c < 0) ? 0 : h.at(r, c);
+  };
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < m; ++c) {
+      Score best = 0;
+      best = std::max(best,
+                      static_cast<Score>(get(r - 1, c - 1) +
+                                         substitution(r, c)));
+      for (std::int64_t k = 1; k <= r + 1; ++k) {
+        best =
+            std::max(best, static_cast<Score>(get(r - k, c) - params_.gap(k)));
+      }
+      for (std::int64_t l = 1; l <= c + 1; ++l) {
+        best =
+            std::max(best, static_cast<Score>(get(r, c - l) - params_.gap(l)));
+      }
+      h.at(r, c) = best;
+    }
+  }
+  return h;
+}
+
+double SmithWatermanGeneralGap::blockOps(const CellRect& rect) const {
+  // sum over the rect of (i + j + 2): two scans of combined length i+j+2.
+  const auto sumRange = [](std::int64_t lo, std::int64_t count) {
+    // lo + (lo+1) + ... + (lo+count-1)
+    return static_cast<double>(count) *
+           (static_cast<double>(lo) + static_cast<double>(lo + count - 1)) /
+           2.0;
+  };
+  const double sumI = sumRange(rect.row0, rect.rows);
+  const double sumJ = sumRange(rect.col0, rect.cols);
+  return sumI * static_cast<double>(rect.cols) +
+         sumJ * static_cast<double>(rect.rows) +
+         2.0 * static_cast<double>(rect.cellCount());
+}
+
+Score SmithWatermanGeneralGap::bestScore(const Window& solved) const {
+  Score best = 0;
+  for (std::int64_t r = 0; r < rows(); ++r) {
+    for (std::int64_t c = 0; c < cols(); ++c) {
+      best = std::max(best, solved.get(r, c));
+    }
+  }
+  return best;
+}
+
+}  // namespace easyhps

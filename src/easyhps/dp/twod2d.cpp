@@ -1,0 +1,114 @@
+#include "easyhps/dp/twod2d.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "easyhps/dp/sequence.hpp"
+
+namespace easyhps {
+
+TwoDTwoD::TwoDTwoD(std::int64_t n, std::uint64_t seed, std::int32_t maxWeight)
+    : n_(n), seed_(seed), max_weight_(maxWeight) {
+  EASYHPS_EXPECTS(n > 0);
+  EASYHPS_EXPECTS(maxWeight >= 1);
+}
+
+Score TwoDTwoD::w(std::int64_t a, std::int64_t b) const {
+  // Salted differently from the boundary inits so the two tables are
+  // independent pseudo-random functions of the same seed.
+  return hashWeight(a, b, seed_ ^ 0x2D2DULL, max_weight_);
+}
+
+Score TwoDTwoD::boundary(std::int64_t r, std::int64_t c) const {
+  // Given first row / column of the (n+1)×(n+1) paper matrix.
+  if (r < 0 && c < 0) {
+    return hashWeight(0, 0, seed_, max_weight_);
+  }
+  if (r < 0) {
+    return hashWeight(0, c + 1, seed_, max_weight_);
+  }
+  if (c < 0) {
+    return hashWeight(r + 1, 0, seed_, max_weight_);
+  }
+  throw LogicError("TwoDTwoD::boundary: in-matrix read — halo missing");
+}
+
+std::vector<CellRect> TwoDTwoD::haloFor(const CellRect& rect) const {
+  // Cell (r, c) reads every cell (r', c') with r' < r and c' < c, so the
+  // block needs everything above it (all columns < colEnd-1 suffice; we
+  // ship the full-width strip for regular shape) and everything to its
+  // left in its own row range.
+  std::vector<CellRect> halos;
+  if (rect.row0 > 0) {
+    halos.push_back(CellRect{0, 0, rect.row0,
+                             std::min(rect.colEnd(), n_)});
+  }
+  if (rect.col0 > 0) {
+    halos.push_back(CellRect{rect.row0, 0, rect.rows, rect.col0});
+  }
+  return halos;
+}
+
+template <typename W>
+void TwoDTwoD::kernel(W& win, const CellRect& rect) const {
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
+      // D[i][j] with i = r+1, j = c+1: min over i' in [0, i), j' in [0, j).
+      Score best = std::numeric_limits<Score>::max();
+      const std::int64_t i = r + 1;
+      const std::int64_t j = c + 1;
+      for (std::int64_t ip = 0; ip < i; ++ip) {
+        for (std::int64_t jp = 0; jp < j; ++jp) {
+          const Score prev = win.get(ip - 1, jp - 1);
+          best = std::min(best,
+                          static_cast<Score>(prev + w(ip + jp, i + j)));
+        }
+      }
+      win.set(r, c, best);
+    }
+  }
+}
+
+void TwoDTwoD::computeBlock(Window& win, const CellRect& rect) const {
+  kernel(win, rect);
+}
+
+void TwoDTwoD::computeBlockSparse(SparseWindow& win,
+                                  const CellRect& rect) const {
+  kernel(win, rect);
+}
+
+DenseMatrix<Score> TwoDTwoD::solveReference() const {
+  DenseMatrix<Score> m(n_, n_, 0);
+  auto get = [&](std::int64_t r, std::int64_t c) -> Score {
+    return (r >= 0 && c >= 0) ? m.at(r, c) : boundary(r, c);
+  };
+  for (std::int64_t r = 0; r < n_; ++r) {
+    for (std::int64_t c = 0; c < n_; ++c) {
+      Score best = std::numeric_limits<Score>::max();
+      const std::int64_t i = r + 1;
+      const std::int64_t j = c + 1;
+      for (std::int64_t ip = 0; ip < i; ++ip) {
+        for (std::int64_t jp = 0; jp < j; ++jp) {
+          best = std::min(best, static_cast<Score>(get(ip - 1, jp - 1) +
+                                                   w(ip + jp, i + j)));
+        }
+      }
+      m.at(r, c) = best;
+    }
+  }
+  return m;
+}
+
+double TwoDTwoD::blockOps(const CellRect& rect) const {
+  // sum over rect of (r+1)(c+1).
+  const auto sumRange = [](std::int64_t lo, std::int64_t count) {
+    return static_cast<double>(count) *
+           (static_cast<double>(lo) + static_cast<double>(lo + count - 1)) /
+           2.0;
+  };
+  return sumRange(rect.row0 + 1, rect.rows) * sumRange(rect.col0 + 1,
+                                                       rect.cols);
+}
+
+}  // namespace easyhps

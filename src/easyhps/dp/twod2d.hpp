@@ -1,0 +1,58 @@
+#pragma once
+/// \file twod2d.hpp
+/// Generic 2D/2D recurrence — the paper's Algorithm 4.3:
+///
+///   D[i][j] = min_{0<=i'<i, 0<=j'<j} ( D[i'][j'] + w(i'+j', i+j) )
+///
+/// for 1 <= i, j <= n, with the first row D[0][j] and first column D[i][0]
+/// given.  Every cell depends on the entire dominated rectangle, so this is
+/// the heaviest data-dependency class (O(n^2) cells each reading O(n^2)
+/// cells); the library keeps it for pattern coverage and tests at small n.
+///
+/// Matrix cell (r, c) stores D[r+1][c+1]; the given first row/column are
+/// boundary cells: boundary(r, -1) = D[r+1][0], boundary(-1, c) = D[0][c+1],
+/// boundary(-1, -1) = D[0][0].  Inits and w are seeded pseudo-random.
+
+#include <cstdint>
+
+#include "easyhps/dp/problem.hpp"
+
+namespace easyhps {
+
+class TwoDTwoD final : public DpProblem {
+ public:
+  /// n×n interior; inits and weights derived deterministically from seed.
+  TwoDTwoD(std::int64_t n, std::uint64_t seed, std::int32_t maxWeight = 16);
+
+  std::string name() const override { return "2d2d"; }
+  std::int64_t rows() const override { return n_; }
+  std::int64_t cols() const override { return n_; }
+  PatternKind masterPatternKind() const override {
+    return PatternKind::kFull2D2D;
+  }
+  PatternKind slavePatternKind() const override {
+    return PatternKind::kWavefront2D;
+  }
+  Score boundary(std::int64_t r, std::int64_t c) const override;
+  std::vector<CellRect> haloFor(const CellRect& rect) const override;
+  void computeBlock(Window& w, const CellRect& rect) const override;
+  void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
+      override;
+  DenseMatrix<Score> solveReference() const override;
+
+  /// Per-cell work is Θ(i·j): the whole dominated rectangle is scanned.
+  double blockOps(const CellRect& rect) const override;
+
+  /// w(a, b) for anti-diagonal indices a < b.
+  Score w(std::int64_t a, std::int64_t b) const;
+
+ private:
+  template <typename W>
+  void kernel(W& w, const CellRect& rect) const;
+
+  std::int64_t n_;
+  std::uint64_t seed_;
+  std::int32_t max_weight_;
+};
+
+}  // namespace easyhps

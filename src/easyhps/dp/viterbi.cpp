@@ -1,0 +1,143 @@
+#include "easyhps/dp/viterbi.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "easyhps/dp/sequence.hpp"
+
+namespace easyhps {
+
+Viterbi::Viterbi(std::int64_t steps, std::int64_t states, std::uint64_t seed)
+    : steps_(steps), states_(states), seed_(seed) {
+  EASYHPS_EXPECTS(steps > 0);
+  EASYHPS_EXPECTS(states > 0);
+}
+
+Score Viterbi::trans(std::int64_t from, std::int64_t to) const {
+  // Non-positive log-probabilities in [-8, 0].
+  return static_cast<Score>(-hashWeight(from, to, seed_ ^ 0x7117ULL, 9));
+}
+
+Score Viterbi::emit(std::int64_t t, std::int64_t s) const {
+  return static_cast<Score>(-hashWeight(t, s, seed_ ^ 0xE317ULL, 9));
+}
+
+Score Viterbi::prior(std::int64_t s) const {
+  return static_cast<Score>(-hashWeight(s, s, seed_ ^ 0x9121ULL, 9));
+}
+
+PartitionedDag Viterbi::masterDag(const BlockGrid& grid) const {
+  // Force full-width blocks: keep the requested row granularity, span all
+  // states.  Column-split blocks would cycle (see header).
+  const BlockGrid full(grid.rows(), grid.cols(), grid.blockRows(),
+                       grid.cols());
+  return makeRowDependent2D(full);
+}
+
+PartitionedDag Viterbi::slaveDagFor(const CellRect& blockRect,
+                                    std::int64_t threadPartitionRows,
+                                    std::int64_t threadPartitionCols) const {
+  (void)threadPartitionRows;  // stage sub-blocks are forced to 1 row
+  const BlockGrid grid(blockRect.rows, blockRect.cols, 1,
+                       threadPartitionCols);
+  return makeRowDependent2D(grid);
+}
+
+Score Viterbi::boundary(std::int64_t r, std::int64_t c) const {
+  if (r < 0 && c >= 0 && c < states_) {
+    return prior(c);
+  }
+  throw LogicError("Viterbi::boundary: unexpected read at (" +
+                   std::to_string(r) + "," + std::to_string(c) + ")");
+}
+
+std::vector<CellRect> Viterbi::haloFor(const CellRect& rect) const {
+  // Blocks span all states, so the only external data is the previous
+  // stage row (full width).
+  EASYHPS_CHECK(rect.col0 == 0 && rect.cols == states_,
+                "Viterbi blocks must span the full state axis");
+  std::vector<CellRect> halos;
+  if (rect.row0 > 0) {
+    halos.push_back(CellRect{rect.row0 - 1, 0, 1, states_});
+  }
+  return halos;
+}
+
+template <typename W>
+void Viterbi::kernel(W& w, const CellRect& rect) const {
+  for (std::int64_t t = rect.row0; t < rect.rowEnd(); ++t) {
+    for (std::int64_t s = rect.col0; s < rect.colEnd(); ++s) {
+      Score best = std::numeric_limits<Score>::min();
+      for (std::int64_t p = 0; p < states_; ++p) {
+        best = std::max(best,
+                        static_cast<Score>(w.get(t - 1, p) + trans(p, s)));
+      }
+      w.set(t, s, static_cast<Score>(best + emit(t, s)));
+    }
+  }
+}
+
+void Viterbi::computeBlock(Window& w, const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+void Viterbi::computeBlockSparse(SparseWindow& w, const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+DenseMatrix<Score> Viterbi::solveReference() const {
+  DenseMatrix<Score> m(steps_, states_);
+  for (std::int64_t t = 0; t < steps_; ++t) {
+    for (std::int64_t s = 0; s < states_; ++s) {
+      Score best = std::numeric_limits<Score>::min();
+      for (std::int64_t p = 0; p < states_; ++p) {
+        const Score prev = t > 0 ? m.at(t - 1, p) : prior(p);
+        best = std::max(best, static_cast<Score>(prev + trans(p, s)));
+      }
+      m.at(t, s) = static_cast<Score>(best + emit(t, s));
+    }
+  }
+  return m;
+}
+
+double Viterbi::blockOps(const CellRect& rect) const {
+  return static_cast<double>(rect.cellCount()) *
+         static_cast<double>(states_);
+}
+
+Score Viterbi::bestScore(const Window& solved) const {
+  Score best = std::numeric_limits<Score>::min();
+  for (std::int64_t s = 0; s < states_; ++s) {
+    best = std::max(best, solved.get(steps_ - 1, s));
+  }
+  return best;
+}
+
+std::vector<std::int64_t> Viterbi::bestPath(const Window& solved) const {
+  std::vector<std::int64_t> path(static_cast<std::size_t>(steps_), 0);
+  // Final state: argmax of the last stage.
+  Score best = std::numeric_limits<Score>::min();
+  for (std::int64_t s = 0; s < states_; ++s) {
+    if (solved.get(steps_ - 1, s) > best) {
+      best = solved.get(steps_ - 1, s);
+      path[static_cast<std::size_t>(steps_ - 1)] = s;
+    }
+  }
+  // Walk backwards choosing a consistent predecessor.
+  for (std::int64_t t = steps_ - 1; t > 0; --t) {
+    const std::int64_t s = path[static_cast<std::size_t>(t)];
+    const Score target =
+        static_cast<Score>(solved.get(t, s) - emit(t, s));
+    bool found = false;
+    for (std::int64_t p = 0; p < states_ && !found; ++p) {
+      if (static_cast<Score>(solved.get(t - 1, p) + trans(p, s)) == target) {
+        path[static_cast<std::size_t>(t - 1)] = p;
+        found = true;
+      }
+    }
+    EASYHPS_CHECK(found, "Viterbi traceback: inconsistent matrix");
+  }
+  return path;
+}
+
+}  // namespace easyhps

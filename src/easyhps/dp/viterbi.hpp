@@ -1,0 +1,81 @@
+#pragma once
+/// \file viterbi.hpp
+/// Viterbi decoding of a hidden Markov model — the library's staged
+/// (kRowDependent2D) DP: every cell of stage t reads the *entire* previous
+/// stage.
+///
+///   V[t][s] = emit(t, s) + max_{s'} ( V[t-1][s'] + trans(s', s) )
+///
+/// in log space (all scores are non-positive integers), with
+/// V[-1][s] = prior(s).  Matrix rows are time steps, columns are states.
+///
+/// Staged DPs constrain partitioning: a block spanning several stages and a
+/// *subset* of states would both need and feed its same-stage siblings —
+/// a cycle at block level.  Master blocks therefore span all states
+/// (masterDag overrides the grid to full width) and the slave DAG forces
+/// single-stage sub-blocks (slaveDagFor override) — the library's
+/// kRowDependent2D pattern keeps each stage's sub-blocks fully parallel.
+///
+/// The HMM (transition/emission/prior tables) is seeded pseudo-random, the
+/// synthetic stand-in for application models per DESIGN.md.
+
+#include <cstdint>
+#include <vector>
+
+#include "easyhps/dp/problem.hpp"
+
+namespace easyhps {
+
+class Viterbi final : public DpProblem {
+ public:
+  /// `steps` observations over `states` hidden states; tables from `seed`.
+  Viterbi(std::int64_t steps, std::int64_t states, std::uint64_t seed);
+
+  std::string name() const override { return "viterbi"; }
+  std::int64_t rows() const override { return steps_; }
+  std::int64_t cols() const override { return states_; }
+  PatternKind masterPatternKind() const override {
+    return PatternKind::kRowDependent2D;
+  }
+  PatternKind slavePatternKind() const override {
+    return PatternKind::kRowDependent2D;
+  }
+
+  /// Master blocks must span the full state axis (see file comment).
+  PartitionedDag masterDag(const BlockGrid& grid) const override;
+
+  /// Sub-blocks must be single-stage (1 row of cells).
+  PartitionedDag slaveDagFor(const CellRect& blockRect,
+                             std::int64_t threadPartitionRows,
+                             std::int64_t threadPartitionCols) const override;
+
+  Score boundary(std::int64_t r, std::int64_t c) const override;
+  std::vector<CellRect> haloFor(const CellRect& rect) const override;
+  void computeBlock(Window& w, const CellRect& rect) const override;
+  void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
+      override;
+  DenseMatrix<Score> solveReference() const override;
+
+  /// Per-cell work is Θ(states).
+  double blockOps(const CellRect& rect) const override;
+
+  /// Log-probability of the best path.
+  Score bestScore(const Window& solved) const;
+
+  /// The most likely state sequence, via traceback.
+  std::vector<std::int64_t> bestPath(const Window& solved) const;
+
+  Score trans(std::int64_t from, std::int64_t to) const;
+  Score emit(std::int64_t t, std::int64_t s) const;
+  Score prior(std::int64_t s) const;
+
+ private:
+  template <typename W>
+  void kernel(W& w, const CellRect& rect) const;
+
+  std::int64_t steps_;
+  std::int64_t states_;
+  std::uint64_t seed_;
+};
+
+}  // namespace easyhps

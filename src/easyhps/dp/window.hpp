@@ -1,0 +1,105 @@
+#pragma once
+/// \file window.hpp
+/// Global-indexed score window backing block computation.
+///
+/// A slave computes one block of the DP matrix but its kernel reads cells
+/// outside the block (the halo shipped by the master, paper Fig 7b) and —
+/// at the matrix edges — virtual boundary cells (e.g. H[-1][j] = 0 for
+/// Smith-Waterman, D[i][-1] = i+1 for edit distance).  `Window` hides all
+/// three cases behind global matrix coordinates: storage covers a bounding
+/// box (the block plus injected halo rectangles); reads outside the box are
+/// answered by the problem's boundary function.  The master's full matrix
+/// is simply a Window whose box is the whole matrix, so the exact same
+/// kernels run serially, in the slave thread pool, and in tests.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "easyhps/matrix/geometry.hpp"
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+
+/// DP cell value.  32-bit is ample for the library's problems (scores are
+/// bounded by matrix size × max weight) and halves wire traffic vs 64-bit.
+using Score = std::int32_t;
+
+/// Answers reads outside the stored box (virtual boundary cells).
+using BoundaryFn = std::function<Score(std::int64_t r, std::int64_t c)>;
+
+class Window {
+ public:
+  /// Creates a zero-initialized window over `box`.
+  Window(CellRect box, BoundaryFn boundary)
+      : box_(box), boundary_(std::move(boundary)),
+        data_(static_cast<std::size_t>(box.cellCount()), Score{0}) {
+    EASYHPS_EXPECTS(box.rows >= 0 && box.cols >= 0);
+    EASYHPS_EXPECTS(boundary_ != nullptr);
+  }
+
+  const CellRect& box() const { return box_; }
+
+  bool inBox(std::int64_t r, std::int64_t c) const {
+    return box_.contains(r, c);
+  }
+
+  /// Read cell (r, c) in global coordinates.
+  Score get(std::int64_t r, std::int64_t c) const {
+    if (inBox(r, c)) {
+      return data_[index(r, c)];
+    }
+    return boundary_(r, c);
+  }
+
+  /// Write cell (r, c); must be inside the box.
+  void set(std::int64_t r, std::int64_t c, Score v) {
+    EASYHPS_EXPECTS(inBox(r, c));
+    data_[index(r, c)] = v;
+  }
+
+  /// Copies a rectangle (must be fully inside the box) to a flat buffer.
+  std::vector<Score> extract(const CellRect& rect) const {
+    EASYHPS_EXPECTS(rect.row0 >= box_.row0 && rect.rowEnd() <= box_.rowEnd());
+    EASYHPS_EXPECTS(rect.col0 >= box_.col0 && rect.colEnd() <= box_.colEnd());
+    std::vector<Score> out(static_cast<std::size_t>(rect.cellCount()));
+    for (std::int64_t r = 0; r < rect.rows; ++r) {
+      const Score* src = data_.data() + index(rect.row0 + r, rect.col0);
+      std::copy(src, src + rect.cols,
+                out.begin() + static_cast<std::ptrdiff_t>(r * rect.cols));
+    }
+    return out;
+  }
+
+  /// Writes a flat buffer into a rectangle fully inside the box.
+  void inject(const CellRect& rect, const std::vector<Score>& values) {
+    EASYHPS_EXPECTS(rect.row0 >= box_.row0 && rect.rowEnd() <= box_.rowEnd());
+    EASYHPS_EXPECTS(rect.col0 >= box_.col0 && rect.colEnd() <= box_.colEnd());
+    EASYHPS_EXPECTS(static_cast<std::int64_t>(values.size()) ==
+                    rect.cellCount());
+    for (std::int64_t r = 0; r < rect.rows; ++r) {
+      std::copy(values.begin() + static_cast<std::ptrdiff_t>(r * rect.cols),
+                values.begin() +
+                    static_cast<std::ptrdiff_t>((r + 1) * rect.cols),
+                data_.begin() +
+                    static_cast<std::ptrdiff_t>(index(rect.row0 + r,
+                                                      rect.col0)));
+    }
+  }
+
+ private:
+  std::size_t index(std::int64_t r, std::int64_t c) const {
+    return static_cast<std::size_t>((r - box_.row0) * box_.cols +
+                                    (c - box_.col0));
+  }
+
+  CellRect box_;
+  BoundaryFn boundary_;
+  std::vector<Score> data_;
+};
+
+/// Bounding box of a block rectangle and its halo rectangles.
+CellRect boundingBox(const CellRect& block,
+                     const std::vector<CellRect>& halos);
+
+}  // namespace easyhps

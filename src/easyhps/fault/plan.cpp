@@ -1,0 +1,57 @@
+#include "easyhps/fault/plan.hpp"
+
+namespace easyhps::fault {
+
+bool FaultPlan::matchAndConsume(FaultKind kind, VertexId vertex, int slave,
+                                VertexId subVertex,
+                                std::chrono::milliseconds* delay) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = specs_.begin(); it != specs_.end(); ++it) {
+    if (it->kind != kind) {
+      continue;
+    }
+    if (it->vertex != vertex) {
+      continue;
+    }
+    if (it->slave != -1 && it->slave != slave) {
+      continue;
+    }
+    if (kind == FaultKind::kThreadCrash && it->subVertex != -1 &&
+        it->subVertex != subVertex) {
+      continue;
+    }
+    if (delay != nullptr) {
+      *delay = it->delay;
+    }
+    specs_.erase(it);
+    ++triggered_;
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlan::consumeBlackhole(VertexId vertex, int slave) {
+  return matchAndConsume(FaultKind::kTaskBlackhole, vertex, slave, -1,
+                         nullptr);
+}
+
+std::chrono::milliseconds FaultPlan::consumeDelay(VertexId vertex, int slave) {
+  std::chrono::milliseconds delay{0};
+  if (matchAndConsume(FaultKind::kTaskDelay, vertex, slave, -1, &delay)) {
+    return delay;
+  }
+  return std::chrono::milliseconds{0};
+}
+
+bool FaultPlan::consumeThreadCrash(VertexId vertex, int slave,
+                                   VertexId subVertex) {
+  return matchAndConsume(FaultKind::kThreadCrash, vertex, slave, subVertex,
+                         nullptr);
+}
+
+std::int64_t FaultPlan::triggered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return triggered_;
+}
+
+}  // namespace easyhps::fault

@@ -1,0 +1,85 @@
+#pragma once
+/// \file plan.hpp
+/// Deterministic fault injection (paper §V fault tolerance, evaluated in
+/// ablation B).
+///
+/// Tianhe-1A hardware faults are obviously not reproducible here, so the
+/// repo substitutes *planned* faults that exercise the same recovery paths:
+///
+///  * `kTaskBlackhole` — a slave silently discards an assigned sub-task
+///    (a crashed/partitioned node).  Detected by the master overtime queue,
+///    recovered by cancelling the registration and re-distributing.
+///  * `kTaskDelay` — a slave completes a sub-task but replies late (a slow
+///    or flaky node).  Exercises late-result handling: the re-distributed
+///    copy and the late reply race; completion must stay idempotent.
+///  * `kThreadCrash` — a computing thread throws while executing a
+///    sub-sub-task.  Detected in the slave pool, recovered by restarting
+///    the thread and re-queueing the sub-sub-task (paper §V-C step h).
+///
+/// Every fault triggers at most once (consume-on-match), which makes
+/// recovery terminate deterministically.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "easyhps/dag/pattern.hpp"
+
+namespace easyhps::fault {
+
+enum class FaultKind { kTaskBlackhole, kTaskDelay, kThreadCrash };
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTaskBlackhole;
+  /// Master-DAG vertex (for task faults) or slave-DAG vertex (thread
+  /// crashes, matched together with `vertex` = the enclosing task).
+  VertexId vertex = -1;
+  /// Slave rank the fault binds to; -1 = any slave.
+  int slave = -1;
+  /// For kThreadCrash: which sub-sub-task inside the task; -1 = first one.
+  VertexId subVertex = -1;
+  /// For kTaskDelay: how late the reply is.
+  std::chrono::milliseconds delay{0};
+};
+
+/// Thrown by a computing thread hit by kThreadCrash.
+class InjectedThreadCrash : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "injected computing-thread crash";
+  }
+};
+
+/// A consumable list of fault specs.  Thread-safe; shared by all simulated
+/// nodes of one run.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultSpec> specs) : specs_(std::move(specs)) {}
+
+  void add(FaultSpec spec) { specs_.push_back(spec); }
+  bool empty() const { return specs_.empty(); }
+
+  /// Consumes a blackhole fault matching (vertex, slave), if present.
+  bool consumeBlackhole(VertexId vertex, int slave);
+
+  /// Consumes a delay fault; returns the delay (0 = no fault).
+  std::chrono::milliseconds consumeDelay(VertexId vertex, int slave);
+
+  /// Consumes a thread-crash fault for (task, subVertex) on `slave`.
+  bool consumeThreadCrash(VertexId vertex, int slave, VertexId subVertex);
+
+  /// Number of faults consumed so far.
+  std::int64_t triggered() const;
+
+ private:
+  bool matchAndConsume(FaultKind kind, VertexId vertex, int slave,
+                       VertexId subVertex, std::chrono::milliseconds* delay);
+
+  mutable std::mutex mutex_;
+  std::vector<FaultSpec> specs_;
+  std::int64_t triggered_ = 0;
+};
+
+}  // namespace easyhps::fault

@@ -1,0 +1,91 @@
+#pragma once
+/// \file dense.hpp
+/// Dense row-major matrix with rectangle extraction/injection.
+///
+/// The master holds the full DP matrix; slaves receive halo rectangles with
+/// each sub-task and return the computed block rectangle.  `extract` /
+/// `inject` are the primitives behind that data-communication level of the
+/// DAG Data Driven Model (paper Fig 7b).
+
+#include <cstdint>
+#include <vector>
+
+#include "easyhps/matrix/geometry.hpp"
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  DenseMatrix(std::int64_t rows, std::int64_t cols, T fill = T{})
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), fill) {
+    EASYHPS_EXPECTS(rows >= 0 && cols >= 0);
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  T& at(std::int64_t r, std::int64_t c) {
+    EASYHPS_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  const T& at(std::int64_t r, std::int64_t c) const {
+    EASYHPS_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// Unchecked access for hot kernels (callers validate the rectangle once).
+  T& atUnchecked(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  const T& atUnchecked(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// Copies `rect` out as a row-major buffer of rect.cellCount() elements.
+  std::vector<T> extract(const CellRect& rect) const {
+    EASYHPS_EXPECTS(rect.row0 >= 0 && rect.rowEnd() <= rows_);
+    EASYHPS_EXPECTS(rect.col0 >= 0 && rect.colEnd() <= cols_);
+    std::vector<T> out(static_cast<std::size_t>(rect.cellCount()));
+    for (std::int64_t r = 0; r < rect.rows; ++r) {
+      const T* src =
+          data_.data() + static_cast<std::size_t>(
+                             (rect.row0 + r) * cols_ + rect.col0);
+      std::copy(src, src + rect.cols,
+                out.begin() + static_cast<std::ptrdiff_t>(r * rect.cols));
+    }
+    return out;
+  }
+
+  /// Writes a row-major buffer back into `rect`.
+  void inject(const CellRect& rect, const std::vector<T>& values) {
+    EASYHPS_EXPECTS(rect.row0 >= 0 && rect.rowEnd() <= rows_);
+    EASYHPS_EXPECTS(rect.col0 >= 0 && rect.colEnd() <= cols_);
+    EASYHPS_EXPECTS(static_cast<std::int64_t>(values.size()) ==
+                    rect.cellCount());
+    for (std::int64_t r = 0; r < rect.rows; ++r) {
+      const T* src =
+          values.data() + static_cast<std::size_t>(r * rect.cols);
+      std::copy(src, src + rect.cols,
+                data_.begin() + static_cast<std::ptrdiff_t>(
+                                    (rect.row0 + r) * cols_ + rect.col0));
+    }
+  }
+
+  const std::vector<T>& raw() const { return data_; }
+  std::vector<T>& raw() { return data_; }
+
+  friend bool operator==(const DenseMatrix&, const DenseMatrix&) = default;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace easyhps

@@ -1,0 +1,110 @@
+#pragma once
+/// \file geometry.hpp
+/// Block-partition geometry of a DP matrix.
+///
+/// Task partition in EasyHPS (paper §IV-D, Fig 6) divides the cell-level DP
+/// matrix into rectangular blocks; each block becomes one vertex of the
+/// abstract DAG.  `BlockGrid` owns that index arithmetic: cell rectangle of
+/// a block, linear block ids, and the ragged edges when the matrix size is
+/// not a multiple of the partition size.  The same geometry is used at both
+/// levels — process_partition_size on the master, thread_partition_size
+/// inside each slave.
+
+#include <cstdint>
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+
+/// Half-open rectangle of matrix cells [row0, row0+rows) × [col0, col0+cols).
+struct CellRect {
+  std::int64_t row0 = 0;
+  std::int64_t col0 = 0;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  std::int64_t cellCount() const { return rows * cols; }
+  std::int64_t rowEnd() const { return row0 + rows; }
+  std::int64_t colEnd() const { return col0 + cols; }
+
+  bool contains(std::int64_t r, std::int64_t c) const {
+    return r >= row0 && r < rowEnd() && c >= col0 && c < colEnd();
+  }
+
+  friend bool operator==(const CellRect&, const CellRect&) = default;
+};
+
+/// Block coordinates within the partition grid.
+struct BlockCoord {
+  std::int64_t bi = 0;  ///< block row
+  std::int64_t bj = 0;  ///< block column
+
+  friend bool operator==(const BlockCoord&, const BlockCoord&) = default;
+};
+
+/// Partition of a rows×cols matrix into blockRows×blockCols tiles.
+class BlockGrid {
+ public:
+  BlockGrid(std::int64_t rows, std::int64_t cols, std::int64_t blockRows,
+            std::int64_t blockCols)
+      : rows_(rows), cols_(cols), block_rows_(blockRows),
+        block_cols_(blockCols) {
+    EASYHPS_EXPECTS(rows > 0 && cols > 0);
+    EASYHPS_EXPECTS(blockRows > 0 && blockCols > 0);
+    grid_rows_ = (rows + blockRows - 1) / blockRows;
+    grid_cols_ = (cols + blockCols - 1) / blockCols;
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t blockRows() const { return block_rows_; }
+  std::int64_t blockCols() const { return block_cols_; }
+  std::int64_t gridRows() const { return grid_rows_; }
+  std::int64_t gridCols() const { return grid_cols_; }
+  std::int64_t blockCount() const { return grid_rows_ * grid_cols_; }
+
+  /// Cell rectangle covered by block (bi, bj); edge blocks may be smaller.
+  CellRect blockRect(std::int64_t bi, std::int64_t bj) const {
+    EASYHPS_EXPECTS(bi >= 0 && bi < grid_rows_);
+    EASYHPS_EXPECTS(bj >= 0 && bj < grid_cols_);
+    CellRect r;
+    r.row0 = bi * block_rows_;
+    r.col0 = bj * block_cols_;
+    r.rows = std::min(block_rows_, rows_ - r.row0);
+    r.cols = std::min(block_cols_, cols_ - r.col0);
+    return r;
+  }
+
+  CellRect blockRect(BlockCoord b) const { return blockRect(b.bi, b.bj); }
+
+  /// Row-major linear id of a block; the DAG vertex id at this level.
+  std::int64_t linearId(std::int64_t bi, std::int64_t bj) const {
+    EASYHPS_EXPECTS(bi >= 0 && bi < grid_rows_);
+    EASYHPS_EXPECTS(bj >= 0 && bj < grid_cols_);
+    return bi * grid_cols_ + bj;
+  }
+
+  std::int64_t linearId(BlockCoord b) const { return linearId(b.bi, b.bj); }
+
+  BlockCoord coordOf(std::int64_t linear) const {
+    EASYHPS_EXPECTS(linear >= 0 && linear < blockCount());
+    return BlockCoord{linear / grid_cols_, linear % grid_cols_};
+  }
+
+  /// Block containing cell (r, c).
+  BlockCoord blockOfCell(std::int64_t r, std::int64_t c) const {
+    EASYHPS_EXPECTS(r >= 0 && r < rows_);
+    EASYHPS_EXPECTS(c >= 0 && c < cols_);
+    return BlockCoord{r / block_rows_, c / block_cols_};
+  }
+
+ private:
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::int64_t block_rows_;
+  std::int64_t block_cols_;
+  std::int64_t grid_rows_;
+  std::int64_t grid_cols_;
+};
+
+}  // namespace easyhps

@@ -1,0 +1,53 @@
+#include "easyhps/msg/cluster.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "easyhps/util/error.hpp"
+#include "easyhps/util/log.hpp"
+
+namespace easyhps::msg {
+
+ClusterReport Cluster::run(int size, const RankMain& main, DropFn dropFn) {
+  EASYHPS_EXPECTS(size > 0);
+  EASYHPS_EXPECTS(main != nullptr);
+
+  ClusterState state(size);
+  if (dropFn) {
+    state.setDropFn(std::move(dropFn));
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  {
+    std::vector<std::jthread> ranks;
+    ranks.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      ranks.emplace_back([&, r] {
+        log::setThreadName("rank-" + std::to_string(r));
+        Comm comm(r, &state);
+        try {
+          main(comm);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          EASYHPS_LOG_WARN("rank " << r << " failed; aborting cluster");
+          state.closeAll();  // wake every blocked recv so ranks can exit
+        }
+      });
+    }
+  }  // join
+
+  state.closeAll();
+  for (auto& e : errors) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+  ClusterReport report;
+  report.messages = state.traffic().messages.load();
+  report.bytes = state.traffic().bytes.load();
+  report.dropped = state.traffic().dropped.load();
+  return report;
+}
+
+}  // namespace easyhps::msg

@@ -1,0 +1,37 @@
+#pragma once
+/// \file cluster.hpp
+/// In-process cluster harness: runs N ranks, each on its own thread.
+///
+/// This is the stand-in for `mpirun`: `Cluster::run(n, fn)` spawns `n`
+/// threads, hands each a `Comm` bound to its rank, and joins them.  An
+/// exception escaping any rank aborts the cluster (mailboxes close, blocked
+/// receives wake) and is rethrown to the caller — matching the
+/// fail-fast behaviour of an MPI job where one rank calling MPI_Abort kills
+/// the world.
+
+#include <functional>
+#include <string>
+
+#include "easyhps/msg/comm.hpp"
+
+namespace easyhps::msg {
+
+/// Per-run report returned by Cluster::run.
+struct ClusterReport {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t dropped = 0;
+};
+
+class Cluster {
+ public:
+  using RankMain = std::function<void(Comm&)>;
+
+  /// Runs `main` on `size` ranks; blocks until all ranks return.
+  /// `dropFn` (optional) injects transport faults.
+  /// Throws the first rank exception encountered (by rank order).
+  static ClusterReport run(int size, const RankMain& main,
+                           DropFn dropFn = nullptr);
+};
+
+}  // namespace easyhps::msg

@@ -1,0 +1,168 @@
+#include "easyhps/msg/comm.hpp"
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::msg {
+namespace {
+
+// Internal tag layout: collectives encode an epoch so that back-to-back
+// collectives on the same ranks cannot cross-match.
+constexpr int kBarrierTag = kInternalTagBase + 0;
+constexpr int kBroadcastTag = kInternalTagBase + 1;
+constexpr int kGatherTag = kInternalTagBase + 2;
+
+int epochTag(int base, int epoch) { return base + 16 * epoch; }
+
+}  // namespace
+
+ClusterState::ClusterState(int size) {
+  EASYHPS_EXPECTS(size > 0);
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Mailbox& ClusterState::mailbox(int rank) {
+  EASYHPS_EXPECTS(rank >= 0 && rank < size());
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+void ClusterState::deliver(Message message) {
+  EASYHPS_EXPECTS(message.dest >= 0 && message.dest < size());
+  if (drop_ && drop_(message)) {
+    traffic_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  traffic_.messages.fetch_add(1, std::memory_order_relaxed);
+  traffic_.bytes.fetch_add(message.sizeBytes(), std::memory_order_relaxed);
+  mailbox(message.dest).deliver(std::move(message));
+}
+
+void ClusterState::closeAll() {
+  for (auto& mb : mailboxes_) {
+    mb->close();
+  }
+}
+
+Comm::Comm(int rank, ClusterState* state) : rank_(rank), state_(state) {
+  EASYHPS_EXPECTS(state != nullptr);
+  EASYHPS_EXPECTS(rank >= 0 && rank < state->size());
+}
+
+void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
+  EASYHPS_EXPECTS(tag >= 0 && tag < kInternalTagBase);
+  Message m;
+  m.source = rank_;
+  m.dest = dest;
+  m.tag = tag;
+  m.payload = std::move(payload);
+  state_->deliver(std::move(m));
+}
+
+Message Comm::recv(int source, int tag) {
+  auto m = state_->mailbox(rank_).recv(source, tag);
+  if (!m) {
+    throw CommError("recv on closed mailbox (rank " + std::to_string(rank_) +
+                    ")");
+  }
+  return std::move(*m);
+}
+
+std::optional<Message> Comm::recvFor(int source, int tag,
+                                     std::chrono::nanoseconds timeout) {
+  return state_->mailbox(rank_).recvFor(source, tag, timeout);
+}
+
+std::optional<Message> Comm::tryRecv(int source, int tag) {
+  return state_->mailbox(rank_).tryRecv(source, tag);
+}
+
+std::optional<MessageInfo> Comm::probe(int source, int tag) const {
+  return state_->mailbox(rank_).probe(source, tag);
+}
+
+bool Comm::mailboxClosed() const {
+  return state_->mailbox(rank_).closed();
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: log2(n) rounds of paired send/recv.
+  const int n = size();
+  const int tag = epochTag(kBarrierTag, barrier_epoch_ % 4);
+  ++barrier_epoch_;
+  for (int distance = 1; distance < n; distance *= 2) {
+    const int to = (rank_ + distance) % n;
+    const int from = (rank_ - distance % n + n) % n;
+    Message m;
+    m.source = rank_;
+    m.dest = to;
+    m.tag = tag;
+    state_->deliver(std::move(m));
+    auto got = state_->mailbox(rank_).recv(from, tag);
+    if (!got) {
+      throw CommError("barrier interrupted by cluster shutdown");
+    }
+  }
+}
+
+void Comm::broadcast(int root, std::vector<std::byte>& payload) {
+  const int tag = epochTag(kBroadcastTag, collective_epoch_ % 4);
+  ++collective_epoch_;
+  // Binomial tree rooted at `root` (ranks rotated so root maps to 0).
+  const int n = size();
+  const int me = (rank_ - root + n) % n;
+  if (me != 0) {
+    // Receive from parent.
+    int parent = me & (me - 1);  // clear lowest set bit
+    auto got = state_->mailbox(rank_).recv((parent + root) % n, tag);
+    if (!got) {
+      throw CommError("broadcast interrupted by cluster shutdown");
+    }
+    payload = std::move(got->payload);
+  }
+  // Forward to children: me + 2^k for 2^k > me.
+  for (int bit = 1; bit < n; bit *= 2) {
+    if ((me & (bit - 1)) != 0 || (me & bit) != 0) {
+      continue;
+    }
+    const int child = me + bit;
+    if (child >= n) {
+      break;
+    }
+    Message m;
+    m.source = rank_;
+    m.dest = (child + root) % n;
+    m.tag = tag;
+    m.payload = payload;
+    state_->deliver(std::move(m));
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(
+    int root, std::vector<std::byte> payload) {
+  const int tag = epochTag(kGatherTag, collective_epoch_ % 4);
+  ++collective_epoch_;
+  if (rank_ != root) {
+    Message m;
+    m.source = rank_;
+    m.dest = root;
+    m.tag = tag;
+    m.payload = std::move(payload);
+    state_->deliver(std::move(m));
+    return {};
+  }
+  std::vector<std::vector<std::byte>> result(
+      static_cast<std::size_t>(size()));
+  result[static_cast<std::size_t>(rank_)] = std::move(payload);
+  for (int i = 0; i < size() - 1; ++i) {
+    auto got = state_->mailbox(rank_).recv(kAnySource, tag);
+    if (!got) {
+      throw CommError("gather interrupted by cluster shutdown");
+    }
+    result[static_cast<std::size_t>(got->source)] = std::move(got->payload);
+  }
+  return result;
+}
+
+}  // namespace easyhps::msg

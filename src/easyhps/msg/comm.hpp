@@ -1,0 +1,110 @@
+#pragma once
+/// \file comm.hpp
+/// Communicator bound to one rank of an in-process cluster.
+///
+/// `Comm` exposes the subset of MPI the EasyHPS runtime needs: blocking
+/// matched send/recv, probe, barrier, broadcast and gather.  Collectives are
+/// implemented *on top of* point-to-point messages with reserved tags, just
+/// as a minimal MPI layer would be, so their costs are visible to the
+/// substrate's traffic statistics.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "easyhps/msg/mailbox.hpp"
+#include "easyhps/msg/message.hpp"
+
+namespace easyhps::msg {
+
+/// Aggregate traffic counters for one cluster run.
+struct TrafficStats {
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+/// Optional transport fault hook: return true to *drop* the message.  Used
+/// by fault-tolerance tests to simulate lost traffic / dead slaves.
+using DropFn = std::function<bool(const Message&)>;
+
+/// Shared state of an in-process cluster (one mailbox per rank).
+class ClusterState {
+ public:
+  explicit ClusterState(int size);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  Mailbox& mailbox(int rank);
+  const TrafficStats& traffic() const { return traffic_; }
+
+  /// Installs a drop predicate; pass nullptr to clear.  Not thread-safe
+  /// with concurrent sends — install before the cluster starts.
+  void setDropFn(DropFn fn) { drop_ = std::move(fn); }
+
+  /// Routes a message to its destination mailbox (the "network").
+  void deliver(Message message);
+
+  /// Closes every mailbox (cluster teardown).
+  void closeAll();
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  TrafficStats traffic_;
+  DropFn drop_;
+};
+
+/// Rank-local handle; cheap to copy within the owning rank's thread.
+class Comm {
+ public:
+  Comm(int rank, ClusterState* state);
+
+  int rank() const { return rank_; }
+  int size() const { return state_->size(); }
+
+  /// Blocking send (buffered: always completes immediately in-process).
+  void send(int dest, int tag, std::vector<std::byte> payload);
+
+  /// Blocking matched receive; throws CommError if the cluster closed.
+  Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Timed receive; nullopt on timeout.
+  std::optional<Message> recvFor(int source, int tag,
+                                 std::chrono::nanoseconds timeout);
+
+  /// Non-blocking receive.
+  std::optional<Message> tryRecv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking probe.
+  std::optional<MessageInfo> probe(int source = kAnySource,
+                                   int tag = kAnyTag) const;
+
+  /// True once the cluster shut this rank's mailbox (abort or teardown).
+  /// Pollers using recvFor must check this: a closed mailbox returns
+  /// nullopt immediately, which is otherwise indistinguishable from a
+  /// timeout.
+  bool mailboxClosed() const;
+
+  /// Dissemination barrier over point-to-point messages.
+  void barrier();
+
+  /// Broadcast from `root`; every rank passes its buffer, non-roots get it
+  /// replaced.
+  void broadcast(int root, std::vector<std::byte>& payload);
+
+  /// Gather to `root`: returns size() payloads at root (indexed by rank),
+  /// empty vector elsewhere.
+  std::vector<std::vector<std::byte>> gather(int root,
+                                             std::vector<std::byte> payload);
+
+ private:
+  int rank_;
+  ClusterState* state_;
+  int barrier_epoch_ = 0;
+  int collective_epoch_ = 0;
+};
+
+}  // namespace easyhps::msg

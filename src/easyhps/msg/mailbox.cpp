@@ -1,0 +1,90 @@
+#include "easyhps/msg/mailbox.hpp"
+
+namespace easyhps::msg {
+
+void Mailbox::deliver(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return;  // receiver already exited; drop like MPI_Cancel'd traffic
+    }
+    messages_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::extractLocked(int source, int tag) {
+  for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      Message m = std::move(*it);
+      messages_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Mailbox::recv(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto m = extractLocked(source, tag)) {
+      return m;
+    }
+    if (closed_) {
+      return std::nullopt;
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::recvFor(int source, int tag,
+                                        std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto m = extractLocked(source, tag)) {
+      return m;
+    }
+    if (closed_) {
+      return std::nullopt;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return extractLocked(source, tag);  // final chance after wake
+    }
+  }
+}
+
+std::optional<Message> Mailbox::tryRecv(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return extractLocked(source, tag);
+}
+
+std::optional<MessageInfo> Mailbox::probe(int source, int tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& m : messages_) {
+    if (matches(m, source, tag)) {
+      return MessageInfo{m.source, m.tag, m.sizeBytes()};
+    }
+  }
+  return std::nullopt;
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return messages_.size();
+}
+
+}  // namespace easyhps::msg

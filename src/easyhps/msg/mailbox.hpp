@@ -1,0 +1,59 @@
+#pragma once
+/// \file mailbox.hpp
+/// Per-rank message store with (source, tag) matching semantics.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "easyhps/msg/message.hpp"
+
+namespace easyhps::msg {
+
+/// Holds undelivered messages for one rank.  Receives match the *earliest*
+/// message whose (source, tag) satisfies the requested pattern — the same
+/// non-overtaking guarantee MPI gives for a (source, tag, comm) triple.
+class Mailbox {
+ public:
+  /// Enqueues a message and wakes matching waiters.
+  void deliver(Message message);
+
+  /// Blocks until a matching message arrives or the mailbox closes.
+  /// Returns nullopt only after close() with no matching message queued.
+  std::optional<Message> recv(int source, int tag);
+
+  /// Timed variant of recv(); nullopt on timeout as well.
+  std::optional<Message> recvFor(int source, int tag,
+                                 std::chrono::nanoseconds timeout);
+
+  /// Non-blocking matching receive.
+  std::optional<Message> tryRecv(int source, int tag);
+
+  /// Non-blocking probe: metadata of the first matching message, if any.
+  std::optional<MessageInfo> probe(int source, int tag) const;
+
+  /// Closes the mailbox: blocked receivers wake, future delivers are
+  /// dropped silently (a rank that has exited no longer receives).
+  void close();
+
+  bool closed() const;
+  std::size_t pending() const;
+
+ private:
+  static bool matches(const Message& m, int source, int tag) {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  /// Extracts the first matching message under the caller's lock.
+  std::optional<Message> extractLocked(int source, int tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> messages_;
+  bool closed_ = false;
+};
+
+}  // namespace easyhps::msg

@@ -1,0 +1,44 @@
+#pragma once
+/// \file message.hpp
+/// Wire message for the in-process message-passing substrate.
+///
+/// The substrate mirrors the MPI point-to-point model the paper's runtime is
+/// built on (MPICH + POSIX threads): messages carry a source rank, a
+/// destination rank, an integer tag and an opaque byte payload; receives
+/// match on (source, tag) with wildcards.  Keeping MPI semantics means the
+/// runtime layer (`src/easyhps/runtime`) would port to a real cluster by
+/// replacing this transport alone — the substitution documented in
+/// DESIGN.md.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace easyhps::msg {
+
+/// Wildcard source rank (MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+/// Wildcard tag (MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// Tags at or above this value are reserved for internal collectives.
+inline constexpr int kInternalTagBase = 1 << 28;
+
+/// One point-to-point message.
+struct Message {
+  int source = 0;
+  int dest = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+
+  std::size_t sizeBytes() const { return payload.size(); }
+};
+
+/// Metadata returned by probe operations.
+struct MessageInfo {
+  int source = 0;
+  int tag = 0;
+  std::size_t sizeBytes = 0;
+};
+
+}  // namespace easyhps::msg

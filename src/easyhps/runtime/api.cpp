@@ -1,0 +1,186 @@
+#include "easyhps/runtime/api.hpp"
+
+#include <algorithm>
+
+namespace easyhps::api {
+namespace {
+
+template <typename W>
+Score getThunk(const void* window, std::int64_t r, std::int64_t c) {
+  return static_cast<const W*>(window)->get(r, c);
+}
+
+bool supported(PatternKind kind) {
+  return kind == PatternKind::kWavefront2D ||
+         kind == PatternKind::kTriangular2D1D ||
+         kind == PatternKind::kRowDependent2D;
+}
+
+}  // namespace
+
+FunctionalDpProblem::FunctionalDpProblem(Spec spec) : spec_(std::move(spec)) {
+  EASYHPS_EXPECTS(spec_.rows > 0 && spec_.cols > 0);
+  EASYHPS_CHECK(spec_.cell != nullptr, "Spec::cell (process) is required");
+  EASYHPS_CHECK(spec_.boundary != nullptr, "Spec::boundary is required");
+  EASYHPS_CHECK(supported(spec_.pattern),
+                "FunctionalDpProblem supports kWavefront2D, "
+                "kTriangular2D1D and kRowDependent2D");
+}
+
+PatternKind FunctionalDpProblem::slavePatternKind() const {
+  switch (spec_.pattern) {
+    case PatternKind::kTriangular2D1D:
+      return PatternKind::kFlippedWavefront2D;
+    case PatternKind::kRowDependent2D:
+      return PatternKind::kRowDependent2D;
+    default:
+      return PatternKind::kWavefront2D;
+  }
+}
+
+PartitionedDag FunctionalDpProblem::masterDag(const BlockGrid& grid) const {
+  if (spec_.pattern == PatternKind::kRowDependent2D) {
+    // Stage DPs: full-width master blocks (see viterbi.hpp rationale).
+    const BlockGrid full(grid.rows(), grid.cols(), grid.blockRows(),
+                         grid.cols());
+    return makeRowDependent2D(full);
+  }
+  return makeFromLibrary(spec_.pattern, grid);
+}
+
+PartitionedDag FunctionalDpProblem::slaveDagFor(
+    const CellRect& blockRect, std::int64_t threadPartitionRows,
+    std::int64_t threadPartitionCols) const {
+  if (spec_.pattern == PatternKind::kRowDependent2D) {
+    const BlockGrid grid(blockRect.rows, blockRect.cols, 1,
+                         threadPartitionCols);
+    return makeRowDependent2D(grid);
+  }
+  return DpProblem::slaveDagFor(blockRect, threadPartitionRows,
+                                threadPartitionCols);
+}
+
+Score FunctionalDpProblem::boundary(std::int64_t r, std::int64_t c) const {
+  return spec_.boundary(r, c);
+}
+
+bool FunctionalDpProblem::cellActive(std::int64_t r, std::int64_t c) const {
+  if (spec_.pattern == PatternKind::kTriangular2D1D) {
+    return r <= c;
+  }
+  return true;
+}
+
+bool FunctionalDpProblem::rectActive(const CellRect& rect) const {
+  if (spec_.pattern == PatternKind::kTriangular2D1D) {
+    return rect.row0 <= rect.colEnd() - 1;
+  }
+  return true;
+}
+
+std::vector<CellRect> FunctionalDpProblem::haloFor(
+    const CellRect& rect) const {
+  if (spec_.haloOverride) {
+    return spec_.haloOverride(rect);
+  }
+  std::vector<CellRect> halos;
+  switch (spec_.pattern) {
+    case PatternKind::kWavefront2D:
+      if (rect.row0 > 0) {
+        halos.push_back(CellRect{rect.row0 - 1, rect.col0, 1, rect.cols});
+      }
+      if (rect.col0 > 0) {
+        halos.push_back(CellRect{rect.row0, rect.col0 - 1, rect.rows, 1});
+      }
+      if (rect.row0 > 0 && rect.col0 > 0) {
+        halos.push_back(CellRect{rect.row0 - 1, rect.col0 - 1, 1, 1});
+      }
+      break;
+    case PatternKind::kTriangular2D1D:
+      if (rect.col0 > rect.row0) {
+        halos.push_back(
+            CellRect{rect.row0, rect.row0, rect.rows, rect.col0 - rect.row0});
+      }
+      if (rect.colEnd() > rect.rowEnd() && rect.rowEnd() < rows()) {
+        halos.push_back(
+            CellRect{rect.rowEnd(), rect.col0,
+                     std::min(rect.colEnd(), rows()) - rect.rowEnd(),
+                     rect.cols});
+      }
+      if (rect.rowEnd() < rows() && rect.col0 > 0 &&
+          rect.rowEnd() <= rect.col0 - 1) {
+        halos.push_back(CellRect{rect.rowEnd(), rect.col0 - 1, 1, 1});
+      }
+      break;
+    case PatternKind::kRowDependent2D:
+      if (rect.row0 > 0) {
+        halos.push_back(CellRect{rect.row0 - 1, 0, 1, cols()});
+      }
+      break;
+    default:
+      throw LogicError("unsupported pattern in FunctionalDpProblem");
+  }
+  return halos;
+}
+
+template <typename W>
+void FunctionalDpProblem::kernel(W& w, const CellRect& rect) const {
+  const CellCtx ctx(&w, &getThunk<W>);
+  if (spec_.pattern == PatternKind::kTriangular2D1D) {
+    // Bottom-up, left-to-right (triangular fill order).
+    for (std::int64_t r = rect.rowEnd() - 1; r >= rect.row0; --r) {
+      for (std::int64_t c = std::max(rect.col0, r); c < rect.colEnd(); ++c) {
+        w.set(r, c, spec_.cell(ctx, r, c));
+      }
+    }
+    return;
+  }
+  // Wavefront and stage DPs: row-major is dependency-correct.
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
+      w.set(r, c, spec_.cell(ctx, r, c));
+    }
+  }
+}
+
+void FunctionalDpProblem::computeBlock(Window& w, const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+void FunctionalDpProblem::computeBlockSparse(SparseWindow& w,
+                                             const CellRect& rect) const {
+  kernel(w, rect);
+}
+
+DenseMatrix<Score> FunctionalDpProblem::solveReference() const {
+  // The adapter's reference solver runs the same cell lambda over a dense
+  // whole-matrix window in pattern order — by construction equal to the
+  // blocked solve, so tests of *user* specs compare against an independent
+  // hand-written oracle instead (see tests/test_api.cpp).
+  Window w(CellRect{0, 0, rows(), cols()}, boundaryFn());
+  computeBlock(w, CellRect{0, 0, rows(), cols()});
+  DenseMatrix<Score> out(rows(), cols());
+  for (std::int64_t r = 0; r < rows(); ++r) {
+    for (std::int64_t c = 0; c < cols(); ++c) {
+      out.at(r, c) = cellActive(r, c) ? w.get(r, c) : Score{0};
+    }
+  }
+  return out;
+}
+
+double FunctionalDpProblem::blockOps(const CellRect& rect) const {
+  if (!spec_.cellOps) {
+    return static_cast<double>(rect.cellCount());
+  }
+  double total = 0;
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
+      if (cellActive(r, c)) {
+        total += spec_.cellOps(r, c);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace easyhps::api

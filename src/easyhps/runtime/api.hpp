@@ -1,0 +1,113 @@
+#pragma once
+/// \file api.hpp
+/// The "easy" user API — a functional mirror of the paper's Table I.
+///
+/// The paper's pitch is that users parallelize a DP by filling in a
+/// `dag_pattern` descriptor (pattern type, dag_size, partition_size, data
+/// mapping function, per-vertex process function) instead of writing MPI +
+/// pthreads code.  `FunctionalDpProblem` is that descriptor: pick a library
+/// pattern, provide a *per-cell* recurrence lambda and a boundary lambda,
+/// optionally a data-mapping (halo) function, and run.  The adapter derives
+/// everything else: block kernels iterate cells in the pattern's
+/// dependency-correct order, halos default to the pattern's canonical
+/// shape, and the reference solver is synthesized from the same lambda.
+///
+/// Example (edit distance in ~10 lines, see examples/easy_api.cpp):
+///
+///   api::Spec spec;
+///   spec.name = "edit-distance";
+///   spec.pattern = PatternKind::kWavefront2D;
+///   spec.rows = spec.cols = n;
+///   spec.boundary = [](i64 r, i64 c) { ... };
+///   spec.cell = [&](const api::CellCtx& m, i64 r, i64 c) {
+///     return std::min({m(r-1,c)+1, m(r,c-1)+1,
+///                      m(r-1,c-1) + (a[r]==b[c] ? 0 : 1)});
+///   };
+///   api::FunctionalDpProblem problem(std::move(spec));
+
+#include <functional>
+#include <string>
+
+#include "easyhps/dp/problem.hpp"
+
+namespace easyhps::api {
+
+/// Read-only view of already-computed cells handed to the cell lambda.
+/// Dereferences through whichever window backs the current execution.
+class CellCtx {
+ public:
+  using GetFn = Score (*)(const void*, std::int64_t, std::int64_t);
+
+  CellCtx(const void* window, GetFn get) : window_(window), get_(get) {}
+
+  Score operator()(std::int64_t r, std::int64_t c) const {
+    return get_(window_, r, c);
+  }
+
+ private:
+  const void* window_;
+  GetFn get_;
+};
+
+/// The recurrence: value of cell (r, c) given earlier cells.
+using CellFn =
+    std::function<Score(const CellCtx& m, std::int64_t r, std::int64_t c)>;
+
+/// Virtual cells outside the matrix (first row/column of textbook
+/// formulations).
+using CellBoundaryFn = std::function<Score(std::int64_t r, std::int64_t c)>;
+
+/// Optional data-mapping override (`data_mapping_function` in Table I):
+/// which rectangles a block reads outside itself.  nullptr = the pattern's
+/// canonical halo.
+using HaloFn = std::function<std::vector<CellRect>(const CellRect& rect)>;
+
+/// Table I descriptor.
+struct Spec {
+  std::string name = "user-dp";
+  PatternKind pattern = PatternKind::kWavefront2D;  ///< dag_pattern_type
+  std::int64_t rows = 0;                            ///< dag_size
+  std::int64_t cols = 0;
+  CellFn cell;                                      ///< process
+  CellBoundaryFn boundary;
+  HaloFn haloOverride;                              ///< data_mapping_function
+  /// Abstract ops per cell for the simulator's cost model (default 1).
+  std::function<double(std::int64_t r, std::int64_t c)> cellOps;
+};
+
+/// Adapts a Spec to the full DpProblem interface.
+/// Supported patterns: kWavefront2D (row-major iteration, up/left/diag
+/// halo), kTriangular2D1D (bottom-up iteration, triangular halo, upper
+/// triangle active), kRowDependent2D (stage iteration, previous-row halo,
+/// full-width master blocks).
+class FunctionalDpProblem final : public DpProblem {
+ public:
+  explicit FunctionalDpProblem(Spec spec);
+
+  std::string name() const override { return spec_.name; }
+  std::int64_t rows() const override { return spec_.rows; }
+  std::int64_t cols() const override { return spec_.cols; }
+  PatternKind masterPatternKind() const override { return spec_.pattern; }
+  PatternKind slavePatternKind() const override;
+  PartitionedDag masterDag(const BlockGrid& grid) const override;
+  PartitionedDag slaveDagFor(const CellRect& blockRect,
+                             std::int64_t threadPartitionRows,
+                             std::int64_t threadPartitionCols) const override;
+  Score boundary(std::int64_t r, std::int64_t c) const override;
+  bool cellActive(std::int64_t r, std::int64_t c) const override;
+  bool rectActive(const CellRect& rect) const override;
+  std::vector<CellRect> haloFor(const CellRect& rect) const override;
+  void computeBlock(Window& w, const CellRect& rect) const override;
+  void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
+      override;
+  DenseMatrix<Score> solveReference() const override;
+  double blockOps(const CellRect& rect) const override;
+
+ private:
+  template <typename W>
+  void kernel(W& w, const CellRect& rect) const;
+
+  Spec spec_;
+};
+
+}  // namespace easyhps::api

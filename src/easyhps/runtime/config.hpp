@@ -1,0 +1,78 @@
+#pragma once
+/// \file config.hpp
+/// Runtime configuration and run statistics.
+///
+/// The fields mirror the paper's user-settable parameters (Table I):
+/// `process_partition_size` and `thread_partition_size` control the two
+/// levels of task partition; the policy kinds select between the EasyHPS
+/// dynamic worker pool and the static baselines; the timeouts drive the
+/// overtime queues of the fault-tolerance machinery.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "easyhps/fault/plan.hpp"
+#include "easyhps/sched/policy.hpp"
+
+namespace easyhps {
+
+struct RuntimeConfig {
+  /// Computing (slave) nodes; the master is one additional rank.
+  int slaveCount = 2;
+  /// Computing threads per slave node (`ct` in the paper, 1..11 on
+  /// Tianhe-1A; unbounded here).
+  int threadsPerSlave = 2;
+
+  /// process_partition_size — master-level block size.
+  std::int64_t processPartitionRows = 64;
+  std::int64_t processPartitionCols = 64;
+  /// thread_partition_size — slave-level sub-block size.
+  std::int64_t threadPartitionRows = 16;
+  std::int64_t threadPartitionCols = 16;
+
+  /// Scheduling policy at each level (EasyHPS = dynamic at both).
+  PolicyKind masterPolicy = PolicyKind::kDynamic;
+  PolicyKind slavePolicy = PolicyKind::kDynamic;
+
+  /// Master overtime-queue deadline per sub-task assignment.
+  std::chrono::milliseconds taskTimeout{5000};
+  /// Slave overtime-queue deadline per sub-sub-task.
+  std::chrono::milliseconds subTaskTimeout{2000};
+  /// Master fault tolerance on/off (slave thread-crash recovery is always
+  /// on — an uncaught exception would kill the pool anyway).
+  bool enableFaultTolerance = true;
+
+  /// Slaves store only the block + halo segments instead of their dense
+  /// bounding box.  Addresses the paper's stated memory limitation (§VII):
+  /// for strip-halo problems like SWGG the bounding box of a bottom-right
+  /// block approaches the whole matrix.  Off = dense windows (useful for
+  /// A/B testing the two paths).
+  bool sparseSlaveWindows = true;
+
+  /// Injected faults (empty plan = fault-free run).
+  std::vector<fault::FaultSpec> faults;
+};
+
+struct RunStats {
+  double elapsedSeconds = 0.0;
+  std::uint64_t messages = 0;  ///< substrate messages (incl. collectives)
+  std::uint64_t bytes = 0;
+
+  std::int64_t tasks = 0;            ///< master-level assignments sent
+  std::int64_t completedTasks = 0;   ///< distinct sub-tasks finished
+  std::int64_t retries = 0;          ///< master FT re-distributions
+  std::int64_t lateResults = 0;      ///< results after cancellation
+  std::int64_t masterStalledPicks = 0;
+
+  std::int64_t threadRestarts = 0;   ///< slave FT thread restarts
+  std::int64_t subTaskRequeues = 0;  ///< slave overtime re-queues
+  std::int64_t faultsTriggered = 0;
+
+  std::vector<std::int64_t> tasksPerSlave;
+
+  /// max/mean of tasksPerSlave (1.0 = perfectly balanced).
+  double taskImbalance() const;
+};
+
+}  // namespace easyhps

@@ -1,0 +1,257 @@
+#include "easyhps/runtime/master.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "easyhps/dag/parse_state.hpp"
+#include "easyhps/runtime/wire.hpp"
+#include "easyhps/sched/worker_pool.hpp"
+#include "easyhps/util/log.hpp"
+
+namespace easyhps {
+namespace {
+
+/// Scheduler state shared by the master worker threads and the FT thread.
+struct MasterState {
+  explicit MasterState(const PartitionedDag& d, Window& m)
+      : dag(&d), parse(d.dag), matrix(&m) {}
+
+  const PartitionedDag* dag;
+  DagParseState parse;
+  std::unique_ptr<SchedulingPolicy> policy;
+  RegisterTable registerTable;
+  OvertimeQueue overtime;
+  Window* matrix;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+
+  // Statistics (guarded by mutex).
+  std::int64_t tasksSent = 0;
+  std::int64_t completed = 0;
+  std::int64_t retries = 0;
+  std::int64_t lateResults = 0;
+  std::vector<std::int64_t> tasksPerSlave;
+};
+
+/// Injects a result and advances the parse state.  Returns true if this
+/// completion was new (false = duplicate / late result).
+bool processResult(MasterState& state, const wire::ResultPayload& result) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  (void)state.registerTable.complete(result.vertex);
+  if (state.parse.isFinished(result.vertex)) {
+    ++state.lateResults;
+    return false;
+  }
+  state.matrix->inject(result.rect, result.data);
+  for (VertexId next : state.parse.finish(result.vertex)) {
+    state.policy->onReady(next);
+  }
+  ++state.completed;
+  if (state.parse.allDone()) {
+    state.done = true;
+  }
+  state.cv.notify_all();
+  return true;
+}
+
+/// One master worker thread: drives slave rank `slaveRank` (paper §V-B).
+void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
+                      const RuntimeConfig& cfg, MasterState& state,
+                      int slaveRank, wire::SlaveStatsPayload& slaveStats) {
+  const int workerIdx = slaveRank - 1;
+  log::setThreadName("master/worker-" + std::to_string(slaveRank));
+
+  // Wait for the slave's initial idle signal (paper §V-C step a).
+  {
+    const msg::Message idle = comm.recv(slaveRank, wire::kTagIdle);
+    (void)idle;
+  }
+
+  struct Inflight {
+    VertexId vertex;
+    AssignmentEpoch epoch;
+  };
+  std::optional<Inflight> inflight;
+
+  for (;;) {
+    if (!inflight) {
+      VertexId vertex = -1;
+      {
+        std::unique_lock<std::mutex> lock(state.mutex);
+        state.cv.wait(lock, [&] {
+          return state.done || state.policy->queuedCount() > 0;
+        });
+        if (state.done) {
+          break;
+        }
+        auto picked = state.policy->pick(workerIdx);
+        if (!picked) {
+          // Static policy: ready tasks exist but none owned by this
+          // worker's slave — the BCW "fatal situation".  Re-check shortly.
+          state.cv.wait_for(lock, std::chrono::milliseconds(1));
+          continue;
+        }
+        vertex = *picked;
+        const AssignmentEpoch epoch =
+            state.registerTable.registerTask(vertex, slaveRank);
+        if (cfg.enableFaultTolerance) {
+          state.overtime.push(vertex, slaveRank, epoch, cfg.taskTimeout);
+        }
+        ++state.tasksSent;
+        ++state.tasksPerSlave[static_cast<std::size_t>(workerIdx)];
+        inflight = Inflight{vertex, epoch};
+      }
+
+      // Halo extraction and send happen outside the scheduler mutex; see
+      // master.hpp for why this is race-free.
+      wire::AssignPayload assign;
+      assign.vertex = vertex;
+      assign.rect = state.dag->rectOf(vertex);
+      for (const CellRect& h : problem.haloFor(assign.rect)) {
+        assign.halos.push_back(
+            wire::HaloBlock{h, state.matrix->extract(h)});
+      }
+      comm.send(slaveRank, wire::kTagAssign, wire::encodeAssign(assign));
+      continue;
+    }
+
+    // Wait for this slave's result; wake periodically to notice
+    // cancellation by the FT thread or global completion.
+    auto m = comm.recvFor(slaveRank, wire::kTagResult,
+                          std::chrono::milliseconds(20));
+    if (!m) {
+      if (comm.mailboxClosed()) {
+        // The cluster aborted (another rank failed): nothing more will
+        // arrive; surface it instead of polling forever.
+        throw CommError("cluster shut down while awaiting slave " +
+                        std::to_string(slaveRank));
+      }
+      if (!state.registerTable.matches(inflight->vertex, inflight->epoch)) {
+        // Cancelled (timed out and re-distributed) or completed via a
+        // late duplicate processed by another worker.  Move on; if the
+        // slave eventually replies, the result is handled as late.
+        inflight.reset();
+      }
+      continue;
+    }
+    const wire::ResultPayload result = wire::decodeResult(m->payload);
+    processResult(state, result);
+    if (result.vertex == inflight->vertex) {
+      inflight.reset();
+    }
+  }
+
+  comm.send(slaveRank, wire::kTagEnd, {});
+  const msg::Message statsMsg = comm.recv(slaveRank, wire::kTagStats);
+  slaveStats = wire::decodeSlaveStats(statsMsg.payload);
+}
+
+/// Master fault-tolerance thread: re-distributes timed-out assignments
+/// (paper §V-B step g, Fig 10).
+void faultToleranceLoop(MasterState& state) {
+  log::setThreadName("master/ft");
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state.mutex);
+      if (state.done) {
+        return;
+      }
+    }
+    const auto expired = state.overtime.popExpired();
+    if (!expired.empty()) {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      for (const auto& e : expired) {
+        if (state.parse.isFinished(e.task)) {
+          continue;  // completed in time; stale deadline entry
+        }
+        if (state.registerTable.cancel(e.task, e.epoch)) {
+          ++state.retries;
+          state.policy->onReady(e.task);
+          EASYHPS_LOG_WARN("sub-task " << e.task << " timed out on slave "
+                                       << e.worker << "; re-distributing");
+        }
+      }
+      state.cv.notify_all();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
+
+RunStats runMaster(msg::Comm& comm, const DpProblem& problem,
+                   const RuntimeConfig& cfg, Window& out) {
+  log::setThreadName("master");
+  EASYHPS_EXPECTS(cfg.slaveCount >= 1);
+  EASYHPS_EXPECTS(comm.size() == cfg.slaveCount + 1);
+
+  // Master DAG Data Driven Model initialization + task partition
+  // (paper §V-B step a).
+  const PartitionedDag dag = buildMasterDag(
+      problem, cfg.processPartitionRows, cfg.processPartitionCols);
+  MasterState state(dag, out);
+  state.policy = makePolicy(cfg.masterPolicy, dag, cfg.slaveCount);
+  state.tasksPerSlave.assign(static_cast<std::size_t>(cfg.slaveCount), 0);
+  for (VertexId v : state.parse.initiallyComputable()) {
+    state.policy->onReady(v);
+  }
+  if (state.parse.allDone()) {
+    state.done = true;
+  }
+
+  std::vector<wire::SlaveStatsPayload> slaveStats(
+      static_cast<std::size_t>(cfg.slaveCount));
+  std::vector<std::exception_ptr> workerErrors(
+      static_cast<std::size_t>(cfg.slaveCount));
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(cfg.slaveCount) + 1);
+    for (int s = 1; s <= cfg.slaveCount; ++s) {
+      threads.emplace_back([&, s] {
+        try {
+          masterWorkerLoop(comm, problem, cfg, state, s,
+                           slaveStats[static_cast<std::size_t>(s - 1)]);
+        } catch (...) {
+          // A worker failure (closed cluster, kernel bug) must not take
+          // the process down; release the siblings and rethrow below.
+          workerErrors[static_cast<std::size_t>(s - 1)] =
+              std::current_exception();
+          std::lock_guard<std::mutex> lock(state.mutex);
+          state.done = true;
+          state.cv.notify_all();
+        }
+      });
+    }
+    if (cfg.enableFaultTolerance) {
+      threads.emplace_back([&] { faultToleranceLoop(state); });
+    }
+  }  // join
+
+  for (auto& e : workerErrors) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+  EASYHPS_ENSURES(state.parse.allDone());
+
+  RunStats stats;
+  stats.tasks = state.tasksSent;
+  stats.completedTasks = state.completed;
+  stats.retries = state.retries;
+  stats.lateResults = state.lateResults;
+  stats.masterStalledPicks = state.policy->stalledPicks();
+  stats.tasksPerSlave = state.tasksPerSlave;
+  for (const auto& s : slaveStats) {
+    stats.threadRestarts += s.threadRestarts;
+    stats.subTaskRequeues += s.subTaskRequeues;
+  }
+  return stats;
+}
+
+}  // namespace easyhps

@@ -1,0 +1,34 @@
+#pragma once
+/// \file master.hpp
+/// Master part of the EasyHPS runtime (paper §III, §V-B).
+///
+/// The master worker pool creates one worker thread per slave node (paper
+/// §V-B step b); each worker thread drives exactly one slave: it picks a
+/// computable sub-task from the scheduler, ships it with the halo data the
+/// data-communication level prescribes, waits for the result, injects it
+/// into the master matrix and advances the DAG parse state.  A separate
+/// fault-tolerance thread watches the master overtime queue and
+/// re-distributes timed-out assignments.
+///
+/// Concurrency invariants (why the matrix needs no lock of its own):
+///  * Block injections happen under the scheduler mutex.
+///  * Halo extraction (outside the mutex) reads only rectangles of
+///    *finished* sub-tasks: a task is picked only after its topological
+///    predecessors finished, and every data predecessor is a topological
+///    ancestor (`DagPattern::dataEdgesCoveredByPrecedence`).  The mutex
+///    acquisitions while picking establish the happens-before edge to the
+///    earlier injections.
+
+#include "easyhps/dp/problem.hpp"
+#include "easyhps/msg/comm.hpp"
+#include "easyhps/runtime/config.hpp"
+
+namespace easyhps {
+
+/// Runs the master part: schedules all sub-tasks of `problem` onto the
+/// cluster's slave ranks, filling `out` (a whole-matrix window).
+/// Returns the master-side run statistics (slave-side counters merged in).
+RunStats runMaster(msg::Comm& comm, const DpProblem& problem,
+                   const RuntimeConfig& cfg, Window& out);
+
+}  // namespace easyhps

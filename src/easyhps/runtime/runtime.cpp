@@ -1,0 +1,61 @@
+#include "easyhps/runtime/runtime.hpp"
+
+#include "easyhps/msg/cluster.hpp"
+#include "easyhps/runtime/master.hpp"
+#include "easyhps/runtime/slave.hpp"
+#include "easyhps/util/clock.hpp"
+
+namespace easyhps {
+
+Runtime::Runtime(RuntimeConfig cfg) : cfg_(std::move(cfg)) {
+  EASYHPS_EXPECTS(cfg_.slaveCount >= 1);
+  EASYHPS_EXPECTS(cfg_.threadsPerSlave >= 1);
+  EASYHPS_EXPECTS(cfg_.processPartitionRows >= 1 &&
+                  cfg_.processPartitionCols >= 1);
+  EASYHPS_EXPECTS(cfg_.threadPartitionRows >= 1 &&
+                  cfg_.threadPartitionCols >= 1);
+}
+
+RunResult Runtime::run(const DpProblem& problem) const {
+  RunResult result{
+      Window(CellRect{0, 0, problem.rows(), problem.cols()},
+             problem.boundaryFn()),
+      RunStats{}};
+  fault::FaultPlan plan(cfg_.faults);
+
+  Stopwatch watch;
+  const msg::ClusterReport report = msg::Cluster::run(
+      cfg_.slaveCount + 1, [&](msg::Comm& comm) {
+        if (comm.rank() == 0) {
+          result.stats = runMaster(comm, problem, cfg_, result.matrix);
+        } else {
+          runSlave(comm, problem, cfg_, plan);
+        }
+      });
+
+  result.stats.elapsedSeconds = watch.elapsedSeconds();
+  result.stats.messages = report.messages;
+  result.stats.bytes = report.bytes;
+  result.stats.faultsTriggered = plan.triggered();
+  return result;
+}
+
+double RunStats::taskImbalance() const {
+  if (tasksPerSlave.empty()) {
+    return 0.0;
+  }
+  std::int64_t maxTasks = 0;
+  std::int64_t total = 0;
+  for (std::int64_t t : tasksPerSlave) {
+    maxTasks = std::max(maxTasks, t);
+    total += t;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(tasksPerSlave.size());
+  return static_cast<double>(maxTasks) / mean;
+}
+
+}  // namespace easyhps

@@ -1,0 +1,48 @@
+#pragma once
+/// \file runtime.hpp
+/// Public entry point of the EasyHPS runtime system.
+///
+/// Usage (see examples/quickstart.cpp):
+///
+///   easyhps::RuntimeConfig cfg;
+///   cfg.slaveCount = 3;
+///   cfg.threadsPerSlave = 4;
+///   cfg.processPartitionRows = cfg.processPartitionCols = 64;
+///   cfg.threadPartitionRows = cfg.threadPartitionCols = 16;
+///
+///   easyhps::EditDistance problem(a, b);
+///   easyhps::Runtime runtime(cfg);
+///   easyhps::RunResult result = runtime.run(problem);
+///   Score d = result.matrix.get(problem.rows()-1, problem.cols()-1);
+///
+/// `run` spins up an in-process cluster of 1 master + slaveCount slave
+/// ranks (the stand-in for `mpirun -np N`, see DESIGN.md), executes the
+/// two-level master/slave schedule and returns the solved matrix plus run
+/// statistics.
+
+#include "easyhps/dp/problem.hpp"
+#include "easyhps/runtime/config.hpp"
+
+namespace easyhps {
+
+struct RunResult {
+  Window matrix;   ///< whole-matrix window with every active cell computed
+  RunStats stats;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig cfg);
+
+  /// Solves `problem` on the in-process cluster.  Throws on configuration
+  /// errors or unrecoverable rank failures; injected faults from
+  /// cfg.faults are recovered, not thrown.
+  RunResult run(const DpProblem& problem) const;
+
+  const RuntimeConfig& config() const { return cfg_; }
+
+ private:
+  RuntimeConfig cfg_;
+};
+
+}  // namespace easyhps

@@ -1,0 +1,226 @@
+#include "easyhps/runtime/slave.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "easyhps/dag/parse_state.hpp"
+#include "easyhps/sched/worker_pool.hpp"
+#include "easyhps/util/log.hpp"
+
+namespace easyhps {
+namespace {
+
+/// Shared state of one slave worker pool (one assignment's lifetime).
+struct PoolState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  DagParseState* parse = nullptr;
+  SchedulingPolicy* policy = nullptr;
+  OvertimeQueue overtime;
+  bool done = false;
+  std::int64_t threadRestarts = 0;
+  std::int64_t subTaskRequeues = 0;
+  std::exception_ptr error;  // first non-injected kernel failure
+};
+
+/// Dispatch helper so the pool code is storage-agnostic while the problem
+/// kernels stay devirtualized per storage type.
+void computeOn(const DpProblem& p, Window& w, const CellRect& rect) {
+  p.computeBlock(w, rect);
+}
+void computeOn(const DpProblem& p, SparseWindow& w, const CellRect& rect) {
+  p.computeBlockSparse(w, rect);
+}
+
+/// Computing-thread work loop: pick → compute → finish, until the pool is
+/// done.  Returns normally only when done.
+template <typename WindowT>
+void computingThreadLoop(int threadIdx, const DpProblem& problem,
+                         const RuntimeConfig& cfg, fault::FaultPlan& plan,
+                         int slaveRank, const wire::AssignPayload& assign,
+                         const PartitionedDag& slaveDag, WindowT& local,
+                         PoolState& pool) {
+  for (;;) {
+    VertexId sub = -1;
+    {
+      std::unique_lock<std::mutex> lock(pool.mutex);
+      pool.cv.wait(lock, [&] {
+        return pool.done || pool.policy->queuedCount() > 0;
+      });
+      if (pool.done) {
+        return;
+      }
+      auto picked = pool.policy->pick(threadIdx);
+      if (!picked) {
+        // Static policy: tasks queued but none owned by this thread.
+        // Wait for state to change rather than spinning.
+        pool.cv.wait_for(lock, std::chrono::milliseconds(1));
+        continue;
+      }
+      sub = *picked;
+      pool.overtime.push(sub, threadIdx, 0, cfg.subTaskTimeout);
+    }
+
+    try {
+      if (plan.consumeThreadCrash(assign.vertex, slaveRank, sub)) {
+        throw fault::InjectedThreadCrash();
+      }
+      computeOn(problem, local,
+                slaveVertexRect(slaveDag, assign.rect, sub));
+    } catch (const fault::InjectedThreadCrash&) {
+      // Thread-level fault tolerance (paper §V-C step h): "restart" the
+      // computing thread by re-entering the loop after re-queueing the
+      // failed sub-sub-task.
+      std::lock_guard<std::mutex> lock(pool.mutex);
+      ++pool.threadRestarts;
+      ++pool.subTaskRequeues;
+      pool.policy->onReady(sub);
+      pool.cv.notify_all();
+      EASYHPS_LOG_WARN("computing thread " << threadIdx
+                                           << " crashed on sub-task " << sub
+                                           << "; restarting");
+      continue;
+    } catch (...) {
+      // A genuine kernel failure (not injected): abort this pool cleanly
+      // and surface the exception to the rank (→ cluster abort) instead
+      // of terminating the process from a detached thread.
+      std::lock_guard<std::mutex> lock(pool.mutex);
+      if (!pool.error) {
+        pool.error = std::current_exception();
+      }
+      pool.done = true;
+      pool.cv.notify_all();
+      return;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(pool.mutex);
+      for (VertexId next : pool.parse->finish(sub)) {
+        pool.policy->onReady(next);
+      }
+      if (pool.parse->allDone()) {
+        pool.done = true;
+      }
+    }
+    pool.cv.notify_all();
+  }
+}
+
+/// Runs the slave worker pool over any window storage.
+template <typename WindowT>
+std::vector<Score> runPool(const DpProblem& problem, const RuntimeConfig& cfg,
+                           fault::FaultPlan& plan, int slaveRank,
+                           const wire::AssignPayload& assign, WindowT& local,
+                           wire::SlaveStatsPayload& stats) {
+  // Slave DAG Data Driven Model initialization (paper §V-C steps c-d).
+  const PartitionedDag slaveDag =
+      buildSlaveDag(problem, assign.rect, cfg.threadPartitionRows,
+                    cfg.threadPartitionCols);
+  DagParseState parse(slaveDag.dag);
+  auto policy = makePolicy(cfg.slavePolicy, slaveDag, cfg.threadsPerSlave);
+
+  for (const wire::HaloBlock& h : assign.halos) {
+    local.inject(h.rect, h.data);
+  }
+
+  PoolState pool;
+  pool.parse = &parse;
+  pool.policy = policy.get();
+  for (VertexId v : parse.initiallyComputable()) {
+    policy->onReady(v);
+  }
+  if (parse.allDone()) {
+    pool.done = true;  // degenerate: empty slave DAG
+  }
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(cfg.threadsPerSlave));
+    for (int t = 0; t < cfg.threadsPerSlave; ++t) {
+      threads.emplace_back([&, t] {
+        log::setThreadName("slave-" + std::to_string(slaveRank) + "/worker-" +
+                           std::to_string(t));
+        computingThreadLoop(t, problem, cfg, plan, slaveRank, assign,
+                            slaveDag, local, pool);
+      });
+    }
+  }  // join: pool.done was set by the thread finishing the last sub-task
+
+  if (pool.error) {
+    std::rethrow_exception(pool.error);
+  }
+  EASYHPS_ENSURES(parse.allDone());
+  stats.threadRestarts += pool.threadRestarts;
+  stats.subTaskRequeues += pool.subTaskRequeues;
+  ++stats.tasksExecuted;
+  return local.extract(assign.rect);
+}
+
+}  // namespace
+
+std::vector<Score> executeAssignment(const DpProblem& problem,
+                                     const RuntimeConfig& cfg,
+                                     fault::FaultPlan& plan, int slaveRank,
+                                     const wire::AssignPayload& assign,
+                                     wire::SlaveStatsPayload& stats) {
+  const auto halos = problem.haloFor(assign.rect);
+  if (cfg.sparseSlaveWindows) {
+    // Memory-bounded path: store only the block + halo segments.
+    std::vector<CellRect> segments{assign.rect};
+    segments.insert(segments.end(), halos.begin(), halos.end());
+    SparseWindow local(std::move(segments), problem.boundaryFn());
+    return runPool(problem, cfg, plan, slaveRank, assign, local, stats);
+  }
+  Window local(boundingBox(assign.rect, halos), problem.boundaryFn());
+  return runPool(problem, cfg, plan, slaveRank, assign, local, stats);
+}
+
+void runSlave(msg::Comm& comm, const DpProblem& problem,
+              const RuntimeConfig& cfg, fault::FaultPlan& plan) {
+  log::setThreadName("slave-" + std::to_string(comm.rank()));
+  wire::SlaveStatsPayload stats;
+
+  // Step a: announce idle.
+  comm.send(0, wire::kTagIdle, {});
+
+  for (;;) {
+    // Step b: wait for an assignment or the end signal.
+    msg::Message m = comm.recv(0, msg::kAnyTag);
+    if (m.tag == wire::kTagEnd) {
+      break;
+    }
+    EASYHPS_CHECK(m.tag == wire::kTagAssign,
+                  "slave received unexpected tag " + std::to_string(m.tag));
+    const wire::AssignPayload assign = wire::decodeAssign(m.payload);
+
+    if (plan.consumeBlackhole(assign.vertex, comm.rank())) {
+      EASYHPS_LOG_WARN("blackhole fault: dropping sub-task "
+                       << assign.vertex);
+      continue;  // simulate a node that lost the task
+    }
+
+    const auto delay = plan.consumeDelay(assign.vertex, comm.rank());
+
+    wire::ResultPayload result;
+    result.vertex = assign.vertex;
+    result.rect = assign.rect;
+    result.data =
+        executeAssignment(problem, cfg, plan, comm.rank(), assign, stats);
+
+    if (delay.count() > 0) {
+      EASYHPS_LOG_WARN("delay fault: holding result of sub-task "
+                       << assign.vertex << " for " << delay.count() << "ms");
+      std::this_thread::sleep_for(delay);
+    }
+
+    // Step: reply with the computed block (paper §V-B step e).
+    comm.send(0, wire::kTagResult, wire::encodeResult(result));
+  }
+
+  // Final slave-side counters for the master's RunStats.
+  comm.send(0, wire::kTagStats, wire::encodeSlaveStats(stats));
+}
+
+}  // namespace easyhps

@@ -1,0 +1,42 @@
+#pragma once
+/// \file slave.hpp
+/// Slave part of the EasyHPS runtime (paper §III, §V-C).
+///
+/// A slave rank loops: announce idle → receive a sub-task (block + halo) →
+/// initialize the *slave* DAG Data Driven Model over the block → execute
+/// its sub-sub-tasks on a pool of computing threads under the slave
+/// scheduler → reply with the computed block → repeat, until End.
+///
+/// Thread-level fault tolerance: a computing thread hit by an injected
+/// crash re-enters its work loop (the in-process analogue of the paper's
+/// "restart the corresponding computing thread") after re-queueing the
+/// failed sub-sub-task; the slave overtime queue tracks overdue
+/// sub-sub-tasks.  Unlike the paper's pthread_cancel-based design, a
+/// *hung* (not crashed) thread is never duplicated — in-process threads
+/// cannot be force-killed without UB, and double-computing a sub-block
+/// would race on the shared window (see DESIGN.md).
+
+#include "easyhps/dp/problem.hpp"
+#include "easyhps/fault/plan.hpp"
+#include "easyhps/msg/comm.hpp"
+#include "easyhps/runtime/config.hpp"
+#include "easyhps/runtime/wire.hpp"
+
+namespace easyhps {
+
+/// Runs the slave main loop on this rank until the master sends End.
+/// `plan` injects faults (shared across ranks; pass an empty plan for
+/// fault-free runs).
+void runSlave(msg::Comm& comm, const DpProblem& problem,
+              const RuntimeConfig& cfg, fault::FaultPlan& plan);
+
+/// Executes one assignment on a fresh thread pool; exposed separately so
+/// tests can drive the slave pool without a cluster.  Returns the computed
+/// block data (row-major over `assign.rect`).
+std::vector<Score> executeAssignment(const DpProblem& problem,
+                                     const RuntimeConfig& cfg,
+                                     fault::FaultPlan& plan, int slaveRank,
+                                     const wire::AssignPayload& assign,
+                                     wire::SlaveStatsPayload& stats);
+
+}  // namespace easyhps

@@ -1,0 +1,88 @@
+#include "easyhps/runtime/wire.hpp"
+
+#include "easyhps/util/archive.hpp"
+
+namespace easyhps::wire {
+namespace {
+
+void putRect(ByteWriter& w, const CellRect& r) {
+  w.put<std::int64_t>(r.row0);
+  w.put<std::int64_t>(r.col0);
+  w.put<std::int64_t>(r.rows);
+  w.put<std::int64_t>(r.cols);
+}
+
+CellRect getRect(ByteReader& r) {
+  CellRect rect;
+  rect.row0 = r.get<std::int64_t>();
+  rect.col0 = r.get<std::int64_t>();
+  rect.rows = r.get<std::int64_t>();
+  rect.cols = r.get<std::int64_t>();
+  return rect;
+}
+
+}  // namespace
+
+std::vector<std::byte> encodeAssign(const AssignPayload& p) {
+  ByteWriter w;
+  w.put<VertexId>(p.vertex);
+  putRect(w, p.rect);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(p.halos.size()));
+  for (const HaloBlock& h : p.halos) {
+    putRect(w, h.rect);
+    w.putVector(h.data);
+  }
+  return std::move(w).take();
+}
+
+AssignPayload decodeAssign(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  AssignPayload p;
+  p.vertex = r.get<VertexId>();
+  p.rect = getRect(r);
+  const auto n = r.get<std::uint32_t>();
+  p.halos.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    HaloBlock h;
+    h.rect = getRect(r);
+    h.data = r.getVector<Score>();
+    p.halos.push_back(std::move(h));
+  }
+  return p;
+}
+
+std::vector<std::byte> encodeResult(const ResultPayload& p) {
+  ByteWriter w;
+  w.put<VertexId>(p.vertex);
+  putRect(w, p.rect);
+  w.putVector(p.data);
+  return std::move(w).take();
+}
+
+ResultPayload decodeResult(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  ResultPayload p;
+  p.vertex = r.get<VertexId>();
+  p.rect = getRect(r);
+  p.data = r.getVector<Score>();
+  return p;
+}
+
+std::vector<std::byte> encodeSlaveStats(const SlaveStatsPayload& p) {
+  ByteWriter w;
+  w.put<std::int64_t>(p.tasksExecuted);
+  w.put<std::int64_t>(p.threadRestarts);
+  w.put<std::int64_t>(p.subTaskRequeues);
+  return std::move(w).take();
+}
+
+SlaveStatsPayload decodeSlaveStats(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  SlaveStatsPayload p;
+  p.tasksExecuted = r.get<std::int64_t>();
+  p.threadRestarts = r.get<std::int64_t>();
+  p.subTaskRequeues = r.get<std::int64_t>();
+  return p;
+}
+
+}  // namespace easyhps::wire

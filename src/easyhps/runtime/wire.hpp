@@ -1,0 +1,65 @@
+#pragma once
+/// \file wire.hpp
+/// Wire protocol between the master part and slave parts.
+///
+/// Five message kinds (paper §V-B/§V-C work flow):
+///   Idle    slave → master   "I started and am ready"          (step a)
+///   Assign  master → slave   sub-task id + block rect + halo   (step d)
+///   Result  slave → master   sub-task id + computed block      (step e)
+///   End     master → slave   all sub-tasks finished            (step i)
+///   Stats   slave → master   slave-side counters, after End
+///
+/// Payloads are flat byte buffers via ByteWriter/ByteReader, so the whole
+/// protocol would map 1:1 onto MPI_Send/MPI_Recv buffers.
+
+#include <cstdint>
+#include <vector>
+
+#include "easyhps/dag/pattern.hpp"
+#include "easyhps/dp/window.hpp"
+#include "easyhps/matrix/geometry.hpp"
+
+namespace easyhps::wire {
+
+enum Tag : int {
+  kTagIdle = 1,
+  kTagAssign = 2,
+  kTagResult = 3,
+  kTagEnd = 4,
+  kTagStats = 5,
+};
+
+/// One halo rectangle and its cell data.
+struct HaloBlock {
+  CellRect rect;
+  std::vector<Score> data;
+};
+
+struct AssignPayload {
+  VertexId vertex = -1;
+  CellRect rect;
+  std::vector<HaloBlock> halos;
+};
+
+struct ResultPayload {
+  VertexId vertex = -1;
+  CellRect rect;
+  std::vector<Score> data;
+};
+
+struct SlaveStatsPayload {
+  std::int64_t tasksExecuted = 0;
+  std::int64_t threadRestarts = 0;
+  std::int64_t subTaskRequeues = 0;
+};
+
+std::vector<std::byte> encodeAssign(const AssignPayload& p);
+AssignPayload decodeAssign(const std::vector<std::byte>& bytes);
+
+std::vector<std::byte> encodeResult(const ResultPayload& p);
+ResultPayload decodeResult(const std::vector<std::byte>& bytes);
+
+std::vector<std::byte> encodeSlaveStats(const SlaveStatsPayload& p);
+SlaveStatsPayload decodeSlaveStats(const std::vector<std::byte>& bytes);
+
+}  // namespace easyhps::wire

@@ -1,0 +1,142 @@
+#include "easyhps/sched/policy.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+namespace {
+
+/// EasyHPS dynamic worker pool: single shared LIFO computable stack.
+class DynamicPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "dynamic"; }
+
+  void onReady(VertexId task) override { stack_.push_back(task); }
+
+  std::optional<VertexId> pick(int worker) override {
+    (void)worker;  // any worker may take any task
+    if (stack_.empty()) {
+      return std::nullopt;
+    }
+    const VertexId t = stack_.back();
+    stack_.pop_back();
+    return t;
+  }
+
+  std::int64_t queuedCount() const override {
+    return static_cast<std::int64_t>(stack_.size());
+  }
+
+ private:
+  std::vector<VertexId> stack_;
+};
+
+/// Static ownership baseline: every task belongs to exactly one worker.
+class StaticOwnershipPolicy : public SchedulingPolicy {
+ public:
+  StaticOwnershipPolicy(const PartitionedDag& dag, int workers)
+      : dag_(&dag), queues_(static_cast<std::size_t>(workers)) {
+    EASYHPS_EXPECTS(workers > 0);
+  }
+
+  void onReady(VertexId task) override {
+    const int owner = ownerOf(task);
+    queues_[static_cast<std::size_t>(owner)].push_back(task);
+    ++queued_;
+  }
+
+  std::optional<VertexId> pick(int worker) override {
+    EASYHPS_EXPECTS(worker >= 0 &&
+                    worker < static_cast<int>(queues_.size()));
+    auto& q = queues_[static_cast<std::size_t>(worker)];
+    if (q.empty()) {
+      if (queued_ > 0) {
+        noteStall();  // ready tasks exist, but this worker owns none
+      }
+      return std::nullopt;
+    }
+    // FIFO: static wavefront executes blocks in readiness order.
+    const VertexId t = q.front();
+    q.pop_front();
+    --queued_;
+    return t;
+  }
+
+  std::int64_t queuedCount() const override { return queued_; }
+
+ protected:
+  virtual int ownerOf(VertexId task) const = 0;
+
+  const PartitionedDag* dag_;
+  std::vector<std::deque<VertexId>> queues_;
+  std::int64_t queued_ = 0;
+};
+
+class BcwPolicy final : public StaticOwnershipPolicy {
+ public:
+  using StaticOwnershipPolicy::StaticOwnershipPolicy;
+
+  std::string name() const override { return "block-cyclic-wavefront"; }
+
+ private:
+  int ownerOf(VertexId task) const override {
+    // Block column j is owned by worker (j mod P) — block-cyclic.
+    const BlockCoord c = dag_->coordOf(task);
+    return static_cast<int>(c.bj % static_cast<std::int64_t>(queues_.size()));
+  }
+};
+
+class CwPolicy final : public StaticOwnershipPolicy {
+ public:
+  CwPolicy(const PartitionedDag& dag, int workers)
+      : StaticOwnershipPolicy(dag, workers) {
+    const std::int64_t cols = dag.grid.gridCols();
+    const auto p = static_cast<std::int64_t>(workers);
+    band_ = (cols + p - 1) / p;
+  }
+
+  std::string name() const override { return "column-wavefront"; }
+
+ private:
+  int ownerOf(VertexId task) const override {
+    // One contiguous band of block columns per worker: CW is BCW with
+    // block_col = data_col / worker count (paper §VI).
+    const BlockCoord c = dag_->coordOf(task);
+    return static_cast<int>(c.bj / band_);
+  }
+
+  std::int64_t band_ = 1;
+};
+
+}  // namespace
+
+std::string policyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kDynamic:
+      return "dynamic";
+    case PolicyKind::kBlockCyclicWavefront:
+      return "bcw";
+    case PolicyKind::kColumnWavefront:
+      return "cw";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SchedulingPolicy> makePolicy(PolicyKind kind,
+                                             const PartitionedDag& dag,
+                                             int workers) {
+  EASYHPS_EXPECTS(workers > 0);
+  switch (kind) {
+    case PolicyKind::kDynamic:
+      return std::make_unique<DynamicPolicy>();
+    case PolicyKind::kBlockCyclicWavefront:
+      return std::make_unique<BcwPolicy>(dag, workers);
+    case PolicyKind::kColumnWavefront:
+      return std::make_unique<CwPolicy>(dag, workers);
+  }
+  throw LogicError("unknown policy kind");
+}
+
+}  // namespace easyhps

@@ -1,0 +1,74 @@
+#pragma once
+/// \file policy.hpp
+/// Scheduling policies shared by the real runtime and the simulator.
+///
+/// A policy answers one question: *which ready sub-task should worker w run
+/// next?*  Keeping it a pure decision object (DESIGN.md decision 2) means
+/// the paper's comparison — dynamic worker pool (EasyHPS) vs static
+/// block-cyclic wavefront (BCW) — tests the policy itself, identically in
+/// the real runtime and in the discrete-event simulator that regenerates
+/// Fig 17.
+///
+///  * `DynamicPolicy` — the EasyHPS dynamic worker pool (§V): one shared
+///    computable sub-task stack, any idle worker takes the top.
+///  * `BlockCyclicWavefrontPolicy` — the BCW baseline (Liu & Schmidt):
+///    block column j is statically owned by worker (j mod P); an idle
+///    worker may only run blocks it owns.  The paper's "fatal situation" —
+///    computable tasks exist while idle workers own none of them — shows up
+///    here as `pick()` returning nullopt while `queuedCount() > 0`, and is
+///    counted in `stalledPicks()`.
+///  * `ColumnWavefrontPolicy` — CW, the special case of BCW where each
+///    worker owns one contiguous band of columns.
+///
+/// Policies are not thread-safe; the runtime serializes calls under its
+/// scheduler mutex.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "easyhps/dag/library.hpp"
+
+namespace easyhps {
+
+enum class PolicyKind {
+  kDynamic,               ///< EasyHPS dynamic worker pool
+  kBlockCyclicWavefront,  ///< BCW static baseline
+  kColumnWavefront,       ///< CW static baseline (contiguous bands)
+};
+
+std::string policyKindName(PolicyKind kind);
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// A sub-task became computable.
+  virtual void onReady(VertexId task) = 0;
+
+  /// Worker `worker` is idle; returns a task for it or nullopt if the
+  /// policy has nothing this worker may run.
+  virtual std::optional<VertexId> pick(int worker) = 0;
+
+  /// Computable tasks currently queued (any owner).
+  virtual std::int64_t queuedCount() const = 0;
+
+  /// Times pick() returned nullopt while queuedCount() > 0 — the static
+  /// schedule's "ready task but forbidden worker" stalls.
+  std::int64_t stalledPicks() const { return stalled_picks_; }
+
+ protected:
+  void noteStall() { ++stalled_picks_; }
+
+ private:
+  std::int64_t stalled_picks_ = 0;
+};
+
+/// Creates a policy bound to a DAG and worker count.
+std::unique_ptr<SchedulingPolicy> makePolicy(PolicyKind kind,
+                                             const PartitionedDag& dag,
+                                             int workers);
+
+}  // namespace easyhps

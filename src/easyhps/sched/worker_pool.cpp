@@ -1,0 +1,80 @@
+#include "easyhps/sched/worker_pool.hpp"
+
+namespace easyhps {
+
+AssignmentEpoch RegisterTable::registerTask(VertexId task, int worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const AssignmentEpoch epoch = next_epoch_++;
+  entries_[task] = Entry{worker, epoch};
+  return epoch;
+}
+
+bool RegisterTable::cancel(VertexId task, AssignmentEpoch epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(task);
+  if (it == entries_.end() || it->second.epoch != epoch) {
+    return false;  // already completed or re-assigned since
+  }
+  entries_.erase(it);
+  return true;
+}
+
+std::optional<RegisterTable::Entry> RegisterTable::complete(VertexId task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(task);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  const Entry e = it->second;
+  entries_.erase(it);
+  return e;
+}
+
+bool RegisterTable::isRegistered(VertexId task) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(task) > 0;
+}
+
+bool RegisterTable::matches(VertexId task, AssignmentEpoch epoch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(task);
+  return it != entries_.end() && it->second.epoch == epoch;
+}
+
+std::size_t RegisterTable::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void OvertimeQueue::push(VertexId task, int worker, AssignmentEpoch epoch,
+                         Clock::duration timeout) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  heap_.push(Entry{task, worker, epoch, Clock::now() + timeout});
+}
+
+std::vector<OvertimeQueue::Entry> OvertimeQueue::popExpired(
+    Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> expired;
+  while (!heap_.empty() && heap_.top().deadline <= now) {
+    expired.push_back(heap_.top());
+    heap_.pop();
+  }
+  return expired;
+}
+
+std::optional<OvertimeQueue::Clock::time_point> OvertimeQueue::nextDeadline()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  return heap_.top().deadline;
+}
+
+std::size_t OvertimeQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.size();
+}
+
+}  // namespace easyhps

@@ -1,0 +1,100 @@
+#pragma once
+/// \file worker_pool.hpp
+/// Worker-pool bookkeeping components (paper §V-A).
+///
+/// The paper's master/slave worker pools are built from four structures:
+/// the computable sub-task stack and finished sub-task stack (both are
+/// `BlockingStack`/`BlockingQueue` from util), the *overtime queue* and the
+/// *sub-task register table* implemented here.
+///
+/// Assignments carry an **epoch**: the overtime queue may fire for an
+/// assignment the fault-tolerance thread already cancelled and re-issued;
+/// comparing epochs distinguishes "this very assignment timed out" from
+/// "a newer assignment of the same task is in flight".
+
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "easyhps/dag/pattern.hpp"
+
+namespace easyhps {
+
+/// Monotone per-task assignment counter.
+using AssignmentEpoch = std::int64_t;
+
+/// Records which sub-tasks are currently executing and where
+/// (paper §V-A-4).  Thread-safe.
+class RegisterTable {
+ public:
+  struct Entry {
+    int worker = -1;
+    AssignmentEpoch epoch = 0;
+  };
+
+  /// Registers a new assignment of `task` on `worker`; returns its epoch.
+  AssignmentEpoch registerTask(VertexId task, int worker);
+
+  /// Cancels the registration if (task, epoch) still matches; returns
+  /// whether it did.  Used by the fault-tolerance thread before
+  /// re-distributing.
+  bool cancel(VertexId task, AssignmentEpoch epoch);
+
+  /// Unregisters on successful completion regardless of epoch; returns the
+  /// entry if the task was registered.
+  std::optional<Entry> complete(VertexId task);
+
+  bool isRegistered(VertexId task) const;
+
+  /// True iff `task` is registered with exactly this epoch (used by a
+  /// worker to learn whether its in-flight assignment was cancelled).
+  bool matches(VertexId task, AssignmentEpoch epoch) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<VertexId, Entry> entries_;
+  AssignmentEpoch next_epoch_ = 1;
+};
+
+/// Deadline min-heap of executing sub-tasks (paper §V-A-3).  Thread-safe.
+class OvertimeQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    VertexId task = -1;
+    int worker = -1;
+    AssignmentEpoch epoch = 0;
+    Clock::time_point deadline;
+  };
+
+  /// Adds an executing assignment with a deadline `timeout` from now.
+  void push(VertexId task, int worker, AssignmentEpoch epoch,
+            Clock::duration timeout);
+
+  /// Pops every entry whose deadline passed (they may or may not still be
+  /// registered — the caller checks against the RegisterTable).
+  std::vector<Entry> popExpired(Clock::time_point now = Clock::now());
+
+  /// Earliest deadline, if any (lets the FT thread sleep precisely).
+  std::optional<Clock::time_point> nextDeadline() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.deadline > b.deadline;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace easyhps

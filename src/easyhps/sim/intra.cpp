@@ -1,0 +1,78 @@
+#include "easyhps/sim/intra.hpp"
+
+#include <queue>
+
+#include "easyhps/dag/parse_state.hpp"
+
+namespace easyhps::sim {
+
+IntraBlockResult simulateIntraBlock(const DpProblem& problem,
+                                    const CellRect& blockRect,
+                                    std::int64_t threadPartitionRows,
+                                    std::int64_t threadPartitionCols,
+                                    int threads, PolicyKind policyKind,
+                                    const PlatformModel& platform) {
+  EASYHPS_EXPECTS(threads >= 1);
+  const PartitionedDag dag = buildSlaveDag(
+      problem, blockRect, threadPartitionRows, threadPartitionCols);
+  DagParseState parse(dag.dag);
+  auto policy = makePolicy(policyKind, dag, threads);
+  for (VertexId v : parse.initiallyComputable()) {
+    policy->onReady(v);
+  }
+
+  struct Completion {
+    double time;
+    int thread;
+    VertexId sub;
+    bool operator>(const Completion& o) const {
+      return time > o.time || (time == o.time && sub > o.sub);
+    }
+  };
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      running;
+  std::vector<bool> threadBusy(static_cast<std::size_t>(threads), false);
+
+  IntraBlockResult result;
+  double now = 0.0;
+
+  auto dispatch = [&] {
+    for (int t = 0; t < threads; ++t) {
+      if (threadBusy[static_cast<std::size_t>(t)]) {
+        continue;
+      }
+      auto sub = policy->pick(t);
+      if (!sub) {
+        continue;
+      }
+      const double cost =
+          platform.threadDispatchOverhead +
+          problem.blockOps(slaveVertexRect(dag, blockRect, *sub)) *
+              platform.cellOpCost;
+      threadBusy[static_cast<std::size_t>(t)] = true;
+      running.push(Completion{now + cost, t, *sub});
+      result.busy += cost;
+      ++result.subTasks;
+    }
+  };
+
+  dispatch();
+  while (!running.empty()) {
+    const Completion done = running.top();
+    running.pop();
+    now = done.time;
+    threadBusy[static_cast<std::size_t>(done.thread)] = false;
+    for (VertexId next : parse.finish(done.sub)) {
+      policy->onReady(next);
+    }
+    dispatch();
+  }
+
+  EASYHPS_ENSURES(parse.allDone());
+  result.makespan = now;
+  result.stalledPicks = policy->stalledPicks();
+  return result;
+}
+
+}  // namespace easyhps::sim

@@ -1,0 +1,39 @@
+#pragma once
+/// \file intra.hpp
+/// Thread-level (intra-node) schedule simulation.
+///
+/// When a simulated slave receives a block, its ct computing threads
+/// execute the slave DAG under the thread-level policy.  This is list
+/// scheduling of a small DAG onto identical workers with per-sub-task
+/// dispatch overhead — simulated exactly and deterministically, reusing the
+/// same `SchedulingPolicy` objects as the real runtime.
+
+#include "easyhps/dp/problem.hpp"
+#include "easyhps/sched/policy.hpp"
+#include "easyhps/sim/platform.hpp"
+
+namespace easyhps::sim {
+
+struct IntraBlockResult {
+  double makespan = 0.0;      ///< seconds from pool start to last finish
+  double busy = 0.0;          ///< total thread-busy seconds
+  std::int64_t subTasks = 0;
+  std::int64_t stalledPicks = 0;  ///< thread-level static-schedule stalls
+
+  /// busy / (makespan × threads): thread utilization inside the block.
+  double utilization(int threads) const {
+    return makespan <= 0.0 ? 1.0
+                           : busy / (makespan * static_cast<double>(threads));
+  }
+};
+
+/// Simulates the execution of one master block on `threads` computing
+/// threads under `policy`.
+IntraBlockResult simulateIntraBlock(const DpProblem& problem,
+                                    const CellRect& blockRect,
+                                    std::int64_t threadPartitionRows,
+                                    std::int64_t threadPartitionCols,
+                                    int threads, PolicyKind policy,
+                                    const PlatformModel& platform);
+
+}  // namespace easyhps::sim

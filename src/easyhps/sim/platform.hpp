@@ -1,0 +1,92 @@
+#pragma once
+/// \file platform.hpp
+/// Platform model of the simulated multilevel cluster.
+///
+/// The paper's testbed is Tianhe-1A: multi-core SMP nodes (dual 6-core
+/// Xeon X5670, up to 11 computing threads usable per node) connected by
+/// Infiniband QDR, programmed with MPICH + pthreads.  This environment has
+/// one physical core and no interconnect, so every scale experiment runs on
+/// a deterministic discrete-event model of that platform (DESIGN.md
+/// substitution table).  Constants are calibrated for *shape*, not absolute
+/// seconds: relative speedups, node-count crossovers and scheduler ratios
+/// are properties of schedule structure + cost ratios, which is what the
+/// paper's figures report.
+///
+/// Deployment arithmetic follows the paper §VI exactly: `Experiment_X_Y`
+/// uses Y cores on X nodes; one node is the master, each of the X−1
+/// computing nodes spends one core on its thread-level scheduler, and the
+/// master worker pool spends X−1 + 1 cores on process-level scheduling, so
+/// Y − 2X + 1 cores actually compute.
+
+#include <cstdint>
+#include <vector>
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::sim {
+
+/// Cost constants of the simulated platform (seconds / bytes).
+struct PlatformModel {
+  /// Seconds per abstract DP operation (one recurrence term evaluation).
+  double cellOpCost = 1.0e-9;
+  /// One-way message latency, seconds.
+  double linkLatency = 5.0e-6;
+  /// Link bandwidth, bytes/second (Infiniband QDR ballpark).
+  double linkBandwidth = 3.0e9;
+  /// Master-side serialized cost of dispatching one sub-task (DAG parse,
+  /// registration, halo gather bookkeeping).
+  double masterDispatchOverhead = 20.0e-6;
+  /// Master-side serialized cost of processing one result (inject, DAG
+  /// update).
+  double masterResultOverhead = 20.0e-6;
+  /// Slave-side cost of initializing the slave DAG Data Driven Model for
+  /// one assignment (paper §V-C steps c-d).
+  double slaveInitOverhead = 100.0e-6;
+  /// Slave-side cost of one thread-level pick/finish round trip.
+  double threadDispatchOverhead = 2.0e-6;
+
+  /// Transfer time of a payload of `bytes`.
+  double transferSeconds(double bytes) const {
+    return linkLatency + bytes / linkBandwidth;
+  }
+};
+
+/// An `Experiment_X_Y` deployment.
+struct Deployment {
+  int nodes = 2;       ///< X: total nodes, incl. the master node
+  int totalCores = 4;  ///< Y: total cores across all nodes
+
+  int computingNodes() const { return nodes - 1; }
+
+  /// Computing threads available in total: Y − 2X + 1 (paper §VI).
+  int computingThreads() const { return totalCores - 2 * nodes + 1; }
+
+  /// Computing threads of each computing node; when Y − 2X + 1 does not
+  /// divide evenly, earlier nodes take one extra.
+  std::vector<int> threadsPerNode() const {
+    EASYHPS_CHECK(nodes >= 2, "deployment needs a master and ≥1 slave");
+    EASYHPS_CHECK(computingThreads() >= 1,
+                  "Experiment_" + std::to_string(nodes) + "_" +
+                      std::to_string(totalCores) +
+                      " leaves no computing cores");
+    const int c = computingThreads();
+    const int k = computingNodes();
+    std::vector<int> out(static_cast<std::size_t>(k), c / k);
+    for (int i = 0; i < c % k; ++i) {
+      ++out[static_cast<std::size_t>(i)];
+    }
+    return out;
+  }
+
+  /// The paper's experiment naming: Y = 2X − 1 + ct·(X−1) for integer
+  /// per-node thread counts ct.
+  static Deployment forThreads(int nodes, int threadsPerComputingNode) {
+    Deployment d;
+    d.nodes = nodes;
+    d.totalCores =
+        2 * nodes - 1 + threadsPerComputingNode * (nodes - 1);
+    return d;
+  }
+};
+
+}  // namespace easyhps::sim

@@ -1,0 +1,246 @@
+#include "easyhps/sim/simulator.hpp"
+
+#include <queue>
+#include <set>
+
+#include "easyhps/dag/parse_state.hpp"
+#include "easyhps/sim/intra.hpp"
+
+namespace easyhps::sim {
+namespace {
+
+/// Fixed per-message envelope (tags, rects, lengths).
+constexpr double kHeaderBytes = 64.0;
+
+enum class EventKind { kAssignArrive, kResultArrive, kTimeout };
+
+struct Event {
+  double time = 0.0;
+  std::int64_t seq = 0;  // tie-break for determinism
+  EventKind kind = EventKind::kAssignArrive;
+  int node = -1;         // computing node index [0, computingNodes)
+  VertexId vertex = -1;
+  std::int64_t epoch = 0;  // assignment epoch (overtime-queue matching)
+  bool silent = false;     // blackholed assignment: node got nothing
+
+  bool operator>(const Event& o) const {
+    return time > o.time || (time == o.time && seq > o.seq);
+  }
+};
+
+}  // namespace
+
+double SimResult::nodeUtilization() const {
+  if (nodeBusy.empty() || makespan <= 0.0) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double b : nodeBusy) {
+    sum += b;
+  }
+  return sum / (makespan * static_cast<double>(nodeBusy.size()));
+}
+
+double SimResult::taskImbalance() const {
+  if (tasksPerNode.empty()) {
+    return 0.0;
+  }
+  std::int64_t maxT = 0;
+  std::int64_t total = 0;
+  for (auto t : tasksPerNode) {
+    maxT = std::max(maxT, t);
+    total += t;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(maxT) /
+         (static_cast<double>(total) /
+          static_cast<double>(tasksPerNode.size()));
+}
+
+SimResult simulate(const DpProblem& problem, const SimConfig& cfg) {
+  const auto threads = cfg.deployment.threadsPerNode();
+  const int nodes = cfg.deployment.computingNodes();
+  const PlatformModel& pf = cfg.platform;
+
+  const PartitionedDag dag = buildMasterDag(
+      problem, cfg.processPartitionRows, cfg.processPartitionCols);
+  DagParseState parse(dag.dag);
+  auto policy = makePolicy(cfg.masterPolicy, dag, nodes);
+  for (VertexId v : parse.initiallyComputable()) {
+    policy->onReady(v);
+  }
+
+  SimResult result;
+  result.nodeBusy.assign(static_cast<std::size_t>(nodes), 0.0);
+  result.tasksPerNode.assign(static_cast<std::size_t>(nodes), 0);
+  result.serialTime =
+      problem.blockOps(CellRect{0, 0, problem.rows(), problem.cols()}) *
+      pf.cellOpCost;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::int64_t seq = 0;
+  std::vector<bool> nodeIdle(static_cast<std::size_t>(nodes), true);
+  double masterFreeAt = 0.0;
+
+  // Trace slots indexed by vertex (each vertex runs exactly once here).
+  std::vector<std::int64_t> traceSlot;
+  if (cfg.collectTrace) {
+    traceSlot.assign(static_cast<std::size_t>(dag.vertexCount()), -1);
+  }
+  auto traceOf = [&](VertexId v) -> TaskTrace* {
+    if (!cfg.collectTrace) {
+      return nullptr;
+    }
+    auto& slot = traceSlot[static_cast<std::size_t>(v)];
+    if (slot < 0) {
+      slot = static_cast<std::int64_t>(result.trace.size());
+      result.trace.push_back(TaskTrace{});
+      result.trace.back().vertex = v;
+    }
+    return &result.trace[static_cast<std::size_t>(slot)];
+  };
+
+  // The initial Idle round-trip from every slave.
+  result.messages += static_cast<std::uint64_t>(nodes);
+  result.bytesTransferred += kHeaderBytes * nodes;
+
+  // Fault model state: consume-once blackhole set and assignment epochs
+  // (the simulated register table + overtime queue).
+  std::set<VertexId> blackholes(cfg.blackholeVertices.begin(),
+                                cfg.blackholeVertices.end());
+  std::vector<std::int64_t> assignEpoch(
+      static_cast<std::size_t>(dag.vertexCount()), 0);
+  const bool faultsEnabled = !blackholes.empty();
+
+  auto dispatchAll = [&](double now) {
+    for (int s = 0; s < nodes; ++s) {
+      if (!nodeIdle[static_cast<std::size_t>(s)]) {
+        continue;
+      }
+      auto picked = policy->pick(s);
+      // A re-queued task may have completed via a late result meanwhile;
+      // drop such stale entries (the runtime's register-table check).
+      while (picked && parse.isFinished(*picked)) {
+        picked = policy->pick(s);
+      }
+      if (!picked) {
+        continue;  // nothing this node may run (static stall or drained)
+      }
+      const VertexId v = *picked;
+      const double start = std::max(masterFreeAt, now);
+      const double dispatched = start + pf.masterDispatchOverhead;
+      masterFreeAt = dispatched;
+      result.masterBusy += pf.masterDispatchOverhead;
+
+      const double bytes =
+          kHeaderBytes +
+          static_cast<double>(haloBytes(problem, dag.rectOf(v)));
+      const double arrive = dispatched + pf.transferSeconds(bytes);
+      ++result.messages;
+      result.bytesTransferred += bytes;
+      ++result.tasks;
+      ++result.tasksPerNode[static_cast<std::size_t>(s)];
+      nodeIdle[static_cast<std::size_t>(s)] = false;
+      if (TaskTrace* t = traceOf(v)) {
+        t->node = s;
+        t->dispatched = dispatched;
+        t->arrived = arrive;
+      }
+
+      const std::int64_t epoch =
+          ++assignEpoch[static_cast<std::size_t>(v)];
+      const bool silent = blackholes.erase(v) > 0;
+      if (silent) {
+        ++result.faultsInjected;
+      } else {
+        events.push(
+            Event{arrive, seq++, EventKind::kAssignArrive, s, v, epoch,
+                  false});
+      }
+      if (faultsEnabled) {
+        events.push(Event{dispatched + cfg.taskTimeout, seq++,
+                          EventKind::kTimeout, s, v, epoch, silent});
+      }
+    }
+  };
+
+  dispatchAll(0.0);
+
+  double lastProcessed = 0.0;
+  while (!events.empty()) {
+    const Event e = events.top();
+    events.pop();
+
+    if (e.kind == EventKind::kAssignArrive) {
+      // Slave executes the block: slave DAG init + thread-level schedule.
+      const IntraBlockResult intra = simulateIntraBlock(
+          problem, dag.rectOf(e.vertex), cfg.threadPartitionRows,
+          cfg.threadPartitionCols,
+          threads[static_cast<std::size_t>(e.node)], cfg.slavePolicy, pf);
+      result.threadStalledPicks += intra.stalledPicks;
+      const double service = pf.slaveInitOverhead + intra.makespan;
+      result.nodeBusy[static_cast<std::size_t>(e.node)] += service;
+
+      const double bytes =
+          kHeaderBytes +
+          static_cast<double>(dag.rectOf(e.vertex).cellCount()) *
+              static_cast<double>(sizeof(Score));
+      const double arrive = e.time + service + pf.transferSeconds(bytes);
+      ++result.messages;
+      result.bytesTransferred += bytes;
+      if (TaskTrace* t = traceOf(e.vertex)) {
+        t->computeDone = e.time + service;
+      }
+      events.push(Event{arrive, seq++, EventKind::kResultArrive, e.node,
+                        e.vertex, e.epoch, false});
+      continue;
+    }
+
+    if (e.kind == EventKind::kTimeout) {
+      // Simulated overtime-queue check (paper §V-B step g): only fires if
+      // this very assignment is still the current one and unfinished.
+      if (parse.isFinished(e.vertex) ||
+          assignEpoch[static_cast<std::size_t>(e.vertex)] != e.epoch) {
+        continue;
+      }
+      ++result.retries;
+      policy->onReady(e.vertex);
+      if (e.silent) {
+        // The blackholed node computed nothing; it is free again.
+        nodeIdle[static_cast<std::size_t>(e.node)] = true;
+      }
+      dispatchAll(e.time);
+      continue;
+    }
+
+    // Result arrives at the master: serialized processing, then the node
+    // is idle and newly computable sub-tasks are dispatched.
+    const double processed =
+        std::max(masterFreeAt, e.time) + pf.masterResultOverhead;
+    masterFreeAt = processed;
+    result.masterBusy += pf.masterResultOverhead;
+    nodeIdle[static_cast<std::size_t>(e.node)] = true;
+    if (!parse.isFinished(e.vertex)) {
+      lastProcessed = processed;
+      if (TaskTrace* t = traceOf(e.vertex)) {
+        t->resultProcessed = processed;
+      }
+      for (VertexId next : parse.finish(e.vertex)) {
+        policy->onReady(next);
+      }
+    }
+    dispatchAll(processed);
+  }
+
+  EASYHPS_ENSURES(parse.allDone());
+  // End messages to every slave.
+  result.messages += static_cast<std::uint64_t>(nodes);
+  result.bytesTransferred += kHeaderBytes * nodes;
+  result.makespan = lastProcessed;
+  result.masterStalledPicks = policy->stalledPicks();
+  return result;
+}
+
+}  // namespace easyhps::sim

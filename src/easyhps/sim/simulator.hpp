@@ -1,0 +1,92 @@
+#pragma once
+/// \file simulator.hpp
+/// Discrete-event simulator of the multilevel EasyHPS execution.
+///
+/// Reproduces the paper's evaluation (§VI) at Tianhe-1A scale on one core:
+/// the master-level schedule is simulated event-by-event (dispatch →
+/// transfer → slave execution → transfer → result processing) with the
+/// *same* policy objects and DAG parse state the real runtime uses, and
+/// each block's thread-level execution is simulated exactly by
+/// `simulateIntraBlock`.  Virtual time is deterministic: same config, same
+/// result, bit for bit.
+///
+/// Faithfulness notes (mirroring the runtime's structure):
+///  * a slave node executes one block at a time (recv → compute → reply);
+///  * the master's DAG parsing / result processing is serialized (the
+///    scheduler mutex), while transfers proceed in parallel per link;
+///  * a slave becomes re-assignable only after the master has processed
+///    its result — assignment and result messages do not overlap compute
+///    on the same node, which is why over-decomposition hurts (ablation A).
+
+#include <vector>
+
+#include "easyhps/dp/problem.hpp"
+#include "easyhps/sched/policy.hpp"
+#include "easyhps/sim/platform.hpp"
+
+namespace easyhps::sim {
+
+struct SimConfig {
+  Deployment deployment;
+  PlatformModel platform;
+
+  std::int64_t processPartitionRows = 200;
+  std::int64_t processPartitionCols = 200;
+  std::int64_t threadPartitionRows = 10;
+  std::int64_t threadPartitionCols = 10;
+
+  PolicyKind masterPolicy = PolicyKind::kDynamic;
+  PolicyKind slavePolicy = PolicyKind::kDynamic;
+
+  /// Record a per-task TaskTrace (adds memory ∝ task count).
+  bool collectTrace = false;
+
+  /// Fault model (paper §V at scale): each listed vertex is *blackholed*
+  /// the first time it is dispatched — the receiving node silently drops
+  /// it — and recovered through the simulated overtime queue: after
+  /// `taskTimeout` virtual seconds the master cancels the registration,
+  /// frees the node and re-distributes the task.
+  std::vector<VertexId> blackholeVertices;
+  double taskTimeout = 5.0;  ///< virtual seconds
+};
+
+/// One sub-task's lifecycle in virtual time (trace mode).
+struct TaskTrace {
+  VertexId vertex = -1;
+  int node = -1;
+  double dispatched = 0.0;     ///< master finished sending
+  double arrived = 0.0;        ///< assignment + halo landed on the node
+  double computeDone = 0.0;    ///< slave finished the block
+  double resultProcessed = 0.0;///< master injected + advanced the DAG
+};
+
+struct SimResult {
+  double makespan = 0.0;    ///< virtual seconds to complete all sub-tasks
+  double serialTime = 0.0;  ///< one core, zero overhead (speedup baseline)
+  double speedup() const { return makespan > 0 ? serialTime / makespan : 0; }
+
+  std::int64_t tasks = 0;
+  std::uint64_t messages = 0;
+  double bytesTransferred = 0.0;
+
+  double masterBusy = 0.0;
+  std::vector<double> nodeBusy;         ///< per computing node
+  std::vector<std::int64_t> tasksPerNode;
+  std::int64_t faultsInjected = 0;      ///< blackholes that fired
+  std::int64_t retries = 0;             ///< overtime re-distributions
+  std::int64_t masterStalledPicks = 0;  ///< BCW "fatal situation" count
+  std::int64_t threadStalledPicks = 0;
+
+  /// Mean computing-node busy fraction of the makespan.
+  double nodeUtilization() const;
+  /// max/mean of tasksPerNode.
+  double taskImbalance() const;
+
+  /// Per-task lifecycle records (only when SimConfig::collectTrace).
+  std::vector<TaskTrace> trace;
+};
+
+/// Simulates one full run.
+SimResult simulate(const DpProblem& problem, const SimConfig& cfg);
+
+}  // namespace easyhps::sim

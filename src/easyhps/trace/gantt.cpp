@@ -1,0 +1,63 @@
+#include "easyhps/trace/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "easyhps/trace/report.hpp"
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::trace {
+
+std::string traceCsv(const std::vector<sim::TaskTrace>& trace) {
+  std::ostringstream os;
+  os << "vertex,node,dispatched,arrived,compute_done,result_processed\n";
+  for (const sim::TaskTrace& t : trace) {
+    os << t.vertex << "," << t.node << "," << t.dispatched << "," << t.arrived
+       << "," << t.computeDone << "," << t.resultProcessed << "\n";
+  }
+  return os.str();
+}
+
+std::string asciiGantt(const std::vector<sim::TaskTrace>& trace,
+                       double makespan, int nodes, std::size_t width) {
+  EASYHPS_EXPECTS(nodes > 0);
+  EASYHPS_EXPECTS(width >= 10);
+  if (makespan <= 0.0) {
+    return "(empty schedule)\n";
+  }
+  auto column = [&](double t) {
+    const auto c = static_cast<std::int64_t>(
+        t / makespan * static_cast<double>(width - 1));
+    return static_cast<std::size_t>(
+        std::clamp<std::int64_t>(c, 0,
+                                 static_cast<std::int64_t>(width) - 1));
+  };
+  std::vector<std::string> rows(static_cast<std::size_t>(nodes),
+                                std::string(width, ' '));
+  for (const sim::TaskTrace& t : trace) {
+    if (t.node < 0 || t.node >= nodes) {
+      continue;
+    }
+    auto& row = rows[static_cast<std::size_t>(t.node)];
+    // Transfer window: dispatched → arrived.
+    for (std::size_t c = column(t.dispatched); c <= column(t.arrived); ++c) {
+      if (row[c] == ' ') {
+        row[c] = '.';
+      }
+    }
+    // Compute window: arrived → computeDone.
+    for (std::size_t c = column(t.arrived); c <= column(t.computeDone);
+         ++c) {
+      row[c] = '#';
+    }
+  }
+  std::ostringstream os;
+  for (int n = 0; n < nodes; ++n) {
+    os << "node " << n << " |" << rows[static_cast<std::size_t>(n)] << "|\n";
+  }
+  os << "        0" << std::string(width - 8, ' ') << Table::num(makespan, 2)
+     << "s\n";
+  return os.str();
+}
+
+}  // namespace easyhps::trace

@@ -1,0 +1,24 @@
+#pragma once
+/// \file gantt.hpp
+/// Rendering of simulator task traces: CSV for plotting, ASCII Gantt for
+/// the terminal.  Makes schedule pathologies (BCW stalls, end-of-wavefront
+/// starvation, fault recovery gaps) visible without external tooling.
+
+#include <string>
+#include <vector>
+
+#include "easyhps/sim/simulator.hpp"
+
+namespace easyhps::trace {
+
+/// CSV with one row per task: vertex,node,dispatched,arrived,computeDone,
+/// resultProcessed.
+std::string traceCsv(const std::vector<sim::TaskTrace>& trace);
+
+/// ASCII Gantt chart: one row per computing node, `width` character
+/// columns spanning [0, makespan]; '#' marks compute, '.' transfer/idle
+/// gaps inside assignments.
+std::string asciiGantt(const std::vector<sim::TaskTrace>& trace,
+                       double makespan, int nodes, std::size_t width = 100);
+
+}  // namespace easyhps::trace

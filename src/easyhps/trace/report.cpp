@@ -1,0 +1,85 @@
+#include "easyhps/trace/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::trace {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  EASYHPS_EXPECTS(!headers_.empty());
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  EASYHPS_CHECK(cells.size() == headers_.size(),
+                "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w + 2;
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        os << ",";
+      }
+      os << row[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+std::string banner(const std::string& title) {
+  std::ostringstream os;
+  os << "\n== " << title << " " << std::string(72 - std::min<std::size_t>(
+                                                       72, title.size() + 4),
+                                               '=')
+     << "\n";
+  return os.str();
+}
+
+}  // namespace easyhps::trace

@@ -1,0 +1,40 @@
+#pragma once
+/// \file report.hpp
+/// Plain-text table/series rendering for the benchmark harness.
+///
+/// Every figure bench prints the same series the paper plots (cores on the
+/// x-axis, elapsed time / speedup / ratio on the y-axis) as aligned text
+/// tables plus an optional CSV block, so results can be eyeballed in the
+/// terminal and regenerated into plots.
+
+#include <string>
+#include <vector>
+
+namespace easyhps::trace {
+
+/// Column-aligned text table with a title row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::int64_t v);
+
+  /// Renders with padded columns.
+  std::string render() const;
+
+  /// Renders as CSV (headers + rows).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner for bench output.
+std::string banner(const std::string& title);
+
+}  // namespace easyhps::trace

@@ -1,0 +1,122 @@
+#pragma once
+/// \file archive.hpp
+/// Byte-level serialization for the message-passing substrate.
+///
+/// The paper's runtime ships sub-task assignments (vertex id + halo data)
+/// and results (computed blocks) between master and slaves over MPI.  Our
+/// in-process substrate keeps the same discipline: every payload crosses the
+/// "wire" as a flat byte buffer, written and read through these archives, so
+/// the runtime code would port to real MPI by swapping the transport only.
+///
+/// Only trivially-copyable scalars, strings and vectors thereof are
+/// supported — deliberately: wire formats should be boring.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+
+/// Append-only byte buffer writer.
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteWriter::put requires a trivially copyable type");
+    const auto offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+  void putString(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    const auto offset = bytes_.size();
+    bytes_.resize(offset + s.size());
+    std::memcpy(bytes_.data() + offset, s.data(), s.size());
+  }
+
+  template <typename T>
+  void putVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteWriter::putVector requires trivially copyable T");
+    put<std::uint64_t>(v.size());
+    const auto offset = bytes_.size();
+    bytes_.resize(offset + v.size() * sizeof(T));
+    if (!v.empty()) {
+      std::memcpy(bytes_.data() + offset, v.data(), v.size() * sizeof(T));
+    }
+  }
+
+  std::vector<std::byte> take() && { return std::move(bytes_); }
+  const std::vector<std::byte>& bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Sequential reader over a byte buffer; throws CommError on underflow.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::byte>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  ByteReader(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteReader::get requires a trivially copyable type");
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string getString() {
+    const auto n = get<std::uint64_t>();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> getVector() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteReader::getVector requires trivially copyable T");
+    const auto n = get<std::uint64_t>();
+    require(n * sizeof(T));
+    std::vector<T> v(n);
+    if (n > 0) {
+      std::memcpy(v.data(), data_ + pos_, n * sizeof(T));
+    }
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > size_) {
+      throw CommError("ByteReader: truncated payload (need " +
+                      std::to_string(n) + " bytes, have " +
+                      std::to_string(size_ - pos_) + ")");
+    }
+  }
+
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace easyhps

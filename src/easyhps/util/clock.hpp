@@ -1,0 +1,49 @@
+#pragma once
+/// \file clock.hpp
+/// Wall-clock stopwatch (real runtime) and virtual time (simulator).
+///
+/// The discrete-event simulator (`src/easyhps/sim`) measures everything in
+/// `SimTime`: integer nanoseconds of virtual time.  Integer time plus stable
+/// event ordering makes every simulated experiment bit-reproducible — a
+/// design requirement recorded in DESIGN.md (decision 4).
+
+#include <chrono>
+#include <cstdint>
+
+namespace easyhps {
+
+/// Virtual time in nanoseconds.  Signed so durations subtract safely.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimNanosecond = 1;
+inline constexpr SimTime kSimMicrosecond = 1000;
+inline constexpr SimTime kSimMillisecond = 1000 * 1000;
+inline constexpr SimTime kSimSecond = 1000LL * 1000 * 1000;
+
+/// Converts virtual time to seconds for reporting.
+constexpr double simToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSimSecond);
+}
+
+/// Simple steady-clock stopwatch used by the real runtime and benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace easyhps

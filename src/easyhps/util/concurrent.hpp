@@ -1,0 +1,177 @@
+#pragma once
+/// \file concurrent.hpp
+/// Thread-safe containers used by the worker pools.
+///
+/// The paper's worker pools (§V-A) are built from three shared structures:
+/// a *computable sub-task stack*, a *finished sub-task stack* and an
+/// *overtime queue*.  The stacks here are closable blocking containers: a
+/// consumer blocked in `pop()` wakes with `std::nullopt` once the producer
+/// calls `close()` and the container drains — that is how the runtime tears
+/// its pools down (paper §V-B step i / §V-C step j).
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+
+/// Closable blocking LIFO.  The paper stores computable sub-task ids in a
+/// linked-list "stack"; LIFO order also gives better cache behaviour for
+/// wavefront DAGs (recently enabled blocks touch recently written halos).
+template <typename T>
+class BlockingStack {
+ public:
+  /// Pushes one element and wakes one waiter.  Throws if closed.
+  void push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      EASYHPS_CHECK(!closed_, "push on closed BlockingStack");
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an element is available or the stack is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.back());
+    items_.pop_back();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> tryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.back());
+    items_.pop_back();
+    return value;
+  }
+
+  /// Drains every element currently queued (non-blocking).
+  std::vector<T> drain() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<T> out(std::make_move_iterator(items_.begin()),
+                       std::make_move_iterator(items_.end()));
+    items_.clear();
+    return out;
+  }
+
+  /// After close(), pushes throw and pops return nullopt once drained.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Closable blocking FIFO — used for mailboxes and result channels where
+/// arrival order must be preserved.
+template <typename T>
+class BlockingQueue {
+ public:
+  void push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      EASYHPS_CHECK(!closed_, "push on closed BlockingQueue");
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  std::optional<T> tryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Waits up to `timeout`; nullopt on timeout or on closed-and-empty.
+  template <typename Rep, typename Period>
+  std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout,
+                      [this] { return !items_.empty() || closed_; })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace easyhps

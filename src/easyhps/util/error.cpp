@@ -1,0 +1,18 @@
+#include "easyhps/util/error.hpp"
+
+#include <sstream>
+
+namespace easyhps::detail {
+
+void throwCheckFailure(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "easyhps " << kind << " failed: (" << expr << ") at " << file << ":"
+     << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw LogicError(os.str());
+}
+
+}  // namespace easyhps::detail

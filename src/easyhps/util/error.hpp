@@ -1,0 +1,73 @@
+#pragma once
+/// \file error.hpp
+/// Error handling primitives for EasyHPS.
+///
+/// EasyHPS follows the C++ Core Guidelines: invariants and preconditions are
+/// enforced with checked macros that throw a typed exception carrying the
+/// failing expression and source location.  Runtime worker threads catch
+/// `easyhps::Error` at thread boundaries and convert it into a fault event
+/// so the fault-tolerance machinery can react (see `src/easyhps/fault`).
+
+#include <stdexcept>
+#include <string>
+
+namespace easyhps {
+
+/// Base exception for all EasyHPS errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violated precondition / invariant (programming error).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// Failure in the message-passing substrate (closed comm, bad rank...).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+/// A task exceeded its deadline or a worker was declared dead.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwCheckFailure(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& msg);
+}  // namespace detail
+
+}  // namespace easyhps
+
+/// Precondition check (Core Guidelines I.6 `Expects`).  Always on.
+#define EASYHPS_EXPECTS(expr)                                               \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::easyhps::detail::throwCheckFailure("precondition", #expr, __FILE__, \
+                                           __LINE__, "");                   \
+    }                                                                       \
+  } while (false)
+
+/// Postcondition / invariant check (Core Guidelines I.8 `Ensures`).
+#define EASYHPS_ENSURES(expr)                                                \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::easyhps::detail::throwCheckFailure("postcondition", #expr, __FILE__, \
+                                           __LINE__, "");                    \
+    }                                                                        \
+  } while (false)
+
+/// General runtime check with a user message.
+#define EASYHPS_CHECK(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::easyhps::detail::throwCheckFailure("check", #expr, __FILE__,  \
+                                           __LINE__, (msg));          \
+    }                                                                 \
+  } while (false)

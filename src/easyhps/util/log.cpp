@@ -1,0 +1,53 @@
+#include "easyhps/util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iomanip>
+#include <mutex>
+
+namespace easyhps::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::mutex g_write_mutex;
+
+thread_local std::string t_thread_name = "?";
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::kTrace:
+      return "TRACE";
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void setLevel(Level level) { g_level.store(static_cast<int>(level)); }
+
+Level level() { return static_cast<Level>(g_level.load()); }
+
+void setThreadName(const std::string& name) { t_thread_name = name; }
+
+const std::string& threadName() { return t_thread_name; }
+
+void write(Level lvl, const std::string& message) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%10.6f] %s [%s] %s\n", secs, levelName(lvl),
+               t_thread_name.c_str(), message.c_str());
+}
+
+}  // namespace easyhps::log

@@ -1,0 +1,46 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled, thread-safe logger.
+///
+/// The runtime spawns many threads (one comm thread per slave in the master
+/// worker pool, computing threads in each slave, fault-tolerance threads);
+/// interleaved `std::cerr` writes would be unreadable.  This logger
+/// serializes whole lines and stamps them with a monotonic timestamp and the
+/// logical thread name registered via `setThreadName`.
+
+#include <sstream>
+#include <string>
+
+namespace easyhps::log {
+
+enum class Level { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Global minimum level; messages below it are dropped. Default: kWarn so
+/// tests and benches stay quiet unless they opt in.
+void setLevel(Level level);
+Level level();
+
+/// Registers a human-readable name for the calling thread ("master",
+/// "slave-3", "worker-1/2", ...). Used in every log line.
+void setThreadName(const std::string& name);
+const std::string& threadName();
+
+/// Emits one line; thread-safe. Prefer the EASYHPS_LOG macro.
+void write(Level level, const std::string& message);
+
+}  // namespace easyhps::log
+
+#define EASYHPS_LOG(lvl, streamexpr)                           \
+  do {                                                         \
+    if (static_cast<int>(lvl) >=                               \
+        static_cast<int>(::easyhps::log::level())) {           \
+      std::ostringstream easyhps_log_os;                       \
+      easyhps_log_os << streamexpr;                            \
+      ::easyhps::log::write((lvl), easyhps_log_os.str());      \
+    }                                                          \
+  } while (false)
+
+#define EASYHPS_LOG_DEBUG(s) EASYHPS_LOG(::easyhps::log::Level::kDebug, s)
+#define EASYHPS_LOG_INFO(s) EASYHPS_LOG(::easyhps::log::Level::kInfo, s)
+#define EASYHPS_LOG_WARN(s) EASYHPS_LOG(::easyhps::log::Level::kWarn, s)
+#define EASYHPS_LOG_ERROR(s) EASYHPS_LOG(::easyhps::log::Level::kError, s)

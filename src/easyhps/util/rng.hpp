@@ -1,0 +1,96 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, splittable pseudo-random number generation.
+///
+/// Experiments must be reproducible across runs and across thread counts, so
+/// EasyHPS never uses `std::random_device` or global RNG state.  Each
+/// component derives its own stream from a master seed with `split()`, which
+/// mixes a label into the state (SplitMix64 finalizer); two components with
+/// different labels get statistically independent streams.
+
+#include <cstdint>
+
+namespace easyhps {
+
+/// SplitMix64 — tiny, fast, passes BigCrush when used as a stream.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** with SplitMix64 seeding; the library's workhorse RNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 mixer(seed);
+    for (auto& word : state_) {
+      word = mixer.next();
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t nextU64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t nextBelow(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = nextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (low < threshold) {
+        x = nextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t nextInRange(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derives an independent stream labelled by `label`.
+  Rng split(std::uint64_t label) const {
+    SplitMix64 mixer(state_[0] ^ (label * 0x9E3779B97F4A7C15ULL) ^ state_[3]);
+    return Rng(mixer.next());
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace easyhps

@@ -1,0 +1,44 @@
+#include "easyhps/util/stats.hpp"
+
+#include <sstream>
+
+namespace easyhps {
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) {
+    return lo_;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      return lo_ + (static_cast<double>(i) + 0.5) * width;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream os;
+  std::uint64_t peak = 1;
+  for (auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  const double bucket_width =
+      (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double left = lo_ + static_cast<double>(i) * bucket_width;
+    const auto bars = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << "[" << left << ", " << left + bucket_width << ") "
+       << std::string(bars, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace easyhps

@@ -1,0 +1,109 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming statistics used by traces, benches and the load-balance report.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace easyhps {
+
+/// Welford online mean/variance with min/max.  O(1) memory, numerically
+/// stable, mergeable (needed to combine per-worker series).
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  /// Merges another accumulator (Chan et al. parallel variance).
+  void merge(const OnlineStats& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// max/mean — the classic load-imbalance factor (1.0 = perfectly even).
+  double imbalance() const {
+    return (count_ == 0 || mean_ == 0.0) ? 0.0 : max_ / mean_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket linear histogram for latency-style distributions.
+class Histogram {
+ public:
+  /// Buckets of width (hi-lo)/n over [lo, hi); outliers clamp to the ends.
+  Histogram(double lo, double hi, std::size_t n)
+      : lo_(lo), hi_(hi), counts_(n, 0) {}
+
+  void add(double x) {
+    const auto n = counts_.size();
+    double t = (x - lo_) / (hi_ - lo_);
+    t = std::clamp(t, 0.0, 1.0);
+    auto idx = static_cast<std::size_t>(t * static_cast<double>(n));
+    if (idx >= n) {
+      idx = n - 1;
+    }
+    ++counts_[idx];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Approximate quantile from bucket boundaries, q in [0,1].
+  double quantile(double q) const;
+
+  /// Renders a compact ASCII bar chart (for bench output).
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace easyhps

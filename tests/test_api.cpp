@@ -1,0 +1,206 @@
+// Tests for the functional user API (the paper's Table I surface): specs
+// for each supported pattern validated against independent hand-written
+// oracles, through the blocked solver and the full runtime.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/runtime/api.hpp"
+#include "easyhps/runtime/runtime.hpp"
+
+namespace easyhps::api {
+namespace {
+
+// --- Wavefront spec: edit distance written as a user would ---------------
+
+Spec editDistanceSpec(const std::string& a, const std::string& b) {
+  Spec spec;
+  spec.name = "user-editdist";
+  spec.pattern = PatternKind::kWavefront2D;
+  spec.rows = static_cast<std::int64_t>(a.size());
+  spec.cols = static_cast<std::int64_t>(b.size());
+  spec.boundary = [](std::int64_t r, std::int64_t c) -> Score {
+    if (r < 0 && c < 0) {
+      return 0;
+    }
+    return static_cast<Score>(r < 0 ? c + 1 : r + 1);
+  };
+  spec.cell = [a, b](const CellCtx& m, std::int64_t r,
+                     std::int64_t c) -> Score {
+    const Score sub =
+        static_cast<Score>(m(r - 1, c - 1) + (a[static_cast<std::size_t>(r)] ==
+                                                      b[static_cast<std::size_t>(c)]
+                                                  ? 0
+                                                  : 1));
+    return std::min({sub, static_cast<Score>(m(r - 1, c) + 1),
+                     static_cast<Score>(m(r, c - 1) + 1)});
+  };
+  return spec;
+}
+
+// Independent oracle (not the adapter's solveReference).
+Score editDistOracle(const std::string& a, const std::string& b) {
+  std::vector<std::vector<Score>> d(a.size() + 1,
+                                    std::vector<Score>(b.size() + 1, 0));
+  for (std::size_t i = 0; i <= a.size(); ++i) {
+    d[i][0] = static_cast<Score>(i);
+  }
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    d[0][j] = static_cast<Score>(j);
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      d[i][j] = std::min({static_cast<Score>(d[i - 1][j] + 1),
+                          static_cast<Score>(d[i][j - 1] + 1),
+                          static_cast<Score>(d[i - 1][j - 1] +
+                                             (a[i - 1] == b[j - 1] ? 0 : 1))});
+    }
+  }
+  return d[a.size()][b.size()];
+}
+
+TEST(FunctionalApi, WavefrontSpecMatchesOracle) {
+  const std::string a = randomSequence(40, 61);
+  const std::string b = randomSequence(35, 62);
+  FunctionalDpProblem p(editDistanceSpec(a, b));
+  const Window solved = solveBlocked(p, 11, 13);
+  EXPECT_EQ(solved.get(p.rows() - 1, p.cols() - 1), editDistOracle(a, b));
+}
+
+TEST(FunctionalApi, WavefrontSpecThroughRuntime) {
+  const std::string a = randomSequence(33, 63);
+  const std::string b = randomSequence(31, 64);
+  FunctionalDpProblem p(editDistanceSpec(a, b));
+  RuntimeConfig cfg;
+  cfg.slaveCount = 2;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 10;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 4;
+  const RunResult r = Runtime(cfg).run(p);
+  EXPECT_EQ(r.matrix.get(p.rows() - 1, p.cols() - 1), editDistOracle(a, b));
+}
+
+// --- Triangular spec: Nussinov-like pair counting -------------------------
+
+TEST(FunctionalApi, TriangularSpecMatchesOracle) {
+  const std::string rna = randomRna(30, 65);
+  const std::int64_t n = 30;
+  Spec spec;
+  spec.name = "user-nussinov";
+  spec.pattern = PatternKind::kTriangular2D1D;
+  spec.rows = spec.cols = n;
+  spec.boundary = [](std::int64_t, std::int64_t) { return Score{0}; };
+  spec.cell = [rna](const CellCtx& m, std::int64_t i,
+                    std::int64_t j) -> Score {
+    if (i == j) {
+      return 0;
+    }
+    Score best = std::max(m(i + 1, j), m(i, j - 1));
+    if (j - i > 1 && rnaPairs(rna[static_cast<std::size_t>(i)],
+                              rna[static_cast<std::size_t>(j)])) {
+      best = std::max(best, static_cast<Score>(m(i + 1, j - 1) + 1));
+    }
+    for (std::int64_t k = i + 1; k < j; ++k) {
+      best = std::max(best, static_cast<Score>(m(i, k) + m(k + 1, j)));
+    }
+    return best;
+  };
+
+  FunctionalDpProblem p(std::move(spec));
+  const Window solved = solveBlocked(p, 8, 8);
+
+  // Oracle: the library's own Nussinov with identical parameters.
+  Nussinov oracle(rna, 1);
+  EXPECT_EQ(solved.get(0, n - 1), oracle.solveReference().at(0, n - 1));
+}
+
+// --- Stage spec: max-sum over layered transitions --------------------------
+
+TEST(FunctionalApi, RowDependentSpecMatchesOracle) {
+  // Stage DP: V[t][s] = max over p of V[t-1][p] + w(p, s), V[-1][p] = 0.
+  const std::int64_t steps = 20;
+  const std::int64_t states = 8;
+  const std::uint64_t seed = 66;
+  Spec spec;
+  spec.name = "user-stagedp";
+  spec.pattern = PatternKind::kRowDependent2D;
+  spec.rows = steps;
+  spec.cols = states;
+  spec.boundary = [](std::int64_t, std::int64_t) { return Score{0}; };
+  spec.cell = [states, seed](const CellCtx& m, std::int64_t t,
+                             std::int64_t s) -> Score {
+    Score best = std::numeric_limits<Score>::min();
+    for (std::int64_t p = 0; p < states; ++p) {
+      best = std::max(best, static_cast<Score>(m(t - 1, p) +
+                                               hashWeight(p, s, seed, 10)));
+    }
+    return best;
+  };
+  FunctionalDpProblem p(std::move(spec));
+  const Window solved = solveBlocked(p, 5, 3 /* col partition ignored */);
+
+  // Oracle.
+  std::vector<Score> prev(static_cast<std::size_t>(states), 0);
+  for (std::int64_t t = 0; t < steps; ++t) {
+    std::vector<Score> cur(static_cast<std::size_t>(states));
+    for (std::int64_t s = 0; s < states; ++s) {
+      Score best = std::numeric_limits<Score>::min();
+      for (std::int64_t q = 0; q < states; ++q) {
+        best = std::max(best,
+                        static_cast<Score>(prev[static_cast<std::size_t>(q)] +
+                                           hashWeight(q, s, seed, 10)));
+      }
+      cur[static_cast<std::size_t>(s)] = best;
+    }
+    prev = std::move(cur);
+  }
+  for (std::int64_t s = 0; s < states; ++s) {
+    EXPECT_EQ(solved.get(steps - 1, s), prev[static_cast<std::size_t>(s)]);
+  }
+}
+
+TEST(FunctionalApi, HaloOverrideRespected) {
+  Spec spec = editDistanceSpec("ABCD", "ABCD");
+  bool called = false;
+  spec.haloOverride = [&called](const CellRect& rect) {
+    called = true;
+    std::vector<CellRect> halos;
+    if (rect.row0 > 0) {
+      halos.push_back(CellRect{rect.row0 - 1, 0, 1, 4});
+    }
+    if (rect.col0 > 0) {
+      halos.push_back(CellRect{0, rect.col0 - 1, 4, 1});
+    }
+    return halos;
+  };
+  FunctionalDpProblem p(std::move(spec));
+  (void)p.haloFor(CellRect{2, 2, 2, 2});
+  EXPECT_TRUE(called);
+}
+
+TEST(FunctionalApi, MissingPiecesRejected) {
+  Spec spec;
+  spec.rows = spec.cols = 4;
+  spec.boundary = [](std::int64_t, std::int64_t) { return Score{0}; };
+  EXPECT_THROW(FunctionalDpProblem{spec}, LogicError);  // no cell fn
+  spec.cell = [](const CellCtx&, std::int64_t, std::int64_t) {
+    return Score{0};
+  };
+  spec.pattern = PatternKind::kFull2D2D;  // unsupported in the adapter
+  EXPECT_THROW(FunctionalDpProblem{spec}, LogicError);
+}
+
+TEST(FunctionalApi, CellOpsFeedsCostModel) {
+  Spec spec = editDistanceSpec("ABCDEFGH", "ABCDEFGH");
+  spec.cellOps = [](std::int64_t r, std::int64_t c) {
+    return static_cast<double>(r + c);
+  };
+  FunctionalDpProblem p(std::move(spec));
+  EXPECT_GT(p.blockOps(CellRect{4, 4, 4, 4}),
+            p.blockOps(CellRect{0, 0, 4, 4}));
+}
+
+}  // namespace
+}  // namespace easyhps::api

@@ -1,0 +1,294 @@
+// Tests for the DAG Pattern Model: builder invariants, library patterns,
+// parse state, and cross-validation of block-level DAGs against cell-level
+// DAGs (1×1 blocks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "easyhps/dag/library.hpp"
+#include "easyhps/dag/parse_state.hpp"
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+namespace {
+
+TEST(DagPattern, BuilderBasics) {
+  DagPattern::Builder b(3);
+  b.addEdge(0, 1);
+  b.addEdge(1, 2);
+  b.addEdge(0, 2);
+  const DagPattern d = std::move(b).finalize();
+  EXPECT_EQ(d.vertexCount(), 3);
+  EXPECT_EQ(d.edgeCount(), 3);
+  EXPECT_EQ(d.predCount(0), 0);
+  EXPECT_EQ(d.predCount(2), 2);
+  EXPECT_EQ(d.succCount(0), 2);
+  EXPECT_EQ(d.sources(), std::vector<VertexId>{0});
+}
+
+TEST(DagPattern, DuplicateEdgesDeduplicated) {
+  DagPattern::Builder b(2);
+  b.addEdge(0, 1);
+  b.addEdge(0, 1);
+  const DagPattern d = std::move(b).finalize();
+  EXPECT_EQ(d.edgeCount(), 1);
+  EXPECT_EQ(d.predCount(1), 1);
+}
+
+TEST(DagPattern, CycleDetected) {
+  DagPattern::Builder b(3);
+  b.addEdge(0, 1);
+  b.addEdge(1, 2);
+  b.addEdge(2, 0);
+  EXPECT_THROW(std::move(b).finalize(), LogicError);
+}
+
+TEST(DagPattern, SelfEdgeRejected) {
+  DagPattern::Builder b(2);
+  EXPECT_THROW(b.addEdge(1, 1), LogicError);
+}
+
+TEST(DagPattern, TopologicalOrderRespectsEdges) {
+  DagPattern::Builder b(6);
+  b.addEdge(0, 2);
+  b.addEdge(1, 2);
+  b.addEdge(2, 3);
+  b.addEdge(2, 4);
+  b.addEdge(3, 5);
+  b.addEdge(4, 5);
+  const DagPattern d = std::move(b).finalize();
+  const auto order = d.topologicalOrder();
+  ASSERT_EQ(order.size(), 6u);
+  std::vector<std::int64_t> pos(6);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<std::int64_t>(i);
+  }
+  for (VertexId v = 0; v < 6; ++v) {
+    for (VertexId s : d.successors(v)) {
+      EXPECT_LT(pos[static_cast<std::size_t>(v)],
+                pos[static_cast<std::size_t>(s)]);
+    }
+  }
+}
+
+TEST(Wavefront2D, StructureOfSmallGrid) {
+  const BlockGrid grid(6, 6, 2, 2);  // 3×3 blocks
+  const PartitionedDag p = makeWavefront2D(grid);
+  EXPECT_EQ(p.vertexCount(), 9);
+  // Corner (0,0) is the only source.
+  EXPECT_EQ(p.dag.sources(), std::vector<VertexId>{p.vertexAt(0, 0)});
+  // Middle block has 2 preds (up, left) and 2 succs.
+  const VertexId mid = p.vertexAt(1, 1);
+  EXPECT_EQ(p.dag.predCount(mid), 2);
+  EXPECT_EQ(p.dag.succCount(mid), 2);
+  // Data preds include the diagonal.
+  EXPECT_EQ(p.dag.dataPredecessors(mid).size(), 3u);
+  EXPECT_TRUE(p.dag.dataEdgesCoveredByPrecedence());
+}
+
+TEST(FlippedWavefront2D, SourceIsBottomLeft) {
+  const BlockGrid grid(4, 4, 2, 2);
+  const PartitionedDag p = makeFlippedWavefront2D(grid);
+  EXPECT_EQ(p.dag.sources(), std::vector<VertexId>{p.vertexAt(1, 0)});
+  EXPECT_TRUE(p.dag.dataEdgesCoveredByPrecedence());
+}
+
+TEST(Triangular2D1D, OnlyUpperBlocksActive) {
+  const BlockGrid grid(8, 8, 2, 2);  // 4×4 blocks, upper triangle: 10 active
+  const PartitionedDag p = makeTriangular2D1D(grid);
+  EXPECT_EQ(p.vertexCount(), 10);
+  EXPECT_EQ(p.vertexAt(2, 1), -1);  // below diagonal
+  EXPECT_GE(p.vertexAt(1, 2), 0);
+  // Sources: the diagonal blocks.
+  const auto sources = p.dag.sources();
+  EXPECT_EQ(sources.size(), 4u);
+  for (VertexId s : sources) {
+    const BlockCoord c = p.coordOf(s);
+    EXPECT_EQ(c.bi, c.bj);
+  }
+  EXPECT_TRUE(p.dag.dataEdgesCoveredByPrecedence());
+}
+
+TEST(Triangular2D1D, DataPredsAreRowAndColumnSegments) {
+  const BlockGrid grid(10, 10, 2, 2);  // 5×5 blocks
+  const PartitionedDag p = makeTriangular2D1D(grid);
+  const VertexId v = p.vertexAt(1, 3);
+  std::set<std::pair<std::int64_t, std::int64_t>> preds;
+  for (VertexId d : p.dag.dataPredecessors(v)) {
+    const BlockCoord c = p.coordOf(d);
+    preds.insert({c.bi, c.bj});
+  }
+  // Row segment (1,1), (1,2); column segment (2,3), (3,3); diag (2,2).
+  EXPECT_TRUE(preds.count({1, 1}));
+  EXPECT_TRUE(preds.count({1, 2}));
+  EXPECT_TRUE(preds.count({2, 3}));
+  EXPECT_TRUE(preds.count({3, 3}));
+  EXPECT_TRUE(preds.count({2, 2}));
+  EXPECT_EQ(preds.size(), 5u);
+}
+
+TEST(Full2D2D, DataPredsAreDominatedRectangle) {
+  const BlockGrid grid(6, 6, 2, 2);
+  const PartitionedDag p = makeFull2D2D(grid);
+  const VertexId v = p.vertexAt(2, 2);
+  EXPECT_EQ(p.dag.dataPredecessors(v).size(), 8u);  // 3×3 − self
+  EXPECT_EQ(p.dag.predCount(v), 2);                 // precedence reduced
+  EXPECT_TRUE(p.dag.dataEdgesCoveredByPrecedence());
+}
+
+TEST(Linear1D, Chain) {
+  const PartitionedDag p = makeLinear1D(5);
+  EXPECT_EQ(p.vertexCount(), 5);
+  EXPECT_EQ(p.dag.sources().size(), 1u);
+  const auto order = p.dag.topologicalOrder();
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_EQ(p.dag.succCount(order[i]), 1);
+  }
+}
+
+TEST(Custom, UserDefinedPatternWithMask) {
+  const BlockGrid grid(4, 4, 1, 1);
+  // Active on even diagonal sums; deps: two steps left.
+  auto active = [](std::int64_t bi, std::int64_t bj) {
+    return (bi + bj) % 2 == 0;
+  };
+  auto topo = [](std::int64_t bi, std::int64_t bj) {
+    return std::vector<BlockCoord>{{bi, bj - 2}};
+  };
+  const PartitionedDag p = makeCustom(grid, topo, nullptr, active);
+  EXPECT_EQ(p.kind, PatternKind::kUserDefined);
+  EXPECT_EQ(p.vertexCount(), 8);
+  const VertexId v = p.vertexAt(0, 2);
+  ASSERT_GE(v, 0);
+  EXPECT_EQ(p.dag.predCount(v), 1);
+}
+
+TEST(Library, DispatchMatchesFactories) {
+  const BlockGrid grid(6, 6, 3, 3);
+  EXPECT_EQ(makeFromLibrary(PatternKind::kWavefront2D, grid).vertexCount(),
+            makeWavefront2D(grid).vertexCount());
+  EXPECT_THROW(makeFromLibrary(PatternKind::kUserDefined, grid), LogicError);
+}
+
+// --- Parse state ---------------------------------------------------------
+
+TEST(DagParseState, WavefrontParseProducesAntiDiagonals) {
+  const BlockGrid grid(4, 4, 1, 1);
+  const PartitionedDag p = makeWavefront2D(grid);
+  DagParseState state(p.dag);
+  auto frontier = state.initiallyComputable();
+  EXPECT_EQ(frontier.size(), 1u);
+  int waves = 0;
+  while (!frontier.empty()) {
+    ++waves;
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      for (VertexId n : state.finish(v)) {
+        next.push_back(n);
+      }
+    }
+    frontier = std::move(next);
+  }
+  EXPECT_TRUE(state.allDone());
+  EXPECT_EQ(waves, 7);  // 2·4 − 1 anti-diagonals
+}
+
+TEST(DagParseState, DuplicateFinishIsNoOp) {
+  const PartitionedDag p = makeLinear1D(3);
+  DagParseState state(p.dag);
+  auto next = state.finish(0);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_TRUE(state.finish(0).empty());  // duplicate: no effect
+  EXPECT_EQ(state.finishedCount(), 1);
+}
+
+TEST(DagParseState, PrematureFinishRejected) {
+  const PartitionedDag p = makeLinear1D(3);
+  DagParseState state(p.dag);
+  EXPECT_THROW(state.finish(2), LogicError);
+}
+
+TEST(DagParseState, ResetRestoresInitialState) {
+  const PartitionedDag p = makeLinear1D(4);
+  DagParseState state(p.dag);
+  state.finish(0);
+  state.finish(1);
+  state.reset();
+  EXPECT_EQ(state.finishedCount(), 0);
+  EXPECT_FALSE(state.isFinished(0));
+  EXPECT_EQ(state.initiallyComputable().size(), 1u);
+}
+
+TEST(DagParseState, EveryVertexBecomesComputableExactlyOnce) {
+  for (auto kind : {PatternKind::kWavefront2D, PatternKind::kTriangular2D1D,
+                    PatternKind::kFull2D2D}) {
+    const BlockGrid grid(12, 12, 3, 3);
+    const PartitionedDag p = makeFromLibrary(kind, grid);
+    DagParseState state(p.dag);
+    std::multiset<VertexId> seen;
+    std::vector<VertexId> frontier = state.initiallyComputable();
+    for (VertexId v : frontier) {
+      seen.insert(v);
+    }
+    while (!frontier.empty()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      for (VertexId n : state.finish(v)) {
+        seen.insert(n);
+        frontier.push_back(n);
+      }
+    }
+    EXPECT_TRUE(state.allDone()) << patternKindName(kind);
+    EXPECT_EQ(static_cast<std::int64_t>(seen.size()), p.vertexCount());
+    for (VertexId v = 0; v < p.vertexCount(); ++v) {
+      EXPECT_EQ(seen.count(v), 1u);
+    }
+  }
+}
+
+// --- Block DAG vs cell DAG cross-validation ------------------------------
+
+// The block-level DAG must be the quotient of the cell-level DAG: if cell u
+// (in block U) depends on cell v (in block V ≠ U), then V must precede U in
+// the block DAG (reachability).
+TEST(Partition, WavefrontBlockDagIsQuotientOfCellDag) {
+  const std::int64_t n = 12;
+  const BlockGrid cellGrid(n, n, 1, 1);
+  const BlockGrid blockGrid(n, n, 4, 3);
+  const PartitionedDag cells = makeWavefront2D(cellGrid);
+  const PartitionedDag blocks = makeWavefront2D(blockGrid);
+
+  // Block-level reachability by Floyd-style closure over topo order.
+  const auto order = blocks.dag.topologicalOrder();
+  std::vector<std::set<VertexId>> ancestors(
+      static_cast<std::size_t>(blocks.vertexCount()));
+  for (VertexId v : order) {
+    for (VertexId s : blocks.dag.successors(v)) {
+      ancestors[static_cast<std::size_t>(s)].insert(v);
+      ancestors[static_cast<std::size_t>(s)].insert(
+          ancestors[static_cast<std::size_t>(v)].begin(),
+          ancestors[static_cast<std::size_t>(v)].end());
+    }
+  }
+
+  for (VertexId cv = 0; cv < cells.vertexCount(); ++cv) {
+    const BlockCoord cc = cells.coordOf(cv);
+    const BlockCoord cellBlock = blockGrid.blockOfCell(cc.bi, cc.bj);
+    const VertexId bu = blocks.vertexAt(cellBlock.bi, cellBlock.bj);
+    for (VertexId dep : cells.dag.dataPredecessors(cv)) {
+      const BlockCoord dc = cells.coordOf(dep);
+      const BlockCoord depBlock = blockGrid.blockOfCell(dc.bi, dc.bj);
+      const VertexId bv = blocks.vertexAt(depBlock.bi, depBlock.bj);
+      if (bu == bv) {
+        continue;  // intra-block dependency
+      }
+      EXPECT_TRUE(ancestors[static_cast<std::size_t>(bu)].count(bv))
+          << "cell (" << cc.bi << "," << cc.bj << ") depends on block ("
+          << depBlock.bi << "," << depBlock.bj << ") not preceding its own";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easyhps

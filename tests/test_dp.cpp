@@ -1,0 +1,401 @@
+// Correctness tests for the DP problems: block kernels against textbook
+// references, halo sufficiency via isolated per-block windows (exactly the
+// data flow the distributed runtime performs), and two-level partitioning.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/obst.hpp"
+#include "easyhps/dp/problem.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/dp/twod2d.hpp"
+
+namespace easyhps {
+namespace {
+
+// Solves the problem the way the distributed runtime does: every master
+// block is computed in an isolated window containing only the block and its
+// declared halo, then injected back into the master window.  Any halo
+// under-declaration either throws (boundary of non-triangular problems) or
+// yields wrong values caught by the reference comparison.
+Window solveViaHaloWindows(const DpProblem& p, std::int64_t pr,
+                           std::int64_t pc) {
+  const PartitionedDag master = buildMasterDag(p, pr, pc);
+  Window full(CellRect{0, 0, p.rows(), p.cols()}, p.boundaryFn());
+  for (VertexId v : master.dag.topologicalOrder()) {
+    const CellRect rect = master.rectOf(v);
+    const auto halos = p.haloFor(rect);
+    Window local(boundingBox(rect, halos), p.boundaryFn());
+    for (const CellRect& h : halos) {
+      local.inject(h, full.extract(h));
+    }
+    p.computeBlock(local, rect);
+    full.inject(rect, local.extract(rect));
+  }
+  return full;
+}
+
+// Same, but each block is further partitioned by the slave DAG and each
+// sub-block computed through it (two-level decomposition, still serial).
+Window solveViaHaloWindowsTwoLevel(const DpProblem& p, std::int64_t pr,
+                                   std::int64_t pc, std::int64_t tr,
+                                   std::int64_t tc) {
+  const PartitionedDag master = buildMasterDag(p, pr, pc);
+  Window full(CellRect{0, 0, p.rows(), p.cols()}, p.boundaryFn());
+  for (VertexId v : master.dag.topologicalOrder()) {
+    const CellRect rect = master.rectOf(v);
+    const auto halos = p.haloFor(rect);
+    Window local(boundingBox(rect, halos), p.boundaryFn());
+    for (const CellRect& h : halos) {
+      local.inject(h, full.extract(h));
+    }
+    const PartitionedDag slave = buildSlaveDag(p, rect, tr, tc);
+    for (VertexId sv : slave.dag.topologicalOrder()) {
+      p.computeBlock(local, slaveVertexRect(slave, rect, sv));
+    }
+    full.inject(rect, local.extract(rect));
+  }
+  return full;
+}
+
+void expectMatchesReference(const DpProblem& p, const Window& solved) {
+  const DenseMatrix<Score> ref = p.solveReference();
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      if (!p.cellActive(r, c)) {
+        continue;
+      }
+      ASSERT_EQ(solved.get(r, c), ref.at(r, c))
+          << p.name() << " mismatch at (" << r << "," << c << ")";
+    }
+  }
+}
+
+std::unique_ptr<DpProblem> makeProblem(const std::string& key,
+                                       std::int64_t n) {
+  if (key == "editdist") {
+    return std::make_unique<EditDistance>(randomSequence(n, 1),
+                                          randomSequence(n, 2));
+  }
+  if (key == "swgg") {
+    return std::make_unique<SmithWatermanGeneralGap>(randomSequence(n, 3),
+                                                     randomSequence(n, 4));
+  }
+  if (key == "nussinov") {
+    return std::make_unique<Nussinov>(randomRna(n, 5));
+  }
+  if (key == "obst") {
+    return std::make_unique<OptimalBst>(n, 6);
+  }
+  if (key == "2d2d") {
+    return std::make_unique<TwoDTwoD>(n, 7);
+  }
+  throw LogicError("unknown problem key " + key);
+}
+
+// --- Window --------------------------------------------------------------
+
+TEST(Window, InBoxReadWrite) {
+  Window w(CellRect{2, 3, 4, 4}, [](std::int64_t, std::int64_t) {
+    return Score{-9};
+  });
+  w.set(3, 4, 17);
+  EXPECT_EQ(w.get(3, 4), 17);
+  EXPECT_EQ(w.get(2, 3), 0);   // zero-initialized
+  EXPECT_EQ(w.get(0, 0), -9);  // boundary fallback
+}
+
+TEST(Window, SetOutsideBoxThrows) {
+  Window w(CellRect{0, 0, 2, 2}, [](std::int64_t, std::int64_t) {
+    return Score{0};
+  });
+  EXPECT_THROW(w.set(2, 0, 1), LogicError);
+}
+
+TEST(Window, ExtractInjectRoundTrip) {
+  Window w(CellRect{1, 1, 5, 5}, [](std::int64_t, std::int64_t) {
+    return Score{0};
+  });
+  for (std::int64_t r = 1; r < 6; ++r) {
+    for (std::int64_t c = 1; c < 6; ++c) {
+      w.set(r, c, static_cast<Score>(r * 10 + c));
+    }
+  }
+  const CellRect rect{2, 3, 2, 2};
+  auto buf = w.extract(rect);
+  Window w2(CellRect{1, 1, 5, 5}, [](std::int64_t, std::int64_t) {
+    return Score{0};
+  });
+  w2.inject(rect, buf);
+  EXPECT_EQ(w2.get(2, 3), 23);
+  EXPECT_EQ(w2.get(3, 4), 34);
+}
+
+TEST(Window, BoundingBoxCoversBlockAndHalos) {
+  const CellRect block{10, 10, 5, 5};
+  const std::vector<CellRect> halos{{0, 10, 10, 5}, {10, 0, 5, 10}};
+  const CellRect box = boundingBox(block, halos);
+  EXPECT_EQ(box.row0, 0);
+  EXPECT_EQ(box.col0, 0);
+  EXPECT_EQ(box.rowEnd(), 15);
+  EXPECT_EQ(box.colEnd(), 15);
+}
+
+// --- Reference sanity ----------------------------------------------------
+
+TEST(EditDistance, KnownSmallCases) {
+  EditDistance p("kitten", "sitting");
+  const auto ref = p.solveReference();
+  EXPECT_EQ(ref.at(5, 6), 3);  // classic answer
+  EditDistance same("abc", "abc");
+  EXPECT_EQ(same.solveReference().at(2, 2), 0);
+  EditDistance all("aaa", "bbb");
+  EXPECT_EQ(all.solveReference().at(2, 2), 3);
+}
+
+TEST(Swgg, PerfectMatchScores) {
+  SmithWatermanGeneralGap p("ACGT", "ACGT");
+  const auto ref = p.solveReference();
+  EXPECT_EQ(ref.at(3, 3), 8);  // 4 matches × 2
+}
+
+TEST(Swgg, GapPenaltyApplied) {
+  // a = ACGT, b = AC|GT with an inserted base: one gap of length 1.
+  SmithWatermanGeneralGap p("ACGT", "ACAGT");
+  const auto ref = p.solveReference();
+  // Best local alignment: ACGT vs AC-A-GT → 4 matches − g(1) = 8 − 2 = 6.
+  Score best = 0;
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      best = std::max(best, ref.at(r, c));
+    }
+  }
+  EXPECT_EQ(best, 6);
+}
+
+TEST(Swgg, CustomGapFunctionRespected) {
+  // Concave gap g(k) = 3 (flat): long gaps cost the same as short ones.
+  SmithWatermanGeneralGap::Params params;
+  params.gap = [](std::int64_t) { return Score{3}; };
+  SmithWatermanGeneralGap p("AAAATTTT", "AAAACCCCCCTTTT", params);
+  Score best = 0;
+  const auto ref = p.solveReference();
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      best = std::max(best, ref.at(r, c));
+    }
+  }
+  // 8 matches × 2 − one flat gap (6 C's) of cost 3 = 13.
+  EXPECT_EQ(best, 13);
+}
+
+TEST(Nussinov, KnownHairpin) {
+  // GGGAAACCC folds into a 3-pair hairpin with minLoop=1... the classic.
+  Nussinov p("GGGAAACCC");
+  const auto ref = p.solveReference();
+  EXPECT_EQ(ref.at(0, 8), 3);
+}
+
+TEST(Nussinov, MinLoopBlocksTightPairs) {
+  Nussinov loose("GC", 0);
+  EXPECT_EQ(loose.solveReference().at(0, 1), 1);
+  Nussinov tight("GC", 1);
+  EXPECT_EQ(tight.solveReference().at(0, 1), 0);
+}
+
+TEST(Nussinov, TracebackConsistent) {
+  const std::string rna = randomRna(40, 11);
+  Nussinov p(rna);
+  Window solved = solveBlocked(p, 8, 8);
+  const auto pairs = p.structure(solved);
+  EXPECT_EQ(static_cast<Score>(pairs.size()), p.bestScore(solved));
+  std::vector<bool> used(rna.size(), false);
+  for (const auto& [i, j] : pairs) {
+    EXPECT_TRUE(rnaPairs(rna[static_cast<std::size_t>(i)],
+                         rna[static_cast<std::size_t>(j)]));
+    EXPECT_GT(j - i, 1);
+    EXPECT_FALSE(used[static_cast<std::size_t>(i)]);
+    EXPECT_FALSE(used[static_cast<std::size_t>(j)]);
+    used[static_cast<std::size_t>(i)] = used[static_cast<std::size_t>(j)] =
+        true;
+  }
+  const std::string db = p.dotBracket(pairs);
+  EXPECT_EQ(db.size(), rna.size());
+}
+
+TEST(Obst, SingleKeyZeroCost) {
+  OptimalBst p(std::vector<std::int32_t>{5});
+  EXPECT_EQ(p.solveReference().at(0, 0), 0);
+}
+
+TEST(Obst, TwoKeysPicksCheaperRoot) {
+  // Keys with freqs {1, 9}: root should be the popular key.
+  OptimalBst p(std::vector<std::int32_t>{1, 9});
+  // D[0][1] = w(0,1) + min(D[0][0] + D[1][1] via k=1, ...) = 10 + min over
+  // k∈{1}: D[0][0]+D[1][1]=0 → 10.
+  EXPECT_EQ(p.solveReference().at(0, 1), 10);
+}
+
+TEST(Obst, WeightPrefixSums) {
+  OptimalBst p(std::vector<std::int32_t>{2, 3, 4});
+  EXPECT_EQ(p.weight(0, 2), 9);
+  EXPECT_EQ(p.weight(1, 2), 7);
+  EXPECT_EQ(p.weight(2, 2), 4);
+}
+
+TEST(TwoDTwoD, DeterministicForSeed) {
+  TwoDTwoD a(8, 42);
+  TwoDTwoD b(8, 42);
+  EXPECT_EQ(a.solveReference(), b.solveReference());
+  TwoDTwoD c(8, 43);
+  EXPECT_NE(a.solveReference(), c.solveReference());
+}
+
+// --- Blocked solves vs reference, sweeping partition sizes ---------------
+
+struct BlockedCase {
+  std::string problem;
+  std::int64_t n;
+  std::int64_t pr;
+  std::int64_t pc;
+};
+
+class BlockedSolve : public ::testing::TestWithParam<BlockedCase> {};
+
+TEST_P(BlockedSolve, MatchesReference) {
+  const auto& c = GetParam();
+  const auto p = makeProblem(c.problem, c.n);
+  expectMatchesReference(*p, solveBlocked(*p, c.pr, c.pc));
+}
+
+TEST_P(BlockedSolve, HaloWindowsMatchReference) {
+  const auto& c = GetParam();
+  const auto p = makeProblem(c.problem, c.n);
+  expectMatchesReference(*p, solveViaHaloWindows(*p, c.pr, c.pc));
+}
+
+std::vector<BlockedCase> blockedCases() {
+  std::vector<BlockedCase> cases;
+  for (const std::string key :
+       {"editdist", "swgg", "nussinov", "obst", "2d2d"}) {
+    const std::int64_t n = (key == "2d2d") ? 20 : 33;
+    for (auto [pr, pc] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+             {1, 1}, {4, 4}, {5, 7}, {16, 16}, {64, 64}}) {
+      cases.push_back({key, n, pr, pc});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProblems, BlockedSolve, ::testing::ValuesIn(blockedCases()),
+    [](const ::testing::TestParamInfo<BlockedCase>& info) {
+      return info.param.problem + "_n" + std::to_string(info.param.n) + "_p" +
+             std::to_string(info.param.pr) + "x" +
+             std::to_string(info.param.pc);
+    });
+
+// --- Two-level decomposition ---------------------------------------------
+
+struct TwoLevelCase {
+  std::string problem;
+  std::int64_t n;
+  std::int64_t pr, pc, tr, tc;
+};
+
+class TwoLevelSolve : public ::testing::TestWithParam<TwoLevelCase> {};
+
+TEST_P(TwoLevelSolve, MatchesReference) {
+  const auto& c = GetParam();
+  const auto p = makeProblem(c.problem, c.n);
+  expectMatchesReference(
+      *p, solveViaHaloWindowsTwoLevel(*p, c.pr, c.pc, c.tr, c.tc));
+}
+
+std::vector<TwoLevelCase> twoLevelCases() {
+  std::vector<TwoLevelCase> cases;
+  for (const std::string key :
+       {"editdist", "swgg", "nussinov", "obst", "2d2d"}) {
+    const std::int64_t n = (key == "2d2d") ? 18 : 30;
+    cases.push_back({key, n, 10, 10, 3, 3});
+    cases.push_back({key, n, 7, 9, 2, 5});
+    cases.push_back({key, n, 30, 30, 4, 4});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProblems, TwoLevelSolve, ::testing::ValuesIn(twoLevelCases()),
+    [](const ::testing::TestParamInfo<TwoLevelCase>& info) {
+      return info.param.problem + "_p" + std::to_string(info.param.pr) + "x" +
+             std::to_string(info.param.pc) + "_t" +
+             std::to_string(info.param.tr) + "x" +
+             std::to_string(info.param.tc);
+    });
+
+// --- blockOps cost model invariants --------------------------------------
+
+TEST(BlockOps, SumsOverPartitionEqualWhole) {
+  // The simulator relies on block costs partitioning the total work: the
+  // sum of blockOps over any tiling must equal blockOps of the full matrix.
+  for (const std::string key :
+       {"editdist", "swgg", "nussinov", "obst", "2d2d"}) {
+    const auto p = makeProblem(key, 24);
+    const CellRect whole{0, 0, p->rows(), p->cols()};
+    const double total = p->blockOps(whole);
+    for (std::int64_t bs : {3, 5, 8}) {
+      const BlockGrid grid(p->rows(), p->cols(), bs, bs);
+      double sum = 0;
+      for (std::int64_t bi = 0; bi < grid.gridRows(); ++bi) {
+        for (std::int64_t bj = 0; bj < grid.gridCols(); ++bj) {
+          sum += p->blockOps(grid.blockRect(bi, bj));
+        }
+      }
+      EXPECT_NEAR(sum, total, total * 1e-9)
+          << key << " with block size " << bs;
+    }
+  }
+}
+
+TEST(BlockOps, SwggGrowsWithPosition) {
+  const auto p = makeProblem("swgg", 100);
+  EXPECT_LT(p->blockOps(CellRect{0, 0, 10, 10}),
+            p->blockOps(CellRect{80, 80, 10, 10}));
+}
+
+TEST(HaloBytes, NussinovHeavierThanEditDistance) {
+  // The 2D/1D split term ships whole row/column segments; 2D/0D ships one
+  // row + one column.  This asymmetry drives the paper's Fig 16 speedup gap.
+  const auto nus = makeProblem("nussinov", 32);
+  const auto ed = makeProblem("editdist", 32);
+  const CellRect rect{8, 16, 8, 8};
+  EXPECT_GT(haloBytes(*nus, rect), haloBytes(*ed, rect));
+}
+
+TEST(SlaveDag, TriangularBlockMasksInactiveSubBlocks) {
+  Nussinov p(randomRna(24, 9));
+  // A diagonal master block: sub-blocks strictly below its diagonal are
+  // inactive and must be excluded from the slave DAG.
+  const CellRect diagBlock{0, 0, 12, 12};
+  const PartitionedDag slave = buildSlaveDag(p, diagBlock, 4, 4);
+  EXPECT_EQ(slave.vertexCount(), 6);  // upper triangle of a 3×3 sub-grid
+  // An off-diagonal block is fully active.
+  const CellRect offBlock{0, 12, 12, 12};
+  EXPECT_EQ(buildSlaveDag(p, offBlock, 4, 4).vertexCount(), 9);
+}
+
+TEST(SlaveDag, FlippedSourcesAtBottomLeft) {
+  Nussinov p(randomRna(16, 10));
+  const CellRect off{0, 8, 8, 8};
+  const PartitionedDag slave = buildSlaveDag(p, off, 4, 4);
+  const auto sources = slave.dag.sources();
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(slave.coordOf(sources[0]).bi, 1);
+  EXPECT_EQ(slave.coordOf(sources[0]).bj, 0);
+}
+
+}  // namespace
+}  // namespace easyhps

@@ -1,0 +1,262 @@
+// Correctness tests for the extended DP library: LCS, Needleman-Wunsch,
+// Matrix-Chain Multiplication, Viterbi — references, tracebacks, blocked
+// and two-level decompositions, sparse windows, and end-to-end runtime.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "easyhps/dp/lcs.hpp"
+#include "easyhps/dp/mcm.hpp"
+#include "easyhps/dp/needleman.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/viterbi.hpp"
+#include "easyhps/runtime/runtime.hpp"
+
+namespace easyhps {
+namespace {
+
+void expectMatchesReference(const DpProblem& p, const Window& solved) {
+  const DenseMatrix<Score> ref = p.solveReference();
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      if (!p.cellActive(r, c)) {
+        continue;
+      }
+      ASSERT_EQ(solved.get(r, c), ref.at(r, c))
+          << p.name() << " mismatch at (" << r << "," << c << ")";
+    }
+  }
+}
+
+// --- LCS -------------------------------------------------------------------
+
+TEST(Lcs, KnownCases) {
+  LongestCommonSubsequence p("ABCBDAB", "BDCABA");
+  EXPECT_EQ(p.solveReference().at(6, 5), 4);  // classic: BCAB or BDAB
+  LongestCommonSubsequence same("HELLO", "HELLO");
+  EXPECT_EQ(same.solveReference().at(4, 4), 5);
+  LongestCommonSubsequence none("AAA", "BBB");
+  EXPECT_EQ(none.solveReference().at(2, 2), 0);
+}
+
+TEST(Lcs, SubsequenceTracebackIsValid) {
+  const std::string a = randomSequence(60, 81);
+  const std::string b = randomSequence(55, 82);
+  LongestCommonSubsequence p(a, b);
+  Window solved = solveBlocked(p, 16, 16);
+  const std::string lcs = p.subsequence(solved);
+  EXPECT_EQ(static_cast<Score>(lcs.size()), p.length(solved));
+  // The traceback string must be a subsequence of both inputs.
+  auto isSubseq = [](const std::string& s, const std::string& of) {
+    std::size_t i = 0;
+    for (char c : of) {
+      if (i < s.size() && s[i] == c) {
+        ++i;
+      }
+    }
+    return i == s.size();
+  };
+  EXPECT_TRUE(isSubseq(lcs, a));
+  EXPECT_TRUE(isSubseq(lcs, b));
+}
+
+TEST(Lcs, BlockedMatchesReference) {
+  LongestCommonSubsequence p(randomSequence(40, 83), randomSequence(45, 84));
+  for (std::int64_t bs : {1, 7, 16, 100}) {
+    expectMatchesReference(p, solveBlocked(p, bs, bs));
+  }
+}
+
+// --- Needleman-Wunsch -------------------------------------------------------
+
+TEST(NeedlemanWunsch, IdenticalStringsScoreFullMatch) {
+  NeedlemanWunsch p("ACGTACGT", "ACGTACGT");
+  EXPECT_EQ(p.solveReference().at(7, 7), 8);  // 8 matches × 1
+}
+
+TEST(NeedlemanWunsch, GapVsMismatchTradeoff) {
+  NeedlemanWunsch::Params params;
+  params.match = 1;
+  params.mismatch = -3;
+  params.gap = 1;  // cheap gaps: prefer gapping over mismatching
+  NeedlemanWunsch p("AC", "AG", params);
+  // Align A-C / AG- : 1 match − 2 gaps = −1, beats A C/A G = 1 − 3 = −2.
+  EXPECT_EQ(p.solveReference().at(1, 1), -1);
+}
+
+TEST(NeedlemanWunsch, AlignmentTracebackConsistent) {
+  NeedlemanWunsch p(randomSequence(50, 85), randomSequence(44, 86));
+  Window solved = solveBlocked(p, 16, 16);
+  const auto [top, bottom] = p.alignment(solved);
+  ASSERT_EQ(top.size(), bottom.size());
+  // Strip gaps: rows must reproduce the inputs.
+  std::string aBack;
+  std::string bBack;
+  Score score = 0;
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    ASSERT_FALSE(top[i] == '-' && bottom[i] == '-');
+    if (top[i] != '-') {
+      aBack.push_back(top[i]);
+    }
+    if (bottom[i] != '-') {
+      bBack.push_back(bottom[i]);
+    }
+    if (top[i] == '-' || bottom[i] == '-') {
+      score -= 2;  // default gap
+    } else {
+      score += top[i] == bottom[i] ? 1 : -1;
+    }
+  }
+  EXPECT_EQ(aBack, randomSequence(50, 85));
+  EXPECT_EQ(bBack, randomSequence(44, 86));
+  EXPECT_EQ(score, p.score(solved));  // alignment score re-derives matrix
+}
+
+TEST(NeedlemanWunsch, BlockedMatchesReference) {
+  NeedlemanWunsch p(randomSequence(37, 87), randomSequence(41, 88));
+  for (std::int64_t bs : {1, 8, 13}) {
+    expectMatchesReference(p, solveBlocked(p, bs, bs));
+  }
+}
+
+// --- Matrix-Chain Multiplication --------------------------------------------
+
+TEST(MatrixChain, ClrsTextbookInstance) {
+  // CLRS 15.2: dims 30,35,15,5,10,20,25 → 15125 scalar multiplications.
+  MatrixChain p(std::vector<std::int32_t>{30, 35, 15, 5, 10, 20, 25});
+  EXPECT_EQ(p.solveReference().at(0, 5), 15125);
+}
+
+TEST(MatrixChain, ParenthesizationMatchesOptimum) {
+  MatrixChain p(std::vector<std::int32_t>{30, 35, 15, 5, 10, 20, 25});
+  Window solved = solveBlocked(p, 2, 2);
+  EXPECT_EQ(p.bestCost(solved), 15125);
+  // CLRS optimal: ((A0 (A1 A2)) ((A3 A4) A5)).
+  EXPECT_EQ(p.parenthesization(solved), "((A0 (A1 A2)) ((A3 A4) A5))");
+}
+
+TEST(MatrixChain, BlockedMatchesReference) {
+  MatrixChain p(24, 91);
+  for (std::int64_t bs : {1, 5, 8, 30}) {
+    expectMatchesReference(p, solveBlocked(p, bs, bs));
+  }
+}
+
+// --- Viterbi -----------------------------------------------------------------
+
+TEST(Viterbi, DeterministicTables) {
+  Viterbi a(10, 4, 7);
+  Viterbi b(10, 4, 7);
+  EXPECT_EQ(a.trans(1, 2), b.trans(1, 2));
+  EXPECT_EQ(a.emit(3, 1), b.emit(3, 1));
+  EXPECT_LE(a.trans(0, 0), 0);  // log-space: non-positive
+  EXPECT_LE(a.emit(0, 0), 0);
+}
+
+TEST(Viterbi, BlockedMatchesReference) {
+  Viterbi p(40, 12, 13);
+  for (std::int64_t bs : {1, 4, 10, 64}) {
+    expectMatchesReference(p, solveBlocked(p, bs, bs));
+  }
+}
+
+TEST(Viterbi, MasterDagIsStageChainOverFullWidth) {
+  Viterbi p(30, 8, 14);
+  const PartitionedDag dag = buildMasterDag(p, 10, 3 /* ignored */);
+  EXPECT_EQ(dag.vertexCount(), 3);  // 30 steps / 10-row bands, full width
+  for (VertexId v = 0; v < dag.vertexCount(); ++v) {
+    EXPECT_EQ(dag.rectOf(v).cols, 8);  // spans all states
+  }
+  EXPECT_EQ(dag.dag.sources().size(), 1u);
+}
+
+TEST(Viterbi, SlaveDagForcesSingleStageSubBlocks) {
+  Viterbi p(30, 8, 14);
+  const CellRect block{10, 0, 10, 8};
+  const PartitionedDag slave = buildSlaveDag(p, block, 5, 4);
+  // 10 stages × 2 column groups: 20 sub-blocks, each 1 row tall.
+  EXPECT_EQ(slave.vertexCount(), 20);
+  for (VertexId v = 0; v < slave.vertexCount(); ++v) {
+    EXPECT_EQ(slave.rectOf(v).rows, 1);
+  }
+  // Stage sub-blocks are mutually independent: 2 sources in stage 0.
+  EXPECT_EQ(slave.dag.sources().size(), 2u);
+}
+
+TEST(Viterbi, BestPathIsConsistent) {
+  Viterbi p(25, 6, 15);
+  Window solved = solveBlocked(p, 5, 6);
+  const auto path = p.bestPath(solved);
+  ASSERT_EQ(path.size(), 25u);
+  // Re-scoring the path must reach bestScore... path score <= bestScore
+  // with equality for the argmax path.
+  Score s = p.prior(path[0]) + p.emit(0, path[0]);
+  // boundary handles t=0's transition from the prior internally; re-derive:
+  // V[0][s0] = prior-based max; walking the stored matrix instead:
+  EXPECT_EQ(solved.get(24, path[24]), p.bestScore(solved));
+  for (std::size_t t = 1; t < path.size(); ++t) {
+    s = static_cast<Score>(s + p.trans(path[t - 1], path[t]) +
+                           p.emit(static_cast<std::int64_t>(t), path[t]));
+  }
+  EXPECT_LE(s, p.bestScore(solved));
+}
+
+// --- End-to-end runtime for the new problems --------------------------------
+
+struct ExtraCase {
+  std::string key;
+};
+
+class ExtraRuntime : public ::testing::TestWithParam<ExtraCase> {};
+
+std::unique_ptr<DpProblem> makeExtra(const std::string& key) {
+  if (key == "lcs") {
+    return std::make_unique<LongestCommonSubsequence>(randomSequence(36, 92),
+                                                      randomSequence(34, 93));
+  }
+  if (key == "nw") {
+    return std::make_unique<NeedlemanWunsch>(randomSequence(36, 94),
+                                             randomSequence(36, 95));
+  }
+  if (key == "mcm") {
+    return std::make_unique<MatrixChain>(30, 96);
+  }
+  if (key == "viterbi") {
+    return std::make_unique<Viterbi>(36, 10, 97);
+  }
+  throw LogicError("unknown key");
+}
+
+TEST_P(ExtraRuntime, EndToEndMatchesReference) {
+  const auto p = makeExtra(GetParam().key);
+  RuntimeConfig cfg;
+  cfg.slaveCount = 3;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 12;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 4;
+  const RunResult r = Runtime(cfg).run(*p);
+  expectMatchesReference(*p, r.matrix);
+}
+
+TEST_P(ExtraRuntime, EndToEndDenseWindowsMatchReference) {
+  const auto p = makeExtra(GetParam().key);
+  RuntimeConfig cfg;
+  cfg.slaveCount = 2;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 12;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 4;
+  cfg.sparseSlaveWindows = false;
+  const RunResult r = Runtime(cfg).run(*p);
+  expectMatchesReference(*p, r.matrix);
+}
+
+INSTANTIATE_TEST_SUITE_P(NewProblems, ExtraRuntime,
+                         ::testing::Values(ExtraCase{"lcs"}, ExtraCase{"nw"},
+                                           ExtraCase{"mcm"},
+                                           ExtraCase{"viterbi"}),
+                         [](const ::testing::TestParamInfo<ExtraCase>& info) {
+                           return info.param.key;
+                         });
+
+}  // namespace
+}  // namespace easyhps

@@ -1,0 +1,87 @@
+// Failure-path tests: exceptions from user kernels and broken cluster
+// state must propagate as exceptions out of Runtime::run (never
+// std::terminate from a worker thread), and misconfigurations are rejected
+// up front.
+#include <gtest/gtest.h>
+
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/runtime/api.hpp"
+#include "easyhps/runtime/runtime.hpp"
+
+namespace easyhps {
+namespace {
+
+RuntimeConfig tinyConfig() {
+  RuntimeConfig cfg;
+  cfg.slaveCount = 2;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 10;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 5;
+  return cfg;
+}
+
+TEST(ErrorPaths, ThrowingKernelPropagatesOutOfRun) {
+  api::Spec spec;
+  spec.name = "boom";
+  spec.pattern = PatternKind::kWavefront2D;
+  spec.rows = spec.cols = 30;
+  spec.boundary = [](std::int64_t, std::int64_t) { return Score{0}; };
+  spec.cell = [](const api::CellCtx&, std::int64_t r,
+                 std::int64_t c) -> Score {
+    if (r == 17 && c == 23) {
+      throw Error("user kernel exploded");
+    }
+    return 1;
+  };
+  api::FunctionalDpProblem p(std::move(spec));
+  EXPECT_THROW(Runtime(tinyConfig()).run(p), Error);
+}
+
+TEST(ErrorPaths, ThrowingKernelOnFirstBlockPropagates) {
+  api::Spec spec;
+  spec.name = "boom-early";
+  spec.pattern = PatternKind::kWavefront2D;
+  spec.rows = spec.cols = 20;
+  spec.boundary = [](std::int64_t, std::int64_t) { return Score{0}; };
+  spec.cell = [](const api::CellCtx&, std::int64_t,
+                 std::int64_t) -> Score {
+    throw Error("fails immediately");
+  };
+  api::FunctionalDpProblem p(std::move(spec));
+  EXPECT_THROW(Runtime(tinyConfig()).run(p), Error);
+}
+
+TEST(ErrorPaths, BadConfigRejectedBeforeAnyThreads) {
+  RuntimeConfig cfg = tinyConfig();
+  cfg.slaveCount = 0;
+  EXPECT_THROW(Runtime{cfg}, LogicError);
+  cfg = tinyConfig();
+  cfg.threadsPerSlave = 0;
+  EXPECT_THROW(Runtime{cfg}, LogicError);
+  cfg = tinyConfig();
+  cfg.processPartitionRows = 0;
+  EXPECT_THROW(Runtime{cfg}, LogicError);
+}
+
+TEST(ErrorPaths, RuntimeUsableAfterAFailedRun) {
+  // A failed run must not leave dangling state that breaks the next run.
+  api::Spec bad;
+  bad.pattern = PatternKind::kWavefront2D;
+  bad.rows = bad.cols = 20;
+  bad.boundary = [](std::int64_t, std::int64_t) { return Score{0}; };
+  bad.cell = [](const api::CellCtx&, std::int64_t, std::int64_t) -> Score {
+    throw Error("boom");
+  };
+  api::FunctionalDpProblem failing(std::move(bad));
+
+  Runtime runtime(tinyConfig());
+  EXPECT_THROW(runtime.run(failing), Error);
+
+  EditDistance good(randomSequence(25, 1), randomSequence(25, 2));
+  const RunResult r = runtime.run(good);
+  EXPECT_EQ(r.matrix.get(24, 24), good.solveReference().at(24, 24));
+}
+
+}  // namespace
+}  // namespace easyhps

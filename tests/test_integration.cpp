@@ -1,0 +1,160 @@
+// Cross-module integration tests: the real runtime and the simulator must
+// agree on schedule-structure invariants (task counts, message accounting,
+// policy behaviour), and full pipelines (generate → solve → traceback)
+// must hold together across problems.
+#include <gtest/gtest.h>
+
+#include "easyhps/dp/knapsack.hpp"
+#include "easyhps/dp/lcs.hpp"
+#include "easyhps/dp/needleman.hpp"
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/runtime/runtime.hpp"
+#include "easyhps/sim/simulator.hpp"
+
+namespace easyhps {
+namespace {
+
+// The real runtime and the simulator partition identically, so their task
+// counts must match exactly for the same problem + partition size.
+TEST(Integration, RuntimeAndSimulatorAgreeOnTaskCount) {
+  SmithWatermanGeneralGap p(randomSequence(120, 301),
+                            randomSequence(120, 302));
+
+  RuntimeConfig rcfg;
+  rcfg.slaveCount = 3;
+  rcfg.threadsPerSlave = 2;
+  rcfg.processPartitionRows = rcfg.processPartitionCols = 30;
+  rcfg.threadPartitionRows = rcfg.threadPartitionCols = 10;
+  const RunResult real = Runtime(rcfg).run(p);
+
+  sim::SimConfig scfg;
+  scfg.deployment = sim::Deployment::forThreads(4, 2);  // 3 computing nodes
+  scfg.processPartitionRows = scfg.processPartitionCols = 30;
+  scfg.threadPartitionRows = scfg.threadPartitionCols = 10;
+  const sim::SimResult simulated = sim::simulate(p, scfg);
+
+  EXPECT_EQ(real.stats.completedTasks, simulated.tasks);
+  EXPECT_EQ(real.stats.tasksPerSlave.size(),
+            simulated.tasksPerNode.size());
+  // Message accounting: both engines count Assign + Result per task plus
+  // per-slave control traffic (the real runtime adds Idle + End + Stats
+  // and barrier-free teardown; the simulator Idle + End).
+  EXPECT_EQ(simulated.messages,
+            2 * static_cast<std::uint64_t>(simulated.tasks) + 2 * 3);
+  EXPECT_EQ(real.stats.messages,
+            2 * static_cast<std::uint64_t>(real.stats.completedTasks) +
+                3 * 3);
+}
+
+// Triangular problems: both engines must agree on the number of *active*
+// blocks (inactive below-diagonal blocks never scheduled).
+TEST(Integration, TriangularActiveBlockCountsAgree) {
+  Nussinov p(randomRna(100, 303));
+
+  RuntimeConfig rcfg;
+  rcfg.slaveCount = 2;
+  rcfg.threadsPerSlave = 2;
+  rcfg.processPartitionRows = rcfg.processPartitionCols = 25;
+  rcfg.threadPartitionRows = rcfg.threadPartitionCols = 5;
+  const RunResult real = Runtime(rcfg).run(p);
+
+  sim::SimConfig scfg;
+  scfg.deployment = sim::Deployment::forThreads(3, 2);
+  scfg.processPartitionRows = scfg.processPartitionCols = 25;
+  scfg.threadPartitionRows = scfg.threadPartitionCols = 5;
+  const sim::SimResult simulated = sim::simulate(p, scfg);
+
+  EXPECT_EQ(real.stats.completedTasks, simulated.tasks);
+  EXPECT_EQ(real.stats.completedTasks, 10);  // 4×4 grid upper triangle
+}
+
+// Full pipeline: mutate a reference, align with both SWGG and NW, and
+// check the tracebacks tell a consistent story.
+TEST(Integration, AlignmentPipelineConsistency) {
+  const std::string reference = randomSequence(120, 304);
+  std::string query = reference.substr(30, 60);
+  query[10] = query[10] == 'A' ? 'C' : 'A';  // one guaranteed mutation
+
+  RuntimeConfig cfg;
+  cfg.slaveCount = 2;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 40;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 10;
+
+  SmithWatermanGeneralGap local(reference, query);
+  const RunResult lres = Runtime(cfg).run(local);
+  // Local alignment of a 60-base fragment with 1 mismatch: at least
+  // 2×(region around the mutation) — the exact floor: 2*49 (right of the
+  // mutation) but realistically the full 59 matches score 2*59 - penalty.
+  EXPECT_GE(local.bestScore(lres.matrix), 2 * 40);
+
+  NeedlemanWunsch global(query, query);
+  const RunResult gres = Runtime(cfg).run(global);
+  EXPECT_EQ(global.score(gres.matrix), static_cast<Score>(query.size()));
+  const auto [top, bottom] = global.alignment(gres.matrix);
+  EXPECT_EQ(top, query);  // self-alignment has no gaps
+  EXPECT_EQ(bottom, query);
+}
+
+// LCS of a string with itself through the runtime is the string itself.
+TEST(Integration, LcsSelfIdentity) {
+  const std::string s = randomSequence(50, 305);
+  LongestCommonSubsequence p(s, s);
+  RuntimeConfig cfg;
+  cfg.slaveCount = 2;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 16;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 4;
+  const RunResult r = Runtime(cfg).run(p);
+  EXPECT_EQ(p.subsequence(r.matrix), s);
+}
+
+// Knapsack optimum through the runtime equals a brute-force check on a
+// small instance (exhaustive over 2^12 subsets).
+TEST(Integration, KnapsackMatchesBruteForce) {
+  Knapsack p(12, 20, 306);
+  RuntimeConfig cfg;
+  cfg.slaveCount = 2;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 6;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 3;
+  const RunResult r = Runtime(cfg).run(p);
+
+  Score best = 0;
+  for (unsigned mask = 0; mask < (1u << 12); ++mask) {
+    std::int64_t w = 0;
+    Score v = 0;
+    for (int i = 0; i < 12; ++i) {
+      if (mask & (1u << i)) {
+        w += p.items()[static_cast<std::size_t>(i)].weight;
+        v += p.items()[static_cast<std::size_t>(i)].value;
+      }
+    }
+    if (w <= 20) {
+      best = std::max(best, v);
+    }
+  }
+  EXPECT_EQ(p.bestValue(r.matrix), best);
+}
+
+// The simulator's dynamic policy must never stall, for any problem shape.
+TEST(Integration, DynamicPolicyNeverStallsAcrossProblems) {
+  SmithWatermanGeneralGap swgg(randomSequence(200, 307),
+                               randomSequence(200, 308));
+  Nussinov nus(randomRna(200, 309));
+  const DpProblem* problems[] = {&swgg, &nus};
+  for (const DpProblem* p : problems) {
+    sim::SimConfig cfg;
+    cfg.deployment = sim::Deployment::forThreads(5, 3);
+    cfg.processPartitionRows = cfg.processPartitionCols = 50;
+    cfg.threadPartitionRows = cfg.threadPartitionCols = 10;
+    const sim::SimResult r = sim::simulate(*p, cfg);
+    EXPECT_EQ(r.masterStalledPicks, 0) << p->name();
+    EXPECT_EQ(r.threadStalledPicks, 0) << p->name();
+  }
+}
+
+}  // namespace
+}  // namespace easyhps

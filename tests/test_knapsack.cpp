@@ -1,0 +1,94 @@
+// Knapsack: references, jump-dependency halos, traceback, runtime e2e.
+#include <gtest/gtest.h>
+
+#include "easyhps/dp/knapsack.hpp"
+#include "easyhps/runtime/runtime.hpp"
+
+namespace easyhps {
+namespace {
+
+TEST(Knapsack, TextbookInstance) {
+  // Items (w, v): (1,1) (3,4) (4,5) (5,7), capacity 7 → best 9 (items 1+3).
+  Knapsack p({{1, 1}, {3, 4}, {4, 5}, {5, 7}}, 7);
+  EXPECT_EQ(p.solveReference().at(3, 6), 9);
+}
+
+TEST(Knapsack, NothingFits) {
+  Knapsack p({{10, 100}, {12, 200}}, 5);
+  EXPECT_EQ(p.solveReference().at(1, 4), 0);
+}
+
+TEST(Knapsack, EverythingFits) {
+  Knapsack p({{1, 3}, {1, 4}, {1, 5}}, 10);
+  EXPECT_EQ(p.solveReference().at(2, 9), 12);
+}
+
+TEST(Knapsack, BlockedMatchesReferenceAcrossPartitions) {
+  Knapsack p(30, 45, 71);
+  const auto ref = p.solveReference();
+  for (std::int64_t bs : {1, 5, 9, 16, 64}) {
+    const Window solved = solveBlocked(p, bs, bs);
+    for (std::int64_t r = 0; r < p.rows(); ++r) {
+      for (std::int64_t c = 0; c < p.cols(); ++c) {
+        ASSERT_EQ(solved.get(r, c), ref.at(r, c))
+            << "bs=" << bs << " at (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(Knapsack, TracebackReconstructsOptimum) {
+  Knapsack p(25, 40, 72);
+  const Window solved = solveBlocked(p, 8, 8);
+  const auto chosen = p.chosenItems(solved);
+  std::int64_t weight = 0;
+  Score value = 0;
+  for (std::int64_t idx : chosen) {
+    weight += p.items()[static_cast<std::size_t>(idx)].weight;
+    value += p.items()[static_cast<std::size_t>(idx)].value;
+  }
+  EXPECT_LE(weight, 40);
+  EXPECT_EQ(value, p.bestValue(solved));
+}
+
+TEST(Knapsack, JumpHaloReachesFullRowPrefix) {
+  Knapsack p(20, 30, 73);
+  const auto halos = p.haloFor(CellRect{10, 10, 5, 5});
+  ASSERT_EQ(halos.size(), 2u);
+  EXPECT_EQ(halos[0], (CellRect{9, 0, 1, 15}));   // full prefix row above
+  EXPECT_EQ(halos[1], (CellRect{10, 0, 5, 10}));  // left strip
+}
+
+TEST(Knapsack, RuntimeEndToEnd) {
+  Knapsack p(30, 48, 74);
+  RuntimeConfig cfg;
+  cfg.slaveCount = 3;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 11;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 4;
+  const RunResult r = Runtime(cfg).run(p);
+  const auto ref = p.solveReference();
+  for (std::int64_t row = 0; row < p.rows(); ++row) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      ASSERT_EQ(r.matrix.get(row, c), ref.at(row, c));
+    }
+  }
+}
+
+TEST(Knapsack, RuntimeWithFaultInjection) {
+  Knapsack p(24, 36, 75);
+  RuntimeConfig cfg;
+  cfg.slaveCount = 2;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 12;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 4;
+  cfg.taskTimeout = std::chrono::milliseconds(100);
+  cfg.faults.push_back({fault::FaultKind::kTaskBlackhole, 1, -1, -1, {}});
+  const RunResult r = Runtime(cfg).run(p);
+  EXPECT_GE(r.stats.retries, 1);
+  EXPECT_EQ(r.matrix.get(p.rows() - 1, p.cols() - 1),
+            p.solveReference().at(p.rows() - 1, p.cols() - 1));
+}
+
+}  // namespace
+}  // namespace easyhps

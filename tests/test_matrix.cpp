@@ -1,0 +1,120 @@
+// Tests for block geometry and dense matrix rect extraction/injection.
+#include <gtest/gtest.h>
+
+#include "easyhps/matrix/dense.hpp"
+#include "easyhps/matrix/geometry.hpp"
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+namespace {
+
+TEST(BlockGrid, EvenPartition) {
+  BlockGrid g(100, 60, 10, 20);
+  EXPECT_EQ(g.gridRows(), 10);
+  EXPECT_EQ(g.gridCols(), 3);
+  EXPECT_EQ(g.blockCount(), 30);
+  const CellRect r = g.blockRect(2, 1);
+  EXPECT_EQ(r.row0, 20);
+  EXPECT_EQ(r.col0, 20);
+  EXPECT_EQ(r.rows, 10);
+  EXPECT_EQ(r.cols, 20);
+}
+
+TEST(BlockGrid, RaggedEdges) {
+  BlockGrid g(25, 25, 10, 10);
+  EXPECT_EQ(g.gridRows(), 3);
+  EXPECT_EQ(g.gridCols(), 3);
+  const CellRect last = g.blockRect(2, 2);
+  EXPECT_EQ(last.rows, 5);
+  EXPECT_EQ(last.cols, 5);
+  const CellRect mid = g.blockRect(1, 2);
+  EXPECT_EQ(mid.rows, 10);
+  EXPECT_EQ(mid.cols, 5);
+}
+
+TEST(BlockGrid, BlocksTileTheMatrixExactly) {
+  BlockGrid g(37, 23, 7, 5);
+  std::int64_t cells = 0;
+  for (std::int64_t bi = 0; bi < g.gridRows(); ++bi) {
+    for (std::int64_t bj = 0; bj < g.gridCols(); ++bj) {
+      cells += g.blockRect(bi, bj).cellCount();
+    }
+  }
+  EXPECT_EQ(cells, 37 * 23);
+}
+
+TEST(BlockGrid, LinearIdRoundTrip) {
+  BlockGrid g(30, 40, 7, 9);
+  for (std::int64_t id = 0; id < g.blockCount(); ++id) {
+    const BlockCoord c = g.coordOf(id);
+    EXPECT_EQ(g.linearId(c), id);
+  }
+}
+
+TEST(BlockGrid, BlockOfCellConsistent) {
+  BlockGrid g(50, 50, 8, 8);
+  for (std::int64_t r = 0; r < 50; r += 7) {
+    for (std::int64_t c = 0; c < 50; c += 7) {
+      const BlockCoord b = g.blockOfCell(r, c);
+      const CellRect rect = g.blockRect(b);
+      EXPECT_TRUE(rect.contains(r, c));
+    }
+  }
+}
+
+TEST(BlockGrid, RejectsBadSizes) {
+  EXPECT_THROW(BlockGrid(0, 10, 1, 1), LogicError);
+  EXPECT_THROW(BlockGrid(10, 10, 0, 1), LogicError);
+}
+
+TEST(CellRect, ContainsAndEnds) {
+  const CellRect r{2, 3, 4, 5};
+  EXPECT_EQ(r.rowEnd(), 6);
+  EXPECT_EQ(r.colEnd(), 8);
+  EXPECT_EQ(r.cellCount(), 20);
+  EXPECT_TRUE(r.contains(2, 3));
+  EXPECT_TRUE(r.contains(5, 7));
+  EXPECT_FALSE(r.contains(6, 3));
+  EXPECT_FALSE(r.contains(2, 8));
+}
+
+TEST(DenseMatrix, ExtractInjectRoundTrip) {
+  DenseMatrix<int> m(10, 10, 0);
+  for (std::int64_t r = 0; r < 10; ++r) {
+    for (std::int64_t c = 0; c < 10; ++c) {
+      m.at(r, c) = static_cast<int>(r * 100 + c);
+    }
+  }
+  const CellRect rect{3, 4, 4, 3};
+  auto buf = m.extract(rect);
+  ASSERT_EQ(buf.size(), 12u);
+  EXPECT_EQ(buf[0], 304);
+  EXPECT_EQ(buf[11], 606);
+
+  DenseMatrix<int> m2(10, 10, -1);
+  m2.inject(rect, buf);
+  for (std::int64_t r = 0; r < 10; ++r) {
+    for (std::int64_t c = 0; c < 10; ++c) {
+      if (rect.contains(r, c)) {
+        EXPECT_EQ(m2.at(r, c), m.at(r, c));
+      } else {
+        EXPECT_EQ(m2.at(r, c), -1);
+      }
+    }
+  }
+}
+
+TEST(DenseMatrix, InjectSizeMismatchThrows) {
+  DenseMatrix<int> m(5, 5);
+  EXPECT_THROW(m.inject(CellRect{0, 0, 2, 2}, {1, 2, 3}), LogicError);
+}
+
+TEST(DenseMatrix, OutOfBoundsThrows) {
+  DenseMatrix<int> m(3, 3);
+  EXPECT_THROW((void)m.at(3, 0), LogicError);
+  EXPECT_THROW((void)m.at(0, -1), LogicError);
+  EXPECT_THROW((void)m.extract(CellRect{0, 0, 4, 1}), LogicError);
+}
+
+}  // namespace
+}  // namespace easyhps

@@ -1,0 +1,246 @@
+// Tests for the in-process message-passing substrate: matching semantics,
+// wildcards, ordering guarantees, collectives, shutdown and fault injection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "easyhps/msg/cluster.hpp"
+#include "easyhps/util/archive.hpp"
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::msg {
+namespace {
+
+std::vector<std::byte> payloadOf(int v) {
+  ByteWriter w;
+  w.put<int>(v);
+  return std::move(w).take();
+}
+
+int valueOf(const Message& m) {
+  ByteReader r(m.payload);
+  return r.get<int>();
+}
+
+TEST(Mailbox, DeliversAndMatchesExact) {
+  Mailbox mb;
+  mb.deliver(Message{1, 0, 7, payloadOf(42)});
+  auto m = mb.recv(1, 7);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(valueOf(*m), 42);
+}
+
+TEST(Mailbox, WildcardSourceAndTag) {
+  Mailbox mb;
+  mb.deliver(Message{3, 0, 9, payloadOf(1)});
+  EXPECT_TRUE(mb.recv(kAnySource, 9).has_value());
+  mb.deliver(Message{4, 0, 2, payloadOf(2)});
+  EXPECT_TRUE(mb.recv(4, kAnyTag).has_value());
+}
+
+TEST(Mailbox, NonMatchingMessageLeftQueued) {
+  Mailbox mb;
+  mb.deliver(Message{1, 0, 5, payloadOf(10)});
+  mb.deliver(Message{2, 0, 6, payloadOf(20)});
+  auto m = mb.recv(2, 6);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(valueOf(*m), 20);
+  EXPECT_EQ(mb.pending(), 1u);
+  EXPECT_EQ(valueOf(*mb.recv(1, 5)), 10);
+}
+
+TEST(Mailbox, FifoPerSourceTag) {
+  Mailbox mb;
+  for (int i = 0; i < 5; ++i) {
+    mb.deliver(Message{1, 0, 3, payloadOf(i)});
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(valueOf(*mb.recv(1, 3)), i);  // non-overtaking
+  }
+}
+
+TEST(Mailbox, RecvForTimesOutOnSilence) {
+  Mailbox mb;
+  auto m = mb.recvFor(kAnySource, kAnyTag, std::chrono::milliseconds(20));
+  EXPECT_FALSE(m.has_value());
+}
+
+TEST(Mailbox, CloseWakesBlockedRecv) {
+  Mailbox mb;
+  std::thread t([&] { EXPECT_FALSE(mb.recv(kAnySource, kAnyTag)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  mb.close();
+  t.join();
+}
+
+TEST(Mailbox, DeliverAfterCloseDropped) {
+  Mailbox mb;
+  mb.close();
+  mb.deliver(Message{0, 0, 0, {}});
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+TEST(Mailbox, ProbeReportsWithoutConsuming) {
+  Mailbox mb;
+  mb.deliver(Message{2, 0, 4, payloadOf(7)});
+  auto info = mb.probe(kAnySource, kAnyTag);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->source, 2);
+  EXPECT_EQ(info->tag, 4);
+  EXPECT_EQ(info->sizeBytes, sizeof(int));
+  EXPECT_EQ(mb.pending(), 1u);
+}
+
+TEST(Cluster, PingPong) {
+  auto report = Cluster::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, payloadOf(99));
+      auto m = comm.recv(1, 2);
+      EXPECT_EQ(valueOf(m), 100);
+    } else {
+      auto m = comm.recv(0, 1);
+      EXPECT_EQ(valueOf(m), 99);
+      comm.send(0, 2, payloadOf(100));
+    }
+  });
+  EXPECT_EQ(report.messages, 2u);
+  EXPECT_EQ(report.bytes, 2 * sizeof(int));
+}
+
+TEST(Cluster, ManyToOneGatherPattern) {
+  constexpr int kRanks = 6;
+  Cluster::run(kRanks, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      int sum = 0;
+      for (int i = 0; i < kRanks - 1; ++i) {
+        sum += valueOf(comm.recv(kAnySource, 1));
+      }
+      EXPECT_EQ(sum, 1 + 2 + 3 + 4 + 5);
+    } else {
+      comm.send(0, 1, payloadOf(comm.rank()));
+    }
+  });
+}
+
+TEST(Cluster, BarrierSynchronizes) {
+  constexpr int kRanks = 5;
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  Cluster::run(kRanks, [&](Comm& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    if (before.load() != kRanks) {
+      violated = true;
+    }
+    comm.barrier();  // second barrier: epochs must not cross-match
+  });
+  EXPECT_FALSE(violated);
+}
+
+TEST(Cluster, BroadcastFromEveryRoot) {
+  constexpr int kRanks = 4;
+  for (int root = 0; root < kRanks; ++root) {
+    Cluster::run(kRanks, [root](Comm& comm) {
+      std::vector<std::byte> buf;
+      if (comm.rank() == root) {
+        buf = payloadOf(1234 + root);
+      }
+      comm.broadcast(root, buf);
+      ByteReader r(buf);
+      EXPECT_EQ(r.get<int>(), 1234 + root);
+    });
+  }
+}
+
+TEST(Cluster, GatherCollectsByRank) {
+  constexpr int kRanks = 5;
+  Cluster::run(kRanks, [](Comm& comm) {
+    auto all = comm.gather(0, payloadOf(comm.rank() * 10));
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(kRanks));
+      for (int i = 0; i < kRanks; ++i) {
+        ByteReader r(all[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(r.get<int>(), i * 10);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Cluster, RankExceptionPropagates) {
+  EXPECT_THROW(
+      Cluster::run(3,
+                   [](Comm& comm) {
+                     if (comm.rank() == 2) {
+                       throw CommError("rank 2 exploded");
+                     }
+                     // Other ranks block forever; the abort must wake them.
+                     (void)comm.recv(kAnySource, kAnyTag);
+                   }),
+      Error);
+}
+
+TEST(Cluster, DropFnCountsDropped) {
+  auto report = Cluster::run(
+      2,
+      [](Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send(1, 5, payloadOf(1));   // dropped
+          comm.send(1, 6, payloadOf(2));   // delivered
+        } else {
+          EXPECT_EQ(valueOf(comm.recv(0, 6)), 2);
+          EXPECT_FALSE(comm.tryRecv(0, 5).has_value());
+        }
+      },
+      [](const Message& m) { return m.tag == 5; });
+  EXPECT_EQ(report.dropped, 1u);
+  EXPECT_EQ(report.messages, 1u);
+}
+
+TEST(Cluster, LargePayloadIntegrity) {
+  std::vector<std::int64_t> data(100000);
+  std::iota(data.begin(), data.end(), 0);
+  Cluster::run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      ByteWriter w;
+      w.putVector(data);
+      comm.send(1, 1, std::move(w).take());
+    } else {
+      auto m = comm.recv(0, 1);
+      ByteReader r(m.payload);
+      EXPECT_EQ(r.getVector<std::int64_t>(), data);
+    }
+  });
+}
+
+TEST(Comm, SendRejectsReservedTags) {
+  ClusterState state(2);
+  Comm comm(0, &state);
+  EXPECT_THROW(comm.send(1, kInternalTagBase, {}), LogicError);
+  EXPECT_THROW(comm.send(1, -3, {}), LogicError);
+}
+
+TEST(Cluster, StressManyMessages) {
+  constexpr int kRanks = 4;
+  constexpr int kMsgs = 2000;
+  auto report = Cluster::run(kRanks, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::int64_t sum = 0;
+      for (int i = 0; i < (kRanks - 1) * kMsgs; ++i) {
+        sum += valueOf(comm.recv(kAnySource, 1));
+      }
+      EXPECT_EQ(sum, static_cast<std::int64_t>(kRanks - 1) * kMsgs);
+    } else {
+      for (int i = 0; i < kMsgs; ++i) {
+        comm.send(0, 1, payloadOf(1));
+      }
+    }
+  });
+  EXPECT_EQ(report.messages, static_cast<std::uint64_t>((kRanks - 1) * kMsgs));
+}
+
+}  // namespace
+}  // namespace easyhps::msg

@@ -1,0 +1,291 @@
+// Property-style parameterized tests: invariants that must hold across
+// whole families of inputs — pattern structure over many grid shapes,
+// partition/geometry algebra, parse-state conservation, policy
+// conservation, and randomized message-substrate traffic.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "easyhps/dag/library.hpp"
+#include "easyhps/dag/parse_state.hpp"
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/msg/cluster.hpp"
+#include "easyhps/sched/policy.hpp"
+#include "easyhps/sim/platform.hpp"
+#include "easyhps/util/archive.hpp"
+#include "easyhps/util/rng.hpp"
+
+namespace easyhps {
+namespace {
+
+// --- Pattern invariants over many grid shapes ------------------------------
+
+struct GridCase {
+  std::int64_t rows, cols, br, bc;
+};
+
+class PatternSweep : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(PatternSweep, EveryPatternIsWellFormed) {
+  const auto& g = GetParam();
+  const BlockGrid grid(g.rows, g.cols, g.br, g.bc);
+  for (auto kind :
+       {PatternKind::kWavefront2D, PatternKind::kFlippedWavefront2D,
+        PatternKind::kTriangular2D1D, PatternKind::kFull2D2D,
+        PatternKind::kRowDependent2D}) {
+    if (kind == PatternKind::kFull2D2D && grid.blockCount() > 1024) {
+      continue;  // quadratic data edges, bounded by design
+    }
+    const PartitionedDag p = makeFromLibrary(kind, grid);
+    // 1. Acyclic with a complete topological order.
+    const auto order = p.dag.topologicalOrder();
+    EXPECT_EQ(static_cast<std::int64_t>(order.size()), p.vertexCount());
+    // 2. At least one source; every non-trivial DAG drains completely.
+    EXPECT_FALSE(p.dag.sources().empty());
+    // 3. Data edges are covered by precedence (halo availability).
+    EXPECT_TRUE(p.dag.dataEdgesCoveredByPrecedence()) << patternKindName(kind);
+    // 4. coordOf/vertexAt are mutual inverses over active blocks.
+    for (VertexId v = 0; v < p.vertexCount(); ++v) {
+      const BlockCoord c = p.coordOf(v);
+      EXPECT_EQ(p.vertexAt(c.bi, c.bj), v);
+    }
+    // 5. Parsing visits every vertex exactly once.
+    DagParseState state(p.dag);
+    std::int64_t visited = 0;
+    std::vector<VertexId> frontier = state.initiallyComputable();
+    visited += static_cast<std::int64_t>(frontier.size());
+    while (!frontier.empty()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      for (VertexId n : state.finish(v)) {
+        frontier.push_back(n);
+        ++visited;
+      }
+    }
+    EXPECT_TRUE(state.allDone());
+    EXPECT_EQ(visited, p.vertexCount());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ManyShapes, PatternSweep,
+    ::testing::Values(GridCase{1, 1, 1, 1}, GridCase{1, 17, 1, 4},
+                      GridCase{17, 1, 4, 1}, GridCase{8, 8, 8, 8},
+                      GridCase{9, 9, 2, 2}, GridCase{16, 16, 3, 5},
+                      GridCase{25, 13, 4, 4}, GridCase{13, 25, 4, 4},
+                      GridCase{64, 64, 16, 16}, GridCase{100, 100, 7, 7}),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      const auto& g = info.param;
+      return std::to_string(g.rows) + "x" + std::to_string(g.cols) + "_b" +
+             std::to_string(g.br) + "x" + std::to_string(g.bc);
+    });
+
+// --- Halo/topology consistency across problems and partitions -------------
+
+TEST(HaloProperty, HalosAreInMatrixAndDisjointFromBlock) {
+  SmithWatermanGeneralGap swgg(randomSequence(50, 1), randomSequence(47, 2));
+  Nussinov nus(randomRna(50, 3));
+  const DpProblem* problems[] = {&swgg, &nus};
+  for (const DpProblem* p : problems) {
+    for (std::int64_t bs : {7, 13, 25}) {
+      const PartitionedDag dag = buildMasterDag(*p, bs, bs);
+      for (VertexId v = 0; v < dag.vertexCount(); ++v) {
+        const CellRect rect = dag.rectOf(v);
+        for (const CellRect& h : p->haloFor(rect)) {
+          EXPECT_GE(h.row0, 0);
+          EXPECT_GE(h.col0, 0);
+          EXPECT_LE(h.rowEnd(), p->rows());
+          EXPECT_LE(h.colEnd(), p->cols());
+          const bool disjoint = h.rowEnd() <= rect.row0 ||
+                                rect.rowEnd() <= h.row0 ||
+                                h.colEnd() <= rect.col0 ||
+                                rect.colEnd() <= h.col0;
+          EXPECT_TRUE(disjoint)
+              << p->name() << " halo overlaps its own block";
+        }
+      }
+    }
+  }
+}
+
+// Halo rects must be covered by data-predecessor blocks ∪ boundary: every
+// halo cell of every block belongs to some *data predecessor* block (so the
+// runtime's "halo is finished when task is ready" invariant holds).
+TEST(HaloProperty, HaloCellsBelongToDataPredecessors) {
+  Nussinov p(randomRna(36, 5));
+  const PartitionedDag dag = buildMasterDag(p, 9, 9);
+  for (VertexId v = 0; v < dag.vertexCount(); ++v) {
+    const CellRect rect = dag.rectOf(v);
+    std::set<VertexId> dataPreds(dag.dag.dataPredecessors(v).begin(),
+                                 dag.dag.dataPredecessors(v).end());
+    for (const CellRect& h : p.haloFor(rect)) {
+      for (std::int64_t r = h.row0; r < h.rowEnd(); ++r) {
+        for (std::int64_t c = h.col0; c < h.colEnd(); ++c) {
+          if (!p.cellActive(r, c)) {
+            continue;  // inactive cells read as boundary zeros
+          }
+          const BlockCoord b = dag.grid.blockOfCell(r, c);
+          const VertexId owner = dag.vertexAt(b.bi, b.bj);
+          ASSERT_GE(owner, 0);
+          EXPECT_TRUE(dataPreds.count(owner))
+              << "halo cell (" << r << "," << c << ") of block " << v
+              << " lives in non-predecessor block " << owner;
+        }
+      }
+    }
+  }
+}
+
+// --- Policy conservation ----------------------------------------------------
+
+TEST(PolicyProperty, NoTaskLostOrDuplicatedUnderRandomTraffic) {
+  Rng rng(42);
+  for (auto kind : {PolicyKind::kDynamic, PolicyKind::kBlockCyclicWavefront,
+                    PolicyKind::kColumnWavefront}) {
+    const PartitionedDag dag = makeWavefront2D(BlockGrid(20, 20, 2, 2));
+    const int workers = 5;
+    auto policy = makePolicy(kind, dag, workers);
+    std::multiset<VertexId> queued;
+    std::multiset<VertexId> picked;
+    VertexId next = 0;
+    for (int step = 0; step < 2000; ++step) {
+      if (rng.nextDouble() < 0.5 && next < dag.vertexCount()) {
+        policy->onReady(next);
+        queued.insert(next);
+        ++next;
+      } else {
+        const int w = static_cast<int>(rng.nextBelow(workers));
+        if (auto t = policy->pick(w)) {
+          picked.insert(*t);
+        }
+      }
+    }
+    // Drain.
+    for (int w = 0; w < workers; ++w) {
+      while (auto t = policy->pick(w)) {
+        picked.insert(*t);
+      }
+    }
+    EXPECT_EQ(queued, picked) << policyKindName(kind);
+    EXPECT_EQ(policy->queuedCount(), 0);
+  }
+}
+
+// --- Archive fuzz -----------------------------------------------------------
+
+TEST(ArchiveProperty, RandomRoundTrips) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    ByteWriter w;
+    std::vector<std::int64_t> ints;
+    std::vector<std::string> strs;
+    const int items = static_cast<int>(rng.nextBelow(20));
+    for (int i = 0; i < items; ++i) {
+      const auto x = static_cast<std::int64_t>(rng.nextU64());
+      ints.push_back(x);
+      w.put<std::int64_t>(x);
+      std::string s;
+      const auto len = rng.nextBelow(64);
+      for (std::uint64_t k = 0; k < len; ++k) {
+        s.push_back(static_cast<char>('a' + rng.nextBelow(26)));
+      }
+      strs.push_back(s);
+      w.putString(s);
+    }
+    auto bytes = std::move(w).take();
+    ByteReader r(bytes);
+    for (int i = 0; i < items; ++i) {
+      EXPECT_EQ(r.get<std::int64_t>(), ints[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(r.getString(), strs[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+// --- Message substrate under randomized all-to-all traffic ------------------
+
+TEST(MsgProperty, RandomAllToAllConservesMessages) {
+  constexpr int kRanks = 5;
+  constexpr int kPerRank = 300;
+  auto report = msg::Cluster::run(kRanks, [](msg::Comm& comm) {
+    Rng rng(1000 + static_cast<std::uint64_t>(comm.rank()));
+    // Everyone sends kPerRank random-size messages to random peers with
+    // the payload checksummed, then receives until global counts match.
+    std::int64_t sentSum = 0;
+    for (int i = 0; i < kPerRank; ++i) {
+      const int dest = static_cast<int>(rng.nextBelow(kRanks));
+      const auto len = rng.nextBelow(256);
+      ByteWriter w;
+      std::int64_t sum = 0;
+      w.put<std::uint64_t>(len);
+      for (std::uint64_t k = 0; k < len; ++k) {
+        const auto b = static_cast<std::int8_t>(rng.nextBelow(100));
+        w.put<std::int8_t>(b);
+        sum += b;
+      }
+      w.put<std::int64_t>(sum);
+      comm.send(dest, 3, std::move(w).take());
+      sentSum += sum;
+      (void)sentSum;
+    }
+    comm.barrier();  // all traffic is in flight or queued now
+    int received = 0;
+    while (auto m = comm.tryRecv(msg::kAnySource, 3)) {
+      ByteReader r(m->payload);
+      const auto len = r.get<std::uint64_t>();
+      std::int64_t sum = 0;
+      for (std::uint64_t k = 0; k < len; ++k) {
+        sum += r.get<std::int8_t>();
+      }
+      EXPECT_EQ(r.get<std::int64_t>(), sum);  // checksum intact
+      ++received;
+    }
+    // Each rank receives a random share; the cluster-wide total is checked
+    // below through the traffic report.
+    EXPECT_GE(received, 0);
+  });
+  // kRanks × kPerRank payload messages + barrier traffic.
+  EXPECT_GE(report.messages, static_cast<std::uint64_t>(kRanks * kPerRank));
+}
+
+// --- Deployment arithmetic over the whole paper range -----------------------
+
+TEST(DeploymentProperty, PaperSweepsAreConsistent) {
+  for (int nodes = 2; nodes <= 5; ++nodes) {
+    for (int ct = 1; ct <= 11; ++ct) {
+      const auto d = sim::Deployment::forThreads(nodes, ct);
+      EXPECT_EQ(d.computingThreads(), ct * (nodes - 1));
+      const auto tpn = d.threadsPerNode();
+      EXPECT_EQ(static_cast<int>(tpn.size()), nodes - 1);
+      EXPECT_EQ(std::accumulate(tpn.begin(), tpn.end(), 0),
+                d.computingThreads());
+      for (int t : tpn) {
+        EXPECT_EQ(t, ct);
+      }
+      // The paper's formula: Y = N + (N-1) + ct(N-1).
+      EXPECT_EQ(d.totalCores, nodes + (nodes - 1) + ct * (nodes - 1));
+    }
+  }
+}
+
+TEST(DeploymentProperty, UnevenSplitsDifferByAtMostOne) {
+  for (int nodes = 2; nodes <= 8; ++nodes) {
+    for (int cores = 2 * nodes; cores <= 2 * nodes + 40; ++cores) {
+      sim::Deployment d{nodes, cores};
+      if (d.computingThreads() < 1) {
+        continue;
+      }
+      const auto tpn = d.threadsPerNode();
+      const auto [lo, hi] = std::minmax_element(tpn.begin(), tpn.end());
+      EXPECT_LE(*hi - *lo, 1);
+      EXPECT_EQ(std::accumulate(tpn.begin(), tpn.end(), 0),
+                d.computingThreads());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easyhps

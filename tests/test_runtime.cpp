@@ -1,0 +1,259 @@
+// End-to-end tests of the EasyHPS runtime: master/slave execution over the
+// in-process cluster, every problem × policy combination, and fault
+// injection with recovery.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/obst.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/dp/twod2d.hpp"
+#include "easyhps/runtime/runtime.hpp"
+#include "easyhps/runtime/slave.hpp"
+
+namespace easyhps {
+namespace {
+
+void expectMatchesReference(const DpProblem& p, const Window& solved) {
+  const DenseMatrix<Score> ref = p.solveReference();
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      if (!p.cellActive(r, c)) {
+        continue;
+      }
+      ASSERT_EQ(solved.get(r, c), ref.at(r, c))
+          << p.name() << " mismatch at (" << r << "," << c << ")";
+    }
+  }
+}
+
+RuntimeConfig smallConfig() {
+  RuntimeConfig cfg;
+  cfg.slaveCount = 3;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 12;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 4;
+  return cfg;
+}
+
+TEST(Runtime, EditDistanceEndToEnd) {
+  EditDistance p(randomSequence(40, 21), randomSequence(37, 22));
+  const RunResult r = Runtime(smallConfig()).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_EQ(r.stats.retries, 0);
+  EXPECT_EQ(r.stats.completedTasks, 4 * 4);  // ceil(40/12) × ceil(37/12)
+  EXPECT_GT(r.stats.messages, 0u);
+}
+
+TEST(Runtime, SwggEndToEnd) {
+  SmithWatermanGeneralGap p(randomSequence(36, 23), randomSequence(36, 24));
+  const RunResult r = Runtime(smallConfig()).run(p);
+  expectMatchesReference(p, r.matrix);
+}
+
+TEST(Runtime, NussinovEndToEnd) {
+  Nussinov p(randomRna(40, 25));
+  const RunResult r = Runtime(smallConfig()).run(p);
+  expectMatchesReference(p, r.matrix);
+}
+
+TEST(Runtime, ObstEndToEnd) {
+  OptimalBst p(34, 26);
+  const RunResult r = Runtime(smallConfig()).run(p);
+  expectMatchesReference(p, r.matrix);
+}
+
+TEST(Runtime, TwoDTwoDEndToEnd) {
+  TwoDTwoD p(16, 27);
+  const RunResult r = Runtime(smallConfig()).run(p);
+  expectMatchesReference(p, r.matrix);
+}
+
+TEST(Runtime, SingleSlaveSingleThread) {
+  RuntimeConfig cfg = smallConfig();
+  cfg.slaveCount = 1;
+  cfg.threadsPerSlave = 1;
+  EditDistance p(randomSequence(25, 28), randomSequence(25, 29));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  ASSERT_EQ(r.stats.tasksPerSlave.size(), 1u);
+  EXPECT_EQ(r.stats.tasksPerSlave[0], r.stats.completedTasks);
+}
+
+TEST(Runtime, ManySlavesFewBlocks) {
+  // More slaves than blocks: extra slaves must idle and terminate cleanly.
+  RuntimeConfig cfg = smallConfig();
+  cfg.slaveCount = 6;
+  cfg.processPartitionRows = cfg.processPartitionCols = 30;
+  EditDistance p(randomSequence(30, 30), randomSequence(30, 31));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_EQ(r.stats.completedTasks, 1);
+}
+
+TEST(Runtime, SinglePartitionWholeMatrix) {
+  RuntimeConfig cfg = smallConfig();
+  cfg.processPartitionRows = cfg.processPartitionCols = 1000;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 1000;
+  Nussinov p(randomRna(30, 32));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+}
+
+struct PolicyCase {
+  PolicyKind master;
+  PolicyKind slave;
+};
+
+class RuntimePolicies : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(RuntimePolicies, SwggCorrectUnderAllPolicies) {
+  RuntimeConfig cfg = smallConfig();
+  cfg.masterPolicy = GetParam().master;
+  cfg.slavePolicy = GetParam().slave;
+  SmithWatermanGeneralGap p(randomSequence(30, 33), randomSequence(30, 34));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+}
+
+TEST_P(RuntimePolicies, NussinovCorrectUnderAllPolicies) {
+  RuntimeConfig cfg = smallConfig();
+  cfg.masterPolicy = GetParam().master;
+  cfg.slavePolicy = GetParam().slave;
+  Nussinov p(randomRna(32, 2));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyMatrix, RuntimePolicies,
+    ::testing::Values(
+        PolicyCase{PolicyKind::kDynamic, PolicyKind::kDynamic},
+        PolicyCase{PolicyKind::kBlockCyclicWavefront, PolicyKind::kDynamic},
+        PolicyCase{PolicyKind::kDynamic, PolicyKind::kBlockCyclicWavefront},
+        PolicyCase{PolicyKind::kBlockCyclicWavefront,
+                   PolicyKind::kBlockCyclicWavefront},
+        PolicyCase{PolicyKind::kColumnWavefront,
+                   PolicyKind::kColumnWavefront}),
+    [](const ::testing::TestParamInfo<PolicyCase>& info) {
+      return policyKindName(info.param.master) + "_" +
+             policyKindName(info.param.slave);
+    });
+
+// --- Fault tolerance ------------------------------------------------------
+
+TEST(RuntimeFault, BlackholeRecoveredByRedistribution) {
+  RuntimeConfig cfg = smallConfig();
+  cfg.taskTimeout = std::chrono::milliseconds(100);
+  cfg.faults.push_back({fault::FaultKind::kTaskBlackhole, 1, -1, -1, {}});
+  EditDistance p(randomSequence(36, 40), randomSequence(36, 41));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_EQ(r.stats.faultsTriggered, 1);
+  EXPECT_GE(r.stats.retries, 1);
+  EXPECT_GT(r.stats.tasks, r.stats.completedTasks);  // one extra assignment
+}
+
+TEST(RuntimeFault, BlackholeOnSingleSlaveStillCompletes) {
+  RuntimeConfig cfg = smallConfig();
+  cfg.slaveCount = 1;
+  cfg.taskTimeout = std::chrono::milliseconds(100);
+  cfg.faults.push_back({fault::FaultKind::kTaskBlackhole, 0, -1, -1, {}});
+  EditDistance p(randomSequence(24, 42), randomSequence(24, 43));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_GE(r.stats.retries, 1);
+}
+
+TEST(RuntimeFault, DelayedResultHandledIdempotently) {
+  RuntimeConfig cfg = smallConfig();
+  cfg.taskTimeout = std::chrono::milliseconds(60);
+  cfg.faults.push_back({fault::FaultKind::kTaskDelay, 2, -1, -1,
+                        std::chrono::milliseconds(250)});
+  SmithWatermanGeneralGap p(randomSequence(36, 44), randomSequence(36, 45));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_EQ(r.stats.faultsTriggered, 1);
+  // The delayed original and the re-distributed copy race; exactly one of
+  // them is late.
+  EXPECT_GE(r.stats.retries + r.stats.lateResults, 1);
+}
+
+TEST(RuntimeFault, ThreadCrashRestartsAndCompletes) {
+  RuntimeConfig cfg = smallConfig();
+  cfg.faults.push_back({fault::FaultKind::kThreadCrash, 0, -1, -1, {}});
+  cfg.faults.push_back({fault::FaultKind::kThreadCrash, 3, -1, -1, {}});
+  Nussinov p(randomRna(36, 46));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_EQ(r.stats.threadRestarts, 2);
+  EXPECT_EQ(r.stats.subTaskRequeues, 2);
+  EXPECT_EQ(r.stats.retries, 0);  // thread-level recovery, no master retry
+}
+
+TEST(RuntimeFault, ManyFaultsAtOnce) {
+  RuntimeConfig cfg = smallConfig();
+  cfg.taskTimeout = std::chrono::milliseconds(100);
+  for (VertexId v = 0; v < 4; ++v) {
+    cfg.faults.push_back({fault::FaultKind::kTaskBlackhole, v, -1, -1, {}});
+    cfg.faults.push_back({fault::FaultKind::kThreadCrash, v + 4, -1, -1, {}});
+  }
+  EditDistance p(randomSequence(40, 47), randomSequence(40, 48));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_EQ(r.stats.faultsTriggered, 8);
+  EXPECT_GE(r.stats.retries, 4);
+  EXPECT_EQ(r.stats.threadRestarts, 4);
+}
+
+TEST(RuntimeFault, FaultToleranceDisabledStillRunsCleanWorkloads) {
+  RuntimeConfig cfg = smallConfig();
+  cfg.enableFaultTolerance = false;
+  EditDistance p(randomSequence(30, 49), randomSequence(30, 50));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_EQ(r.stats.retries, 0);
+}
+
+// --- executeAssignment (slave pool in isolation) --------------------------
+
+TEST(SlavePool, ExecutesOneBlockCorrectly) {
+  EditDistance p(randomSequence(20, 51), randomSequence(20, 52));
+  // First block (no halo): rows/cols [0, 10).
+  wire::AssignPayload assign;
+  assign.vertex = 0;
+  assign.rect = CellRect{0, 0, 10, 10};
+  RuntimeConfig cfg = smallConfig();
+  fault::FaultPlan plan;
+  wire::SlaveStatsPayload stats;
+  const auto data = executeAssignment(p, cfg, plan, 1, assign, stats);
+  const auto ref = p.solveReference();
+  ASSERT_EQ(data.size(), 100u);
+  for (std::int64_t r = 0; r < 10; ++r) {
+    for (std::int64_t c = 0; c < 10; ++c) {
+      EXPECT_EQ(data[static_cast<std::size_t>(r * 10 + c)], ref.at(r, c));
+    }
+  }
+  EXPECT_EQ(stats.tasksExecuted, 1);
+}
+
+TEST(Runtime, StatsAreCoherent) {
+  RuntimeConfig cfg = smallConfig();
+  EditDistance p(randomSequence(48, 53), randomSequence(48, 54));
+  const RunResult r = Runtime(cfg).run(p);
+  EXPECT_EQ(r.stats.completedTasks, 16);  // 4×4 blocks
+  EXPECT_EQ(r.stats.tasks, r.stats.completedTasks);  // no retries
+  std::int64_t sum = 0;
+  for (auto t : r.stats.tasksPerSlave) {
+    sum += t;
+  }
+  EXPECT_EQ(sum, r.stats.tasks);
+  EXPECT_GE(r.stats.taskImbalance(), 1.0);
+  EXPECT_GT(r.stats.elapsedSeconds, 0.0);
+}
+
+}  // namespace
+}  // namespace easyhps

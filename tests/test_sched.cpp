@@ -1,0 +1,160 @@
+// Tests for scheduling policies and worker-pool bookkeeping.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "easyhps/dag/library.hpp"
+#include "easyhps/fault/plan.hpp"
+#include "easyhps/sched/policy.hpp"
+#include "easyhps/sched/worker_pool.hpp"
+
+namespace easyhps {
+namespace {
+
+PartitionedDag smallGrid() {
+  return makeWavefront2D(BlockGrid(8, 8, 2, 2));  // 4×4 blocks
+}
+
+TEST(DynamicPolicy, AnyWorkerTakesAnyTask) {
+  const auto dag = smallGrid();
+  auto p = makePolicy(PolicyKind::kDynamic, dag, 3);
+  p->onReady(5);
+  p->onReady(7);
+  EXPECT_EQ(p->queuedCount(), 2);
+  EXPECT_EQ(p->pick(2), 7);  // LIFO
+  EXPECT_EQ(p->pick(0), 5);
+  EXPECT_FALSE(p->pick(1).has_value());
+  EXPECT_EQ(p->stalledPicks(), 0);  // empty ≠ stalled
+}
+
+TEST(BcwPolicy, OwnershipByBlockColumnModWorkers) {
+  const auto dag = smallGrid();
+  auto p = makePolicy(PolicyKind::kBlockCyclicWavefront, dag, 2);
+  // Block (0,0): column 0 → worker 0; block (0,1): column 1 → worker 1.
+  const VertexId v00 = dag.vertexAt(0, 0);
+  const VertexId v01 = dag.vertexAt(0, 1);
+  const VertexId v02 = dag.vertexAt(0, 2);
+  p->onReady(v00);
+  p->onReady(v01);
+  p->onReady(v02);
+  EXPECT_EQ(p->pick(0), v00);
+  EXPECT_EQ(p->pick(0), v02);  // column 2 mod 2 = worker 0, FIFO order
+  EXPECT_EQ(p->pick(1), v01);
+}
+
+TEST(BcwPolicy, StallsWhenIdleWorkerOwnsNothing) {
+  const auto dag = smallGrid();
+  auto p = makePolicy(PolicyKind::kBlockCyclicWavefront, dag, 4);
+  p->onReady(dag.vertexAt(0, 0));  // owned by worker 0 only
+  EXPECT_FALSE(p->pick(1).has_value());
+  EXPECT_FALSE(p->pick(2).has_value());
+  EXPECT_EQ(p->stalledPicks(), 2);  // the paper's "fatal situation"
+  EXPECT_TRUE(p->pick(0).has_value());
+}
+
+TEST(CwPolicy, ContiguousBands) {
+  const auto dag = smallGrid();  // 4 block columns
+  auto p = makePolicy(PolicyKind::kColumnWavefront, dag, 2);
+  // Band = 2 columns: cols {0,1} → worker 0, cols {2,3} → worker 1.
+  p->onReady(dag.vertexAt(0, 1));
+  p->onReady(dag.vertexAt(0, 2));
+  EXPECT_EQ(p->pick(0), dag.vertexAt(0, 1));
+  EXPECT_EQ(p->pick(1), dag.vertexAt(0, 2));
+}
+
+TEST(Policies, AllTasksEventuallyScheduled) {
+  for (auto kind : {PolicyKind::kDynamic, PolicyKind::kBlockCyclicWavefront,
+                    PolicyKind::kColumnWavefront}) {
+    const auto dag = smallGrid();
+    auto p = makePolicy(kind, dag, 3);
+    for (VertexId v = 0; v < dag.vertexCount(); ++v) {
+      p->onReady(v);
+    }
+    std::set<VertexId> got;
+    for (int rounds = 0; rounds < 100 && p->queuedCount() > 0; ++rounds) {
+      for (int w = 0; w < 3; ++w) {
+        if (auto t = p->pick(w)) {
+          got.insert(*t);
+        }
+      }
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(got.size()), dag.vertexCount())
+        << policyKindName(kind);
+  }
+}
+
+TEST(RegisterTable, RegisterCompleteLifecycle) {
+  RegisterTable t;
+  const auto e1 = t.registerTask(7, 2);
+  EXPECT_TRUE(t.isRegistered(7));
+  EXPECT_TRUE(t.matches(7, e1));
+  auto entry = t.complete(7);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->worker, 2);
+  EXPECT_FALSE(t.isRegistered(7));
+  EXPECT_FALSE(t.complete(7).has_value());
+}
+
+TEST(RegisterTable, CancelOnlyMatchingEpoch) {
+  RegisterTable t;
+  const auto e1 = t.registerTask(3, 1);
+  const auto e2 = t.registerTask(3, 2);  // re-assignment bumps the epoch
+  EXPECT_NE(e1, e2);
+  EXPECT_FALSE(t.cancel(3, e1));  // stale epoch must not cancel
+  EXPECT_TRUE(t.cancel(3, e2));
+  EXPECT_FALSE(t.isRegistered(3));
+}
+
+TEST(OvertimeQueue, ExpiresInDeadlineOrder) {
+  OvertimeQueue q;
+  q.push(1, 0, 1, std::chrono::milliseconds(50));
+  q.push(2, 0, 2, std::chrono::milliseconds(5));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.popExpired().empty());  // nothing expired yet
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto expired = q.popExpired();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].task, 2);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(OvertimeQueue, NextDeadlineIsEarliest) {
+  OvertimeQueue q;
+  EXPECT_FALSE(q.nextDeadline().has_value());
+  q.push(1, 0, 1, std::chrono::hours(1));
+  q.push(2, 0, 2, std::chrono::milliseconds(1));
+  ASSERT_TRUE(q.nextDeadline().has_value());
+  EXPECT_LT(*q.nextDeadline(),
+            OvertimeQueue::Clock::now() + std::chrono::seconds(1));
+}
+
+TEST(FaultPlan, ConsumeOnce) {
+  fault::FaultPlan plan({{fault::FaultKind::kTaskBlackhole, 5, -1, -1, {}}});
+  EXPECT_TRUE(plan.consumeBlackhole(5, 1));
+  EXPECT_FALSE(plan.consumeBlackhole(5, 1));  // consumed
+  EXPECT_EQ(plan.triggered(), 1);
+}
+
+TEST(FaultPlan, SlaveBindingRespected) {
+  fault::FaultPlan plan({{fault::FaultKind::kTaskBlackhole, 5, 2, -1, {}}});
+  EXPECT_FALSE(plan.consumeBlackhole(5, 1));  // wrong slave
+  EXPECT_TRUE(plan.consumeBlackhole(5, 2));
+}
+
+TEST(FaultPlan, DelayReturnsConfiguredDuration) {
+  fault::FaultPlan plan(
+      {{fault::FaultKind::kTaskDelay, 4, -1, -1, std::chrono::milliseconds(80)}});
+  EXPECT_EQ(plan.consumeDelay(3, 1).count(), 0);
+  EXPECT_EQ(plan.consumeDelay(4, 1).count(), 80);
+  EXPECT_EQ(plan.consumeDelay(4, 1).count(), 0);  // consumed
+}
+
+TEST(FaultPlan, ThreadCrashMatchesSubVertex) {
+  fault::FaultPlan plan({{fault::FaultKind::kThreadCrash, 2, -1, 3, {}}});
+  EXPECT_FALSE(plan.consumeThreadCrash(2, 1, 4));  // wrong sub-vertex
+  EXPECT_TRUE(plan.consumeThreadCrash(2, 1, 3));
+}
+
+}  // namespace
+}  // namespace easyhps

@@ -1,0 +1,233 @@
+// Tests for the discrete-event cluster simulator: determinism, deployment
+// arithmetic, cost-model sanity and the qualitative properties the paper's
+// figures rely on (monotone scaling, dynamic ≥ BCW, crossovers).
+#include <gtest/gtest.h>
+
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/sim/intra.hpp"
+#include "easyhps/sim/simulator.hpp"
+
+namespace easyhps::sim {
+namespace {
+
+SimConfig testConfig(int nodes, int threadsPer) {
+  SimConfig cfg;
+  cfg.deployment = Deployment::forThreads(nodes, threadsPer);
+  cfg.processPartitionRows = cfg.processPartitionCols = 100;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 10;
+  return cfg;
+}
+
+SmithWatermanGeneralGap smallSwgg(std::int64_t n = 600) {
+  return {randomSequence(n, 61), randomSequence(n, 62)};
+}
+
+Nussinov smallNussinov(std::int64_t n = 600) { return Nussinov(randomRna(n, 63)); }
+
+TEST(Deployment, PaperCoreArithmetic) {
+  // Experiment_2_14: ct=11 → Y = 3 + 11 = 14.
+  const Deployment d = Deployment::forThreads(2, 11);
+  EXPECT_EQ(d.totalCores, 14);
+  EXPECT_EQ(d.computingThreads(), 11);
+  EXPECT_EQ(d.threadsPerNode(), std::vector<int>{11});
+  // Experiment_5_53: ct=11 on 4 computing nodes → Y = 9 + 44 = 53.
+  const Deployment d5 = Deployment::forThreads(5, 11);
+  EXPECT_EQ(d5.totalCores, 53);
+  EXPECT_EQ(d5.threadsPerNode(), (std::vector<int>{11, 11, 11, 11}));
+}
+
+TEST(Deployment, UnevenThreadsDistributed) {
+  Deployment d;
+  d.nodes = 4;
+  d.totalCores = 20;  // C = 13 over 3 nodes → 5,4,4
+  EXPECT_EQ(d.threadsPerNode(), (std::vector<int>{5, 4, 4}));
+}
+
+TEST(Deployment, RejectsConfigWithoutComputingCores) {
+  Deployment d;
+  d.nodes = 3;
+  d.totalCores = 5;  // C = 0
+  EXPECT_THROW(d.threadsPerNode(), LogicError);
+}
+
+TEST(IntraBlock, SingleThreadMatchesTotalWork) {
+  const auto p = smallSwgg(100);
+  const CellRect rect{0, 0, 100, 100};
+  PlatformModel pf;
+  pf.threadDispatchOverhead = 0.0;
+  const auto r = simulateIntraBlock(p, rect, 10, 10, 1, PolicyKind::kDynamic,
+                                    pf);
+  EXPECT_NEAR(r.makespan, p.blockOps(rect) * pf.cellOpCost,
+              r.makespan * 1e-9);
+  EXPECT_EQ(r.subTasks, 100);
+  EXPECT_NEAR(r.utilization(1), 1.0, 1e-9);
+}
+
+TEST(IntraBlock, MoreThreadsNeverSlower) {
+  const auto p = smallSwgg(200);
+  const CellRect rect{0, 0, 200, 200};
+  PlatformModel pf;
+  double prev = 1e100;
+  for (int t : {1, 2, 4, 8, 16}) {
+    const auto r =
+        simulateIntraBlock(p, rect, 10, 10, t, PolicyKind::kDynamic, pf);
+    EXPECT_LE(r.makespan, prev * (1 + 1e-12)) << t << " threads";
+    prev = r.makespan;
+  }
+}
+
+TEST(IntraBlock, SpeedupBoundedByWavefrontWidth) {
+  const auto p = smallSwgg(100);
+  const CellRect rect{0, 0, 100, 100};
+  PlatformModel pf;
+  pf.threadDispatchOverhead = 0.0;
+  const auto serial =
+      simulateIntraBlock(p, rect, 10, 10, 1, PolicyKind::kDynamic, pf);
+  // 10×10 sub-blocks: max frontier width is 10; 100 threads can't beat the
+  // critical path (19 diagonal steps on roughly uniform sub-blocks).
+  const auto wide =
+      simulateIntraBlock(p, rect, 10, 10, 100, PolicyKind::kDynamic, pf);
+  EXPECT_GT(serial.makespan / wide.makespan, 4.0);
+  EXPECT_LT(serial.makespan / wide.makespan, 10.01);
+}
+
+TEST(IntraBlock, DynamicNoSlowerThanBcw) {
+  const auto p = smallNussinov(300);
+  const CellRect rect{0, 100, 100, 100};
+  PlatformModel pf;
+  const auto dyn =
+      simulateIntraBlock(p, rect, 10, 10, 4, PolicyKind::kDynamic, pf);
+  const auto bcw = simulateIntraBlock(p, rect, 10, 10, 4,
+                                      PolicyKind::kBlockCyclicWavefront, pf);
+  EXPECT_LE(dyn.makespan, bcw.makespan * (1 + 1e-12));
+}
+
+TEST(Simulator, Deterministic) {
+  const auto p = smallSwgg();
+  const auto cfg = testConfig(3, 4);
+  const SimResult a = simulate(p, cfg);
+  const SimResult b = simulate(p, cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.tasks, b.tasks);
+}
+
+TEST(Simulator, AllBlocksExecutedOnce) {
+  const auto p = smallSwgg();
+  const auto cfg = testConfig(3, 2);
+  const SimResult r = simulate(p, cfg);
+  EXPECT_EQ(r.tasks, 6 * 6);  // 600/100 partition
+  std::int64_t sum = 0;
+  for (auto t : r.tasksPerNode) {
+    sum += t;
+  }
+  EXPECT_EQ(sum, r.tasks);
+}
+
+TEST(Simulator, SpeedupBelowComputingThreads) {
+  const auto p = smallSwgg();
+  for (int threadsPer : {1, 4, 8}) {
+    const auto cfg = testConfig(4, threadsPer);
+    const SimResult r = simulate(p, cfg);
+    EXPECT_GT(r.speedup(), 0.5);
+    EXPECT_LE(r.speedup(),
+              static_cast<double>(cfg.deployment.computingThreads()));
+  }
+}
+
+TEST(Simulator, MoreThreadsReduceMakespan) {
+  const auto p = smallSwgg();
+  double prev = 1e100;
+  for (int ct : {1, 2, 4, 8}) {
+    const SimResult r = simulate(p, testConfig(3, ct));
+    EXPECT_LT(r.makespan, prev) << ct << " threads/node";
+    prev = r.makespan;
+  }
+}
+
+TEST(Simulator, DynamicBeatsOrMatchesBcw) {
+  for (int nodes : {3, 5}) {
+    auto cfg = testConfig(nodes, 4);
+    const auto p = smallNussinov();
+    const SimResult dyn = simulate(p, cfg);
+    cfg.masterPolicy = PolicyKind::kBlockCyclicWavefront;
+    cfg.slavePolicy = PolicyKind::kBlockCyclicWavefront;
+    const SimResult bcw = simulate(p, cfg);
+    EXPECT_LE(dyn.makespan, bcw.makespan * 1.001) << nodes << " nodes";
+    EXPECT_GT(bcw.masterStalledPicks + bcw.threadStalledPicks, 0);
+    EXPECT_EQ(dyn.masterStalledPicks, 0);
+  }
+}
+
+TEST(Simulator, EqualCoresCrossover) {
+  // The paper's Fig 15 effect: at low total cores fewer nodes win (more of
+  // the budget computes); at high total cores more nodes win (per-node
+  // thread scaling saturates on the intra-block wavefront).
+  const auto p = smallSwgg(800);
+  SimConfig lo4;
+  lo4.deployment = {4, 20};
+  SimConfig lo5;
+  lo5.deployment = {5, 20};
+  for (auto* c : {&lo4, &lo5}) {
+    c->processPartitionRows = c->processPartitionCols = 50;
+    c->threadPartitionRows = c->threadPartitionCols = 5;
+  }
+  const double t4 = simulate(p, lo4).makespan;
+  const double t5 = simulate(p, lo5).makespan;
+  EXPECT_LT(t4, t5);  // 20 cores: 4 nodes beat 5 (13 vs 11 computing cores)
+
+  SimConfig hi4 = lo4;
+  hi4.deployment = {4, 44};  // 37 threads over 3 nodes: 13/12/12
+  SimConfig hi5 = lo5;
+  hi5.deployment = {5, 44};  // 35 threads over 4 nodes: 9/9/9/8
+  const double h4 = simulate(p, hi4).makespan;
+  const double h5 = simulate(p, hi5).makespan;
+  EXPECT_LT(h5, h4);  // 44 cores: 5 nodes beat 4
+}
+
+TEST(Simulator, MasterOverheadCountsTowardBusy) {
+  const auto p = smallSwgg();
+  const SimResult r = simulate(p, testConfig(2, 2));
+  EXPECT_GT(r.masterBusy, 0.0);
+  EXPECT_LT(r.masterBusy, r.makespan);
+  EXPECT_GT(r.nodeUtilization(), 0.1);
+  EXPECT_LE(r.nodeUtilization(), 1.0);
+}
+
+TEST(Simulator, MessagesAccountAssignsResultsAndControl) {
+  const auto p = smallSwgg();
+  const auto cfg = testConfig(3, 2);
+  const SimResult r = simulate(p, cfg);
+  const auto nodes =
+      static_cast<std::uint64_t>(cfg.deployment.computingNodes());
+  EXPECT_EQ(r.messages,
+            2 * static_cast<std::uint64_t>(r.tasks) + 2 * nodes);
+  EXPECT_GT(r.bytesTransferred, 0.0);
+}
+
+TEST(Simulator, ZeroOverheadSingleNodeSingleThreadIsSerial) {
+  const auto p = smallSwgg(300);
+  SimConfig cfg = testConfig(2, 1);
+  cfg.platform.linkLatency = 0;
+  cfg.platform.linkBandwidth = 1e18;
+  cfg.platform.masterDispatchOverhead = 0;
+  cfg.platform.masterResultOverhead = 0;
+  cfg.platform.slaveInitOverhead = 0;
+  cfg.platform.threadDispatchOverhead = 0;
+  const SimResult r = simulate(p, cfg);
+  EXPECT_NEAR(r.makespan, r.serialTime, r.serialTime * 1e-9);
+}
+
+TEST(Simulator, TriangularLoadImbalanceVisible) {
+  // Nussinov's triangular matrix makes block costs heterogeneous: the
+  // dynamic pool still balances tasks across nodes within a small factor.
+  const auto p = smallNussinov();
+  const SimResult r = simulate(p, testConfig(5, 4));
+  EXPECT_GE(r.taskImbalance(), 1.0);
+  EXPECT_LT(r.taskImbalance(), 2.0);
+}
+
+}  // namespace
+}  // namespace easyhps::sim

@@ -1,0 +1,106 @@
+// Tests for the simulator's fault model: blackholed sub-tasks recovered by
+// the simulated overtime queue, cost monotonicity, and determinism.
+#include <gtest/gtest.h>
+
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/sim/simulator.hpp"
+
+namespace easyhps::sim {
+namespace {
+
+SimConfig faultConfig() {
+  SimConfig cfg;
+  cfg.deployment = Deployment::forThreads(4, 4);
+  cfg.processPartitionRows = cfg.processPartitionCols = 100;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 10;
+  cfg.taskTimeout = 0.5;
+  return cfg;
+}
+
+SmithWatermanGeneralGap workload() {
+  return {randomSequence(600, 201), randomSequence(600, 202)};
+}
+
+TEST(SimFault, BlackholeRecoveredAndAllTasksComplete) {
+  const auto p = workload();
+  SimConfig cfg = faultConfig();
+  cfg.blackholeVertices = {0, 5, 17};
+  const SimResult r = simulate(p, cfg);
+  EXPECT_EQ(r.faultsInjected, 3);
+  EXPECT_GE(r.retries, 3);
+  // 36 distinct blocks; the 3 faulted ones were dispatched twice.
+  EXPECT_EQ(r.tasks, 36 + 3);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(SimFault, FaultsIncreaseMakespan) {
+  const auto p = workload();
+  SimConfig clean = faultConfig();
+  SimConfig faulty = faultConfig();
+  faulty.blackholeVertices = {0, 1, 2, 3};
+  const double t0 = simulate(p, clean).makespan;
+  const double t1 = simulate(p, faulty).makespan;
+  EXPECT_GT(t1, t0);
+}
+
+TEST(SimFault, LongerTimeoutCostsMore) {
+  const auto p = workload();
+  SimConfig fast = faultConfig();
+  fast.blackholeVertices = {0};
+  fast.taskTimeout = 0.2;
+  SimConfig slow = fast;
+  slow.taskTimeout = 2.0;
+  // Vertex 0 is the DAG source: everything waits on its recovery, so the
+  // makespan difference directly exposes the detection latency.
+  const double tFast = simulate(p, fast).makespan;
+  const double tSlow = simulate(p, slow).makespan;
+  EXPECT_GT(tSlow, tFast);
+  EXPECT_NEAR(tSlow - tFast, 2.0 - 0.2, 0.05);
+}
+
+TEST(SimFault, DeterministicWithFaults) {
+  const auto p = workload();
+  SimConfig cfg = faultConfig();
+  cfg.blackholeVertices = {2, 9};
+  const SimResult a = simulate(p, cfg);
+  const SimResult b = simulate(p, cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.tasks, b.tasks);
+}
+
+TEST(SimFault, NoFaultsMeansNoRetries) {
+  const auto p = workload();
+  const SimResult r = simulate(p, faultConfig());
+  EXPECT_EQ(r.faultsInjected, 0);
+  EXPECT_EQ(r.retries, 0);
+}
+
+TEST(SimFault, TightTimeoutCausesSpuriousRetriesButCompletes) {
+  // A timeout shorter than a block's service time re-distributes healthy
+  // tasks; the run must still terminate with every block computed once
+  // or more (duplicates ignored idempotently).
+  const auto p = workload();
+  SimConfig cfg = faultConfig();
+  cfg.blackholeVertices = {0};  // enables the fault machinery
+  cfg.taskTimeout = 1e-4;       // far below typical block service time
+  const SimResult r = simulate(p, cfg);
+  EXPECT_GT(r.retries, 3);      // plenty of spurious re-distributions
+  EXPECT_GE(r.tasks, 36);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(SimFault, BcwWithFaultsStillCompletes) {
+  const auto p = workload();
+  SimConfig cfg = faultConfig();
+  cfg.masterPolicy = PolicyKind::kBlockCyclicWavefront;
+  cfg.slavePolicy = PolicyKind::kBlockCyclicWavefront;
+  cfg.blackholeVertices = {1, 7};
+  const SimResult r = simulate(p, cfg);
+  EXPECT_EQ(r.faultsInjected, 2);
+  EXPECT_GE(r.retries, 2);
+}
+
+}  // namespace
+}  // namespace easyhps::sim

@@ -1,0 +1,136 @@
+// Schedule-validity tests on the simulator's task traces: every simulated
+// schedule must respect the DAG's precedence constraints, node exclusivity
+// (one block at a time per slave) and causal message ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/sim/simulator.hpp"
+
+namespace easyhps::sim {
+namespace {
+
+SimConfig tracedConfig(int nodes, int ct, PolicyKind policy) {
+  SimConfig cfg;
+  cfg.deployment = Deployment::forThreads(nodes, ct);
+  cfg.processPartitionRows = cfg.processPartitionCols = 80;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 10;
+  cfg.masterPolicy = policy;
+  cfg.slavePolicy = policy;
+  cfg.collectTrace = true;
+  return cfg;
+}
+
+struct TracedRun {
+  PartitionedDag dag;
+  SimResult result;
+};
+
+TracedRun runTraced(const DpProblem& p, const SimConfig& cfg) {
+  return TracedRun{buildMasterDag(p, cfg.processPartitionRows,
+                                  cfg.processPartitionCols),
+                   simulate(p, cfg)};
+}
+
+void expectValidSchedule(const TracedRun& run) {
+  const auto& trace = run.result.trace;
+  ASSERT_EQ(static_cast<std::int64_t>(trace.size()), run.result.tasks);
+
+  std::map<VertexId, const TaskTrace*> byVertex;
+  for (const TaskTrace& t : trace) {
+    byVertex[t.vertex] = &t;
+    // Causal ordering within one task.
+    EXPECT_LE(t.dispatched, t.arrived);
+    EXPECT_LE(t.arrived, t.computeDone);
+    EXPECT_LT(t.computeDone, t.resultProcessed);
+    EXPECT_GE(t.node, 0);
+  }
+
+  // Precedence: a task is dispatched only after all its topological
+  // predecessors' results were processed by the master.
+  for (const TaskTrace& t : trace) {
+    for (VertexId v = 0; v < run.dag.vertexCount(); ++v) {
+      for (VertexId s : run.dag.dag.successors(v)) {
+        if (s == t.vertex) {
+          const auto* pred = byVertex.at(v);
+          EXPECT_LE(pred->resultProcessed, t.dispatched)
+              << "task " << t.vertex << " dispatched before pred " << v;
+        }
+      }
+    }
+  }
+
+  // Node exclusivity: on each node, [arrived, computeDone] windows of its
+  // tasks must not overlap (a slave executes one block at a time).
+  std::map<int, std::vector<const TaskTrace*>> byNode;
+  for (const TaskTrace& t : trace) {
+    byNode[t.node].push_back(&t);
+  }
+  for (auto& [node, tasks] : byNode) {
+    std::sort(tasks.begin(), tasks.end(),
+              [](const TaskTrace* a, const TaskTrace* b) {
+                return a->arrived < b->arrived;
+              });
+    for (std::size_t i = 1; i < tasks.size(); ++i) {
+      EXPECT_GE(tasks[i]->arrived, tasks[i - 1]->computeDone - 1e-12)
+          << "node " << node << " overlapped blocks " << tasks[i - 1]->vertex
+          << " and " << tasks[i]->vertex;
+    }
+  }
+}
+
+TEST(SimTrace, DynamicScheduleIsValidSwgg) {
+  SmithWatermanGeneralGap p(randomSequence(480, 71), randomSequence(480, 72));
+  expectValidSchedule(
+      runTraced(p, tracedConfig(4, 3, PolicyKind::kDynamic)));
+}
+
+TEST(SimTrace, DynamicScheduleIsValidNussinov) {
+  Nussinov p(randomRna(480, 73));
+  expectValidSchedule(
+      runTraced(p, tracedConfig(3, 4, PolicyKind::kDynamic)));
+}
+
+TEST(SimTrace, BcwScheduleIsValid) {
+  SmithWatermanGeneralGap p(randomSequence(400, 74), randomSequence(400, 75));
+  expectValidSchedule(
+      runTraced(p, tracedConfig(5, 2, PolicyKind::kBlockCyclicWavefront)));
+}
+
+TEST(SimTrace, TraceOffByDefault) {
+  SmithWatermanGeneralGap p(randomSequence(200, 76), randomSequence(200, 77));
+  SimConfig cfg = tracedConfig(2, 2, PolicyKind::kDynamic);
+  cfg.collectTrace = false;
+  const SimResult r = simulate(p, cfg);
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(SimTrace, MakespanEqualsLastResultProcessed) {
+  Nussinov p(randomRna(320, 78));
+  const auto run = runTraced(p, tracedConfig(3, 3, PolicyKind::kDynamic));
+  double last = 0;
+  for (const auto& t : run.result.trace) {
+    last = std::max(last, t.resultProcessed);
+  }
+  EXPECT_DOUBLE_EQ(run.result.makespan, last);
+}
+
+TEST(SimTrace, BcwTasksStayOnOwnedColumns) {
+  // The static schedule's defining property: block column j runs on node
+  // (j mod P), always.
+  SmithWatermanGeneralGap p(randomSequence(400, 79), randomSequence(400, 80));
+  const auto cfg = tracedConfig(5, 2, PolicyKind::kBlockCyclicWavefront);
+  const auto run = runTraced(p, cfg);
+  const int nodes = cfg.deployment.computingNodes();
+  for (const auto& t : run.result.trace) {
+    const BlockCoord c = run.dag.coordOf(t.vertex);
+    EXPECT_EQ(t.node, static_cast<int>(c.bj % nodes));
+  }
+}
+
+}  // namespace
+}  // namespace easyhps::sim

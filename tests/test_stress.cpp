@@ -1,0 +1,125 @@
+// Stress/soak tests of the concurrent runtime: randomized configurations,
+// repeated runs (race detection by repetition), big cluster shapes, and
+// combined fault storms.  Kept small enough per case to stay CI-friendly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/runtime/runtime.hpp"
+#include "easyhps/util/rng.hpp"
+
+namespace easyhps {
+namespace {
+
+void expectMatchesReference(const DpProblem& p, const Window& solved) {
+  const DenseMatrix<Score> ref = p.solveReference();
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      if (!p.cellActive(r, c)) {
+        continue;
+      }
+      ASSERT_EQ(solved.get(r, c), ref.at(r, c));
+    }
+  }
+}
+
+class RandomizedConfig : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedConfig, EditDistanceAlwaysCorrect) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  EditDistance p(
+      randomSequence(20 + static_cast<std::int64_t>(rng.nextBelow(40)),
+                     rng.nextU64()),
+      randomSequence(20 + static_cast<std::int64_t>(rng.nextBelow(40)),
+                     rng.nextU64()));
+  RuntimeConfig cfg;
+  cfg.slaveCount = 1 + static_cast<int>(rng.nextBelow(5));
+  cfg.threadsPerSlave = 1 + static_cast<int>(rng.nextBelow(4));
+  cfg.processPartitionRows = 3 + static_cast<std::int64_t>(rng.nextBelow(20));
+  cfg.processPartitionCols = 3 + static_cast<std::int64_t>(rng.nextBelow(20));
+  cfg.threadPartitionRows = 1 + static_cast<std::int64_t>(rng.nextBelow(8));
+  cfg.threadPartitionCols = 1 + static_cast<std::int64_t>(rng.nextBelow(8));
+  cfg.sparseSlaveWindows = rng.nextBelow(2) == 0;
+  const PolicyKind kinds[] = {PolicyKind::kDynamic,
+                              PolicyKind::kBlockCyclicWavefront,
+                              PolicyKind::kColumnWavefront};
+  cfg.masterPolicy = kinds[rng.nextBelow(3)];
+  cfg.slavePolicy = kinds[rng.nextBelow(3)];
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedConfig, ::testing::Range(0, 12));
+
+TEST(Stress, RepeatedRunsAreStable) {
+  // Same config run repeatedly: any scheduling race would eventually
+  // produce a wrong matrix or a hang.
+  Nussinov p(randomRna(36, 501));
+  RuntimeConfig cfg;
+  cfg.slaveCount = 4;
+  cfg.threadsPerSlave = 3;
+  cfg.processPartitionRows = cfg.processPartitionCols = 9;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 3;
+  const auto ref = p.solveReference();
+  for (int run = 0; run < 8; ++run) {
+    const RunResult r = Runtime(cfg).run(p);
+    ASSERT_EQ(r.matrix.get(0, 35), ref.at(0, 35)) << "run " << run;
+  }
+}
+
+TEST(Stress, WideClusterManyTinyBlocks) {
+  EditDistance p(randomSequence(60, 502), randomSequence(60, 503));
+  RuntimeConfig cfg;
+  cfg.slaveCount = 8;
+  cfg.threadsPerSlave = 1;
+  cfg.processPartitionRows = cfg.processPartitionCols = 5;  // 144 blocks
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 5;
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_EQ(r.stats.completedTasks, 144);
+}
+
+TEST(Stress, FaultStormWhileRunning) {
+  EditDistance p(randomSequence(48, 504), randomSequence(48, 505));
+  RuntimeConfig cfg;
+  cfg.slaveCount = 3;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 8;  // 36 blocks
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 4;
+  cfg.taskTimeout = std::chrono::milliseconds(80);
+  for (VertexId v = 0; v < 36; v += 3) {
+    cfg.faults.push_back({fault::FaultKind::kTaskBlackhole, v, -1, -1, {}});
+  }
+  for (VertexId v = 1; v < 36; v += 5) {
+    cfg.faults.push_back({fault::FaultKind::kThreadCrash, v, -1, -1, {}});
+  }
+  cfg.faults.push_back({fault::FaultKind::kTaskDelay, 2, -1, -1,
+                        std::chrono::milliseconds(200)});
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_EQ(r.stats.faultsTriggered,
+            static_cast<std::int64_t>(cfg.faults.size()));
+  EXPECT_GE(r.stats.retries, 12);
+}
+
+TEST(Stress, BackToBackRunsOnOneRuntime) {
+  // The Runtime object is stateless between runs; reuse must be safe.
+  RuntimeConfig cfg;
+  cfg.slaveCount = 2;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 10;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 5;
+  Runtime runtime(cfg);
+  for (int i = 0; i < 4; ++i) {
+    EditDistance p(randomSequence(30, 600 + static_cast<std::uint64_t>(i)),
+                   randomSequence(30, 700 + static_cast<std::uint64_t>(i)));
+    const RunResult r = runtime.run(p);
+    expectMatchesReference(p, r.matrix);
+  }
+}
+
+}  // namespace
+}  // namespace easyhps

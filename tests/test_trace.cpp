@@ -1,0 +1,81 @@
+// Tests for the reporting module: tables, CSV, banners, trace CSV and the
+// ASCII Gantt renderer.
+#include <gtest/gtest.h>
+
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/sim/simulator.hpp"
+#include "easyhps/trace/gantt.hpp"
+#include "easyhps/trace/report.hpp"
+
+namespace easyhps::trace {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Each rendered line has equal width (alignment).
+  std::size_t firstLen = out.find('\n');
+  EXPECT_GT(firstLen, 0u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), LogicError);
+}
+
+TEST(Table, CsvEscapesNothingButJoins) {
+  Table t({"x", "y"});
+  t.addRow({"1", "2"});
+  EXPECT_EQ(t.csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(42)), "42");
+}
+
+TEST(Banner, ContainsTitle) {
+  EXPECT_NE(banner("Fig 1").find("Fig 1"), std::string::npos);
+}
+
+TEST(TraceCsv, OneRowPerTask) {
+  SmithWatermanGeneralGap p(randomSequence(300, 1), randomSequence(300, 2));
+  sim::SimConfig cfg;
+  cfg.deployment = sim::Deployment::forThreads(3, 2);
+  cfg.processPartitionRows = cfg.processPartitionCols = 100;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 10;
+  cfg.collectTrace = true;
+  const sim::SimResult r = sim::simulate(p, cfg);
+  const std::string csv = traceCsv(r.trace);
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, r.tasks + 1);  // header + rows
+  EXPECT_NE(csv.find("vertex,node"), std::string::npos);
+}
+
+TEST(AsciiGantt, RendersOneRowPerNode) {
+  SmithWatermanGeneralGap p(randomSequence(300, 3), randomSequence(300, 4));
+  sim::SimConfig cfg;
+  cfg.deployment = sim::Deployment::forThreads(4, 2);
+  cfg.processPartitionRows = cfg.processPartitionCols = 100;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 10;
+  cfg.collectTrace = true;
+  const sim::SimResult r = sim::simulate(p, cfg);
+  const std::string gantt =
+      asciiGantt(r.trace, r.makespan, cfg.deployment.computingNodes(), 60);
+  EXPECT_NE(gantt.find("node 0"), std::string::npos);
+  EXPECT_NE(gantt.find("node 2"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);  // some compute drawn
+}
+
+TEST(AsciiGantt, EmptyScheduleHandled) {
+  EXPECT_EQ(asciiGantt({}, 0.0, 2), "(empty schedule)\n");
+}
+
+}  // namespace
+}  // namespace easyhps::trace

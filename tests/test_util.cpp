@@ -1,0 +1,271 @@
+// Unit tests for src/easyhps/util: error checks, RNG determinism,
+// concurrent containers, stats accumulators and the byte archive.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "easyhps/util/archive.hpp"
+#include "easyhps/util/clock.hpp"
+#include "easyhps/util/concurrent.hpp"
+#include "easyhps/util/error.hpp"
+#include "easyhps/util/rng.hpp"
+#include "easyhps/util/stats.hpp"
+
+namespace easyhps {
+namespace {
+
+TEST(Error, ExpectsThrowsLogicError) {
+  EXPECT_THROW(EASYHPS_EXPECTS(1 == 2), LogicError);
+  EXPECT_NO_THROW(EASYHPS_EXPECTS(1 == 1));
+}
+
+TEST(Error, CheckCarriesMessage) {
+  try {
+    EASYHPS_CHECK(false, "my context");
+    FAIL() << "should have thrown";
+  } catch (const LogicError& e) {
+    EXPECT_NE(std::string(e.what()).find("my context"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.nextU64(), b.nextU64());
+  }
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng base(7);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s1.nextU64() == s2.nextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.nextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.nextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(BlockingStack, LifoOrder) {
+  BlockingStack<int> s;
+  s.push(1);
+  s.push(2);
+  s.push(3);
+  EXPECT_EQ(s.pop(), 3);
+  EXPECT_EQ(s.pop(), 2);
+  EXPECT_EQ(s.pop(), 1);
+}
+
+TEST(BlockingStack, CloseWakesBlockedPop) {
+  BlockingStack<int> s;
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    auto v = s.pop();
+    EXPECT_FALSE(v.has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  s.close();
+  t.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(BlockingStack, PushAfterCloseThrows) {
+  BlockingStack<int> s;
+  s.close();
+  EXPECT_THROW(s.push(1), LogicError);
+}
+
+TEST(BlockingStack, DrainTakesEverything) {
+  BlockingStack<int> s;
+  for (int i = 0; i < 5; ++i) {
+    s.push(i);
+  }
+  auto all = s.drain();
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q;
+  auto v = q.popFor(std::chrono::milliseconds(10));
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(BlockingQueue, ManyProducersOneConsumer) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(p * kPerProducer + i);
+      }
+    });
+  }
+  std::set<int> received;
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    received.insert(*v);
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(received.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats whole;
+  OnlineStats a;
+  OnlineStats b;
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.nextDouble() * 10;
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.count(), whole.count());
+}
+
+TEST(OnlineStats, ImbalanceIsMaxOverMean) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.imbalance(), 1.5);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
+}
+
+TEST(Histogram, ClampsOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.counts().front(), 1u);
+  EXPECT_EQ(h.counts().back(), 1u);
+}
+
+TEST(Archive, RoundTripScalars) {
+  ByteWriter w;
+  w.put<std::int32_t>(-7);
+  w.put<std::uint64_t>(123456789ULL);
+  w.put<double>(3.25);
+  auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.get<std::int32_t>(), -7);
+  EXPECT_EQ(r.get<std::uint64_t>(), 123456789ULL);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Archive, RoundTripStringAndVector) {
+  ByteWriter w;
+  w.putString("hello easyhps");
+  w.putVector<std::int32_t>({1, 2, 3});
+  w.putVector<std::int32_t>({});
+  auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.getString(), "hello easyhps");
+  EXPECT_EQ(r.getVector<std::int32_t>(), (std::vector<std::int32_t>{1, 2, 3}));
+  EXPECT_TRUE(r.getVector<std::int32_t>().empty());
+}
+
+TEST(Archive, TruncatedPayloadThrows) {
+  ByteWriter w;
+  w.put<std::int32_t>(1);
+  auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  (void)r.get<std::int32_t>();
+  EXPECT_THROW(r.get<std::int64_t>(), CommError);
+}
+
+TEST(Archive, VectorLengthLieThrows) {
+  ByteWriter w;
+  w.put<std::uint64_t>(1000);  // claims 1000 elements, provides none
+  auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.getVector<std::int64_t>(), CommError);
+}
+
+TEST(Clock, StopwatchMonotone) {
+  Stopwatch sw;
+  const double a = sw.elapsedSeconds();
+  const double b = sw.elapsedSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(Clock, SimTimeConversions) {
+  EXPECT_DOUBLE_EQ(simToSeconds(kSimSecond), 1.0);
+  EXPECT_DOUBLE_EQ(simToSeconds(500 * kSimMillisecond), 0.5);
+}
+
+}  // namespace
+}  // namespace easyhps
