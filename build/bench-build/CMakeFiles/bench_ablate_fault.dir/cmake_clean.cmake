@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_fault"
+  "../bench/bench_ablate_fault.pdb"
+  "CMakeFiles/bench_ablate_fault.dir/bench_ablate_fault.cpp.o"
+  "CMakeFiles/bench_ablate_fault.dir/bench_ablate_fault.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_partition"
+  "../bench/bench_ablate_partition.pdb"
+  "CMakeFiles/bench_ablate_partition.dir/bench_ablate_partition.cpp.o"
+  "CMakeFiles/bench_ablate_partition.dir/bench_ablate_partition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_bcw_ratio"
+  "../bench/bench_fig17_bcw_ratio.pdb"
+  "CMakeFiles/bench_fig17_bcw_ratio.dir/bench_fig17_bcw_ratio.cpp.o"
+  "CMakeFiles/bench_fig17_bcw_ratio.dir/bench_fig17_bcw_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_bcw_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_pattern.dir/custom_pattern.cpp.o"
+  "CMakeFiles/example_custom_pattern.dir/custom_pattern.cpp.o.d"
+  "example_custom_pattern"
+  "example_custom_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

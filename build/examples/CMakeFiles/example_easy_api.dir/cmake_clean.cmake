@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_easy_api.dir/easy_api.cpp.o"
+  "CMakeFiles/example_easy_api.dir/easy_api.cpp.o.d"
+  "example_easy_api"
+  "example_easy_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_easy_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_easyhps_cli.dir/easyhps_cli.cpp.o"
+  "CMakeFiles/example_easyhps_cli.dir/easyhps_cli.cpp.o.d"
+  "example_easyhps_cli"
+  "example_easyhps_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_easyhps_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

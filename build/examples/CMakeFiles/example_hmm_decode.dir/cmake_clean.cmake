@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hmm_decode.dir/hmm_decode.cpp.o"
+  "CMakeFiles/example_hmm_decode.dir/hmm_decode.cpp.o.d"
+  "example_hmm_decode"
+  "example_hmm_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hmm_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_hmm_decode.
+# This may be replaced when dependencies are built.

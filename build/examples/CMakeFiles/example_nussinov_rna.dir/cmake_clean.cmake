@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nussinov_rna.dir/nussinov_rna.cpp.o"
+  "CMakeFiles/example_nussinov_rna.dir/nussinov_rna.cpp.o.d"
+  "example_nussinov_rna"
+  "example_nussinov_rna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nussinov_rna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

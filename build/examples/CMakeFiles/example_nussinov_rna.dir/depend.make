@@ -1,0 +1,2 @@
+# Empty dependencies file for example_nussinov_rna.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_swgg_align.dir/swgg_align.cpp.o"
+  "CMakeFiles/example_swgg_align.dir/swgg_align.cpp.o.d"
+  "example_swgg_align"
+  "example_swgg_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_swgg_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/easyhps/dag/library.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dag/library.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dag/library.cpp.o.d"
+  "/root/repo/src/easyhps/dag/parse_state.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dag/parse_state.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dag/parse_state.cpp.o.d"
+  "/root/repo/src/easyhps/dag/pattern.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dag/pattern.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dag/pattern.cpp.o.d"
+  "/root/repo/src/easyhps/dp/editdist.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/editdist.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/editdist.cpp.o.d"
+  "/root/repo/src/easyhps/dp/knapsack.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/knapsack.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/knapsack.cpp.o.d"
+  "/root/repo/src/easyhps/dp/lcs.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/lcs.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/lcs.cpp.o.d"
+  "/root/repo/src/easyhps/dp/mcm.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/mcm.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/mcm.cpp.o.d"
+  "/root/repo/src/easyhps/dp/needleman.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/needleman.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/needleman.cpp.o.d"
+  "/root/repo/src/easyhps/dp/nussinov.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/nussinov.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/nussinov.cpp.o.d"
+  "/root/repo/src/easyhps/dp/obst.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/obst.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/obst.cpp.o.d"
+  "/root/repo/src/easyhps/dp/problem.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/problem.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/problem.cpp.o.d"
+  "/root/repo/src/easyhps/dp/sequence.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/sequence.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/sequence.cpp.o.d"
+  "/root/repo/src/easyhps/dp/sparse_window.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/sparse_window.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/sparse_window.cpp.o.d"
+  "/root/repo/src/easyhps/dp/swgg.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/swgg.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/swgg.cpp.o.d"
+  "/root/repo/src/easyhps/dp/twod2d.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/twod2d.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/twod2d.cpp.o.d"
+  "/root/repo/src/easyhps/dp/viterbi.cpp" "src/CMakeFiles/easyhps.dir/easyhps/dp/viterbi.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/dp/viterbi.cpp.o.d"
+  "/root/repo/src/easyhps/fault/plan.cpp" "src/CMakeFiles/easyhps.dir/easyhps/fault/plan.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/fault/plan.cpp.o.d"
+  "/root/repo/src/easyhps/msg/cluster.cpp" "src/CMakeFiles/easyhps.dir/easyhps/msg/cluster.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/msg/cluster.cpp.o.d"
+  "/root/repo/src/easyhps/msg/comm.cpp" "src/CMakeFiles/easyhps.dir/easyhps/msg/comm.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/msg/comm.cpp.o.d"
+  "/root/repo/src/easyhps/msg/mailbox.cpp" "src/CMakeFiles/easyhps.dir/easyhps/msg/mailbox.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/msg/mailbox.cpp.o.d"
+  "/root/repo/src/easyhps/runtime/api.cpp" "src/CMakeFiles/easyhps.dir/easyhps/runtime/api.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/runtime/api.cpp.o.d"
+  "/root/repo/src/easyhps/runtime/master.cpp" "src/CMakeFiles/easyhps.dir/easyhps/runtime/master.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/runtime/master.cpp.o.d"
+  "/root/repo/src/easyhps/runtime/runtime.cpp" "src/CMakeFiles/easyhps.dir/easyhps/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/runtime/runtime.cpp.o.d"
+  "/root/repo/src/easyhps/runtime/slave.cpp" "src/CMakeFiles/easyhps.dir/easyhps/runtime/slave.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/runtime/slave.cpp.o.d"
+  "/root/repo/src/easyhps/runtime/wire.cpp" "src/CMakeFiles/easyhps.dir/easyhps/runtime/wire.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/runtime/wire.cpp.o.d"
+  "/root/repo/src/easyhps/sched/policy.cpp" "src/CMakeFiles/easyhps.dir/easyhps/sched/policy.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/sched/policy.cpp.o.d"
+  "/root/repo/src/easyhps/sched/worker_pool.cpp" "src/CMakeFiles/easyhps.dir/easyhps/sched/worker_pool.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/sched/worker_pool.cpp.o.d"
+  "/root/repo/src/easyhps/sim/intra.cpp" "src/CMakeFiles/easyhps.dir/easyhps/sim/intra.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/sim/intra.cpp.o.d"
+  "/root/repo/src/easyhps/sim/simulator.cpp" "src/CMakeFiles/easyhps.dir/easyhps/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/sim/simulator.cpp.o.d"
+  "/root/repo/src/easyhps/trace/gantt.cpp" "src/CMakeFiles/easyhps.dir/easyhps/trace/gantt.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/trace/gantt.cpp.o.d"
+  "/root/repo/src/easyhps/trace/report.cpp" "src/CMakeFiles/easyhps.dir/easyhps/trace/report.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/trace/report.cpp.o.d"
+  "/root/repo/src/easyhps/util/error.cpp" "src/CMakeFiles/easyhps.dir/easyhps/util/error.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/util/error.cpp.o.d"
+  "/root/repo/src/easyhps/util/log.cpp" "src/CMakeFiles/easyhps.dir/easyhps/util/log.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/util/log.cpp.o.d"
+  "/root/repo/src/easyhps/util/stats.cpp" "src/CMakeFiles/easyhps.dir/easyhps/util/stats.cpp.o" "gcc" "src/CMakeFiles/easyhps.dir/easyhps/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_extra.dir/test_dp_extra.cpp.o"
+  "CMakeFiles/test_dp_extra.dir/test_dp_extra.cpp.o.d"
+  "test_dp_extra"
+  "test_dp_extra.pdb"
+  "test_dp_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_window.dir/test_sparse_window.cpp.o"
+  "CMakeFiles/test_sparse_window.dir/test_sparse_window.cpp.o.d"
+  "test_sparse_window"
+  "test_sparse_window.pdb"
+  "test_sparse_window[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
