@@ -4,6 +4,9 @@
 // simulator's platform model.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+
 #include "easyhps/dag/library.hpp"
 #include "easyhps/dag/parse_state.hpp"
 #include "easyhps/dp/editdist.hpp"
@@ -13,6 +16,7 @@
 #include "easyhps/msg/cluster.hpp"
 #include "easyhps/runtime/wire.hpp"
 #include "easyhps/sched/policy.hpp"
+#include "easyhps/trace/report.hpp"
 #include "easyhps/util/concurrent.hpp"
 
 namespace easyhps {
@@ -182,4 +186,56 @@ BENCHMARK(BM_WindowExtractInject)->Arg(256)->Arg(1024);
 }  // namespace
 }  // namespace easyhps
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console reporter that additionally captures each run into a
+/// trace::Table, so the micro numbers land in BENCH_micro.json for the
+/// plotting/regression scripts alongside the usual console output.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) {
+        continue;
+      }
+      const auto items = run.counters.find("items_per_second");
+      const auto bytes = run.counters.find("bytes_per_second");
+      table_.addRow(
+          {run.benchmark_name(),
+           easyhps::trace::Table::num(
+               static_cast<std::int64_t>(run.iterations)),
+           easyhps::trace::Table::num(run.GetAdjustedRealTime(), 1),
+           easyhps::trace::Table::num(run.GetAdjustedCPUTime(), 1),
+           items != run.counters.end()
+               ? easyhps::trace::Table::num(items->second.value, 0)
+               : "",
+           bytes != run.counters.end()
+               ? easyhps::trace::Table::num(bytes->second.value, 0)
+               : ""});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const easyhps::trace::Table& table() const { return table_; }
+
+ private:
+  easyhps::trace::Table table_{{"name", "iterations", "real_ns", "cpu_ns",
+                                "items_per_s", "bytes_per_s"}};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::ofstream json("BENCH_micro.json");
+  json << reporter.table().json();
+  std::cout << "\nwrote BENCH_micro.json\n";
+  return 0;
+}

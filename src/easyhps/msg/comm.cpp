@@ -82,6 +82,15 @@ std::optional<MessageInfo> Comm::probe(int source, int tag) const {
   return state_->mailbox(rank_).probe(source, tag);
 }
 
+TrafficSnapshot Comm::traffic() const {
+  const TrafficStats& t = state_->traffic();
+  TrafficSnapshot snap;
+  snap.messages = t.messages.load();
+  snap.bytes = t.bytes.load();
+  snap.dropped = t.dropped.load();
+  return snap;
+}
+
 bool Comm::mailboxClosed() const {
   return state_->mailbox(rank_).closed();
 }

@@ -28,6 +28,14 @@ struct TrafficStats {
   std::atomic<std::uint64_t> dropped{0};
 };
 
+/// Point-in-time copy of the cluster traffic counters.  Differencing two
+/// snapshots yields per-interval (e.g. per-job) message/byte counts.
+struct TrafficSnapshot {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t dropped = 0;
+};
+
 /// Optional transport fault hook: return true to *drop* the message.  Used
 /// by fault-tolerance tests to simulate lost traffic / dead slaves.
 using DropFn = std::function<bool(const Message&)>;
@@ -81,6 +89,9 @@ class Comm {
   /// Non-blocking probe.
   std::optional<MessageInfo> probe(int source = kAnySource,
                                    int tag = kAnyTag) const;
+
+  /// Snapshot of the cluster-wide traffic counters (all ranks).
+  TrafficSnapshot traffic() const;
 
   /// True once the cluster shut this rank's mailbox (abort or teardown).
   /// Pollers using recvFor must check this: a closed mailbox returns

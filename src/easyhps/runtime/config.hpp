@@ -63,6 +63,8 @@ struct RunStats {
   std::int64_t completedTasks = 0;   ///< distinct sub-tasks finished
   std::int64_t retries = 0;          ///< master FT re-distributions
   std::int64_t lateResults = 0;      ///< results after cancellation
+  std::int64_t staleJobResults = 0;  ///< results of an *earlier* job
+                                     ///< discarded by the multiplexed master
   std::int64_t masterStalledPicks = 0;
 
   std::int64_t threadRestarts = 0;   ///< slave FT thread restarts

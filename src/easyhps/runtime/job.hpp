@@ -1,0 +1,24 @@
+#pragma once
+/// \file job.hpp
+/// Job identity shared by the wire protocol, the multiplexed master/slave
+/// loops and the serve layer.
+///
+/// The paper's runtime solves exactly one DP instance per cluster; this
+/// repo multiplexes many instances ("jobs") over one persistent cluster
+/// (see `src/easyhps/serve`).  Every protocol message that can outlive a
+/// job boundary — assignments, results, per-job stats — carries the job id
+/// so a reply delayed past its job's end is discarded instead of being
+/// credited to the next job.
+
+#include <cstdint>
+
+namespace easyhps {
+
+/// Identifies one submitted DP instance for the lifetime of a service.
+/// Ids are assigned by the service starting at 1 and never reused.
+using JobId = std::int64_t;
+
+/// Sentinel for "no job" (unset payload fields, single-run bookkeeping).
+inline constexpr JobId kNoJob = -1;
+
+}  // namespace easyhps

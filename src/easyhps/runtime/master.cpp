@@ -10,39 +10,53 @@
 #include "easyhps/dag/parse_state.hpp"
 #include "easyhps/runtime/wire.hpp"
 #include "easyhps/sched/worker_pool.hpp"
+#include "easyhps/util/clock.hpp"
 #include "easyhps/util/log.hpp"
 
 namespace easyhps {
 namespace {
 
-/// Scheduler state shared by the master worker threads and the FT thread.
+/// Scheduler state shared by the master worker threads and the control
+/// thread, scoped to one job.
 struct MasterState {
-  explicit MasterState(const PartitionedDag& d, Window& m)
-      : dag(&d), parse(d.dag), matrix(&m) {}
+  MasterState(JobId j, const PartitionedDag& d, Window& m)
+      : jobId(j), dag(&d), parse(d.dag), matrix(&m) {}
 
+  const JobId jobId;
   const PartitionedDag* dag;
   DagParseState parse;
   std::unique_ptr<SchedulingPolicy> policy;
   RegisterTable registerTable;
   OvertimeQueue overtime;
   Window* matrix;
+  Stopwatch watch;  ///< started at job dispatch (time-to-first-block)
 
   std::mutex mutex;
   std::condition_variable cv;
   bool done = false;
+  bool cancelled = false;
 
   // Statistics (guarded by mutex).
   std::int64_t tasksSent = 0;
   std::int64_t completed = 0;
   std::int64_t retries = 0;
   std::int64_t lateResults = 0;
+  std::int64_t staleJobResults = 0;
+  double firstBlockSeconds = -1.0;
   std::vector<std::int64_t> tasksPerSlave;
 };
 
 /// Injects a result and advances the parse state.  Returns true if this
-/// completion was new (false = duplicate / late result).
+/// completion was new (false = stale job, duplicate, or late result).
 bool processResult(MasterState& state, const wire::ResultPayload& result) {
   std::lock_guard<std::mutex> lock(state.mutex);
+  if (result.job != state.jobId) {
+    // A reply that outlived its job (delay fault, slow slave).  Vertex ids
+    // restart at 0 every job, so crediting it here would corrupt the
+    // current job's matrix; discard it.
+    ++state.staleJobResults;
+    return false;
+  }
   (void)state.registerTable.complete(result.vertex);
   if (state.parse.isFinished(result.vertex)) {
     ++state.lateResults;
@@ -53,6 +67,9 @@ bool processResult(MasterState& state, const wire::ResultPayload& result) {
     state.policy->onReady(next);
   }
   ++state.completed;
+  if (state.firstBlockSeconds < 0.0) {
+    state.firstBlockSeconds = state.watch.elapsedSeconds();
+  }
   if (state.parse.allDone()) {
     state.done = true;
   }
@@ -60,17 +77,19 @@ bool processResult(MasterState& state, const wire::ResultPayload& result) {
   return true;
 }
 
-/// One master worker thread: drives slave rank `slaveRank` (paper §V-B).
+/// One master worker thread: drives slave rank `slaveRank` through one job
+/// (paper §V-B).
 void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
                       const RuntimeConfig& cfg, MasterState& state,
                       int slaveRank, wire::SlaveStatsPayload& slaveStats) {
   const int workerIdx = slaveRank - 1;
   log::setThreadName("master/worker-" + std::to_string(slaveRank));
 
-  // Wait for the slave's initial idle signal (paper §V-C step a).
+  // Wait for the slave's per-job ready signal (paper §V-C step a).
   {
     const msg::Message idle = comm.recv(slaveRank, wire::kTagIdle);
-    (void)idle;
+    EASYHPS_CHECK(wire::decodeJobControl(idle.payload).job == state.jobId,
+                  "slave acked the wrong job");
   }
 
   struct Inflight {
@@ -111,6 +130,7 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
       // Halo extraction and send happen outside the scheduler mutex; see
       // master.hpp for why this is race-free.
       wire::AssignPayload assign;
+      assign.job = state.jobId;
       assign.vertex = vertex;
       assign.rect = state.dag->rectOf(vertex);
       for (const CellRect& h : problem.haloFor(assign.rect)) {
@@ -122,7 +142,7 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
     }
 
     // Wait for this slave's result; wake periodically to notice
-    // cancellation by the FT thread or global completion.
+    // cancellation or global completion.
     auto m = comm.recvFor(slaveRank, wire::kTagResult,
                           std::chrono::milliseconds(20));
     if (!m) {
@@ -131,6 +151,15 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
         // arrive; surface it instead of polling forever.
         throw CommError("cluster shut down while awaiting slave " +
                         std::to_string(slaveRank));
+      }
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.done) {
+          // Job finished without this reply (cancelled, or the vertex was
+          // completed by a late duplicate).  The slave's eventual reply is
+          // handled as late/stale by a later job.
+          break;
+        }
       }
       if (!state.registerTable.matches(inflight->vertex, inflight->epoch)) {
         // Cancelled (timed out and re-distributed) or completed via a
@@ -142,19 +171,23 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
     }
     const wire::ResultPayload result = wire::decodeResult(m->payload);
     processResult(state, result);
-    if (result.vertex == inflight->vertex) {
+    if (result.job == state.jobId && result.vertex == inflight->vertex) {
       inflight.reset();
     }
   }
 
-  comm.send(slaveRank, wire::kTagEnd, {});
+  comm.send(slaveRank, wire::kTagJobEnd,
+            wire::encodeJobControl({state.jobId}));
   const msg::Message statsMsg = comm.recv(slaveRank, wire::kTagStats);
   slaveStats = wire::decodeSlaveStats(statsMsg.payload);
+  EASYHPS_CHECK(slaveStats.job == state.jobId,
+                "slave stats from the wrong job");
 }
 
-/// Master fault-tolerance thread: re-distributes timed-out assignments
-/// (paper §V-B step g, Fig 10).
-void faultToleranceLoop(MasterState& state) {
+/// Master control thread: re-distributes timed-out assignments (paper
+/// §V-B step g, Fig 10) and honours the job's cancellation flag.
+void controlLoop(MasterState& state, const RuntimeConfig& cfg,
+                 const std::atomic<bool>* cancelRequested) {
   log::setThreadName("master/ft");
   for (;;) {
     {
@@ -162,22 +195,31 @@ void faultToleranceLoop(MasterState& state) {
       if (state.done) {
         return;
       }
-    }
-    const auto expired = state.overtime.popExpired();
-    if (!expired.empty()) {
-      std::lock_guard<std::mutex> lock(state.mutex);
-      for (const auto& e : expired) {
-        if (state.parse.isFinished(e.task)) {
-          continue;  // completed in time; stale deadline entry
-        }
-        if (state.registerTable.cancel(e.task, e.epoch)) {
-          ++state.retries;
-          state.policy->onReady(e.task);
-          EASYHPS_LOG_WARN("sub-task " << e.task << " timed out on slave "
-                                       << e.worker << "; re-distributing");
-        }
+      if (cancelRequested != nullptr &&
+          cancelRequested->load(std::memory_order_relaxed)) {
+        state.cancelled = true;
+        state.done = true;
+        state.cv.notify_all();
+        return;
       }
-      state.cv.notify_all();
+    }
+    if (cfg.enableFaultTolerance) {
+      const auto expired = state.overtime.popExpired();
+      if (!expired.empty()) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        for (const auto& e : expired) {
+          if (state.parse.isFinished(e.task)) {
+            continue;  // completed in time; stale deadline entry
+          }
+          if (state.registerTable.cancel(e.task, e.epoch)) {
+            ++state.retries;
+            state.policy->onReady(e.task);
+            EASYHPS_LOG_WARN("sub-task " << e.task << " timed out on slave "
+                                         << e.worker << "; re-distributing");
+          }
+        }
+        state.cv.notify_all();
+      }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
@@ -185,17 +227,24 @@ void faultToleranceLoop(MasterState& state) {
 
 }  // namespace
 
-RunStats runMaster(msg::Comm& comm, const DpProblem& problem,
-                   const RuntimeConfig& cfg, Window& out) {
-  log::setThreadName("master");
+MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
+                              const ServiceJob& job) {
   EASYHPS_EXPECTS(cfg.slaveCount >= 1);
   EASYHPS_EXPECTS(comm.size() == cfg.slaveCount + 1);
+  EASYHPS_EXPECTS(job.problem != nullptr && job.out != nullptr);
+
+  const msg::TrafficSnapshot traffic0 = comm.traffic();
+
+  // Bracket the job: every slave resets its per-job state on JobStart.
+  for (int s = 1; s <= cfg.slaveCount; ++s) {
+    comm.send(s, wire::kTagJobStart, wire::encodeJobControl({job.id}));
+  }
 
   // Master DAG Data Driven Model initialization + task partition
   // (paper §V-B step a).
   const PartitionedDag dag = buildMasterDag(
-      problem, cfg.processPartitionRows, cfg.processPartitionCols);
-  MasterState state(dag, out);
+      *job.problem, cfg.processPartitionRows, cfg.processPartitionCols);
+  MasterState state(job.id, dag, *job.out);
   state.policy = makePolicy(cfg.masterPolicy, dag, cfg.slaveCount);
   state.tasksPerSlave.assign(static_cast<std::size_t>(cfg.slaveCount), 0);
   for (VertexId v : state.parse.initiallyComputable()) {
@@ -215,7 +264,7 @@ RunStats runMaster(msg::Comm& comm, const DpProblem& problem,
     for (int s = 1; s <= cfg.slaveCount; ++s) {
       threads.emplace_back([&, s] {
         try {
-          masterWorkerLoop(comm, problem, cfg, state, s,
+          masterWorkerLoop(comm, *job.problem, cfg, state, s,
                            slaveStats[static_cast<std::size_t>(s - 1)]);
         } catch (...) {
           // A worker failure (closed cluster, kernel bug) must not take
@@ -228,8 +277,9 @@ RunStats runMaster(msg::Comm& comm, const DpProblem& problem,
         }
       });
     }
-    if (cfg.enableFaultTolerance) {
-      threads.emplace_back([&] { faultToleranceLoop(state); });
+    if (cfg.enableFaultTolerance || job.cancelRequested != nullptr) {
+      threads.emplace_back(
+          [&] { controlLoop(state, cfg, job.cancelRequested); });
     }
   }  // join
 
@@ -238,20 +288,45 @@ RunStats runMaster(msg::Comm& comm, const DpProblem& problem,
       std::rethrow_exception(e);
     }
   }
-  EASYHPS_ENSURES(state.parse.allDone());
+  if (!state.cancelled) {
+    EASYHPS_ENSURES(state.parse.allDone());
+  }
 
-  RunStats stats;
+  MasterJobOutcome outcome;
+  outcome.cancelled = state.cancelled;
+  outcome.timeToFirstBlockSeconds = state.firstBlockSeconds;
+  RunStats& stats = outcome.stats;
+  stats.elapsedSeconds = state.watch.elapsedSeconds();
   stats.tasks = state.tasksSent;
   stats.completedTasks = state.completed;
   stats.retries = state.retries;
   stats.lateResults = state.lateResults;
+  stats.staleJobResults = state.staleJobResults;
   stats.masterStalledPicks = state.policy->stalledPicks();
   stats.tasksPerSlave = state.tasksPerSlave;
   for (const auto& s : slaveStats) {
     stats.threadRestarts += s.threadRestarts;
     stats.subTaskRequeues += s.subTaskRequeues;
   }
-  return stats;
+  const msg::TrafficSnapshot traffic1 = comm.traffic();
+  stats.messages = traffic1.messages - traffic0.messages;
+  stats.bytes = traffic1.bytes - traffic0.bytes;
+  return outcome;
+}
+
+void runMasterService(msg::Comm& comm, const RuntimeConfig& cfg,
+                      JobFeed& feed) {
+  log::setThreadName("master");
+  EASYHPS_EXPECTS(cfg.slaveCount >= 1);
+  EASYHPS_EXPECTS(comm.size() == cfg.slaveCount + 1);
+
+  while (std::optional<ServiceJob> job = feed.nextJob()) {
+    MasterJobOutcome outcome = runMasterJob(comm, cfg, *job);
+    feed.jobFinished(job->id, std::move(outcome));
+  }
+  for (int s = 1; s <= cfg.slaveCount; ++s) {
+    comm.send(s, wire::kTagEnd, {});
+  }
 }
 
 }  // namespace easyhps

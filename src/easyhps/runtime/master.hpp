@@ -1,14 +1,23 @@
 #pragma once
 /// \file master.hpp
-/// Master part of the EasyHPS runtime (paper §III, §V-B).
+/// Master part of the EasyHPS runtime (paper §III, §V-B), multiplexed over
+/// a stream of jobs.
 ///
-/// The master worker pool creates one worker thread per slave node (paper
-/// §V-B step b); each worker thread drives exactly one slave: it picks a
-/// computable sub-task from the scheduler, ships it with the halo data the
-/// data-communication level prescribes, waits for the result, injects it
-/// into the master matrix and advances the DAG parse state.  A separate
-/// fault-tolerance thread watches the master overtime queue and
-/// re-distributes timed-out assignments.
+/// The paper's master solves exactly one DP instance and exits; here the
+/// master rank runs a *service loop*: it pulls jobs from a `JobFeed`, runs
+/// each one with the paper's two-level schedule, reports the outcome back
+/// and keeps the cluster alive for the next job.  A single-job run (the
+/// `Runtime::run` API) is simply this loop over a feed of length one, so
+/// the paper's work flow is the `n = 1` special case of the service
+/// protocol (see DESIGN.md, "Job multiplexing").
+///
+/// Per job, the master worker pool creates one worker thread per slave
+/// node (paper §V-B step b); each worker thread drives exactly one slave:
+/// it picks a computable sub-task from the scheduler, ships it with the
+/// halo data the data-communication level prescribes, waits for the result,
+/// injects it into the job's matrix and advances the DAG parse state.  A
+/// control thread watches the master overtime queue (fault tolerance) and
+/// the job's cancellation flag.
 ///
 /// Concurrency invariants (why the matrix needs no lock of its own):
 ///  * Block injections happen under the scheduler mutex.
@@ -18,17 +27,65 @@
 ///    ancestor (`DagPattern::dataEdgesCoveredByPrecedence`).  The mutex
 ///    acquisitions while picking establish the happens-before edge to the
 ///    earlier injections.
+///  * Results of an *earlier* job (kTaskDelay faults, slow slaves) carry
+///    their job id and are discarded, never injected into the current
+///    job's matrix (`RunStats::staleJobResults`).
+
+#include <atomic>
+#include <optional>
 
 #include "easyhps/dp/problem.hpp"
 #include "easyhps/msg/comm.hpp"
 #include "easyhps/runtime/config.hpp"
+#include "easyhps/runtime/job.hpp"
 
 namespace easyhps {
 
-/// Runs the master part: schedules all sub-tasks of `problem` onto the
-/// cluster's slave ranks, filling `out` (a whole-matrix window).
-/// Returns the master-side run statistics (slave-side counters merged in).
-RunStats runMaster(msg::Comm& comm, const DpProblem& problem,
-                   const RuntimeConfig& cfg, Window& out);
+/// One job as seen by the master service loop.  All pointers stay valid
+/// until the feed's `jobFinished` for this id returns.
+struct ServiceJob {
+  JobId id = kNoJob;
+  const DpProblem* problem = nullptr;
+  /// Whole-matrix window the master fills with results.
+  Window* out = nullptr;
+  /// Optional cancellation flag polled by the master control thread;
+  /// nullptr = job is not cancellable.
+  const std::atomic<bool>* cancelRequested = nullptr;
+};
+
+/// What the master reports back per job.
+struct MasterJobOutcome {
+  RunStats stats;  ///< elapsedSeconds/messages/bytes are per-job deltas
+  bool cancelled = false;
+  /// Seconds from dispatch to the first block injected; -1 if none was.
+  double timeToFirstBlockSeconds = -1.0;
+};
+
+/// Source of jobs for the master service loop.  Implemented by
+/// `serve::Service` (persistent multi-job service) and by the one-shot
+/// feed inside `Runtime::run`.  Called from the master rank's thread only.
+class JobFeed {
+ public:
+  virtual ~JobFeed() = default;
+
+  /// Blocks for the next job; nullopt = no more jobs, shut the cluster
+  /// down.
+  virtual std::optional<ServiceJob> nextJob() = 0;
+
+  /// Delivers the outcome of a finished (or cancelled) job.
+  virtual void jobFinished(JobId id, MasterJobOutcome outcome) = 0;
+};
+
+/// Runs one job on the already-booted cluster: brackets it with
+/// JobStart/JobEnd, schedules all sub-tasks onto the slave ranks and fills
+/// `job.out`.  Exposed for the service loop; most callers want
+/// runMasterService.
+MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
+                              const ServiceJob& job);
+
+/// Master service loop: runs every job the feed yields, then sends End to
+/// all slaves.
+void runMasterService(msg::Comm& comm, const RuntimeConfig& cfg,
+                      JobFeed& feed);
 
 }  // namespace easyhps

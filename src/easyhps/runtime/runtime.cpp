@@ -6,6 +6,53 @@
 #include "easyhps/util/clock.hpp"
 
 namespace easyhps {
+namespace {
+
+/// Feed of exactly one job: `Runtime::run` is the n = 1 special case of
+/// the master service loop (see master.hpp).
+class OneShotFeed : public JobFeed {
+ public:
+  explicit OneShotFeed(ServiceJob job) : job_(job) {}
+
+  std::optional<ServiceJob> nextJob() override {
+    if (served_) {
+      return std::nullopt;
+    }
+    served_ = true;
+    return job_;
+  }
+
+  void jobFinished(JobId id, MasterJobOutcome outcome) override {
+    EASYHPS_EXPECTS(id == job_.id);
+    outcome_ = std::move(outcome);
+  }
+
+  const MasterJobOutcome& outcome() const { return outcome_; }
+
+ private:
+  ServiceJob job_;
+  bool served_ = false;
+  MasterJobOutcome outcome_;
+};
+
+/// Directory for the one-shot run: every JobStart resolves to the same
+/// problem/plan.
+class OneJobDirectory : public SlaveJobDirectory {
+ public:
+  OneJobDirectory(JobId id, const DpProblem& problem, fault::FaultPlan& plan)
+      : id_(id), entry_{&problem, &plan} {}
+
+  Entry find(JobId job) const override {
+    EASYHPS_CHECK(job == id_, "unknown job id in one-shot run");
+    return entry_;
+  }
+
+ private:
+  JobId id_;
+  Entry entry_;
+};
+
+}  // namespace
 
 Runtime::Runtime(RuntimeConfig cfg) : cfg_(std::move(cfg)) {
   EASYHPS_EXPECTS(cfg_.slaveCount >= 1);
@@ -23,16 +70,21 @@ RunResult Runtime::run(const DpProblem& problem) const {
       RunStats{}};
   fault::FaultPlan plan(cfg_.faults);
 
+  constexpr JobId kJobId = 1;
+  OneShotFeed feed(ServiceJob{kJobId, &problem, &result.matrix, nullptr});
+  OneJobDirectory directory(kJobId, problem, plan);
+
   Stopwatch watch;
   const msg::ClusterReport report = msg::Cluster::run(
       cfg_.slaveCount + 1, [&](msg::Comm& comm) {
         if (comm.rank() == 0) {
-          result.stats = runMaster(comm, problem, cfg_, result.matrix);
+          runMasterService(comm, cfg_, feed);
         } else {
-          runSlave(comm, problem, cfg_, plan);
+          runSlaveService(comm, cfg_, directory);
         }
       });
 
+  result.stats = feed.outcome().stats;
   result.stats.elapsedSeconds = watch.elapsedSeconds();
   result.stats.messages = report.messages;
   result.stats.bytes = report.bytes;

@@ -177,23 +177,32 @@ std::vector<Score> executeAssignment(const DpProblem& problem,
   return runPool(problem, cfg, plan, slaveRank, assign, local, stats);
 }
 
-void runSlave(msg::Comm& comm, const DpProblem& problem,
-              const RuntimeConfig& cfg, fault::FaultPlan& plan) {
-  log::setThreadName("slave-" + std::to_string(comm.rank()));
-  wire::SlaveStatsPayload stats;
+namespace {
 
-  // Step a: announce idle.
-  comm.send(0, wire::kTagIdle, {});
+/// Runs one job on this slave rank: idle-ack, then assignments until the
+/// master brackets the job with JobEnd.
+void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
+                 const DpProblem& problem, fault::FaultPlan& plan) {
+  // Fresh per-job counters: each job gets its own Stats report.
+  wire::SlaveStatsPayload stats;
+  stats.job = job;
+
+  // Step a: announce readiness for this job.
+  comm.send(0, wire::kTagIdle, wire::encodeJobControl({job}));
 
   for (;;) {
-    // Step b: wait for an assignment or the end signal.
+    // Step b: wait for an assignment or the job-end bracket.
     msg::Message m = comm.recv(0, msg::kAnyTag);
-    if (m.tag == wire::kTagEnd) {
+    if (m.tag == wire::kTagJobEnd) {
+      EASYHPS_CHECK(wire::decodeJobControl(m.payload).job == job,
+                    "slave received JobEnd for the wrong job");
       break;
     }
     EASYHPS_CHECK(m.tag == wire::kTagAssign,
                   "slave received unexpected tag " + std::to_string(m.tag));
     const wire::AssignPayload assign = wire::decodeAssign(m.payload);
+    EASYHPS_CHECK(assign.job == job,
+                  "slave received assignment for the wrong job");
 
     if (plan.consumeBlackhole(assign.vertex, comm.rank())) {
       EASYHPS_LOG_WARN("blackhole fault: dropping sub-task "
@@ -204,6 +213,7 @@ void runSlave(msg::Comm& comm, const DpProblem& problem,
     const auto delay = plan.consumeDelay(assign.vertex, comm.rank());
 
     wire::ResultPayload result;
+    result.job = job;
     result.vertex = assign.vertex;
     result.rect = assign.rect;
     result.data =
@@ -215,12 +225,36 @@ void runSlave(msg::Comm& comm, const DpProblem& problem,
       std::this_thread::sleep_for(delay);
     }
 
-    // Step: reply with the computed block (paper §V-B step e).
+    // Step: reply with the computed block (paper §V-B step e).  A result
+    // held past its job's end still carries the job id, so the master
+    // discards it instead of crediting it to a later job.
     comm.send(0, wire::kTagResult, wire::encodeResult(result));
   }
 
-  // Final slave-side counters for the master's RunStats.
+  // Per-job slave-side counters for the master's RunStats.
   comm.send(0, wire::kTagStats, wire::encodeSlaveStats(stats));
+}
+
+}  // namespace
+
+void runSlaveService(msg::Comm& comm, const RuntimeConfig& cfg,
+                     const SlaveJobDirectory& directory) {
+  log::setThreadName("slave-" + std::to_string(comm.rank()));
+
+  for (;;) {
+    // Outer loop: a JobStart opens the next job; End retires the rank.
+    msg::Message m = comm.recv(0, msg::kAnyTag);
+    if (m.tag == wire::kTagEnd) {
+      return;
+    }
+    EASYHPS_CHECK(m.tag == wire::kTagJobStart,
+                  "slave expected JobStart, got tag " + std::to_string(m.tag));
+    const JobId job = wire::decodeJobControl(m.payload).job;
+    const SlaveJobDirectory::Entry entry = directory.find(job);
+    EASYHPS_CHECK(entry.problem != nullptr && entry.plan != nullptr,
+                  "job directory returned a null entry");
+    runSlaveJob(comm, cfg, job, *entry.problem, *entry.plan);
+  }
 }
 
 }  // namespace easyhps

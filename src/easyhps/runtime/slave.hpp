@@ -1,11 +1,17 @@
 #pragma once
 /// \file slave.hpp
-/// Slave part of the EasyHPS runtime (paper §III, §V-C).
+/// Slave part of the EasyHPS runtime (paper §III, §V-C), multiplexed over
+/// a stream of jobs.
 ///
-/// A slave rank loops: announce idle → receive a sub-task (block + halo) →
-/// initialize the *slave* DAG Data Driven Model over the block → execute
-/// its sub-sub-tasks on a pool of computing threads under the slave
-/// scheduler → reply with the computed block → repeat, until End.
+/// A slave rank runs a *service loop*: on JobStart it looks up the job's
+/// problem and fault plan, resets its per-job state and acks with Idle;
+/// it then loops: receive a sub-task (block + halo) → initialize the
+/// *slave* DAG Data Driven Model over the block → execute its
+/// sub-sub-tasks on a pool of computing threads under the slave scheduler
+/// → reply with the computed block → repeat, until JobEnd, whereupon it
+/// reports the job's counters and waits for the next JobStart (or End,
+/// which shuts the rank down).  The paper's single-job slave is this loop
+/// with a one-entry job stream.
 ///
 /// Thread-level fault tolerance: a computing thread hit by an injected
 /// crash re-enters its work loop (the in-process analogue of the paper's
@@ -20,15 +26,33 @@
 #include "easyhps/fault/plan.hpp"
 #include "easyhps/msg/comm.hpp"
 #include "easyhps/runtime/config.hpp"
+#include "easyhps/runtime/job.hpp"
 #include "easyhps/runtime/wire.hpp"
 
 namespace easyhps {
 
-/// Runs the slave main loop on this rank until the master sends End.
-/// `plan` injects faults (shared across ranks; pass an empty plan for
-/// fault-free runs).
-void runSlave(msg::Comm& comm, const DpProblem& problem,
-              const RuntimeConfig& cfg, fault::FaultPlan& plan);
+/// Resolves a job id to the problem/fault-plan the slave should run it
+/// with.  JobStart carries only the id: in this in-process substrate the
+/// directory is shared memory; over real MPI the master would broadcast a
+/// serialized problem descriptor instead (see DESIGN.md, "Job
+/// multiplexing").  Entries must stay valid from the JobStart that names
+/// them until the matching JobEnd has been acked with Stats.
+class SlaveJobDirectory {
+ public:
+  struct Entry {
+    const DpProblem* problem = nullptr;
+    fault::FaultPlan* plan = nullptr;
+  };
+
+  virtual ~SlaveJobDirectory() = default;
+
+  /// Called once per JobStart; must throw if the id is unknown.
+  virtual Entry find(JobId job) const = 0;
+};
+
+/// Runs the slave service loop on this rank until the master sends End.
+void runSlaveService(msg::Comm& comm, const RuntimeConfig& cfg,
+                     const SlaveJobDirectory& directory);
 
 /// Executes one assignment on a fresh thread pool; exposed separately so
 /// tests can drive the slave pool without a cluster.  Returns the computed

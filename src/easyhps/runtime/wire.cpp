@@ -25,6 +25,7 @@ CellRect getRect(ByteReader& r) {
 
 std::vector<std::byte> encodeAssign(const AssignPayload& p) {
   ByteWriter w;
+  w.put<JobId>(p.job);
   w.put<VertexId>(p.vertex);
   putRect(w, p.rect);
   w.put<std::uint32_t>(static_cast<std::uint32_t>(p.halos.size()));
@@ -38,6 +39,7 @@ std::vector<std::byte> encodeAssign(const AssignPayload& p) {
 AssignPayload decodeAssign(const std::vector<std::byte>& bytes) {
   ByteReader r(bytes);
   AssignPayload p;
+  p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
   p.rect = getRect(r);
   const auto n = r.get<std::uint32_t>();
@@ -53,6 +55,7 @@ AssignPayload decodeAssign(const std::vector<std::byte>& bytes) {
 
 std::vector<std::byte> encodeResult(const ResultPayload& p) {
   ByteWriter w;
+  w.put<JobId>(p.job);
   w.put<VertexId>(p.vertex);
   putRect(w, p.rect);
   w.putVector(p.data);
@@ -62,6 +65,7 @@ std::vector<std::byte> encodeResult(const ResultPayload& p) {
 ResultPayload decodeResult(const std::vector<std::byte>& bytes) {
   ByteReader r(bytes);
   ResultPayload p;
+  p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
   p.rect = getRect(r);
   p.data = r.getVector<Score>();
@@ -70,6 +74,7 @@ ResultPayload decodeResult(const std::vector<std::byte>& bytes) {
 
 std::vector<std::byte> encodeSlaveStats(const SlaveStatsPayload& p) {
   ByteWriter w;
+  w.put<JobId>(p.job);
   w.put<std::int64_t>(p.tasksExecuted);
   w.put<std::int64_t>(p.threadRestarts);
   w.put<std::int64_t>(p.subTaskRequeues);
@@ -79,9 +84,23 @@ std::vector<std::byte> encodeSlaveStats(const SlaveStatsPayload& p) {
 SlaveStatsPayload decodeSlaveStats(const std::vector<std::byte>& bytes) {
   ByteReader r(bytes);
   SlaveStatsPayload p;
+  p.job = r.get<JobId>();
   p.tasksExecuted = r.get<std::int64_t>();
   p.threadRestarts = r.get<std::int64_t>();
   p.subTaskRequeues = r.get<std::int64_t>();
+  return p;
+}
+
+std::vector<std::byte> encodeJobControl(const JobControlPayload& p) {
+  ByteWriter w;
+  w.put<JobId>(p.job);
+  return std::move(w).take();
+}
+
+JobControlPayload decodeJobControl(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  JobControlPayload p;
+  p.job = r.get<JobId>();
   return p;
 }
 

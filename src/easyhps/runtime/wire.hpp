@@ -2,12 +2,21 @@
 /// \file wire.hpp
 /// Wire protocol between the master part and slave parts.
 ///
-/// Five message kinds (paper §V-B/§V-C work flow):
-///   Idle    slave → master   "I started and am ready"          (step a)
-///   Assign  master → slave   sub-task id + block rect + halo   (step d)
-///   Result  slave → master   sub-task id + computed block      (step e)
-///   End     master → slave   all sub-tasks finished            (step i)
-///   Stats   slave → master   slave-side counters, after End
+/// The paper's single-job work flow (§V-B/§V-C) used five message kinds;
+/// the job-multiplexed service loop (see `src/easyhps/serve`) brackets
+/// each job with two more:
+///
+///   JobStart  master → slave  "job J begins; reset per-job state"
+///   Idle      slave → master  "ready for job J's assignments"   (step a)
+///   Assign    master → slave  sub-task id + block rect + halo   (step d)
+///   Result    slave → master  sub-task id + computed block      (step e)
+///   JobEnd    master → slave  all of job J's sub-tasks finished (step i)
+///   Stats     slave → master  per-job slave counters, after JobEnd
+///   End       master → slave  service shutdown; slave rank exits
+///
+/// Assign, Result and Stats carry the owning job id: a Result delayed past
+/// its job's end (kTaskDelay fault, slow node) reaches the master while a
+/// *different* job runs and must be discarded, not credited to it.
 ///
 /// Payloads are flat byte buffers via ByteWriter/ByteReader, so the whole
 /// protocol would map 1:1 onto MPI_Send/MPI_Recv buffers.
@@ -18,6 +27,7 @@
 #include "easyhps/dag/pattern.hpp"
 #include "easyhps/dp/window.hpp"
 #include "easyhps/matrix/geometry.hpp"
+#include "easyhps/runtime/job.hpp"
 
 namespace easyhps::wire {
 
@@ -27,6 +37,8 @@ enum Tag : int {
   kTagResult = 3,
   kTagEnd = 4,
   kTagStats = 5,
+  kTagJobStart = 6,
+  kTagJobEnd = 7,
 };
 
 /// One halo rectangle and its cell data.
@@ -36,21 +48,29 @@ struct HaloBlock {
 };
 
 struct AssignPayload {
+  JobId job = kNoJob;
   VertexId vertex = -1;
   CellRect rect;
   std::vector<HaloBlock> halos;
 };
 
 struct ResultPayload {
+  JobId job = kNoJob;
   VertexId vertex = -1;
   CellRect rect;
   std::vector<Score> data;
 };
 
 struct SlaveStatsPayload {
+  JobId job = kNoJob;
   std::int64_t tasksExecuted = 0;
   std::int64_t threadRestarts = 0;
   std::int64_t subTaskRequeues = 0;
+};
+
+/// Payload of JobStart / JobEnd and of the per-job Idle ready-ack.
+struct JobControlPayload {
+  JobId job = kNoJob;
 };
 
 std::vector<std::byte> encodeAssign(const AssignPayload& p);
@@ -61,5 +81,8 @@ ResultPayload decodeResult(const std::vector<std::byte>& bytes);
 
 std::vector<std::byte> encodeSlaveStats(const SlaveStatsPayload& p);
 SlaveStatsPayload decodeSlaveStats(const std::vector<std::byte>& bytes);
+
+std::vector<std::byte> encodeJobControl(const JobControlPayload& p);
+JobControlPayload decodeJobControl(const std::vector<std::byte>& bytes);
 
 }  // namespace easyhps::wire

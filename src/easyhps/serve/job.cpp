@@ -1,0 +1,49 @@
+#include "easyhps/serve/job.hpp"
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::serve {
+
+const char* jobStateName(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+void JobRecord::finish(std::shared_ptr<const JobOutcome> o) {
+  EASYHPS_EXPECTS(o != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EASYHPS_EXPECTS(outcome_ == nullptr);
+    state.store(o->state, std::memory_order_release);
+    outcome_ = std::move(o);
+  }
+  cv_.notify_all();
+}
+
+std::shared_ptr<const JobOutcome> JobRecord::await() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return outcome_ != nullptr; });
+  return outcome_;
+}
+
+std::shared_ptr<const JobOutcome> JobRecord::awaitFor(
+    std::chrono::milliseconds d) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!cv_.wait_for(lock, d, [&] { return outcome_ != nullptr; })) {
+    return nullptr;
+  }
+  return outcome_;
+}
+
+}  // namespace easyhps::serve

@@ -1,0 +1,123 @@
+#pragma once
+/// \file job.hpp
+/// Job records of the easyhps::serve layer.
+///
+/// A submitted job moves through a small lifecycle:
+///
+///   kQueued ──take──▶ kRunning ──▶ kDone | kCancelled | kFailed
+///      └──cancel──▶ kCancelled
+///
+/// `JobRecord` is the shared bookkeeping object: the submitting thread
+/// holds it through a `JobTicket`, the scheduler holds it while queued,
+/// and the master service loop holds it while running.  Completion is
+/// published as an immutable `JobOutcome` snapshot guarded by the record's
+/// mutex/cv, so `wait()` never observes a half-written result.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "easyhps/dp/problem.hpp"
+#include "easyhps/fault/plan.hpp"
+#include "easyhps/runtime/config.hpp"
+#include "easyhps/runtime/job.hpp"
+
+namespace easyhps::serve {
+
+/// Lifecycle states of a submitted job.
+enum class JobState {
+  kQueued,     ///< admitted, waiting for dispatch
+  kRunning,    ///< being executed by the cluster
+  kDone,       ///< completed; matrix available
+  kCancelled,  ///< cancelled before or during execution
+  kFailed,     ///< the service failed while the job was in flight
+};
+
+const char* jobStateName(JobState s);
+
+/// Per-job submission options.
+struct JobOptions {
+  /// Display name for reports; defaults to "job-<id>".
+  std::string name;
+  /// Strict-priority rank (higher runs first under kPriority).
+  int priority = 0;
+  /// Fair-share weight of this job's share key (must be > 0).
+  double weight = 1.0;
+  /// Fair-share accounting bucket; empty = the job's own name (every job
+  /// its own bucket).
+  std::string shareKey;
+  /// Faults injected into this job only.
+  std::vector<fault::FaultSpec> faults;
+};
+
+/// Service-level timing around one job, alongside the runtime's RunStats.
+struct JobStats {
+  double queueWaitSeconds = 0.0;  ///< submit → dispatch
+  double execSeconds = 0.0;       ///< dispatch → finish
+  /// Dispatch → first block injected by the master; -1 if none was.
+  double timeToFirstBlockSeconds = -1.0;
+  /// Global dispatch order (0 = first job the cluster ran); -1 if the job
+  /// never ran.  Completion order is timing-dependent, dispatch order is
+  /// exactly what the inter-job scheduler decided — benches assert on it.
+  std::int64_t dispatchSeq = -1;
+  RunStats run;  ///< per-job runtime statistics
+};
+
+/// Immutable snapshot published when a job reaches a terminal state.
+struct JobOutcome {
+  JobState state = JobState::kFailed;
+  /// Solved whole-matrix window; present only when state == kDone.
+  std::optional<Window> matrix;
+  JobStats stats;
+  /// Human-readable failure reason when state == kFailed.
+  std::string error;
+};
+
+/// Shared bookkeeping for one submitted job.  Thread-safety: `state` and
+/// `cancelRequested` are atomics; `outcome` is guarded by `mutex` and
+/// written exactly once (by `finish`); everything else is written by the
+/// service before the record becomes visible to other threads.
+struct JobRecord {
+  JobId id = kNoJob;
+  std::int64_t seq = 0;  ///< admission order (FIFO / tie-break key)
+  JobOptions options;
+  std::shared_ptr<const DpProblem> problem;
+  std::shared_ptr<fault::FaultPlan> plan;
+  /// Scheduler cost estimate (DpProblem::blockOps over the whole matrix).
+  double estimatedOps = 0.0;
+  std::chrono::steady_clock::time_point submitted;
+
+  std::atomic<JobState> state{JobState::kQueued};
+  std::atomic<bool> cancelRequested{false};
+
+  /// Matrix under construction while running (master writes into it).
+  std::optional<Window> matrix;
+  /// Filled by the service at dispatch / finish.
+  JobStats stats;
+
+  /// The job's share key after defaulting (see JobOptions::shareKey).
+  const std::string& shareKey() const {
+    return options.shareKey.empty() ? options.name : options.shareKey;
+  }
+
+  /// Publishes the terminal outcome and wakes all waiters.  Must be called
+  /// at most once.
+  void finish(std::shared_ptr<const JobOutcome> o);
+
+  /// Blocks until the job reaches a terminal state.
+  std::shared_ptr<const JobOutcome> await();
+
+  /// Like await() with a deadline; nullptr on timeout.
+  std::shared_ptr<const JobOutcome> awaitFor(std::chrono::milliseconds d);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::shared_ptr<const JobOutcome> outcome_;
+};
+
+}  // namespace easyhps::serve

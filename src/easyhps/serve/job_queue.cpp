@@ -1,0 +1,101 @@
+#include "easyhps/serve/job_queue.hpp"
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::serve {
+
+JobQueue::JobQueue(std::unique_ptr<JobScheduler> scheduler,
+                   std::size_t maxDepth)
+    : scheduler_(std::move(scheduler)), maxDepth_(maxDepth) {
+  EASYHPS_EXPECTS(scheduler_ != nullptr);
+  EASYHPS_EXPECTS(maxDepth_ >= 1);
+}
+
+std::optional<std::string> JobQueue::offer(std::shared_ptr<JobRecord> job) {
+  EASYHPS_EXPECTS(job != nullptr);
+  EASYHPS_EXPECTS(job->state.load() == JobState::kQueued);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return closeReason_;
+    }
+    if (depth_ >= maxDepth_) {
+      return "queue full (depth " + std::to_string(depth_) + "/" +
+             std::to_string(maxDepth_) + ")";
+    }
+    ++depth_;
+    scheduler_->enqueue(std::move(job));
+  }
+  cv_.notify_all();
+  return std::nullopt;
+}
+
+std::shared_ptr<JobRecord> JobQueue::take() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // The scheduler silently drops cancelled records, so poll it rather
+    // than trusting a counter.
+    if (std::shared_ptr<JobRecord> job = scheduler_->pick()) {
+      EASYHPS_EXPECTS(depth_ >= 1);
+      --depth_;
+      JobState expected = JobState::kQueued;
+      // The cancelled check in pick() and this transition are both under
+      // the queue lock, so the CAS cannot lose to cancelQueued.
+      const bool ok = job->state.compare_exchange_strong(
+          expected, JobState::kRunning, std::memory_order_acq_rel);
+      EASYHPS_ENSURES(ok);
+      return job;
+    }
+    if (closed_) {
+      return nullptr;  // closed and drained
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool JobQueue::cancelQueued(JobRecord& job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobState expected = JobState::kQueued;
+  if (!job.state.compare_exchange_strong(expected, JobState::kCancelled,
+                                         std::memory_order_acq_rel)) {
+    return false;
+  }
+  // The record stays inside the scheduler; pick() drops it later.  Its
+  // admission slot frees now, though, so a full queue accepts again.
+  EASYHPS_EXPECTS(depth_ >= 1);
+  --depth_;
+  return true;
+}
+
+void JobQueue::close(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return;  // first reason wins
+    }
+    closed_ = true;
+    closeReason_ = std::move(reason);
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::shared_ptr<JobRecord>> JobQueue::drainRemaining() {
+  std::vector<std::shared_ptr<JobRecord>> drained;
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (std::shared_ptr<JobRecord> job = scheduler_->pick()) {
+    EASYHPS_EXPECTS(depth_ >= 1);
+    --depth_;
+    JobState expected = JobState::kQueued;
+    job->state.compare_exchange_strong(expected, JobState::kCancelled,
+                                       std::memory_order_acq_rel);
+    drained.push_back(std::move(job));
+  }
+  return drained;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_->size();
+}
+
+}  // namespace easyhps::serve

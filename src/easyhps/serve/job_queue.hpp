@@ -1,0 +1,69 @@
+#pragma once
+/// \file job_queue.hpp
+/// Thread-safe admission-controlled job queue of the serve layer.
+///
+/// Sits between the submitting threads and the master service loop: any
+/// thread may `offer` (admission check + enqueue under the scheduler
+/// policy) or `cancelQueued`; the master rank's feed calls `take` to block
+/// for the next dispatch.  Admission is bounded-depth with
+/// reject-with-reason — under overload the service sheds jobs at submit
+/// time instead of queueing unboundedly, and the caller learns why.
+///
+/// Close is *graceful*: after `close`, offers are rejected but already
+/// queued jobs are still handed out until the queue runs dry, when `take`
+/// returns nullptr (the drain-then-shutdown ordering).  `drainRemaining`
+/// is the non-graceful variant for the service-failure path.
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "easyhps/serve/scheduler.hpp"
+
+namespace easyhps::serve {
+
+class JobQueue {
+ public:
+  /// `maxDepth` bounds the number of queued (undispatched) jobs.
+  JobQueue(std::unique_ptr<JobScheduler> scheduler, std::size_t maxDepth);
+
+  /// Admission check + enqueue.  Returns nullopt on success, otherwise the
+  /// rejection reason.  The job must be in state kQueued.
+  std::optional<std::string> offer(std::shared_ptr<JobRecord> job);
+
+  /// Blocks for the next job per the scheduling policy; transitions it
+  /// kQueued → kRunning.  Returns nullptr once the queue is closed *and*
+  /// drained.
+  std::shared_ptr<JobRecord> take();
+
+  /// Cancels a job that is still queued: transitions it kQueued →
+  /// kCancelled and frees its admission slot.  False if the job already
+  /// left the queued state (running, finished, or already cancelled).
+  bool cancelQueued(JobRecord& job);
+
+  /// Stops admission with the given rejection reason; queued jobs still
+  /// drain through take().
+  void close(std::string reason);
+
+  /// Empties the queue, transitioning every remaining job to kCancelled;
+  /// returns them so the caller can publish outcomes.  Used on service
+  /// failure, where "still drains" would wait forever.
+  std::vector<std::shared_ptr<JobRecord>> drainRemaining();
+
+  /// Queued (undispatched, uncancelled) jobs right now.
+  std::size_t depth() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unique_ptr<JobScheduler> scheduler_;
+  const std::size_t maxDepth_;
+  std::size_t depth_ = 0;  ///< admission slots in use
+  bool closed_ = false;
+  std::string closeReason_;
+};
+
+}  // namespace easyhps::serve

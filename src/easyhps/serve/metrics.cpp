@@ -1,0 +1,21 @@
+#include "easyhps/serve/metrics.hpp"
+
+namespace easyhps::serve {
+
+trace::Table metricsTable(const ServiceMetrics& m) {
+  trace::Table t({"policy", "accepted", "rejected", "completed", "cancelled",
+                  "failed", "queue_depth", "mean_wait_s", "max_wait_s",
+                  "mean_ttfb_s", "jobs_per_s", "messages"});
+  t.addRow({m.policy, trace::Table::num(m.accepted),
+            trace::Table::num(m.rejected), trace::Table::num(m.completed),
+            trace::Table::num(m.cancelled), trace::Table::num(m.failed),
+            trace::Table::num(m.queueDepth),
+            trace::Table::num(m.meanQueueWaitSeconds(), 4),
+            trace::Table::num(m.maxQueueWaitSeconds, 4),
+            trace::Table::num(m.meanTimeToFirstBlockSeconds(), 4),
+            trace::Table::num(m.jobsPerSecond(), 2),
+            trace::Table::num(static_cast<std::int64_t>(m.messages))});
+  return t;
+}
+
+}  // namespace easyhps::serve

@@ -1,0 +1,63 @@
+#pragma once
+/// \file metrics.hpp
+/// Service-level observability counters for easyhps::serve.
+///
+/// Complements the per-job `RunStats`: where RunStats describes what the
+/// cluster did *inside* one job, `ServiceMetrics` describes how jobs moved
+/// *through* the service — admission outcomes, queue wait, time to first
+/// block, throughput.  A snapshot is cheap and internally consistent (the
+/// service copies it under its lock).
+
+#include <cstdint>
+#include <string>
+
+#include "easyhps/trace/report.hpp"
+
+namespace easyhps::serve {
+
+struct ServiceMetrics {
+  std::string policy;  ///< inter-job scheduling policy name
+
+  std::int64_t accepted = 0;   ///< submissions admitted
+  std::int64_t rejected = 0;   ///< submissions refused (full/closed)
+  std::int64_t completed = 0;  ///< jobs finished kDone
+  std::int64_t cancelled = 0;  ///< jobs finished kCancelled
+  std::int64_t failed = 0;     ///< jobs finished kFailed
+
+  std::int64_t queueDepth = 0;  ///< queued jobs right now
+  bool jobRunning = false;      ///< a job is on the cluster right now
+  double uptimeSeconds = 0.0;   ///< since the service booted
+
+  // Aggregates over dispatched jobs.
+  double totalQueueWaitSeconds = 0.0;
+  double maxQueueWaitSeconds = 0.0;
+  double totalExecSeconds = 0.0;
+  double totalTimeToFirstBlockSeconds = 0.0;
+  std::int64_t timeToFirstBlockSamples = 0;
+
+  // Substrate traffic since boot (includes job brackets).
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  double meanQueueWaitSeconds() const {
+    const std::int64_t n = completed + cancelled + failed;
+    return n > 0 ? totalQueueWaitSeconds / static_cast<double>(n) : 0.0;
+  }
+  double meanTimeToFirstBlockSeconds() const {
+    return timeToFirstBlockSamples > 0
+               ? totalTimeToFirstBlockSeconds /
+                     static_cast<double>(timeToFirstBlockSamples)
+               : 0.0;
+  }
+  /// Completed jobs per second of service uptime.
+  double jobsPerSecond() const {
+    return uptimeSeconds > 0.0
+               ? static_cast<double>(completed) / uptimeSeconds
+               : 0.0;
+  }
+};
+
+/// One-row summary table of a metrics snapshot (for demos and benches).
+trace::Table metricsTable(const ServiceMetrics& m);
+
+}  // namespace easyhps::serve

@@ -1,0 +1,177 @@
+#include "easyhps/serve/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::serve {
+namespace {
+
+bool stillQueued(const JobRecord& job) {
+  return job.state.load(std::memory_order_acquire) == JobState::kQueued;
+}
+
+/// Admission order.
+class FifoScheduler final : public JobScheduler {
+ public:
+  const char* name() const override { return "fifo"; }
+
+  void enqueue(std::shared_ptr<JobRecord> job) override {
+    queue_.push_back(std::move(job));
+  }
+
+  std::shared_ptr<JobRecord> pick() override {
+    while (!queue_.empty()) {
+      std::shared_ptr<JobRecord> job = std::move(queue_.front());
+      queue_.pop_front();
+      if (stillQueued(*job)) {
+        return job;
+      }
+    }
+    return nullptr;
+  }
+
+  std::size_t size() const override {
+    return static_cast<std::size_t>(
+        std::count_if(queue_.begin(), queue_.end(),
+                      [](const auto& j) { return stillQueued(*j); }));
+  }
+
+ private:
+  std::deque<std::shared_ptr<JobRecord>> queue_;
+};
+
+/// Strict priority, FIFO within a level.
+class PriorityScheduler final : public JobScheduler {
+ public:
+  const char* name() const override { return "priority"; }
+
+  void enqueue(std::shared_ptr<JobRecord> job) override {
+    queue_.push_back(std::move(job));
+  }
+
+  std::shared_ptr<JobRecord> pick() override {
+    for (;;) {
+      auto best = queue_.end();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (best == queue_.end() ||
+            (*it)->options.priority > (*best)->options.priority ||
+            ((*it)->options.priority == (*best)->options.priority &&
+             (*it)->seq < (*best)->seq)) {
+          best = it;
+        }
+      }
+      if (best == queue_.end()) {
+        return nullptr;
+      }
+      std::shared_ptr<JobRecord> job = std::move(*best);
+      queue_.erase(best);
+      if (stillQueued(*job)) {
+        return job;
+      }
+    }
+  }
+
+  std::size_t size() const override {
+    return static_cast<std::size_t>(
+        std::count_if(queue_.begin(), queue_.end(),
+                      [](const auto& j) { return stillQueued(*j); }));
+  }
+
+ private:
+  // Queue depths are bounded by admission control, so linear scans beat
+  // the constant factors of an indexed structure here.
+  std::vector<std::shared_ptr<JobRecord>> queue_;
+};
+
+/// Weighted fair share via stride scheduling.  A key's `pass` advances by
+/// estimatedOps / weight per dispatched job, so over time each key's
+/// consumed ops are proportional to its weight.  New keys start at the
+/// current minimum pass so they cannot monopolize the cluster by arriving
+/// late with zero history.
+class FairShareScheduler final : public JobScheduler {
+ public:
+  const char* name() const override { return "fair-share"; }
+
+  void enqueue(std::shared_ptr<JobRecord> job) override {
+    // First sight of a key: join at the current minimum pass so a
+    // late-arriving key cannot monopolize the cluster with zero history.
+    if (pass_.find(job->shareKey()) == pass_.end()) {
+      double floor = 0.0;
+      bool any = false;
+      for (const auto& [k, p] : pass_) {
+        floor = any ? std::min(floor, p) : p;
+        any = true;
+      }
+      pass_[job->shareKey()] = any ? floor : 0.0;
+    }
+    queue_.push_back(std::move(job));
+  }
+
+  std::shared_ptr<JobRecord> pick() override {
+    for (;;) {
+      auto best = queue_.end();
+      double bestPass = 0.0;
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        const double p = pass_.at((*it)->shareKey());
+        if (best == queue_.end() || p < bestPass ||
+            (p == bestPass && (*it)->seq < (*best)->seq)) {
+          best = it;
+          bestPass = p;
+        }
+      }
+      if (best == queue_.end()) {
+        return nullptr;
+      }
+      std::shared_ptr<JobRecord> job = std::move(*best);
+      queue_.erase(best);
+      if (!stillQueued(*job)) {
+        continue;  // cancelled while waiting: never charged to its share
+      }
+      const double weight = std::max(job->options.weight, 1e-9);
+      pass_[job->shareKey()] += std::max(job->estimatedOps, 1.0) / weight;
+      return job;
+    }
+  }
+
+  std::size_t size() const override {
+    return static_cast<std::size_t>(
+        std::count_if(queue_.begin(), queue_.end(),
+                      [](const auto& j) { return stillQueued(*j); }));
+  }
+
+ private:
+  std::vector<std::shared_ptr<JobRecord>> queue_;
+  std::unordered_map<std::string, double> pass_;
+};
+
+}  // namespace
+
+const char* jobSchedPolicyName(JobSchedPolicy p) {
+  switch (p) {
+    case JobSchedPolicy::kFifo:
+      return "fifo";
+    case JobSchedPolicy::kPriority:
+      return "priority";
+    case JobSchedPolicy::kFairShare:
+      return "fair-share";
+  }
+  return "?";
+}
+
+std::unique_ptr<JobScheduler> makeJobScheduler(JobSchedPolicy policy) {
+  switch (policy) {
+    case JobSchedPolicy::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case JobSchedPolicy::kPriority:
+      return std::make_unique<PriorityScheduler>();
+    case JobSchedPolicy::kFairShare:
+      return std::make_unique<FairShareScheduler>();
+  }
+  throw LogicError("unknown job scheduling policy");
+}
+
+}  // namespace easyhps::serve

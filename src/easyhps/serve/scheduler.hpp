@@ -1,0 +1,59 @@
+#pragma once
+/// \file scheduler.hpp
+/// Pluggable inter-job scheduling policies for the serve layer.
+///
+/// This mirrors the intra-job `sched::SchedulingPolicy` design one level
+/// up: a `JobScheduler` is a pure decision object — it owns the set of
+/// queued jobs and decides which runs next, nothing else.  It is *not*
+/// thread-safe; the owning `JobQueue` serializes all calls under its lock,
+/// exactly as the master scheduler mutex serializes `pick`/`onReady`.
+///
+/// Policies:
+///  * kFifo      — admission order.
+///  * kPriority  — strict priority (JobOptions::priority, higher first),
+///                 FIFO within a priority level.
+///  * kFairShare — weighted fair sharing across share keys via stride
+///                 scheduling: each key accumulates `pass` time at rate
+///                 estimatedOps / weight as its jobs are dispatched; the
+///                 key with the least pass runs next.  Keys with higher
+///                 weight therefore receive proportionally more of the
+///                 cluster.
+
+#include <memory>
+#include <string>
+
+#include "easyhps/serve/job.hpp"
+
+namespace easyhps::serve {
+
+enum class JobSchedPolicy {
+  kFifo,
+  kPriority,
+  kFairShare,
+};
+
+const char* jobSchedPolicyName(JobSchedPolicy p);
+
+/// Inter-job scheduling policy.  Not thread-safe: callers (JobQueue) hold
+/// a lock across every call.
+class JobScheduler {
+ public:
+  virtual ~JobScheduler() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Adds a queued job to the policy's consideration set.
+  virtual void enqueue(std::shared_ptr<JobRecord> job) = 0;
+
+  /// Removes and returns the next job to dispatch; nullptr if none is
+  /// queued.  Jobs whose state is no longer kQueued (cancelled while
+  /// waiting) are dropped without being charged to their share.
+  virtual std::shared_ptr<JobRecord> pick() = 0;
+
+  /// Queued (still dispatchable) jobs currently held.
+  virtual std::size_t size() const = 0;
+};
+
+std::unique_ptr<JobScheduler> makeJobScheduler(JobSchedPolicy policy);
+
+}  // namespace easyhps::serve

@@ -1,0 +1,387 @@
+#include "easyhps/serve/service.hpp"
+
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "easyhps/msg/cluster.hpp"
+#include "easyhps/runtime/master.hpp"
+#include "easyhps/runtime/slave.hpp"
+#include "easyhps/serve/job_queue.hpp"
+#include "easyhps/util/clock.hpp"
+#include "easyhps/util/log.hpp"
+
+namespace easyhps::serve {
+namespace detail {
+
+/// The service engine.  Owns the job queue and the cluster thread;
+/// implements JobFeed for the master rank and SlaveJobDirectory for the
+/// slave ranks.  Kept alive by the Service *and* every outstanding
+/// JobTicket, so tickets stay valid after the Service is destroyed.
+class ServiceCore final : public JobFeed, public SlaveJobDirectory {
+ public:
+  explicit ServiceCore(ServiceConfig cfg)
+      : cfg_(std::move(cfg)),
+        queue_(makeJobScheduler(cfg_.policy), cfg_.maxQueueDepth) {
+    EASYHPS_EXPECTS(cfg_.runtime.slaveCount >= 1);
+    EASYHPS_EXPECTS(cfg_.maxQueueDepth >= 1);
+  }
+
+  ~ServiceCore() override {
+    try {
+      shutdown();
+    } catch (...) {
+      // Destructor: the cluster already reported its failure through the
+      // job outcomes; nothing useful left to do with it here.
+    }
+  }
+
+  void start() {
+    cluster_ = std::thread([this] {
+      try {
+        msg::Cluster::run(
+            cfg_.runtime.slaveCount + 1, [this](msg::Comm& comm) {
+              if (comm.rank() == 0) {
+                runMasterService(comm, cfg_.runtime, *this);
+              } else {
+                runSlaveService(comm, cfg_.runtime, *this);
+              }
+            });
+      } catch (const std::exception& e) {
+        failService(e.what());
+      } catch (...) {
+        failService("unknown cluster failure");
+      }
+    });
+  }
+
+  std::pair<std::shared_ptr<JobRecord>, std::string> trySubmit(
+      std::shared_ptr<const DpProblem> problem, JobOptions options) {
+    EASYHPS_EXPECTS(problem != nullptr);
+    EASYHPS_EXPECTS(options.weight > 0.0);
+
+    auto rec = std::make_shared<JobRecord>();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Pre-queue rejections: the queue's close reason says "draining"
+      // for the whole drain-then-shutdown sequence (first reason wins),
+      // so report the stronger condition here.
+      if (stopped_) {
+        ++rejected_;
+        return {nullptr, failure_.empty() ? "service stopped"
+                                          : "service failed: " + failure_};
+      }
+      rec->id = nextId_++;
+      rec->seq = nextSeq_++;
+    }
+    if (options.name.empty()) {
+      options.name = "job-" + std::to_string(rec->id);
+    }
+    rec->options = std::move(options);
+    rec->plan = std::make_shared<fault::FaultPlan>(rec->options.faults);
+    rec->estimatedOps = problem->blockOps(
+        CellRect{0, 0, problem->rows(), problem->cols()});
+    rec->problem = std::move(problem);
+    rec->submitted = std::chrono::steady_clock::now();
+
+    if (auto rejection = queue_.offer(rec)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++rejected_;
+      return {nullptr, *rejection};
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++accepted_;
+    ++activeJobs_;
+    return {std::move(rec), ""};
+  }
+
+  bool cancel(const std::shared_ptr<JobRecord>& rec) {
+    if (queue_.cancelQueued(*rec)) {
+      // Cancelled before dispatch: the job never reaches the cluster, so
+      // the service publishes the outcome itself.
+      auto o = std::make_shared<JobOutcome>();
+      o->state = JobState::kCancelled;
+      o->stats = rec->stats;
+      o->stats.queueWaitSeconds = sinceSeconds(rec->submitted);
+      finishAndAccount(rec, std::move(o));
+      return true;
+    }
+    if (rec->state.load(std::memory_order_acquire) == JobState::kRunning) {
+      // The master control thread polls this flag and stops the job at
+      // the next block boundary.
+      rec->cancelRequested.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;  // already terminal
+  }
+
+  void drain() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      draining_ = true;
+    }
+    queue_.close("service draining");
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return activeJobs_ == 0; });
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      draining_ = true;
+    }
+    queue_.close("service draining");
+    if (cluster_.joinable()) {
+      // Graceful: the queue still drains, so the master finishes every
+      // admitted job before the feed reports end-of-jobs.
+      cluster_.join();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+
+  ServiceMetrics metrics() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServiceMetrics m;
+    m.policy = jobSchedPolicyName(cfg_.policy);
+    m.accepted = accepted_;
+    m.rejected = rejected_;
+    m.completed = completed_;
+    m.cancelled = cancelled_;
+    m.failed = failed_;
+    m.queueDepth = static_cast<std::int64_t>(queue_.depth());
+    m.jobRunning = running_ != nullptr;
+    m.uptimeSeconds = uptime_.elapsedSeconds();
+    m.totalQueueWaitSeconds = totalQueueWait_;
+    m.maxQueueWaitSeconds = maxQueueWait_;
+    m.totalExecSeconds = totalExec_;
+    m.totalTimeToFirstBlockSeconds = totalTtfb_;
+    m.timeToFirstBlockSamples = ttfbSamples_;
+    m.messages = messages_;
+    m.bytes = bytes_;
+    return m;
+  }
+
+  const ServiceConfig& config() const { return cfg_; }
+
+  // --- JobFeed (called from the master rank's thread) -------------------
+
+  std::optional<ServiceJob> nextJob() override {
+    std::shared_ptr<JobRecord> rec = queue_.take();
+    if (rec == nullptr) {
+      return std::nullopt;  // closed and drained
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    rec->stats.queueWaitSeconds = sinceSeconds(rec->submitted);
+    rec->stats.dispatchSeq = dispatchCounter_++;
+    rec->matrix.emplace(
+        CellRect{0, 0, rec->problem->rows(), rec->problem->cols()},
+        rec->problem->boundaryFn());
+    running_ = rec;
+    // Publish before JobStart goes out, so slaves can resolve the id.
+    directory_[rec->id] = rec;
+    return ServiceJob{rec->id, rec->problem.get(), &*rec->matrix,
+                      &rec->cancelRequested};
+  }
+
+  void jobFinished(JobId id, MasterJobOutcome mo) override {
+    std::shared_ptr<JobRecord> rec;
+    auto o = std::make_shared<JobOutcome>();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      rec = std::move(running_);
+      running_.reset();
+      EASYHPS_EXPECTS(rec != nullptr && rec->id == id);
+      directory_.erase(id);
+
+      o->state = mo.cancelled ? JobState::kCancelled : JobState::kDone;
+      o->stats = rec->stats;
+      o->stats.execSeconds = mo.stats.elapsedSeconds;
+      o->stats.timeToFirstBlockSeconds = mo.timeToFirstBlockSeconds;
+      o->stats.run = mo.stats;
+      o->stats.run.faultsTriggered = rec->plan->triggered();
+      if (!mo.cancelled) {
+        o->matrix = std::move(rec->matrix);
+      }
+      rec->matrix.reset();
+    }
+    finishAndAccount(rec, std::move(o));
+  }
+
+  // --- SlaveJobDirectory (called from slave rank threads) ---------------
+
+  Entry find(JobId job) const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = directory_.find(job);
+    EASYHPS_CHECK(it != directory_.end(),
+                  "slave asked for unknown job " + std::to_string(job));
+    return Entry{it->second->problem.get(), it->second->plan.get()};
+  }
+
+ private:
+  double sinceSeconds(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t)
+        .count();
+  }
+
+  /// Publishes a terminal outcome and rolls it into the service counters.
+  void finishAndAccount(const std::shared_ptr<JobRecord>& rec,
+                        std::shared_ptr<JobOutcome> o) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      switch (o->state) {
+        case JobState::kDone:
+          ++completed_;
+          break;
+        case JobState::kCancelled:
+          ++cancelled_;
+          break;
+        default:
+          ++failed_;
+      }
+      totalQueueWait_ += o->stats.queueWaitSeconds;
+      maxQueueWait_ = std::max(maxQueueWait_, o->stats.queueWaitSeconds);
+      totalExec_ += o->stats.execSeconds;
+      if (o->stats.timeToFirstBlockSeconds >= 0.0) {
+        totalTtfb_ += o->stats.timeToFirstBlockSeconds;
+        ++ttfbSamples_;
+      }
+      messages_ += o->stats.run.messages;
+      bytes_ += o->stats.run.bytes;
+      EASYHPS_EXPECTS(activeJobs_ >= 1);
+      --activeJobs_;
+    }
+    rec->finish(std::move(o));
+    cv_.notify_all();
+  }
+
+  /// Cluster-abort path: the service cannot run anything anymore; every
+  /// in-flight and queued job fails with the cluster's reason.
+  void failService(std::string reason) {
+    EASYHPS_LOG_WARN("serve: cluster failed: " << reason);
+    std::vector<std::shared_ptr<JobRecord>> toFail;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      failure_ = reason;
+      stopped_ = true;
+      if (running_ != nullptr) {
+        directory_.erase(running_->id);
+        toFail.push_back(std::move(running_));
+        running_.reset();
+      }
+    }
+    queue_.close("service failed: " + reason);
+    for (auto& rec : queue_.drainRemaining()) {
+      toFail.push_back(std::move(rec));
+    }
+    for (const auto& rec : toFail) {
+      auto o = std::make_shared<JobOutcome>();
+      o->state = JobState::kFailed;
+      o->stats = rec->stats;
+      o->error = reason;
+      finishAndAccount(rec, std::move(o));
+    }
+  }
+
+  ServiceConfig cfg_;
+  JobQueue queue_;
+  std::thread cluster_;
+  Stopwatch uptime_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<JobId, std::shared_ptr<JobRecord>> directory_;
+  std::shared_ptr<JobRecord> running_;
+  JobId nextId_ = 1;
+  std::int64_t nextSeq_ = 0;
+  std::int64_t dispatchCounter_ = 0;
+  std::int64_t activeJobs_ = 0;
+  bool draining_ = false;
+  bool stopped_ = false;
+  std::string failure_;
+
+  std::int64_t accepted_ = 0;
+  std::int64_t rejected_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t cancelled_ = 0;
+  std::int64_t failed_ = 0;
+  double totalQueueWait_ = 0.0;
+  double maxQueueWait_ = 0.0;
+  double totalExec_ = 0.0;
+  double totalTtfb_ = 0.0;
+  std::int64_t ttfbSamples_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace detail
+
+// --- JobTicket -----------------------------------------------------------
+
+JobTicket::JobTicket(std::shared_ptr<detail::ServiceCore> core,
+                     std::shared_ptr<JobRecord> record)
+    : core_(std::move(core)), record_(std::move(record)) {}
+
+JobId JobTicket::id() const { return record_->id; }
+
+const std::string& JobTicket::name() const { return record_->options.name; }
+
+JobState JobTicket::state() const {
+  return record_->state.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const JobOutcome> JobTicket::wait() {
+  return record_->await();
+}
+
+std::shared_ptr<const JobOutcome> JobTicket::waitFor(
+    std::chrono::milliseconds d) {
+  return record_->awaitFor(d);
+}
+
+bool JobTicket::cancel() { return core_->cancel(record_); }
+
+// --- Service -------------------------------------------------------------
+
+Service::Service(ServiceConfig cfg)
+    : core_(std::make_shared<detail::ServiceCore>(std::move(cfg))) {
+  core_->start();
+}
+
+Service::~Service() {
+  try {
+    core_->shutdown();
+  } catch (...) {
+    // Failures already surfaced through job outcomes.
+  }
+}
+
+Admission Service::trySubmit(std::shared_ptr<const DpProblem> problem,
+                             JobOptions options) {
+  auto [rec, reason] = core_->trySubmit(std::move(problem),
+                                        std::move(options));
+  if (rec == nullptr) {
+    return Admission{std::nullopt, std::move(reason)};
+  }
+  return Admission{JobTicket(core_, std::move(rec)), ""};
+}
+
+JobTicket Service::submit(std::shared_ptr<const DpProblem> problem,
+                          JobOptions options) {
+  Admission a = trySubmit(std::move(problem), std::move(options));
+  if (!a.accepted()) {
+    throw AdmissionError("job rejected: " + a.reason);
+  }
+  return *std::move(a.ticket);
+}
+
+void Service::drain() { core_->drain(); }
+
+void Service::shutdown() { core_->shutdown(); }
+
+ServiceMetrics Service::metrics() const { return core_->metrics(); }
+
+const ServiceConfig& Service::config() const { return core_->config(); }
+
+}  // namespace easyhps::serve

@@ -1,0 +1,135 @@
+#pragma once
+/// \file service.hpp
+/// easyhps::serve — a persistent multi-job service over the EasyHPS
+/// cluster.
+///
+/// `Runtime::run` boots the master/slave cluster, solves one DP instance
+/// and tears everything down.  `serve::Service` boots the cluster **once**
+/// and keeps it alive across jobs: callers submit `DpProblem`s from any
+/// thread and get back a `JobTicket` to wait on, while the master rank
+/// multiplexes the jobs over the same slave ranks (see master.hpp).
+///
+/// Usage:
+///
+///   serve::ServiceConfig cfg;
+///   cfg.runtime.slaveCount = 3;
+///   cfg.policy = serve::JobSchedPolicy::kPriority;
+///   serve::Service service(cfg);
+///
+///   auto p = std::make_shared<easyhps::EditDistance>(a, b);
+///   serve::JobTicket t = service.submit(p, {.name = "align", .priority = 5});
+///   auto outcome = t.wait();          // JobState::kDone
+///   Score d = outcome->matrix->get(p->rows() - 1, p->cols() - 1);
+///
+///   service.drain();     // let queued jobs finish
+///   service.shutdown();  // stop the cluster (also done by ~Service)
+///
+/// Admission is bounded (`maxQueueDepth`): under overload `trySubmit`
+/// returns a rejection reason instead of queueing unboundedly, and
+/// `submit` throws `AdmissionError`.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "easyhps/serve/job.hpp"
+#include "easyhps/serve/metrics.hpp"
+#include "easyhps/serve/scheduler.hpp"
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::serve {
+
+namespace detail {
+class ServiceCore;
+}
+
+struct ServiceConfig {
+  /// Cluster shape + per-job runtime knobs.  `runtime.faults` is ignored;
+  /// faults are per-job (JobOptions::faults).
+  RuntimeConfig runtime;
+  /// Inter-job scheduling policy.
+  JobSchedPolicy policy = JobSchedPolicy::kFifo;
+  /// Admission bound on queued (undispatched) jobs.
+  std::size_t maxQueueDepth = 64;
+};
+
+/// Thrown by Service::submit when admission refuses the job.
+class AdmissionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Caller's handle on a submitted job.  Cheap to copy; all operations are
+/// thread-safe.
+class JobTicket {
+ public:
+  JobId id() const;
+  const std::string& name() const;
+  JobState state() const;
+
+  /// Blocks until the job reaches a terminal state.
+  std::shared_ptr<const JobOutcome> wait();
+
+  /// Like wait() with a deadline; nullptr on timeout.
+  std::shared_ptr<const JobOutcome> waitFor(std::chrono::milliseconds d);
+
+  /// Requests cancellation.  A queued job is cancelled immediately and
+  /// never runs; a running job stops at the next block boundary.  Returns
+  /// false if the job already reached a terminal state.
+  bool cancel();
+
+ private:
+  friend class Service;
+  JobTicket(std::shared_ptr<detail::ServiceCore> core,
+            std::shared_ptr<JobRecord> record);
+
+  std::shared_ptr<detail::ServiceCore> core_;
+  std::shared_ptr<JobRecord> record_;
+};
+
+/// Result of a trySubmit: either a ticket or a rejection reason.
+struct Admission {
+  std::optional<JobTicket> ticket;
+  std::string reason;  ///< set when rejected
+
+  bool accepted() const { return ticket.has_value(); }
+};
+
+class Service {
+ public:
+  /// Boots the cluster (1 master + runtime.slaveCount slaves) and starts
+  /// the service loop.
+  explicit Service(ServiceConfig cfg);
+
+  /// Drains and shuts down (idempotent with shutdown()).
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admission-checked submit; never throws on rejection.
+  Admission trySubmit(std::shared_ptr<const DpProblem> problem,
+                      JobOptions options = {});
+
+  /// Like trySubmit but throws AdmissionError on rejection.
+  JobTicket submit(std::shared_ptr<const DpProblem> problem,
+                   JobOptions options = {});
+
+  /// Blocks until every admitted job has reached a terminal state.  New
+  /// submissions are rejected from the moment drain begins.
+  void drain();
+
+  /// Graceful stop: stops admission, lets queued jobs finish, then sends
+  /// End to the slaves and joins the cluster.  Idempotent.
+  void shutdown();
+
+  /// Consistent snapshot of the service-level counters.
+  ServiceMetrics metrics() const;
+
+  const ServiceConfig& config() const;
+
+ private:
+  std::shared_ptr<detail::ServiceCore> core_;
+};
+
+}  // namespace easyhps::serve

@@ -1,5 +1,6 @@
 #include "easyhps/trace/report.hpp"
 
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
@@ -70,6 +71,79 @@ std::string Table::csv() const {
   for (const auto& row : rows_) {
     emit(row);
   }
+  return os.str();
+}
+
+namespace {
+
+bool isJsonNumber(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  // strtod accepts inf/nan/hex, which are not valid JSON; restrict to the
+  // characters a JSON number can contain before letting strtod decide.
+  if (s.find_first_not_of("+-0123456789.eE") != std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+void appendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string Table::json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) {
+        os << ", ";
+      }
+      appendJsonString(os, headers_[c]);
+      os << ": ";
+      if (isJsonNumber(rows_[r][c])) {
+        os << rows_[r][c];
+      } else {
+        appendJsonString(os, rows_[r][c]);
+      }
+    }
+    os << "}";
+    if (r + 1 < rows_.size()) {
+      os << ",";
+    }
+    os << "\n";
+  }
+  os << "]\n";
   return os.str();
 }
 

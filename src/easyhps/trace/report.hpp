@@ -29,6 +29,11 @@ class Table {
   /// Renders as CSV (headers + rows).
   std::string csv() const;
 
+  /// Renders as a JSON array of row objects keyed by header.  Cells that
+  /// parse fully as numbers are emitted unquoted, so downstream plotting
+  /// scripts need no schema.
+  std::string json() const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

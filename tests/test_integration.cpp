@@ -39,13 +39,14 @@ TEST(Integration, RuntimeAndSimulatorAgreeOnTaskCount) {
   EXPECT_EQ(real.stats.tasksPerSlave.size(),
             simulated.tasksPerNode.size());
   // Message accounting: both engines count Assign + Result per task plus
-  // per-slave control traffic (the real runtime adds Idle + End + Stats
-  // and barrier-free teardown; the simulator Idle + End).
+  // per-slave control traffic (the real runtime's job-multiplexed bracket
+  // is JobStart + Idle + JobEnd + Stats + End per slave; the simulator
+  // Idle + End).
   EXPECT_EQ(simulated.messages,
             2 * static_cast<std::uint64_t>(simulated.tasks) + 2 * 3);
   EXPECT_EQ(real.stats.messages,
             2 * static_cast<std::uint64_t>(real.stats.completedTasks) +
-                3 * 3);
+                5 * 3);
 }
 
 // Triangular problems: both engines must agree on the number of *active*

@@ -1,0 +1,434 @@
+// Tests of easyhps::serve — the persistent multi-job service layer:
+// concurrent submission, admission control, cancellation of queued and
+// running jobs, drain/shutdown ordering, and the inter-job scheduling
+// policies (FIFO / priority / fair-share).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/serve/service.hpp"
+
+namespace easyhps::serve {
+namespace {
+
+void expectMatchesReference(const DpProblem& p, const Window& solved) {
+  const DenseMatrix<Score> ref = p.solveReference();
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      if (!p.cellActive(r, c)) {
+        continue;
+      }
+      ASSERT_EQ(solved.get(r, c), ref.at(r, c))
+          << p.name() << " mismatch at (" << r << "," << c << ")";
+    }
+  }
+}
+
+ServiceConfig smallService(int slaves) {
+  ServiceConfig cfg;
+  cfg.runtime.slaveCount = slaves;
+  cfg.runtime.threadsPerSlave = 2;
+  cfg.runtime.processPartitionRows = cfg.runtime.processPartitionCols = 12;
+  cfg.runtime.threadPartitionRows = cfg.runtime.threadPartitionCols = 4;
+  return cfg;
+}
+
+/// Options making a job hold the cluster for ~`delay`: a kTaskDelay fault
+/// on vertex 0 stalls the (gating) first block's reply.  The default
+/// taskTimeout (5 s) is far larger, so fault tolerance never kicks in.
+JobOptions slowOptions(std::string name, std::chrono::milliseconds delay) {
+  JobOptions o;
+  o.name = std::move(name);
+  fault::FaultSpec f;
+  f.kind = fault::FaultKind::kTaskDelay;
+  f.vertex = 0;
+  f.delay = delay;
+  o.faults.push_back(f);
+  return o;
+}
+
+/// Single-block problem: with 12×12 partitions a 10×10 edit distance is
+/// one master task, so a delay fault on vertex 0 delays the whole job.
+std::shared_ptr<EditDistance> tinyProblem(int seed) {
+  return std::make_shared<EditDistance>(randomSequence(10, seed),
+                                        randomSequence(10, seed + 1));
+}
+
+bool waitUntil(const std::function<bool()>& pred,
+               std::chrono::milliseconds limit = std::chrono::seconds(5)) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+// Acceptance: one Service completes concurrently submitted jobs of
+// different DP problems without re-booting the cluster, each correct
+// against its reference solver and with its own RunStats.
+TEST(Serve, CompletesConcurrentJobsOfDifferentProblems) {
+  Service service(smallService(3));
+
+  auto ed = std::make_shared<EditDistance>(randomSequence(48, 401),
+                                           randomSequence(48, 402));
+  auto sw = std::make_shared<SmithWatermanGeneralGap>(randomSequence(36, 403),
+                                                      randomSequence(36, 404));
+  auto nu = std::make_shared<Nussinov>(randomRna(40, 405));
+  auto ed2 = std::make_shared<EditDistance>(randomSequence(25, 406),
+                                            randomSequence(25, 407));
+  const std::vector<std::shared_ptr<const DpProblem>> problems{ed, sw, nu,
+                                                               ed2};
+
+  // Submit from four threads at once: admission must be thread-safe.
+  std::vector<std::optional<JobTicket>> tickets(problems.size());
+  {
+    std::vector<std::thread> submitters;
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      submitters.emplace_back([&, i] {
+        tickets[i] = service.submit(problems[i]);
+      });
+    }
+    for (auto& t : submitters) {
+      t.join();
+    }
+  }
+
+  std::vector<std::int64_t> completedTasks;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    auto outcome = tickets[i]->wait();
+    ASSERT_EQ(outcome->state, JobState::kDone) << outcome->error;
+    ASSERT_TRUE(outcome->matrix.has_value());
+    expectMatchesReference(*problems[i], *outcome->matrix);
+    completedTasks.push_back(outcome->stats.run.completedTasks);
+    EXPECT_GE(outcome->stats.dispatchSeq, 0);
+    EXPECT_GT(outcome->stats.run.messages, 0u);
+    EXPECT_GE(outcome->stats.timeToFirstBlockSeconds, 0.0);
+  }
+  // Per-job RunStats are distinct, not shared or summed: block counts
+  // follow each problem's own shape.
+  EXPECT_EQ(completedTasks[0], 16);  // 4×4 grid
+  EXPECT_EQ(completedTasks[1], 9);   // 3×3 grid
+  EXPECT_EQ(completedTasks[2], 10);  // 4×4 upper triangle
+  EXPECT_EQ(completedTasks[3], 9);   // 3×3 grid
+
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.accepted, 4);
+  EXPECT_EQ(m.completed, 4);
+  EXPECT_EQ(m.rejected, 0);
+  EXPECT_EQ(m.cancelled, 0);
+}
+
+TEST(Serve, CancelQueuedJobNeverRuns) {
+  Service service(smallService(1));
+
+  JobTicket slow = service.submit(
+      tinyProblem(411), slowOptions("slow", std::chrono::milliseconds(300)));
+  ASSERT_TRUE(waitUntil([&] { return slow.state() == JobState::kRunning; }));
+
+  JobTicket queued = service.submit(tinyProblem(413));
+  EXPECT_EQ(queued.state(), JobState::kQueued);
+  EXPECT_TRUE(queued.cancel());
+
+  auto outcome = queued.wait();
+  EXPECT_EQ(outcome->state, JobState::kCancelled);
+  EXPECT_FALSE(outcome->matrix.has_value());
+  EXPECT_EQ(outcome->stats.run.tasks, 0);      // never dispatched
+  EXPECT_EQ(outcome->stats.dispatchSeq, -1);   // never picked
+  EXPECT_FALSE(queued.cancel());               // already terminal
+
+  EXPECT_EQ(slow.wait()->state, JobState::kDone);
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.cancelled, 1);
+  EXPECT_EQ(m.completed, 1);
+}
+
+TEST(Serve, CancelRunningJobStopsEarly) {
+  Service service(smallService(1));
+
+  // 100 blocks gated by a 400 ms delay on the first: cancelling during
+  // the stall must terminate the job long before 100 completions.
+  auto big = std::make_shared<EditDistance>(randomSequence(120, 421),
+                                            randomSequence(120, 422));
+  JobTicket t = service.submit(
+      big, slowOptions("cancel-me", std::chrono::milliseconds(400)));
+  ASSERT_TRUE(waitUntil([&] { return t.state() == JobState::kRunning; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(t.cancel());
+
+  auto outcome = t.wait();
+  EXPECT_EQ(outcome->state, JobState::kCancelled);
+  EXPECT_FALSE(outcome->matrix.has_value());
+  EXPECT_LT(outcome->stats.run.completedTasks, 100);
+
+  // The cluster survives the cancellation — and the cancelled job's
+  // delayed reply (carrying its job id) must not leak into this one.
+  auto follow = std::make_shared<EditDistance>(randomSequence(30, 423),
+                                               randomSequence(30, 424));
+  auto followOutcome = service.submit(follow).wait();
+  ASSERT_EQ(followOutcome->state, JobState::kDone) << followOutcome->error;
+  expectMatchesReference(*follow, *followOutcome->matrix);
+}
+
+TEST(Serve, AdmissionRejectsWhenQueueFull) {
+  ServiceConfig cfg = smallService(1);
+  cfg.maxQueueDepth = 2;
+  Service service(cfg);
+
+  JobTicket slow = service.submit(
+      tinyProblem(431), slowOptions("slow", std::chrono::milliseconds(300)));
+  ASSERT_TRUE(waitUntil([&] { return slow.state() == JobState::kRunning; }));
+
+  Admission a1 = service.trySubmit(tinyProblem(433));
+  Admission a2 = service.trySubmit(tinyProblem(435));
+  ASSERT_TRUE(a1.accepted());
+  ASSERT_TRUE(a2.accepted());
+
+  Admission a3 = service.trySubmit(tinyProblem(437));
+  ASSERT_FALSE(a3.accepted());
+  EXPECT_NE(a3.reason.find("full"), std::string::npos) << a3.reason;
+
+  EXPECT_EQ(slow.wait()->state, JobState::kDone);
+  EXPECT_EQ(a1.ticket->wait()->state, JobState::kDone);
+  EXPECT_EQ(a2.ticket->wait()->state, JobState::kDone);
+  EXPECT_EQ(service.metrics().rejected, 1);
+}
+
+TEST(Serve, DrainThenShutdown) {
+  Service service(smallService(2));
+
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 5; ++i) {
+    tickets.push_back(service.submit(
+        std::make_shared<EditDistance>(randomSequence(30, 441 + 2 * i),
+                                       randomSequence(30, 442 + 2 * i))));
+  }
+  service.drain();
+
+  // Drain returns only after every admitted job reached a terminal state.
+  for (auto& t : tickets) {
+    EXPECT_EQ(t.state(), JobState::kDone);
+  }
+  Admission afterDrain = service.trySubmit(tinyProblem(451));
+  ASSERT_FALSE(afterDrain.accepted());
+  EXPECT_NE(afterDrain.reason.find("drain"), std::string::npos)
+      << afterDrain.reason;
+
+  service.shutdown();
+  Admission afterStop = service.trySubmit(tinyProblem(453));
+  ASSERT_FALSE(afterStop.accepted());
+  EXPECT_NE(afterStop.reason.find("stopped"), std::string::npos)
+      << afterStop.reason;
+  service.shutdown();  // idempotent
+
+  EXPECT_EQ(service.metrics().completed, 5);
+}
+
+TEST(Serve, SubmitThrowsOnRejection) {
+  Service service(smallService(1));
+  service.shutdown();
+  EXPECT_THROW(service.submit(tinyProblem(461)), AdmissionError);
+}
+
+TEST(Serve, PriorityPolicyRunsHighPriorityFirst) {
+  ServiceConfig cfg = smallService(1);
+  cfg.policy = JobSchedPolicy::kPriority;
+  Service service(cfg);
+
+  // Hold the cluster so A/B/C queue up, then observe dispatch order.
+  JobTicket slow = service.submit(
+      tinyProblem(471), slowOptions("slow", std::chrono::milliseconds(300)));
+  ASSERT_TRUE(waitUntil([&] { return slow.state() == JobState::kRunning; }));
+
+  JobOptions a, b, c;
+  a.name = "a";
+  a.priority = 0;
+  b.name = "b";
+  b.priority = 5;
+  c.name = "c";
+  c.priority = 1;
+  JobTicket ta = service.submit(tinyProblem(473), a);
+  JobTicket tb = service.submit(tinyProblem(475), b);
+  JobTicket tc = service.submit(tinyProblem(477), c);
+
+  const auto sa = ta.wait(), sb = tb.wait(), sc = tc.wait();
+  ASSERT_EQ(sa->state, JobState::kDone);
+  ASSERT_EQ(sb->state, JobState::kDone);
+  ASSERT_EQ(sc->state, JobState::kDone);
+  // b (pri 5) before c (pri 1) before a (pri 0), despite submission order.
+  EXPECT_LT(sb->stats.dispatchSeq, sc->stats.dispatchSeq);
+  EXPECT_LT(sc->stats.dispatchSeq, sa->stats.dispatchSeq);
+}
+
+TEST(Serve, FairSharePolicyInterleavesAcrossKeys) {
+  ServiceConfig cfg = smallService(1);
+  cfg.policy = JobSchedPolicy::kFairShare;
+  Service service(cfg);
+
+  JobTicket slow = service.submit(
+      tinyProblem(481), slowOptions("slow", std::chrono::milliseconds(300)));
+  ASSERT_TRUE(waitUntil([&] { return slow.state() == JobState::kRunning; }));
+
+  // Three small jobs (24² = 576 ops each) on key "small", two large
+  // (96² = 9216 ops) on key "big"; equal weights.  Stride scheduling
+  // dispatches small, big, small, small, big — FIFO would run all three
+  // small jobs first.
+  auto smallJob = [&](int seed) {
+    JobOptions o;
+    o.shareKey = "small";
+    return service.submit(
+        std::make_shared<EditDistance>(randomSequence(24, seed),
+                                       randomSequence(24, seed + 1)),
+        o);
+  };
+  auto bigJob = [&](int seed) {
+    JobOptions o;
+    o.shareKey = "big";
+    return service.submit(
+        std::make_shared<EditDistance>(randomSequence(96, seed),
+                                       randomSequence(96, seed + 1)),
+        o);
+  };
+  JobTicket s1 = smallJob(483), s2 = smallJob(485), s3 = smallJob(487);
+  JobTicket b1 = bigJob(489), b2 = bigJob(491);
+
+  const auto o1 = s1.wait(), o2 = s2.wait(), o3 = s3.wait();
+  const auto ob1 = b1.wait(), ob2 = b2.wait();
+  for (const auto& o : {o1, o2, o3, ob1, ob2}) {
+    ASSERT_EQ(o->state, JobState::kDone);
+  }
+  // The first big job cuts ahead of the remaining small jobs (its share
+  // consumed nothing yet), then its cost pushes "big" behind.
+  EXPECT_LT(ob1->stats.dispatchSeq, o2->stats.dispatchSeq);
+  EXPECT_GT(ob2->stats.dispatchSeq, o3->stats.dispatchSeq);
+}
+
+TEST(Serve, ConcurrentSubmitsStress) {
+  Service service(smallService(3));
+
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 3;
+  std::vector<std::shared_ptr<const DpProblem>>
+      problems(kThreads * kJobsPerThread);
+  std::vector<std::shared_ptr<const JobOutcome>>
+      outcomes(problems.size());
+  {
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        for (int j = 0; j < kJobsPerThread; ++j) {
+          const int i = w * kJobsPerThread + j;
+          auto p = std::make_shared<EditDistance>(
+              randomSequence(26 + i, 500 + 2 * i),
+              randomSequence(26 + i, 501 + 2 * i));
+          problems[static_cast<std::size_t>(i)] = p;
+          outcomes[static_cast<std::size_t>(i)] =
+              service.submit(p).wait();
+        }
+      });
+    }
+    for (auto& t : workers) {
+      t.join();
+    }
+  }
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    ASSERT_EQ(outcomes[i]->state, JobState::kDone) << outcomes[i]->error;
+    expectMatchesReference(*problems[i], *outcomes[i]->matrix);
+  }
+  EXPECT_EQ(service.metrics().completed, kThreads * kJobsPerThread);
+}
+
+// Unit-level checks of the three policies over fabricated records, without
+// a cluster.
+TEST(Serve, SchedulerUnitOrdering) {
+  auto rec = [](JobId id, std::int64_t seq, int priority,
+                const std::string& key, double weight, double ops) {
+    auto r = std::make_shared<JobRecord>();
+    r->id = id;
+    r->seq = seq;
+    r->options.name = "j" + std::to_string(id);
+    r->options.priority = priority;
+    r->options.shareKey = key;
+    r->options.weight = weight;
+    r->estimatedOps = ops;
+    return r;
+  };
+
+  {
+    auto fifo = makeJobScheduler(JobSchedPolicy::kFifo);
+    auto a = rec(1, 1, 0, "", 1, 100);
+    auto b = rec(2, 2, 9, "", 1, 100);
+    fifo->enqueue(a);
+    fifo->enqueue(b);
+    EXPECT_EQ(fifo->pick()->id, 1);  // priority ignored
+    EXPECT_EQ(fifo->pick()->id, 2);
+    EXPECT_EQ(fifo->pick(), nullptr);
+  }
+  {
+    auto prio = makeJobScheduler(JobSchedPolicy::kPriority);
+    auto a = rec(1, 1, 1, "", 1, 100);
+    auto b = rec(2, 2, 9, "", 1, 100);
+    auto c = rec(3, 3, 9, "", 1, 100);
+    prio->enqueue(a);
+    prio->enqueue(b);
+    prio->enqueue(c);
+    EXPECT_EQ(prio->pick()->id, 2);  // highest priority, lowest seq
+    EXPECT_EQ(prio->pick()->id, 3);
+    EXPECT_EQ(prio->pick()->id, 1);
+  }
+  {
+    // Weight 3 earns three dispatches for every one of weight 1 (equal
+    // per-job cost).
+    auto fair = makeJobScheduler(JobSchedPolicy::kFairShare);
+    auto x1 = rec(1, 1, 0, "x", 1, 300);
+    auto x2 = rec(2, 2, 0, "x", 1, 300);
+    auto y1 = rec(3, 3, 0, "y", 3, 300);
+    auto y2 = rec(4, 4, 0, "y", 3, 300);
+    auto y3 = rec(5, 5, 0, "y", 3, 300);
+    for (const auto& r : {x1, x2, y1, y2, y3}) {
+      fair->enqueue(r);
+    }
+    std::vector<JobId> order;
+    while (auto r = fair->pick()) {
+      order.push_back(r->id);
+    }
+    EXPECT_EQ(order, (std::vector<JobId>{1, 3, 4, 5, 2}));
+  }
+  {
+    // Cancelled-while-queued records are dropped, not dispatched.
+    auto fifo = makeJobScheduler(JobSchedPolicy::kFifo);
+    auto a = rec(1, 1, 0, "", 1, 100);
+    auto b = rec(2, 2, 0, "", 1, 100);
+    fifo->enqueue(a);
+    fifo->enqueue(b);
+    a->state.store(JobState::kCancelled);
+    EXPECT_EQ(fifo->size(), 1u);
+    EXPECT_EQ(fifo->pick()->id, 2);
+    EXPECT_EQ(fifo->pick(), nullptr);
+  }
+}
+
+TEST(Serve, MetricsTableRenders) {
+  ServiceMetrics m;
+  m.policy = "priority";
+  m.accepted = 7;
+  m.completed = 5;
+  m.rejected = 2;
+  m.uptimeSeconds = 10.0;
+  const std::string rendered = metricsTable(m).render();
+  EXPECT_NE(rendered.find("priority"), std::string::npos);
+  EXPECT_NE(rendered.find("jobs_per_s"), std::string::npos);
+  EXPECT_DOUBLE_EQ(m.jobsPerSecond(), 0.5);
+}
+
+}  // namespace
+}  // namespace easyhps::serve

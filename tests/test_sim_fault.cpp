@@ -2,8 +2,10 @@
 // the simulated overtime queue, cost monotonicity, and determinism.
 #include <gtest/gtest.h>
 
+#include "easyhps/dp/editdist.hpp"
 #include "easyhps/dp/sequence.hpp"
 #include "easyhps/dp/swgg.hpp"
+#include "easyhps/serve/service.hpp"
 #include "easyhps/sim/simulator.hpp"
 
 namespace easyhps::sim {
@@ -104,3 +106,63 @@ TEST(SimFault, BcwWithFaultsStillCompletes) {
 
 }  // namespace
 }  // namespace easyhps::sim
+
+namespace easyhps {
+namespace {
+
+// Regression: late-reply idempotence across the multi-job master loop.  A
+// kTaskDelay reply that arrives after its job finished carries the old
+// job id; the multiplexed master must discard it (staleJobResults), never
+// credit it to the next job — vertex ids restart at 0 every job, so
+// injecting it would corrupt the successor's matrix.
+TEST(ServeFault, DelayedReplyAfterJobEndNotCreditedToNextJob) {
+  serve::ServiceConfig cfg;
+  cfg.runtime.slaveCount = 2;
+  cfg.runtime.threadsPerSlave = 2;
+  cfg.runtime.processPartitionRows = cfg.runtime.processPartitionCols = 12;
+  cfg.runtime.threadPartitionRows = cfg.runtime.threadPartitionCols = 4;
+  cfg.runtime.taskTimeout = std::chrono::milliseconds(50);
+  serve::Service service(cfg);
+
+  // Job A: 2×2 blocks; the last block's reply is held for 400 ms — far
+  // past the 50 ms timeout, so fault tolerance re-distributes it to the
+  // other slave and A completes while the faulty slave still sleeps.
+  EditDistance a(randomSequence(24, 211), randomSequence(24, 212));
+  serve::JobOptions optsA;
+  optsA.name = "delayed";
+  fault::FaultSpec f;
+  f.kind = fault::FaultKind::kTaskDelay;
+  f.vertex = 3;
+  f.delay = std::chrono::milliseconds(400);
+  optsA.faults.push_back(f);
+  auto outcomeA =
+      service
+          .submit(std::make_shared<EditDistance>(a), std::move(optsA))
+          .wait();
+  ASSERT_EQ(outcomeA->state, serve::JobState::kDone) << outcomeA->error;
+  EXPECT_GE(outcomeA->stats.run.retries, 1);
+  EXPECT_EQ(outcomeA->stats.run.faultsTriggered, 1);
+  const DenseMatrix<Score> refA = a.solveReference();
+  EXPECT_EQ(outcomeA->matrix->get(23, 23), refA.at(23, 23));
+
+  // Job B starts with A's held reply already ahead of it in the master's
+  // mailbox (the master's job-end handshake waits out the delay).  B's
+  // vertex ids collide with A's; the stale reply must be discarded.
+  SmithWatermanGeneralGap b(randomSequence(24, 213), randomSequence(24, 214));
+  auto outcomeB =
+      service.submit(std::make_shared<SmithWatermanGeneralGap>(b)).wait();
+  ASSERT_EQ(outcomeB->state, serve::JobState::kDone) << outcomeB->error;
+  EXPECT_GE(outcomeB->stats.run.staleJobResults, 1);
+
+  const DenseMatrix<Score> refB = b.solveReference();
+  for (std::int64_t r = 0; r < b.rows(); ++r) {
+    for (std::int64_t c = 0; c < b.cols(); ++c) {
+      ASSERT_EQ(outcomeB->matrix->get(r, c), refB.at(r, c))
+          << "stale cross-job result corrupted B at (" << r << "," << c
+          << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easyhps

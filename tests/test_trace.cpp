@@ -35,6 +35,36 @@ TEST(Table, CsvEscapesNothingButJoins) {
   EXPECT_EQ(t.csv(), "x,y\n1,2\n");
 }
 
+TEST(Table, JsonEmitsRowObjectsKeyedByHeader) {
+  Table t({"policy", "jobs", "wait_s"});
+  t.addRow({"fifo", "12", "0.250"});
+  t.addRow({"fair-share", "9", "0.125"});
+  EXPECT_EQ(t.json(),
+            "[\n"
+            "  {\"policy\": \"fifo\", \"jobs\": 12, \"wait_s\": 0.250},\n"
+            "  {\"policy\": \"fair-share\", \"jobs\": 9, "
+            "\"wait_s\": 0.125}\n"
+            "]\n");
+}
+
+TEST(Table, JsonQuotesNonNumericAndEscapes) {
+  Table t({"name"});
+  t.addRow({"a\"b\\c"});
+  t.addRow({"1e3"});    // scientific notation stays numeric
+  t.addRow({"1.2.3"});  // not a number: quoted
+  t.addRow({"nan"});    // not valid JSON as a literal: quoted
+  const std::string out = t.json();
+  EXPECT_NE(out.find("\"a\\\"b\\\\c\""), std::string::npos);
+  EXPECT_NE(out.find("{\"name\": 1e3}"), std::string::npos);
+  EXPECT_NE(out.find("\"1.2.3\""), std::string::npos);
+  EXPECT_NE(out.find("\"nan\""), std::string::npos);
+}
+
+TEST(Table, JsonEmptyTableIsEmptyArray) {
+  Table t({"a"});
+  EXPECT_EQ(t.json(), "[\n]\n");
+}
+
 TEST(Table, NumFormatting) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::num(static_cast<std::int64_t>(42)), "42");
