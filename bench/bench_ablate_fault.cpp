@@ -4,6 +4,7 @@
 // and verifies the result is still correct.
 #include <iostream>
 
+#include "common.hpp"
 #include "easyhps/dp/sequence.hpp"
 #include "easyhps/dp/swgg.hpp"
 #include "easyhps/runtime/runtime.hpp"
@@ -58,6 +59,7 @@ int main() {
                   correct ? "yes" : "NO"});
   }
   std::cout << table.render();
+  bench::writeBenchJson("ablate_fault", table);
 
   std::cout << "\nTimeout sensitivity (4 blackholes):\n";
   trace::Table table2({"task_timeout_ms", "elapsed_s", "retries"});
@@ -74,6 +76,7 @@ int main() {
                    trace::Table::num(r.stats.retries)});
   }
   std::cout << table2.render();
+  bench::writeBenchJson("ablate_fault_timeout", table2);
 
   // Fault tolerance at paper scale (simulated): node blackholes on the
   // seq_len=10000 SWGG workload at 50 cores.
@@ -105,6 +108,7 @@ int main() {
       }
     }
     std::cout << table3.render();
+    bench::writeBenchJson("ablate_fault_sim", table3);
   }
 
   std::cout << "\nShape check: recovery cost grows roughly linearly with "

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     std::cout << "\nthread_partition fixed at " << setup.threadPartition
               << "\n"
               << table.render();
+    writeBenchJson("ablate_partition_process", table);
   }
 
   {
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
     std::cout << "\nprocess_partition fixed at " << setup.processPartition
               << "\n"
               << table.render();
+    writeBenchJson("ablate_partition_thread", table);
   }
 
   // SWGG cells are O(n)-expensive, so thread-level dispatch overhead never
@@ -80,6 +82,7 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nedit distance n=2000 (O(1) cells), process_partition=200\n"
               << table.render();
+    writeBenchJson("ablate_partition_cheapcell", table);
   }
 
   std::cout << "\nShape check: the process-level sweep is U-shaped (per-task "

@@ -14,21 +14,26 @@ int main(int argc, char** argv) {
       "Fig 13 — SWGG elapsed time vs total cores, per node count (seq_len=" +
       std::to_string(setup.seqLen) + ")");
 
+  const std::vector<std::string> headers{"experiment", "total_cores",
+                                         "computing_threads", "elapsed_s",
+                                         "speedup", "node_util"};
+  trace::Table all(headers);
   for (int nodes = 2; nodes <= 5; ++nodes) {
-    trace::Table table({"experiment", "total_cores", "computing_threads",
-                        "elapsed_s", "speedup", "node_util"});
+    trace::Table table(headers);
     for (int ct = 1; ct <= setup.maxThreadsPerNode; ++ct) {
       const auto cfg = simConfig(setup, nodes, ct);
       const sim::SimResult r = sim::simulate(*problem, cfg);
-      table.addRow({"Experiment_" + std::to_string(nodes) + "_" +
-                        std::to_string(cfg.deployment.totalCores),
-                    trace::Table::num(
-                        static_cast<std::int64_t>(cfg.deployment.totalCores)),
-                    trace::Table::num(static_cast<std::int64_t>(
-                        cfg.deployment.computingThreads())),
-                    trace::Table::num(r.makespan),
-                    trace::Table::num(r.speedup(), 2),
-                    trace::Table::num(r.nodeUtilization(), 3)});
+      std::vector<std::string> row{
+          "Experiment_" + std::to_string(nodes) + "_" +
+              std::to_string(cfg.deployment.totalCores),
+          trace::Table::num(
+              static_cast<std::int64_t>(cfg.deployment.totalCores)),
+          trace::Table::num(static_cast<std::int64_t>(
+              cfg.deployment.computingThreads())),
+          trace::Table::num(r.makespan), trace::Table::num(r.speedup(), 2),
+          trace::Table::num(r.nodeUtilization(), 3)};
+      table.addRow(row);
+      all.addRow(std::move(row));
     }
     std::cout << "\n(a..d) Deployed on " << nodes << " nodes\n"
               << table.render();
@@ -36,5 +41,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper shape check: elapsed time decreases monotonically "
                "with cores on every node count; diminishing returns at high "
                "thread counts.\n";
+  writeBenchJson("fig13_swgg_nodes", all);
   return 0;
 }

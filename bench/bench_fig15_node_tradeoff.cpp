@@ -21,6 +21,11 @@ int main(int argc, char** argv) {
   std::cout << trace::banner(
       "Fig 15 — same total cores, different node counts");
 
+  const std::vector<std::string> headers{"workload",     "total_cores",
+                                         "nodes",        "computing_threads",
+                                         "threads/node", "elapsed_s",
+                                         "speedup"};
+  trace::Table all(headers);
   for (const auto& w : workloads) {
     trace::Table table({"total_cores", "nodes", "computing_threads",
                         "threads/node", "elapsed_s", "speedup"});
@@ -52,6 +57,13 @@ int main(int argc, char** argv) {
                           d.computingThreads())),
                       tl, trace::Table::num(r.makespan),
                       trace::Table::num(r.speedup(), 2)});
+        all.addRow({w.label,
+                    trace::Table::num(static_cast<std::int64_t>(cores)),
+                    trace::Table::num(static_cast<std::int64_t>(nodes)),
+                    trace::Table::num(
+                        static_cast<std::int64_t>(d.computingThreads())),
+                    tl, trace::Table::num(r.makespan),
+                    trace::Table::num(r.speedup(), 2)});
       }
       table.addRow({"->", "best=" + std::to_string(bestNodes), "", "", "",
                     ""});
@@ -62,5 +74,6 @@ int main(int argc, char** argv) {
                "(scheduling cores are a bigger fraction of the budget); at "
                "40 cores more nodes win (per-node thread scaling saturates "
                "on the intra-block wavefront).\n";
+  writeBenchJson("fig15_node_tradeoff", all);
   return 0;
 }

@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
   std::cout << trace::banner(
       "Fig 16 — elapsed time & speedup with optimal node grouping");
 
+  trace::Table all({"workload", "total_cores", "best_nodes", "elapsed_s",
+                    "speedup", "ideal_speedup"});
   for (const auto& w : workloads) {
     trace::Table table({"total_cores", "best_nodes", "elapsed_s", "speedup",
                         "ideal_speedup"});
@@ -57,11 +59,18 @@ int main(int argc, char** argv) {
                     trace::Table::num(best),
                     trace::Table::num(bestSpeedup, 2),
                     trace::Table::num(static_cast<std::int64_t>(cores))});
+      all.addRow({w.label,
+                  trace::Table::num(static_cast<std::int64_t>(cores)),
+                  trace::Table::num(static_cast<std::int64_t>(bestNodes)),
+                  trace::Table::num(best),
+                  trace::Table::num(bestSpeedup, 2),
+                  trace::Table::num(static_cast<std::int64_t>(cores))});
     }
     std::cout << "\n(" << w.label << ")\n" << table.render();
     std::cout << "speedup at >=50 cores: "
               << trace::Table::num(speedupAt50plus, 1)
               << "  (paper: ~30x for SWGG, ~20x for Nussinov)\n";
   }
+  writeBenchJson("fig16_speedup", all);
   return 0;
 }

@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
 
   int above = 0;
   int total = 0;
+  trace::Table all({"nodes", "total_cores", "algorithm", "easyhps_s",
+                    "bcw_s", "bcw/easyhps", "bcw_stalls"});
   for (int nodes = 2; nodes <= 5; ++nodes) {
     trace::Table table({"total_cores", "algorithm", "easyhps_s", "bcw_s",
                         "bcw/easyhps", "bcw_stalls"});
@@ -45,6 +47,14 @@ int main(int argc, char** argv) {
              trace::Table::num(bcw.makespan), trace::Table::num(ratio, 3),
              trace::Table::num(bcw.masterStalledPicks +
                                bcw.threadStalledPicks)});
+        all.addRow(
+            {trace::Table::num(static_cast<std::int64_t>(nodes)),
+             trace::Table::num(
+                 static_cast<std::int64_t>(cfg.deployment.totalCores)),
+             w.label, trace::Table::num(dyn.makespan),
+             trace::Table::num(bcw.makespan), trace::Table::num(ratio, 3),
+             trace::Table::num(bcw.masterStalledPicks +
+                               bcw.threadStalledPicks)});
       }
     }
     std::cout << "\n(" << (nodes - 1) << ") Deployed on " << nodes
@@ -53,5 +63,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nPoints at or above the 1.00 LINE: " << above << "/" << total
             << "  (paper: almost all rate curves above the baseline)\n";
+  writeBenchJson("fig17_bcw_ratio", all);
   return 0;
 }

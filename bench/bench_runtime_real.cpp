@@ -6,6 +6,7 @@
 #include <iostream>
 #include <memory>
 
+#include "common.hpp"
 #include "easyhps/dp/editdist.hpp"
 #include "easyhps/dp/nussinov.hpp"
 #include "easyhps/dp/obst.hpp"
@@ -37,7 +38,7 @@ int main() {
   workloads.push_back({"obst n=250", std::make_unique<OptimalBst>(250, 306)});
 
   trace::Table table({"problem", "slaves", "threads", "elapsed_s", "tasks",
-                      "messages", "MB", "imbalance"});
+                      "messages", "MB", "master_MB", "p2p_MB", "imbalance"});
   for (const auto& w : workloads) {
     for (auto [slaves, threads] :
          {std::pair{1, 1}, std::pair{2, 2}, std::pair{4, 3}}) {
@@ -54,6 +55,10 @@ int main() {
            trace::Table::num(r.stats.completedTasks),
            trace::Table::num(static_cast<std::int64_t>(r.stats.messages)),
            trace::Table::num(static_cast<double>(r.stats.bytes) / 1e6, 2),
+           trace::Table::num(
+               static_cast<double>(r.stats.bytesViaMaster) / 1e6, 2),
+           trace::Table::num(
+               static_cast<double>(r.stats.bytesPeerToPeer) / 1e6, 2),
            trace::Table::num(r.stats.taskImbalance(), 2)});
     }
   }
@@ -61,5 +66,6 @@ int main() {
   std::cout << "\nNote: single-core host — elapsed time reflects total work "
                "plus runtime overhead; the per-config message/byte counts "
                "are the portable signal.\n";
+  bench::writeBenchJson("runtime_real", table);
   return 0;
 }

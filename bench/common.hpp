@@ -8,6 +8,7 @@
 /// bench to shrink the sequence length (CI-friendly); shapes persist.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -19,6 +20,23 @@
 #include "easyhps/trace/report.hpp"
 
 namespace easyhps::bench {
+
+// Fixed workload seeds: every bench run generates bit-identical inputs, so
+// two runs differ only by machine noise, never by workload.
+inline constexpr std::uint64_t kSeedSwggA = 101;
+inline constexpr std::uint64_t kSeedSwggB = 102;
+inline constexpr std::uint64_t kSeedNussinov = 103;
+
+/// Writes `table` as `BENCH_<name>.json` in the working directory — the
+/// one machine-readable artifact every bench emits (same rows as the text
+/// table, via Table::json()).
+inline void writeBenchJson(const std::string& name,
+                           const trace::Table& table) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  out << table.json();
+  std::cout << "\nwrote " << path << "\n";
+}
 
 struct PaperSetup {
   std::int64_t seqLen = 10000;
@@ -46,11 +64,12 @@ inline PaperSetup setupFromArgs(int argc, char** argv) {
 
 inline std::unique_ptr<DpProblem> makeSwgg(const PaperSetup& s) {
   return std::make_unique<SmithWatermanGeneralGap>(
-      randomSequence(s.seqLen, 101), randomSequence(s.seqLen, 102));
+      randomSequence(s.seqLen, kSeedSwggA),
+      randomSequence(s.seqLen, kSeedSwggB));
 }
 
 inline std::unique_ptr<DpProblem> makeNussinov(const PaperSetup& s) {
-  return std::make_unique<Nussinov>(randomRna(s.seqLen, 103));
+  return std::make_unique<Nussinov>(randomRna(s.seqLen, kSeedNussinov));
 }
 
 inline sim::SimConfig simConfig(const PaperSetup& s, int nodes,

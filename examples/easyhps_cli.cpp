@@ -104,7 +104,10 @@ PolicyKind parsePolicy(const std::string& s) {
   if (s == "cw") {
     return PolicyKind::kColumnWavefront;
   }
-  throw Error("unknown policy: " + s + " (use dynamic|bcw|cw)");
+  if (s == "locality") {
+    return PolicyKind::kLocality;
+  }
+  throw Error("unknown policy: " + s + " (use dynamic|bcw|cw|locality)");
 }
 
 int usage() {
@@ -217,7 +220,19 @@ int main(int argc, char** argv) {
                                                     2)});
       t.addRow({"stalled picks", trace::Table::num(
                                      r.stats.masterStalledPicks)});
+      t.addRow({"via master (MB)",
+                trace::Table::num(
+                    static_cast<double>(r.stats.bytesViaMaster) / 1e6, 2)});
+      t.addRow({"peer to peer (MB)",
+                trace::Table::num(
+                    static_cast<double>(r.stats.bytesPeerToPeer) / 1e6, 2)});
       std::cout << t.render();
+      if (!r.stats.linkBytes.empty()) {
+        std::cout << "\nPer-link traffic (rank 0 = master):\n"
+                  << trace::linkMatrixTable(r.stats.linkBytes,
+                                            opt.slaves + 1)
+                         .render();
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

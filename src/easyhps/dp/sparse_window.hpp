@@ -17,6 +17,7 @@
 /// function, preserving `Window` semantics for triangular problems whose
 /// inactive cells read as 0.
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -34,13 +35,16 @@ class SparseWindow {
   /// Read cell (r, c); boundary fallback outside all segments.
   Score get(std::int64_t r, std::int64_t c) const {
     // The most recently touched segment is checked first: DP kernels read
-    // in runs within one segment (own block, then one halo strip).
+    // in runs within one segment (own block, then one halo strip).  The
+    // hint is shared by a slave's computing threads — relaxed atomics keep
+    // it a pure performance hint without a data race.
     const auto n = segments_.size();
+    const std::size_t hint = last_hit_.load(std::memory_order_relaxed);
     for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t idx = (last_hit_ + k) % n;
+      const std::size_t idx = (hint + k) % n;
       const Segment& s = segments_[idx];
       if (s.rect.contains(r, c)) {
-        last_hit_ = idx;
+        last_hit_.store(idx, std::memory_order_relaxed);
         return s.data[s.index(r, c)];
       }
     }
@@ -50,11 +54,12 @@ class SparseWindow {
   /// Write cell (r, c); must fall into some segment.
   void set(std::int64_t r, std::int64_t c, Score v) {
     const auto n = segments_.size();
+    const std::size_t hint = last_hit_.load(std::memory_order_relaxed);
     for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t idx = (last_hit_ + k) % n;
+      const std::size_t idx = (hint + k) % n;
       Segment& s = segments_[idx];
       if (s.rect.contains(r, c)) {
-        last_hit_ = idx;
+        last_hit_.store(idx, std::memory_order_relaxed);
         s.data[s.index(r, c)] = v;
         return;
       }
@@ -89,7 +94,7 @@ class SparseWindow {
 
   std::vector<Segment> segments_;
   BoundaryFn boundary_;
-  mutable std::size_t last_hit_ = 0;
+  mutable std::atomic<std::size_t> last_hit_{0};
 };
 
 }  // namespace easyhps

@@ -16,11 +16,30 @@
 
 namespace easyhps::msg {
 
-/// Per-run report returned by Cluster::run.
+/// Per-run report returned by Cluster::run.  Taken after every rank has
+/// joined, so the per-link matrix is a consistent final tally.
 struct ClusterReport {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t dropped = 0;
+
+  /// Per-link byte totals, indexed `source * ranks + dest` (see
+  /// TrafficSnapshot for the mid-run equivalent).
+  int ranks = 0;
+  std::vector<std::uint64_t> linkBytes;
+
+  std::uint64_t linkAt(int source, int dest) const {
+    return linkBytes[static_cast<std::size_t>(source * ranks + dest)];
+  }
+
+  /// Total bytes on links with `rank` as source or destination.
+  std::uint64_t bytesTouching(int rank) const {
+    std::uint64_t sum = 0;
+    for (int other = 0; other < ranks; ++other) {
+      sum += linkAt(rank, other) + linkAt(other, rank);
+    }
+    return sum;
+  }
 };
 
 class Cluster {

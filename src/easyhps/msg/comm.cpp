@@ -21,6 +21,8 @@ ClusterState::ClusterState(int size) {
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
+  link_bytes_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(size) * static_cast<std::size_t>(size));
 }
 
 Mailbox& ClusterState::mailbox(int rank) {
@@ -36,7 +38,20 @@ void ClusterState::deliver(Message message) {
   }
   traffic_.messages.fetch_add(1, std::memory_order_relaxed);
   traffic_.bytes.fetch_add(message.sizeBytes(), std::memory_order_relaxed);
+  link_bytes_[static_cast<std::size_t>(message.source * size() +
+                                       message.dest)]
+      .fetch_add(message.sizeBytes(), std::memory_order_relaxed);
   mailbox(message.dest).deliver(std::move(message));
+}
+
+std::vector<std::uint64_t> ClusterState::linkBytesSnapshot() const {
+  const auto n = static_cast<std::size_t>(size()) *
+                 static_cast<std::size_t>(size());
+  std::vector<std::uint64_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = link_bytes_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void ClusterState::closeAll() {
@@ -69,6 +84,16 @@ Message Comm::recv(int source, int tag) {
   return std::move(*m);
 }
 
+Message Comm::recvTags(int source, std::initializer_list<int> tags) {
+  auto m = state_->mailbox(rank_).recvAnyOf(
+      source, std::span<const int>(tags.begin(), tags.size()));
+  if (!m) {
+    throw CommError("recv on closed mailbox (rank " + std::to_string(rank_) +
+                    ")");
+  }
+  return std::move(*m);
+}
+
 std::optional<Message> Comm::recvFor(int source, int tag,
                                      std::chrono::nanoseconds timeout) {
   return state_->mailbox(rank_).recvFor(source, tag, timeout);
@@ -88,6 +113,8 @@ TrafficSnapshot Comm::traffic() const {
   snap.messages = t.messages.load();
   snap.bytes = t.bytes.load();
   snap.dropped = t.dropped.load();
+  snap.ranks = size();
+  snap.linkBytes = state_->linkBytesSnapshot();
   return snap;
 }
 

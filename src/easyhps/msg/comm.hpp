@@ -34,6 +34,25 @@ struct TrafficSnapshot {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t dropped = 0;
+
+  /// Per-link byte totals, indexed `source * ranks + dest` — the data the
+  /// control/data-plane split is judged by: bytes on links touching rank 0
+  /// went via the master, the rest moved peer-to-peer.
+  int ranks = 0;
+  std::vector<std::uint64_t> linkBytes;
+
+  std::uint64_t linkAt(int source, int dest) const {
+    return linkBytes[static_cast<std::size_t>(source * ranks + dest)];
+  }
+
+  /// Total bytes on links with `rank` as source or destination.
+  std::uint64_t bytesTouching(int rank) const {
+    std::uint64_t sum = 0;
+    for (int other = 0; other < ranks; ++other) {
+      sum += linkAt(rank, other) + linkAt(other, rank);
+    }
+    return sum;  // self-links are zero in this substrate, no double count
+  }
 };
 
 /// Optional transport fault hook: return true to *drop* the message.  Used
@@ -56,12 +75,17 @@ class ClusterState {
   /// Routes a message to its destination mailbox (the "network").
   void deliver(Message message);
 
+  /// Copy of the per-link byte counters (source * size + dest).
+  std::vector<std::uint64_t> linkBytesSnapshot() const;
+
   /// Closes every mailbox (cluster teardown).
   void closeAll();
 
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   TrafficStats traffic_;
+  /// Delivered bytes per (source, dest) link, indexed source * size + dest.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> link_bytes_;
   DropFn drop_;
 };
 
@@ -78,6 +102,11 @@ class Comm {
 
   /// Blocking matched receive; throws CommError if the cluster closed.
   Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Blocking receive matching any tag in `tags` from `source`; throws
+  /// CommError if the cluster closed.  Lets a rank's control loop listen
+  /// to its control tags while a sibling thread owns the data-plane tags.
+  Message recvTags(int source, std::initializer_list<int> tags);
 
   /// Timed receive; nullopt on timeout.
   std::optional<Message> recvFor(int source, int tag,

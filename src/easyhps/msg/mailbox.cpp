@@ -24,6 +24,34 @@ std::optional<Message> Mailbox::extractLocked(int source, int tag) {
   return std::nullopt;
 }
 
+std::optional<Message> Mailbox::extractAnyLocked(int source,
+                                                 std::span<const int> tags) {
+  for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+    for (int tag : tags) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        messages_.erase(it);
+        return m;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Mailbox::recvAnyOf(int source,
+                                          std::span<const int> tags) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto m = extractAnyLocked(source, tags)) {
+      return m;
+    }
+    if (closed_) {
+      return std::nullopt;
+    }
+    cv_.wait(lock);
+  }
+}
+
 std::optional<Message> Mailbox::recv(int source, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {

@@ -7,6 +7,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
 
 #include "easyhps/msg/message.hpp"
 
@@ -27,6 +28,14 @@ class Mailbox {
   /// Timed variant of recv(); nullopt on timeout as well.
   std::optional<Message> recvFor(int source, int tag,
                                  std::chrono::nanoseconds timeout);
+
+  /// Blocks until a message from `source` matching *any* of `tags`
+  /// arrives (earliest match wins, preserving non-overtaking order per
+  /// pattern).  The control/data-plane split needs this: a rank's main
+  /// loop must take control tags only, leaving data-plane tags for the
+  /// rank's data thread.  Real MPI would model it as one MPI_Waitany over
+  /// persistent receives.
+  std::optional<Message> recvAnyOf(int source, std::span<const int> tags);
 
   /// Non-blocking matching receive.
   std::optional<Message> tryRecv(int source, int tag);
@@ -49,6 +58,8 @@ class Mailbox {
 
   /// Extracts the first matching message under the caller's lock.
   std::optional<Message> extractLocked(int source, int tag);
+  std::optional<Message> extractAnyLocked(int source,
+                                          std::span<const int> tags);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

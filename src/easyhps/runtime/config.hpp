@@ -17,6 +17,20 @@
 
 namespace easyhps {
 
+/// How DP cell data moves between ranks (DESIGN.md, "Control plane vs.
+/// data plane").
+enum class DataPlaneMode {
+  /// The paper's protocol: every byte funnels through rank 0 — Assign
+  /// carries halo cells, Result carries the whole block.  Kept for A/B
+  /// benching (`bench_dataplane`) and as the reference behaviour.
+  kMasterRelay,
+  /// Slaves retain computed blocks in a per-rank BlockStore and fetch
+  /// dependency halos from the owning peer; the master keeps only the
+  /// ownership directory plus boundary cells, and pulls full blocks
+  /// lazily at job end.
+  kPeerToPeer,
+};
+
 struct RuntimeConfig {
   /// Computing (slave) nodes; the master is one additional rank.
   int slaveCount = 2;
@@ -52,12 +66,35 @@ struct RuntimeConfig {
 
   /// Injected faults (empty plan = fault-free run).
   std::vector<fault::FaultSpec> faults;
+
+  /// Data-plane protocol; see DataPlaneMode.
+  DataPlaneMode dataPlane = DataPlaneMode::kPeerToPeer;
+  /// Byte budget of each slave's BlockStore (kPeerToPeer only); blocks
+  /// evicted beyond it spill to the master.  0 = unlimited.
+  std::uint64_t storeByteBudget = 256ULL << 20;
+  /// kPeerToPeer: pull every non-resident block to the master matrix at
+  /// job end.  Off = the result matrix holds only boundary cells; callers
+  /// consume `RunStats::tableChecksum` (or re-fetch blocks themselves)
+  /// instead of reading interior cells.
+  bool assembleFullMatrix = true;
 };
 
 struct RunStats {
   double elapsedSeconds = 0.0;
   std::uint64_t messages = 0;  ///< substrate messages (incl. collectives)
   std::uint64_t bytes = 0;
+
+  /// Byte-level split of `bytes` (per-job deltas): links touching rank 0
+  /// vs slave↔slave links — the number the data-plane refactor moves.
+  std::uint64_t bytesViaMaster = 0;
+  std::uint64_t bytesPeerToPeer = 0;
+  /// Per-link byte totals for this job, indexed source * ranks + dest
+  /// (ranks = slaveCount + 1); see trace::linkMatrixTable.
+  std::vector<std::uint64_t> linkBytes;
+
+  /// Sum of wire::blockChecksum over the job's distinct completed blocks;
+  /// identical across data-plane modes for the same problem.
+  std::uint64_t tableChecksum = 0;
 
   std::int64_t tasks = 0;            ///< master-level assignments sent
   std::int64_t completedTasks = 0;   ///< distinct sub-tasks finished
@@ -70,6 +107,18 @@ struct RunStats {
   std::int64_t threadRestarts = 0;   ///< slave FT thread restarts
   std::int64_t subTaskRequeues = 0;  ///< slave overtime re-queues
   std::int64_t faultsTriggered = 0;
+
+  // Data-plane counters (all zero under kMasterRelay).
+  std::int64_t haloLocalHits = 0;      ///< halo pieces served by own store
+  std::int64_t haloPeerFetches = 0;    ///< halo pieces fetched peer-to-peer
+  std::int64_t haloMasterFetches = 0;  ///< halo pieces fetched from rank 0
+  std::int64_t halosServedToPeers = 0;
+  std::int64_t storeEvictions = 0;
+  std::uint64_t storeSpilledBytes = 0;
+  std::int64_t blocksAssembled = 0;  ///< blocks pulled at job end
+  /// Ownership entries invalidated after a timeout re-distribution (the
+  /// peers-must-not-fetch-from-a-dead-rank fix).
+  std::int64_t ownershipInvalidations = 0;
 
   std::vector<std::int64_t> tasksPerSlave;
 

@@ -1,7 +1,9 @@
 #include "easyhps/runtime/master.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -10,17 +12,18 @@
 #include "easyhps/dag/parse_state.hpp"
 #include "easyhps/runtime/wire.hpp"
 #include "easyhps/sched/worker_pool.hpp"
+#include "easyhps/store/ownership.hpp"
 #include "easyhps/util/clock.hpp"
 #include "easyhps/util/log.hpp"
 
 namespace easyhps {
 namespace {
 
-/// Scheduler state shared by the master worker threads and the control
-/// thread, scoped to one job.
+/// Scheduler state shared by the master worker threads, the control
+/// thread and the data-plane thread, scoped to one job.
 struct MasterState {
-  MasterState(JobId j, const PartitionedDag& d, Window& m)
-      : jobId(j), dag(&d), parse(d.dag), matrix(&m) {}
+  MasterState(JobId j, const PartitionedDag& d, Window& m, bool p)
+      : jobId(j), dag(&d), parse(d.dag), matrix(&m), peer(p) {}
 
   const JobId jobId;
   const PartitionedDag* dag;
@@ -29,12 +32,24 @@ struct MasterState {
   RegisterTable registerTable;
   OvertimeQueue overtime;
   Window* matrix;
+  const bool peer;  ///< DataPlaneMode::kPeerToPeer
   Stopwatch watch;  ///< started at job dispatch (time-to-first-block)
+
+  // Data-plane geometry, precomputed once per job (peer mode only).
+  // haloPieces[u]: u's halo rects decomposed into per-block pieces
+  // (owner filled in at Assign time from the directory).
+  // outboundRects[v]: deduped sub-rects of block v some successor's halo
+  // reads — what v's result ack must carry back (Assign's ackRects).
+  std::vector<std::vector<wire::HaloSource>> haloPieces;
+  std::vector<std::vector<CellRect>> outboundRects;
 
   std::mutex mutex;
   std::condition_variable cv;
   bool done = false;
   bool cancelled = false;
+
+  // Guarded by mutex, like the parse state it must stay consistent with.
+  store::OwnershipDirectory directory;
 
   // Statistics (guarded by mutex).
   std::int64_t tasksSent = 0;
@@ -42,13 +57,81 @@ struct MasterState {
   std::int64_t retries = 0;
   std::int64_t lateResults = 0;
   std::int64_t staleJobResults = 0;
+  std::uint64_t tableChecksum = 0;
+  std::int64_t blocksAssembled = 0;
   double firstBlockSeconds = -1.0;
   std::vector<std::int64_t> tasksPerSlave;
 };
 
+CellRect intersectRect(const CellRect& a, const CellRect& b) {
+  CellRect r;
+  r.row0 = std::max(a.row0, b.row0);
+  r.col0 = std::max(a.col0, b.col0);
+  r.rows = std::max<std::int64_t>(
+      0, std::min(a.rowEnd(), b.rowEnd()) - r.row0);
+  r.cols = std::max<std::int64_t>(
+      0, std::min(a.colEnd(), b.colEnd()) - r.col0);
+  return r;
+}
+
+/// Ack threshold: a successor-facing piece rides back in the result ack
+/// only if it covers at most a quarter of its block ("boundary rows/cols").
+/// Thicker dependencies — triangular patterns want entire row/column
+/// segments, i.e. whole blocks — stay on the owning rank and move
+/// peer-to-peer; shipping them through the ack would recreate the relay
+/// protocol's master bottleneck.
+bool ackSized(const CellRect& piece, const CellRect& block) {
+  return piece.cellCount() * 4 <= block.cellCount();
+}
+
+/// Decomposes every vertex's halo rects into per-block pieces and derives
+/// each block's outbound (ack) rects.  Exact-duplicate pieces are deduped
+/// per block: triangular patterns request the same full-block rect from
+/// every row/column successor, and without the dedupe an ack would carry
+/// the block once per successor.
+void buildHaloGeometry(const DpProblem& problem, MasterState& state) {
+  const PartitionedDag& dag = *state.dag;
+  const BlockGrid& grid = dag.grid;
+  const auto count = static_cast<std::size_t>(dag.vertexCount());
+  state.haloPieces.resize(count);
+  state.outboundRects.resize(count);
+  for (VertexId u = 0; u < dag.vertexCount(); ++u) {
+    for (const CellRect& halo : problem.haloFor(dag.rectOf(u))) {
+      if (halo.cellCount() <= 0) {
+        continue;
+      }
+      // haloFor rects lie inside the matrix (the relay path extracts them
+      // from the whole-matrix window), so the block span is in-grid.
+      const std::int64_t bi0 = halo.row0 / grid.blockRows();
+      const std::int64_t bi1 = (halo.rowEnd() - 1) / grid.blockRows();
+      const std::int64_t bj0 = halo.col0 / grid.blockCols();
+      const std::int64_t bj1 = (halo.colEnd() - 1) / grid.blockCols();
+      for (std::int64_t bi = bi0; bi <= bi1; ++bi) {
+        for (std::int64_t bj = bj0; bj <= bj1; ++bj) {
+          const CellRect piece =
+              intersectRect(halo, grid.blockRect(bi, bj));
+          if (piece.cellCount() <= 0) {
+            continue;
+          }
+          const VertexId v = dag.vertexAt(bi, bj);
+          state.haloPieces[static_cast<std::size_t>(u)].push_back(
+              wire::HaloSource{piece, v, 0});
+          if (v >= 0 && v != u && ackSized(piece, grid.blockRect(bi, bj))) {
+            auto& out = state.outboundRects[static_cast<std::size_t>(v)];
+            if (std::find(out.begin(), out.end(), piece) == out.end()) {
+              out.push_back(piece);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 /// Injects a result and advances the parse state.  Returns true if this
 /// completion was new (false = stale job, duplicate, or late result).
-bool processResult(MasterState& state, const wire::ResultPayload& result) {
+bool processResult(MasterState& state, const wire::ResultPayload& result,
+                   int slaveRank) {
   std::lock_guard<std::mutex> lock(state.mutex);
   if (result.job != state.jobId) {
     // A reply that outlived its job (delay fault, slow slave).  Vertex ids
@@ -62,7 +145,26 @@ bool processResult(MasterState& state, const wire::ResultPayload& result) {
     ++state.lateResults;
     return false;
   }
-  state.matrix->inject(result.rect, result.data);
+  if (state.peer) {
+    // Ack: inject the boundary cells and record who owns the full block.
+    bool resident = false;
+    for (const wire::HaloBlock& edge : result.edges) {
+      state.matrix->inject(edge.rect, edge.data);
+      resident = resident || edge.rect == result.rect;
+    }
+    state.directory.registerBlock(result.vertex, slaveRank);
+    if (resident) {
+      state.directory.markResident(result.vertex);
+    }
+    state.tableChecksum += result.checksum;
+  } else {
+    state.matrix->inject(result.rect, result.data);
+    const std::uint64_t sum =
+        wire::blockChecksum(result.vertex, result.rect, result.data);
+    EASYHPS_CHECK(sum == result.checksum,
+                  "relayed block does not match the slave's checksum");
+    state.tableChecksum += sum;
+  }
   for (VertexId next : state.parse.finish(result.vertex)) {
     state.policy->onReady(next);
   }
@@ -78,10 +180,11 @@ bool processResult(MasterState& state, const wire::ResultPayload& result) {
 }
 
 /// One master worker thread: drives slave rank `slaveRank` through one job
-/// (paper §V-B).
+/// (paper §V-B).  The JobEnd/Stats bracket moved to runMasterJob: under
+/// the peer-to-peer data plane the job only ends after assembly.
 void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
                       const RuntimeConfig& cfg, MasterState& state,
-                      int slaveRank, wire::SlaveStatsPayload& slaveStats) {
+                      int slaveRank) {
   const int workerIdx = slaveRank - 1;
   log::setThreadName("master/worker-" + std::to_string(slaveRank));
 
@@ -100,7 +203,7 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
 
   for (;;) {
     if (!inflight) {
-      VertexId vertex = -1;
+      wire::AssignPayload assign;
       {
         std::unique_lock<std::mutex> lock(state.mutex);
         state.cv.wait(lock, [&] {
@@ -116,7 +219,7 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
           state.cv.wait_for(lock, std::chrono::milliseconds(1));
           continue;
         }
-        vertex = *picked;
+        const VertexId vertex = *picked;
         const AssignmentEpoch epoch =
             state.registerTable.registerTask(vertex, slaveRank);
         if (cfg.enableFaultTolerance) {
@@ -125,17 +228,32 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
         ++state.tasksSent;
         ++state.tasksPerSlave[static_cast<std::size_t>(workerIdx)];
         inflight = Inflight{vertex, epoch};
+        assign.vertex = vertex;
+        if (state.peer) {
+          // Metadata-only assignment: fetch instructions resolved against
+          // the ownership directory (which this mutex also guards).
+          const auto& pieces =
+              state.haloPieces[static_cast<std::size_t>(vertex)];
+          assign.sources.reserve(pieces.size());
+          for (wire::HaloSource src : pieces) {
+            src.owner =
+                src.vertex >= 0 ? state.directory.haloSource(src.vertex) : 0;
+            assign.sources.push_back(src);
+          }
+          assign.ackRects =
+              state.outboundRects[static_cast<std::size_t>(vertex)];
+        }
       }
-
-      // Halo extraction and send happen outside the scheduler mutex; see
-      // master.hpp for why this is race-free.
-      wire::AssignPayload assign;
       assign.job = state.jobId;
-      assign.vertex = vertex;
-      assign.rect = state.dag->rectOf(vertex);
-      for (const CellRect& h : problem.haloFor(assign.rect)) {
-        assign.halos.push_back(
-            wire::HaloBlock{h, state.matrix->extract(h)});
+      assign.rect = state.dag->rectOf(assign.vertex);
+
+      // Relay mode: halo extraction and send happen outside the scheduler
+      // mutex; see master.hpp for why this is race-free.
+      if (!state.peer) {
+        for (const CellRect& h : problem.haloFor(assign.rect)) {
+          assign.halos.push_back(
+              wire::HaloBlock{h, state.matrix->extract(h)});
+        }
       }
       comm.send(slaveRank, wire::kTagAssign, wire::encodeAssign(assign));
       continue;
@@ -170,18 +288,11 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
       continue;
     }
     const wire::ResultPayload result = wire::decodeResult(m->payload);
-    processResult(state, result);
+    processResult(state, result, slaveRank);
     if (result.job == state.jobId && result.vertex == inflight->vertex) {
       inflight.reset();
     }
   }
-
-  comm.send(slaveRank, wire::kTagJobEnd,
-            wire::encodeJobControl({state.jobId}));
-  const msg::Message statsMsg = comm.recv(slaveRank, wire::kTagStats);
-  slaveStats = wire::decodeSlaveStats(statsMsg.payload);
-  EASYHPS_CHECK(slaveStats.job == state.jobId,
-                "slave stats from the wrong job");
 }
 
 /// Master control thread: re-distributes timed-out assignments (paper
@@ -213,6 +324,17 @@ void controlLoop(MasterState& state, const RuntimeConfig& cfg,
           }
           if (state.registerTable.cancel(e.task, e.epoch)) {
             ++state.retries;
+            if (state.peer) {
+              // The rank is slow or dead: peers must stop fetching halos
+              // from it.  Every block it owns is re-routed to the master,
+              // whose ack copies of the boundary cells suffice.
+              const std::int64_t n = state.directory.invalidateRank(e.worker);
+              if (n > 0) {
+                EASYHPS_LOG_WARN("invalidated " << n
+                                                << " ownership entries of slave "
+                                                << e.worker);
+              }
+            }
             state.policy->onReady(e.task);
             EASYHPS_LOG_WARN("sub-task " << e.task << " timed out on slave "
                                          << e.worker << "; re-distributing");
@@ -225,6 +347,137 @@ void controlLoop(MasterState& state, const RuntimeConfig& cfg,
   }
 }
 
+void absorbSpill(MasterState& state, const wire::BlockSpillPayload& spill) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (spill.job == state.jobId) {
+    state.matrix->inject(spill.rect, spill.data);
+    state.directory.markResident(spill.vertex);
+  }
+}
+
+/// Makes block `v`'s cells present in the master matrix, pulling it from
+/// its owning rank if need be (the *lazy* half of the data plane: thick
+/// halo pieces never ride the result ack, so the master first touches them
+/// here or during assembly).  A pull that misses means the owner evicted
+/// the block — its spill is then already queued on our kTagData mailbox
+/// (the slave spills before replying), so we drain spills until it lands.
+/// The other miss cause — the owner flushed its store at JobEnd — only
+/// happens once the parse is done, i.e. the requester's assignment was
+/// re-distributed and its result will be discarded; we bail out and serve
+/// whatever the matrix holds.
+void ensureResident(msg::Comm& comm, MasterState& state, VertexId v,
+                    std::deque<msg::Message>& deferred) {
+  for (;;) {
+    int owner = 0;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (state.directory.resident(v)) {
+        return;
+      }
+      owner = state.directory.assemblySource(v);
+    }
+    if (owner == 0) {
+      return;  // never completed (cancelled job): serve matrix as-is
+    }
+    comm.send(owner, wire::kTagData,
+              wire::encodeBlockFetch({state.jobId, v, state.dag->rectOf(v)}));
+    const msg::Message reply = comm.recv(owner, wire::kTagBlockData);
+    const wire::BlockDataPayload block = wire::decodeBlockData(reply.payload);
+    if (block.found) {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (block.job == state.jobId) {
+        // Inject by payload identity: the assembly phase may be fetching
+        // from the same owner concurrently, and (source, tag) matching can
+        // hand each receiver the other's reply — both replies get applied
+        // either way, so re-check residency and retry if ours swapped.
+        state.matrix->inject(block.rect, block.data);
+        state.directory.markResident(block.vertex);
+      }
+      continue;
+    }
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.directory.resident(v)) {
+          break;
+        }
+        if (state.done) {
+          return;  // JobEnd flush: requester is redundant
+        }
+      }
+      auto m = comm.recvFor(msg::kAnySource, wire::kTagData,
+                            std::chrono::milliseconds(2));
+      if (!m) {
+        if (comm.mailboxClosed()) {
+          return;
+        }
+        continue;
+      }
+      if (wire::peekDataKind(m->payload) == wire::DataMsgKind::kBlockSpill) {
+        absorbSpill(state, wire::decodeBlockSpill(m->payload));
+      } else {
+        deferred.push_back(std::move(*m));  // requests wait their turn
+      }
+    }
+  }
+}
+
+/// Master data-plane thread (peer mode): serves halo fallback requests
+/// from the job matrix (lazily pulling non-resident blocks) and absorbs
+/// spilled blocks.  Runs until the job's Stats handshake finished — a
+/// re-distributed straggler may still be computing (and fetching) while
+/// the main thread assembles.
+void masterDataLoop(msg::Comm& comm, MasterState& state,
+                    const std::atomic<bool>& stop) {
+  log::setThreadName("master/data");
+  std::deque<msg::Message> deferred;
+  try {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::optional<msg::Message> m;
+      if (!deferred.empty()) {
+        m = std::move(deferred.front());
+        deferred.pop_front();
+      } else {
+        m = comm.recvFor(msg::kAnySource, wire::kTagData,
+                         std::chrono::milliseconds(2));
+        if (!m) {
+          if (comm.mailboxClosed()) {
+            return;
+          }
+          continue;
+        }
+      }
+      switch (wire::peekDataKind(m->payload)) {
+        case wire::DataMsgKind::kHaloRequest: {
+          const auto req = wire::decodeHaloRequest(m->payload);
+          wire::HaloDataPayload reply;
+          reply.job = req.job;
+          reply.rect = req.rect;
+          if (req.job == state.jobId) {
+            if (req.vertex >= 0) {
+              ensureResident(comm, state, req.vertex, deferred);
+            }
+            std::lock_guard<std::mutex> lock(state.mutex);
+            reply.found = true;
+            reply.data = state.matrix->extract(req.rect);
+          }
+          comm.send(m->source, wire::kTagHaloData,
+                    wire::encodeHaloData(reply));
+          break;
+        }
+        case wire::DataMsgKind::kBlockSpill:
+          absorbSpill(state, wire::decodeBlockSpill(m->payload));
+          break;
+        case wire::DataMsgKind::kBlockFetch:
+          EASYHPS_LOG_WARN("master received a misrouted BlockFetch");
+          break;
+      }
+    }
+  } catch (const CommError&) {
+    // Cluster shut down mid-serve; the worker loops surface the failure.
+  }
+}
+
 }  // namespace
 
 MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
@@ -232,6 +485,7 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   EASYHPS_EXPECTS(cfg.slaveCount >= 1);
   EASYHPS_EXPECTS(comm.size() == cfg.slaveCount + 1);
   EASYHPS_EXPECTS(job.problem != nullptr && job.out != nullptr);
+  const bool peer = cfg.dataPlane == DataPlaneMode::kPeerToPeer;
 
   const msg::TrafficSnapshot traffic0 = comm.traffic();
 
@@ -244,8 +498,33 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   // (paper §V-B step a).
   const PartitionedDag dag = buildMasterDag(
       *job.problem, cfg.processPartitionRows, cfg.processPartitionCols);
-  MasterState state(job.id, dag, *job.out);
-  state.policy = makePolicy(cfg.masterPolicy, dag, cfg.slaveCount);
+  MasterState state(job.id, dag, *job.out, peer);
+  if (peer) {
+    buildHaloGeometry(*job.problem, state);
+  }
+  if (cfg.masterPolicy == PolicyKind::kLocality) {
+    // Affinity oracle over the ownership directory: bytes of the task's
+    // halo pieces whose owning rank is the candidate worker's slave.
+    // Called under state.mutex (policy calls are serialized by it).
+    LocalityAffinityFn affinity;
+    if (peer) {
+      affinity = [&state](VertexId task, int worker) {
+        std::int64_t bytes = 0;
+        for (const wire::HaloSource& p :
+             state.haloPieces[static_cast<std::size_t>(task)]) {
+          if (p.vertex >= 0 &&
+              state.directory.haloSource(p.vertex) == worker + 1) {
+            bytes += p.rect.cellCount() *
+                     static_cast<std::int64_t>(sizeof(Score));
+          }
+        }
+        return bytes;
+      };
+    }
+    state.policy = makeLocalityPolicy(dag, cfg.slaveCount, std::move(affinity));
+  } else {
+    state.policy = makePolicy(cfg.masterPolicy, dag, cfg.slaveCount);
+  }
   state.tasksPerSlave.assign(static_cast<std::size_t>(cfg.slaveCount), 0);
   for (VertexId v : state.parse.initiallyComputable()) {
     state.policy->onReady(v);
@@ -258,38 +537,119 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
       static_cast<std::size_t>(cfg.slaveCount));
   std::vector<std::exception_ptr> workerErrors(
       static_cast<std::size_t>(cfg.slaveCount));
-  {
-    std::vector<std::jthread> threads;
-    threads.reserve(static_cast<std::size_t>(cfg.slaveCount) + 1);
-    for (int s = 1; s <= cfg.slaveCount; ++s) {
-      threads.emplace_back([&, s] {
-        try {
-          masterWorkerLoop(comm, *job.problem, cfg, state, s,
-                           slaveStats[static_cast<std::size_t>(s - 1)]);
-        } catch (...) {
-          // A worker failure (closed cluster, kernel bug) must not take
-          // the process down; release the siblings and rethrow below.
-          workerErrors[static_cast<std::size_t>(s - 1)] =
-              std::current_exception();
-          std::lock_guard<std::mutex> lock(state.mutex);
-          state.done = true;
-          state.cv.notify_all();
-        }
-      });
-    }
-    if (cfg.enableFaultTolerance || job.cancelRequested != nullptr) {
-      threads.emplace_back(
-          [&] { controlLoop(state, cfg, job.cancelRequested); });
-    }
-  }  // join
 
-  for (auto& e : workerErrors) {
-    if (e) {
-      std::rethrow_exception(e);
-    }
+  std::atomic<bool> stopData{false};
+  std::optional<std::jthread> dataThread;
+  if (peer) {
+    dataThread.emplace([&] { masterDataLoop(comm, state, stopData); });
   }
-  if (!state.cancelled) {
-    EASYHPS_ENSURES(state.parse.allDone());
+
+  try {
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(static_cast<std::size_t>(cfg.slaveCount) + 1);
+      for (int s = 1; s <= cfg.slaveCount; ++s) {
+        threads.emplace_back([&, s] {
+          try {
+            masterWorkerLoop(comm, *job.problem, cfg, state, s);
+          } catch (...) {
+            // A worker failure (closed cluster, kernel bug) must not take
+            // the process down; release the siblings and rethrow below.
+            workerErrors[static_cast<std::size_t>(s - 1)] =
+                std::current_exception();
+            std::lock_guard<std::mutex> lock(state.mutex);
+            state.done = true;
+            state.cv.notify_all();
+          }
+        });
+      }
+      if (cfg.enableFaultTolerance || job.cancelRequested != nullptr) {
+        threads.emplace_back(
+            [&] { controlLoop(state, cfg, job.cancelRequested); });
+      }
+    }  // join
+
+    for (auto& e : workerErrors) {
+      if (e) {
+        std::rethrow_exception(e);
+      }
+    }
+    if (!state.cancelled) {
+      EASYHPS_ENSURES(state.parse.allDone());
+    }
+
+    // Lazy assembly (peer mode): pull every block not already resident at
+    // the master.  Suspect owners are still asked — in this in-process
+    // substrate a slow rank answers eventually; a found=false reply means
+    // the block was evicted and its spill is already in our kTagData
+    // queue (drained below).
+    if (peer && !state.cancelled && cfg.assembleFullMatrix) {
+      for (VertexId v = 0; v < dag.vertexCount(); ++v) {
+        int owner = 0;
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          if (state.directory.resident(v)) {
+            continue;
+          }
+          owner = state.directory.assemblySource(v);
+        }
+        if (owner == 0) {
+          continue;
+        }
+        comm.send(owner, wire::kTagData,
+                  wire::encodeBlockFetch({state.jobId, v, dag.rectOf(v)}));
+        const msg::Message reply = comm.recv(owner, wire::kTagBlockData);
+        wire::BlockDataPayload block = wire::decodeBlockData(reply.payload);
+        if (block.found) {
+          // Inject by payload identity: the data thread may pull from the
+          // same owner concurrently and (source, tag) matching can swap
+          // the replies — both get applied either way.
+          std::lock_guard<std::mutex> lock(state.mutex);
+          state.matrix->inject(block.rect, block.data);
+          state.directory.markResident(block.vertex);
+          ++state.blocksAssembled;
+        }
+      }
+    }
+
+    // JobEnd/Stats bracket (moved out of the worker loops: the job ends
+    // only after assembly, and a slave flushes its store on JobEnd).
+    for (int s = 1; s <= cfg.slaveCount; ++s) {
+      comm.send(s, wire::kTagJobEnd, wire::encodeJobControl({state.jobId}));
+    }
+    for (int s = 1; s <= cfg.slaveCount; ++s) {
+      const msg::Message statsMsg = comm.recv(s, wire::kTagStats);
+      auto& slot = slaveStats[static_cast<std::size_t>(s - 1)];
+      slot = wire::decodeSlaveStats(statsMsg.payload);
+      EASYHPS_CHECK(slot.job == state.jobId,
+                    "slave stats from the wrong job");
+    }
+  } catch (...) {
+    stopData.store(true, std::memory_order_release);
+    throw;  // dataThread joins during unwind, after the stop flag is set
+  }
+
+  stopData.store(true, std::memory_order_release);
+  if (dataThread) {
+    dataThread->join();
+    dataThread.reset();
+  }
+  if (peer) {
+    // Drain data requests that raced the shutdown: spills sent by a
+    // straggler just before its Stats must land in the matrix (their
+    // owner's store is flushed).  Requests of *earlier* jobs may also
+    // surface here; they are dropped by the job-id check.
+    while (auto m = comm.tryRecv(msg::kAnySource, wire::kTagData)) {
+      if (wire::peekDataKind(m->payload) != wire::DataMsgKind::kBlockSpill) {
+        continue;
+      }
+      const auto spill = wire::decodeBlockSpill(m->payload);
+      if (spill.job == state.jobId) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.matrix->inject(spill.rect, spill.data);
+        state.directory.markResident(spill.vertex);
+      }
+    }
   }
 
   MasterJobOutcome outcome;
@@ -304,13 +664,37 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   stats.staleJobResults = state.staleJobResults;
   stats.masterStalledPicks = state.policy->stalledPicks();
   stats.tasksPerSlave = state.tasksPerSlave;
+  stats.tableChecksum = state.tableChecksum;
+  stats.blocksAssembled = state.blocksAssembled;
+  stats.ownershipInvalidations = state.directory.invalidations();
   for (const auto& s : slaveStats) {
     stats.threadRestarts += s.threadRestarts;
     stats.subTaskRequeues += s.subTaskRequeues;
+    stats.haloLocalHits += s.haloLocalHits;
+    stats.haloPeerFetches += s.haloPeerFetches;
+    stats.haloMasterFetches += s.haloMasterFetches;
+    stats.halosServedToPeers += s.halosServed;
+    stats.storeEvictions += s.storeEvictions;
+    stats.storeSpilledBytes += s.storeSpilledBytes;
   }
   const msg::TrafficSnapshot traffic1 = comm.traffic();
   stats.messages = traffic1.messages - traffic0.messages;
   stats.bytes = traffic1.bytes - traffic0.bytes;
+  const int ranks = traffic1.ranks;
+  stats.linkBytes.assign(traffic1.linkBytes.size(), 0);
+  for (int src = 0; src < ranks; ++src) {
+    for (int dst = 0; dst < ranks; ++dst) {
+      const auto idx = static_cast<std::size_t>(src * ranks + dst);
+      const std::uint64_t delta =
+          traffic1.linkBytes[idx] - traffic0.linkBytes[idx];
+      stats.linkBytes[idx] = delta;
+      if (src == 0 || dst == 0) {
+        stats.bytesViaMaster += delta;
+      } else {
+        stats.bytesPeerToPeer += delta;
+      }
+    }
+  }
   return outcome;
 }
 

@@ -19,10 +19,20 @@
 /// control thread watches the master overtime queue (fault tolerance) and
 /// the job's cancellation flag.
 ///
-/// Concurrency invariants (why the matrix needs no lock of its own):
+/// The control plane (Idle/Assign/Result/JobEnd) is all the master worker
+/// threads speak.  Under `DataPlaneMode::kPeerToPeer` block payloads move
+/// on separate data tags: slaves fetch halos from the peer that owns the
+/// dependency block (falling back to the master's data-plane thread), and
+/// the master pulls full blocks lazily during an assembly phase after the
+/// DAG parse completes.  Under `kMasterRelay` the legacy paper protocol is
+/// used: halos ride inside Assign, whole blocks inside Result.  See
+/// DESIGN.md, "Control plane vs. data plane".
+///
+/// Concurrency invariants (why the matrix needs no lock of its own in
+/// relay mode — in peer mode all matrix access is under the mutex):
 ///  * Block injections happen under the scheduler mutex.
-///  * Halo extraction (outside the mutex) reads only rectangles of
-///    *finished* sub-tasks: a task is picked only after its topological
+///  * Relay-mode halo extraction (outside the mutex) reads only rectangles
+///    of *finished* sub-tasks: a task is picked only after its topological
 ///    predecessors finished, and every data predecessor is a topological
 ///    ancestor (`DagPattern::dataEdgesCoveredByPrecedence`).  The mutex
 ///    acquisitions while picking establish the happens-before edge to the

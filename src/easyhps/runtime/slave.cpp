@@ -1,5 +1,6 @@
 #include "easyhps/runtime/slave.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -7,6 +8,7 @@
 
 #include "easyhps/dag/parse_state.hpp"
 #include "easyhps/sched/worker_pool.hpp"
+#include "easyhps/store/block_store.hpp"
 #include "easyhps/util/log.hpp"
 
 namespace easyhps {
@@ -179,28 +181,162 @@ std::vector<Score> executeAssignment(const DpProblem& problem,
 
 namespace {
 
+/// Counters shared between a rank's data-plane thread and its job loop
+/// (the job loop reports per-job deltas in the Stats payload).
+struct DataPlaneCounters {
+  std::atomic<std::int64_t> halosServed{0};
+};
+
+/// Copies sub-rectangle `sub` out of a row-major buffer covering `rect`.
+std::vector<Score> extractSub(const CellRect& rect,
+                              const std::vector<Score>& data,
+                              const CellRect& sub) {
+  EASYHPS_EXPECTS(sub.row0 >= rect.row0 && sub.rowEnd() <= rect.rowEnd());
+  EASYHPS_EXPECTS(sub.col0 >= rect.col0 && sub.colEnd() <= rect.colEnd());
+  std::vector<Score> out(static_cast<std::size_t>(sub.cellCount()));
+  for (std::int64_t r = 0; r < sub.rows; ++r) {
+    const auto srcOff = static_cast<std::size_t>(
+        (sub.row0 + r - rect.row0) * rect.cols + (sub.col0 - rect.col0));
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(srcOff),
+              data.begin() + static_cast<std::ptrdiff_t>(srcOff + sub.cols),
+              out.begin() + static_cast<std::ptrdiff_t>(r * sub.cols));
+  }
+  return out;
+}
+
+/// The slave's data-plane thread: serves peer halo requests and master
+/// block fetches straight from the rank's BlockStore, for the whole
+/// lifetime of the service (a slave can be asked for a block of job J
+/// while its main loop already computes job J's next assignment — or,
+/// during job-end assembly, while it idles).  Compute never blocks on
+/// serving and vice versa.
+void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
+                   DataPlaneCounters& counters,
+                   const std::atomic<bool>& stop) {
+  log::setThreadName("slave-" + std::to_string(comm.rank()) + "/data");
+  while (!stop.load(std::memory_order_acquire)) {
+    auto m = comm.recvFor(msg::kAnySource, wire::kTagData,
+                          std::chrono::milliseconds(2));
+    if (!m) {
+      if (comm.mailboxClosed()) {
+        return;
+      }
+      continue;
+    }
+    switch (wire::peekDataKind(m->payload)) {
+      case wire::DataMsgKind::kHaloRequest: {
+        const auto req = wire::decodeHaloRequest(m->payload);
+        wire::HaloDataPayload reply;
+        reply.job = req.job;
+        reply.rect = req.rect;
+        if (auto cells = store.extract(req.job, req.vertex, req.rect)) {
+          reply.found = true;
+          reply.data = std::move(*cells);
+        }
+        // A miss (evicted block) is answered found=false; the requester
+        // falls back to the master, whose spill copy landed before this
+        // reply could be sent.
+        comm.send(m->source, wire::kTagHaloData,
+                  wire::encodeHaloData(reply));
+        counters.halosServed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case wire::DataMsgKind::kBlockFetch: {
+        const auto req = wire::decodeBlockFetch(m->payload);
+        wire::BlockDataPayload reply;
+        reply.job = req.job;
+        reply.vertex = req.vertex;
+        reply.rect = req.rect;
+        if (auto cells = store.extract(req.job, req.vertex, req.rect)) {
+          reply.found = true;
+          reply.data = std::move(*cells);
+        }
+        comm.send(m->source, wire::kTagBlockData,
+                  wire::encodeBlockData(reply));
+        break;
+      }
+      case wire::DataMsgKind::kBlockSpill:
+        // Spills only target the master; a misrouted one is dropped.
+        EASYHPS_LOG_WARN("slave " << comm.rank()
+                                  << " received a misrouted BlockSpill");
+        break;
+    }
+  }
+}
+
+/// Resolves an assignment's halo fetch instructions into halo cell data:
+/// own store first (zero wire bytes — the locality policy's win), then the
+/// owning peer, then the master (unknown owner, suspect owner, or peer
+/// miss after eviction).
+void fetchHalos(msg::Comm& comm, store::BlockStore& store,
+                wire::AssignPayload& assign, wire::SlaveStatsPayload& stats) {
+  for (const wire::HaloSource& src : assign.sources) {
+    if (src.rect.cellCount() <= 0) {
+      assign.halos.push_back(wire::HaloBlock{src.rect, {}});
+      continue;
+    }
+    if (src.vertex >= 0) {
+      if (auto cells = store.extract(assign.job, src.vertex, src.rect)) {
+        ++stats.haloLocalHits;
+        assign.halos.push_back(wire::HaloBlock{src.rect, std::move(*cells)});
+        continue;
+      }
+    }
+    if (src.owner != 0 && src.owner != comm.rank()) {
+      comm.send(src.owner, wire::kTagData,
+                wire::encodeHaloRequest({assign.job, src.vertex, src.rect}));
+      const msg::Message reply = comm.recv(src.owner, wire::kTagHaloData);
+      wire::HaloDataPayload halo = wire::decodeHaloData(reply.payload);
+      if (halo.found) {
+        ++stats.haloPeerFetches;
+        assign.halos.push_back(
+            wire::HaloBlock{src.rect, std::move(halo.data)});
+        continue;
+      }
+    }
+    // Master fallback: rank 0's matrix holds the boundary cells of every
+    // acked block (and spilled blocks in full); anything thicker the
+    // master pulls lazily from the owning rank, keyed by src.vertex.
+    comm.send(0, wire::kTagData,
+              wire::encodeHaloRequest({assign.job, src.vertex, src.rect}));
+    const msg::Message reply = comm.recv(0, wire::kTagHaloData);
+    wire::HaloDataPayload halo = wire::decodeHaloData(reply.payload);
+    EASYHPS_CHECK(halo.found, "master fallback halo request failed");
+    ++stats.haloMasterFetches;
+    assign.halos.push_back(wire::HaloBlock{src.rect, std::move(halo.data)});
+  }
+}
+
 /// Runs one job on this slave rank: idle-ack, then assignments until the
 /// master brackets the job with JobEnd.
 void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
-                 const DpProblem& problem, fault::FaultPlan& plan) {
+                 const DpProblem& problem, fault::FaultPlan& plan,
+                 store::BlockStore& blockStore,
+                 DataPlaneCounters& counters) {
+  const bool peer = cfg.dataPlane == DataPlaneMode::kPeerToPeer;
+
   // Fresh per-job counters: each job gets its own Stats report.
   wire::SlaveStatsPayload stats;
   stats.job = job;
+  const std::int64_t servedBefore =
+      counters.halosServed.load(std::memory_order_relaxed);
+  const store::BlockStoreStats storeBefore = blockStore.stats();
 
   // Step a: announce readiness for this job.
   comm.send(0, wire::kTagIdle, wire::encodeJobControl({job}));
 
   for (;;) {
-    // Step b: wait for an assignment or the job-end bracket.
-    msg::Message m = comm.recv(0, msg::kAnyTag);
+    // Step b: wait for an assignment or the job-end bracket.  Control
+    // tags only — kTagData from the master (fallback serves, fetches)
+    // belongs to this rank's data thread.
+    msg::Message m =
+        comm.recvTags(0, {wire::kTagAssign, wire::kTagJobEnd});
     if (m.tag == wire::kTagJobEnd) {
       EASYHPS_CHECK(wire::decodeJobControl(m.payload).job == job,
                     "slave received JobEnd for the wrong job");
       break;
     }
-    EASYHPS_CHECK(m.tag == wire::kTagAssign,
-                  "slave received unexpected tag " + std::to_string(m.tag));
-    const wire::AssignPayload assign = wire::decodeAssign(m.payload);
+    wire::AssignPayload assign = wire::decodeAssign(m.payload);
     EASYHPS_CHECK(assign.job == job,
                   "slave received assignment for the wrong job");
 
@@ -212,12 +348,37 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
 
     const auto delay = plan.consumeDelay(assign.vertex, comm.rank());
 
+    if (peer) {
+      fetchHalos(comm, blockStore, assign, stats);
+    }
+
     wire::ResultPayload result;
     result.job = job;
     result.vertex = assign.vertex;
     result.rect = assign.rect;
-    result.data =
+    std::vector<Score> data =
         executeAssignment(problem, cfg, plan, comm.rank(), assign, stats);
+    result.checksum = wire::blockChecksum(assign.vertex, assign.rect, data);
+
+    if (peer) {
+      // Ack carries only the boundary cells successors will read; the
+      // full block stays here under this rank's ownership.
+      for (const CellRect& edge : assign.ackRects) {
+        result.edges.push_back(
+            wire::HaloBlock{edge, extractSub(assign.rect, data, edge)});
+      }
+      auto evicted =
+          blockStore.put(job, assign.vertex, assign.rect, std::move(data));
+      for (store::StoredBlock& b : evicted) {
+        // Spill-to-master: send *before* the ack so the master's copy is
+        // in place before any peer can be told to ask us and miss.
+        comm.send(0, wire::kTagData,
+                  wire::encodeBlockSpill(
+                      {b.job, b.vertex, b.rect, std::move(b.data)}));
+      }
+    } else {
+      result.data = std::move(data);
+    }
 
     if (delay.count() > 0) {
       EASYHPS_LOG_WARN("delay fault: holding result of sub-task "
@@ -231,6 +392,18 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
     comm.send(0, wire::kTagResult, wire::encodeResult(result));
   }
 
+  // JobEnd flush: vertex ids restart at 0 next job, so retained blocks
+  // must not outlive the job (the store-level analogue of the stale-job
+  // result discard).  The master pulled everything it needs before
+  // sending JobEnd.
+  blockStore.clear(job);
+  const store::BlockStoreStats storeAfter = blockStore.stats();
+  stats.halosServed =
+      counters.halosServed.load(std::memory_order_relaxed) - servedBefore;
+  stats.storeEvictions = storeAfter.evictions - storeBefore.evictions;
+  stats.storeSpilledBytes =
+      storeAfter.spilledBytes - storeBefore.spilledBytes;
+
   // Per-job slave-side counters for the master's RunStats.
   comm.send(0, wire::kTagStats, wire::encodeSlaveStats(stats));
 }
@@ -241,20 +414,36 @@ void runSlaveService(msg::Comm& comm, const RuntimeConfig& cfg,
                      const SlaveJobDirectory& directory) {
   log::setThreadName("slave-" + std::to_string(comm.rank()));
 
-  for (;;) {
-    // Outer loop: a JobStart opens the next job; End retires the rank.
-    msg::Message m = comm.recv(0, msg::kAnyTag);
-    if (m.tag == wire::kTagEnd) {
-      return;
+  // The rank's block store and data-plane thread live for the whole
+  // service: requests can arrive whenever a peer still computes.
+  store::BlockStore blockStore(cfg.storeByteBudget);
+  DataPlaneCounters counters;
+  std::atomic<bool> stopData{false};
+  std::jthread dataThread(
+      [&] { dataPlaneLoop(comm, blockStore, counters, stopData); });
+
+  try {
+    for (;;) {
+      // Outer loop: a JobStart opens the next job; End retires the rank.
+      msg::Message m =
+          comm.recvTags(0, {wire::kTagJobStart, wire::kTagEnd});
+      if (m.tag == wire::kTagEnd) {
+        break;
+      }
+      const JobId job = wire::decodeJobControl(m.payload).job;
+      const SlaveJobDirectory::Entry entry = directory.find(job);
+      EASYHPS_CHECK(entry.problem != nullptr && entry.plan != nullptr,
+                    "job directory returned a null entry");
+      runSlaveJob(comm, cfg, job, *entry.problem, *entry.plan, blockStore,
+                  counters);
     }
-    EASYHPS_CHECK(m.tag == wire::kTagJobStart,
-                  "slave expected JobStart, got tag " + std::to_string(m.tag));
-    const JobId job = wire::decodeJobControl(m.payload).job;
-    const SlaveJobDirectory::Entry entry = directory.find(job);
-    EASYHPS_CHECK(entry.problem != nullptr && entry.plan != nullptr,
-                  "job directory returned a null entry");
-    runSlaveJob(comm, cfg, job, *entry.problem, *entry.plan);
+  } catch (...) {
+    // Release the data thread before the jthread destructor joins it —
+    // the cluster only closes mailboxes after this rank function returns.
+    stopData.store(true, std::memory_order_release);
+    throw;
   }
+  stopData.store(true, std::memory_order_release);
 }
 
 }  // namespace easyhps

@@ -21,6 +21,27 @@ CellRect getRect(ByteReader& r) {
   return rect;
 }
 
+void putHaloBlocks(ByteWriter& w, const std::vector<HaloBlock>& halos) {
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(halos.size()));
+  for (const HaloBlock& h : halos) {
+    putRect(w, h.rect);
+    w.putVector(h.data);
+  }
+}
+
+std::vector<HaloBlock> getHaloBlocks(ByteReader& r) {
+  const auto n = r.get<std::uint32_t>();
+  std::vector<HaloBlock> halos;
+  halos.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    HaloBlock h;
+    h.rect = getRect(r);
+    h.data = r.getVector<Score>();
+    halos.push_back(std::move(h));
+  }
+  return halos;
+}
+
 }  // namespace
 
 std::vector<std::byte> encodeAssign(const AssignPayload& p) {
@@ -28,10 +49,16 @@ std::vector<std::byte> encodeAssign(const AssignPayload& p) {
   w.put<JobId>(p.job);
   w.put<VertexId>(p.vertex);
   putRect(w, p.rect);
-  w.put<std::uint32_t>(static_cast<std::uint32_t>(p.halos.size()));
-  for (const HaloBlock& h : p.halos) {
-    putRect(w, h.rect);
-    w.putVector(h.data);
+  putHaloBlocks(w, p.halos);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(p.sources.size()));
+  for (const HaloSource& s : p.sources) {
+    putRect(w, s.rect);
+    w.put<VertexId>(s.vertex);
+    w.put<std::int32_t>(s.owner);
+  }
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(p.ackRects.size()));
+  for (const CellRect& r : p.ackRects) {
+    putRect(w, r);
   }
   return std::move(w).take();
 }
@@ -42,13 +69,20 @@ AssignPayload decodeAssign(const std::vector<std::byte>& bytes) {
   p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
   p.rect = getRect(r);
-  const auto n = r.get<std::uint32_t>();
-  p.halos.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    HaloBlock h;
-    h.rect = getRect(r);
-    h.data = r.getVector<Score>();
-    p.halos.push_back(std::move(h));
+  p.halos = getHaloBlocks(r);
+  const auto nSources = r.get<std::uint32_t>();
+  p.sources.reserve(nSources);
+  for (std::uint32_t i = 0; i < nSources; ++i) {
+    HaloSource s;
+    s.rect = getRect(r);
+    s.vertex = r.get<VertexId>();
+    s.owner = r.get<std::int32_t>();
+    p.sources.push_back(s);
+  }
+  const auto nAcks = r.get<std::uint32_t>();
+  p.ackRects.reserve(nAcks);
+  for (std::uint32_t i = 0; i < nAcks; ++i) {
+    p.ackRects.push_back(getRect(r));
   }
   return p;
 }
@@ -59,6 +93,8 @@ std::vector<std::byte> encodeResult(const ResultPayload& p) {
   w.put<VertexId>(p.vertex);
   putRect(w, p.rect);
   w.putVector(p.data);
+  putHaloBlocks(w, p.edges);
+  w.put<std::uint64_t>(p.checksum);
   return std::move(w).take();
 }
 
@@ -69,6 +105,8 @@ ResultPayload decodeResult(const std::vector<std::byte>& bytes) {
   p.vertex = r.get<VertexId>();
   p.rect = getRect(r);
   p.data = r.getVector<Score>();
+  p.edges = getHaloBlocks(r);
+  p.checksum = r.get<std::uint64_t>();
   return p;
 }
 
@@ -78,6 +116,12 @@ std::vector<std::byte> encodeSlaveStats(const SlaveStatsPayload& p) {
   w.put<std::int64_t>(p.tasksExecuted);
   w.put<std::int64_t>(p.threadRestarts);
   w.put<std::int64_t>(p.subTaskRequeues);
+  w.put<std::int64_t>(p.haloLocalHits);
+  w.put<std::int64_t>(p.haloPeerFetches);
+  w.put<std::int64_t>(p.haloMasterFetches);
+  w.put<std::int64_t>(p.halosServed);
+  w.put<std::int64_t>(p.storeEvictions);
+  w.put<std::uint64_t>(p.storeSpilledBytes);
   return std::move(w).take();
 }
 
@@ -88,6 +132,12 @@ SlaveStatsPayload decodeSlaveStats(const std::vector<std::byte>& bytes) {
   p.tasksExecuted = r.get<std::int64_t>();
   p.threadRestarts = r.get<std::int64_t>();
   p.subTaskRequeues = r.get<std::int64_t>();
+  p.haloLocalHits = r.get<std::int64_t>();
+  p.haloPeerFetches = r.get<std::int64_t>();
+  p.haloMasterFetches = r.get<std::int64_t>();
+  p.halosServed = r.get<std::int64_t>();
+  p.storeEvictions = r.get<std::int64_t>();
+  p.storeSpilledBytes = r.get<std::uint64_t>();
   return p;
 }
 
@@ -102,6 +152,137 @@ JobControlPayload decodeJobControl(const std::vector<std::byte>& bytes) {
   JobControlPayload p;
   p.job = r.get<JobId>();
   return p;
+}
+
+DataMsgKind peekDataKind(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  return static_cast<DataMsgKind>(r.get<std::uint8_t>());
+}
+
+std::vector<std::byte> encodeHaloRequest(const HaloRequestPayload& p) {
+  ByteWriter w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(DataMsgKind::kHaloRequest));
+  w.put<JobId>(p.job);
+  w.put<VertexId>(p.vertex);
+  putRect(w, p.rect);
+  return std::move(w).take();
+}
+
+HaloRequestPayload decodeHaloRequest(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
+                    DataMsgKind::kHaloRequest,
+                "kind byte is not HaloRequest");
+  HaloRequestPayload p;
+  p.job = r.get<JobId>();
+  p.vertex = r.get<VertexId>();
+  p.rect = getRect(r);
+  return p;
+}
+
+std::vector<std::byte> encodeHaloData(const HaloDataPayload& p) {
+  ByteWriter w;
+  w.put<JobId>(p.job);
+  putRect(w, p.rect);
+  w.put<std::uint8_t>(p.found ? 1 : 0);
+  w.putVector(p.data);
+  return std::move(w).take();
+}
+
+HaloDataPayload decodeHaloData(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  HaloDataPayload p;
+  p.job = r.get<JobId>();
+  p.rect = getRect(r);
+  p.found = r.get<std::uint8_t>() != 0;
+  p.data = r.getVector<Score>();
+  return p;
+}
+
+std::vector<std::byte> encodeBlockFetch(const BlockFetchPayload& p) {
+  ByteWriter w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(DataMsgKind::kBlockFetch));
+  w.put<JobId>(p.job);
+  w.put<VertexId>(p.vertex);
+  putRect(w, p.rect);
+  return std::move(w).take();
+}
+
+BlockFetchPayload decodeBlockFetch(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
+                    DataMsgKind::kBlockFetch,
+                "kind byte is not BlockFetch");
+  BlockFetchPayload p;
+  p.job = r.get<JobId>();
+  p.vertex = r.get<VertexId>();
+  p.rect = getRect(r);
+  return p;
+}
+
+std::vector<std::byte> encodeBlockData(const BlockDataPayload& p) {
+  ByteWriter w;
+  w.put<JobId>(p.job);
+  w.put<VertexId>(p.vertex);
+  putRect(w, p.rect);
+  w.put<std::uint8_t>(p.found ? 1 : 0);
+  w.putVector(p.data);
+  return std::move(w).take();
+}
+
+BlockDataPayload decodeBlockData(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  BlockDataPayload p;
+  p.job = r.get<JobId>();
+  p.vertex = r.get<VertexId>();
+  p.rect = getRect(r);
+  p.found = r.get<std::uint8_t>() != 0;
+  p.data = r.getVector<Score>();
+  return p;
+}
+
+std::vector<std::byte> encodeBlockSpill(const BlockSpillPayload& p) {
+  ByteWriter w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(DataMsgKind::kBlockSpill));
+  w.put<JobId>(p.job);
+  w.put<VertexId>(p.vertex);
+  putRect(w, p.rect);
+  w.putVector(p.data);
+  return std::move(w).take();
+}
+
+BlockSpillPayload decodeBlockSpill(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
+                    DataMsgKind::kBlockSpill,
+                "kind byte is not BlockSpill");
+  BlockSpillPayload p;
+  p.job = r.get<JobId>();
+  p.vertex = r.get<VertexId>();
+  p.rect = getRect(r);
+  p.data = r.getVector<Score>();
+  return p;
+}
+
+std::uint64_t blockChecksum(VertexId vertex, const CellRect& rect,
+                            const std::vector<Score>& data) {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xff)) * kPrime;
+    }
+  };
+  mix(static_cast<std::uint64_t>(vertex));
+  mix(static_cast<std::uint64_t>(rect.row0));
+  mix(static_cast<std::uint64_t>(rect.col0));
+  mix(static_cast<std::uint64_t>(rect.rows));
+  mix(static_cast<std::uint64_t>(rect.cols));
+  for (Score s : data) {
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(s)));
+  }
+  return h;
 }
 
 }  // namespace easyhps::wire

@@ -1,11 +1,14 @@
 #pragma once
 /// \file wire.hpp
-/// Wire protocol between the master part and slave parts.
+/// Wire protocol between the master part and slave parts, split into a
+/// control plane and a data plane.
 ///
 /// The paper's single-job work flow (§V-B/§V-C) used five message kinds;
 /// the job-multiplexed service loop (see `src/easyhps/serve`) brackets
-/// each job with two more:
+/// each job with two more, and the control/data-plane split (DESIGN.md)
+/// adds the peer-to-peer data messages:
 ///
+/// Control plane (master ↔ slave):
 ///   JobStart  master → slave  "job J begins; reset per-job state"
 ///   Idle      slave → master  "ready for job J's assignments"   (step a)
 ///   Assign    master → slave  sub-task id + block rect + halo   (step d)
@@ -14,9 +17,27 @@
 ///   Stats     slave → master  per-job slave counters, after JobEnd
 ///   End       master → slave  service shutdown; slave rank exits
 ///
+/// Data plane (any rank → any rank, served by per-rank data threads):
+///   Data      request envelope; first byte selects the kind:
+///               HaloRequest  fetch halo cells of a completed block
+///               BlockFetch   master pulls a full block at job end
+///               BlockSpill   slave ships an evicted block to the master
+///   HaloData  reply to HaloRequest (owner → requester)
+///   BlockData reply to BlockFetch (owner → master)
+///
+/// Under `DataPlaneMode::kPeerToPeer`, Assign shrinks to metadata: the
+/// halo arrives as a list of `HaloSource` fetch instructions ({rect, dep
+/// block id, owner rank}) instead of inline cells, and Result shrinks to
+/// an ack carrying only the boundary cells successors will read
+/// (`edges`, prescribed by Assign's `ackRects`) plus the block checksum.
+/// Under `kMasterRelay` the original all-through-master payloads are used
+/// and the data-plane fields stay empty.
+///
 /// Assign, Result and Stats carry the owning job id: a Result delayed past
 /// its job's end (kTaskDelay fault, slow node) reaches the master while a
-/// *different* job runs and must be discarded, not credited to it.
+/// *different* job runs and must be discarded, not credited to it.  Data
+/// requests carry the job id for the same reason: the store keys blocks by
+/// (job, vertex), so a stale request can only miss, never alias.
 ///
 /// Payloads are flat byte buffers via ByteWriter/ByteReader, so the whole
 /// protocol would map 1:1 onto MPI_Send/MPI_Recv buffers.
@@ -39,6 +60,19 @@ enum Tag : int {
   kTagStats = 5,
   kTagJobStart = 6,
   kTagJobEnd = 7,
+  // Data plane.  One request tag so a single data thread per rank serves
+  // everything; replies get distinct tags so a requester's blocking recv
+  // can never swallow someone else's request.
+  kTagData = 8,
+  kTagHaloData = 9,
+  kTagBlockData = 10,
+};
+
+/// Discriminates the kTagData request envelope (first payload byte).
+enum class DataMsgKind : std::uint8_t {
+  kHaloRequest = 1,
+  kBlockFetch = 2,
+  kBlockSpill = 3,
 };
 
 /// One halo rectangle and its cell data.
@@ -47,18 +81,41 @@ struct HaloBlock {
   std::vector<Score> data;
 };
 
+/// Fetch instruction for one piece of a halo: which cells, which completed
+/// block they belong to, and which rank's store holds that block.  Owner 0
+/// (or vertex -1, cells outside every active block) routes the request to
+/// the master's matrix.
+struct HaloSource {
+  CellRect rect;
+  VertexId vertex = -1;
+  int owner = 0;
+};
+
 struct AssignPayload {
   JobId job = kNoJob;
   VertexId vertex = -1;
   CellRect rect;
+  /// kMasterRelay: halo cells inline (the paper's protocol).
   std::vector<HaloBlock> halos;
+  /// kPeerToPeer: fetch instructions instead of cells.
+  std::vector<HaloSource> sources;
+  /// kPeerToPeer: sub-rects of `rect` the result ack must carry back —
+  /// the boundary cells some successor's halo will read.  Computed by the
+  /// master (it owns the block DAG); the slave just extracts them.
+  std::vector<CellRect> ackRects;
 };
 
 struct ResultPayload {
   JobId job = kNoJob;
   VertexId vertex = -1;
   CellRect rect;
+  /// kMasterRelay: the whole computed block; empty under kPeerToPeer.
   std::vector<Score> data;
+  /// kPeerToPeer: the `ackRects` boundary cells (master fallback copy).
+  std::vector<HaloBlock> edges;
+  /// Order-independent per-block checksum (see blockChecksum); lets both
+  /// modes assert bit-exact equality without shipping the cells.
+  std::uint64_t checksum = 0;
 };
 
 struct SlaveStatsPayload {
@@ -66,11 +123,62 @@ struct SlaveStatsPayload {
   std::int64_t tasksExecuted = 0;
   std::int64_t threadRestarts = 0;
   std::int64_t subTaskRequeues = 0;
+  // Data-plane counters (all zero under kMasterRelay).
+  std::int64_t haloLocalHits = 0;      ///< halo pieces found in own store
+  std::int64_t haloPeerFetches = 0;    ///< halo pieces fetched from a peer
+  std::int64_t haloMasterFetches = 0;  ///< halo pieces fetched from rank 0
+  std::int64_t halosServed = 0;        ///< peer requests this rank answered
+  std::int64_t storeEvictions = 0;     ///< LRU evictions (spilled blocks)
+  std::uint64_t storeSpilledBytes = 0;
 };
 
 /// Payload of JobStart / JobEnd and of the per-job Idle ready-ack.
 struct JobControlPayload {
   JobId job = kNoJob;
+};
+
+/// HaloRequest: "send me cells `rect` of block (job, vertex)".  To the
+/// master, vertex may be -1: serve straight from the job matrix.
+struct HaloRequestPayload {
+  JobId job = kNoJob;
+  VertexId vertex = -1;
+  CellRect rect;
+};
+
+/// HaloData: reply to a HaloRequest.  found=false = the owner evicted the
+/// block (requester falls back to the master, whose spill copy is
+/// guaranteed to have landed first — see DESIGN.md).
+struct HaloDataPayload {
+  JobId job = kNoJob;
+  CellRect rect;
+  bool found = false;
+  std::vector<Score> data;
+};
+
+/// BlockFetch: master pulls a full block from its owner at job end.
+struct BlockFetchPayload {
+  JobId job = kNoJob;
+  VertexId vertex = -1;
+  CellRect rect;
+};
+
+/// BlockData: reply to a BlockFetch; found=false = evicted meanwhile (the
+/// spill, already in flight, carries the cells instead).
+struct BlockDataPayload {
+  JobId job = kNoJob;
+  VertexId vertex = -1;
+  CellRect rect;
+  bool found = false;
+  std::vector<Score> data;
+};
+
+/// BlockSpill: an evicted block shipped to the master so its cells stay
+/// reachable after leaving the owner's store.
+struct BlockSpillPayload {
+  JobId job = kNoJob;
+  VertexId vertex = -1;
+  CellRect rect;
+  std::vector<Score> data;
 };
 
 std::vector<std::byte> encodeAssign(const AssignPayload& p);
@@ -84,5 +192,30 @@ SlaveStatsPayload decodeSlaveStats(const std::vector<std::byte>& bytes);
 
 std::vector<std::byte> encodeJobControl(const JobControlPayload& p);
 JobControlPayload decodeJobControl(const std::vector<std::byte>& bytes);
+
+/// Kind byte of a kTagData envelope (cheap peek; throws on empty buffer).
+DataMsgKind peekDataKind(const std::vector<std::byte>& bytes);
+
+std::vector<std::byte> encodeHaloRequest(const HaloRequestPayload& p);
+HaloRequestPayload decodeHaloRequest(const std::vector<std::byte>& bytes);
+
+std::vector<std::byte> encodeHaloData(const HaloDataPayload& p);
+HaloDataPayload decodeHaloData(const std::vector<std::byte>& bytes);
+
+std::vector<std::byte> encodeBlockFetch(const BlockFetchPayload& p);
+BlockFetchPayload decodeBlockFetch(const std::vector<std::byte>& bytes);
+
+std::vector<std::byte> encodeBlockData(const BlockDataPayload& p);
+BlockDataPayload decodeBlockData(const std::vector<std::byte>& bytes);
+
+std::vector<std::byte> encodeBlockSpill(const BlockSpillPayload& p);
+BlockSpillPayload decodeBlockSpill(const std::vector<std::byte>& bytes);
+
+/// FNV-1a over (vertex, rect, cells).  Summed over a job's blocks this
+/// yields an order-independent table checksum, comparable bit-for-bit
+/// between kMasterRelay (master hashes the full Result) and kPeerToPeer
+/// (the owning slave hashes and the ack carries the value).
+std::uint64_t blockChecksum(VertexId vertex, const CellRect& rect,
+                            const std::vector<Score>& data);
 
 }  // namespace easyhps::wire

@@ -110,6 +110,48 @@ class CwPolicy final : public StaticOwnershipPolicy {
   std::int64_t band_ = 1;
 };
 
+/// Dynamic pool with an affinity tie-break: among ready tasks, an idle
+/// worker takes the one whose dependency bytes it already owns the most
+/// of; on a tie (including the no-oracle case, affinity ≡ 0) the most
+/// recently readied task wins, matching DynamicPolicy's LIFO order.
+class LocalityPolicy final : public SchedulingPolicy {
+ public:
+  explicit LocalityPolicy(LocalityAffinityFn affinity)
+      : affinity_(std::move(affinity)) {}
+
+  std::string name() const override { return "locality"; }
+
+  void onReady(VertexId task) override { ready_.push_back(task); }
+
+  std::optional<VertexId> pick(int worker) override {
+    if (ready_.empty()) {
+      return std::nullopt;
+    }
+    std::size_t best = ready_.size() - 1;  // LIFO default
+    if (affinity_) {
+      std::int64_t bestScore = affinity_(ready_[best], worker);
+      for (std::size_t i = ready_.size(); i-- > 0;) {
+        const std::int64_t score = affinity_(ready_[i], worker);
+        if (score > bestScore) {
+          best = i;
+          bestScore = score;
+        }
+      }
+    }
+    const VertexId t = ready_[best];
+    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(best));
+    return t;
+  }
+
+  std::int64_t queuedCount() const override {
+    return static_cast<std::int64_t>(ready_.size());
+  }
+
+ private:
+  LocalityAffinityFn affinity_;
+  std::vector<VertexId> ready_;
+};
+
 }  // namespace
 
 std::string policyKindName(PolicyKind kind) {
@@ -120,6 +162,8 @@ std::string policyKindName(PolicyKind kind) {
       return "bcw";
     case PolicyKind::kColumnWavefront:
       return "cw";
+    case PolicyKind::kLocality:
+      return "locality";
   }
   return "unknown";
 }
@@ -135,8 +179,17 @@ std::unique_ptr<SchedulingPolicy> makePolicy(PolicyKind kind,
       return std::make_unique<BcwPolicy>(dag, workers);
     case PolicyKind::kColumnWavefront:
       return std::make_unique<CwPolicy>(dag, workers);
+    case PolicyKind::kLocality:
+      return std::make_unique<LocalityPolicy>(nullptr);
   }
   throw LogicError("unknown policy kind");
+}
+
+std::unique_ptr<SchedulingPolicy> makeLocalityPolicy(
+    const PartitionedDag& dag, int workers, LocalityAffinityFn affinity) {
+  (void)dag;
+  EASYHPS_EXPECTS(workers > 0);
+  return std::make_unique<LocalityPolicy>(std::move(affinity));
 }
 
 }  // namespace easyhps

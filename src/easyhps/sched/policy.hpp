@@ -23,6 +23,7 @@
 /// Policies are not thread-safe; the runtime serializes calls under its
 /// scheduler mutex.
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -35,6 +36,7 @@ enum class PolicyKind {
   kDynamic,               ///< EasyHPS dynamic worker pool
   kBlockCyclicWavefront,  ///< BCW static baseline
   kColumnWavefront,       ///< CW static baseline (contiguous bands)
+  kLocality,              ///< dynamic pool + ownership-directory affinity
 };
 
 std::string policyKindName(PolicyKind kind);
@@ -70,5 +72,21 @@ class SchedulingPolicy {
 std::unique_ptr<SchedulingPolicy> makePolicy(PolicyKind kind,
                                              const PartitionedDag& dag,
                                              int workers);
+
+/// Affinity oracle for the locality policy: bytes of `task`'s dependency
+/// halos already resident at `worker`'s rank.  Called from pick()/onReady()
+/// — i.e. under whatever lock serializes the policy — so it may read the
+/// master's ownership directory directly.
+using LocalityAffinityFn =
+    std::function<std::int64_t(VertexId task, int worker)>;
+
+/// Locality-aware variant of the dynamic pool: an idle worker prefers the
+/// ready task whose dependency bytes it already owns (per the ownership
+/// directory); with no affinity signal it degrades to the plain dynamic
+/// pool.  `makePolicy(kLocality, ...)` builds one with a null oracle
+/// (pure dynamic behaviour) so the simulator and CLI keep working; the
+/// runtime injects the real oracle via this factory.
+std::unique_ptr<SchedulingPolicy> makeLocalityPolicy(
+    const PartitionedDag& dag, int workers, LocalityAffinityFn affinity);
 
 }  // namespace easyhps

@@ -5,7 +5,8 @@ namespace easyhps::serve {
 trace::Table metricsTable(const ServiceMetrics& m) {
   trace::Table t({"policy", "accepted", "rejected", "completed", "cancelled",
                   "failed", "queue_depth", "mean_wait_s", "max_wait_s",
-                  "mean_ttfb_s", "jobs_per_s", "messages"});
+                  "mean_ttfb_s", "jobs_per_s", "messages", "master_mb",
+                  "p2p_mb"});
   t.addRow({m.policy, trace::Table::num(m.accepted),
             trace::Table::num(m.rejected), trace::Table::num(m.completed),
             trace::Table::num(m.cancelled), trace::Table::num(m.failed),
@@ -14,7 +15,10 @@ trace::Table metricsTable(const ServiceMetrics& m) {
             trace::Table::num(m.maxQueueWaitSeconds, 4),
             trace::Table::num(m.meanTimeToFirstBlockSeconds(), 4),
             trace::Table::num(m.jobsPerSecond(), 2),
-            trace::Table::num(static_cast<std::int64_t>(m.messages))});
+            trace::Table::num(static_cast<std::int64_t>(m.messages)),
+            trace::Table::num(static_cast<double>(m.bytesViaMaster) / 1e6, 2),
+            trace::Table::num(static_cast<double>(m.bytesPeerToPeer) / 1e6,
+                              2)});
   return t;
 }
 

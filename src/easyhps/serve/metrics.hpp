@@ -39,6 +39,12 @@ struct ServiceMetrics {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
 
+  // Data-plane split of the per-job traffic (sums of the jobs' RunStats;
+  // see DESIGN.md, "Control plane vs. data plane").  Bytes on links that
+  // touch rank 0 vs bytes moved directly between slave ranks.
+  std::uint64_t bytesViaMaster = 0;
+  std::uint64_t bytesPeerToPeer = 0;
+
   double meanQueueWaitSeconds() const {
     const std::int64_t n = completed + cancelled + failed;
     return n > 0 ? totalQueueWaitSeconds / static_cast<double>(n) : 0.0;

@@ -159,6 +159,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     m.timeToFirstBlockSamples = ttfbSamples_;
     m.messages = messages_;
     m.bytes = bytes_;
+    m.bytesViaMaster = bytesViaMaster_;
+    m.bytesPeerToPeer = bytesPeerToPeer_;
     return m;
   }
 
@@ -249,6 +251,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
       }
       messages_ += o->stats.run.messages;
       bytes_ += o->stats.run.bytes;
+      bytesViaMaster_ += o->stats.run.bytesViaMaster;
+      bytesPeerToPeer_ += o->stats.run.bytesPeerToPeer;
       EASYHPS_EXPECTS(activeJobs_ >= 1);
       --activeJobs_;
     }
@@ -313,6 +317,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   std::int64_t ttfbSamples_ = 0;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t bytesViaMaster_ = 0;
+  std::uint64_t bytesPeerToPeer_ = 0;
 };
 
 }  // namespace detail

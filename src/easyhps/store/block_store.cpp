@@ -1,0 +1,111 @@
+#include "easyhps/store/block_store.hpp"
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::store {
+
+std::vector<StoredBlock> BlockStore::put(JobId job, VertexId vertex,
+                                         const CellRect& rect,
+                                         std::vector<Score> data) {
+  EASYHPS_EXPECTS(static_cast<std::int64_t>(data.size()) == rect.cellCount());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{job, vertex};
+  // Idempotent: a timed-out sub-task can be re-distributed back to the
+  // rank that first computed it, which then stores the block twice.  The
+  // recompute is deterministic, so replace (and refresh the LRU slot).
+  if (auto it = blocks_.find(key); it != blocks_.end()) {
+    bytes_stored_ -= entryBytes(it->second);
+    lru_.erase(it->second.lruPos);
+    blocks_.erase(it);
+  }
+
+  lru_.push_back(key);
+  Entry entry{rect, std::move(data), std::prev(lru_.end())};
+  bytes_stored_ += entryBytes(entry);
+  blocks_.emplace(key, std::move(entry));
+  ++stats_.puts;
+  stats_.peakBytes = std::max(stats_.peakBytes, bytes_stored_);
+
+  std::vector<StoredBlock> evicted;
+  while (byte_budget_ > 0 && bytes_stored_ > byte_budget_ && !lru_.empty()) {
+    const Key victim = lru_.front();
+    lru_.pop_front();
+    auto it = blocks_.find(victim);
+    bytes_stored_ -= entryBytes(it->second);
+    ++stats_.evictions;
+    stats_.spilledBytes += entryBytes(it->second);
+    evicted.push_back(StoredBlock{victim.job, victim.vertex, it->second.rect,
+                                  std::move(it->second.data)});
+    blocks_.erase(it);
+  }
+  return evicted;
+}
+
+std::optional<std::vector<Score>> BlockStore::extract(JobId job,
+                                                      VertexId vertex,
+                                                      const CellRect& sub) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = blocks_.find(Key{job, vertex});
+  if (it == blocks_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  Entry& e = it->second;
+  lru_.splice(lru_.end(), lru_, e.lruPos);  // refresh: now most recent
+  const CellRect& r = e.rect;
+  EASYHPS_EXPECTS(sub.row0 >= r.row0 && sub.rowEnd() <= r.rowEnd());
+  EASYHPS_EXPECTS(sub.col0 >= r.col0 && sub.colEnd() <= r.colEnd());
+  std::vector<Score> out(static_cast<std::size_t>(sub.cellCount()));
+  for (std::int64_t row = 0; row < sub.rows; ++row) {
+    const auto srcOff = static_cast<std::size_t>(
+        (sub.row0 + row - r.row0) * r.cols + (sub.col0 - r.col0));
+    std::copy(e.data.begin() + static_cast<std::ptrdiff_t>(srcOff),
+              e.data.begin() +
+                  static_cast<std::ptrdiff_t>(srcOff + sub.cols),
+              out.begin() + static_cast<std::ptrdiff_t>(row * sub.cols));
+  }
+  return out;
+}
+
+bool BlockStore::contains(JobId job, VertexId vertex) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.find(Key{job, vertex}) != blocks_.end();
+}
+
+void BlockStore::clear(JobId job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->first.job == job) {
+      bytes_stored_ -= entryBytes(it->second);
+      lru_.erase(it->second.lruPos);
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockStore::clearAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blocks_.clear();
+  lru_.clear();
+  bytes_stored_ = 0;
+}
+
+std::uint64_t BlockStore::bytesStored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_stored_;
+}
+
+std::size_t BlockStore::blockCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.size();
+}
+
+BlockStoreStats BlockStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace easyhps::store

@@ -1,0 +1,115 @@
+#pragma once
+/// \file block_store.hpp
+/// Per-rank block store — the data plane's storage layer.
+///
+/// With the control/data-plane split (DESIGN.md, "Control plane vs. data
+/// plane") a slave *retains* every block it computes instead of shipping it
+/// back through the master: peers fetch dependency halos straight from the
+/// owning rank (`HaloRequest`/`HaloData`), and the master pulls full blocks
+/// only at job end.  The store is the slave-side half of that contract:
+///
+///  * keyed by (job, vertex) so a request from a stale job can never be
+///    answered with the wrong job's cells;
+///  * LRU-evicting under a configurable byte budget — an evicted block is
+///    returned to the caller, which *spills* it to the master so the data
+///    stays reachable (owner falls back to rank 0);
+///  * flushed at JobEnd: vertex ids restart at 0 every job, so blocks must
+///    never survive a job boundary (the store analogue of the wire
+///    protocol's stale-job-result discard).
+///
+/// Thread-safe: the slave's compute loop inserts while its data-plane
+/// thread serves peer requests concurrently.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "easyhps/dag/pattern.hpp"
+#include "easyhps/dp/window.hpp"
+#include "easyhps/matrix/geometry.hpp"
+#include "easyhps/runtime/job.hpp"
+
+namespace easyhps::store {
+
+/// One retained block (also the unit handed back on eviction).
+struct StoredBlock {
+  JobId job = kNoJob;
+  VertexId vertex = -1;
+  CellRect rect;
+  std::vector<Score> data;  ///< row-major over `rect`
+};
+
+/// Monotonic counters; snapshot under the store's lock.
+struct BlockStoreStats {
+  std::int64_t puts = 0;
+  std::int64_t hits = 0;       ///< extract() found the block
+  std::int64_t misses = 0;     ///< extract() on an absent/evicted block
+  std::int64_t evictions = 0;  ///< blocks pushed out by the byte budget
+  std::uint64_t spilledBytes = 0;  ///< payload bytes of evicted blocks
+  std::uint64_t peakBytes = 0;     ///< high-water mark of bytesStored
+};
+
+class BlockStore {
+ public:
+  /// `byteBudget` caps the retained payload bytes; 0 = unlimited.
+  explicit BlockStore(std::uint64_t byteBudget = 0)
+      : byte_budget_(byteBudget) {}
+
+  /// Retains a block and returns the blocks evicted (LRU-first) to get
+  /// back under the byte budget.  The caller must spill every returned
+  /// block to the master or its cells become unreachable.  A block larger
+  /// than the whole budget is evicted immediately (it comes back in the
+  /// result); correctness is preserved by the spill.
+  std::vector<StoredBlock> put(JobId job, VertexId vertex, const CellRect& rect,
+                               std::vector<Score> data);
+
+  /// Copies sub-rectangle `sub` (must lie inside the stored rect) out of
+  /// block (job, vertex); refreshes its LRU position.  nullopt = absent.
+  std::optional<std::vector<Score>> extract(JobId job, VertexId vertex,
+                                            const CellRect& sub);
+
+  bool contains(JobId job, VertexId vertex) const;
+
+  /// Drops every block of `job` (JobEnd flush).  Not counted as eviction.
+  void clear(JobId job);
+  void clearAll();
+
+  std::uint64_t bytesStored() const;
+  std::size_t blockCount() const;
+  std::uint64_t byteBudget() const { return byte_budget_; }
+  BlockStoreStats stats() const;
+
+ private:
+  struct Key {
+    JobId job;
+    VertexId vertex;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::int64_t>{}(k.job * 0x9e3779b97f4a7c15LL ^
+                                       k.vertex);
+    }
+  };
+  struct Entry {
+    CellRect rect;
+    std::vector<Score> data;
+    std::list<Key>::iterator lruPos;
+  };
+
+  std::uint64_t entryBytes(const Entry& e) const {
+    return static_cast<std::uint64_t>(e.data.size()) * sizeof(Score);
+  }
+
+  const std::uint64_t byte_budget_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, Entry, KeyHash> blocks_;
+  std::list<Key> lru_;  ///< front = least recently used
+  std::uint64_t bytes_stored_ = 0;
+  BlockStoreStats stats_;
+};
+
+}  // namespace easyhps::store

@@ -1,0 +1,101 @@
+#pragma once
+/// \file ownership.hpp
+/// Master-side ownership directory of the distributed block store.
+///
+/// The control plane's source of truth for *where each completed block's
+/// cells live*: the rank whose ack registered the block, or rank 0 when
+/// the block was spilled to (or only ever existed at) the master.  Assigns
+/// consult it to tell a slave which peer to fetch each dependency halo
+/// from; the locality policy consults it to steer tasks toward the rank
+/// already owning the most dependency bytes.
+///
+/// Fault-tolerance interaction: when a sub-task times out and is
+/// re-distributed, every entry owned by the slow rank is marked *suspect*
+/// — peers are then pointed at the master (whose copy of the boundary
+/// cells arrived with the acks) instead of at a rank that may never
+/// answer.  The suspect owner is kept for job-end assembly, which in this
+/// in-process substrate can still reach a slow-but-alive rank; a real
+/// deployment would need replication to survive a truly dead one.
+///
+/// Not internally synchronized: the master guards it with the scheduler
+/// mutex alongside the parse state it must stay consistent with.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "easyhps/dag/pattern.hpp"
+
+namespace easyhps::store {
+
+class OwnershipDirectory {
+ public:
+  struct Entry {
+    int owner = 0;          ///< rank whose store holds the block; 0 = master
+    bool suspect = false;   ///< owner timed out; don't route peers to it
+    bool resident = false;  ///< master's matrix holds the *full* block
+  };
+
+  /// Records a completed block.  A spill may have landed first (the slave
+  /// evicted the block before its ack was processed); the master copy
+  /// stays authoritative then, so the owner is not rewritten.
+  void registerBlock(VertexId vertex, int owner) {
+    Entry& e = entries_[vertex];
+    if (!e.resident) {
+      e.owner = owner;
+    }
+  }
+
+  /// The block's cells (at least the boundary rows/cols) now live in the
+  /// master matrix in full; peers and assembly can be served locally.
+  void markResident(VertexId vertex) {
+    Entry& e = entries_[vertex];
+    e.owner = 0;
+    e.resident = true;
+  }
+
+  /// Marks every block owned by `rank` suspect (timeout re-distribution).
+  /// Returns how many entries were newly invalidated.
+  std::int64_t invalidateRank(int rank) {
+    std::int64_t n = 0;
+    for (auto& [vertex, e] : entries_) {
+      if (e.owner == rank && !e.suspect) {
+        e.suspect = true;
+        ++n;
+      }
+    }
+    invalidations_ += n;
+    return n;
+  }
+
+  /// Rank a *peer* should fetch this block's halo cells from; 0 routes the
+  /// request to the master (unknown, spilled, resident, or suspect owner).
+  int haloSource(VertexId vertex) const {
+    auto it = entries_.find(vertex);
+    if (it == entries_.end() || it->second.suspect) {
+      return 0;
+    }
+    return it->second.owner;
+  }
+
+  /// Rank job-end assembly must pull the full block from; 0 = already at
+  /// the master.  Suspect owners are still returned — they are the only
+  /// place the interior cells exist.
+  int assemblySource(VertexId vertex) const {
+    auto it = entries_.find(vertex);
+    return it == entries_.end() ? 0 : it->second.owner;
+  }
+
+  bool resident(VertexId vertex) const {
+    auto it = entries_.find(vertex);
+    return it != entries_.end() && it->second.resident;
+  }
+
+  std::int64_t invalidations() const { return invalidations_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<VertexId, Entry> entries_;
+  std::int64_t invalidations_ = 0;
+};
+
+}  // namespace easyhps::store

@@ -147,6 +147,34 @@ std::string Table::json() const {
   return os.str();
 }
 
+Table linkMatrixTable(const std::vector<std::uint64_t>& linkBytes,
+                      int ranks) {
+  EASYHPS_EXPECTS(ranks >= 0);
+  EASYHPS_EXPECTS(linkBytes.size() ==
+                  static_cast<std::size_t>(ranks) *
+                      static_cast<std::size_t>(ranks));
+  std::vector<std::string> headers;
+  headers.reserve(static_cast<std::size_t>(ranks) + 1);
+  headers.push_back("src\\dst kB");
+  for (int dst = 0; dst < ranks; ++dst) {
+    headers.push_back(std::to_string(dst));
+  }
+  Table t(std::move(headers));
+  for (int src = 0; src < ranks; ++src) {
+    std::vector<std::string> row;
+    row.reserve(static_cast<std::size_t>(ranks) + 1);
+    row.push_back(std::to_string(src));
+    for (int dst = 0; dst < ranks; ++dst) {
+      const auto idx =
+          static_cast<std::size_t>(src) * static_cast<std::size_t>(ranks) +
+          static_cast<std::size_t>(dst);
+      row.push_back(Table::num(static_cast<double>(linkBytes[idx]) / 1e3, 1));
+    }
+    t.addRow(std::move(row));
+  }
+  return t;
+}
+
 std::string banner(const std::string& title) {
   std::ostringstream os;
   os << "\n== " << title << " " << std::string(72 - std::min<std::size_t>(

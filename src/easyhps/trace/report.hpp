@@ -7,6 +7,7 @@
 /// tables plus an optional CSV block, so results can be eyeballed in the
 /// terminal and regenerated into plots.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,5 +42,12 @@ class Table {
 
 /// Prints a section banner for bench output.
 std::string banner(const std::string& title);
+
+/// Renders `RunStats::linkBytes` (row-major ranks×ranks, [src*ranks+dst])
+/// as a src\dst matrix table in kilobytes — makes the control/data-plane
+/// split visible at a glance: under the peer-to-peer data plane row/column
+/// 0 carries metadata while the slave↔slave cells carry the halos.
+Table linkMatrixTable(const std::vector<std::uint64_t>& linkBytes,
+                      int ranks);
 
 }  // namespace easyhps::trace

@@ -27,6 +27,9 @@ TEST(Integration, RuntimeAndSimulatorAgreeOnTaskCount) {
   rcfg.threadsPerSlave = 2;
   rcfg.processPartitionRows = rcfg.processPartitionCols = 30;
   rcfg.threadPartitionRows = rcfg.threadPartitionCols = 10;
+  // The simulator models the paper's master-relayed data plane, so the
+  // exact message formula below only holds in that mode.
+  rcfg.dataPlane = DataPlaneMode::kMasterRelay;
   const RunResult real = Runtime(rcfg).run(p);
 
   sim::SimConfig scfg;
@@ -47,6 +50,15 @@ TEST(Integration, RuntimeAndSimulatorAgreeOnTaskCount) {
   EXPECT_EQ(real.stats.messages,
             2 * static_cast<std::uint64_t>(real.stats.completedTasks) +
                 5 * 3);
+
+  // Peer-to-peer mode swaps block payloads for extra (smaller) data-plane
+  // messages: same tasks, at least the same control traffic, and the same
+  // final table (order-independent checksum).
+  rcfg.dataPlane = DataPlaneMode::kPeerToPeer;
+  const RunResult peer = Runtime(rcfg).run(p);
+  EXPECT_EQ(peer.stats.completedTasks, real.stats.completedTasks);
+  EXPECT_GE(peer.stats.messages, real.stats.messages);
+  EXPECT_EQ(peer.stats.tableChecksum, real.stats.tableChecksum);
 }
 
 // Triangular problems: both engines must agree on the number of *active*

@@ -216,6 +216,36 @@ TEST(Cluster, LargePayloadIntegrity) {
   });
 }
 
+TEST(Cluster, PerLinkByteAccounting) {
+  // Asymmetric triangle: 0→1 carries 1 int, 1→2 carries 2, 2→0 carries 3.
+  // The per-link matrix must attribute each byte to its (source, dest)
+  // pair — this is the measurement the data-plane split is judged by.
+  auto report = Cluster::run(3, [](Comm& comm) {
+    const int next = (comm.rank() + 1) % 3;
+    const int prev = (comm.rank() + 2) % 3;
+    for (int i = 0; i <= comm.rank(); ++i) {
+      comm.send(next, 1, payloadOf(i));
+    }
+    for (int i = 0; i <= prev; ++i) {
+      comm.recv(prev, 1);
+    }
+  });
+  ASSERT_EQ(report.ranks, 3);
+  ASSERT_EQ(report.linkBytes.size(), 9u);
+  EXPECT_EQ(report.linkAt(0, 1), 1 * sizeof(int));
+  EXPECT_EQ(report.linkAt(1, 2), 2 * sizeof(int));
+  EXPECT_EQ(report.linkAt(2, 0), 3 * sizeof(int));
+  EXPECT_EQ(report.linkAt(1, 0), 0u);  // no reverse traffic
+  // bytesTouching sums both directions of every link at a rank.
+  EXPECT_EQ(report.bytesTouching(0), (1 + 3) * sizeof(int));
+  EXPECT_EQ(report.bytesTouching(1), (1 + 2) * sizeof(int));
+  EXPECT_EQ(report.bytesTouching(2), (2 + 3) * sizeof(int));
+  // The link matrix partitions the global byte counter.
+  EXPECT_EQ(std::accumulate(report.linkBytes.begin(),
+                            report.linkBytes.end(), std::uint64_t{0}),
+            report.bytes);
+}
+
 TEST(Comm, SendRejectsReservedTags) {
   ClusterState state(2);
   Comm comm(0, &state);

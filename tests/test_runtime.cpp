@@ -3,7 +3,9 @@
 // injection with recovery.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
+#include <random>
 
 #include "easyhps/dp/editdist.hpp"
 #include "easyhps/dp/nussinov.hpp"
@@ -253,6 +255,301 @@ TEST(Runtime, StatsAreCoherent) {
   EXPECT_EQ(sum, r.stats.tasks);
   EXPECT_GE(r.stats.taskImbalance(), 1.0);
   EXPECT_GT(r.stats.elapsedSeconds, 0.0);
+}
+
+// --- Data plane: peer-to-peer vs master relay -----------------------------
+
+TEST(DataPlane, PeerMatchesRelayBitForBit) {
+  SmithWatermanGeneralGap p(randomSequence(40, 71), randomSequence(40, 72));
+  RuntimeConfig relay = smallConfig();
+  relay.dataPlane = DataPlaneMode::kMasterRelay;
+  RuntimeConfig peer = smallConfig();
+  peer.dataPlane = DataPlaneMode::kPeerToPeer;
+
+  const RunResult a = Runtime(relay).run(p);
+  const RunResult b = Runtime(peer).run(p);
+  expectMatchesReference(p, a.matrix);
+  expectMatchesReference(p, b.matrix);
+  EXPECT_EQ(a.stats.tableChecksum, b.stats.tableChecksum);
+  // The whole point of the split: blocks stop flowing through rank 0.
+  EXPECT_LT(b.stats.bytesViaMaster, a.stats.bytesViaMaster);
+  EXPECT_GT(b.stats.bytesPeerToPeer, 0u);
+  EXPECT_EQ(a.stats.bytesPeerToPeer, 0u);
+  EXPECT_GT(b.stats.haloLocalHits + b.stats.haloPeerFetches +
+                b.stats.haloMasterFetches,
+            0);
+}
+
+TEST(DataPlane, DeferredAssemblyKeepsChecksum) {
+  EditDistance p(randomSequence(40, 73), randomSequence(40, 74));
+  RuntimeConfig full = smallConfig();
+  RuntimeConfig defer = smallConfig();
+  defer.assembleFullMatrix = false;
+  const RunResult a = Runtime(full).run(p);
+  const RunResult b = Runtime(defer).run(p);
+  expectMatchesReference(p, a.matrix);
+  EXPECT_EQ(a.stats.tableChecksum, b.stats.tableChecksum);
+  EXPECT_EQ(b.stats.blocksAssembled, 0);
+  EXPECT_GT(a.stats.blocksAssembled, 0);
+  EXPECT_LT(b.stats.bytesViaMaster, a.stats.bytesViaMaster);
+}
+
+TEST(DataPlane, TinyStoreBudgetSpillsAndStaysCorrect) {
+  RuntimeConfig cfg = smallConfig();
+  // One 12x12 block per slave store: most puts evict the previous block,
+  // so halos are served by the master's spill copies.
+  cfg.storeByteBudget = 144 * sizeof(Score);
+  SmithWatermanGeneralGap p(randomSequence(40, 75), randomSequence(40, 76));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_GT(r.stats.storeEvictions, 0);
+  EXPECT_GT(r.stats.storeSpilledBytes, 0u);
+}
+
+TEST(DataPlane, LocalityPolicyCorrectAndPeerHeavy) {
+  RuntimeConfig cfg = smallConfig();
+  cfg.masterPolicy = PolicyKind::kLocality;
+  Nussinov p(randomRna(40, 77));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  // Locality keeps some dependency bytes on the executing rank.
+  EXPECT_GT(r.stats.haloLocalHits, 0);
+}
+
+// --- Wire protocol round-trips --------------------------------------------
+
+CellRect randRect(std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::int64_t> pos(0, 1 << 20);
+  std::uniform_int_distribution<std::int64_t> dim(0, 48);  // zero-area ok
+  return CellRect{pos(rng), pos(rng), dim(rng), dim(rng)};
+}
+
+std::vector<Score> randCells(std::mt19937_64& rng, std::int64_t n) {
+  std::uniform_int_distribution<Score> cell(
+      std::numeric_limits<Score>::min(), std::numeric_limits<Score>::max());
+  std::vector<Score> v(static_cast<std::size_t>(n));
+  for (auto& s : v) {
+    s = cell(rng);
+  }
+  return v;
+}
+
+JobId randJob(std::mt19937_64& rng) {
+  // Stress the extremes: kNoJob, 0, max, and ordinary ids.
+  switch (rng() % 4) {
+    case 0:
+      return kNoJob;
+    case 1:
+      return std::numeric_limits<JobId>::max();
+    default:
+      return static_cast<JobId>(rng() % 1000000);
+  }
+}
+
+void expectEq(const CellRect& a, const CellRect& b) {
+  EXPECT_EQ(a.row0, b.row0);
+  EXPECT_EQ(a.col0, b.col0);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.cols, b.cols);
+}
+
+TEST(Wire, AssignRoundTripFuzz) {
+  std::mt19937_64 rng(811);
+  for (int iter = 0; iter < 200; ++iter) {
+    wire::AssignPayload p;
+    p.job = randJob(rng);
+    p.vertex = static_cast<VertexId>(rng() % 100000) - 1;
+    p.rect = randRect(rng);
+    const int halos = static_cast<int>(rng() % 4);  // 0 = empty list
+    for (int i = 0; i < halos; ++i) {
+      CellRect r = randRect(rng);
+      p.halos.push_back(wire::HaloBlock{r, randCells(rng, r.cellCount())});
+    }
+    const int sources = static_cast<int>(rng() % 4);
+    for (int i = 0; i < sources; ++i) {
+      p.sources.push_back(wire::HaloSource{
+          randRect(rng), static_cast<VertexId>(rng() % 100000) - 1,
+          static_cast<int>(rng() % 8)});
+    }
+    const int acks = static_cast<int>(rng() % 4);
+    for (int i = 0; i < acks; ++i) {
+      p.ackRects.push_back(randRect(rng));
+    }
+
+    const wire::AssignPayload q = wire::decodeAssign(wire::encodeAssign(p));
+    EXPECT_EQ(q.job, p.job);
+    EXPECT_EQ(q.vertex, p.vertex);
+    expectEq(q.rect, p.rect);
+    ASSERT_EQ(q.halos.size(), p.halos.size());
+    for (std::size_t i = 0; i < p.halos.size(); ++i) {
+      expectEq(q.halos[i].rect, p.halos[i].rect);
+      EXPECT_EQ(q.halos[i].data, p.halos[i].data);
+    }
+    ASSERT_EQ(q.sources.size(), p.sources.size());
+    for (std::size_t i = 0; i < p.sources.size(); ++i) {
+      expectEq(q.sources[i].rect, p.sources[i].rect);
+      EXPECT_EQ(q.sources[i].vertex, p.sources[i].vertex);
+      EXPECT_EQ(q.sources[i].owner, p.sources[i].owner);
+    }
+    ASSERT_EQ(q.ackRects.size(), p.ackRects.size());
+    for (std::size_t i = 0; i < p.ackRects.size(); ++i) {
+      expectEq(q.ackRects[i], p.ackRects[i]);
+    }
+  }
+}
+
+TEST(Wire, ResultRoundTripFuzz) {
+  std::mt19937_64 rng(812);
+  for (int iter = 0; iter < 200; ++iter) {
+    wire::ResultPayload p;
+    p.job = randJob(rng);
+    p.vertex = static_cast<VertexId>(rng() % 100000) - 1;
+    p.rect = randRect(rng);
+    if (rng() % 2) {
+      p.data = randCells(rng, p.rect.cellCount());
+    }
+    const int edges = static_cast<int>(rng() % 4);
+    for (int i = 0; i < edges; ++i) {
+      CellRect r = randRect(rng);
+      p.edges.push_back(wire::HaloBlock{r, randCells(rng, r.cellCount())});
+    }
+    p.checksum = rng();
+
+    const wire::ResultPayload q = wire::decodeResult(wire::encodeResult(p));
+    EXPECT_EQ(q.job, p.job);
+    EXPECT_EQ(q.vertex, p.vertex);
+    expectEq(q.rect, p.rect);
+    EXPECT_EQ(q.data, p.data);
+    ASSERT_EQ(q.edges.size(), p.edges.size());
+    for (std::size_t i = 0; i < p.edges.size(); ++i) {
+      expectEq(q.edges[i].rect, p.edges[i].rect);
+      EXPECT_EQ(q.edges[i].data, p.edges[i].data);
+    }
+    EXPECT_EQ(q.checksum, p.checksum);
+  }
+}
+
+TEST(Wire, SlaveStatsRoundTripFuzz) {
+  std::mt19937_64 rng(813);
+  for (int iter = 0; iter < 100; ++iter) {
+    wire::SlaveStatsPayload p;
+    p.job = randJob(rng);
+    p.tasksExecuted = static_cast<std::int64_t>(rng() % (1LL << 40));
+    p.threadRestarts = static_cast<std::int64_t>(rng() % 100);
+    p.subTaskRequeues = static_cast<std::int64_t>(rng() % 100);
+    p.haloLocalHits = static_cast<std::int64_t>(rng() % 100000);
+    p.haloPeerFetches = static_cast<std::int64_t>(rng() % 100000);
+    p.haloMasterFetches = static_cast<std::int64_t>(rng() % 100000);
+    p.halosServed = static_cast<std::int64_t>(rng() % 100000);
+    p.storeEvictions = static_cast<std::int64_t>(rng() % 100000);
+    p.storeSpilledBytes = rng();
+
+    const wire::SlaveStatsPayload q =
+        wire::decodeSlaveStats(wire::encodeSlaveStats(p));
+    EXPECT_EQ(q.job, p.job);
+    EXPECT_EQ(q.tasksExecuted, p.tasksExecuted);
+    EXPECT_EQ(q.threadRestarts, p.threadRestarts);
+    EXPECT_EQ(q.subTaskRequeues, p.subTaskRequeues);
+    EXPECT_EQ(q.haloLocalHits, p.haloLocalHits);
+    EXPECT_EQ(q.haloPeerFetches, p.haloPeerFetches);
+    EXPECT_EQ(q.haloMasterFetches, p.haloMasterFetches);
+    EXPECT_EQ(q.halosServed, p.halosServed);
+    EXPECT_EQ(q.storeEvictions, p.storeEvictions);
+    EXPECT_EQ(q.storeSpilledBytes, p.storeSpilledBytes);
+  }
+}
+
+TEST(Wire, JobControlRoundTrip) {
+  for (JobId job : {kNoJob, JobId{0}, JobId{42},
+                    std::numeric_limits<JobId>::max()}) {
+    const wire::JobControlPayload q =
+        wire::decodeJobControl(wire::encodeJobControl({job}));
+    EXPECT_EQ(q.job, job);
+  }
+}
+
+TEST(Wire, DataPlaneRoundTripFuzz) {
+  std::mt19937_64 rng(814);
+  for (int iter = 0; iter < 150; ++iter) {
+    // HaloRequest (kind-tagged kTagData envelope).
+    wire::HaloRequestPayload hr{randJob(rng),
+                                static_cast<VertexId>(rng() % 100000) - 1,
+                                randRect(rng)};
+    const auto hrBytes = wire::encodeHaloRequest(hr);
+    EXPECT_EQ(wire::peekDataKind(hrBytes),
+              wire::DataMsgKind::kHaloRequest);
+    const auto hr2 = wire::decodeHaloRequest(hrBytes);
+    EXPECT_EQ(hr2.job, hr.job);
+    EXPECT_EQ(hr2.vertex, hr.vertex);
+    expectEq(hr2.rect, hr.rect);
+
+    // HaloData: found with cells, or a cell-less miss.
+    wire::HaloDataPayload hd;
+    hd.job = randJob(rng);
+    hd.rect = randRect(rng);
+    hd.found = rng() % 2 == 0;
+    if (hd.found) {
+      hd.data = randCells(rng, hd.rect.cellCount());
+    }
+    const auto hd2 = wire::decodeHaloData(wire::encodeHaloData(hd));
+    EXPECT_EQ(hd2.job, hd.job);
+    expectEq(hd2.rect, hd.rect);
+    EXPECT_EQ(hd2.found, hd.found);
+    EXPECT_EQ(hd2.data, hd.data);
+
+    // BlockFetch.
+    wire::BlockFetchPayload bf{randJob(rng),
+                               static_cast<VertexId>(rng() % 100000),
+                               randRect(rng)};
+    const auto bfBytes = wire::encodeBlockFetch(bf);
+    EXPECT_EQ(wire::peekDataKind(bfBytes), wire::DataMsgKind::kBlockFetch);
+    const auto bf2 = wire::decodeBlockFetch(bfBytes);
+    EXPECT_EQ(bf2.job, bf.job);
+    EXPECT_EQ(bf2.vertex, bf.vertex);
+    expectEq(bf2.rect, bf.rect);
+
+    // BlockData.
+    wire::BlockDataPayload bd;
+    bd.job = randJob(rng);
+    bd.vertex = static_cast<VertexId>(rng() % 100000);
+    bd.rect = randRect(rng);
+    bd.found = rng() % 2 == 0;
+    if (bd.found) {
+      bd.data = randCells(rng, bd.rect.cellCount());
+    }
+    const auto bd2 = wire::decodeBlockData(wire::encodeBlockData(bd));
+    EXPECT_EQ(bd2.job, bd.job);
+    EXPECT_EQ(bd2.vertex, bd.vertex);
+    expectEq(bd2.rect, bd.rect);
+    EXPECT_EQ(bd2.found, bd.found);
+    EXPECT_EQ(bd2.data, bd.data);
+
+    // BlockSpill.
+    CellRect sr = randRect(rng);
+    wire::BlockSpillPayload bs{randJob(rng),
+                               static_cast<VertexId>(rng() % 100000), sr,
+                               randCells(rng, sr.cellCount())};
+    const auto bsBytes = wire::encodeBlockSpill(bs);
+    EXPECT_EQ(wire::peekDataKind(bsBytes), wire::DataMsgKind::kBlockSpill);
+    const auto bs2 = wire::decodeBlockSpill(bsBytes);
+    EXPECT_EQ(bs2.job, bs.job);
+    EXPECT_EQ(bs2.vertex, bs.vertex);
+    expectEq(bs2.rect, bs.rect);
+    EXPECT_EQ(bs2.data, bs.data);
+  }
+}
+
+TEST(Wire, BlockChecksumIsOrderIndependentAcrossBlocksOnly) {
+  // Per-block: sensitive to every input.
+  const CellRect r{0, 0, 2, 2};
+  const std::vector<Score> cells{1, 2, 3, 4};
+  const std::uint64_t base = wire::blockChecksum(0, r, cells);
+  EXPECT_NE(base, wire::blockChecksum(1, r, cells));
+  EXPECT_NE(base, wire::blockChecksum(0, CellRect{0, 1, 2, 2}, cells));
+  EXPECT_NE(base, wire::blockChecksum(0, r, {1, 2, 4, 3}));
+  // Summed across blocks: order-independent (wrapping uint64 add).
+  const std::uint64_t b1 = wire::blockChecksum(1, r, {5, 6, 7, 8});
+  EXPECT_EQ(base + b1, b1 + base);
 }
 
 }  // namespace

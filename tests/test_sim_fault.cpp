@@ -5,6 +5,7 @@
 #include "easyhps/dp/editdist.hpp"
 #include "easyhps/dp/sequence.hpp"
 #include "easyhps/dp/swgg.hpp"
+#include "easyhps/runtime/runtime.hpp"
 #include "easyhps/serve/service.hpp"
 #include "easyhps/sim/simulator.hpp"
 
@@ -162,6 +163,59 @@ TEST(ServeFault, DelayedReplyAfterJobEndNotCreditedToNextJob) {
           << ")";
     }
   }
+}
+
+// Regression: fault tolerance must also fix up the *data plane*.  When a
+// sub-task times out and is re-distributed, every ownership entry of the
+// slow rank is invalidated — successors' halo fetches are routed to the
+// master (which lazily pulls the cells from the slow-but-alive owner)
+// instead of to a rank that may never answer.  Before the invalidation
+// hook, peers could block on (or race) the suspect rank's store.
+TEST(ServeFault, TimeoutInvalidatesOwnershipAndHalosRerouted) {
+  RuntimeConfig cfg;
+  cfg.slaveCount = 3;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 12;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 4;
+  cfg.dataPlane = DataPlaneMode::kPeerToPeer;
+  cfg.taskTimeout = std::chrono::milliseconds(60);
+  // SWGG halos span whole row/column strips, so vertex 10's (block (2,2)
+  // of the 4x4 grid) successors genuinely need cells owned by the delayed
+  // rank.  The 300 ms delay is far past the 60 ms timeout: the sub-task
+  // is re-distributed and the sleeping rank's completed blocks are marked
+  // suspect while it still sleeps.
+  cfg.faults.push_back({fault::FaultKind::kTaskDelay, 10, -1, -1,
+                        std::chrono::milliseconds(300)});
+  SmithWatermanGeneralGap p(randomSequence(48, 221), randomSequence(48, 222));
+  const DenseMatrix<Score> ref = p.solveReference();
+
+  RuntimeConfig relay = cfg;
+  relay.faults.clear();
+  relay.dataPlane = DataPlaneMode::kMasterRelay;
+  const RunResult clean = Runtime(relay).run(p);
+
+  // Which rank draws the faulted vertex is a scheduling race; in the rare
+  // run where it lands on a rank that had completed nothing yet, there is
+  // no ownership to invalidate — retry the scenario, holding every run to
+  // the correctness bar.
+  std::int64_t invalidations = 0;
+  for (int attempt = 0; attempt < 3 && invalidations == 0; ++attempt) {
+    const RunResult r = Runtime(cfg).run(p);
+    EXPECT_EQ(r.stats.faultsTriggered, 1);
+    EXPECT_GE(r.stats.retries, 1);
+    invalidations = r.stats.ownershipInvalidations;
+
+    // The rerouted (and lazily re-pulled) halos still yield the bit-exact
+    // table: every active cell plus the relay-mode checksum.
+    for (std::int64_t row = 0; row < p.rows(); ++row) {
+      for (std::int64_t col = 0; col < p.cols(); ++col) {
+        ASSERT_EQ(r.matrix.get(row, col), ref.at(row, col))
+            << "suspect-owner halo corrupted (" << row << "," << col << ")";
+      }
+    }
+    EXPECT_EQ(r.stats.tableChecksum, clean.stats.tableChecksum);
+  }
+  EXPECT_GE(invalidations, 1);
 }
 
 }  // namespace

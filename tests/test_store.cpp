@@ -1,0 +1,207 @@
+// Tests of the data plane's storage layer: the per-rank BlockStore (LRU
+// eviction under a byte budget, spill hand-back, job flush) and the
+// master-side OwnershipDirectory (registration, residency, fault
+// invalidation), plus store reuse across jobs through easyhps::serve.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/serve/service.hpp"
+#include "easyhps/store/block_store.hpp"
+#include "easyhps/store/ownership.hpp"
+
+namespace easyhps::store {
+namespace {
+
+CellRect rect(std::int64_t row0, std::int64_t col0, std::int64_t rows,
+              std::int64_t cols) {
+  CellRect r;
+  r.row0 = row0;
+  r.col0 = col0;
+  r.rows = rows;
+  r.cols = cols;
+  return r;
+}
+
+std::vector<Score> ramp(std::int64_t n, Score start = 0) {
+  std::vector<Score> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+constexpr std::uint64_t kBlockBytes = 16 * sizeof(Score);  // 4x4 blocks
+
+TEST(BlockStore, PutThenExtractSubRect) {
+  BlockStore store;
+  const CellRect r = rect(4, 8, 4, 4);
+  ASSERT_TRUE(store.put(1, 7, r, ramp(16)).empty());
+  EXPECT_TRUE(store.contains(1, 7));
+
+  // Interior 2x2 sub-rectangle: rows 5..6, cols 9..10 of the 4x4 block.
+  const auto sub = store.extract(1, 7, rect(5, 9, 2, 2));
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_EQ(*sub, (std::vector<Score>{5, 6, 9, 10}));
+
+  // Full-rect extract round-trips the payload.
+  const auto full = store.extract(1, 7, r);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, ramp(16));
+}
+
+TEST(BlockStore, MissesAreCountedNotFatal) {
+  BlockStore store;
+  store.put(1, 0, rect(0, 0, 4, 4), ramp(16));
+  EXPECT_FALSE(store.extract(1, 1, rect(0, 0, 1, 1)).has_value());  // vertex
+  EXPECT_FALSE(store.extract(2, 0, rect(0, 0, 1, 1)).has_value());  // job
+  const BlockStoreStats s = store.stats();
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.hits, 0);
+}
+
+TEST(BlockStore, EvictsLeastRecentlyUsedFirst) {
+  BlockStore store(2 * kBlockBytes);  // room for exactly two blocks
+  store.put(1, 0, rect(0, 0, 4, 4), ramp(16, 100));
+  store.put(1, 1, rect(0, 4, 4, 4), ramp(16, 200));
+  // Touch vertex 0 so vertex 1 becomes the LRU entry.
+  ASSERT_TRUE(store.extract(1, 0, rect(0, 0, 1, 1)).has_value());
+
+  const auto evicted = store.put(1, 2, rect(4, 0, 4, 4), ramp(16, 300));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].vertex, 1);
+  EXPECT_EQ(evicted[0].job, 1);
+  EXPECT_EQ(evicted[0].data, ramp(16, 200));  // spill carries the payload
+  EXPECT_TRUE(store.contains(1, 0));
+  EXPECT_FALSE(store.contains(1, 1));
+  EXPECT_TRUE(store.contains(1, 2));
+  EXPECT_EQ(store.stats().evictions, 1);
+  EXPECT_EQ(store.stats().spilledBytes, kBlockBytes);
+}
+
+TEST(BlockStore, OversizedBlockIsSpilledImmediately) {
+  BlockStore store(kBlockBytes / 2);
+  const auto evicted = store.put(1, 0, rect(0, 0, 4, 4), ramp(16));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].vertex, 0);
+  EXPECT_EQ(store.blockCount(), 0u);
+  EXPECT_EQ(store.bytesStored(), 0u);
+  // peakBytes still saw the block pass through.
+  EXPECT_EQ(store.stats().peakBytes, kBlockBytes);
+}
+
+TEST(BlockStore, PutIsIdempotentForRedistributedTasks) {
+  // A timed-out sub-task re-distributed back to its original rank is
+  // recomputed and stored again; the second put must replace, not abort.
+  BlockStore store;
+  store.put(1, 3, rect(0, 0, 4, 4), ramp(16, 1));
+  store.put(1, 3, rect(0, 0, 4, 4), ramp(16, 1));
+  EXPECT_EQ(store.blockCount(), 1u);
+  EXPECT_EQ(store.bytesStored(), kBlockBytes);
+  const auto got = store.extract(1, 3, rect(0, 0, 4, 4));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, ramp(16, 1));
+}
+
+TEST(BlockStore, ClearDropsOnlyThatJob) {
+  BlockStore store;
+  store.put(1, 0, rect(0, 0, 4, 4), ramp(16));
+  store.put(2, 0, rect(0, 0, 4, 4), ramp(16, 50));
+  store.clear(1);
+  EXPECT_FALSE(store.contains(1, 0));
+  EXPECT_TRUE(store.contains(2, 0));
+  EXPECT_EQ(store.bytesStored(), kBlockBytes);
+  EXPECT_EQ(store.stats().evictions, 0);  // flush is not an eviction
+
+  store.clearAll();
+  EXPECT_EQ(store.blockCount(), 0u);
+  EXPECT_EQ(store.bytesStored(), 0u);
+}
+
+TEST(BlockStore, UnlimitedBudgetNeverEvicts) {
+  BlockStore store;  // byteBudget = 0: unlimited
+  for (VertexId v = 0; v < 64; ++v) {
+    EXPECT_TRUE(store.put(1, v, rect(0, 0, 4, 4), ramp(16)).empty());
+  }
+  EXPECT_EQ(store.blockCount(), 64u);
+  EXPECT_EQ(store.stats().evictions, 0);
+}
+
+TEST(Ownership, RegisterThenRouteHalosToOwner) {
+  OwnershipDirectory dir;
+  dir.registerBlock(5, 2);
+  EXPECT_EQ(dir.haloSource(5), 2);
+  EXPECT_EQ(dir.assemblySource(5), 2);
+  EXPECT_FALSE(dir.resident(5));
+  EXPECT_EQ(dir.haloSource(99), 0);  // unknown block: master
+}
+
+TEST(Ownership, SpillBeforeAckKeepsMasterAuthoritative) {
+  // The eviction spill can land (and mark the block resident) before the
+  // slave's ack registers ownership; the later registerBlock must not
+  // point peers back at a store that no longer holds the block.
+  OwnershipDirectory dir;
+  dir.markResident(5);
+  dir.registerBlock(5, 2);
+  EXPECT_EQ(dir.haloSource(5), 0);
+  EXPECT_EQ(dir.assemblySource(5), 0);
+  EXPECT_TRUE(dir.resident(5));
+}
+
+TEST(Ownership, InvalidateRankReroutesPeersButNotAssembly) {
+  OwnershipDirectory dir;
+  dir.registerBlock(1, 2);
+  dir.registerBlock(2, 2);
+  dir.registerBlock(3, 3);
+  EXPECT_EQ(dir.invalidateRank(2), 2);
+  EXPECT_EQ(dir.invalidateRank(2), 0);  // already suspect: idempotent
+  EXPECT_EQ(dir.invalidations(), 2);
+  // Peers go to the master; assembly still knows where the cells are.
+  EXPECT_EQ(dir.haloSource(1), 0);
+  EXPECT_EQ(dir.assemblySource(1), 2);
+  EXPECT_EQ(dir.haloSource(3), 3);  // other ranks unaffected
+}
+
+// Acceptance: block stores survive across jobs inside one serve::Service,
+// and a byte budget small enough to force eviction mid-job still yields
+// bit-exact results (the spill path keeps every cell reachable).
+TEST(StoreServe, TinyBudgetSpillsAcrossServeJobs) {
+  serve::ServiceConfig cfg;
+  cfg.runtime.slaveCount = 3;
+  cfg.runtime.threadsPerSlave = 2;
+  cfg.runtime.processPartitionRows = cfg.runtime.processPartitionCols = 12;
+  cfg.runtime.threadPartitionRows = cfg.runtime.threadPartitionCols = 4;
+  // Roughly two 12x12 blocks per slave store.
+  cfg.runtime.storeByteBudget = 2 * 144 * sizeof(Score);
+
+  serve::Service service(cfg);
+  auto p1 = std::make_shared<EditDistance>(randomSequence(40, 61),
+                                           randomSequence(40, 62));
+  auto p2 = std::make_shared<EditDistance>(randomSequence(37, 63),
+                                           randomSequence(41, 64));
+  auto t1 = service.submit(p1);
+  auto o1 = t1.wait();
+  auto t2 = service.submit(p2);
+  auto o2 = t2.wait();
+  service.shutdown();
+
+  for (const auto& [problem, outcome] :
+       {std::pair{p1, o1}, std::pair{p2, o2}}) {
+    ASSERT_EQ(outcome->state, serve::JobState::kDone) << outcome->error;
+    ASSERT_TRUE(outcome->matrix.has_value());
+    const DenseMatrix<Score> ref = problem->solveReference();
+    for (std::int64_t r = 0; r < problem->rows(); ++r) {
+      for (std::int64_t c = 0; c < problem->cols(); ++c) {
+        ASSERT_EQ(outcome->matrix->get(r, c), ref.at(r, c))
+            << "mismatch at (" << r << "," << c << ")";
+      }
+    }
+    EXPECT_GT(outcome->stats.run.storeEvictions, 0);
+    EXPECT_GT(outcome->stats.run.storeSpilledBytes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace easyhps::store

@@ -74,6 +74,19 @@ TEST(Banner, ContainsTitle) {
   EXPECT_NE(banner("Fig 1").find("Fig 1"), std::string::npos);
 }
 
+TEST(LinkMatrix, RendersPerLinkKilobytes) {
+  // 2-rank matrix: 0→1 moved 1500 bytes, 1→0 moved 300.
+  const Table t = linkMatrixTable({0, 1500, 300, 0}, 2);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("src\\dst kB"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("0.3"), std::string::npos);
+}
+
+TEST(LinkMatrix, RejectsMismatchedSize) {
+  EXPECT_ANY_THROW(linkMatrixTable({1, 2, 3}, 2));
+}
+
 TEST(TraceCsv, OneRowPerTask) {
   SmithWatermanGeneralGap p(randomSequence(300, 1), randomSequence(300, 2));
   sim::SimConfig cfg;
