@@ -1,0 +1,249 @@
+// Kernel micro-benchmark: span fast path vs per-cell reference path.
+//
+// For every shipped kernel this bench computes one mid-matrix block through
+// the same Window / SparseWindow machinery the runtime uses, on both kernel
+// paths (kernel_common.hpp), and reports cells/sec and the span-over-
+// reference speedup.  Halo cells are filled with deterministic pseudo-random
+// data rather than solved prefixes — a kernel is a pure recurrence over its
+// window, so both paths must still agree bit-for-bit on the block they
+// produce (the `identical` column; full-matrix exactness lives in
+// tests/test_kernels.cpp).  Each timed rep recomputes the same block in
+// place, which is idempotent given fixed halos.
+//
+//   bench_kernels           full sizes (speedup claims measured here)
+//   bench_kernels --smoke   tiny sizes, 1 rep — CI wiring check only
+//
+// Emits BENCH_kernels.json in the working directory.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/kernel_common.hpp"
+#include "easyhps/dp/knapsack.hpp"
+#include "easyhps/dp/lcs.hpp"
+#include "easyhps/dp/mcm.hpp"
+#include "easyhps/dp/needleman.hpp"
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/obst.hpp"
+#include "easyhps/dp/problem.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/sparse_window.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/dp/twod2d.hpp"
+#include "easyhps/dp/viterbi.hpp"
+#include "easyhps/util/clock.hpp"
+
+namespace easyhps::bench {
+namespace {
+
+struct Case {
+  std::string name;
+  std::unique_ptr<DpProblem> problem;
+  CellRect rect;  // the one block the bench computes, mid-matrix
+};
+
+// Block placements keep every case O(fraction of a second) per reference
+// rep while leaving real halo traffic on every side that the kernel reads.
+std::vector<Case> makeCases(bool smoke) {
+  std::vector<Case> cases;
+  const auto add = [&](std::string name, std::unique_ptr<DpProblem> p,
+                       CellRect rect) {
+    cases.push_back(Case{std::move(name), std::move(p), rect});
+  };
+  if (smoke) {
+    add("lcs",
+        std::make_unique<LongestCommonSubsequence>(randomSequence(96, 1),
+                                                   randomSequence(96, 2)),
+        CellRect{32, 32, 32, 32});
+    add("needleman",
+        std::make_unique<NeedlemanWunsch>(randomSequence(96, 3),
+                                          randomSequence(96, 4)),
+        CellRect{32, 32, 32, 32});
+    add("editdist",
+        std::make_unique<EditDistance>(randomSequence(96, 5),
+                                       randomSequence(96, 6)),
+        CellRect{32, 32, 32, 32});
+    add("swgg",
+        std::make_unique<SmithWatermanGeneralGap>(randomSequence(48, 7),
+                                                  randomSequence(48, 8)),
+        CellRect{16, 16, 16, 16});
+    add("nussinov", std::make_unique<Nussinov>(randomRna(48, 9)),
+        CellRect{8, 24, 8, 8});
+    add("viterbi", std::make_unique<Viterbi>(16, 16, 10),
+        CellRect{8, 0, 4, 16});
+    add("mcm", std::make_unique<MatrixChain>(48, 11),
+        CellRect{8, 24, 8, 8});
+    add("obst", std::make_unique<OptimalBst>(48, 12),
+        CellRect{8, 24, 8, 8});
+    add("knapsack", std::make_unique<Knapsack>(64, 128, 13),
+        CellRect{16, 32, 16, 32});
+    add("twod2d", std::make_unique<TwoDTwoD>(16, 14),
+        CellRect{8, 8, 4, 4});
+    return cases;
+  }
+  add("lcs",
+      std::make_unique<LongestCommonSubsequence>(randomSequence(3072, 1),
+                                                 randomSequence(3072, 2)),
+      CellRect{1024, 1024, 1024, 1024});
+  add("needleman",
+      std::make_unique<NeedlemanWunsch>(randomSequence(3072, 3),
+                                        randomSequence(3072, 4)),
+      CellRect{1024, 1024, 1024, 1024});
+  add("editdist",
+      std::make_unique<EditDistance>(randomSequence(3072, 5),
+                                     randomSequence(3072, 6)),
+      CellRect{1024, 1024, 1024, 1024});
+  add("swgg",
+      std::make_unique<SmithWatermanGeneralGap>(randomSequence(768, 7),
+                                                randomSequence(768, 8)),
+      CellRect{384, 384, 192, 192});
+  add("nussinov", std::make_unique<Nussinov>(randomRna(640, 9)),
+      CellRect{128, 384, 128, 128});
+  add("viterbi", std::make_unique<Viterbi>(256, 256, 10),
+      CellRect{128, 0, 64, 256});
+  add("mcm", std::make_unique<MatrixChain>(640, 11),
+      CellRect{128, 384, 128, 128});
+  add("obst", std::make_unique<OptimalBst>(640, 12),
+      CellRect{128, 384, 128, 128});
+  add("knapsack", std::make_unique<Knapsack>(2048, 4096, 13),
+      CellRect{512, 1024, 512, 1024});
+  add("twod2d", std::make_unique<TwoDTwoD>(64, 14),
+      CellRect{48, 48, 16, 16});
+  return cases;
+}
+
+// Deterministic halo fill: small values so no recurrence can overflow.
+std::vector<Score> haloData(const CellRect& h, std::uint64_t seed) {
+  std::vector<Score> d(static_cast<std::size_t>(h.cellCount()));
+  std::size_t k = 0;
+  for (std::int64_t r = h.row0; r < h.rowEnd(); ++r) {
+    for (std::int64_t c = h.col0; c < h.colEnd(); ++c) {
+      d[k++] = hashWeight(r, c, seed, 16);
+    }
+  }
+  return d;
+}
+
+std::uint64_t checksum(const std::vector<Score>& cells) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the block cells
+  for (Score s : cells) {
+    h = (h ^ static_cast<std::uint32_t>(s)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+// Times `compute` (one block recompute); the first run doubles as warm-up
+// and calibration, then reps are sized so the timed region lasts ~0.3 s
+// regardless of kernel cost.  Returns milliseconds per rep.
+template <typename Compute>
+double measureMillis(bool smoke, Compute&& compute) {
+  Stopwatch sw;
+  compute();
+  const double first = sw.elapsedSeconds();
+  int reps = 1;
+  if (!smoke) {
+    reps = static_cast<int>(
+        std::clamp(std::ceil(0.3 / std::max(first, 1e-7)), 1.0, 2000.0));
+  }
+  sw.reset();
+  for (int i = 0; i < reps; ++i) {
+    compute();
+  }
+  return sw.elapsedMillis() / reps;
+}
+
+struct PathResult {
+  double millisPerRep = 0.0;
+  std::uint64_t sum = 0;
+};
+
+// One (storage, path) measurement: fresh window, injected halos, timed
+// block recomputes, checksum of the produced block.
+PathResult runDense(const DpProblem& p, const CellRect& rect,
+                    KernelPath path, bool smoke) {
+  const auto halos = p.haloFor(rect);
+  Window local(boundingBox(rect, halos), p.boundaryFn());
+  for (const CellRect& h : halos) {
+    local.inject(h, haloData(h, 77));
+  }
+  ScopedKernelPath scoped(path);
+  PathResult r;
+  r.millisPerRep =
+      measureMillis(smoke, [&] { p.computeBlock(local, rect); });
+  r.sum = checksum(local.extract(rect));
+  return r;
+}
+
+PathResult runSparse(const DpProblem& p, const CellRect& rect,
+                     KernelPath path, bool smoke) {
+  const auto halos = p.haloFor(rect);
+  std::vector<CellRect> segments{rect};
+  segments.insert(segments.end(), halos.begin(), halos.end());
+  SparseWindow local(std::move(segments), p.boundaryFn());
+  for (const CellRect& h : halos) {
+    local.inject(h, haloData(h, 77));
+  }
+  ScopedKernelPath scoped(path);
+  PathResult r;
+  r.millisPerRep =
+      measureMillis(smoke, [&] { p.computeBlockSparse(local, rect); });
+  r.sum = checksum(local.extract(rect));
+  return r;
+}
+
+}  // namespace
+}  // namespace easyhps::bench
+
+int main(int argc, char** argv) {
+  using namespace easyhps;
+  using namespace easyhps::bench;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
+  trace::Table table({"kernel", "storage", "cells", "ref_ms", "span_ms",
+                      "ref_mcells_s", "span_mcells_s", "speedup",
+                      "identical", "checksum"});
+  bool allIdentical = true;
+  for (const Case& c : makeCases(smoke)) {
+    const double cells = static_cast<double>(c.rect.cellCount());
+    for (const char* storage : {"dense", "sparse"}) {
+      const bool dense = std::strcmp(storage, "dense") == 0;
+      const PathResult ref =
+          dense ? runDense(*c.problem, c.rect, KernelPath::kReference, smoke)
+                : runSparse(*c.problem, c.rect, KernelPath::kReference, smoke);
+      const PathResult span =
+          dense ? runDense(*c.problem, c.rect, KernelPath::kSpan, smoke)
+                : runSparse(*c.problem, c.rect, KernelPath::kSpan, smoke);
+      const bool identical = ref.sum == span.sum;
+      allIdentical = allIdentical && identical;
+      const double refCps = cells / (ref.millisPerRep * 1e-3);
+      const double spanCps = cells / (span.millisPerRep * 1e-3);
+      table.addRow({c.name, storage, trace::Table::num(c.rect.cellCount()),
+                    trace::Table::num(ref.millisPerRep, 4),
+                    trace::Table::num(span.millisPerRep, 4),
+                    trace::Table::num(refCps / 1e6, 2),
+                    trace::Table::num(spanCps / 1e6, 2),
+                    trace::Table::num(refCps > 0 ? spanCps / refCps : 0.0, 2),
+                    identical ? "yes" : "NO",
+                    std::to_string(span.sum)});
+      std::cout << c.name << "/" << storage << " done\n";
+    }
+  }
+  std::cout << "\n" << table.render() << "\n";
+  writeBenchJson("kernels", table);
+  if (!allIdentical) {
+    std::cerr << "FAIL: span/reference checksum divergence\n";
+    return 1;
+  }
+  return 0;
+}

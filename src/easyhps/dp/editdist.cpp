@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "easyhps/dp/kernel_common.hpp"
+
 namespace easyhps {
 
 EditDistance::EditDistance(std::string a, std::string b)
@@ -48,18 +50,44 @@ std::vector<CellRect> EditDistance::haloFor(const CellRect& rect) const {
 }
 
 template <typename W>
-void EditDistance::kernel(W& w, const CellRect& rect) const {
+void EditDistance::referenceKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
   for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
     for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
-      const Score sub = w.get(r - 1, c - 1) +
+      const Score sub = v.get(r - 1, c - 1) +
                         (a_[static_cast<std::size_t>(r)] ==
                                  b_[static_cast<std::size_t>(c)]
                              ? 0
                              : 1);
-      const Score del = w.get(r - 1, c) + 1;
-      const Score ins = w.get(r, c - 1) + 1;
-      w.set(r, c, std::min({sub, del, ins}));
+      const Score del = v.get(r - 1, c) + 1;
+      const Score ins = v.get(r, c - 1) + 1;
+      v.set(r, c, std::min({sub, del, ins}));
     }
+  }
+}
+
+template <typename W>
+void EditDistance::spanKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
+  wavefrontSpanKernel(
+      v, rect,
+      [this](std::int64_t r, std::int64_t c, Score diag, Score up,
+             Score left) -> Score {
+        const Score sub = diag + (a_[static_cast<std::size_t>(r)] ==
+                                          b_[static_cast<std::size_t>(c)]
+                                      ? 0
+                                      : 1);
+        return std::min({sub, static_cast<Score>(up + 1),
+                         static_cast<Score>(left + 1)});
+      });
+}
+
+template <typename W>
+void EditDistance::kernel(W& w, const CellRect& rect) const {
+  if (kernelPath() == KernelPath::kReference) {
+    referenceKernel(w, rect);
+  } else {
+    spanKernel(w, rect);
   }
 }
 

@@ -1,0 +1,36 @@
+#include "easyhps/dp/kernel_common.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace easyhps {
+namespace {
+
+// EASYHPS_KERNEL_PATH=reference forces the per-cell oracle path process-
+// wide without a rebuild — used to A/B the figure benches and to bisect a
+// suspected span-path miscompute in the field.  Anything else (including
+// unset) selects the span default.
+KernelPath initialKernelPath() {
+  const char* env = std::getenv("EASYHPS_KERNEL_PATH");
+  if (env != nullptr && std::strcmp(env, "reference") == 0) {
+    return KernelPath::kReference;
+  }
+  return KernelPath::kSpan;
+}
+
+// Relaxed is enough: the toggle is set before a run and read by kernel
+// dispatch; it is a mode switch, not a synchronization point.
+std::atomic<KernelPath> g_kernel_path{initialKernelPath()};
+
+}  // namespace
+
+KernelPath kernelPath() {
+  return g_kernel_path.load(std::memory_order_relaxed);
+}
+
+void setKernelPath(KernelPath path) {
+  g_kernel_path.store(path, std::memory_order_relaxed);
+}
+
+}  // namespace easyhps

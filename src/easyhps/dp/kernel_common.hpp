@@ -1,0 +1,106 @@
+#pragma once
+/// \file kernel_common.hpp
+/// Shared helpers for the span-based kernel fast path.
+///
+/// Every shipped kernel exists in two bit-identical flavours:
+///
+///  * the *reference* path — the original per-cell `get`/`set` loop, kept
+///    as the oracle for the bit-exactness suite and as the A/B baseline of
+///    `bench_kernels`;
+///  * the *span* path (default) — an interior/border split where border
+///    rows and columns keep the safe per-cell accessors (boundary
+///    functions, triangular masks, halo corners) while the interior runs
+///    over raw row pointers obtained once per row via
+///    `Window::View::rowIn/rowOut/colIn`.
+///
+/// The split is what takes the per-cell abstraction (bounds check, segment
+/// scan, `std::function` boundary fallback) out of the O(cells) and
+/// O(cells·scan) inner loops; see DESIGN.md, "Kernel fast path".
+///
+/// Which path runs is a process-wide toggle so the whole runtime — master,
+/// slave pools, tests — can be flipped for A/B without threading a flag
+/// through every call chain.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "easyhps/dp/sparse_window.hpp"
+#include "easyhps/dp/window.hpp"
+#include "easyhps/matrix/geometry.hpp"
+
+namespace easyhps {
+
+/// Which kernel implementation computeBlock/computeBlockSparse dispatch to.
+enum class KernelPath {
+  kSpan,       ///< interior/border split over row spans (default)
+  kReference,  ///< original per-cell get/set loops (oracle / A-B baseline)
+};
+
+/// Process-wide kernel path; defaults to kSpan, or kReference when the
+/// process started with EASYHPS_KERNEL_PATH=reference in the environment
+/// (no-rebuild A/B switch for the figure benches and field bisection).
+KernelPath kernelPath();
+void setKernelPath(KernelPath path);
+
+/// RAII path override for benches and the bit-exactness suite.
+class ScopedKernelPath {
+ public:
+  explicit ScopedKernelPath(KernelPath path) : prev_(kernelPath()) {
+    setKernelPath(path);
+  }
+  ~ScopedKernelPath() { setKernelPath(prev_); }
+  ScopedKernelPath(const ScopedKernelPath&) = delete;
+  ScopedKernelPath& operator=(const ScopedKernelPath&) = delete;
+
+ private:
+  KernelPath prev_;
+};
+
+/// Column tile width of the interior loops.  Three Score rows of a tile
+/// (previous row, output row, and the write-allocated lines) stay resident
+/// in L1/L2 while a tall block walks down its rows, instead of streaming
+/// whole matrix rows per iteration.
+inline constexpr std::int64_t kKernelTileCols = 512;
+
+/// The classic three-neighbour wavefront recurrence over `rect`, column
+/// tiled:  out(r, c) = cell(r, c, diag, up, left) with diag = (r-1, c-1),
+/// up = (r-1, c), left = (r, c-1).  Shared by LCS / Needleman-Wunsch /
+/// edit distance, whose kernels differ only in `cell`.
+///
+/// Interior rows read the previous row through one span resolved per tile
+/// row and carry `left`/`diag` in registers; rows whose previous row is
+/// not materialized (matrix row -1, i.e. the boundary function) fall back
+/// to the safe per-cell path.  Tiling is dependency-legal for this
+/// recurrence: a tile only reads its own columns and the fully-computed
+/// tile to its left.
+template <typename View, typename CellFn>
+void wavefrontSpanKernel(View& v, const CellRect& rect, CellFn cell) {
+  for (std::int64_t t0 = rect.col0; t0 < rect.colEnd();
+       t0 += kKernelTileCols) {
+    const std::int64_t t1 = std::min(t0 + kKernelTileCols, rect.colEnd());
+    const std::int64_t len = t1 - t0;
+    for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+      const Score* prev = v.rowIn(r - 1, t0, len);
+      Score* out = v.rowOut(r, t0, len);
+      if (prev == nullptr || out == nullptr) {
+        for (std::int64_t c = t0; c < t1; ++c) {
+          v.set(r, c,
+                cell(r, c, v.get(r - 1, c - 1), v.get(r - 1, c),
+                     v.get(r, c - 1)));
+        }
+        continue;
+      }
+      Score diag = v.get(r - 1, t0 - 1);
+      Score left = v.get(r, t0 - 1);
+      for (std::int64_t i = 0; i < len; ++i) {
+        const Score up = prev[i];
+        const Score val = cell(r, t0 + i, diag, up, left);
+        out[i] = val;
+        left = val;
+        diag = up;
+      }
+    }
+  }
+}
+
+}  // namespace easyhps

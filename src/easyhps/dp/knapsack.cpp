@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "easyhps/dp/kernel_common.hpp"
 #include "easyhps/util/rng.hpp"
 
 namespace easyhps {
@@ -50,18 +51,62 @@ std::vector<CellRect> Knapsack::haloFor(const CellRect& rect) const {
 }
 
 template <typename W>
-void Knapsack::kernel(W& w, const CellRect& rect) const {
+void Knapsack::referenceKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
   for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
     const Item& item = items_[static_cast<std::size_t>(r)];
     for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
-      Score best = w.get(r - 1, c);  // skip the item
+      Score best = v.get(r - 1, c);  // skip the item
       if (item.weight <= c + 1) {    // capacity c+1 fits the item
         best = std::max(best,
                         static_cast<Score>(item.value +
-                                           w.get(r - 1, c - item.weight)));
+                                           v.get(r - 1, c - item.weight)));
       }
-      w.set(r, c, best);
+      v.set(r, c, best);
     }
+  }
+}
+
+template <typename W>
+void Knapsack::spanKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    const Item& item = items_[static_cast<std::size_t>(r)];
+    // The jump dependency (r-1, c - weight) lands in one of three stores:
+    // the previous row under the block, the left strip of the previous
+    // row (halo), or — for c - weight = -1 — the zero boundary.  Both
+    // spans resolve once per row; matrix row 0 has no stored previous
+    // row and keeps the per-cell path.
+    Score* out = v.rowOut(r, rect.col0, rect.cols);
+    const Score* prevBlk =
+        r > 0 ? v.rowIn(r - 1, rect.col0, rect.cols) : nullptr;
+    const Score* prevLeft =
+        (r > 0 && rect.col0 > 0) ? v.rowIn(r - 1, 0, rect.col0) : nullptr;
+    if (out == nullptr || prevBlk == nullptr ||
+        (rect.col0 > 0 && prevLeft == nullptr)) {
+      referenceKernel(w, CellRect{r, rect.col0, 1, rect.cols});
+      continue;
+    }
+    for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
+      Score best = prevBlk[c - rect.col0];  // skip the item
+      if (item.weight <= c + 1) {           // capacity c+1 fits the item
+        const std::int64_t cc = c - item.weight;
+        const Score prev = cc >= rect.col0 ? prevBlk[cc - rect.col0]
+                           : cc >= 0       ? prevLeft[cc]
+                                           : Score{0};
+        best = std::max(best, static_cast<Score>(item.value + prev));
+      }
+      out[c - rect.col0] = best;
+    }
+  }
+}
+
+template <typename W>
+void Knapsack::kernel(W& w, const CellRect& rect) const {
+  if (kernelPath() == KernelPath::kReference) {
+    referenceKernel(w, rect);
+  } else {
+    spanKernel(w, rect);
   }
 }
 

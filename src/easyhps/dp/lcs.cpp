@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "easyhps/dp/kernel_common.hpp"
+
 namespace easyhps {
 
 LongestCommonSubsequence::LongestCommonSubsequence(std::string a,
@@ -42,15 +44,41 @@ std::vector<CellRect> LongestCommonSubsequence::haloFor(
 }
 
 template <typename W>
-void LongestCommonSubsequence::kernel(W& w, const CellRect& rect) const {
+void LongestCommonSubsequence::referenceKernel(W& w,
+                                               const CellRect& rect) const {
+  typename W::View v(w);
   for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
     for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
       if (a_[static_cast<std::size_t>(r)] == b_[static_cast<std::size_t>(c)]) {
-        w.set(r, c, static_cast<Score>(w.get(r - 1, c - 1) + 1));
+        v.set(r, c, static_cast<Score>(v.get(r - 1, c - 1) + 1));
       } else {
-        w.set(r, c, std::max(w.get(r - 1, c), w.get(r, c - 1)));
+        v.set(r, c, std::max(v.get(r - 1, c), v.get(r, c - 1)));
       }
     }
+  }
+}
+
+template <typename W>
+void LongestCommonSubsequence::spanKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
+  wavefrontSpanKernel(
+      v, rect,
+      [this](std::int64_t r, std::int64_t c, Score diag, Score up,
+             Score left) -> Score {
+        if (a_[static_cast<std::size_t>(r)] ==
+            b_[static_cast<std::size_t>(c)]) {
+          return static_cast<Score>(diag + 1);
+        }
+        return std::max(up, left);
+      });
+}
+
+template <typename W>
+void LongestCommonSubsequence::kernel(W& w, const CellRect& rect) const {
+  if (kernelPath() == KernelPath::kReference) {
+    referenceKernel(w, rect);
+  } else {
+    spanKernel(w, rect);
   }
 }
 

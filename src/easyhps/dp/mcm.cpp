@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 
+#include "easyhps/dp/kernel_common.hpp"
 #include "easyhps/util/rng.hpp"
 
 namespace easyhps {
@@ -49,21 +50,91 @@ std::vector<CellRect> MatrixChain::haloFor(const CellRect& rect) const {
 }
 
 template <typename W>
-void MatrixChain::kernel(W& w, const CellRect& rect) const {
+void MatrixChain::referenceKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
   for (std::int64_t i = rect.rowEnd() - 1; i >= rect.row0; --i) {
     for (std::int64_t j = std::max(rect.col0, i); j < rect.colEnd(); ++j) {
       if (i == j) {
-        w.set(i, j, 0);
+        v.set(i, j, 0);
         continue;
       }
       Score best = std::numeric_limits<Score>::max();
       for (std::int64_t k = i; k < j; ++k) {
         best = std::min(best,
-                        static_cast<Score>(w.get(i, k) + w.get(k + 1, j) +
+                        static_cast<Score>(v.get(i, k) + v.get(k + 1, j) +
                                            mulCost(i, k, j)));
       }
-      w.set(i, j, best);
+      v.set(i, j, best);
     }
+  }
+}
+
+template <typename W>
+void MatrixChain::spanKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
+  for (std::int64_t i = rect.rowEnd() - 1; i >= rect.row0; --i) {
+    // Row pieces M[i][k]: left-halo trapezoid columns [row0, col0), then
+    // the row being written (computed for k < j).
+    Score* out = v.rowOut(i, rect.col0, rect.cols);
+    const Score* rowLeft =
+        rect.col0 > rect.row0
+            ? v.rowIn(i, rect.row0, rect.col0 - rect.row0)
+            : nullptr;
+    if (out == nullptr) {
+      referenceKernel(w, CellRect{i, rect.col0, 1, rect.cols});
+      continue;
+    }
+    const std::int64_t di =
+        static_cast<std::int64_t>(dims_[static_cast<std::size_t>(i)]);
+    for (std::int64_t j = std::max(rect.col0, i); j < rect.colEnd(); ++j) {
+      if (i == j) {
+        out[j - rect.col0] = 0;
+        continue;
+      }
+      // Column pieces M[k+1][j]: block rows below i, then the below-halo
+      // trapezoid; resolved once per cell, amortized over the k-scan.
+      const std::int64_t blkLo = i + 1;
+      const std::int64_t blkHi = std::min(j + 1, rect.rowEnd());
+      std::int64_t blkStride = 0;
+      const Score* blkCol =
+          blkHi > blkLo ? v.colIn(blkLo, j, blkHi - blkLo, &blkStride)
+                        : nullptr;
+      const std::int64_t belLo = std::max(blkLo, rect.rowEnd());
+      std::int64_t belStride = 0;
+      const Score* belCol =
+          j + 1 > belLo ? v.colIn(belLo, j, j + 1 - belLo, &belStride)
+                        : nullptr;
+      const std::int64_t dj =
+          static_cast<std::int64_t>(dims_[static_cast<std::size_t>(j + 1)]);
+      Score best = std::numeric_limits<Score>::max();
+      for (std::int64_t k = i; k < j; ++k) {
+        const Score left =
+            k < rect.col0
+                ? (rowLeft != nullptr ? rowLeft[k - rect.row0]
+                                      : v.get(i, k))
+                : out[k - rect.col0];
+        const std::int64_t kr = k + 1;
+        const Score down =
+            kr < rect.rowEnd()
+                ? (blkCol != nullptr ? blkCol[(kr - blkLo) * blkStride]
+                                     : v.get(kr, j))
+                : (belCol != nullptr ? belCol[(kr - belLo) * belStride]
+                                     : v.get(kr, j));
+        const Score cost = static_cast<Score>(
+            di * dims_[static_cast<std::size_t>(k + 1)] * dj);
+        best = std::min(best, static_cast<Score>(left + down + cost));
+      }
+      out[j - rect.col0] = best;
+    }
+  }
+}
+
+template <typename W>
+void MatrixChain::kernel(W& w, const CellRect& rect) const {
+  if (kernelPath() == KernelPath::kReference) {
+    referenceKernel(w, rect);
+  } else {
+    spanKernel(w, rect);
   }
 }
 

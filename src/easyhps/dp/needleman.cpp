@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "easyhps/dp/kernel_common.hpp"
+
 namespace easyhps {
 
 NeedlemanWunsch::NeedlemanWunsch(std::string a, std::string b)
@@ -49,15 +51,39 @@ std::vector<CellRect> NeedlemanWunsch::haloFor(const CellRect& rect) const {
 }
 
 template <typename W>
-void NeedlemanWunsch::kernel(W& w, const CellRect& rect) const {
+void NeedlemanWunsch::referenceKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
   for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
     for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
       const Score diag =
-          static_cast<Score>(w.get(r - 1, c - 1) + substitution(r, c));
-      const Score up = static_cast<Score>(w.get(r - 1, c) - params_.gap);
-      const Score left = static_cast<Score>(w.get(r, c - 1) - params_.gap);
-      w.set(r, c, std::max({diag, up, left}));
+          static_cast<Score>(v.get(r - 1, c - 1) + substitution(r, c));
+      const Score up = static_cast<Score>(v.get(r - 1, c) - params_.gap);
+      const Score left = static_cast<Score>(v.get(r, c - 1) - params_.gap);
+      v.set(r, c, std::max({diag, up, left}));
     }
+  }
+}
+
+template <typename W>
+void NeedlemanWunsch::spanKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
+  wavefrontSpanKernel(
+      v, rect,
+      [this](std::int64_t r, std::int64_t c, Score diag, Score up,
+             Score left) -> Score {
+        return std::max(
+            {static_cast<Score>(diag + substitution(r, c)),
+             static_cast<Score>(up - params_.gap),
+             static_cast<Score>(left - params_.gap)});
+      });
+}
+
+template <typename W>
+void NeedlemanWunsch::kernel(W& w, const CellRect& rect) const {
+  if (kernelPath() == KernelPath::kReference) {
+    referenceKernel(w, rect);
+  } else {
+    spanKernel(w, rect);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "easyhps/dp/kernel_common.hpp"
 #include "easyhps/dp/sequence.hpp"
 
 namespace easyhps {
@@ -51,26 +52,98 @@ std::vector<CellRect> Nussinov::haloFor(const CellRect& rect) const {
 }
 
 template <typename W>
-void Nussinov::kernel(W& w, const CellRect& rect) const {
+void Nussinov::referenceKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
   // Rows bottom-up, columns left-to-right: inside a block, (i,j) needs
   // (i+1,j) and (i,j-1).
   for (std::int64_t i = rect.rowEnd() - 1; i >= rect.row0; --i) {
     for (std::int64_t j = std::max(rect.col0, i); j < rect.colEnd(); ++j) {
       if (i == j) {
-        w.set(i, j, 0);
+        v.set(i, j, 0);
         continue;
       }
-      Score best = std::max(w.get(i + 1, j), w.get(i, j - 1));
+      Score best = std::max(v.get(i + 1, j), v.get(i, j - 1));
       const Score p = pairScore(i, j);
       if (p > 0) {
-        best = std::max(best, static_cast<Score>(w.get(i + 1, j - 1) + p));
+        best = std::max(best, static_cast<Score>(v.get(i + 1, j - 1) + p));
       }
       for (std::int64_t k = i + 1; k < j; ++k) {
         best = std::max(best,
-                        static_cast<Score>(w.get(i, k) + w.get(k + 1, j)));
+                        static_cast<Score>(v.get(i, k) + v.get(k + 1, j)));
       }
-      w.set(i, j, best);
+      v.set(i, j, best);
     }
+  }
+}
+
+template <typename W>
+void Nussinov::spanKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
+  for (std::int64_t i = rect.rowEnd() - 1; i >= rect.row0; --i) {
+    // Row pieces N[i][k] of the split term: columns left of the block sit
+    // in the left-halo trapezoid, columns inside it in the row being
+    // written (already computed for k < j).
+    Score* out = v.rowOut(i, rect.col0, rect.cols);
+    const Score* rowLeft =
+        rect.col0 > rect.row0
+            ? v.rowIn(i, rect.row0, rect.col0 - rect.row0)
+            : nullptr;
+    if (out == nullptr) {
+      referenceKernel(w, CellRect{i, rect.col0, 1, rect.cols});
+      continue;
+    }
+    for (std::int64_t j = std::max(rect.col0, i); j < rect.colEnd(); ++j) {
+      if (i == j) {
+        out[j - rect.col0] = 0;
+        continue;
+      }
+      const Score adjLeft =
+          j > rect.col0 ? out[j - 1 - rect.col0] : v.get(i, j - 1);
+      Score best = std::max(v.get(i + 1, j), adjLeft);
+      const Score p = pairScore(i, j);
+      if (p > 0) {
+        best = std::max(best, static_cast<Score>(v.get(i + 1, j - 1) + p));
+      }
+      // Column pieces N[k+1][j]: rows below i inside the block, then the
+      // below-halo trapezoid.  One containing-segment resolution per
+      // piece per cell amortizes over the O(j - i) scan.
+      const std::int64_t blkLo = i + 2;
+      const std::int64_t blkHi = std::min(j + 1, rect.rowEnd());
+      std::int64_t blkStride = 0;
+      const Score* blkCol =
+          blkHi > blkLo ? v.colIn(blkLo, j, blkHi - blkLo, &blkStride)
+                        : nullptr;
+      const std::int64_t belLo = std::max(blkLo, rect.rowEnd());
+      std::int64_t belStride = 0;
+      const Score* belCol =
+          j + 1 > belLo ? v.colIn(belLo, j, j + 1 - belLo, &belStride)
+                        : nullptr;
+      for (std::int64_t k = i + 1; k < j; ++k) {
+        const Score left =
+            k < rect.col0
+                ? (rowLeft != nullptr ? rowLeft[k - rect.row0]
+                                      : v.get(i, k))
+                : out[k - rect.col0];
+        const std::int64_t kr = k + 1;
+        const Score down =
+            kr < rect.rowEnd()
+                ? (blkCol != nullptr ? blkCol[(kr - blkLo) * blkStride]
+                                     : v.get(kr, j))
+                : (belCol != nullptr ? belCol[(kr - belLo) * belStride]
+                                     : v.get(kr, j));
+        best = std::max(best, static_cast<Score>(left + down));
+      }
+      out[j - rect.col0] = best;
+    }
+  }
+}
+
+template <typename W>
+void Nussinov::kernel(W& w, const CellRect& rect) const {
+  if (kernelPath() == KernelPath::kReference) {
+    referenceKernel(w, rect);
+  } else {
+    spanKernel(w, rect);
   }
 }
 

@@ -67,8 +67,13 @@ class Nussinov final : public DpProblem {
       const std::vector<std::pair<std::int64_t, std::int64_t>>& pairs) const;
 
  private:
+  /// Dispatches on kernelPath(): span fast path vs per-cell reference.
   template <typename W>
   void kernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void referenceKernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void spanKernel(W& w, const CellRect& rect) const;
 
   Score pairScore(std::int64_t i, std::int64_t j) const;
 

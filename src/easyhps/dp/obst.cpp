@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "easyhps/dp/kernel_common.hpp"
 #include "easyhps/util/rng.hpp"
 
 namespace easyhps {
@@ -65,21 +66,85 @@ std::vector<CellRect> OptimalBst::haloFor(const CellRect& rect) const {
 }
 
 template <typename W>
-void OptimalBst::kernel(W& w, const CellRect& rect) const {
+void OptimalBst::referenceKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
   for (std::int64_t i = rect.rowEnd() - 1; i >= rect.row0; --i) {
     for (std::int64_t j = std::max(rect.col0, i); j < rect.colEnd(); ++j) {
       if (i == j) {
-        w.set(i, j, 0);
+        v.set(i, j, 0);
         continue;
       }
       // min over i < k <= j of D[i][k-1] + D[k][j] (paper Algorithm 4.2).
       Score best = std::numeric_limits<Score>::max();
       for (std::int64_t k = i + 1; k <= j; ++k) {
         best = std::min(best,
-                        static_cast<Score>(w.get(i, k - 1) + w.get(k, j)));
+                        static_cast<Score>(v.get(i, k - 1) + v.get(k, j)));
       }
-      w.set(i, j, static_cast<Score>(best + weight(i, j)));
+      v.set(i, j, static_cast<Score>(best + weight(i, j)));
     }
+  }
+}
+
+template <typename W>
+void OptimalBst::spanKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
+  for (std::int64_t i = rect.rowEnd() - 1; i >= rect.row0; --i) {
+    // Row pieces D[i][k-1]: left-halo trapezoid columns [row0, col0),
+    // then the row being written (computed for k-1 < j).
+    Score* out = v.rowOut(i, rect.col0, rect.cols);
+    const Score* rowLeft =
+        rect.col0 > rect.row0
+            ? v.rowIn(i, rect.row0, rect.col0 - rect.row0)
+            : nullptr;
+    if (out == nullptr) {
+      referenceKernel(w, CellRect{i, rect.col0, 1, rect.cols});
+      continue;
+    }
+    for (std::int64_t j = std::max(rect.col0, i); j < rect.colEnd(); ++j) {
+      if (i == j) {
+        out[j - rect.col0] = 0;
+        continue;
+      }
+      // Column pieces D[k][j]: block rows below i, then the below-halo
+      // trapezoid; resolved once per cell, amortized over the k-scan.
+      const std::int64_t blkLo = i + 1;
+      const std::int64_t blkHi = std::min(j + 1, rect.rowEnd());
+      std::int64_t blkStride = 0;
+      const Score* blkCol =
+          blkHi > blkLo ? v.colIn(blkLo, j, blkHi - blkLo, &blkStride)
+                        : nullptr;
+      const std::int64_t belLo = std::max(blkLo, rect.rowEnd());
+      std::int64_t belStride = 0;
+      const Score* belCol =
+          j + 1 > belLo ? v.colIn(belLo, j, j + 1 - belLo, &belStride)
+                        : nullptr;
+      Score best = std::numeric_limits<Score>::max();
+      for (std::int64_t k = i + 1; k <= j; ++k) {
+        const std::int64_t kc = k - 1;
+        const Score left =
+            kc < rect.col0
+                ? (rowLeft != nullptr ? rowLeft[kc - rect.row0]
+                                      : v.get(i, kc))
+                : out[kc - rect.col0];
+        const Score down =
+            k < rect.rowEnd()
+                ? (blkCol != nullptr ? blkCol[(k - blkLo) * blkStride]
+                                     : v.get(k, j))
+                : (belCol != nullptr ? belCol[(k - belLo) * belStride]
+                                     : v.get(k, j));
+        best = std::min(best, static_cast<Score>(left + down));
+      }
+      out[j - rect.col0] = static_cast<Score>(best + weight(i, j));
+    }
+  }
+}
+
+template <typename W>
+void OptimalBst::kernel(W& w, const CellRect& rect) const {
+  if (kernelPath() == KernelPath::kReference) {
+    referenceKernel(w, rect);
+  } else {
+    spanKernel(w, rect);
   }
 }
 

@@ -54,8 +54,13 @@ class OptimalBst final : public DpProblem {
   Score weight(std::int64_t i, std::int64_t j) const;
 
  private:
+  /// Dispatches on kernelPath(): span fast path vs per-cell reference.
   template <typename W>
   void kernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void referenceKernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void spanKernel(W& w, const CellRect& rect) const;
 
   void buildPrefix();
 

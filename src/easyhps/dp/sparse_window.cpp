@@ -27,6 +27,22 @@ SparseWindow::SparseWindow(std::vector<CellRect> segments,
   EASYHPS_CHECK(!segments_.empty(), "SparseWindow needs >= 1 segment");
 }
 
+const Score* SparseWindow::rowIn(std::int64_t r, std::int64_t c0,
+                                 std::int64_t len) const {
+  return View(*const_cast<SparseWindow*>(this)).rowIn(r, c0, len);
+}
+
+Score* SparseWindow::rowOut(std::int64_t r, std::int64_t c0,
+                            std::int64_t len) {
+  return View(*this).rowOut(r, c0, len);
+}
+
+const Score* SparseWindow::colIn(std::int64_t r0, std::int64_t c,
+                                 std::int64_t len,
+                                 std::int64_t* stride) const {
+  return View(*const_cast<SparseWindow*>(this)).colIn(r0, c, len, stride);
+}
+
 const SparseWindow::Segment* SparseWindow::segmentContaining(
     const CellRect& rect) const {
   for (const Segment& s : segments_) {

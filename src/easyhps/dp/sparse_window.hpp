@@ -12,12 +12,18 @@
 ///
 /// `SparseWindow` stores exactly the declared segments (the block itself
 /// plus each halo rectangle) and answers reads by locating the containing
-/// segment — a linear scan over a handful of rects, branch-predicted in
-/// hot kernels.  Reads outside every segment fall back to the boundary
-/// function, preserving `Window` semantics for triangular problems whose
-/// inactive cells read as 0.
+/// segment — a linear scan over a handful of rects.  Reads outside every
+/// segment fall back to the boundary function, preserving `Window`
+/// semantics for triangular problems whose inactive cells read as 0.
+///
+/// Hot kernels do not call the raw `get`/`set`: they construct a `View`,
+/// which caches the most recently hit segment in a *per-view* (and hence
+/// per-thread) hint — DP kernels read in runs within one segment, so the
+/// cached segment almost always answers the containment check directly.
+/// An earlier revision shared an atomic hint across a slave's computing
+/// threads, which ping-ponged the hint's cache line between cores; the
+/// per-view hint removes both the traffic and the atomics.
 
-#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -27,24 +33,27 @@
 namespace easyhps {
 
 class SparseWindow {
+ private:
+  struct Segment {
+    CellRect rect;
+    std::vector<Score> data;
+
+    std::size_t index(std::int64_t r, std::int64_t c) const {
+      return static_cast<std::size_t>((r - rect.row0) * rect.cols +
+                                      (c - rect.col0));
+    }
+  };
+
  public:
   /// Creates a window with one zero-initialized segment per rect.
   /// Segments must be pairwise disjoint (checked).
   SparseWindow(std::vector<CellRect> segments, BoundaryFn boundary);
 
-  /// Read cell (r, c); boundary fallback outside all segments.
+  /// Read cell (r, c); boundary fallback outside all segments.  Cold-path
+  /// accessor (tests, tracebacks): kernels go through a View.
   Score get(std::int64_t r, std::int64_t c) const {
-    // The most recently touched segment is checked first: DP kernels read
-    // in runs within one segment (own block, then one halo strip).  The
-    // hint is shared by a slave's computing threads — relaxed atomics keep
-    // it a pure performance hint without a data race.
-    const auto n = segments_.size();
-    const std::size_t hint = last_hit_.load(std::memory_order_relaxed);
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t idx = (hint + k) % n;
-      const Segment& s = segments_[idx];
+    for (const Segment& s : segments_) {
       if (s.rect.contains(r, c)) {
-        last_hit_.store(idx, std::memory_order_relaxed);
         return s.data[s.index(r, c)];
       }
     }
@@ -53,13 +62,8 @@ class SparseWindow {
 
   /// Write cell (r, c); must fall into some segment.
   void set(std::int64_t r, std::int64_t c, Score v) {
-    const auto n = segments_.size();
-    const std::size_t hint = last_hit_.load(std::memory_order_relaxed);
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t idx = (hint + k) % n;
-      Segment& s = segments_[idx];
+    for (Segment& s : segments_) {
       if (s.rect.contains(r, c)) {
-        last_hit_.store(idx, std::memory_order_relaxed);
         s.data[s.index(r, c)] = v;
         return;
       }
@@ -67,6 +71,18 @@ class SparseWindow {
     throw LogicError("SparseWindow::set outside every segment: (" +
                      std::to_string(r) + "," + std::to_string(c) + ")");
   }
+
+  /// Pointer to cells (r, [c0, c0+len)) when one segment stores the whole
+  /// span; nullptr otherwise.
+  const Score* rowIn(std::int64_t r, std::int64_t c0, std::int64_t len) const;
+
+  /// Writable span over cells (r, [c0, c0+len)); nullptr when not stored.
+  Score* rowOut(std::int64_t r, std::int64_t c0, std::int64_t len);
+
+  /// Pointer to cells ([r0, r0+len), c) within one segment; consecutive
+  /// rows are `*stride` elements apart.
+  const Score* colIn(std::int64_t r0, std::int64_t c, std::int64_t len,
+                     std::int64_t* stride) const;
 
   /// Copies `rect` (must lie within a single segment) to a flat buffer.
   std::vector<Score> extract(const CellRect& rect) const;
@@ -79,22 +95,88 @@ class SparseWindow {
 
   std::size_t segmentCount() const { return segments_.size(); }
 
- private:
-  struct Segment {
-    CellRect rect;
-    std::vector<Score> data;
+  /// Per-view cached-segment accessor for hot kernels.  Each computing
+  /// thread constructs its own View (cheap: a pointer and an index), so
+  /// the hint is thread-local by construction — no shared mutable state.
+  class View {
+   public:
+    explicit View(SparseWindow& w) : w_(&w) {}
 
-    std::size_t index(std::int64_t r, std::int64_t c) const {
-      return static_cast<std::size_t>((r - rect.row0) * rect.cols +
-                                      (c - rect.col0));
+    Score get(std::int64_t r, std::int64_t c) const {
+      const Segment* s = find(r, c, r + 1, c + 1);
+      if (s == nullptr) {
+        return w_->boundary_(r, c);
+      }
+      return s->data[s->index(r, c)];
     }
+
+    void set(std::int64_t r, std::int64_t c, Score v) {
+      const Segment* s = find(r, c, r + 1, c + 1);
+      if (s == nullptr) {
+        throw LogicError("SparseWindow::View::set outside every segment: (" +
+                         std::to_string(r) + "," + std::to_string(c) + ")");
+      }
+      const_cast<Segment*>(s)->data[s->index(r, c)] = v;
+    }
+
+    const Score* rowIn(std::int64_t r, std::int64_t c0,
+                       std::int64_t len) const {
+      if (len <= 0) {
+        return nullptr;
+      }
+      const Segment* s = find(r, c0, r + 1, c0 + len);
+      return s == nullptr ? nullptr : s->data.data() + s->index(r, c0);
+    }
+
+    Score* rowOut(std::int64_t r, std::int64_t c0, std::int64_t len) {
+      if (len <= 0) {
+        return nullptr;
+      }
+      const Segment* s = find(r, c0, r + 1, c0 + len);
+      return s == nullptr
+                 ? nullptr
+                 : const_cast<Segment*>(s)->data.data() + s->index(r, c0);
+    }
+
+    const Score* colIn(std::int64_t r0, std::int64_t c, std::int64_t len,
+                       std::int64_t* stride) const {
+      if (len <= 0) {
+        return nullptr;
+      }
+      const Segment* s = find(r0, c, r0 + len, c + 1);
+      if (s == nullptr) {
+        return nullptr;
+      }
+      *stride = s->rect.cols;
+      return s->data.data() + s->index(r0, c);
+    }
+
+   private:
+    /// Segment containing [r0, r1) × [c0, c1), hinted; nullptr if none.
+    const Segment* find(std::int64_t r0, std::int64_t c0, std::int64_t r1,
+                        std::int64_t c1) const {
+      const auto n = w_->segments_.size();
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t idx = (hint_ + k) % n;
+        const CellRect& rect = w_->segments_[idx].rect;
+        if (r0 >= rect.row0 && r1 <= rect.rowEnd() && c0 >= rect.col0 &&
+            c1 <= rect.colEnd()) {
+          hint_ = idx;
+          return &w_->segments_[idx];
+        }
+      }
+      return nullptr;
+    }
+
+    SparseWindow* w_;
+    mutable std::size_t hint_ = 0;
   };
 
+ private:
   const Segment* segmentContaining(const CellRect& rect) const;
 
   std::vector<Segment> segments_;
   BoundaryFn boundary_;
-  mutable std::atomic<std::size_t> last_hit_{0};
 };
 
 }  // namespace easyhps

@@ -1,6 +1,9 @@
 #include "easyhps/dp/swgg.hpp"
 
 #include <algorithm>
+#include <vector>
+
+#include "easyhps/dp/kernel_common.hpp"
 
 namespace easyhps {
 
@@ -57,23 +60,118 @@ std::vector<CellRect> SmithWatermanGeneralGap::haloFor(
 }
 
 template <typename W>
-void SmithWatermanGeneralGap::kernel(W& w, const CellRect& rect) const {
+void SmithWatermanGeneralGap::referenceKernel(W& w,
+                                              const CellRect& rect) const {
+  typename W::View v(w);
   for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
     for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
       Score best = 0;
       best = std::max(best,
-                      static_cast<Score>(w.get(r - 1, c - 1) +
+                      static_cast<Score>(v.get(r - 1, c - 1) +
                                          substitution(r, c)));
       for (std::int64_t k = 1; k <= r + 1; ++k) {
         best = std::max(best,
-                        static_cast<Score>(w.get(r - k, c) - params_.gap(k)));
+                        static_cast<Score>(v.get(r - k, c) - params_.gap(k)));
       }
       for (std::int64_t l = 1; l <= c + 1; ++l) {
         best = std::max(best,
-                        static_cast<Score>(w.get(r, c - l) - params_.gap(l)));
+                        static_cast<Score>(v.get(r, c - l) - params_.gap(l)));
       }
-      w.set(r, c, best);
+      v.set(r, c, best);
     }
+  }
+}
+
+template <typename W>
+void SmithWatermanGeneralGap::spanKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
+  // Every scan step of every cell pays the gap penalty for its length;
+  // tabulating gap(1..max) turns a std::function call in the innermost
+  // loops into a load.  Gap functions must be pure (they are penalty
+  // schedules); an impure one would already make block results
+  // partition-dependent.
+  const std::int64_t maxLen = std::max(rect.rowEnd(), rect.colEnd());
+  std::vector<Score> gap(static_cast<std::size_t>(maxLen) + 1, 0);
+  for (std::int64_t k = 1; k <= maxLen; ++k) {
+    gap[static_cast<std::size_t>(k)] = params_.gap(k);
+  }
+
+  // The vertical scan of cell (r, c) walks column c upward through two
+  // contiguous stores: block rows [row0, r) and — off the block's top edge
+  // — the full-height halo strip rows [0, row0).  Both column bases are
+  // resolved once per block; element (rr, c) then sits at
+  // base[(rr - baseRow0) * stride + (c - col0)].
+  std::int64_t haloStride = 0;
+  const Score* haloCol = nullptr;
+  if (rect.row0 > 0) {
+    haloCol = v.colIn(0, rect.col0, rect.row0, &haloStride);
+    if (haloCol == nullptr) {
+      referenceKernel(w, rect);
+      return;
+    }
+  }
+  std::int64_t blkStride = 0;
+  const Score* blkCol = v.colIn(rect.row0, rect.col0, rect.rows, &blkStride);
+  if (blkCol == nullptr) {
+    referenceKernel(w, rect);
+    return;
+  }
+
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    Score* out = v.rowOut(r, rect.col0, rect.cols);
+    const Score* prev =
+        r > 0 ? v.rowIn(r - 1, rect.col0, rect.cols) : nullptr;
+    const Score* rowHalo =
+        rect.col0 > 0 ? v.rowIn(r, 0, rect.col0) : nullptr;
+    if (out == nullptr || (r > 0 && prev == nullptr) ||
+        (rect.col0 > 0 && rowHalo == nullptr)) {
+      referenceKernel(w, CellRect{r, rect.col0, 1, rect.cols});
+      continue;
+    }
+    for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
+      const std::int64_t cOff = c - rect.col0;
+      Score best = 0;
+      const Score diag = (prev != nullptr && c > rect.col0)
+                             ? prev[cOff - 1]
+                             : v.get(r - 1, c - 1);
+      best = std::max(best, static_cast<Score>(diag + substitution(r, c)));
+      for (std::int64_t rr = rect.row0; rr < r; ++rr) {
+        const Score val = blkCol[(rr - rect.row0) * blkStride + cOff];
+        best = std::max(
+            best, static_cast<Score>(val - gap[static_cast<std::size_t>(
+                                               r - rr)]));
+      }
+      for (std::int64_t rr = 0; rr < rect.row0; ++rr) {
+        const Score val = haloCol[rr * haloStride + cOff];
+        best = std::max(
+            best, static_cast<Score>(val - gap[static_cast<std::size_t>(
+                                               r - rr)]));
+      }
+      best = std::max(best, static_cast<Score>(
+                                0 - gap[static_cast<std::size_t>(r + 1)]));
+      for (std::int64_t cc = rect.col0; cc < c; ++cc) {
+        best = std::max(
+            best, static_cast<Score>(out[cc - rect.col0] -
+                                     gap[static_cast<std::size_t>(c - cc)]));
+      }
+      for (std::int64_t cc = 0; cc < rect.col0; ++cc) {
+        best = std::max(
+            best, static_cast<Score>(rowHalo[cc] -
+                                     gap[static_cast<std::size_t>(c - cc)]));
+      }
+      best = std::max(best, static_cast<Score>(
+                                0 - gap[static_cast<std::size_t>(c + 1)]));
+      out[cOff] = best;
+    }
+  }
+}
+
+template <typename W>
+void SmithWatermanGeneralGap::kernel(W& w, const CellRect& rect) const {
+  if (kernelPath() == KernelPath::kReference) {
+    referenceKernel(w, rect);
+  } else {
+    spanKernel(w, rect);
   }
 }
 

@@ -69,8 +69,13 @@ class SmithWatermanGeneralGap final : public DpProblem {
   Score bestScore(const Window& solved) const;
 
  private:
+  /// Dispatches on kernelPath(): span fast path vs per-cell reference.
   template <typename W>
   void kernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void referenceKernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void spanKernel(W& w, const CellRect& rect) const;
 
   Score substitution(std::int64_t r, std::int64_t c) const {
     return a_[static_cast<std::size_t>(r)] == b_[static_cast<std::size_t>(c)]

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
+#include "easyhps/dp/kernel_common.hpp"
 #include "easyhps/dp/sequence.hpp"
 
 namespace easyhps {
@@ -50,7 +52,8 @@ std::vector<CellRect> TwoDTwoD::haloFor(const CellRect& rect) const {
 }
 
 template <typename W>
-void TwoDTwoD::kernel(W& win, const CellRect& rect) const {
+void TwoDTwoD::referenceKernel(W& win, const CellRect& rect) const {
+  typename W::View v(win);
   for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
     for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
       // D[i][j] with i = r+1, j = c+1: min over i' in [0, i), j' in [0, j).
@@ -59,13 +62,113 @@ void TwoDTwoD::kernel(W& win, const CellRect& rect) const {
       const std::int64_t j = c + 1;
       for (std::int64_t ip = 0; ip < i; ++ip) {
         for (std::int64_t jp = 0; jp < j; ++jp) {
-          const Score prev = win.get(ip - 1, jp - 1);
+          const Score prev = v.get(ip - 1, jp - 1);
           best = std::min(best,
                           static_cast<Score>(prev + w(ip + jp, i + j)));
         }
       }
-      win.set(r, c, best);
+      v.set(r, c, best);
     }
+  }
+}
+
+template <typename W>
+void TwoDTwoD::spanKernel(W& win, const CellRect& rect) const {
+  typename W::View v(win);
+  // Cell (r, c) scans every cell above-left of it plus the virtual first
+  // row/column of the paper's (n+1)×(n+1) matrix.  Three hoists take the
+  // hash and the per-cell window lookups out of the O(i·j) scan:
+  //  * boundary values (pure hashes) tabulated once per block,
+  //  * each scanned row resolved to (halo, block) span pointers once per
+  //    block — rows above the block live in the full-width top strip,
+  //    own rows split at col0 between the left strip and the block,
+  //  * w(a, i+j) depends only on the anti-diagonal a = i'+j', tabulated
+  //    once per cell (O(i+j) hashes vs O(i·j) in the reference).
+  struct RowPtrs {
+    const Score* lo;  // columns [0, col0), or the full row for halo rows
+    const Score* hi;  // columns [col0, ...)
+  };
+  const std::int64_t scanRows = rect.rowEnd() - 1;  // rows rr < r needed
+  std::vector<RowPtrs> rowp(
+      static_cast<std::size_t>(scanRows > 0 ? scanRows : 0));
+  for (std::int64_t rr = 0; rr < scanRows; ++rr) {
+    RowPtrs p{nullptr, nullptr};
+    if (rr < rect.row0) {
+      p.lo = v.rowIn(rr, 0, std::min(rect.colEnd(), n_));
+      if (p.lo == nullptr) {
+        referenceKernel(win, rect);
+        return;
+      }
+      p.hi = p.lo + rect.col0;
+    } else {
+      if (rect.col0 > 0) {
+        p.lo = v.rowIn(rr, 0, rect.col0);
+        if (p.lo == nullptr) {
+          referenceKernel(win, rect);
+          return;
+        }
+      }
+      p.hi = v.rowIn(rr, rect.col0, rect.cols);
+      if (p.hi == nullptr) {
+        referenceKernel(win, rect);
+        return;
+      }
+    }
+    rowp[static_cast<std::size_t>(rr)] = p;
+  }
+  // bTop[x] = given cell (-1, x-1); bLeft[y] = given cell (y-1, -1).
+  std::vector<Score> bTop(static_cast<std::size_t>(rect.colEnd()));
+  bTop[0] = boundary(-1, -1);
+  for (std::int64_t x = 1; x < rect.colEnd(); ++x) {
+    bTop[static_cast<std::size_t>(x)] = boundary(-1, x - 1);
+  }
+  std::vector<Score> bLeft(static_cast<std::size_t>(rect.rowEnd()));
+  bLeft[0] = boundary(-1, -1);
+  for (std::int64_t y = 1; y < rect.rowEnd(); ++y) {
+    bLeft[static_cast<std::size_t>(y)] = boundary(y - 1, -1);
+  }
+  std::vector<Score> wTab(
+      static_cast<std::size_t>(rect.rowEnd() + rect.colEnd()));
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    Score* out = v.rowOut(r, rect.col0, rect.cols);
+    if (out == nullptr) {
+      referenceKernel(win, CellRect{r, rect.col0, 1, rect.cols});
+      continue;
+    }
+    for (std::int64_t c = rect.col0; c < rect.colEnd(); ++c) {
+      for (std::int64_t a = 0; a <= r + c; ++a) {
+        wTab[static_cast<std::size_t>(a)] = w(a, r + c + 2);
+      }
+      Score best = std::numeric_limits<Score>::max();
+      for (std::int64_t cc = -1; cc < c; ++cc) {  // virtual row i' = 0
+        best = std::min(
+            best, static_cast<Score>(bTop[static_cast<std::size_t>(cc + 1)] +
+                                     wTab[static_cast<std::size_t>(cc + 1)]));
+      }
+      for (std::int64_t rr = 0; rr < r; ++rr) {
+        const RowPtrs& p = rowp[static_cast<std::size_t>(rr)];
+        const Score* wrow = wTab.data() + (rr + 1);
+        best = std::min(
+            best,
+            static_cast<Score>(bLeft[static_cast<std::size_t>(rr + 1)] +
+                               wrow[0]));  // virtual column j' = 0
+        for (std::int64_t cc = 0; cc < c; ++cc) {
+          const Score pv =
+              cc < rect.col0 ? p.lo[cc] : p.hi[cc - rect.col0];
+          best = std::min(best, static_cast<Score>(pv + wrow[cc + 1]));
+        }
+      }
+      out[c - rect.col0] = best;
+    }
+  }
+}
+
+template <typename W>
+void TwoDTwoD::kernel(W& win, const CellRect& rect) const {
+  if (kernelPath() == KernelPath::kReference) {
+    referenceKernel(win, rect);
+  } else {
+    spanKernel(win, rect);
   }
 }
 

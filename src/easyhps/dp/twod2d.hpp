@@ -47,8 +47,13 @@ class TwoDTwoD final : public DpProblem {
   Score w(std::int64_t a, std::int64_t b) const;
 
  private:
+  /// Dispatches on kernelPath(): span fast path vs per-cell reference.
   template <typename W>
   void kernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void referenceKernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void spanKernel(W& w, const CellRect& rect) const;
 
   std::int64_t n_;
   std::uint64_t seed_;

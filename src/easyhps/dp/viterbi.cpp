@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
+#include "easyhps/dp/kernel_common.hpp"
 #include "easyhps/dp/sequence.hpp"
 
 namespace easyhps {
@@ -64,16 +66,70 @@ std::vector<CellRect> Viterbi::haloFor(const CellRect& rect) const {
 }
 
 template <typename W>
-void Viterbi::kernel(W& w, const CellRect& rect) const {
+void Viterbi::referenceKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
   for (std::int64_t t = rect.row0; t < rect.rowEnd(); ++t) {
     for (std::int64_t s = rect.col0; s < rect.colEnd(); ++s) {
       Score best = std::numeric_limits<Score>::min();
       for (std::int64_t p = 0; p < states_; ++p) {
         best = std::max(best,
-                        static_cast<Score>(w.get(t - 1, p) + trans(p, s)));
+                        static_cast<Score>(v.get(t - 1, p) + trans(p, s)));
       }
-      w.set(t, s, static_cast<Score>(best + emit(t, s)));
+      v.set(t, s, static_cast<Score>(best + emit(t, s)));
     }
+  }
+}
+
+template <typename W>
+void Viterbi::spanKernel(W& w, const CellRect& rect) const {
+  typename W::View v(w);
+  // trans() hashes per (p, s) pair and the reference path recomputes it
+  // for every stage row; tabulating the [all p] × [rect's s range] slice
+  // costs exactly one row's worth of hashes and is reused by every stage
+  // of the rect.
+  std::vector<Score> tr(
+      static_cast<std::size_t>(states_ * rect.cols));
+  for (std::int64_t p = 0; p < states_; ++p) {
+    for (std::int64_t s = rect.col0; s < rect.colEnd(); ++s) {
+      tr[static_cast<std::size_t>(p * rect.cols + (s - rect.col0))] =
+          trans(p, s);
+    }
+  }
+  for (std::int64_t t = rect.row0; t < rect.rowEnd(); ++t) {
+    // The previous stage spans the full state axis in one store (block
+    // row or the single full-width halo row); t = 0 falls back to the
+    // per-cell prior() boundary.
+    const Score* prev = t > 0 ? v.rowIn(t - 1, 0, states_) : nullptr;
+    Score* out = v.rowOut(t, rect.col0, rect.cols);
+    if (out == nullptr || (t > 0 && prev == nullptr)) {
+      referenceKernel(w, CellRect{t, rect.col0, 1, rect.cols});
+      continue;
+    }
+    for (std::int64_t s = rect.col0; s < rect.colEnd(); ++s) {
+      const Score* col = tr.data() + (s - rect.col0);
+      Score best = std::numeric_limits<Score>::min();
+      if (prev != nullptr) {
+        for (std::int64_t p = 0; p < states_; ++p) {
+          best = std::max(best,
+                          static_cast<Score>(prev[p] + col[p * rect.cols]));
+        }
+      } else {
+        for (std::int64_t p = 0; p < states_; ++p) {
+          best = std::max(best, static_cast<Score>(v.get(t - 1, p) +
+                                                   col[p * rect.cols]));
+        }
+      }
+      out[s - rect.col0] = static_cast<Score>(best + emit(t, s));
+    }
+  }
+}
+
+template <typename W>
+void Viterbi::kernel(W& w, const CellRect& rect) const {
+  if (kernelPath() == KernelPath::kReference) {
+    referenceKernel(w, rect);
+  } else {
+    spanKernel(w, rect);
   }
 }
 

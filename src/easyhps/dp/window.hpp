@@ -52,16 +52,71 @@ class Window {
     return boundary_(r, c);
   }
 
-  /// Write cell (r, c); must be inside the box.
+  /// Write cell (r, c); must be inside the box (debug-checked — the
+  /// per-cell precondition is hot-path, see EASYHPS_DCHECK).
   void set(std::int64_t r, std::int64_t c, Score v) {
-    EASYHPS_EXPECTS(inBox(r, c));
+    EASYHPS_DCHECK(inBox(r, c));
     data_[index(r, c)] = v;
   }
 
+  /// Pointer to cells (r, [c0, c0+len)) when the whole span is stored;
+  /// nullptr otherwise (boundary rows, len <= 0).  The kernel fast path
+  /// resolves one span per row instead of one bounds check per cell.
+  const Score* rowIn(std::int64_t r, std::int64_t c0, std::int64_t len) const {
+    if (len <= 0 || !inBox(r, c0) || !inBox(r, c0 + len - 1)) {
+      return nullptr;
+    }
+    return data_.data() + index(r, c0);
+  }
+
+  /// Writable span over cells (r, [c0, c0+len)); nullptr when not stored.
+  Score* rowOut(std::int64_t r, std::int64_t c0, std::int64_t len) {
+    if (len <= 0 || !inBox(r, c0) || !inBox(r, c0 + len - 1)) {
+      return nullptr;
+    }
+    return data_.data() + index(r, c0);
+  }
+
+  /// Pointer to cells ([r0, r0+len), c) when the whole column span is
+  /// stored; consecutive rows are `*stride` elements apart.
+  const Score* colIn(std::int64_t r0, std::int64_t c, std::int64_t len,
+                     std::int64_t* stride) const {
+    if (len <= 0 || !inBox(r0, c) || !inBox(r0 + len - 1, c)) {
+      return nullptr;
+    }
+    *stride = box_.cols;
+    return data_.data() + index(r0, c);
+  }
+
+  /// Uniform accessor facade over a Window, mirroring SparseWindow::View
+  /// so kernel templates instantiate per storage type and stay
+  /// devirtualized.  For the dense window the view is a thin pass-through
+  /// (the box lookup is already O(1)).
+  class View {
+   public:
+    explicit View(Window& w) : w_(&w) {}
+    Score get(std::int64_t r, std::int64_t c) const { return w_->get(r, c); }
+    void set(std::int64_t r, std::int64_t c, Score v) { w_->set(r, c, v); }
+    const Score* rowIn(std::int64_t r, std::int64_t c0,
+                       std::int64_t len) const {
+      return w_->rowIn(r, c0, len);
+    }
+    Score* rowOut(std::int64_t r, std::int64_t c0, std::int64_t len) {
+      return w_->rowOut(r, c0, len);
+    }
+    const Score* colIn(std::int64_t r0, std::int64_t c, std::int64_t len,
+                       std::int64_t* stride) const {
+      return w_->colIn(r0, c, len, stride);
+    }
+
+   private:
+    Window* w_;
+  };
+
   /// Copies a rectangle (must be fully inside the box) to a flat buffer.
   std::vector<Score> extract(const CellRect& rect) const {
-    EASYHPS_EXPECTS(rect.row0 >= box_.row0 && rect.rowEnd() <= box_.rowEnd());
-    EASYHPS_EXPECTS(rect.col0 >= box_.col0 && rect.colEnd() <= box_.colEnd());
+    EASYHPS_DCHECK(rect.row0 >= box_.row0 && rect.rowEnd() <= box_.rowEnd());
+    EASYHPS_DCHECK(rect.col0 >= box_.col0 && rect.colEnd() <= box_.colEnd());
     std::vector<Score> out(static_cast<std::size_t>(rect.cellCount()));
     for (std::int64_t r = 0; r < rect.rows; ++r) {
       const Score* src = data_.data() + index(rect.row0 + r, rect.col0);
@@ -71,10 +126,12 @@ class Window {
     return out;
   }
 
-  /// Writes a flat buffer into a rectangle fully inside the box.
+  /// Writes a flat buffer into a rectangle fully inside the box.  The
+  /// size check stays always-on (it validates wire payloads at block
+  /// granularity); the containment checks are debug-only.
   void inject(const CellRect& rect, const std::vector<Score>& values) {
-    EASYHPS_EXPECTS(rect.row0 >= box_.row0 && rect.rowEnd() <= box_.rowEnd());
-    EASYHPS_EXPECTS(rect.col0 >= box_.col0 && rect.colEnd() <= box_.colEnd());
+    EASYHPS_DCHECK(rect.row0 >= box_.row0 && rect.rowEnd() <= box_.rowEnd());
+    EASYHPS_DCHECK(rect.col0 >= box_.col0 && rect.colEnd() <= box_.colEnd());
     EASYHPS_EXPECTS(static_cast<std::int64_t>(values.size()) ==
                     rect.cellCount());
     for (std::int64_t r = 0; r < rect.rows; ++r) {

@@ -214,6 +214,11 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
                    DataPlaneCounters& counters,
                    const std::atomic<bool>& stop) {
   log::setThreadName("slave-" + std::to_string(comm.rank()) + "/data");
+  // One long-lived cell buffer serves every request: extractInto refills
+  // it in place and the move in/out of the reply payload preserves its
+  // capacity across iterations, so a busy serving loop stops allocating
+  // once it has seen its largest halo.
+  std::vector<Score> scratch;
   while (!stop.load(std::memory_order_acquire)) {
     auto m = comm.recvFor(msg::kAnySource, wire::kTagData,
                           std::chrono::milliseconds(2));
@@ -229,15 +234,15 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
         wire::HaloDataPayload reply;
         reply.job = req.job;
         reply.rect = req.rect;
-        if (auto cells = store.extract(req.job, req.vertex, req.rect)) {
-          reply.found = true;
-          reply.data = std::move(*cells);
-        }
+        reply.data = std::move(scratch);
+        reply.found =
+            store.extractInto(req.job, req.vertex, req.rect, reply.data);
         // A miss (evicted block) is answered found=false; the requester
         // falls back to the master, whose spill copy landed before this
         // reply could be sent.
         comm.send(m->source, wire::kTagHaloData,
                   wire::encodeHaloData(reply));
+        scratch = std::move(reply.data);
         counters.halosServed.fetch_add(1, std::memory_order_relaxed);
         break;
       }
@@ -247,12 +252,12 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
         reply.job = req.job;
         reply.vertex = req.vertex;
         reply.rect = req.rect;
-        if (auto cells = store.extract(req.job, req.vertex, req.rect)) {
-          reply.found = true;
-          reply.data = std::move(*cells);
-        }
+        reply.data = std::move(scratch);
+        reply.found =
+            store.extractInto(req.job, req.vertex, req.rect, reply.data);
         comm.send(m->source, wire::kTagBlockData,
                   wire::encodeBlockData(reply));
+        scratch = std::move(reply.data);
         break;
       }
       case wire::DataMsgKind::kBlockSpill:

@@ -44,11 +44,21 @@ std::vector<StoredBlock> BlockStore::put(JobId job, VertexId vertex,
 std::optional<std::vector<Score>> BlockStore::extract(JobId job,
                                                       VertexId vertex,
                                                       const CellRect& sub) {
+  std::vector<Score> out;
+  if (!extractInto(job, vertex, sub, out)) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+bool BlockStore::extractInto(JobId job, VertexId vertex, const CellRect& sub,
+                             std::vector<Score>& out) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = blocks_.find(Key{job, vertex});
   if (it == blocks_.end()) {
     ++stats_.misses;
-    return std::nullopt;
+    out.clear();
+    return false;
   }
   ++stats_.hits;
   Entry& e = it->second;
@@ -56,7 +66,7 @@ std::optional<std::vector<Score>> BlockStore::extract(JobId job,
   const CellRect& r = e.rect;
   EASYHPS_EXPECTS(sub.row0 >= r.row0 && sub.rowEnd() <= r.rowEnd());
   EASYHPS_EXPECTS(sub.col0 >= r.col0 && sub.colEnd() <= r.colEnd());
-  std::vector<Score> out(static_cast<std::size_t>(sub.cellCount()));
+  out.resize(static_cast<std::size_t>(sub.cellCount()));
   for (std::int64_t row = 0; row < sub.rows; ++row) {
     const auto srcOff = static_cast<std::size_t>(
         (sub.row0 + row - r.row0) * r.cols + (sub.col0 - r.col0));
@@ -65,7 +75,7 @@ std::optional<std::vector<Score>> BlockStore::extract(JobId job,
                   static_cast<std::ptrdiff_t>(srcOff + sub.cols),
               out.begin() + static_cast<std::ptrdiff_t>(row * sub.cols));
   }
-  return out;
+  return true;
 }
 
 bool BlockStore::contains(JobId job, VertexId vertex) const {

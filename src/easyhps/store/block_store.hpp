@@ -71,6 +71,14 @@ class BlockStore {
   std::optional<std::vector<Score>> extract(JobId job, VertexId vertex,
                                             const CellRect& sub);
 
+  /// Like extract() but fills `out` in place (resized to the sub rect),
+  /// reusing its capacity.  The data-plane serving loop calls this per
+  /// request with a long-lived scratch buffer instead of allocating a
+  /// fresh vector per halo/fetch.  Returns false when absent (`out` is
+  /// left cleared).
+  bool extractInto(JobId job, VertexId vertex, const CellRect& sub,
+                   std::vector<Score>& out);
+
   bool contains(JobId job, VertexId vertex) const;
 
   /// Drops every block of `job` (JobEnd flush).  Not counted as eviction.

@@ -71,3 +71,18 @@ namespace detail {
                                            __LINE__, (msg));          \
     }                                                                 \
   } while (false)
+
+/// Debug-only precondition for per-cell hot paths (Window::set and
+/// friends): enabled in Debug builds and sanitizer builds (the build
+/// defines EASYHPS_ENABLE_DCHECK under EASYHPS_SANITIZE), compiled out in
+/// Release so the DP inner loops pay no branch per cell.  Block- and
+/// segment-granularity checks stay on EASYHPS_EXPECTS/EASYHPS_CHECK.
+#if defined(EASYHPS_ENABLE_DCHECK) || !defined(NDEBUG)
+#define EASYHPS_DCHECK_ENABLED 1
+#define EASYHPS_DCHECK(expr) EASYHPS_EXPECTS(expr)
+#else
+#define EASYHPS_DCHECK_ENABLED 0
+#define EASYHPS_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#endif

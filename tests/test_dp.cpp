@@ -109,10 +109,17 @@ TEST(Window, InBoxReadWrite) {
 }
 
 TEST(Window, SetOutsideBoxThrows) {
+  // The per-cell precondition in Window::set is debug-only
+  // (EASYHPS_DCHECK): it throws in Debug/sanitizer builds and is compiled
+  // out of Release hot loops.
+#if EASYHPS_DCHECK_ENABLED
   Window w(CellRect{0, 0, 2, 2}, [](std::int64_t, std::int64_t) {
     return Score{0};
   });
   EXPECT_THROW(w.set(2, 0, 1), LogicError);
+#else
+  GTEST_SKIP() << "EASYHPS_DCHECK compiled out in this build";
+#endif
 }
 
 TEST(Window, ExtractInjectRoundTrip) {

@@ -1,0 +1,275 @@
+// Bit-exactness suite for the span kernel fast path (kernel_common.hpp):
+// every shipped kernel is solved through the block/halo machinery on both
+// kernel paths (span and per-cell reference) over dense and sparse windows,
+// and the results must be bit-identical to each other and to the
+// textbook solveReference() — across degenerate partitions (1×N and N×1
+// block rows/columns, 1×1 blocks, odd remainders, triangular masks) and
+// column counts that cross the kKernelTileCols tile boundary.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/kernel_common.hpp"
+#include "easyhps/dp/knapsack.hpp"
+#include "easyhps/dp/lcs.hpp"
+#include "easyhps/dp/mcm.hpp"
+#include "easyhps/dp/needleman.hpp"
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/obst.hpp"
+#include "easyhps/dp/problem.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/sparse_window.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/dp/twod2d.hpp"
+#include "easyhps/dp/viterbi.hpp"
+
+namespace easyhps {
+namespace {
+
+// All ten kernels at a size where even the O(n^4) problem stays fast.
+std::vector<std::unique_ptr<DpProblem>> makeAllProblems(std::int64_t n) {
+  const std::int64_t small = std::min<std::int64_t>(n, 10);
+  std::vector<std::unique_ptr<DpProblem>> out;
+  out.push_back(std::make_unique<LongestCommonSubsequence>(
+      randomSequence(n, 11), randomSequence(n, 12)));
+  out.push_back(std::make_unique<NeedlemanWunsch>(randomSequence(n, 13),
+                                                  randomSequence(n, 14)));
+  out.push_back(std::make_unique<EditDistance>(randomSequence(n, 15),
+                                               randomSequence(n, 16)));
+  out.push_back(std::make_unique<SmithWatermanGeneralGap>(
+      randomSequence(n, 17), randomSequence(n, 18)));
+  out.push_back(std::make_unique<Nussinov>(randomRna(n, 19)));
+  out.push_back(std::make_unique<Viterbi>(n, 7, 20));
+  out.push_back(std::make_unique<MatrixChain>(n, 21));
+  out.push_back(std::make_unique<OptimalBst>(n, 22));
+  out.push_back(std::make_unique<Knapsack>(n, 2 * n, 23));
+  out.push_back(std::make_unique<TwoDTwoD>(small, 24));
+  return out;
+}
+
+// Solves via isolated per-block dense windows, exactly like the runtime.
+Window solveDense(const DpProblem& p, std::int64_t pr, std::int64_t pc,
+                  std::int64_t tr = 0, std::int64_t tc = 0) {
+  const PartitionedDag master = buildMasterDag(p, pr, pc);
+  Window full(CellRect{0, 0, p.rows(), p.cols()}, p.boundaryFn());
+  for (VertexId v : master.dag.topologicalOrder()) {
+    const CellRect rect = master.rectOf(v);
+    const auto halos = p.haloFor(rect);
+    Window local(boundingBox(rect, halos), p.boundaryFn());
+    for (const CellRect& h : halos) {
+      local.inject(h, full.extract(h));
+    }
+    if (tr > 0 && tc > 0) {
+      const PartitionedDag slave = buildSlaveDag(p, rect, tr, tc);
+      for (VertexId sv : slave.dag.topologicalOrder()) {
+        p.computeBlock(local, slaveVertexRect(slave, rect, sv));
+      }
+    } else {
+      p.computeBlock(local, rect);
+    }
+    full.inject(rect, local.extract(rect));
+  }
+  return full;
+}
+
+// Same data flow over segment-backed sparse windows.
+Window solveSparse(const DpProblem& p, std::int64_t pr, std::int64_t pc,
+                   std::int64_t tr = 0, std::int64_t tc = 0) {
+  const PartitionedDag master = buildMasterDag(p, pr, pc);
+  Window full(CellRect{0, 0, p.rows(), p.cols()}, p.boundaryFn());
+  for (VertexId v : master.dag.topologicalOrder()) {
+    const CellRect rect = master.rectOf(v);
+    const auto halos = p.haloFor(rect);
+    std::vector<CellRect> segments{rect};
+    segments.insert(segments.end(), halos.begin(), halos.end());
+    SparseWindow local(std::move(segments), p.boundaryFn());
+    for (const CellRect& h : halos) {
+      local.inject(h, full.extract(h));
+    }
+    if (tr > 0 && tc > 0) {
+      const PartitionedDag slave = buildSlaveDag(p, rect, tr, tc);
+      for (VertexId sv : slave.dag.topologicalOrder()) {
+        p.computeBlockSparse(local, slaveVertexRect(slave, rect, sv));
+      }
+    } else {
+      p.computeBlockSparse(local, rect);
+    }
+    full.inject(rect, local.extract(rect));
+  }
+  return full;
+}
+
+void expectBitIdentical(const DpProblem& p, const Window& span,
+                        const Window& ref, const std::string& what) {
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      ASSERT_EQ(span.get(r, c), ref.get(r, c))
+          << p.name() << " span/reference divergence at (" << r << "," << c
+          << ") [" << what << "]";
+    }
+  }
+}
+
+void expectMatchesOracle(const DpProblem& p, const Window& solved,
+                         const std::string& what) {
+  const DenseMatrix<Score> oracle = p.solveReference();
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      if (!p.cellActive(r, c)) {
+        continue;
+      }
+      ASSERT_EQ(solved.get(r, c), oracle.at(r, c))
+          << p.name() << " oracle mismatch at (" << r << "," << c << ") ["
+          << what << "]";
+    }
+  }
+}
+
+struct Partition {
+  std::int64_t pr;
+  std::int64_t pc;
+  std::int64_t tr;
+  std::int64_t tc;
+};
+
+// 1×N and N×1 block rows/columns, 1×1 blocks (pr = pc = n), odd
+// remainders (3 does not divide 16), and two-level thread splits.
+const Partition kPartitions[] = {
+    {1, 1, 0, 0}, {2, 2, 0, 0}, {3, 2, 0, 0}, {1, 4, 0, 0},
+    {4, 1, 0, 0}, {16, 16, 0, 0}, {2, 2, 2, 2}, {3, 3, 2, 3},
+};
+
+TEST(KernelBitExact, DenseAllProblemsAllPartitions) {
+  const auto problems = makeAllProblems(16);
+  for (const auto& p : problems) {
+    for (const Partition& part : kPartitions) {
+      const std::string what =
+          "dense " + std::to_string(part.pr) + "x" + std::to_string(part.pc) +
+          "/" + std::to_string(part.tr) + "x" + std::to_string(part.tc);
+      Window span = [&] {
+        ScopedKernelPath sp(KernelPath::kSpan);
+        return solveDense(*p, part.pr, part.pc, part.tr, part.tc);
+      }();
+      Window ref = [&] {
+        ScopedKernelPath rp(KernelPath::kReference);
+        return solveDense(*p, part.pr, part.pc, part.tr, part.tc);
+      }();
+      expectBitIdentical(*p, span, ref, what);
+      expectMatchesOracle(*p, span, what);
+    }
+  }
+}
+
+TEST(KernelBitExact, SparseAllProblemsAllPartitions) {
+  const auto problems = makeAllProblems(16);
+  for (const auto& p : problems) {
+    for (const Partition& part : kPartitions) {
+      const std::string what =
+          "sparse " + std::to_string(part.pr) + "x" + std::to_string(part.pc) +
+          "/" + std::to_string(part.tr) + "x" + std::to_string(part.tc);
+      Window span = [&] {
+        ScopedKernelPath sp(KernelPath::kSpan);
+        return solveSparse(*p, part.pr, part.pc, part.tr, part.tc);
+      }();
+      Window ref = [&] {
+        ScopedKernelPath rp(KernelPath::kReference);
+        return solveSparse(*p, part.pr, part.pc, part.tr, part.tc);
+      }();
+      expectBitIdentical(*p, span, ref, what);
+      expectMatchesOracle(*p, span, what);
+    }
+  }
+}
+
+// Degenerate matrix shapes: a single row (1×N) and a single column (N×1)
+// drive every border case of the wavefront interior/border split.
+TEST(KernelBitExact, DegenerateMatrixShapes) {
+  std::vector<std::unique_ptr<DpProblem>> problems;
+  problems.push_back(std::make_unique<LongestCommonSubsequence>(
+      randomSequence(1, 31), randomSequence(9, 32)));
+  problems.push_back(std::make_unique<LongestCommonSubsequence>(
+      randomSequence(9, 33), randomSequence(1, 34)));
+  problems.push_back(std::make_unique<EditDistance>(randomSequence(1, 35),
+                                                    randomSequence(7, 36)));
+  problems.push_back(std::make_unique<NeedlemanWunsch>(randomSequence(7, 37),
+                                                       randomSequence(1, 38)));
+  problems.push_back(std::make_unique<SmithWatermanGeneralGap>(
+      randomSequence(1, 39), randomSequence(8, 40)));
+  problems.push_back(std::make_unique<Knapsack>(1, 9, 41));
+  problems.push_back(std::make_unique<Nussinov>(randomRna(2, 42)));
+  problems.push_back(std::make_unique<TwoDTwoD>(1, 43));
+  for (const auto& p : problems) {
+    for (const Partition& part :
+         {Partition{1, 1, 0, 0}, Partition{1, 3, 0, 0},
+          Partition{3, 1, 0, 0}}) {
+      const std::string what = p->name() + " degenerate " +
+                               std::to_string(part.pr) + "x" +
+                               std::to_string(part.pc);
+      Window span = [&] {
+        ScopedKernelPath sp(KernelPath::kSpan);
+        return solveSparse(*p, part.pr, part.pc);
+      }();
+      Window ref = [&] {
+        ScopedKernelPath rp(KernelPath::kReference);
+        return solveSparse(*p, part.pr, part.pc);
+      }();
+      expectBitIdentical(*p, span, ref, what);
+      expectMatchesOracle(*p, span, what);
+    }
+  }
+}
+
+// Column counts past kKernelTileCols make the wavefront tile loop take
+// several iterations with an odd remainder in the last tile.
+TEST(KernelBitExact, WavefrontTileBoundaries) {
+  ASSERT_LT(2 * kKernelTileCols, 1100);  // 1100 → tiles 512 + 512 + 76
+  ASSERT_GT(3 * kKernelTileCols, 1100);
+  std::vector<std::unique_ptr<DpProblem>> problems;
+  problems.push_back(std::make_unique<LongestCommonSubsequence>(
+      randomSequence(4, 51), randomSequence(1100, 52)));
+  problems.push_back(std::make_unique<NeedlemanWunsch>(
+      randomSequence(3, 53), randomSequence(1100, 54)));
+  problems.push_back(std::make_unique<EditDistance>(
+      randomSequence(3, 55), randomSequence(1100, 56)));
+  for (const auto& p : problems) {
+    for (const Partition& part :
+         {Partition{1, 1, 0, 0}, Partition{2, 3, 0, 0}}) {
+      const std::string what = p->name() + " tiles " +
+                               std::to_string(part.pr) + "x" +
+                               std::to_string(part.pc);
+      Window span = [&] {
+        ScopedKernelPath sp(KernelPath::kSpan);
+        return solveDense(*p, part.pr, part.pc);
+      }();
+      Window ref = [&] {
+        ScopedKernelPath rp(KernelPath::kReference);
+        return solveDense(*p, part.pr, part.pc);
+      }();
+      expectBitIdentical(*p, span, ref, what);
+      expectMatchesOracle(*p, span, what);
+    }
+  }
+}
+
+// The toggle itself: flipping the process-wide path is what benches and
+// this suite rely on.
+TEST(KernelPathToggle, ScopedOverrideRestores) {
+  ASSERT_EQ(kernelPath(), KernelPath::kSpan);  // library default
+  {
+    ScopedKernelPath ref(KernelPath::kReference);
+    EXPECT_EQ(kernelPath(), KernelPath::kReference);
+    {
+      ScopedKernelPath span(KernelPath::kSpan);
+      EXPECT_EQ(kernelPath(), KernelPath::kSpan);
+    }
+    EXPECT_EQ(kernelPath(), KernelPath::kReference);
+  }
+  EXPECT_EQ(kernelPath(), KernelPath::kSpan);
+}
+
+}  // namespace
+}  // namespace easyhps
