@@ -68,7 +68,7 @@ std::vector<Score> SparseWindow::extract(const CellRect& rect) const {
 }
 
 void SparseWindow::inject(const CellRect& rect,
-                          const std::vector<Score>& values) {
+                          std::span<const Score> values) {
   EASYHPS_EXPECTS(static_cast<std::int64_t>(values.size()) ==
                   rect.cellCount());
   Segment* s = const_cast<Segment*>(segmentContaining(rect));

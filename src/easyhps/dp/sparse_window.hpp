@@ -88,7 +88,7 @@ class SparseWindow {
   std::vector<Score> extract(const CellRect& rect) const;
 
   /// Writes a flat buffer into `rect` (must lie within a single segment).
-  void inject(const CellRect& rect, const std::vector<Score>& values);
+  void inject(const CellRect& rect, std::span<const Score> values);
 
   /// Cells actually stored (the memory footprint).
   std::int64_t storedCells() const;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "easyhps/matrix/geometry.hpp"
@@ -128,8 +129,10 @@ class Window {
 
   /// Writes a flat buffer into a rectangle fully inside the box.  The
   /// size check stays always-on (it validates wire payloads at block
-  /// granularity); the containment checks are debug-only.
-  void inject(const CellRect& rect, const std::vector<Score>& values) {
+  /// granularity); the containment checks are debug-only.  Takes a span
+  /// so zero-copy decoded cells (wire::ScoreCells) inject without an
+  /// intermediate vector.
+  void inject(const CellRect& rect, std::span<const Score> values) {
     EASYHPS_DCHECK(rect.row0 >= box_.row0 && rect.rowEnd() <= box_.rowEnd());
     EASYHPS_DCHECK(rect.col0 >= box_.col0 && rect.colEnd() <= box_.colEnd());
     EASYHPS_EXPECTS(static_cast<std::int64_t>(values.size()) ==

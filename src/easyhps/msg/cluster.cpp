@@ -47,6 +47,8 @@ ClusterReport Cluster::run(int size, const RankMain& main, DropFn dropFn) {
   report.messages = state.traffic().messages.load();
   report.bytes = state.traffic().bytes.load();
   report.dropped = state.traffic().dropped.load();
+  report.copiesAvoided = state.traffic().copiesAvoided.load();
+  report.zeroCopyBytes = state.traffic().zeroCopyBytes.load();
   report.ranks = size;
   report.linkBytes = state.linkBytesSnapshot();
   return report;

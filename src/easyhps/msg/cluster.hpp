@@ -22,6 +22,11 @@ struct ClusterReport {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t dropped = 0;
+  /// Zero-copy transport counters (see TrafficStats): deliveries that
+  /// skipped the buffered-send copy, and bytes moved by reference count.
+  /// Both zero under MsgPath::kCopy.
+  std::uint64_t copiesAvoided = 0;
+  std::uint64_t zeroCopyBytes = 0;
 
   /// Per-link byte totals, indexed `source * ranks + dest` (see
   /// TrafficSnapshot for the mid-run equivalent).

@@ -32,15 +32,26 @@ Mailbox& ClusterState::mailbox(int rank) {
 
 void ClusterState::deliver(Message message) {
   EASYHPS_EXPECTS(message.dest >= 0 && message.dest < size());
-  if (drop_ && drop_(message)) {
+  if (const auto drop = drop_.load(std::memory_order_acquire);
+      drop != nullptr && (*drop)(message)) {
     traffic_.dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  const std::size_t bytes = message.sizeBytes();
   traffic_.messages.fetch_add(1, std::memory_order_relaxed);
-  traffic_.bytes.fetch_add(message.sizeBytes(), std::memory_order_relaxed);
+  traffic_.bytes.fetch_add(bytes, std::memory_order_relaxed);
   link_bytes_[static_cast<std::size_t>(message.source * size() +
                                        message.dest)]
-      .fetch_add(message.sizeBytes(), std::memory_order_relaxed);
+      .fetch_add(bytes, std::memory_order_relaxed);
+  if (msgPath() == MsgPath::kCopy) {
+    // Oracle semantics: model an MPI buffered send — the receiver gets a
+    // fresh copy sharing no storage with the sender's buffer.
+    message.payload = message.payload.deepCopy();
+  } else if (bytes > 0) {
+    traffic_.copiesAvoided.fetch_add(1, std::memory_order_relaxed);
+    traffic_.zeroCopyBytes.fetch_add(message.payload.sharedBytes(),
+                                     std::memory_order_relaxed);
+  }
   mailbox(message.dest).deliver(std::move(message));
 }
 
@@ -65,7 +76,7 @@ Comm::Comm(int rank, ClusterState* state) : rank_(rank), state_(state) {
   EASYHPS_EXPECTS(rank >= 0 && rank < state->size());
 }
 
-void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
+void Comm::send(int dest, int tag, Payload payload) {
   EASYHPS_EXPECTS(tag >= 0 && tag < kInternalTagBase);
   Message m;
   m.source = rank_;
@@ -113,6 +124,8 @@ TrafficSnapshot Comm::traffic() const {
   snap.messages = t.messages.load();
   snap.bytes = t.bytes.load();
   snap.dropped = t.dropped.load();
+  snap.copiesAvoided = t.copiesAvoided.load();
+  snap.zeroCopyBytes = t.zeroCopyBytes.load();
   snap.ranks = size();
   snap.linkBytes = state_->linkBytesSnapshot();
   return snap;
@@ -123,10 +136,12 @@ bool Comm::mailboxClosed() const {
 }
 
 void Comm::barrier() {
-  // Dissemination barrier: log2(n) rounds of paired send/recv.
+  // Dissemination barrier: log2(n) rounds of paired send/recv.  One empty
+  // payload (inline storage, no heap) serves every round.
   const int n = size();
   const int tag = epochTag(kBarrierTag, barrier_epoch_ % 4);
   ++barrier_epoch_;
+  const Payload empty;
   for (int distance = 1; distance < n; distance *= 2) {
     const int to = (rank_ + distance) % n;
     const int from = (rank_ - distance % n + n) % n;
@@ -134,6 +149,7 @@ void Comm::barrier() {
     m.source = rank_;
     m.dest = to;
     m.tag = tag;
+    m.payload = empty;
     state_->deliver(std::move(m));
     auto got = state_->mailbox(rank_).recv(from, tag);
     if (!got) {
@@ -142,7 +158,7 @@ void Comm::barrier() {
   }
 }
 
-void Comm::broadcast(int root, std::vector<std::byte>& payload) {
+void Comm::broadcast(int root, Payload& payload) {
   const int tag = epochTag(kBroadcastTag, collective_epoch_ % 4);
   ++collective_epoch_;
   // Binomial tree rooted at `root` (ranks rotated so root maps to 0).
@@ -157,7 +173,9 @@ void Comm::broadcast(int root, std::vector<std::byte>& payload) {
     }
     payload = std::move(got->payload);
   }
-  // Forward to children: me + 2^k for 2^k > me.
+  // Forward to children: me + 2^k for 2^k > me.  A Payload copy shares
+  // heap buffers by reference count, so each forward costs at most the
+  // inline head — never a heap byte copy.
   for (int bit = 1; bit < n; bit *= 2) {
     if ((me & (bit - 1)) != 0 || (me & bit) != 0) {
       continue;
@@ -175,8 +193,7 @@ void Comm::broadcast(int root, std::vector<std::byte>& payload) {
   }
 }
 
-std::vector<std::vector<std::byte>> Comm::gather(
-    int root, std::vector<std::byte> payload) {
+std::vector<Payload> Comm::gather(int root, Payload payload) {
   const int tag = epochTag(kGatherTag, collective_epoch_ % 4);
   ++collective_epoch_;
   if (rank_ != root) {
@@ -188,8 +205,7 @@ std::vector<std::vector<std::byte>> Comm::gather(
     state_->deliver(std::move(m));
     return {};
   }
-  std::vector<std::vector<std::byte>> result(
-      static_cast<std::size_t>(size()));
+  std::vector<Payload> result(static_cast<std::size_t>(size()));
   result[static_cast<std::size_t>(rank_)] = std::move(payload);
   for (int i = 0; i < size() - 1; ++i) {
     auto got = state_->mailbox(rank_).recv(kAnySource, tag);

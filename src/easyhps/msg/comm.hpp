@@ -13,11 +13,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "easyhps/msg/mailbox.hpp"
 #include "easyhps/msg/message.hpp"
+#include "easyhps/msg/payload.hpp"
 
 namespace easyhps::msg {
 
@@ -26,6 +28,13 @@ struct TrafficStats {
   std::atomic<std::uint64_t> messages{0};
   std::atomic<std::uint64_t> bytes{0};
   std::atomic<std::uint64_t> dropped{0};
+  /// Deliveries that skipped the buffered-send copy the kCopy oracle
+  /// performs (every non-empty fast-path message), and the bytes that
+  /// moved by reference count instead of memcpy.  `bytes` stays the
+  /// logical payload size on both paths — these two only record how the
+  /// bytes travelled.
+  std::atomic<std::uint64_t> copiesAvoided{0};
+  std::atomic<std::uint64_t> zeroCopyBytes{0};
 };
 
 /// Point-in-time copy of the cluster traffic counters.  Differencing two
@@ -34,6 +43,8 @@ struct TrafficSnapshot {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t copiesAvoided = 0;
+  std::uint64_t zeroCopyBytes = 0;
 
   /// Per-link byte totals, indexed `source * ranks + dest` — the data the
   /// control/data-plane split is judged by: bytes on links touching rank 0
@@ -68,9 +79,22 @@ class ClusterState {
   Mailbox& mailbox(int rank);
   const TrafficStats& traffic() const { return traffic_; }
 
-  /// Installs a drop predicate; pass nullptr to clear.  Not thread-safe
-  /// with concurrent sends — install before the cluster starts.
-  void setDropFn(DropFn fn) { drop_ = std::move(fn); }
+  /// Installs a drop predicate; pass nullptr to clear.  Safe against
+  /// concurrent sends: the hot path reads one atomic pointer (a send
+  /// racing an install sees either the old or the new predicate, never a
+  /// torn one), and superseded predicates are retired to a list that
+  /// lives as long as the cluster, so an in-flight call can never dangle.
+  /// Installs are rare (test setup, fault-plan toggles), so the retire
+  /// list stays tiny.
+  void setDropFn(DropFn fn) {
+    std::lock_guard<std::mutex> lock(drop_install_mutex_);
+    const DropFn* next = nullptr;
+    if (fn) {
+      drop_retired_.push_back(std::make_unique<const DropFn>(std::move(fn)));
+      next = drop_retired_.back().get();
+    }
+    drop_.store(next, std::memory_order_release);
+  }
 
   /// Routes a message to its destination mailbox (the "network").
   void deliver(Message message);
@@ -86,7 +110,9 @@ class ClusterState {
   TrafficStats traffic_;
   /// Delivered bytes per (source, dest) link, indexed source * size + dest.
   std::unique_ptr<std::atomic<std::uint64_t>[]> link_bytes_;
-  DropFn drop_;
+  std::atomic<const DropFn*> drop_{nullptr};
+  std::mutex drop_install_mutex_;                       ///< serializes installs
+  std::vector<std::unique_ptr<const DropFn>> drop_retired_;
 };
 
 /// Rank-local handle; cheap to copy within the owning rank's thread.
@@ -98,7 +124,10 @@ class Comm {
   int size() const { return state_->size(); }
 
   /// Blocking send (buffered: always completes immediately in-process).
-  void send(int dest, int tag, std::vector<std::byte> payload);
+  /// Accepts a Payload or, via its implicit conversion, a plain byte
+  /// vector.  On the fast path the buffer moves to the receiver without
+  /// a copy; the kCopy oracle deep-copies at delivery instead.
+  void send(int dest, int tag, Payload payload);
 
   /// Blocking matched receive; throws CommError if the cluster closed.
   Message recv(int source = kAnySource, int tag = kAnyTag);
@@ -128,17 +157,21 @@ class Comm {
   /// timeout.
   bool mailboxClosed() const;
 
-  /// Dissemination barrier over point-to-point messages.
+  /// Dissemination barrier over point-to-point messages.  Rounds reuse
+  /// one preallocated empty payload (inline storage: no allocation per
+  /// round or per rank).
   void barrier();
 
   /// Broadcast from `root`; every rank passes its buffer, non-roots get it
-  /// replaced.
-  void broadcast(int root, std::vector<std::byte>& payload);
+  /// replaced.  Forwarding to children shares the buffer by reference
+  /// count (and moves it outright to the last child) instead of copying
+  /// the bytes once per subtree.
+  void broadcast(int root, Payload& payload);
 
   /// Gather to `root`: returns size() payloads at root (indexed by rank),
-  /// empty vector elsewhere.
-  std::vector<std::vector<std::byte>> gather(int root,
-                                             std::vector<std::byte> payload);
+  /// empty vector elsewhere.  Contributions move end-to-end; no per-rank
+  /// byte copy.
+  std::vector<Payload> gather(int root, Payload payload);
 
  private:
   int rank_;

@@ -1,21 +1,40 @@
 #include "easyhps/msg/mailbox.hpp"
 
+#include <algorithm>
+
 namespace easyhps::msg {
 
 void Mailbox::deliver(Message message) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) {
-      return;  // receiver already exited; drop like MPI_Cancel'd traffic
-    }
-    messages_.push_back(std::move(message));
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) {
+    return;  // receiver already exited; drop like MPI_Cancel'd traffic
   }
-  cv_.notify_all();
+  if (mode_ == MsgPath::kCopy) {
+    messages_.push_back(std::move(message));
+    lock.unlock();
+    cv_.notify_all();
+    return;
+  }
+  message.seq = next_seq_++;
+  const int source = message.source;
+  const int tag = message.tag;
+  lanes_[laneKey(source, tag)].push_back(std::move(message));
+  ++pending_;
+  // Targeted wakeup: only receivers whose pattern this message satisfies.
+  // All of them, not just one — a woken waiter may take a *different*
+  // (earlier) message and return, and the next matching waiter must not
+  // be left asleep with this one queued.
+  for (Waiter* w : waiters_) {
+    if (matchesPattern(source, tag, w->source, w->tags)) {
+      w->cv.notify_one();
+    }
+  }
 }
 
-std::optional<Message> Mailbox::extractLocked(int source, int tag) {
+std::optional<Message> Mailbox::takeLegacyLocked(int source,
+                                                 std::span<const int> tags) {
   for (auto it = messages_.begin(); it != messages_.end(); ++it) {
-    if (matches(*it, source, tag)) {
+    if (matchesPattern(it->source, it->tag, source, tags)) {
       Message m = std::move(*it);
       messages_.erase(it);
       return m;
@@ -24,75 +43,160 @@ std::optional<Message> Mailbox::extractLocked(int source, int tag) {
   return std::nullopt;
 }
 
-std::optional<Message> Mailbox::extractAnyLocked(int source,
-                                                 std::span<const int> tags) {
-  for (auto it = messages_.begin(); it != messages_.end(); ++it) {
-    for (int tag : tags) {
-      if (matches(*it, source, tag)) {
-        Message m = std::move(*it);
-        messages_.erase(it);
-        return m;
+std::optional<Message> Mailbox::takeFastLocked(int source,
+                                               std::span<const int> tags) {
+  if (pending_ == 0) {
+    return std::nullopt;
+  }
+  std::deque<Message>* best = nullptr;
+  bool wildcard = source == kAnySource;
+  for (int t : tags) {
+    wildcard = wildcard || t == kAnyTag;
+  }
+  if (!wildcard) {
+    // Fully specified pattern: direct lane lookups, no scan at all.
+    for (int t : tags) {
+      const auto it = lanes_.find(laneKey(source, t));
+      if (it != lanes_.end() && !it->second.empty() &&
+          (best == nullptr ||
+           it->second.front().seq < best->front().seq)) {
+        best = &it->second;
+      }
+    }
+  } else {
+    // Wildcard: arbitrate across matching lanes by arrival number — the
+    // earliest matching message overall, exactly as a single queue scan
+    // would find.  O(lanes), which is bounded by ranks × live tags, not
+    // by the number of queued messages.
+    for (auto& [key, lane] : lanes_) {
+      if (lane.empty()) {
+        continue;
+      }
+      const Message& front = lane.front();
+      if (!matchesPattern(front.source, front.tag, source, tags)) {
+        continue;
+      }
+      if (best == nullptr || front.seq < best->front().seq) {
+        best = &lane;
       }
     }
   }
-  return std::nullopt;
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  Message m = std::move(best->front());
+  best->pop_front();
+  --pending_;
+  return m;
 }
 
-std::optional<Message> Mailbox::recvAnyOf(int source,
-                                          std::span<const int> tags) {
+const Message* Mailbox::peekFastLocked(int source,
+                                       std::span<const int> tags) const {
+  const Message* best = nullptr;
+  for (const auto& [key, lane] : lanes_) {
+    if (lane.empty()) {
+      continue;
+    }
+    const Message& front = lane.front();
+    if (!matchesPattern(front.source, front.tag, source, tags)) {
+      continue;
+    }
+    if (best == nullptr || front.seq < best->seq) {
+      best = &front;
+    }
+  }
+  return best;
+}
+
+std::optional<Message> Mailbox::recvImpl(
+    int source, std::span<const int> tags,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
   std::unique_lock<std::mutex> lock(mutex_);
+  if (mode_ == MsgPath::kCopy) {
+    for (;;) {
+      if (auto m = takeLegacyLocked(source, tags)) {
+        return m;
+      }
+      if (closed_) {
+        return std::nullopt;
+      }
+      if (deadline) {
+        if (cv_.wait_until(lock, *deadline) == std::cv_status::timeout) {
+          return takeLegacyLocked(source, tags);  // final chance after wake
+        }
+      } else {
+        cv_.wait(lock);
+      }
+    }
+  }
+
+  if (auto m = takeFastLocked(source, tags)) {
+    return m;
+  }
+  if (closed_) {
+    return std::nullopt;
+  }
+  Waiter w;
+  w.source = source;
+  w.tags = tags;
+  waiters_.push_back(&w);
+  std::optional<Message> out;
   for (;;) {
-    if (auto m = extractAnyLocked(source, tags)) {
-      return m;
+    if (deadline) {
+      if (w.cv.wait_until(lock, *deadline) == std::cv_status::timeout) {
+        out = takeFastLocked(source, tags);  // final chance after wake
+        break;
+      }
+    } else {
+      w.cv.wait(lock);
+    }
+    if ((out = takeFastLocked(source, tags))) {
+      break;
     }
     if (closed_) {
-      return std::nullopt;
+      break;
     }
-    cv_.wait(lock);
   }
+  waiters_.erase(std::find(waiters_.begin(), waiters_.end(), &w));
+  return out;
 }
 
 std::optional<Message> Mailbox::recv(int source, int tag) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    if (auto m = extractLocked(source, tag)) {
-      return m;
-    }
-    if (closed_) {
-      return std::nullopt;
-    }
-    cv_.wait(lock);
-  }
+  const int tags[1] = {tag};
+  return recvImpl(source, tags, std::nullopt);
 }
 
 std::optional<Message> Mailbox::recvFor(int source, int tag,
                                         std::chrono::nanoseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    if (auto m = extractLocked(source, tag)) {
-      return m;
-    }
-    if (closed_) {
-      return std::nullopt;
-    }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      return extractLocked(source, tag);  // final chance after wake
-    }
-  }
+  const int tags[1] = {tag};
+  return recvImpl(source, tags, std::chrono::steady_clock::now() + timeout);
+}
+
+std::optional<Message> Mailbox::recvAnyOf(int source,
+                                          std::span<const int> tags) {
+  return recvImpl(source, tags, std::nullopt);
 }
 
 std::optional<Message> Mailbox::tryRecv(int source, int tag) {
+  const int tags[1] = {tag};
   std::lock_guard<std::mutex> lock(mutex_);
-  return extractLocked(source, tag);
+  return mode_ == MsgPath::kCopy ? takeLegacyLocked(source, tags)
+                                 : takeFastLocked(source, tags);
 }
 
 std::optional<MessageInfo> Mailbox::probe(int source, int tag) const {
+  const int tags[1] = {tag};
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& m : messages_) {
-    if (matches(m, source, tag)) {
-      return MessageInfo{m.source, m.tag, m.sizeBytes()};
+  if (mode_ == MsgPath::kCopy) {
+    for (const auto& m : messages_) {
+      if (matchesPattern(m.source, m.tag, source, tags)) {
+        return MessageInfo{m.source, m.tag, m.sizeBytes()};
+      }
     }
+    return std::nullopt;
+  }
+  if (const Message* m = peekFastLocked(source, tags)) {
+    return MessageInfo{m->source, m->tag, m->sizeBytes()};
   }
   return std::nullopt;
 }
@@ -101,6 +205,9 @@ void Mailbox::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
+    for (Waiter* w : waiters_) {
+      w->cv.notify_one();
+    }
   }
   cv_.notify_all();
 }
@@ -112,7 +219,7 @@ bool Mailbox::closed() const {
 
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return messages_.size();
+  return mode_ == MsgPath::kCopy ? messages_.size() : pending_;
 }
 
 }  // namespace easyhps::msg

@@ -1,23 +1,45 @@
 #pragma once
 /// \file mailbox.hpp
 /// Per-rank message store with (source, tag) matching semantics.
+///
+/// Two implementations live behind one interface, selected by the
+/// process-wide `MsgPath` at construction time:
+///
+///  * *fast* (default) — messages are sharded into per-(source, tag)
+///    lanes.  A specific receive is an O(1) lane lookup instead of an
+///    O(pending) scan over unrelated traffic; wildcard receives arbitrate
+///    across matching lanes by the delivery sequence number, which
+///    reproduces the exact earliest-match order of a single queue.
+///    Waiters register their (source, tags) pattern and own a private
+///    condition variable, so a delivery wakes only receivers it can
+///    satisfy — a data-plane block never wakes a control-loop waiter.
+///  * *legacy* (`MsgPath::kCopy`) — the seed's single deque + broadcast
+///    condvar, kept verbatim as the semantics oracle for `bench_msg` and
+///    the equivalence tests.
+///
+/// Both give the same guarantee: receives match the *earliest* message
+/// whose (source, tag) satisfies the requested pattern — the
+/// non-overtaking order MPI promises for a (source, tag, comm) triple.
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "easyhps/msg/message.hpp"
+#include "easyhps/msg/payload.hpp"
 
 namespace easyhps::msg {
 
-/// Holds undelivered messages for one rank.  Receives match the *earliest*
-/// message whose (source, tag) satisfies the requested pattern — the same
-/// non-overtaking guarantee MPI gives for a (source, tag, comm) triple.
 class Mailbox {
  public:
+  Mailbox() : mode_(msgPath()) {}
+
   /// Enqueues a message and wakes matching waiters.
   void deliver(Message message);
 
@@ -51,20 +73,61 @@ class Mailbox {
   std::size_t pending() const;
 
  private:
-  static bool matches(const Message& m, int source, int tag) {
-    return (source == kAnySource || m.source == source) &&
-           (tag == kAnyTag || m.tag == tag);
+  /// One blocked receiver: its match pattern plus a private condvar so
+  /// deliveries wake exactly the receivers they can satisfy.
+  struct Waiter {
+    std::condition_variable cv;
+    int source = kAnySource;
+    std::span<const int> tags;
+  };
+
+  static bool matchesPattern(int msgSource, int msgTag, int source,
+                             std::span<const int> tags) {
+    if (source != kAnySource && msgSource != source) {
+      return false;
+    }
+    for (int t : tags) {
+      if (t == kAnyTag || t == msgTag) {
+        return true;
+      }
+    }
+    return false;
   }
 
-  /// Extracts the first matching message under the caller's lock.
-  std::optional<Message> extractLocked(int source, int tag);
-  std::optional<Message> extractAnyLocked(int source,
+  static std::uint64_t laneKey(int source, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  /// Shared blocking core: nullopt deadline = wait forever.
+  std::optional<Message> recvImpl(
+      int source, std::span<const int> tags,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+
+  // Fast path: lane bookkeeping under the caller's lock.
+  std::optional<Message> takeFastLocked(int source, std::span<const int> tags);
+  const Message* peekFastLocked(int source, std::span<const int> tags) const;
+
+  // Legacy path: the seed's linear scan under the caller's lock.
+  std::optional<Message> takeLegacyLocked(int source,
                                           std::span<const int> tags);
 
+  const MsgPath mode_;
   mutable std::mutex mutex_;
+  bool closed_ = false;
+
+  // Legacy storage (MsgPath::kCopy).
   std::condition_variable cv_;
   std::deque<Message> messages_;
-  bool closed_ = false;
+
+  // Fast storage: per-(source, tag) FIFO lanes + registered waiters.
+  // Lanes are never erased — their number is bounded by ranks × live
+  // tags, and keeping them avoids rehash churn on the hot path.
+  std::unordered_map<std::uint64_t, std::deque<Message>> lanes_;
+  std::vector<Waiter*> waiters_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_ = 0;
 };
 
 }  // namespace easyhps::msg

@@ -12,7 +12,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+
+#include "easyhps/msg/payload.hpp"
 
 namespace easyhps::msg {
 
@@ -29,7 +30,11 @@ struct Message {
   int source = 0;
   int dest = 0;
   int tag = 0;
-  std::vector<std::byte> payload;
+  Payload payload;
+  /// Mailbox arrival number, stamped at delivery.  The sharded mailbox
+  /// arbitrates wildcard receives across lanes by it, reproducing the
+  /// exact earliest-match order a single queue gives.
+  std::uint64_t seq = 0;
 
   std::size_t sizeBytes() const { return payload.size(); }
 };

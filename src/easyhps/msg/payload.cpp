@@ -1,0 +1,34 @@
+#include "easyhps/msg/payload.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace easyhps::msg {
+namespace {
+
+// EASYHPS_MSG_PATH=copy forces the seed transport semantics process-wide
+// without a rebuild — the A/B switch bench_msg and the equivalence suite
+// flip, mirroring EASYHPS_KERNEL_PATH.  Anything else (including unset)
+// selects the zero-copy fast path.
+MsgPath initialMsgPath() {
+  const char* env = std::getenv("EASYHPS_MSG_PATH");
+  if (env != nullptr && std::strcmp(env, "copy") == 0) {
+    return MsgPath::kCopy;
+  }
+  return MsgPath::kFast;
+}
+
+// Relaxed is enough: the toggle is set before a cluster is constructed
+// and read at encode/deliver time; it is a mode switch, not a
+// synchronization point.
+std::atomic<MsgPath> g_msg_path{initialMsgPath()};
+
+}  // namespace
+
+MsgPath msgPath() { return g_msg_path.load(std::memory_order_relaxed); }
+
+void setMsgPath(MsgPath path) {
+  g_msg_path.store(path, std::memory_order_relaxed);
+}
+
+}  // namespace easyhps::msg

@@ -1,0 +1,238 @@
+#pragma once
+/// \file payload.hpp
+/// Zero-copy message payload for the in-process substrate.
+///
+/// The seed transport shipped every payload as an owned
+/// `std::vector<std::byte>`: one heap allocation per control message and a
+/// full memcpy of every block/halo buffer on its way through the "wire".
+/// `Payload` removes both costs while keeping the byte stream identical:
+///
+///  * a *head* — up to `kInlineCapacity` bytes stored inline (control
+///    messages never touch the heap), spilling to a refcounted immutable
+///    heap buffer when larger;
+///  * an optional *body* — a refcounted view of a trailing buffer (the
+///    Score cells of a block or halo) that moves between ranks by
+///    reference count instead of memcpy.  `PayloadWriter::putVectorZeroCopy`
+///    creates it; readers borrow it via `ByteReader`'s segmented view.
+///
+/// Logically a payload is still one flat byte sequence, head followed by
+/// body: `linearize()` materializes it and is bit-identical to what the
+/// copying serializer produces, which is what keeps `TrafficStats` byte
+/// accounting and the wire format independent of the path taken.
+///
+/// Which path runs is a process-wide toggle (`MsgPath`), mirroring the
+/// kernel layer's `KernelPath` A/B discipline: `kCopy` keeps the seed
+/// semantics — copying serializer plus a deep copy at delivery, modelling
+/// an MPI buffered send — as the oracle `bench_msg` measures against.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::msg {
+
+/// Which transport implementation the substrate uses, process-wide.
+enum class MsgPath {
+  kFast,  ///< inline/refcounted payloads, sharded mailboxes (default)
+  kCopy,  ///< seed semantics: copying serializer, buffered-send deep copy,
+          ///< single-deque mailbox (oracle / A-B baseline)
+};
+
+/// Process-wide message path; defaults to kFast, or kCopy when the process
+/// started with EASYHPS_MSG_PATH=copy in the environment (no-rebuild A/B
+/// switch, same discipline as EASYHPS_KERNEL_PATH).
+MsgPath msgPath();
+void setMsgPath(MsgPath path);
+
+/// RAII path override for benches and the equivalence suite.  Flip it
+/// before constructing the cluster: mailboxes capture their mode at
+/// construction.
+class ScopedMsgPath {
+ public:
+  explicit ScopedMsgPath(MsgPath path) : prev_(msgPath()) {
+    setMsgPath(path);
+  }
+  ~ScopedMsgPath() { setMsgPath(prev_); }
+  ScopedMsgPath(const ScopedMsgPath&) = delete;
+  ScopedMsgPath& operator=(const ScopedMsgPath&) = delete;
+
+ private:
+  MsgPath prev_;
+};
+
+/// Immutable message payload: inline or refcounted head plus an optional
+/// refcounted body segment.  Copies never duplicate heap bytes (shared
+/// buffers bump a reference count); `deepCopy()` does, deliberately.
+class Payload {
+ public:
+  /// Head bytes stored inline; chosen to cover every control-plane
+  /// message (Idle/JobStart/JobEnd = 8 B, Assign headers, HaloRequest =
+  /// 45 B, SlaveStats = 80 B spills — the largest fixed header under it).
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  // User-provided (not `= default`) so `const Payload` default-initializes
+  // without requiring the inline array to be zeroed.
+  Payload() {}
+
+  /// Implicit on purpose: every pre-existing call site hands a
+  /// `std::vector<std::byte>` (ByteWriter::take(), test helpers).
+  Payload(std::vector<std::byte> bytes) {
+    if (bytes.size() <= kInlineCapacity) {
+      inline_size_ = bytes.size();
+      if (!bytes.empty()) {
+        std::memcpy(inline_.data(), bytes.data(), bytes.size());
+      }
+    } else {
+      heap_ = std::make_shared<const std::vector<std::byte>>(
+          std::move(bytes));
+    }
+  }
+
+  std::span<const std::byte> head() const {
+    if (heap_ != nullptr) {
+      return {heap_->data(), heap_->size()};
+    }
+    return {inline_.data(), inline_size_};
+  }
+
+  std::span<const std::byte> body() const {
+    return {body_ptr_, body_size_};
+  }
+
+  /// Keepalive of the body segment; readers that borrow a view of the
+  /// body copy this so the cells outlive the message.
+  const std::shared_ptr<const void>& bodyOwner() const {
+    return body_owner_;
+  }
+
+  std::size_t size() const { return head().size() + body_size_; }
+  bool empty() const { return size() == 0; }
+
+  /// Bytes that cross the wire by reference count instead of memcpy —
+  /// the refcounted heap head plus the body segment.  Inline bytes are
+  /// excluded: they are copied (cheaply) with the message struct.
+  std::size_t sharedBytes() const {
+    return (heap_ != nullptr ? heap_->size() : 0) + body_size_;
+  }
+
+  /// The logical byte stream, head followed by body.  Bit-identical to
+  /// the copying serializer's output for the same writes.
+  std::vector<std::byte> linearize() const {
+    std::vector<std::byte> out;
+    out.reserve(size());
+    const auto h = head();
+    out.insert(out.end(), h.begin(), h.end());
+    out.insert(out.end(), body_ptr_, body_ptr_ + body_size_);
+    return out;
+  }
+
+  /// Fresh owned copy sharing no buffers with this payload — the MPI
+  /// buffered-send model the kCopy oracle applies at delivery.
+  Payload deepCopy() const { return Payload(linearize()); }
+
+ private:
+  friend class PayloadWriter;
+
+  std::array<std::byte, kInlineCapacity> inline_;
+  std::size_t inline_size_ = 0;
+  std::shared_ptr<const std::vector<std::byte>> heap_;
+
+  std::shared_ptr<const void> body_owner_;
+  const std::byte* body_ptr_ = nullptr;
+  std::size_t body_size_ = 0;
+};
+
+/// Serializer producing a `Payload` directly: fixed-size fields accumulate
+/// in the (inline-first) head, and one trailing vector may become the
+/// refcounted body via `putVectorZeroCopy` — no byte of it is copied on
+/// the fast path.  Under `MsgPath::kCopy` the same calls degrade to the
+/// plain copying serializer, so encoders are path-agnostic and the byte
+/// stream is identical either way.
+class PayloadWriter {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PayloadWriter::put requires a trivially copyable type");
+    append(&value, sizeof(T));
+  }
+
+  template <typename T>
+  void putVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PayloadWriter::putVector requires trivially copyable T");
+    put<std::uint64_t>(v.size());
+    append(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Same byte stream as putVector (count prefix + raw elements), but the
+  /// elements become the payload's refcounted body instead of being
+  /// copied.  The body is the trailing segment, so this must be the final
+  /// write; small vectors stay in the head (a shared_ptr per 16-byte halo
+  /// sliver would cost more than the memcpy it saves).
+  template <typename T>
+  void putVectorZeroCopy(std::vector<T> v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PayloadWriter::putVectorZeroCopy requires trivially "
+                  "copyable T");
+    put<std::uint64_t>(v.size());
+    const std::size_t bytes = v.size() * sizeof(T);
+    if (bytes > Payload::kInlineCapacity && msgPath() == MsgPath::kFast) {
+      auto owner = std::make_shared<const std::vector<T>>(std::move(v));
+      payload_.body_ptr_ = reinterpret_cast<const std::byte*>(owner->data());
+      payload_.body_size_ = bytes;
+      payload_.body_owner_ = std::move(owner);
+      sealed_ = true;
+    } else {
+      append(v.data(), bytes);
+    }
+  }
+
+  Payload take() && {
+    if (!spill_.empty()) {
+      payload_.heap_ = std::make_shared<const std::vector<std::byte>>(
+          std::move(spill_));
+      payload_.inline_size_ = 0;
+    } else {
+      payload_.inline_ = inline_;
+      payload_.inline_size_ = inline_size_;
+    }
+    return std::move(payload_);
+  }
+
+ private:
+  void append(const void* src, std::size_t n) {
+    EASYHPS_EXPECTS(!sealed_);  // the zero-copy body must be the last write
+    if (n == 0) {
+      return;
+    }
+    if (spill_.empty() && inline_size_ + n <= Payload::kInlineCapacity) {
+      std::memcpy(inline_.data() + inline_size_, src, n);
+      inline_size_ += n;
+      return;
+    }
+    if (spill_.empty()) {
+      spill_.assign(inline_.data(), inline_.data() + inline_size_);
+      inline_size_ = 0;
+    }
+    const auto offset = spill_.size();
+    spill_.resize(offset + n);
+    std::memcpy(spill_.data() + offset, src, n);
+  }
+
+  Payload payload_;
+  std::array<std::byte, Payload::kInlineCapacity> inline_;
+  std::size_t inline_size_ = 0;
+  std::vector<std::byte> spill_;
+  bool sealed_ = false;
+};
+
+}  // namespace easyhps::msg

@@ -84,6 +84,14 @@ struct RunStats {
   std::uint64_t messages = 0;  ///< substrate messages (incl. collectives)
   std::uint64_t bytes = 0;
 
+  /// Zero-copy transport counters (per-job deltas; see msg::TrafficStats).
+  /// `bytes` above stays the logical payload size on both message paths —
+  /// these record how many deliveries skipped the buffered-send copy and
+  /// how many bytes moved by reference count.  Both zero under
+  /// MsgPath::kCopy.
+  std::uint64_t copiesAvoided = 0;
+  std::uint64_t zeroCopyBytes = 0;
+
   /// Byte-level split of `bytes` (per-job deltas): links touching rank 0
   /// vs slave↔slave links — the number the data-plane refactor moves.
   std::uint64_t bytesViaMaster = 0;

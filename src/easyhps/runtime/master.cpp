@@ -130,8 +130,10 @@ void buildHaloGeometry(const DpProblem& problem, MasterState& state) {
 
 /// Injects a result and advances the parse state.  Returns true if this
 /// completion was new (false = stale job, duplicate, or late result).
+/// `data` is the decoded cell view (borrowed from the message body on the
+/// fast path; `result.data` itself stays empty).
 bool processResult(MasterState& state, const wire::ResultPayload& result,
-                   int slaveRank) {
+                   std::span<const Score> data, int slaveRank) {
   std::lock_guard<std::mutex> lock(state.mutex);
   if (result.job != state.jobId) {
     // A reply that outlived its job (delay fault, slow slave).  Vertex ids
@@ -158,9 +160,9 @@ bool processResult(MasterState& state, const wire::ResultPayload& result,
     }
     state.tableChecksum += result.checksum;
   } else {
-    state.matrix->inject(result.rect, result.data);
+    state.matrix->inject(result.rect, data);
     const std::uint64_t sum =
-        wire::blockChecksum(result.vertex, result.rect, result.data);
+        wire::blockChecksum(result.vertex, result.rect, data);
     EASYHPS_CHECK(sum == result.checksum,
                   "relayed block does not match the slave's checksum");
     state.tableChecksum += sum;
@@ -287,8 +289,9 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
       }
       continue;
     }
-    const wire::ResultPayload result = wire::decodeResult(m->payload);
-    processResult(state, result, slaveRank);
+    wire::ScoreCells cells;
+    const wire::ResultPayload result = wire::decodeResult(m->payload, cells);
+    processResult(state, result, cells.cells(), slaveRank);
     if (result.job == state.jobId && result.vertex == inflight->vertex) {
       inflight.reset();
     }
@@ -347,10 +350,13 @@ void controlLoop(MasterState& state, const RuntimeConfig& cfg,
   }
 }
 
-void absorbSpill(MasterState& state, const wire::BlockSpillPayload& spill) {
+void absorbSpill(MasterState& state, const msg::Payload& payload) {
+  wire::ScoreCells cells;
+  const wire::BlockSpillPayload spill =
+      wire::decodeBlockSpill(payload, cells);
   std::lock_guard<std::mutex> lock(state.mutex);
   if (spill.job == state.jobId) {
-    state.matrix->inject(spill.rect, spill.data);
+    state.matrix->inject(spill.rect, cells.cells());
     state.directory.markResident(spill.vertex);
   }
 }
@@ -382,7 +388,9 @@ void ensureResident(msg::Comm& comm, MasterState& state, VertexId v,
     comm.send(owner, wire::kTagData,
               wire::encodeBlockFetch({state.jobId, v, state.dag->rectOf(v)}));
     const msg::Message reply = comm.recv(owner, wire::kTagBlockData);
-    const wire::BlockDataPayload block = wire::decodeBlockData(reply.payload);
+    wire::ScoreCells cells;
+    const wire::BlockDataPayload block =
+        wire::decodeBlockData(reply.payload, cells);
     if (block.found) {
       std::lock_guard<std::mutex> lock(state.mutex);
       if (block.job == state.jobId) {
@@ -390,7 +398,7 @@ void ensureResident(msg::Comm& comm, MasterState& state, VertexId v,
         // from the same owner concurrently, and (source, tag) matching can
         // hand each receiver the other's reply — both replies get applied
         // either way, so re-check residency and retry if ours swapped.
-        state.matrix->inject(block.rect, block.data);
+        state.matrix->inject(block.rect, cells.cells());
         state.directory.markResident(block.vertex);
       }
       continue;
@@ -414,7 +422,7 @@ void ensureResident(msg::Comm& comm, MasterState& state, VertexId v,
         continue;
       }
       if (wire::peekDataKind(m->payload) == wire::DataMsgKind::kBlockSpill) {
-        absorbSpill(state, wire::decodeBlockSpill(m->payload));
+        absorbSpill(state, m->payload);
       } else {
         deferred.push_back(std::move(*m));  // requests wait their turn
       }
@@ -462,11 +470,11 @@ void masterDataLoop(msg::Comm& comm, MasterState& state,
             reply.data = state.matrix->extract(req.rect);
           }
           comm.send(m->source, wire::kTagHaloData,
-                    wire::encodeHaloData(reply));
+                    wire::encodeHaloData(std::move(reply)));
           break;
         }
         case wire::DataMsgKind::kBlockSpill:
-          absorbSpill(state, wire::decodeBlockSpill(m->payload));
+          absorbSpill(state, m->payload);
           break;
         case wire::DataMsgKind::kBlockFetch:
           EASYHPS_LOG_WARN("master received a misrouted BlockFetch");
@@ -599,13 +607,15 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
         comm.send(owner, wire::kTagData,
                   wire::encodeBlockFetch({state.jobId, v, dag.rectOf(v)}));
         const msg::Message reply = comm.recv(owner, wire::kTagBlockData);
-        wire::BlockDataPayload block = wire::decodeBlockData(reply.payload);
+        wire::ScoreCells cells;
+        const wire::BlockDataPayload block =
+            wire::decodeBlockData(reply.payload, cells);
         if (block.found) {
           // Inject by payload identity: the data thread may pull from the
           // same owner concurrently and (source, tag) matching can swap
           // the replies — both get applied either way.
           std::lock_guard<std::mutex> lock(state.mutex);
-          state.matrix->inject(block.rect, block.data);
+          state.matrix->inject(block.rect, cells.cells());
           state.directory.markResident(block.vertex);
           ++state.blocksAssembled;
         }
@@ -643,10 +653,11 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
       if (wire::peekDataKind(m->payload) != wire::DataMsgKind::kBlockSpill) {
         continue;
       }
-      const auto spill = wire::decodeBlockSpill(m->payload);
+      wire::ScoreCells cells;
+      const auto spill = wire::decodeBlockSpill(m->payload, cells);
       if (spill.job == state.jobId) {
         std::lock_guard<std::mutex> lock(state.mutex);
-        state.matrix->inject(spill.rect, spill.data);
+        state.matrix->inject(spill.rect, cells.cells());
         state.directory.markResident(spill.vertex);
       }
     }
@@ -680,6 +691,8 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   const msg::TrafficSnapshot traffic1 = comm.traffic();
   stats.messages = traffic1.messages - traffic0.messages;
   stats.bytes = traffic1.bytes - traffic0.bytes;
+  stats.copiesAvoided = traffic1.copiesAvoided - traffic0.copiesAvoided;
+  stats.zeroCopyBytes = traffic1.zeroCopyBytes - traffic0.zeroCopyBytes;
   const int ranks = traffic1.ranks;
   stats.linkBytes.assign(traffic1.linkBytes.size(), 0);
   for (int src = 0; src < ranks; ++src) {

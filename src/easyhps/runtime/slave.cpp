@@ -214,11 +214,9 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
                    DataPlaneCounters& counters,
                    const std::atomic<bool>& stop) {
   log::setThreadName("slave-" + std::to_string(comm.rank()) + "/data");
-  // One long-lived cell buffer serves every request: extractInto refills
-  // it in place and the move in/out of the reply payload preserves its
-  // capacity across iterations, so a busy serving loop stops allocating
-  // once it has seen its largest halo.
-  std::vector<Score> scratch;
+  // Each reply allocates its own cell buffer: the encoder hands the vector
+  // to the payload as a refcounted body that the receiver may still be
+  // reading after this loop moves on, so the buffer cannot be reused.
   while (!stop.load(std::memory_order_acquire)) {
     auto m = comm.recvFor(msg::kAnySource, wire::kTagData,
                           std::chrono::milliseconds(2));
@@ -234,15 +232,13 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
         wire::HaloDataPayload reply;
         reply.job = req.job;
         reply.rect = req.rect;
-        reply.data = std::move(scratch);
         reply.found =
             store.extractInto(req.job, req.vertex, req.rect, reply.data);
         // A miss (evicted block) is answered found=false; the requester
         // falls back to the master, whose spill copy landed before this
         // reply could be sent.
         comm.send(m->source, wire::kTagHaloData,
-                  wire::encodeHaloData(reply));
-        scratch = std::move(reply.data);
+                  wire::encodeHaloData(std::move(reply)));
         counters.halosServed.fetch_add(1, std::memory_order_relaxed);
         break;
       }
@@ -252,12 +248,10 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
         reply.job = req.job;
         reply.vertex = req.vertex;
         reply.rect = req.rect;
-        reply.data = std::move(scratch);
         reply.found =
             store.extractInto(req.job, req.vertex, req.rect, reply.data);
         comm.send(m->source, wire::kTagBlockData,
-                  wire::encodeBlockData(reply));
-        scratch = std::move(reply.data);
+                  wire::encodeBlockData(std::move(reply)));
         break;
       }
       case wire::DataMsgKind::kBlockSpill:
@@ -394,7 +388,7 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
     // Step: reply with the computed block (paper §V-B step e).  A result
     // held past its job's end still carries the job id, so the master
     // discards it instead of crediting it to a later job.
-    comm.send(0, wire::kTagResult, wire::encodeResult(result));
+    comm.send(0, wire::kTagResult, wire::encodeResult(std::move(result)));
   }
 
   // JobEnd flush: vertex ids restart at 0 next job, so retained blocks

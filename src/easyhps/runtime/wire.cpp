@@ -1,15 +1,20 @@
 #include "easyhps/runtime/wire.hpp"
 
+#include <cstdint>
+
 #include "easyhps/util/archive.hpp"
 
 namespace easyhps::wire {
 namespace {
 
-void putRect(ByteWriter& w, const CellRect& r) {
-  w.put<std::int64_t>(r.row0);
-  w.put<std::int64_t>(r.col0);
-  w.put<std::int64_t>(r.rows);
-  w.put<std::int64_t>(r.cols);
+// Encode helpers are templated over the writer so the same code drives
+// the Payload-producing fast path and any plain ByteWriter use.
+template <typename Writer>
+void putRect(Writer& w, const CellRect& r) {
+  w.template put<std::int64_t>(r.row0);
+  w.template put<std::int64_t>(r.col0);
+  w.template put<std::int64_t>(r.rows);
+  w.template put<std::int64_t>(r.cols);
 }
 
 CellRect getRect(ByteReader& r) {
@@ -21,8 +26,9 @@ CellRect getRect(ByteReader& r) {
   return rect;
 }
 
-void putHaloBlocks(ByteWriter& w, const std::vector<HaloBlock>& halos) {
-  w.put<std::uint32_t>(static_cast<std::uint32_t>(halos.size()));
+template <typename Writer>
+void putHaloBlocks(Writer& w, const std::vector<HaloBlock>& halos) {
+  w.template put<std::uint32_t>(static_cast<std::uint32_t>(halos.size()));
   for (const HaloBlock& h : halos) {
     putRect(w, h.rect);
     w.putVector(h.data);
@@ -42,10 +48,30 @@ std::vector<HaloBlock> getHaloBlocks(ByteReader& r) {
   return halos;
 }
 
+/// Reads the trailing Score vector into `out`, borrowing the payload's
+/// refcounted body when the cells sit contiguous and aligned inside it
+/// (the fast path — zero bytes copied); otherwise copies out of the byte
+/// stream.  Same wire format either way: count prefix + raw elements.
+void getScores(ByteReader& r, const msg::Payload& payload, ScoreCells& out) {
+  const auto n = r.get<std::uint64_t>();
+  const std::size_t bytes = n * sizeof(Score);
+  const std::byte* ptr = bytes > 0 ? r.peekContiguous(bytes) : nullptr;
+  if (ptr != nullptr && r.inBody() && payload.bodyOwner() != nullptr &&
+      reinterpret_cast<std::uintptr_t>(ptr) % alignof(Score) == 0) {
+    out.borrow(payload.bodyOwner(),
+               {reinterpret_cast<const Score*>(ptr), n});
+    r.skip(bytes);
+    return;
+  }
+  std::vector<Score> cells(n);
+  r.readBytes(cells.data(), bytes);
+  out.own(std::move(cells));
+}
+
 }  // namespace
 
-std::vector<std::byte> encodeAssign(const AssignPayload& p) {
-  ByteWriter w;
+msg::Payload encodeAssign(const AssignPayload& p) {
+  msg::PayloadWriter w;
   w.put<JobId>(p.job);
   w.put<VertexId>(p.vertex);
   putRect(w, p.rect);
@@ -63,8 +89,8 @@ std::vector<std::byte> encodeAssign(const AssignPayload& p) {
   return std::move(w).take();
 }
 
-AssignPayload decodeAssign(const std::vector<std::byte>& bytes) {
-  ByteReader r(bytes);
+AssignPayload decodeAssign(const msg::Payload& payload) {
+  ByteReader r(payload);
   AssignPayload p;
   p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
@@ -87,31 +113,40 @@ AssignPayload decodeAssign(const std::vector<std::byte>& bytes) {
   return p;
 }
 
-std::vector<std::byte> encodeResult(const ResultPayload& p) {
-  ByteWriter w;
+// Result puts `data` last on the wire (after edges + checksum) so the
+// block cells can ride as the payload's zero-copy body segment.
+msg::Payload encodeResult(ResultPayload p) {
+  msg::PayloadWriter w;
   w.put<JobId>(p.job);
   w.put<VertexId>(p.vertex);
   putRect(w, p.rect);
-  w.putVector(p.data);
   putHaloBlocks(w, p.edges);
   w.put<std::uint64_t>(p.checksum);
+  w.putVectorZeroCopy(std::move(p.data));
   return std::move(w).take();
 }
 
-ResultPayload decodeResult(const std::vector<std::byte>& bytes) {
-  ByteReader r(bytes);
+ResultPayload decodeResult(const msg::Payload& payload, ScoreCells& data) {
+  ByteReader r(payload);
   ResultPayload p;
   p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
   p.rect = getRect(r);
-  p.data = r.getVector<Score>();
   p.edges = getHaloBlocks(r);
   p.checksum = r.get<std::uint64_t>();
+  getScores(r, payload, data);
   return p;
 }
 
-std::vector<std::byte> encodeSlaveStats(const SlaveStatsPayload& p) {
-  ByteWriter w;
+ResultPayload decodeResult(const msg::Payload& payload) {
+  ScoreCells cells;
+  ResultPayload p = decodeResult(payload, cells);
+  p.data.assign(cells.cells().begin(), cells.cells().end());
+  return p;
+}
+
+msg::Payload encodeSlaveStats(const SlaveStatsPayload& p) {
+  msg::PayloadWriter w;
   w.put<JobId>(p.job);
   w.put<std::int64_t>(p.tasksExecuted);
   w.put<std::int64_t>(p.threadRestarts);
@@ -125,8 +160,8 @@ std::vector<std::byte> encodeSlaveStats(const SlaveStatsPayload& p) {
   return std::move(w).take();
 }
 
-SlaveStatsPayload decodeSlaveStats(const std::vector<std::byte>& bytes) {
-  ByteReader r(bytes);
+SlaveStatsPayload decodeSlaveStats(const msg::Payload& payload) {
+  ByteReader r(payload);
   SlaveStatsPayload p;
   p.job = r.get<JobId>();
   p.tasksExecuted = r.get<std::int64_t>();
@@ -141,26 +176,26 @@ SlaveStatsPayload decodeSlaveStats(const std::vector<std::byte>& bytes) {
   return p;
 }
 
-std::vector<std::byte> encodeJobControl(const JobControlPayload& p) {
-  ByteWriter w;
+msg::Payload encodeJobControl(const JobControlPayload& p) {
+  msg::PayloadWriter w;
   w.put<JobId>(p.job);
   return std::move(w).take();
 }
 
-JobControlPayload decodeJobControl(const std::vector<std::byte>& bytes) {
-  ByteReader r(bytes);
+JobControlPayload decodeJobControl(const msg::Payload& payload) {
+  ByteReader r(payload);
   JobControlPayload p;
   p.job = r.get<JobId>();
   return p;
 }
 
-DataMsgKind peekDataKind(const std::vector<std::byte>& bytes) {
-  ByteReader r(bytes);
+DataMsgKind peekDataKind(const msg::Payload& payload) {
+  ByteReader r(payload);
   return static_cast<DataMsgKind>(r.get<std::uint8_t>());
 }
 
-std::vector<std::byte> encodeHaloRequest(const HaloRequestPayload& p) {
-  ByteWriter w;
+msg::Payload encodeHaloRequest(const HaloRequestPayload& p) {
+  msg::PayloadWriter w;
   w.put<std::uint8_t>(static_cast<std::uint8_t>(DataMsgKind::kHaloRequest));
   w.put<JobId>(p.job);
   w.put<VertexId>(p.vertex);
@@ -168,8 +203,8 @@ std::vector<std::byte> encodeHaloRequest(const HaloRequestPayload& p) {
   return std::move(w).take();
 }
 
-HaloRequestPayload decodeHaloRequest(const std::vector<std::byte>& bytes) {
-  ByteReader r(bytes);
+HaloRequestPayload decodeHaloRequest(const msg::Payload& payload) {
+  ByteReader r(payload);
   EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
                     DataMsgKind::kHaloRequest,
                 "kind byte is not HaloRequest");
@@ -180,27 +215,35 @@ HaloRequestPayload decodeHaloRequest(const std::vector<std::byte>& bytes) {
   return p;
 }
 
-std::vector<std::byte> encodeHaloData(const HaloDataPayload& p) {
-  ByteWriter w;
+msg::Payload encodeHaloData(HaloDataPayload p) {
+  msg::PayloadWriter w;
   w.put<JobId>(p.job);
   putRect(w, p.rect);
   w.put<std::uint8_t>(p.found ? 1 : 0);
-  w.putVector(p.data);
+  w.putVectorZeroCopy(std::move(p.data));
   return std::move(w).take();
 }
 
-HaloDataPayload decodeHaloData(const std::vector<std::byte>& bytes) {
-  ByteReader r(bytes);
+HaloDataPayload decodeHaloData(const msg::Payload& payload,
+                               ScoreCells& data) {
+  ByteReader r(payload);
   HaloDataPayload p;
   p.job = r.get<JobId>();
   p.rect = getRect(r);
   p.found = r.get<std::uint8_t>() != 0;
-  p.data = r.getVector<Score>();
+  getScores(r, payload, data);
   return p;
 }
 
-std::vector<std::byte> encodeBlockFetch(const BlockFetchPayload& p) {
-  ByteWriter w;
+HaloDataPayload decodeHaloData(const msg::Payload& payload) {
+  ScoreCells cells;
+  HaloDataPayload p = decodeHaloData(payload, cells);
+  p.data.assign(cells.cells().begin(), cells.cells().end());
+  return p;
+}
+
+msg::Payload encodeBlockFetch(const BlockFetchPayload& p) {
+  msg::PayloadWriter w;
   w.put<std::uint8_t>(static_cast<std::uint8_t>(DataMsgKind::kBlockFetch));
   w.put<JobId>(p.job);
   w.put<VertexId>(p.vertex);
@@ -208,8 +251,8 @@ std::vector<std::byte> encodeBlockFetch(const BlockFetchPayload& p) {
   return std::move(w).take();
 }
 
-BlockFetchPayload decodeBlockFetch(const std::vector<std::byte>& bytes) {
-  ByteReader r(bytes);
+BlockFetchPayload decodeBlockFetch(const msg::Payload& payload) {
+  ByteReader r(payload);
   EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
                     DataMsgKind::kBlockFetch,
                 "kind byte is not BlockFetch");
@@ -220,39 +263,48 @@ BlockFetchPayload decodeBlockFetch(const std::vector<std::byte>& bytes) {
   return p;
 }
 
-std::vector<std::byte> encodeBlockData(const BlockDataPayload& p) {
-  ByteWriter w;
+msg::Payload encodeBlockData(BlockDataPayload p) {
+  msg::PayloadWriter w;
   w.put<JobId>(p.job);
   w.put<VertexId>(p.vertex);
   putRect(w, p.rect);
   w.put<std::uint8_t>(p.found ? 1 : 0);
-  w.putVector(p.data);
+  w.putVectorZeroCopy(std::move(p.data));
   return std::move(w).take();
 }
 
-BlockDataPayload decodeBlockData(const std::vector<std::byte>& bytes) {
-  ByteReader r(bytes);
+BlockDataPayload decodeBlockData(const msg::Payload& payload,
+                                 ScoreCells& data) {
+  ByteReader r(payload);
   BlockDataPayload p;
   p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
   p.rect = getRect(r);
   p.found = r.get<std::uint8_t>() != 0;
-  p.data = r.getVector<Score>();
+  getScores(r, payload, data);
   return p;
 }
 
-std::vector<std::byte> encodeBlockSpill(const BlockSpillPayload& p) {
-  ByteWriter w;
+BlockDataPayload decodeBlockData(const msg::Payload& payload) {
+  ScoreCells cells;
+  BlockDataPayload p = decodeBlockData(payload, cells);
+  p.data.assign(cells.cells().begin(), cells.cells().end());
+  return p;
+}
+
+msg::Payload encodeBlockSpill(BlockSpillPayload p) {
+  msg::PayloadWriter w;
   w.put<std::uint8_t>(static_cast<std::uint8_t>(DataMsgKind::kBlockSpill));
   w.put<JobId>(p.job);
   w.put<VertexId>(p.vertex);
   putRect(w, p.rect);
-  w.putVector(p.data);
+  w.putVectorZeroCopy(std::move(p.data));
   return std::move(w).take();
 }
 
-BlockSpillPayload decodeBlockSpill(const std::vector<std::byte>& bytes) {
-  ByteReader r(bytes);
+BlockSpillPayload decodeBlockSpill(const msg::Payload& payload,
+                                   ScoreCells& data) {
+  ByteReader r(payload);
   EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
                     DataMsgKind::kBlockSpill,
                 "kind byte is not BlockSpill");
@@ -260,12 +312,19 @@ BlockSpillPayload decodeBlockSpill(const std::vector<std::byte>& bytes) {
   p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
   p.rect = getRect(r);
-  p.data = r.getVector<Score>();
+  getScores(r, payload, data);
+  return p;
+}
+
+BlockSpillPayload decodeBlockSpill(const msg::Payload& payload) {
+  ScoreCells cells;
+  BlockSpillPayload p = decodeBlockSpill(payload, cells);
+  p.data.assign(cells.cells().begin(), cells.cells().end());
   return p;
 }
 
 std::uint64_t blockChecksum(VertexId vertex, const CellRect& rect,
-                            const std::vector<Score>& data) {
+                            std::span<const Score> data) {
   constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
   constexpr std::uint64_t kPrime = 0x100000001b3ULL;
   std::uint64_t h = kOffset;

@@ -39,15 +39,25 @@
 /// requests carry the job id for the same reason: the store keys blocks by
 /// (job, vertex), so a stale request can only miss, never alias.
 ///
-/// Payloads are flat byte buffers via ByteWriter/ByteReader, so the whole
+/// Payloads are flat byte buffers (logically — see msg::Payload for the
+/// inline/refcounted split) via PayloadWriter/ByteReader, so the whole
 /// protocol would map 1:1 onto MPI_Send/MPI_Recv buffers.
+///
+/// Zero-copy discipline: the cell-carrying payloads (Result, HaloData,
+/// BlockData, BlockSpill) put their Score vector *last* on the wire, so
+/// the encoder can alias it as the payload's refcounted body and the
+/// decoder can hand out a borrowed `ScoreCells` view instead of copying.
+/// Both degrade to plain copies under `MsgPath::kCopy`, byte-identically.
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "easyhps/dag/pattern.hpp"
 #include "easyhps/dp/window.hpp"
 #include "easyhps/matrix/geometry.hpp"
+#include "easyhps/msg/payload.hpp"
 #include "easyhps/runtime/job.hpp"
 
 namespace easyhps::wire {
@@ -181,41 +191,85 @@ struct BlockSpillPayload {
   std::vector<Score> data;
 };
 
-std::vector<std::byte> encodeAssign(const AssignPayload& p);
-AssignPayload decodeAssign(const std::vector<std::byte>& bytes);
+/// Score cells of a decoded data payload, either *borrowed* — a view into
+/// the payload's refcounted body, kept alive by `keepalive` (the fast
+/// path: zero bytes copied) — or *owned* — copied out of the byte stream
+/// (the kCopy oracle, or an unaligned/seam-straddling body).  Either way
+/// `cells()` is valid for the lifetime of this object, independent of the
+/// Message it was decoded from.
+class ScoreCells {
+ public:
+  std::span<const Score> cells() const { return view_; }
+  bool borrowed() const { return keepalive_ != nullptr; }
 
-std::vector<std::byte> encodeResult(const ResultPayload& p);
-ResultPayload decodeResult(const std::vector<std::byte>& bytes);
+  void borrow(std::shared_ptr<const void> keepalive,
+              std::span<const Score> view) {
+    keepalive_ = std::move(keepalive);
+    owned_.clear();
+    view_ = view;
+  }
+  void own(std::vector<Score> cells) {
+    keepalive_ = nullptr;
+    owned_ = std::move(cells);
+    view_ = owned_;
+  }
 
-std::vector<std::byte> encodeSlaveStats(const SlaveStatsPayload& p);
-SlaveStatsPayload decodeSlaveStats(const std::vector<std::byte>& bytes);
+ private:
+  std::shared_ptr<const void> keepalive_;
+  std::vector<Score> owned_;
+  std::span<const Score> view_;
+};
 
-std::vector<std::byte> encodeJobControl(const JobControlPayload& p);
-JobControlPayload decodeJobControl(const std::vector<std::byte>& bytes);
+msg::Payload encodeAssign(const AssignPayload& p);
+AssignPayload decodeAssign(const msg::Payload& payload);
+
+/// The cell-carrying encoders take their struct by value and consume its
+/// data vector: on the fast path the cells become the payload's
+/// refcounted body without a copy.  Call sites move.
+msg::Payload encodeResult(ResultPayload p);
+ResultPayload decodeResult(const msg::Payload& payload);
+/// Zero-copy variant: `data` receives the trailing cells (borrowed when
+/// possible) and the returned struct's `data` member stays empty.
+ResultPayload decodeResult(const msg::Payload& payload, ScoreCells& data);
+
+msg::Payload encodeSlaveStats(const SlaveStatsPayload& p);
+SlaveStatsPayload decodeSlaveStats(const msg::Payload& payload);
+
+msg::Payload encodeJobControl(const JobControlPayload& p);
+JobControlPayload decodeJobControl(const msg::Payload& payload);
 
 /// Kind byte of a kTagData envelope (cheap peek; throws on empty buffer).
-DataMsgKind peekDataKind(const std::vector<std::byte>& bytes);
+DataMsgKind peekDataKind(const msg::Payload& payload);
 
-std::vector<std::byte> encodeHaloRequest(const HaloRequestPayload& p);
-HaloRequestPayload decodeHaloRequest(const std::vector<std::byte>& bytes);
+msg::Payload encodeHaloRequest(const HaloRequestPayload& p);
+HaloRequestPayload decodeHaloRequest(const msg::Payload& payload);
 
-std::vector<std::byte> encodeHaloData(const HaloDataPayload& p);
-HaloDataPayload decodeHaloData(const std::vector<std::byte>& bytes);
+msg::Payload encodeHaloData(HaloDataPayload p);
+HaloDataPayload decodeHaloData(const msg::Payload& payload);
+HaloDataPayload decodeHaloData(const msg::Payload& payload, ScoreCells& data);
 
-std::vector<std::byte> encodeBlockFetch(const BlockFetchPayload& p);
-BlockFetchPayload decodeBlockFetch(const std::vector<std::byte>& bytes);
+msg::Payload encodeBlockFetch(const BlockFetchPayload& p);
+BlockFetchPayload decodeBlockFetch(const msg::Payload& payload);
 
-std::vector<std::byte> encodeBlockData(const BlockDataPayload& p);
-BlockDataPayload decodeBlockData(const std::vector<std::byte>& bytes);
+msg::Payload encodeBlockData(BlockDataPayload p);
+BlockDataPayload decodeBlockData(const msg::Payload& payload);
+BlockDataPayload decodeBlockData(const msg::Payload& payload,
+                                 ScoreCells& data);
 
-std::vector<std::byte> encodeBlockSpill(const BlockSpillPayload& p);
-BlockSpillPayload decodeBlockSpill(const std::vector<std::byte>& bytes);
+msg::Payload encodeBlockSpill(BlockSpillPayload p);
+BlockSpillPayload decodeBlockSpill(const msg::Payload& payload);
+BlockSpillPayload decodeBlockSpill(const msg::Payload& payload,
+                                   ScoreCells& data);
 
 /// FNV-1a over (vertex, rect, cells).  Summed over a job's blocks this
 /// yields an order-independent table checksum, comparable bit-for-bit
 /// between kMasterRelay (master hashes the full Result) and kPeerToPeer
 /// (the owning slave hashes and the ack carries the value).
 std::uint64_t blockChecksum(VertexId vertex, const CellRect& rect,
-                            const std::vector<Score>& data);
+                            std::span<const Score> data);
+inline std::uint64_t blockChecksum(VertexId vertex, const CellRect& rect,
+                                   const std::vector<Score>& data) {
+  return blockChecksum(vertex, rect, std::span<const Score>(data));
+}
 
 }  // namespace easyhps::wire

@@ -45,6 +45,11 @@ struct ServiceMetrics {
   std::uint64_t bytesViaMaster = 0;
   std::uint64_t bytesPeerToPeer = 0;
 
+  // Zero-copy transport counters (sums of the jobs' RunStats; see
+  // DESIGN.md, "Messaging fast path").  Both zero under MsgPath::kCopy.
+  std::uint64_t copiesAvoided = 0;
+  std::uint64_t zeroCopyBytes = 0;
+
   double meanQueueWaitSeconds() const {
     const std::int64_t n = completed + cancelled + failed;
     return n > 0 ? totalQueueWaitSeconds / static_cast<double>(n) : 0.0;

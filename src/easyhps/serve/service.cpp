@@ -161,6 +161,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     m.bytes = bytes_;
     m.bytesViaMaster = bytesViaMaster_;
     m.bytesPeerToPeer = bytesPeerToPeer_;
+    m.copiesAvoided = copiesAvoided_;
+    m.zeroCopyBytes = zeroCopyBytes_;
     return m;
   }
 
@@ -253,6 +255,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
       bytes_ += o->stats.run.bytes;
       bytesViaMaster_ += o->stats.run.bytesViaMaster;
       bytesPeerToPeer_ += o->stats.run.bytesPeerToPeer;
+      copiesAvoided_ += o->stats.run.copiesAvoided;
+      zeroCopyBytes_ += o->stats.run.zeroCopyBytes;
       EASYHPS_EXPECTS(activeJobs_ >= 1);
       --activeJobs_;
     }
@@ -319,6 +323,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   std::uint64_t bytes_ = 0;
   std::uint64_t bytesViaMaster_ = 0;
   std::uint64_t bytesPeerToPeer_ = 0;
+  std::uint64_t copiesAvoided_ = 0;
+  std::uint64_t zeroCopyBytes_ = 0;
 };
 
 }  // namespace detail

@@ -11,9 +11,11 @@
 /// Only trivially-copyable scalars, strings and vectors thereof are
 /// supported — deliberately: wire formats should be boring.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -61,30 +63,49 @@ class ByteWriter {
   std::vector<std::byte> bytes_;
 };
 
-/// Sequential reader over a byte buffer; throws CommError on underflow.
+/// Sequential reader over one byte buffer or two logically concatenated
+/// segments (a `msg::Payload`'s head + body); throws CommError on
+/// underflow.  The segmented form exists for the zero-copy transport: the
+/// trailing cell vector of a block/halo payload lives in its own
+/// refcounted segment, and `peekContiguous` lets a decoder hand out a
+/// borrowed view of it instead of copying.
 class ByteReader {
  public:
   explicit ByteReader(const std::vector<std::byte>& bytes)
-      : data_(bytes.data()), size_(bytes.size()) {}
+      : head_(bytes.data()), head_size_(bytes.size()) {}
   ByteReader(const std::byte* data, std::size_t size)
-      : data_(data), size_(size) {}
+      : head_(data), head_size_(size) {}
+  ByteReader(std::span<const std::byte> head, std::span<const std::byte> body)
+      : head_(head.data()),
+        head_size_(head.size()),
+        body_(body.data()),
+        body_size_(body.size()) {}
+
+  /// Anything exposing head()/body() spans (i.e. msg::Payload) reads as
+  /// the concatenated stream — spelled as a constrained template so this
+  /// header stays independent of the msg layer.
+  template <typename P>
+    requires requires(const P& p) {
+      std::span<const std::byte>(p.head());
+      std::span<const std::byte>(p.body());
+    }
+  explicit ByteReader(const P& payload)
+      : ByteReader(std::span<const std::byte>(payload.head()),
+                   std::span<const std::byte>(payload.body())) {}
 
   template <typename T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>,
                   "ByteReader::get requires a trivially copyable type");
-    require(sizeof(T));
     T value;
-    std::memcpy(&value, data_ + pos_, sizeof(T));
-    pos_ += sizeof(T);
+    readBytes(&value, sizeof(T));
     return value;
   }
 
   std::string getString() {
     const auto n = get<std::uint64_t>();
-    require(n);
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
-    pos_ += n;
+    std::string s(n, '\0');
+    readBytes(s.data(), n);
     return s;
   }
 
@@ -95,27 +116,73 @@ class ByteReader {
     const auto n = get<std::uint64_t>();
     require(n * sizeof(T));
     std::vector<T> v(n);
-    if (n > 0) {
-      std::memcpy(v.data(), data_ + pos_, n * sizeof(T));
-    }
-    pos_ += n * sizeof(T);
+    readBytes(v.data(), n * sizeof(T));
     return v;
   }
 
-  std::size_t remaining() const { return size_ - pos_; }
-  bool exhausted() const { return pos_ == size_; }
-
- private:
-  void require(std::size_t n) const {
-    if (pos_ + n > size_) {
-      throw CommError("ByteReader: truncated payload (need " +
-                      std::to_string(n) + " bytes, have " +
-                      std::to_string(size_ - pos_) + ")");
+  /// Copies the next `n` bytes (possibly straddling the segment seam)
+  /// into `dst` and advances.
+  void readBytes(void* dst, std::size_t n) {
+    require(n);
+    auto* out = static_cast<std::byte*>(dst);
+    if (pos_ < head_size_) {
+      const std::size_t fromHead = std::min(n, head_size_ - pos_);
+      std::memcpy(out, head_ + pos_, fromHead);
+      out += fromHead;
+      pos_ += fromHead;
+      n -= fromHead;
+    }
+    if (n > 0) {
+      std::memcpy(out, body_ + (pos_ - head_size_), n);
+      pos_ += n;
     }
   }
 
-  const std::byte* data_;
-  std::size_t size_;
+  /// Pointer to the next `n` bytes if they lie wholly inside one segment
+  /// (no seam straddle), nullptr otherwise.  Does not advance; pair with
+  /// skip().  Callers borrowing the bytes must hold a keepalive for the
+  /// underlying buffer (see msg::Payload::bodyOwner).
+  const std::byte* peekContiguous(std::size_t n) const {
+    if (pos_ + n > size()) {
+      return nullptr;
+    }
+    if (pos_ + n <= head_size_) {
+      return head_ + pos_;
+    }
+    if (pos_ >= head_size_) {
+      return body_ + (pos_ - head_size_);
+    }
+    return nullptr;
+  }
+
+  /// True when the cursor is inside the second (body) segment — the only
+  /// region a zero-copy borrow is valid for, since the head may live
+  /// inline in a transient Message.
+  bool inBody() const { return body_size_ > 0 && pos_ >= head_size_; }
+
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return size() - pos_; }
+  bool exhausted() const { return pos_ == size(); }
+
+ private:
+  std::size_t size() const { return head_size_ + body_size_; }
+
+  void require(std::size_t n) const {
+    if (pos_ + n > size()) {
+      throw CommError("ByteReader: truncated payload (need " +
+                      std::to_string(n) + " bytes, have " +
+                      std::to_string(size() - pos_) + ")");
+    }
+  }
+
+  const std::byte* head_;
+  std::size_t head_size_;
+  const std::byte* body_ = nullptr;
+  std::size_t body_size_ = 0;
   std::size_t pos_ = 0;
 };
 

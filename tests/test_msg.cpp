@@ -2,6 +2,7 @@
 // wildcards, ordering guarantees, collectives, shutdown and fault injection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <thread>
@@ -143,7 +144,7 @@ TEST(Cluster, BroadcastFromEveryRoot) {
   constexpr int kRanks = 4;
   for (int root = 0; root < kRanks; ++root) {
     Cluster::run(kRanks, [root](Comm& comm) {
-      std::vector<std::byte> buf;
+      Payload buf;
       if (comm.rank() == root) {
         buf = payloadOf(1234 + root);
       }
@@ -251,6 +252,266 @@ TEST(Comm, SendRejectsReservedTags) {
   Comm comm(0, &state);
   EXPECT_THROW(comm.send(1, kInternalTagBase, {}), LogicError);
   EXPECT_THROW(comm.send(1, -3, {}), LogicError);
+}
+
+// --- Zero-copy payload type ---------------------------------------------
+
+TEST(Payload, SmallPayloadStaysInline) {
+  const Payload p = payloadOf(7);
+  EXPECT_EQ(p.size(), sizeof(int));
+  EXPECT_EQ(p.sharedBytes(), 0u);  // inline head: no refcounted buffer
+  EXPECT_TRUE(p.body().empty());
+  ByteReader r(p);
+  EXPECT_EQ(r.get<int>(), 7);
+}
+
+TEST(Payload, LargePayloadIsRefcountedAndDeepCopyDetaches) {
+  std::vector<std::byte> bytes(1000, std::byte{0x5a});
+  const Payload p(bytes);
+  EXPECT_EQ(p.size(), bytes.size());
+  EXPECT_EQ(p.sharedBytes(), bytes.size());
+  const Payload shared = p;  // refcount bump, same storage
+  EXPECT_EQ(shared.head().data(), p.head().data());
+  const Payload deep = p.deepCopy();  // fresh storage
+  EXPECT_NE(deep.head().data(), p.head().data());
+  EXPECT_EQ(deep.linearize(), p.linearize());
+}
+
+TEST(PayloadWriter, StreamMatchesByteWriterOnBothPaths) {
+  const std::vector<std::int32_t> cells(100, 42);
+  ByteWriter bw;
+  bw.put<std::uint32_t>(0xabcdu);
+  bw.put<double>(2.5);
+  bw.putVector(cells);
+  const std::vector<std::byte> oracle = std::move(bw).take();
+
+  for (const MsgPath path : {MsgPath::kFast, MsgPath::kCopy}) {
+    ScopedMsgPath scoped(path);
+    PayloadWriter pw;
+    pw.put<std::uint32_t>(0xabcdu);
+    pw.put<double>(2.5);
+    pw.putVectorZeroCopy(cells);
+    const Payload p = std::move(pw).take();
+    EXPECT_EQ(p.linearize(), oracle);
+  }
+}
+
+TEST(PayloadWriter, ZeroCopyBodyAliasesTheVector) {
+  std::vector<std::int32_t> cells(64, 9);  // 256 B: above inline capacity
+  const auto* data = cells.data();
+  ScopedMsgPath scoped(MsgPath::kFast);
+  PayloadWriter w;
+  w.put<std::uint8_t>(1);
+  w.putVectorZeroCopy(std::move(cells));
+  const Payload p = std::move(w).take();
+  ASSERT_NE(p.bodyOwner(), nullptr);
+  EXPECT_EQ(p.body().data(), reinterpret_cast<const std::byte*>(data));
+  EXPECT_EQ(p.body().size(), 64 * sizeof(std::int32_t));
+}
+
+TEST(PayloadWriter, CopyPathNeverAliases) {
+  std::vector<std::int32_t> cells(64, 9);
+  ScopedMsgPath scoped(MsgPath::kCopy);
+  PayloadWriter w;
+  w.putVectorZeroCopy(std::move(cells));
+  const Payload p = std::move(w).take();
+  EXPECT_EQ(p.bodyOwner(), nullptr);
+  EXPECT_TRUE(p.body().empty());
+}
+
+// --- Path equivalence ----------------------------------------------------
+
+TEST(Mailbox, MatchingSemanticsIdenticalOnBothPaths) {
+  for (const MsgPath path : {MsgPath::kFast, MsgPath::kCopy}) {
+    SCOPED_TRACE(path == MsgPath::kFast ? "fast" : "copy");
+    ScopedMsgPath scoped(path);
+    Mailbox mb;
+    // Per-(source, tag) FIFO with interleaved lanes.
+    for (int i = 0; i < 3; ++i) {
+      mb.deliver(Message{1, 0, 3, payloadOf(i)});
+      mb.deliver(Message{2, 0, 3, payloadOf(100 + i)});
+      mb.deliver(Message{1, 0, 4, payloadOf(200 + i)});
+    }
+    // A wildcard receive takes the earliest-delivered match.
+    EXPECT_EQ(valueOf(*mb.recv(kAnySource, kAnyTag)), 0);
+    EXPECT_EQ(valueOf(*mb.recv(kAnySource, 3)), 100);
+    EXPECT_EQ(valueOf(*mb.recv(1, kAnyTag)), 200);
+    // Specific receives preserve lane FIFO around the wildcard takes.
+    EXPECT_EQ(valueOf(*mb.recv(1, 3)), 1);
+    EXPECT_EQ(valueOf(*mb.recv(1, 3)), 2);
+    EXPECT_EQ(valueOf(*mb.recv(2, 3)), 101);
+    EXPECT_EQ(valueOf(*mb.recv(1, 4)), 201);
+    EXPECT_EQ(mb.pending(), 2u);  // (2,3):102 and (1,4):202 left queued
+    EXPECT_FALSE(mb.tryRecv(3, kAnyTag).has_value());
+  }
+}
+
+TEST(Cluster, ByteAccountingIdenticalOnBothPaths) {
+  // The logical traffic counters must not depend on the transport path;
+  // only the zero-copy counters may differ.
+  std::vector<ClusterReport> reports;
+  for (const MsgPath path : {MsgPath::kFast, MsgPath::kCopy}) {
+    ScopedMsgPath scoped(path);
+    reports.push_back(Cluster::run(3, [](Comm& comm) {
+      ByteWriter w;
+      w.putVector(std::vector<std::int64_t>(500, comm.rank()));
+      comm.send((comm.rank() + 1) % 3, 1, std::move(w).take());
+      (void)comm.recv((comm.rank() + 2) % 3, 1);
+      comm.barrier();
+    }));
+  }
+  const ClusterReport& fast = reports[0];
+  const ClusterReport& copy = reports[1];
+  EXPECT_EQ(fast.messages, copy.messages);
+  EXPECT_EQ(fast.bytes, copy.bytes);
+  EXPECT_EQ(fast.linkBytes, copy.linkBytes);
+  EXPECT_GT(fast.copiesAvoided, 0u);
+  EXPECT_GT(fast.zeroCopyBytes, 0u);
+  EXPECT_EQ(copy.copiesAvoided, 0u);
+  EXPECT_EQ(copy.zeroCopyBytes, 0u);
+}
+
+// --- Concurrency ---------------------------------------------------------
+
+TEST(Cluster, SetDropFnTogglesSafelyMidRun) {
+  // The drop predicate is installed via an atomic pointer swap (retired
+  // predicates outlive the cluster), so fault-injection tests may flip it
+  // while senders are in flight.
+  ClusterState state(2);
+  Comm sender(0, &state);
+  constexpr int kToggles = 2000;
+  std::thread toggler([&] {
+    for (int i = 0; i < kToggles; ++i) {
+      state.setDropFn([](const Message& m) { return m.tag == 5; });
+      state.setDropFn(nullptr);
+    }
+  });
+  constexpr std::uint64_t kSends = 20000;
+  for (std::uint64_t i = 0; i < kSends; ++i) {
+    sender.send(1, i % 2 == 0 ? 5 : 6, payloadOf(static_cast<int>(i)));
+  }
+  toggler.join();
+  // Every send was either delivered or counted dropped — none lost or
+  // double-counted by a torn predicate read.
+  EXPECT_EQ(state.traffic().messages.load() + state.traffic().dropped.load(),
+            kSends);
+  // Tag 6 never matches the predicate, so all kSends/2 must have arrived.
+  EXPECT_GE(state.mailbox(1).pending(), kSends / 2);
+  state.closeAll();
+}
+
+// Many senders, many concurrently matched receivers on one mailbox, mixed
+// wildcard and specific patterns over control and data tags.  Checks zero
+// lost/duplicated messages and the per-(source, tag) non-overtaking
+// guarantee, on both message paths.  Runs under the tsan preset (the
+// test_msg binary carries the tsan ctest label).
+TEST(Mailbox, StressConcurrentMatchedReceivers) {
+  constexpr int kSenders = 4;         // sources 1..4
+  constexpr int kPerLane = 150;       // messages per (source, tag) lane
+  const int kTags[] = {3, 7, 8};      // one control + two data tags
+  constexpr int kTotal = kSenders * 3 * kPerLane;
+
+  for (const MsgPath path : {MsgPath::kFast, MsgPath::kCopy}) {
+    SCOPED_TRACE(path == MsgPath::kFast ? "fast" : "copy");
+    ScopedMsgPath scoped(path);
+    Mailbox mb;
+    std::atomic<int> remaining{kTotal};
+
+    // received[r] maps (source, tag) -> values in the order receiver r
+    // got them.  Non-overtaking means each such list is increasing.
+    struct LaneLog {
+      int source;
+      int tag;
+      std::vector<int> values;
+    };
+    std::vector<std::vector<LaneLog>> received(4);
+    auto record = [&](int r, const Message& m) {
+      auto& logs = received[static_cast<std::size_t>(r)];
+      for (auto& log : logs) {
+        if (log.source == m.source && log.tag == m.tag) {
+          log.values.push_back(valueOf(m));
+          return;
+        }
+      }
+      logs.push_back(LaneLog{m.source, m.tag, {valueOf(m)}});
+    };
+
+    {
+      std::vector<std::jthread> threads;
+      // Receivers: wildcard/wildcard, specific-source/any-tag,
+      // any-source/specific-tag, and a polling specific/specific.
+      threads.emplace_back([&] {
+        while (remaining.load(std::memory_order_relaxed) > 0) {
+          if (auto m = mb.recvFor(kAnySource, kAnyTag,
+                                  std::chrono::milliseconds(1))) {
+            record(0, *m);
+            remaining.fetch_sub(1, std::memory_order_relaxed);
+          }
+        }
+      });
+      threads.emplace_back([&] {
+        while (remaining.load(std::memory_order_relaxed) > 0) {
+          if (auto m = mb.recvFor(1, kAnyTag, std::chrono::milliseconds(1))) {
+            record(1, *m);
+            remaining.fetch_sub(1, std::memory_order_relaxed);
+          }
+        }
+      });
+      threads.emplace_back([&] {
+        while (remaining.load(std::memory_order_relaxed) > 0) {
+          if (auto m = mb.recvFor(kAnySource, 7,
+                                  std::chrono::milliseconds(1))) {
+            record(2, *m);
+            remaining.fetch_sub(1, std::memory_order_relaxed);
+          }
+        }
+      });
+      threads.emplace_back([&] {
+        while (remaining.load(std::memory_order_relaxed) > 0) {
+          if (auto m = mb.tryRecv(2, 8)) {
+            record(3, *m);
+            remaining.fetch_sub(1, std::memory_order_relaxed);
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+      for (int s = 1; s <= kSenders; ++s) {
+        threads.emplace_back([&, s] {
+          int seq[3] = {0, 0, 0};
+          for (int i = 0; i < 3 * kPerLane; ++i) {
+            const int t = i % 3;
+            mb.deliver(Message{s, 0, kTags[t], payloadOf(seq[t]++)});
+          }
+        });
+      }
+    }  // join
+
+    // Zero lost or duplicated: reassemble each lane across receivers.
+    EXPECT_EQ(remaining.load(), 0);
+    for (int s = 1; s <= kSenders; ++s) {
+      for (const int tag : kTags) {
+        std::vector<int> laneValues;
+        for (const auto& logs : received) {
+          for (const auto& log : logs) {
+            if (log.source != s || log.tag != tag) {
+              continue;
+            }
+            // Non-overtaking: any single receiver sees each lane in order.
+            EXPECT_TRUE(std::is_sorted(log.values.begin(),
+                                       log.values.end()));
+            laneValues.insert(laneValues.end(), log.values.begin(),
+                              log.values.end());
+          }
+        }
+        std::sort(laneValues.begin(), laneValues.end());
+        ASSERT_EQ(laneValues.size(), static_cast<std::size_t>(kPerLane));
+        for (int i = 0; i < kPerLane; ++i) {
+          EXPECT_EQ(laneValues[static_cast<std::size_t>(i)], i);
+        }
+      }
+    }
+  }
 }
 
 TEST(Cluster, StressManyMessages) {
