@@ -1,0 +1,47 @@
+#include "easyhps/fault/chaos.hpp"
+
+#include "easyhps/util/error.hpp"
+#include "easyhps/util/rng.hpp"
+
+namespace easyhps::fault {
+
+TransportChaosEngine::TransportChaosEngine(TransportChaos config, int ranks)
+    : config_(config), ranks_(ranks) {
+  EASYHPS_EXPECTS(ranks > 0);
+  EASYHPS_EXPECTS(config.dropProbability >= 0.0 &&
+                  config.dropProbability <= 1.0);
+  EASYHPS_EXPECTS(config.duplicateProbability >= 0.0 &&
+                  config.duplicateProbability <= 1.0);
+  EASYHPS_EXPECTS(config.delayProbability >= 0.0 &&
+                  config.delayProbability <= 1.0);
+  linkSeq_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks));
+}
+
+msg::TransportDecision TransportChaosEngine::decide(int source, int dest) {
+  EASYHPS_EXPECTS(source >= 0 && source < ranks_);
+  EASYHPS_EXPECTS(dest >= 0 && dest < ranks_);
+  const auto link =
+      static_cast<std::size_t>(source) * static_cast<std::size_t>(ranks_) +
+      static_cast<std::size_t>(dest);
+  const std::uint64_t ordinal =
+      linkSeq_[link].fetch_add(1, std::memory_order_relaxed);
+  // Three independent rolls from one per-message stream; roll order is
+  // part of the schedule, so keep it fixed: drop, duplicate, delay.
+  SplitMix64 mixer(config_.seed ^
+                   (static_cast<std::uint64_t>(link) + 1) *
+                       0x9E3779B97F4A7C15ULL ^
+                   ordinal * 0xBF58476D1CE4E5B9ULL);
+  const auto roll = [&mixer] {
+    return static_cast<double>(mixer.next() >> 11) * 0x1.0p-53;
+  };
+  msg::TransportDecision decision;
+  decision.drop = roll() < config_.dropProbability;
+  decision.duplicate = roll() < config_.duplicateProbability;
+  if (roll() < config_.delayProbability) {
+    decision.delay = config_.delay;
+  }
+  return decision;
+}
+
+}  // namespace easyhps::fault

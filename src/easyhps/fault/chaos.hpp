@@ -1,0 +1,62 @@
+#pragma once
+/// \file chaos.hpp
+/// Seeded randomized transport faults (the network half of the chaos
+/// layer; task/rank faults live in plan.hpp).
+///
+/// `TransportChaos` is plain configuration — probabilities per outcome and
+/// a seed — carried by `RuntimeConfig`.  `TransportChaosEngine` turns it
+/// into per-message `msg::TransportDecision`s: every (source, dest) link
+/// keeps an ordinal counter, and the decision for the n-th message on a
+/// link is a pure hash of (seed, source, dest, n).  Two engines with the
+/// same seed therefore produce identical decision *sequences* per link,
+/// which is what "the same seed reproduces the same fault schedule" means
+/// under concurrent senders (the interleaving across links may differ, the
+/// per-link schedule does not).
+///
+/// The engine is tag-agnostic by design; which wire tags are eligible for
+/// chaos at all is runtime policy (see wire::makeChaosTransport), not a
+/// property of the fault model.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "easyhps/msg/comm.hpp"
+
+namespace easyhps::fault {
+
+/// Randomized transport-fault mix injected into the cluster substrate.
+struct TransportChaos {
+  double dropProbability = 0.0;
+  double duplicateProbability = 0.0;
+  double delayProbability = 0.0;
+  /// Latency added to a delayed message.
+  std::chrono::milliseconds delay{3};
+  std::uint64_t seed = 0;
+
+  bool enabled() const {
+    return dropProbability > 0.0 || duplicateProbability > 0.0 ||
+           delayProbability > 0.0;
+  }
+};
+
+/// Deterministic decision source for one cluster run.  Thread-safe: the
+/// only mutable state is one atomic ordinal per link.
+class TransportChaosEngine {
+ public:
+  TransportChaosEngine(TransportChaos config, int ranks);
+
+  /// Decision for the next message on the (source, dest) link; advances
+  /// that link's ordinal.
+  msg::TransportDecision decide(int source, int dest);
+
+  const TransportChaos& config() const { return config_; }
+
+ private:
+  TransportChaos config_;
+  int ranks_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> linkSeq_;
+};
+
+}  // namespace easyhps::fault

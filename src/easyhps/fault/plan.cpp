@@ -1,41 +1,115 @@
 #include "easyhps/fault/plan.hpp"
 
-namespace easyhps::fault {
+#include "easyhps/util/rng.hpp"
 
-bool FaultPlan::matchAndConsume(FaultKind kind, VertexId vertex, int slave,
+namespace easyhps::fault {
+namespace {
+
+std::size_t kindIndex(FaultKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace
+
+const char* faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTaskBlackhole:
+      return "task-blackhole";
+    case FaultKind::kTaskDelay:
+      return "task-delay";
+    case FaultKind::kThreadCrash:
+      return "thread-crash";
+    case FaultKind::kSlaveDeath:
+      return "slave-death";
+    case FaultKind::kJobAbort:
+      return "job-abort";
+  }
+  return "unknown";
+}
+
+ChaosPlan::ChaosPlan(std::vector<FaultSpec> specs, std::uint64_t seed)
+    : seed_(seed) {
+  slots_.reserve(specs.size());
+  for (FaultSpec& spec : specs) {
+    slots_.push_back(Slot{spec});
+  }
+}
+
+void ChaosPlan::add(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.push_back(Slot{spec});
+}
+
+bool ChaosPlan::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.empty();
+}
+
+bool ChaosPlan::rollFires(const Slot& slot, std::size_t index) const {
+  if (slot.spec.probability >= 1.0) {
+    return true;
+  }
+  if (slot.spec.probability <= 0.0) {
+    return false;
+  }
+  // Pure function of (seed, spec index, match ordinal): replaying the same
+  // match sequence against the same seed reproduces the same schedule.
+  SplitMix64 mixer(seed_ ^ (static_cast<std::uint64_t>(index) + 1) *
+                               0x9E3779B97F4A7C15ULL ^
+                   static_cast<std::uint64_t>(slot.matches) *
+                       0xBF58476D1CE4E5B9ULL);
+  const double roll =
+      static_cast<double>(mixer.next() >> 11) * 0x1.0p-53;
+  return roll < slot.spec.probability;
+}
+
+bool ChaosPlan::matchAndConsume(FaultKind kind, VertexId vertex, int slave,
                                 VertexId subVertex,
                                 std::chrono::milliseconds* delay) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (auto it = specs_.begin(); it != specs_.end(); ++it) {
-    if (it->kind != kind) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    const FaultSpec& spec = slot.spec;
+    if (spec.kind != kind) {
       continue;
     }
-    if (it->vertex != vertex) {
+    if (spec.count >= 0 && slot.fired >= spec.count) {
+      continue;  // retired
+    }
+    if (spec.vertex != -1 && spec.vertex != vertex) {
       continue;
     }
-    if (it->slave != -1 && it->slave != slave) {
+    if (spec.slave != -1 && spec.slave != slave) {
       continue;
     }
-    if (kind == FaultKind::kThreadCrash && it->subVertex != -1 &&
-        it->subVertex != subVertex) {
+    if (kind == FaultKind::kThreadCrash && spec.subVertex != -1 &&
+        spec.subVertex != subVertex) {
+      continue;
+    }
+    ++slot.matches;
+    if (slot.matches <= spec.skip) {
+      continue;  // still in the skip window
+    }
+    if (!rollFires(slot, i)) {
       continue;
     }
     if (delay != nullptr) {
-      *delay = it->delay;
+      *delay = spec.delay;
     }
-    specs_.erase(it);
+    ++slot.fired;
     ++triggered_;
+    ++byKind_[kindIndex(kind)];
     return true;
   }
   return false;
 }
 
-bool FaultPlan::consumeBlackhole(VertexId vertex, int slave) {
+bool ChaosPlan::consumeBlackhole(VertexId vertex, int slave) {
   return matchAndConsume(FaultKind::kTaskBlackhole, vertex, slave, -1,
                          nullptr);
 }
 
-std::chrono::milliseconds FaultPlan::consumeDelay(VertexId vertex, int slave) {
+std::chrono::milliseconds ChaosPlan::consumeDelay(VertexId vertex, int slave) {
   std::chrono::milliseconds delay{0};
   if (matchAndConsume(FaultKind::kTaskDelay, vertex, slave, -1, &delay)) {
     return delay;
@@ -43,15 +117,28 @@ std::chrono::milliseconds FaultPlan::consumeDelay(VertexId vertex, int slave) {
   return std::chrono::milliseconds{0};
 }
 
-bool FaultPlan::consumeThreadCrash(VertexId vertex, int slave,
+bool ChaosPlan::consumeThreadCrash(VertexId vertex, int slave,
                                    VertexId subVertex) {
   return matchAndConsume(FaultKind::kThreadCrash, vertex, slave, subVertex,
                          nullptr);
 }
 
-std::int64_t FaultPlan::triggered() const {
+bool ChaosPlan::consumeSlaveDeath(VertexId vertex, int slave) {
+  return matchAndConsume(FaultKind::kSlaveDeath, vertex, slave, -1, nullptr);
+}
+
+bool ChaosPlan::consumeJobAbort() {
+  return matchAndConsume(FaultKind::kJobAbort, -1, -1, -1, nullptr);
+}
+
+std::int64_t ChaosPlan::triggered() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return triggered_;
+}
+
+std::int64_t ChaosPlan::triggered(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return byKind_[kindIndex(kind)];
 }
 
 }  // namespace easyhps::fault

@@ -1,7 +1,7 @@
 #pragma once
 /// \file plan.hpp
-/// Deterministic fault injection (paper §V fault tolerance, evaluated in
-/// ablation B).
+/// Deterministic and seeded-randomized fault injection (paper §V fault
+/// tolerance, evaluated in ablation B; chaos soak in tests/test_chaos.cpp).
 ///
 /// Tianhe-1A hardware faults are obviously not reproducible here, so the
 /// repo substitutes *planned* faults that exercise the same recovery paths:
@@ -15,10 +15,21 @@
 ///  * `kThreadCrash` — a computing thread throws while executing a
 ///    sub-sub-task.  Detected in the slave pool, recovered by restarting
 ///    the thread and re-queueing the sub-sub-task (paper §V-C step h).
+///  * `kSlaveDeath` — the whole rank stops servicing traffic mid-run: no
+///    results, no halo replies, no heartbeat acks.  Detected by the
+///    master's liveness/quarantine machinery (runtime/health.hpp);
+///    recovered by re-distribution plus ownership invalidation.
+///  * `kJobAbort` — the master fails the job before dispatching it.
+///    Exercises the serve layer's retry/backoff and terminal-kFailed paths.
 ///
-/// Every fault triggers at most once (consume-on-match), which makes
-/// recovery terminate deterministically.
+/// A spec fires once by default (consume-on-match, the seed semantics); the
+/// chaos extensions make it *recurring* (`count`), *offset* (`skip`) or
+/// *probabilistic* (`probability`).  Probability rolls are a pure function
+/// of (plan seed, spec index, per-spec match ordinal), so a ChaosPlan
+/// replayed against the same sequence of match events reproduces the same
+/// fault schedule — the property the seeded chaos soak asserts.
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -28,12 +39,22 @@
 
 namespace easyhps::fault {
 
-enum class FaultKind { kTaskBlackhole, kTaskDelay, kThreadCrash };
+enum class FaultKind {
+  kTaskBlackhole,
+  kTaskDelay,
+  kThreadCrash,
+  kSlaveDeath,
+  kJobAbort,
+};
+constexpr int kFaultKindCount = 5;
+
+const char* faultKindName(FaultKind kind);
 
 struct FaultSpec {
   FaultKind kind = FaultKind::kTaskBlackhole;
   /// Master-DAG vertex (for task faults) or slave-DAG vertex (thread
   /// crashes, matched together with `vertex` = the enclosing task).
+  /// -1 = any vertex (chaos extension; deterministic specs name one).
   VertexId vertex = -1;
   /// Slave rank the fault binds to; -1 = any slave.
   int slave = -1;
@@ -41,6 +62,15 @@ struct FaultSpec {
   VertexId subVertex = -1;
   /// For kTaskDelay: how late the reply is.
   std::chrono::milliseconds delay{0};
+  // --- chaos extensions (appended so aggregate inits of the seed fields
+  // keep compiling) ---
+  /// How many times the spec fires before retiring; -1 = unlimited.
+  int count = 1;
+  /// Matching events to let pass before the spec becomes eligible.
+  int skip = 0;
+  /// Chance each eligible match actually fires (deterministic roll keyed
+  /// by the plan seed and the per-spec match ordinal).
+  double probability = 1.0;
 };
 
 /// Thrown by a computing thread hit by kThreadCrash.
@@ -51,15 +81,15 @@ class InjectedThreadCrash : public std::exception {
   }
 };
 
-/// A consumable list of fault specs.  Thread-safe; shared by all simulated
-/// nodes of one run.
-class FaultPlan {
+/// A consumable, optionally seeded list of fault specs.  Thread-safe;
+/// shared by all simulated nodes of one run.
+class ChaosPlan {
  public:
-  FaultPlan() = default;
-  explicit FaultPlan(std::vector<FaultSpec> specs) : specs_(std::move(specs)) {}
+  ChaosPlan() = default;
+  explicit ChaosPlan(std::vector<FaultSpec> specs, std::uint64_t seed = 0);
 
-  void add(FaultSpec spec) { specs_.push_back(spec); }
-  bool empty() const { return specs_.empty(); }
+  void add(FaultSpec spec);
+  bool empty() const;
 
   /// Consumes a blackhole fault matching (vertex, slave), if present.
   bool consumeBlackhole(VertexId vertex, int slave);
@@ -70,16 +100,39 @@ class FaultPlan {
   /// Consumes a thread-crash fault for (task, subVertex) on `slave`.
   bool consumeThreadCrash(VertexId vertex, int slave, VertexId subVertex);
 
-  /// Number of faults consumed so far.
+  /// Consumes a slave-death fault for the assignment (vertex, slave).
+  /// With `skip = K` the rank dies on its (K+1)th assignment, after
+  /// completing K blocks — the shape that forces ownership invalidation.
+  bool consumeSlaveDeath(VertexId vertex, int slave);
+
+  /// Consumes a job-abort fault (checked by the master before dispatch).
+  bool consumeJobAbort();
+
+  /// Number of faults consumed so far (all kinds).
   std::int64_t triggered() const;
+  /// Number of faults of one kind consumed so far.
+  std::int64_t triggered(FaultKind kind) const;
 
  private:
+  struct Slot {
+    FaultSpec spec;
+    std::int64_t matches = 0;  ///< eligible match events observed
+    std::int64_t fired = 0;    ///< times this spec actually fired
+  };
+
   bool matchAndConsume(FaultKind kind, VertexId vertex, int slave,
                        VertexId subVertex, std::chrono::milliseconds* delay);
+  bool rollFires(const Slot& slot, std::size_t index) const;
 
   mutable std::mutex mutex_;
-  std::vector<FaultSpec> specs_;
+  std::uint64_t seed_ = 0;
+  std::vector<Slot> slots_;
   std::int64_t triggered_ = 0;
+  std::array<std::int64_t, kFaultKindCount> byKind_{};
 };
+
+/// The seed semantics (one-shot deterministic faults) under the original
+/// name; the runtime and serve layers spell it FaultPlan throughout.
+using FaultPlan = ChaosPlan;
 
 }  // namespace easyhps::fault

@@ -10,12 +10,25 @@
 namespace easyhps::msg {
 
 ClusterReport Cluster::run(int size, const RankMain& main, DropFn dropFn) {
+  TransportFn transport;
+  if (dropFn) {
+    transport = [drop = std::move(dropFn)](const Message& m) {
+      TransportDecision d;
+      d.drop = drop(m);
+      return d;
+    };
+  }
+  return run(size, main, std::move(transport));
+}
+
+ClusterReport Cluster::run(int size, const RankMain& main,
+                           TransportFn transportFn) {
   EASYHPS_EXPECTS(size > 0);
   EASYHPS_EXPECTS(main != nullptr);
 
   ClusterState state(size);
-  if (dropFn) {
-    state.setDropFn(std::move(dropFn));
+  if (transportFn) {
+    state.setTransportFn(std::move(transportFn));
   }
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
@@ -47,6 +60,8 @@ ClusterReport Cluster::run(int size, const RankMain& main, DropFn dropFn) {
   report.messages = state.traffic().messages.load();
   report.bytes = state.traffic().bytes.load();
   report.dropped = state.traffic().dropped.load();
+  report.duplicated = state.traffic().duplicated.load();
+  report.delayed = state.traffic().delayed.load();
   report.copiesAvoided = state.traffic().copiesAvoided.load();
   report.zeroCopyBytes = state.traffic().zeroCopyBytes.load();
   report.ranks = size;

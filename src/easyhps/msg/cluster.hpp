@@ -22,6 +22,9 @@ struct ClusterReport {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t dropped = 0;
+  /// Chaos-transport outcomes (zero unless a TransportFn injects faults).
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
   /// Zero-copy transport counters (see TrafficStats): deliveries that
   /// skipped the buffered-send copy, and bytes moved by reference count.
   /// Both zero under MsgPath::kCopy.
@@ -56,6 +59,10 @@ class Cluster {
   /// Throws the first rank exception encountered (by rank order).
   static ClusterReport run(int size, const RankMain& main,
                            DropFn dropFn = nullptr);
+
+  /// Same, with the generalized drop/duplicate/delay hook (chaos layer).
+  static ClusterReport run(int size, const RankMain& main,
+                           TransportFn transportFn);
 };
 
 }  // namespace easyhps::msg

@@ -1,5 +1,7 @@
 #include "easyhps/msg/comm.hpp"
 
+#include <algorithm>
+
 #include "easyhps/util/error.hpp"
 
 namespace easyhps::msg {
@@ -15,6 +17,20 @@ int epochTag(int base, int epoch) { return base + 16 * epoch; }
 
 }  // namespace
 
+struct ClusterState::DelayedDelivery {
+  std::chrono::steady_clock::time_point due;
+  std::uint64_t seq = 0;  ///< tie-break so equal deadlines keep send order
+  Message message;
+
+  // std::push_heap builds a max-heap; invert so the *earliest* due wins.
+  bool operator<(const DelayedDelivery& other) const {
+    if (due != other.due) {
+      return due > other.due;
+    }
+    return seq > other.seq;
+  }
+};
+
 ClusterState::ClusterState(int size) {
   EASYHPS_EXPECTS(size > 0);
   mailboxes_.reserve(static_cast<std::size_t>(size));
@@ -25,6 +41,8 @@ ClusterState::ClusterState(int size) {
       static_cast<std::size_t>(size) * static_cast<std::size_t>(size));
 }
 
+ClusterState::~ClusterState() { stopTimer(); }
+
 Mailbox& ClusterState::mailbox(int rank) {
   EASYHPS_EXPECTS(rank >= 0 && rank < size());
   return *mailboxes_[static_cast<std::size_t>(rank)];
@@ -32,11 +50,86 @@ Mailbox& ClusterState::mailbox(int rank) {
 
 void ClusterState::deliver(Message message) {
   EASYHPS_EXPECTS(message.dest >= 0 && message.dest < size());
-  if (const auto drop = drop_.load(std::memory_order_acquire);
-      drop != nullptr && (*drop)(message)) {
+  TransportDecision decision;
+  if (const auto hook = transport_.load(std::memory_order_acquire);
+      hook != nullptr) {
+    decision = (*hook)(message);
+  }
+  if (decision.drop) {
     traffic_.dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  if (decision.duplicate) {
+    // The copy shares heap buffers by reference count; on the kCopy path
+    // deliverNow deep-copies it like any other message.
+    traffic_.duplicated.fetch_add(1, std::memory_order_relaxed);
+    deliverNow(message);
+  }
+  if (decision.delay.count() > 0) {
+    traffic_.delayed.fetch_add(1, std::memory_order_relaxed);
+    deliverLater(std::move(message), decision.delay);
+    return;
+  }
+  deliverNow(std::move(message));
+}
+
+void ClusterState::deliverLater(Message message,
+                                std::chrono::nanoseconds delay) {
+  std::lock_guard<std::mutex> lock(timer_mutex_);
+  if (timer_stop_) {
+    return;  // teardown already started: the message would be dropped anyway
+  }
+  DelayedDelivery item;
+  item.due = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 delay);
+  item.seq = timer_seq_++;
+  item.message = std::move(message);
+  timer_queue_.push_back(std::move(item));
+  std::push_heap(timer_queue_.begin(), timer_queue_.end());
+  if (!timer_thread_.joinable()) {
+    timer_thread_ = std::thread([this] { timerLoop(); });
+  }
+  timer_cv_.notify_one();
+}
+
+void ClusterState::timerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mutex_);
+  while (!timer_stop_) {
+    if (timer_queue_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    const auto due = timer_queue_.front().due;
+    if (std::chrono::steady_clock::now() < due) {
+      timer_cv_.wait_until(lock, due);
+      continue;  // re-examine: a nearer delivery may have been queued
+    }
+    std::pop_heap(timer_queue_.begin(), timer_queue_.end());
+    Message message = std::move(timer_queue_.back().message);
+    timer_queue_.pop_back();
+    lock.unlock();
+    // A mailbox closed in the meantime drops the message silently — the
+    // documented Mailbox contract, so late deliveries cannot crash
+    // teardown.
+    deliverNow(std::move(message));
+    lock.lock();
+  }
+}
+
+void ClusterState::stopTimer() {
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    timer_stop_ = true;
+    timer_queue_.clear();
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) {
+    timer_thread_.join();
+  }
+}
+
+void ClusterState::deliverNow(Message message) {
   const std::size_t bytes = message.sizeBytes();
   traffic_.messages.fetch_add(1, std::memory_order_relaxed);
   traffic_.bytes.fetch_add(bytes, std::memory_order_relaxed);
@@ -124,6 +217,8 @@ TrafficSnapshot Comm::traffic() const {
   snap.messages = t.messages.load();
   snap.bytes = t.bytes.load();
   snap.dropped = t.dropped.load();
+  snap.duplicated = t.duplicated.load();
+  snap.delayed = t.delayed.load();
   snap.copiesAvoided = t.copiesAvoided.load();
   snap.zeroCopyBytes = t.zeroCopyBytes.load();
   snap.ranks = size();

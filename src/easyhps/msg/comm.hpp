@@ -10,11 +10,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "easyhps/msg/mailbox.hpp"
@@ -28,6 +30,10 @@ struct TrafficStats {
   std::atomic<std::uint64_t> messages{0};
   std::atomic<std::uint64_t> bytes{0};
   std::atomic<std::uint64_t> dropped{0};
+  /// Chaos-transport outcomes: extra copies delivered and deliveries that
+  /// were held back by an injected latency (see TransportFn).
+  std::atomic<std::uint64_t> duplicated{0};
+  std::atomic<std::uint64_t> delayed{0};
   /// Deliveries that skipped the buffered-send copy the kCopy oracle
   /// performs (every non-empty fast-path message), and the bytes that
   /// moved by reference count instead of memcpy.  `bytes` stays the
@@ -43,6 +49,8 @@ struct TrafficSnapshot {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
   std::uint64_t copiesAvoided = 0;
   std::uint64_t zeroCopyBytes = 0;
 
@@ -70,49 +78,97 @@ struct TrafficSnapshot {
 /// by fault-tolerance tests to simulate lost traffic / dead slaves.
 using DropFn = std::function<bool(const Message&)>;
 
+/// What the transport hook decided for one message.  Default-constructed
+/// means "deliver normally".  `duplicate` delivers an extra copy
+/// immediately (before the original); `delay > 0` holds the original back
+/// on a timer thread.  Drop wins over both.
+struct TransportDecision {
+  bool drop = false;
+  bool duplicate = false;
+  std::chrono::nanoseconds delay{0};
+};
+
+/// Generalized transport fault hook (chaos layer): inspects a message and
+/// decides drop / duplicate / delay.  DropFn is the boolean special case.
+using TransportFn = std::function<TransportDecision(const Message&)>;
+
 /// Shared state of an in-process cluster (one mailbox per rank).
 class ClusterState {
  public:
   explicit ClusterState(int size);
+  ~ClusterState();
 
   int size() const { return static_cast<int>(mailboxes_.size()); }
   Mailbox& mailbox(int rank);
   const TrafficStats& traffic() const { return traffic_; }
 
-  /// Installs a drop predicate; pass nullptr to clear.  Safe against
+  /// Installs a transport fault hook; pass nullptr to clear.  Safe against
   /// concurrent sends: the hot path reads one atomic pointer (a send
-  /// racing an install sees either the old or the new predicate, never a
-  /// torn one), and superseded predicates are retired to a list that
-  /// lives as long as the cluster, so an in-flight call can never dangle.
-  /// Installs are rare (test setup, fault-plan toggles), so the retire
-  /// list stays tiny.
-  void setDropFn(DropFn fn) {
-    std::lock_guard<std::mutex> lock(drop_install_mutex_);
-    const DropFn* next = nullptr;
+  /// racing an install sees either the old or the new hook, never a torn
+  /// one), and superseded hooks are retired to a list that lives as long
+  /// as the cluster, so an in-flight call can never dangle.  Installs are
+  /// rare (test setup, fault-plan toggles), so the retire list stays tiny.
+  void setTransportFn(TransportFn fn) {
+    std::lock_guard<std::mutex> lock(transport_install_mutex_);
+    const TransportFn* next = nullptr;
     if (fn) {
-      drop_retired_.push_back(std::make_unique<const DropFn>(std::move(fn)));
-      next = drop_retired_.back().get();
+      transport_retired_.push_back(
+          std::make_unique<const TransportFn>(std::move(fn)));
+      next = transport_retired_.back().get();
     }
-    drop_.store(next, std::memory_order_release);
+    transport_.store(next, std::memory_order_release);
   }
 
-  /// Routes a message to its destination mailbox (the "network").
+  /// Boolean special case kept for the existing fault-tolerance tests.
+  void setDropFn(DropFn fn) {
+    if (!fn) {
+      setTransportFn(nullptr);
+      return;
+    }
+    setTransportFn([drop = std::move(fn)](const Message& m) {
+      TransportDecision d;
+      d.drop = drop(m);
+      return d;
+    });
+  }
+
+  /// Routes a message to its destination mailbox (the "network"),
+  /// applying the installed transport hook first.
   void deliver(Message message);
 
   /// Copy of the per-link byte counters (source * size + dest).
   std::vector<std::uint64_t> linkBytesSnapshot() const;
 
-  /// Closes every mailbox (cluster teardown).
+  /// Closes every mailbox (cluster teardown).  Delayed deliveries still
+  /// pending fire into closed mailboxes, which drop them silently; the
+  /// timer thread itself is joined by the destructor.
   void closeAll();
 
  private:
+  struct DelayedDelivery;
+
+  /// The actual routing step: counting, path semantics, mailbox handoff.
+  void deliverNow(Message message);
+  /// Hands the message to the (lazily started) delay-timer thread.
+  void deliverLater(Message message, std::chrono::nanoseconds delay);
+  void timerLoop();
+  void stopTimer();
+
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   TrafficStats traffic_;
   /// Delivered bytes per (source, dest) link, indexed source * size + dest.
   std::unique_ptr<std::atomic<std::uint64_t>[]> link_bytes_;
-  std::atomic<const DropFn*> drop_{nullptr};
-  std::mutex drop_install_mutex_;                       ///< serializes installs
-  std::vector<std::unique_ptr<const DropFn>> drop_retired_;
+  std::atomic<const TransportFn*> transport_{nullptr};
+  std::mutex transport_install_mutex_;  ///< serializes installs
+  std::vector<std::unique_ptr<const TransportFn>> transport_retired_;
+
+  // Delayed-delivery timer (only materializes when a hook asks for delay).
+  std::mutex timer_mutex_;
+  std::condition_variable timer_cv_;
+  std::vector<DelayedDelivery> timer_queue_;  ///< min-heap by due time
+  std::uint64_t timer_seq_ = 0;
+  std::thread timer_thread_;
+  bool timer_stop_ = false;
 };
 
 /// Rank-local handle; cheap to copy within the owning rank's thread.

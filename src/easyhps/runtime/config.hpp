@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "easyhps/fault/chaos.hpp"
 #include "easyhps/fault/plan.hpp"
 #include "easyhps/sched/policy.hpp"
 
@@ -66,6 +67,29 @@ struct RuntimeConfig {
 
   /// Injected faults (empty plan = fault-free run).
   std::vector<fault::FaultSpec> faults;
+  /// Seed for the fault plan's probabilistic specs (see ChaosPlan).
+  std::uint64_t chaosSeed = 0;
+  /// Randomized transport faults (drop/duplicate/delay) injected into the
+  /// message substrate; disabled unless a probability is set.
+  fault::TransportChaos transportChaos;
+
+  /// Master-side liveness (heartbeats + quarantine; runtime/health.hpp).
+  /// Off by default: heartbeat traffic would perturb the exact per-job
+  /// message accounting the A/B benches rely on.  Chaos runs switch it on.
+  bool enableLiveness = false;
+  std::chrono::milliseconds heartbeatInterval{100};
+  std::chrono::milliseconds heartbeatTimeout{150};
+  int heartbeatMissThreshold = 3;
+  std::chrono::milliseconds quarantineBackoff{500};
+
+  /// How long a rank waits on one data-plane fetch (peer halo pull,
+  /// master block pull) before retrying or falling back.  Bounded so a
+  /// dead peer costs a timeout, not a hang.
+  std::chrono::milliseconds dataFetchTimeout{250};
+
+  /// Record every (time, slave, vertex) assignment in
+  /// RunStats::scheduleTrace — the quarantine gate's audit trail (tests).
+  bool recordScheduleTrace = false;
 
   /// Data-plane protocol; see DataPlaneMode.
   DataPlaneMode dataPlane = DataPlaneMode::kPeerToPeer;
@@ -77,6 +101,12 @@ struct RuntimeConfig {
   /// consume `RunStats::tableChecksum` (or re-fetch blocks themselves)
   /// instead of reading interior cells.
   bool assembleFullMatrix = true;
+
+  /// Rejects configurations that would hang or spin instead of failing
+  /// (non-positive counts, partitions, timeouts; liveness without fault
+  /// tolerance).  Throws util LogicError with the offending field named.
+  /// Called by Runtime (construction + run) and serve::Service.
+  void validate() const;
 };
 
 struct RunStats {
@@ -116,6 +146,21 @@ struct RunStats {
   std::int64_t subTaskRequeues = 0;  ///< slave overtime re-queues
   std::int64_t faultsTriggered = 0;
 
+  // Liveness / chaos counters (all zero with liveness and chaos off).
+  std::int64_t heartbeatsSent = 0;
+  std::int64_t heartbeatMisses = 0;
+  std::int64_t quarantines = 0;     ///< suspect → quarantined transitions
+  std::int64_t readmissions = 0;    ///< quarantined → healthy transitions
+  std::int64_t statsSkipped = 0;    ///< per-job slave stats never collected
+                                    ///< (rank quarantined at job end)
+  std::int64_t blocksRecomputed = 0;  ///< master recomputed a block whose
+                                      ///< owner died with the only copy
+  /// Transport-chaos outcomes observed during the job (per-job deltas of
+  /// the substrate counters; includes DropFn drops).
+  std::uint64_t transportDropped = 0;
+  std::uint64_t transportDuplicated = 0;
+  std::uint64_t transportDelayed = 0;
+
   // Data-plane counters (all zero under kMasterRelay).
   std::int64_t haloLocalHits = 0;      ///< halo pieces served by own store
   std::int64_t haloPeerFetches = 0;    ///< halo pieces fetched peer-to-peer
@@ -129,6 +174,25 @@ struct RunStats {
   std::int64_t ownershipInvalidations = 0;
 
   std::vector<std::int64_t> tasksPerSlave;
+
+  /// One master-level assignment, on the job's own clock (seconds since
+  /// dispatch).  Populated only with `recordScheduleTrace`.
+  struct ScheduleEvent {
+    double seconds = 0.0;
+    int slave = 0;
+    std::int64_t vertex = -1;
+  };
+  std::vector<ScheduleEvent> scheduleTrace;
+
+  /// Quarantine intervals on the same clock; `endSeconds < 0` = the rank
+  /// was still quarantined when the job finished.  Populated only with
+  /// `recordScheduleTrace` + liveness.
+  struct QuarantineEvent {
+    int slave = 0;
+    double beginSeconds = 0.0;
+    double endSeconds = -1.0;
+  };
+  std::vector<QuarantineEvent> quarantineTrace;
 
   /// max/mean of tasksPerSlave (1.0 = perfectly balanced).
   double taskImbalance() const;

@@ -1,0 +1,157 @@
+#include "easyhps/runtime/health.hpp"
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+namespace {
+
+constexpr double kEwmaWeight = 0.2;
+
+}  // namespace
+
+const char* slaveHealthName(SlaveHealth state) {
+  switch (state) {
+    case SlaveHealth::kHealthy:
+      return "healthy";
+    case SlaveHealth::kSuspect:
+      return "suspect";
+    case SlaveHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+HealthRegistry::HealthRegistry(int slaveCount, HealthConfig config)
+    : config_(config), records_(static_cast<std::size_t>(slaveCount)) {
+  EASYHPS_EXPECTS(slaveCount > 0);
+  EASYHPS_EXPECTS(config.missThreshold > 0);
+}
+
+HealthRegistry::Record& HealthRegistry::record(int rank) {
+  EASYHPS_EXPECTS(rank >= 1 &&
+                  rank <= static_cast<int>(records_.size()));
+  return records_[static_cast<std::size_t>(rank - 1)];
+}
+
+const HealthRegistry::Record& HealthRegistry::record(int rank) const {
+  EASYHPS_EXPECTS(rank >= 1 &&
+                  rank <= static_cast<int>(records_.size()));
+  return records_[static_cast<std::size_t>(rank - 1)];
+}
+
+bool HealthRegistry::allowAssign(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return record(rank).state != SlaveHealth::kQuarantined;
+}
+
+SlaveHealth HealthRegistry::stateOf(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return record(rank).state;
+}
+
+std::vector<HealthRegistry::Ping> HealthRegistry::duePings(
+    Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Ping> due;
+  for (int rank = 1; rank <= static_cast<int>(records_.size()); ++rank) {
+    Record& rec = record(rank);
+    if (rec.outstandingSeq.has_value()) {
+      continue;  // one in flight; sweep() expires it before the next ping
+    }
+    if (rec.lastPing.has_value() &&
+        now - *rec.lastPing < config_.heartbeatInterval) {
+      continue;
+    }
+    rec.outstandingSeq = nextSeq_++;
+    rec.outstandingSince = now;
+    rec.lastPing = now;
+    ++counters_.pingsSent;
+    due.push_back(Ping{rank, *rec.outstandingSeq});
+  }
+  return due;
+}
+
+void HealthRegistry::onAck(int rank, std::uint64_t seq,
+                           Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Record& rec = record(rank);
+  if (!rec.outstandingSeq.has_value() || *rec.outstandingSeq != seq) {
+    return;  // stale or duplicated ack
+  }
+  rec.outstandingSeq.reset();
+  rec.consecutiveMisses = 0;
+  ++counters_.acks;
+  const double latency =
+      std::chrono::duration<double>(now - rec.outstandingSince).count();
+  rec.ewmaLatencySeconds =
+      rec.sawAck ? (1.0 - kEwmaWeight) * rec.ewmaLatencySeconds +
+                       kEwmaWeight * latency
+                 : latency;
+  rec.sawAck = true;
+  switch (rec.state) {
+    case SlaveHealth::kHealthy:
+      break;
+    case SlaveHealth::kSuspect:
+      rec.state = SlaveHealth::kHealthy;
+      break;
+    case SlaveHealth::kQuarantined:
+      // Timed re-admission: an ack during the backoff window proves the
+      // rank answers again but does not re-admit it yet.
+      if (now - rec.quarantinedAt >= config_.quarantineBackoff) {
+        rec.state = SlaveHealth::kHealthy;
+        ++counters_.readmissions;
+        for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+          if (it->rank == rank && !it->end.has_value()) {
+            it->end = now;
+            break;
+          }
+        }
+      }
+      break;
+  }
+}
+
+std::vector<int> HealthRegistry::sweep(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> quarantined;
+  for (int rank = 1; rank <= static_cast<int>(records_.size()); ++rank) {
+    Record& rec = record(rank);
+    if (!rec.outstandingSeq.has_value() ||
+        now - rec.outstandingSince < config_.heartbeatTimeout) {
+      continue;
+    }
+    rec.outstandingSeq.reset();  // expired: the next duePings re-pings
+    ++counters_.misses;
+    ++rec.consecutiveMisses;
+    if (rec.state == SlaveHealth::kHealthy) {
+      rec.state = SlaveHealth::kSuspect;
+    }
+    if (rec.state == SlaveHealth::kSuspect &&
+        rec.consecutiveMisses >= config_.missThreshold) {
+      rec.state = SlaveHealth::kQuarantined;
+      rec.quarantinedAt = now;
+      ++counters_.quarantines;
+      spans_.push_back(QuarantineSpan{rank, now, std::nullopt});
+      quarantined.push_back(rank);
+    }
+  }
+  return quarantined;
+}
+
+HealthRegistry::Counters HealthRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+double HealthRegistry::ewmaLatencySeconds(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return record(rank).ewmaLatencySeconds;
+}
+
+std::vector<HealthRegistry::QuarantineSpan> HealthRegistry::quarantineSpans()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+}  // namespace easyhps

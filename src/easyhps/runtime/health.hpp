@@ -1,0 +1,121 @@
+#pragma once
+/// \file health.hpp
+/// Master-side slave liveness: heartbeats, per-slave health records, and
+/// the quarantine circuit breaker.
+///
+/// The paper's §V fault tolerance detects failures *per task* (overtime
+/// queues).  That recovers the work but keeps assigning new tasks to a
+/// dead rank, burning a full task timeout on each.  The chaos layer adds a
+/// rank-level failure domain: the master pings every slave on a fixed
+/// cadence (wire kPing / kTagHealthAck) and tracks, per slave, consecutive
+/// missed acks and an EWMA of ack round-trip latency.
+///
+/// State machine per slave:
+///
+///     healthy ──miss──▶ suspect ──misses ≥ threshold──▶ quarantined
+///        ▲                 │                                 │
+///        └────────ack──────┘          backoff elapsed + ack──┘
+///
+/// A quarantined slave receives no new assignments (`allowAssign` gates
+/// the scheduling pick) and its ownership entries are invalidated so peers
+/// stop fetching halos from it.  Pings keep flowing while quarantined;
+/// once the backoff has elapsed, an ack re-admits the slave (timed
+/// re-admission — a genuinely dead rank never acks and stays out).
+///
+/// All methods take an explicit `now` so unit tests can drive the clock;
+/// the runtime just uses the default.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace easyhps {
+
+enum class SlaveHealth { kHealthy, kSuspect, kQuarantined };
+
+const char* slaveHealthName(SlaveHealth state);
+
+struct HealthConfig {
+  std::chrono::milliseconds heartbeatInterval{100};
+  /// An outstanding ping unanswered for this long counts as a miss.
+  std::chrono::milliseconds heartbeatTimeout{150};
+  /// Consecutive misses that trip suspect → quarantined.
+  int missThreshold = 3;
+  /// Minimum time in quarantine before an ack can re-admit the slave.
+  std::chrono::milliseconds quarantineBackoff{500};
+};
+
+class HealthRegistry {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Ping {
+    int rank = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// One quarantine interval of one rank; `end` empty = still quarantined.
+  struct QuarantineSpan {
+    int rank = 0;
+    Clock::time_point begin;
+    std::optional<Clock::time_point> end;
+  };
+
+  struct Counters {
+    std::int64_t pingsSent = 0;
+    std::int64_t acks = 0;
+    std::int64_t misses = 0;
+    std::int64_t quarantines = 0;
+    std::int64_t readmissions = 0;
+  };
+
+  /// Tracks slaves ranked 1..slaveCount.
+  HealthRegistry(int slaveCount, HealthConfig config);
+
+  /// True unless `rank` is quarantined — the scheduling gate.
+  bool allowAssign(int rank) const;
+  SlaveHealth stateOf(int rank) const;
+
+  /// Ranks whose next heartbeat is due; each returned ping is recorded as
+  /// outstanding (at most one in flight per rank) until acked or expired.
+  std::vector<Ping> duePings(Clock::time_point now = Clock::now());
+
+  /// Ack from `rank`.  A seq not matching the outstanding ping (stale or
+  /// duplicated ack) is ignored.
+  void onAck(int rank, std::uint64_t seq, Clock::time_point now = Clock::now());
+
+  /// Expires outstanding pings and drives the state machine; returns the
+  /// ranks that entered quarantine during this sweep.
+  std::vector<int> sweep(Clock::time_point now = Clock::now());
+
+  Counters counters() const;
+  /// EWMA of ack round-trip latency, seconds (0 until the first ack).
+  double ewmaLatencySeconds(int rank) const;
+  std::vector<QuarantineSpan> quarantineSpans() const;
+
+ private:
+  struct Record {
+    SlaveHealth state = SlaveHealth::kHealthy;
+    int consecutiveMisses = 0;
+    double ewmaLatencySeconds = 0.0;
+    bool sawAck = false;
+    std::optional<std::uint64_t> outstandingSeq;
+    Clock::time_point outstandingSince;
+    std::optional<Clock::time_point> lastPing;
+    Clock::time_point quarantinedAt;
+  };
+
+  Record& record(int rank);
+  const Record& record(int rank) const;
+
+  mutable std::mutex mutex_;
+  HealthConfig config_;
+  std::vector<Record> records_;  ///< index rank - 1
+  std::uint64_t nextSeq_ = 1;
+  Counters counters_;
+  std::vector<QuarantineSpan> spans_;
+};
+
+}  // namespace easyhps

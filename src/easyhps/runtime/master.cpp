@@ -22,11 +22,13 @@ namespace {
 /// Scheduler state shared by the master worker threads, the control
 /// thread and the data-plane thread, scoped to one job.
 struct MasterState {
-  MasterState(JobId j, const PartitionedDag& d, Window& m, bool p)
-      : jobId(j), dag(&d), parse(d.dag), matrix(&m), peer(p) {}
+  MasterState(JobId j, const PartitionedDag& d, const DpProblem& prob,
+              Window& m, bool p)
+      : jobId(j), dag(&d), problem(&prob), parse(d.dag), matrix(&m), peer(p) {}
 
   const JobId jobId;
   const PartitionedDag* dag;
+  const DpProblem* problem;  ///< for last-resort block recompute
   DagParseState parse;
   std::unique_ptr<SchedulingPolicy> policy;
   RegisterTable registerTable;
@@ -34,6 +36,14 @@ struct MasterState {
   Window* matrix;
   const bool peer;  ///< DataPlaneMode::kPeerToPeer
   Stopwatch watch;  ///< started at job dispatch (time-to-first-block)
+  /// Job-clock epoch for the schedule/quarantine traces.
+  const std::chrono::steady_clock::time_point traceBase =
+      std::chrono::steady_clock::now();
+
+  /// Liveness registry (service lifetime); nullptr = liveness off.
+  HealthRegistry* health = nullptr;
+  std::chrono::milliseconds fetchTimeout{250};
+  bool recordTrace = false;
 
   // Data-plane geometry, precomputed once per job (peer mode only).
   // haloPieces[u]: u's halo rects decomposed into per-block pieces
@@ -59,9 +69,18 @@ struct MasterState {
   std::int64_t staleJobResults = 0;
   std::uint64_t tableChecksum = 0;
   std::int64_t blocksAssembled = 0;
+  std::int64_t blocksRecomputed = 0;
+  std::int64_t statsSkipped = 0;
   double firstBlockSeconds = -1.0;
   std::vector<std::int64_t> tasksPerSlave;
+  std::vector<RunStats::ScheduleEvent> scheduleTrace;
+
+  double jobSeconds(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double>(t - traceBase).count();
+  }
 };
+
+constexpr int kMaxFetchAttempts = 4;
 
 CellRect intersectRect(const CellRect& a, const CellRect& b) {
   CellRect r;
@@ -190,11 +209,28 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
   const int workerIdx = slaveRank - 1;
   log::setThreadName("master/worker-" + std::to_string(slaveRank));
 
-  // Wait for the slave's per-job ready signal (paper §V-C step a).
+  // Wait for the slave's per-job ready signal (paper §V-C step a) —
+  // bounded, because a dead slave never acks: the job must be able to
+  // finish on the surviving ranks while this worker idles.  Ready signals
+  // of an *earlier* job (stale after a slave death) are discarded.
   {
-    const msg::Message idle = comm.recv(slaveRank, wire::kTagIdle);
-    EASYHPS_CHECK(wire::decodeJobControl(idle.payload).job == state.jobId,
-                  "slave acked the wrong job");
+    bool ready = false;
+    while (!ready) {
+      auto idle = comm.recvFor(slaveRank, wire::kTagIdle,
+                               std::chrono::milliseconds(20));
+      if (idle) {
+        ready = wire::decodeJobControl(idle->payload).job == state.jobId;
+        continue;
+      }
+      if (comm.mailboxClosed()) {
+        throw CommError("cluster shut down while awaiting slave " +
+                        std::to_string(slaveRank) + " ready ack");
+      }
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (state.done) {
+        return;  // job finished without this slave ever joining it
+      }
+    }
   }
 
   struct Inflight {
@@ -214,6 +250,13 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
         if (state.done) {
           break;
         }
+        if (state.health != nullptr && !state.health->allowAssign(slaveRank)) {
+          // Quarantined: leave the ready tasks to healthy slaves' workers
+          // and re-check after the backoff-scale nap (re-admission is the
+          // only way back).
+          state.cv.wait_for(lock, std::chrono::milliseconds(5));
+          continue;
+        }
         auto picked = state.policy->pick(workerIdx);
         if (!picked) {
           // Static policy: ready tasks exist but none owned by this
@@ -229,6 +272,14 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
         }
         ++state.tasksSent;
         ++state.tasksPerSlave[static_cast<std::size_t>(workerIdx)];
+        if (state.recordTrace) {
+          // Recorded in the same critical section as the allowAssign check
+          // above, so an event time after a quarantine begin implies the
+          // check itself ran before the transition.
+          state.scheduleTrace.push_back(RunStats::ScheduleEvent{
+              state.jobSeconds(std::chrono::steady_clock::now()), slaveRank,
+              vertex});
+        }
         inflight = Inflight{vertex, epoch};
         assign.vertex = vertex;
         if (state.peer) {
@@ -303,6 +354,11 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
 void controlLoop(MasterState& state, const RuntimeConfig& cfg,
                  const std::atomic<bool>* cancelRequested) {
   log::setThreadName("master/ft");
+  // Ranks whose ownership entries were already invalidated for the
+  // current quarantine spell (reset on re-admission, so a relapse
+  // invalidates again).
+  std::vector<bool> invalidatedForSpell(
+      static_cast<std::size_t>(cfg.slaveCount) + 1, false);
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(state.mutex);
@@ -315,6 +371,27 @@ void controlLoop(MasterState& state, const RuntimeConfig& cfg,
         state.done = true;
         state.cv.notify_all();
         return;
+      }
+    }
+    if (state.health != nullptr && state.peer) {
+      // A freshly quarantined rank must stop being a halo source *now*,
+      // not once one of its assignments times out: peers fetching from it
+      // would each burn a fetch timeout.  The overtime queue still handles
+      // re-distributing its in-flight tasks.
+      for (int r = 1; r <= cfg.slaveCount; ++r) {
+        const bool q = state.health->stateOf(r) == SlaveHealth::kQuarantined;
+        auto seen = invalidatedForSpell[static_cast<std::size_t>(r)];
+        if (q && !seen) {
+          invalidatedForSpell[static_cast<std::size_t>(r)] = true;
+          std::lock_guard<std::mutex> lock(state.mutex);
+          const std::int64_t n = state.directory.invalidateRank(r);
+          if (n > 0) {
+            EASYHPS_LOG_WARN("quarantined slave " << r << ": invalidated "
+                                                  << n << " ownership entries");
+          }
+        } else if (!q) {
+          invalidatedForSpell[static_cast<std::size_t>(r)] = false;
+        }
       }
     }
     if (cfg.enableFaultTolerance) {
@@ -361,6 +438,49 @@ void absorbSpill(MasterState& state, const msg::Payload& payload) {
   }
 }
 
+void materializeBlock(msg::Comm& comm, MasterState& state, VertexId v,
+                      std::deque<msg::Message>* deferred);
+
+/// Last-resort recovery: recomputes block `v` into the master matrix from
+/// its dependencies' cells.  Every ack-sized dependency piece is already
+/// in the matrix — it was injected with the dependency's result ack when
+/// that block completed, and `v` completed after its dependencies — while
+/// thicker pieces are materialized first, recursing down the (acyclic)
+/// block DAG.  Reached only when the owning rank stopped answering with
+/// the sole copy of the block (slave death / quarantine).
+void recomputeBlock(msg::Comm& comm, MasterState& state, VertexId v,
+                    std::deque<msg::Message>* deferred) {
+  std::vector<VertexId> thickDeps;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (const wire::HaloSource& p :
+         state.haloPieces[static_cast<std::size_t>(v)]) {
+      if (p.vertex < 0 || p.vertex == v) {
+        continue;
+      }
+      if (state.directory.resident(p.vertex)) {
+        continue;
+      }
+      if (ackSized(p.rect, state.dag->rectOf(p.vertex))) {
+        continue;
+      }
+      thickDeps.push_back(p.vertex);
+    }
+  }
+  for (VertexId dep : thickDeps) {
+    materializeBlock(comm, state, dep, deferred);
+  }
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.directory.resident(v)) {
+    return;  // landed meanwhile (spill or a swapped reply)
+  }
+  state.problem->computeBlock(*state.matrix, state.dag->rectOf(v));
+  state.directory.markResident(v);
+  ++state.blocksRecomputed;
+  EASYHPS_LOG_WARN("recomputed block " << v
+                                       << " at the master (owner unreachable)");
+}
+
 /// Makes block `v`'s cells present in the master matrix, pulling it from
 /// its owning rank if need be (the *lazy* half of the data plane: thick
 /// halo pieces never ride the result ack, so the master first touches them
@@ -370,9 +490,15 @@ void absorbSpill(MasterState& state, const msg::Payload& payload) {
 /// The other miss cause — the owner flushed its store at JobEnd — only
 /// happens once the parse is done, i.e. the requester's assignment was
 /// re-distributed and its result will be discarded; we bail out and serve
-/// whatever the matrix holds.
-void ensureResident(msg::Comm& comm, MasterState& state, VertexId v,
-                    std::deque<msg::Message>& deferred) {
+/// whatever the matrix holds.  Each pull waits at most
+/// `state.fetchTimeout`; after kMaxFetchAttempts silent timeouts (owner
+/// dead or the traffic chaos-dropped) the block is recomputed locally.
+/// `deferred` is non-null on the data thread only, which must set aside
+/// peer *requests* it drains while waiting for a spill; the assembly phase
+/// passes nullptr and lets the still-running data thread absorb spills.
+void materializeBlock(msg::Comm& comm, MasterState& state, VertexId v,
+                      std::deque<msg::Message>* deferred) {
+  int fetchTimeouts = 0;
   for (;;) {
     int owner = 0;
     {
@@ -385,12 +511,26 @@ void ensureResident(msg::Comm& comm, MasterState& state, VertexId v,
     if (owner == 0) {
       return;  // never completed (cancelled job): serve matrix as-is
     }
+    if (fetchTimeouts >= kMaxFetchAttempts) {
+      recomputeBlock(comm, state, v, deferred);
+      return;
+    }
     comm.send(owner, wire::kTagData,
               wire::encodeBlockFetch({state.jobId, v, state.dag->rectOf(v)}));
-    const msg::Message reply = comm.recv(owner, wire::kTagBlockData);
+    auto reply = comm.recvFor(owner, wire::kTagBlockData, state.fetchTimeout);
+    if (!reply) {
+      if (comm.mailboxClosed()) {
+        return;
+      }
+      // Owner dead, request/reply chaos-dropped, or a concurrent fetch
+      // from the same owner swallowed our reply — the loop re-checks
+      // residency either way.
+      ++fetchTimeouts;
+      continue;
+    }
     wire::ScoreCells cells;
     const wire::BlockDataPayload block =
-        wire::decodeBlockData(reply.payload, cells);
+        wire::decodeBlockData(reply->payload, cells);
     if (block.found) {
       std::lock_guard<std::mutex> lock(state.mutex);
       if (block.job == state.jobId) {
@@ -413,6 +553,12 @@ void ensureResident(msg::Comm& comm, MasterState& state, VertexId v,
           return;  // JobEnd flush: requester is redundant
         }
       }
+      if (deferred == nullptr) {
+        // Assembly phase: the data thread still owns kTagData and will
+        // absorb the in-flight spill; just wait for it.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
       auto m = comm.recvFor(msg::kAnySource, wire::kTagData,
                             std::chrono::milliseconds(2));
       if (!m) {
@@ -424,7 +570,7 @@ void ensureResident(msg::Comm& comm, MasterState& state, VertexId v,
       if (wire::peekDataKind(m->payload) == wire::DataMsgKind::kBlockSpill) {
         absorbSpill(state, m->payload);
       } else {
-        deferred.push_back(std::move(*m));  // requests wait their turn
+        deferred->push_back(std::move(*m));  // requests wait their turn
       }
     }
   }
@@ -463,7 +609,7 @@ void masterDataLoop(msg::Comm& comm, MasterState& state,
           reply.rect = req.rect;
           if (req.job == state.jobId) {
             if (req.vertex >= 0) {
-              ensureResident(comm, state, req.vertex, deferred);
+              materializeBlock(comm, state, req.vertex, &deferred);
             }
             std::lock_guard<std::mutex> lock(state.mutex);
             reply.found = true;
@@ -489,13 +635,26 @@ void masterDataLoop(msg::Comm& comm, MasterState& state,
 }  // namespace
 
 MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
-                              const ServiceJob& job) {
+                              const ServiceJob& job, HealthRegistry* health) {
   EASYHPS_EXPECTS(cfg.slaveCount >= 1);
   EASYHPS_EXPECTS(comm.size() == cfg.slaveCount + 1);
   EASYHPS_EXPECTS(job.problem != nullptr && job.out != nullptr);
   const bool peer = cfg.dataPlane == DataPlaneMode::kPeerToPeer;
 
+  // Injected job-level failure (chaos plan): consumed *before* dispatch,
+  // so there is no JobStart bracket to unwind — the serve layer's retry
+  // machinery re-enqueues or fails the ticket.
+  if (job.plan != nullptr && job.plan->consumeJobAbort()) {
+    MasterJobOutcome outcome;
+    outcome.failed = true;
+    outcome.failureReason = "injected job abort (chaos plan)";
+    outcome.stats.faultsTriggered = 1;
+    return outcome;
+  }
+
   const msg::TrafficSnapshot traffic0 = comm.traffic();
+  const HealthRegistry::Counters health0 =
+      health != nullptr ? health->counters() : HealthRegistry::Counters{};
 
   // Bracket the job: every slave resets its per-job state on JobStart.
   for (int s = 1; s <= cfg.slaveCount; ++s) {
@@ -506,7 +665,10 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   // (paper §V-B step a).
   const PartitionedDag dag = buildMasterDag(
       *job.problem, cfg.processPartitionRows, cfg.processPartitionCols);
-  MasterState state(job.id, dag, *job.out, peer);
+  MasterState state(job.id, dag, *job.problem, *job.out, peer);
+  state.health = health;
+  state.fetchTimeout = cfg.dataFetchTimeout;
+  state.recordTrace = cfg.recordScheduleTrace;
   if (peer) {
     buildHaloGeometry(*job.problem, state);
   }
@@ -590,33 +752,21 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
     // the master.  Suspect owners are still asked — in this in-process
     // substrate a slow rank answers eventually; a found=false reply means
     // the block was evicted and its spill is already in our kTagData
-    // queue (drained below).
+    // queue (absorbed by the still-running data thread).  A silent owner
+    // (slave death) costs kMaxFetchAttempts fetch timeouts and the block
+    // is recomputed locally.
     if (peer && !state.cancelled && cfg.assembleFullMatrix) {
       for (VertexId v = 0; v < dag.vertexCount(); ++v) {
-        int owner = 0;
         {
           std::lock_guard<std::mutex> lock(state.mutex);
-          if (state.directory.resident(v)) {
+          if (state.directory.resident(v) ||
+              state.directory.assemblySource(v) == 0) {
             continue;
           }
-          owner = state.directory.assemblySource(v);
         }
-        if (owner == 0) {
-          continue;
-        }
-        comm.send(owner, wire::kTagData,
-                  wire::encodeBlockFetch({state.jobId, v, dag.rectOf(v)}));
-        const msg::Message reply = comm.recv(owner, wire::kTagBlockData);
-        wire::ScoreCells cells;
-        const wire::BlockDataPayload block =
-            wire::decodeBlockData(reply.payload, cells);
-        if (block.found) {
-          // Inject by payload identity: the data thread may pull from the
-          // same owner concurrently and (source, tag) matching can swap
-          // the replies — both get applied either way.
-          std::lock_guard<std::mutex> lock(state.mutex);
-          state.matrix->inject(block.rect, cells.cells());
-          state.directory.markResident(block.vertex);
+        materializeBlock(comm, state, v, nullptr);
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.directory.resident(v)) {
           ++state.blocksAssembled;
         }
       }
@@ -628,11 +778,34 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
       comm.send(s, wire::kTagJobEnd, wire::encodeJobControl({state.jobId}));
     }
     for (int s = 1; s <= cfg.slaveCount; ++s) {
-      const msg::Message statsMsg = comm.recv(s, wire::kTagStats);
       auto& slot = slaveStats[static_cast<std::size_t>(s - 1)];
-      slot = wire::decodeSlaveStats(statsMsg.payload);
-      EASYHPS_CHECK(slot.job == state.jobId,
-                    "slave stats from the wrong job");
+      for (;;) {
+        auto statsMsg =
+            comm.recvFor(s, wire::kTagStats, std::chrono::milliseconds(20));
+        if (statsMsg) {
+          slot = wire::decodeSlaveStats(statsMsg->payload);
+          if (slot.job != state.jobId) {
+            // Stats of an *earlier* job a reborn/slow slave finally
+            // flushed; keep waiting for ours.
+            slot = wire::SlaveStatsPayload{};
+            continue;
+          }
+          break;
+        }
+        if (comm.mailboxClosed()) {
+          throw CommError("cluster shut down while awaiting slave " +
+                          std::to_string(s) + " stats");
+        }
+        if (health != nullptr &&
+            health->stateOf(s) == SlaveHealth::kQuarantined) {
+          // A dead slave never sends Stats; its work was re-distributed
+          // and accounted by the survivors, so skip rather than hang.
+          ++state.statsSkipped;
+          break;
+        }
+        // No liveness registry: preserve the paper protocol and wait —
+        // a slow slave's stats always arrive eventually.
+      }
     }
   } catch (...) {
     stopData.store(true, std::memory_order_release);
@@ -677,7 +850,28 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   stats.tasksPerSlave = state.tasksPerSlave;
   stats.tableChecksum = state.tableChecksum;
   stats.blocksAssembled = state.blocksAssembled;
+  stats.blocksRecomputed = state.blocksRecomputed;
+  stats.statsSkipped = state.statsSkipped;
   stats.ownershipInvalidations = state.directory.invalidations();
+  stats.scheduleTrace = std::move(state.scheduleTrace);
+  if (health != nullptr) {
+    const HealthRegistry::Counters health1 = health->counters();
+    stats.heartbeatsSent = health1.pingsSent - health0.pingsSent;
+    stats.heartbeatMisses = health1.misses - health0.misses;
+    stats.quarantines = health1.quarantines - health0.quarantines;
+    stats.readmissions = health1.readmissions - health0.readmissions;
+    if (state.recordTrace) {
+      for (const auto& span : health->quarantineSpans()) {
+        RunStats::QuarantineEvent ev;
+        ev.slave = span.rank;
+        ev.beginSeconds = state.jobSeconds(span.begin);
+        if (span.end.has_value()) {
+          ev.endSeconds = state.jobSeconds(*span.end);
+        }
+        stats.quarantineTrace.push_back(ev);
+      }
+    }
+  }
   for (const auto& s : slaveStats) {
     stats.threadRestarts += s.threadRestarts;
     stats.subTaskRequeues += s.subTaskRequeues;
@@ -693,6 +887,9 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   stats.bytes = traffic1.bytes - traffic0.bytes;
   stats.copiesAvoided = traffic1.copiesAvoided - traffic0.copiesAvoided;
   stats.zeroCopyBytes = traffic1.zeroCopyBytes - traffic0.zeroCopyBytes;
+  stats.transportDropped = traffic1.dropped - traffic0.dropped;
+  stats.transportDuplicated = traffic1.duplicated - traffic0.duplicated;
+  stats.transportDelayed = traffic1.delayed - traffic0.delayed;
   const int ranks = traffic1.ranks;
   stats.linkBytes.assign(traffic1.linkBytes.size(), 0);
   for (int src = 0; src < ranks; ++src) {
@@ -717,9 +914,59 @@ void runMasterService(msg::Comm& comm, const RuntimeConfig& cfg,
   EASYHPS_EXPECTS(cfg.slaveCount >= 1);
   EASYHPS_EXPECTS(comm.size() == cfg.slaveCount + 1);
 
-  while (std::optional<ServiceJob> job = feed.nextJob()) {
-    MasterJobOutcome outcome = runMasterJob(comm, cfg, *job);
-    feed.jobFinished(job->id, std::move(outcome));
+  // Service-lifetime liveness: the heartbeat thread spans jobs so a slave
+  // quarantined during job N is still quarantined when job N+1 dispatches
+  // (per-job deltas of the registry's counters land in each RunStats).
+  const bool liveness = cfg.enableLiveness && cfg.enableFaultTolerance;
+  std::optional<HealthRegistry> health;
+  std::atomic<bool> stopLiveness{false};
+  std::optional<std::jthread> livenessThread;
+  if (liveness) {
+    health.emplace(cfg.slaveCount,
+                   HealthConfig{cfg.heartbeatInterval, cfg.heartbeatTimeout,
+                                cfg.heartbeatMissThreshold,
+                                cfg.quarantineBackoff});
+    livenessThread.emplace([&comm, &cfg, &health, &stopLiveness] {
+      log::setThreadName("master/liveness");
+      const auto nap = std::min<std::chrono::milliseconds>(
+          cfg.heartbeatInterval / 2, std::chrono::milliseconds(10));
+      while (!stopLiveness.load(std::memory_order_acquire)) {
+        for (const HealthRegistry::Ping& ping : health->duePings()) {
+          // Pings ride kTagData so the slave's always-on data thread
+          // answers even while its compute pool is busy (or wedged).
+          comm.send(ping.rank, wire::kTagData,
+                    wire::encodeHealthPing({ping.seq}));
+        }
+        while (auto ack = comm.tryRecv(msg::kAnySource, wire::kTagHealthAck)) {
+          health->onAck(ack->source, wire::decodeHealthAck(ack->payload).seq);
+        }
+        for (int rank : health->sweep()) {
+          EASYHPS_LOG_WARN("slave " << rank
+                                    << " quarantined (missed heartbeats)");
+        }
+        if (comm.mailboxClosed()) {
+          return;
+        }
+        std::this_thread::sleep_for(std::max<std::chrono::milliseconds>(
+            nap, std::chrono::milliseconds(1)));
+      }
+    });
+  }
+
+  try {
+    while (std::optional<ServiceJob> job = feed.nextJob()) {
+      MasterJobOutcome outcome =
+          runMasterJob(comm, cfg, *job, health ? &*health : nullptr);
+      feed.jobFinished(job->id, std::move(outcome));
+    }
+  } catch (...) {
+    stopLiveness.store(true, std::memory_order_release);
+    throw;  // livenessThread joins during unwind
+  }
+  stopLiveness.store(true, std::memory_order_release);
+  if (livenessThread) {
+    livenessThread->join();
+    livenessThread.reset();
   }
   for (int s = 1; s <= cfg.slaveCount; ++s) {
     comm.send(s, wire::kTagEnd, {});

@@ -43,10 +43,13 @@
 
 #include <atomic>
 #include <optional>
+#include <string>
 
 #include "easyhps/dp/problem.hpp"
+#include "easyhps/fault/plan.hpp"
 #include "easyhps/msg/comm.hpp"
 #include "easyhps/runtime/config.hpp"
+#include "easyhps/runtime/health.hpp"
 #include "easyhps/runtime/job.hpp"
 
 namespace easyhps {
@@ -61,12 +64,20 @@ struct ServiceJob {
   /// Optional cancellation flag polled by the master control thread;
   /// nullptr = job is not cancellable.
   const std::atomic<bool>* cancelRequested = nullptr;
+  /// Optional fault plan; the master consumes kJobAbort from it before
+  /// dispatch (the serve layer's retry path).  May be nullptr.
+  fault::FaultPlan* plan = nullptr;
 };
 
 /// What the master reports back per job.
 struct MasterJobOutcome {
   RunStats stats;  ///< elapsedSeconds/messages/bytes are per-job deltas
   bool cancelled = false;
+  /// The job failed before producing a table (injected abort, invalid
+  /// state); `failureReason` says why.  The serve layer turns this into a
+  /// retry or a terminal kFailed ticket.
+  bool failed = false;
+  std::string failureReason;
   /// Seconds from dispatch to the first block injected; -1 if none was.
   double timeToFirstBlockSeconds = -1.0;
 };
@@ -88,13 +99,17 @@ class JobFeed {
 
 /// Runs one job on the already-booted cluster: brackets it with
 /// JobStart/JobEnd, schedules all sub-tasks onto the slave ranks and fills
-/// `job.out`.  Exposed for the service loop; most callers want
-/// runMasterService.
+/// `job.out`.  `health` (may be nullptr) is the service-lifetime liveness
+/// registry: quarantined ranks get no new assignments and their ownership
+/// entries are invalidated.  Exposed for the service loop; most callers
+/// want runMasterService.
 MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
-                              const ServiceJob& job);
+                              const ServiceJob& job,
+                              HealthRegistry* health = nullptr);
 
 /// Master service loop: runs every job the feed yields, then sends End to
-/// all slaves.
+/// all slaves.  With `cfg.enableLiveness` a service-lifetime heartbeat
+/// thread feeds the quarantine state machine consulted by every job.
 void runMasterService(msg::Comm& comm, const RuntimeConfig& cfg,
                       JobFeed& feed);
 

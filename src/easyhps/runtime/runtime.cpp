@@ -1,8 +1,11 @@
 #include "easyhps/runtime/runtime.hpp"
 
+#include <string>
+
 #include "easyhps/msg/cluster.hpp"
 #include "easyhps/runtime/master.hpp"
 #include "easyhps/runtime/slave.hpp"
+#include "easyhps/runtime/wire.hpp"
 #include "easyhps/util/clock.hpp"
 
 namespace easyhps {
@@ -54,36 +57,101 @@ class OneJobDirectory : public SlaveJobDirectory {
 
 }  // namespace
 
+void RuntimeConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw LogicError("invalid RuntimeConfig: " + what);
+  };
+  if (slaveCount < 1) {
+    fail("slaveCount must be >= 1");
+  }
+  if (threadsPerSlave < 1) {
+    fail("threadsPerSlave must be >= 1");
+  }
+  if (processPartitionRows < 1 || processPartitionCols < 1) {
+    fail("processPartition rows/cols must be >= 1");
+  }
+  if (threadPartitionRows < 1 || threadPartitionCols < 1) {
+    fail("threadPartition rows/cols must be >= 1");
+  }
+  if (taskTimeout.count() <= 0) {
+    fail("taskTimeout must be positive");
+  }
+  if (subTaskTimeout.count() <= 0) {
+    fail("subTaskTimeout must be positive");
+  }
+  if (dataFetchTimeout.count() <= 0) {
+    fail("dataFetchTimeout must be positive");
+  }
+  if (enableLiveness) {
+    if (!enableFaultTolerance) {
+      fail("enableLiveness requires enableFaultTolerance (quarantined "
+           "work is recovered by the overtime queue)");
+    }
+    if (heartbeatInterval.count() <= 0) {
+      fail("heartbeatInterval must be positive");
+    }
+    if (heartbeatTimeout.count() <= 0) {
+      fail("heartbeatTimeout must be positive");
+    }
+    if (heartbeatMissThreshold < 1) {
+      fail("heartbeatMissThreshold must be >= 1");
+    }
+    if (quarantineBackoff.count() < 0) {
+      fail("quarantineBackoff must be non-negative");
+    }
+  }
+  const auto validProbability = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!validProbability(transportChaos.dropProbability) ||
+      !validProbability(transportChaos.duplicateProbability) ||
+      !validProbability(transportChaos.delayProbability)) {
+    fail("transportChaos probabilities must lie in [0, 1]");
+  }
+  for (const fault::FaultSpec& spec : faults) {
+    if (!validProbability(spec.probability)) {
+      fail("fault spec probability must lie in [0, 1]");
+    }
+    if (spec.kind == fault::FaultKind::kSlaveDeath &&
+        !(enableLiveness && enableFaultTolerance)) {
+      // Without liveness the master waits forever for the dead rank's
+      // per-job Stats; without FT its in-flight work is never recovered.
+      fail("kSlaveDeath faults require enableLiveness and "
+           "enableFaultTolerance");
+    }
+  }
+}
+
 Runtime::Runtime(RuntimeConfig cfg) : cfg_(std::move(cfg)) {
-  EASYHPS_EXPECTS(cfg_.slaveCount >= 1);
-  EASYHPS_EXPECTS(cfg_.threadsPerSlave >= 1);
-  EASYHPS_EXPECTS(cfg_.processPartitionRows >= 1 &&
-                  cfg_.processPartitionCols >= 1);
-  EASYHPS_EXPECTS(cfg_.threadPartitionRows >= 1 &&
-                  cfg_.threadPartitionCols >= 1);
+  cfg_.validate();
 }
 
 RunResult Runtime::run(const DpProblem& problem) const {
+  cfg_.validate();  // cfg_ is immutable, but run() is the documented gate
   RunResult result{
       Window(CellRect{0, 0, problem.rows(), problem.cols()},
              problem.boundaryFn()),
       RunStats{}};
-  fault::FaultPlan plan(cfg_.faults);
+  fault::FaultPlan plan(cfg_.faults, cfg_.chaosSeed);
 
   constexpr JobId kJobId = 1;
-  OneShotFeed feed(ServiceJob{kJobId, &problem, &result.matrix, nullptr});
+  OneShotFeed feed(
+      ServiceJob{kJobId, &problem, &result.matrix, nullptr, &plan});
   OneJobDirectory directory(kJobId, problem, plan);
 
   Stopwatch watch;
   const msg::ClusterReport report = msg::Cluster::run(
-      cfg_.slaveCount + 1, [&](msg::Comm& comm) {
+      cfg_.slaveCount + 1,
+      [&](msg::Comm& comm) {
         if (comm.rank() == 0) {
           runMasterService(comm, cfg_, feed);
         } else {
           runSlaveService(comm, cfg_, directory);
         }
-      });
+      },
+      wire::makeChaosTransport(cfg_.transportChaos, cfg_.slaveCount + 1));
 
+  if (feed.outcome().failed) {
+    throw Error("job failed: " + feed.outcome().failureReason);
+  }
   result.stats = feed.outcome().stats;
   result.stats.elapsedSeconds = watch.elapsedSeconds();
   result.stats.messages = report.messages;

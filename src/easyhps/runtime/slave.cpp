@@ -1,8 +1,10 @@
 #include "easyhps/runtime/slave.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -187,6 +189,8 @@ struct DataPlaneCounters {
   std::atomic<std::int64_t> halosServed{0};
 };
 
+constexpr int kMaxFetchAttempts = 4;
+
 /// Copies sub-rectangle `sub` out of a row-major buffer covering `rect`.
 std::vector<Score> extractSub(const CellRect& rect,
                               const std::vector<Score>& data,
@@ -211,8 +215,8 @@ std::vector<Score> extractSub(const CellRect& rect,
 /// during job-end assembly, while it idles).  Compute never blocks on
 /// serving and vice versa.
 void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
-                   DataPlaneCounters& counters,
-                   const std::atomic<bool>& stop) {
+                   DataPlaneCounters& counters, const std::atomic<bool>& stop,
+                   const std::atomic<bool>& dead) {
   log::setThreadName("slave-" + std::to_string(comm.rank()) + "/data");
   // Each reply allocates its own cell buffer: the encoder hands the vector
   // to the payload as a refcounted body that the receiver may still be
@@ -225,6 +229,11 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
         return;
       }
       continue;
+    }
+    if (dead.load(std::memory_order_acquire)) {
+      continue;  // kSlaveDeath: swallow every request, answer nothing —
+                 // peers time out, heartbeats go unanswered, the master
+                 // quarantines this rank.
     }
     switch (wire::peekDataKind(m->payload)) {
       case wire::DataMsgKind::kHaloRequest: {
@@ -259,6 +268,44 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
         EASYHPS_LOG_WARN("slave " << comm.rank()
                                   << " received a misrouted BlockSpill");
         break;
+      case wire::DataMsgKind::kPing:
+        // Liveness probe: answered here so the reply reflects the data
+        // plane actually servicing traffic, busy compute pool or not.
+        comm.send(m->source, wire::kTagHealthAck,
+                  wire::encodeHealthAck(
+                      {wire::decodeHealthPing(m->payload).seq}));
+        break;
+    }
+  }
+}
+
+/// Receives a halo reply from `owner` matching (job, rect), waiting at
+/// most `timeout`.  Replies that do not match belong to an *earlier*
+/// request of ours that timed out (the replier was slow or the traffic
+/// chaos-delayed) — each request eventually draws at most one reply, so a
+/// mismatch is discarded and the wait continues.  nullopt = timeout or
+/// cluster shutdown.
+std::optional<wire::HaloDataPayload> recvHaloFor(
+    msg::Comm& comm, int owner, JobId job, const CellRect& rect,
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return std::nullopt;
+    }
+    auto reply = comm.recvFor(
+        owner, wire::kTagHaloData,
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (!reply) {
+      if (comm.mailboxClosed()) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    wire::HaloDataPayload halo = wire::decodeHaloData(reply->payload);
+    if (halo.job == job && halo.rect == rect) {
+      return halo;
     }
   }
 }
@@ -266,9 +313,14 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
 /// Resolves an assignment's halo fetch instructions into halo cell data:
 /// own store first (zero wire bytes — the locality policy's win), then the
 /// owning peer, then the master (unknown owner, suspect owner, or peer
-/// miss after eviction).
-void fetchHalos(msg::Comm& comm, store::BlockStore& store,
-                wire::AssignPayload& assign, wire::SlaveStatsPayload& stats) {
+/// miss after eviction).  Every wire fetch is bounded by
+/// `cfg.dataFetchTimeout` so a dead peer costs a timeout, not a hang; if
+/// even the master fallback stays silent for kMaxFetchAttempts rounds
+/// (rank 0 unreachable — the cluster is aborting), returns false and the
+/// caller abandons the assignment (its deadline re-distributes it).
+bool fetchHalos(msg::Comm& comm, const RuntimeConfig& cfg,
+                store::BlockStore& store, wire::AssignPayload& assign,
+                wire::SlaveStatsPayload& stats) {
   for (const wire::HaloSource& src : assign.sources) {
     if (src.rect.cellCount() <= 0) {
       assign.halos.push_back(wire::HaloBlock{src.rect, {}});
@@ -281,37 +333,55 @@ void fetchHalos(msg::Comm& comm, store::BlockStore& store,
         continue;
       }
     }
+    bool got = false;
     if (src.owner != 0 && src.owner != comm.rank()) {
       comm.send(src.owner, wire::kTagData,
                 wire::encodeHaloRequest({assign.job, src.vertex, src.rect}));
-      const msg::Message reply = comm.recv(src.owner, wire::kTagHaloData);
-      wire::HaloDataPayload halo = wire::decodeHaloData(reply.payload);
-      if (halo.found) {
+      auto halo = recvHaloFor(comm, src.owner, assign.job, src.rect,
+                              cfg.dataFetchTimeout);
+      if (halo && halo->found) {
         ++stats.haloPeerFetches;
         assign.halos.push_back(
-            wire::HaloBlock{src.rect, std::move(halo.data)});
-        continue;
+            wire::HaloBlock{src.rect, std::move(halo->data)});
+        got = true;
+      }
+      // Miss (evicted block, found=false) or a dead/silent peer: fall
+      // back to the master either way.
+    }
+    for (int attempt = 0; !got && attempt < kMaxFetchAttempts; ++attempt) {
+      // Master fallback: rank 0's matrix holds the boundary cells of
+      // every acked block (and spilled blocks in full); anything thicker
+      // the master pulls lazily from the owning rank, keyed by
+      // src.vertex.  found is always true for the current job, so only a
+      // dropped request/reply leaves us retrying.
+      comm.send(0, wire::kTagData,
+                wire::encodeHaloRequest({assign.job, src.vertex, src.rect}));
+      auto halo =
+          recvHaloFor(comm, 0, assign.job, src.rect, cfg.dataFetchTimeout);
+      if (halo && halo->found) {
+        ++stats.haloMasterFetches;
+        assign.halos.push_back(
+            wire::HaloBlock{src.rect, std::move(halo->data)});
+        got = true;
+      }
+      if (comm.mailboxClosed()) {
+        return false;
       }
     }
-    // Master fallback: rank 0's matrix holds the boundary cells of every
-    // acked block (and spilled blocks in full); anything thicker the
-    // master pulls lazily from the owning rank, keyed by src.vertex.
-    comm.send(0, wire::kTagData,
-              wire::encodeHaloRequest({assign.job, src.vertex, src.rect}));
-    const msg::Message reply = comm.recv(0, wire::kTagHaloData);
-    wire::HaloDataPayload halo = wire::decodeHaloData(reply.payload);
-    EASYHPS_CHECK(halo.found, "master fallback halo request failed");
-    ++stats.haloMasterFetches;
-    assign.halos.push_back(wire::HaloBlock{src.rect, std::move(halo.data)});
+    if (!got) {
+      return false;
+    }
   }
+  return true;
 }
 
 /// Runs one job on this slave rank: idle-ack, then assignments until the
-/// master brackets the job with JobEnd.
+/// master brackets the job with JobEnd.  Sets `dead` and returns early if
+/// the chaos plan kills this rank mid-job (no Stats, no further traffic).
 void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
                  const DpProblem& problem, fault::FaultPlan& plan,
-                 store::BlockStore& blockStore,
-                 DataPlaneCounters& counters) {
+                 store::BlockStore& blockStore, DataPlaneCounters& counters,
+                 std::atomic<bool>& dead) {
   const bool peer = cfg.dataPlane == DataPlaneMode::kPeerToPeer;
 
   // Fresh per-job counters: each job gets its own Stats report.
@@ -336,8 +406,26 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
       break;
     }
     wire::AssignPayload assign = wire::decodeAssign(m.payload);
-    EASYHPS_CHECK(assign.job == job,
-                  "slave received assignment for the wrong job");
+    if (assign.job != job) {
+      // A chaos-delayed (or duplicated) assignment of an *earlier* job.
+      // Computing it would fetch halos under a stale job id; discard — its
+      // own job already re-distributed or finished it.
+      EASYHPS_LOG_WARN("slave " << comm.rank()
+                                << " discarding stale assignment of job "
+                                << assign.job);
+      continue;
+    }
+
+    if (plan.consumeSlaveDeath(assign.vertex, comm.rank())) {
+      // kSlaveDeath: this rank stops servicing *all* traffic mid-run —
+      // no result, no Stats, no data-plane replies, no heartbeat acks.
+      // The master's overtime queue re-distributes the in-flight work and
+      // the liveness sweep quarantines the rank.
+      dead.store(true, std::memory_order_release);
+      EASYHPS_LOG_WARN("slave death fault: rank " << comm.rank()
+                                                  << " going silent");
+      return;
+    }
 
     if (plan.consumeBlackhole(assign.vertex, comm.rank())) {
       EASYHPS_LOG_WARN("blackhole fault: dropping sub-task "
@@ -348,7 +436,15 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
     const auto delay = plan.consumeDelay(assign.vertex, comm.rank());
 
     if (peer) {
-      fetchHalos(comm, blockStore, assign, stats);
+      if (!fetchHalos(comm, cfg, blockStore, assign, stats)) {
+        // Halo sources unreachable (cluster aborting, or rank 0 silent
+        // beyond every retry): abandon the assignment; its overtime
+        // deadline re-distributes it.
+        EASYHPS_LOG_WARN("slave " << comm.rank()
+                                  << " abandoning sub-task " << assign.vertex
+                                  << " (halo fetch failed)");
+        continue;
+      }
     }
 
     wire::ResultPayload result;
@@ -418,23 +514,37 @@ void runSlaveService(msg::Comm& comm, const RuntimeConfig& cfg,
   store::BlockStore blockStore(cfg.storeByteBudget);
   DataPlaneCounters counters;
   std::atomic<bool> stopData{false};
+  std::atomic<bool> dead{false};  // kSlaveDeath: rank went silent
   std::jthread dataThread(
-      [&] { dataPlaneLoop(comm, blockStore, counters, stopData); });
+      [&] { dataPlaneLoop(comm, blockStore, counters, stopData, dead); });
 
   try {
     for (;;) {
       // Outer loop: a JobStart opens the next job; End retires the rank.
-      msg::Message m =
-          comm.recvTags(0, {wire::kTagJobStart, wire::kTagEnd});
+      msg::Message m = comm.recvTags(
+          0, {wire::kTagJobStart, wire::kTagJobEnd, wire::kTagAssign,
+              wire::kTagEnd});
       if (m.tag == wire::kTagEnd) {
         break;
+      }
+      if (dead.load(std::memory_order_acquire)) {
+        continue;  // zombie: swallow every bracket and assignment, answer
+                   // nothing, until the service's End retires the rank
+      }
+      if (m.tag != wire::kTagJobStart) {
+        // JobEnd/Assign can surface here only for a job this rank never
+        // joined — impossible while alive (each job's bracket is fully
+        // consumed by runSlaveJob), kept for robustness.
+        EASYHPS_LOG_WARN("slave " << comm.rank()
+                                  << " ignoring stray control tag " << m.tag);
+        continue;
       }
       const JobId job = wire::decodeJobControl(m.payload).job;
       const SlaveJobDirectory::Entry entry = directory.find(job);
       EASYHPS_CHECK(entry.problem != nullptr && entry.plan != nullptr,
                     "job directory returned a null entry");
       runSlaveJob(comm, cfg, job, *entry.problem, *entry.plan, blockStore,
-                  counters);
+                  counters, dead);
     }
   } catch (...) {
     // Release the data thread before the jthread destructor joins it —

@@ -323,6 +323,62 @@ BlockSpillPayload decodeBlockSpill(const msg::Payload& payload) {
   return p;
 }
 
+msg::Payload encodeHealthPing(const HealthPingPayload& p) {
+  msg::PayloadWriter w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(DataMsgKind::kPing));
+  w.put<std::uint64_t>(p.seq);
+  return std::move(w).take();
+}
+
+HealthPingPayload decodeHealthPing(const msg::Payload& payload) {
+  ByteReader r(payload);
+  EASYHPS_CHECK(
+      static_cast<DataMsgKind>(r.get<std::uint8_t>()) == DataMsgKind::kPing,
+      "kind byte is not Ping");
+  HealthPingPayload p;
+  p.seq = r.get<std::uint64_t>();
+  return p;
+}
+
+msg::Payload encodeHealthAck(const HealthAckPayload& p) {
+  msg::PayloadWriter w;
+  w.put<std::uint64_t>(p.seq);
+  return std::move(w).take();
+}
+
+HealthAckPayload decodeHealthAck(const msg::Payload& payload) {
+  ByteReader r(payload);
+  HealthAckPayload p;
+  p.seq = r.get<std::uint64_t>();
+  return p;
+}
+
+msg::TransportFn makeChaosTransport(const fault::TransportChaos& chaos,
+                                    int ranks) {
+  if (!chaos.enabled()) {
+    return nullptr;
+  }
+  auto engine = std::make_shared<fault::TransportChaosEngine>(chaos, ranks);
+  return [engine](const msg::Message& m) -> msg::TransportDecision {
+    switch (m.tag) {
+      case kTagAssign:
+      case kTagResult:
+      case kTagHaloData:
+      case kTagBlockData:
+      case kTagHealthAck:
+        break;
+      case kTagData:
+        if (peekDataKind(m.payload) == DataMsgKind::kBlockSpill) {
+          return {};  // the only copy of an evicted block: never faulted
+        }
+        break;
+      default:
+        return {};  // control bracket + collectives stay reliable
+    }
+    return engine->decide(m.source, m.dest);
+  };
+}
+
 std::uint64_t blockChecksum(VertexId vertex, const CellRect& rect,
                             std::span<const Score> data) {
   constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;

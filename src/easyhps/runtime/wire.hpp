@@ -56,6 +56,7 @@
 
 #include "easyhps/dag/pattern.hpp"
 #include "easyhps/dp/window.hpp"
+#include "easyhps/fault/chaos.hpp"
 #include "easyhps/matrix/geometry.hpp"
 #include "easyhps/msg/payload.hpp"
 #include "easyhps/runtime/job.hpp"
@@ -76,6 +77,11 @@ enum Tag : int {
   kTagData = 8,
   kTagHaloData = 9,
   kTagBlockData = 10,
+  // Liveness: heartbeat ack, slave → master.  The ping itself rides the
+  // kTagData envelope (kind kPing) so the slave's existing data thread
+  // answers it; the ack gets its own tag so the master's liveness thread
+  // is the only consumer.
+  kTagHealthAck = 11,
 };
 
 /// Discriminates the kTagData request envelope (first payload byte).
@@ -83,6 +89,7 @@ enum class DataMsgKind : std::uint8_t {
   kHaloRequest = 1,
   kBlockFetch = 2,
   kBlockSpill = 3,
+  kPing = 4,
 };
 
 /// One halo rectangle and its cell data.
@@ -191,6 +198,19 @@ struct BlockSpillPayload {
   std::vector<Score> data;
 };
 
+/// Heartbeat ping (master → slave, kTagData envelope) and its ack (slave →
+/// master, kTagHealthAck).  The ack echoes the sequence number so the
+/// master's health registry can match it to the outstanding ping and
+/// measure round-trip latency; a stale or duplicated ack simply mismatches
+/// and is ignored.
+struct HealthPingPayload {
+  std::uint64_t seq = 0;
+};
+
+struct HealthAckPayload {
+  std::uint64_t seq = 0;
+};
+
 /// Score cells of a decoded data payload, either *borrowed* — a view into
 /// the payload's refcounted body, kept alive by `keepalive` (the fast
 /// path: zero bytes copied) — or *owned* — copied out of the byte stream
@@ -260,6 +280,26 @@ msg::Payload encodeBlockSpill(BlockSpillPayload p);
 BlockSpillPayload decodeBlockSpill(const msg::Payload& payload);
 BlockSpillPayload decodeBlockSpill(const msg::Payload& payload,
                                    ScoreCells& data);
+
+msg::Payload encodeHealthPing(const HealthPingPayload& p);
+HealthPingPayload decodeHealthPing(const msg::Payload& payload);
+msg::Payload encodeHealthAck(const HealthAckPayload& p);
+HealthAckPayload decodeHealthAck(const msg::Payload& payload);
+
+/// Builds the msg::TransportFn that applies `chaos` to the wire protocol,
+/// or nullptr when chaos is disabled.  Eligibility is runtime policy, not
+/// part of the fault model:
+///   * job-bracket control traffic (Idle, JobStart, JobEnd, Stats, End)
+///     and internal collective tags stay reliable — they model the
+///     launcher/control network, and losing them says nothing about the
+///     recovery paths under test;
+///   * BlockSpill envelopes are exempt because a spill is the *only* copy
+///     of an evicted block — a real system would retry that transfer
+///     forever, which a probabilistic drop cannot express;
+///   * everything else (Assign, Result, halo/block request+reply traffic,
+///     heartbeat pings and acks) is fair game.
+msg::TransportFn makeChaosTransport(const fault::TransportChaos& chaos,
+                                    int ranks);
 
 /// FNV-1a over (vertex, rect, cells).  Summed over a job's blocks this
 /// yields an order-independent table checksum, comparable bit-for-bit

@@ -52,6 +52,17 @@ struct JobOptions {
   std::string shareKey;
   /// Faults injected into this job only.
   std::vector<fault::FaultSpec> faults;
+  /// Seed for the fault plan's probabilistic specs (see fault::ChaosPlan);
+  /// the same seed replays the same fault schedule.
+  std::uint64_t chaosSeed = 0;
+  /// Dispatch attempts before the ticket turns terminal kFailed (>= 1).
+  /// A job whose run *fails* (injected abort, master-reported failure) is
+  /// re-queued until its attempts are exhausted; cancellation and
+  /// successful completion are always terminal.
+  int maxAttempts = 1;
+  /// Base delay before a retry is dispatched again; doubles per attempt
+  /// (exponential backoff: retry k waits retryBackoff * 2^(k-1)).
+  std::chrono::milliseconds retryBackoff{10};
 };
 
 /// Service-level timing around one job, alongside the runtime's RunStats.
@@ -67,6 +78,15 @@ struct JobStats {
   RunStats run;  ///< per-job runtime statistics
 };
 
+/// Structured failure report attached to a terminal kFailed outcome.
+struct JobFailure {
+  /// What made the final attempt fail (master's failureReason, or the
+  /// cluster failure that took the service down).
+  std::string reason;
+  /// Dispatch attempts consumed (0 = the job never reached the cluster).
+  int attempts = 0;
+};
+
 /// Immutable snapshot published when a job reaches a terminal state.
 struct JobOutcome {
   JobState state = JobState::kFailed;
@@ -75,6 +95,8 @@ struct JobOutcome {
   JobStats stats;
   /// Human-readable failure reason when state == kFailed.
   std::string error;
+  /// Structured failure details; present only when state == kFailed.
+  std::optional<JobFailure> failure;
 };
 
 /// Shared bookkeeping for one submitted job.  Thread-safety: `state` and
@@ -93,6 +115,12 @@ struct JobRecord {
 
   std::atomic<JobState> state{JobState::kQueued};
   std::atomic<bool> cancelRequested{false};
+
+  /// Dispatch attempts so far (incremented by the feed at dispatch) and
+  /// the backoff gate before the next one.  Touched only by the service
+  /// (under its lock) and the master feed thread.
+  int attempts = 0;
+  std::chrono::steady_clock::time_point notBefore{};
 
   /// Matrix under construction while running (master writes into it).
   std::optional<Window> matrix;

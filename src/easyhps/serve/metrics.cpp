@@ -6,7 +6,9 @@ trace::Table metricsTable(const ServiceMetrics& m) {
   trace::Table t({"policy", "accepted", "rejected", "completed", "cancelled",
                   "failed", "queue_depth", "mean_wait_s", "max_wait_s",
                   "mean_ttfb_s", "jobs_per_s", "messages", "master_mb",
-                  "p2p_mb", "zc_msgs", "zc_mb"});
+                  "p2p_mb", "zc_msgs", "zc_mb", "retries", "requeues",
+                  "own_inval", "quarantines", "hb_misses", "faults",
+                  "job_retries"});
   t.addRow({m.policy, trace::Table::num(m.accepted),
             trace::Table::num(m.rejected), trace::Table::num(m.completed),
             trace::Table::num(m.cancelled), trace::Table::num(m.failed),
@@ -20,8 +22,13 @@ trace::Table metricsTable(const ServiceMetrics& m) {
             trace::Table::num(static_cast<double>(m.bytesPeerToPeer) / 1e6,
                               2),
             trace::Table::num(static_cast<std::int64_t>(m.copiesAvoided)),
-            trace::Table::num(static_cast<double>(m.zeroCopyBytes) / 1e6,
-                              2)});
+            trace::Table::num(static_cast<double>(m.zeroCopyBytes) / 1e6, 2),
+            trace::Table::num(m.retries), trace::Table::num(m.subTaskRequeues),
+            trace::Table::num(m.ownershipInvalidations),
+            trace::Table::num(m.quarantines),
+            trace::Table::num(m.heartbeatMisses),
+            trace::Table::num(m.faultsTriggered),
+            trace::Table::num(m.jobRetries)});
   return t;
 }
 

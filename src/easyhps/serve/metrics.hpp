@@ -50,6 +50,18 @@ struct ServiceMetrics {
   std::uint64_t copiesAvoided = 0;
   std::uint64_t zeroCopyBytes = 0;
 
+  // Fault-tolerance counters (sums of the jobs' RunStats; see DESIGN.md,
+  // "Fault domains & chaos").  All zero on a healthy, chaos-free service.
+  std::int64_t retries = 0;          ///< master task re-distributions
+  std::int64_t subTaskRequeues = 0;  ///< slave overtime re-queues
+  std::int64_t ownershipInvalidations = 0;
+  std::int64_t quarantines = 0;
+  std::int64_t heartbeatMisses = 0;
+  std::int64_t faultsTriggered = 0;  ///< injected faults that fired
+  /// Whole-job retries: failed runs re-queued by the serve-layer retry
+  /// machinery (distinct from the runtime's per-task `retries`).
+  std::int64_t jobRetries = 0;
+
   double meanQueueWaitSeconds() const {
     const std::int64_t n = completed + cancelled + failed;
     return n > 0 ? totalQueueWaitSeconds / static_cast<double>(n) : 0.0;

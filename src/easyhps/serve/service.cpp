@@ -7,6 +7,7 @@
 #include "easyhps/msg/cluster.hpp"
 #include "easyhps/runtime/master.hpp"
 #include "easyhps/runtime/slave.hpp"
+#include "easyhps/runtime/wire.hpp"
 #include "easyhps/serve/job_queue.hpp"
 #include "easyhps/util/clock.hpp"
 #include "easyhps/util/log.hpp"
@@ -23,7 +24,7 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   explicit ServiceCore(ServiceConfig cfg)
       : cfg_(std::move(cfg)),
         queue_(makeJobScheduler(cfg_.policy), cfg_.maxQueueDepth) {
-    EASYHPS_EXPECTS(cfg_.runtime.slaveCount >= 1);
+    cfg_.runtime.validate();
     EASYHPS_EXPECTS(cfg_.maxQueueDepth >= 1);
   }
 
@@ -40,13 +41,16 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     cluster_ = std::thread([this] {
       try {
         msg::Cluster::run(
-            cfg_.runtime.slaveCount + 1, [this](msg::Comm& comm) {
+            cfg_.runtime.slaveCount + 1,
+            [this](msg::Comm& comm) {
               if (comm.rank() == 0) {
                 runMasterService(comm, cfg_.runtime, *this);
               } else {
                 runSlaveService(comm, cfg_.runtime, *this);
               }
-            });
+            },
+            wire::makeChaosTransport(cfg_.runtime.transportChaos,
+                                     cfg_.runtime.slaveCount + 1));
       } catch (const std::exception& e) {
         failService(e.what());
       } catch (...) {
@@ -59,6 +63,22 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
       std::shared_ptr<const DpProblem> problem, JobOptions options) {
     EASYHPS_EXPECTS(problem != nullptr);
     EASYHPS_EXPECTS(options.weight > 0.0);
+
+    if (options.maxAttempts < 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++rejected_;
+      return {nullptr, "maxAttempts must be >= 1"};
+    }
+    for (const fault::FaultSpec& spec : options.faults) {
+      if (spec.kind == fault::FaultKind::kSlaveDeath &&
+          !(cfg_.runtime.enableLiveness && cfg_.runtime.enableFaultTolerance)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++rejected_;
+        return {nullptr,
+                "kSlaveDeath faults require enableLiveness and "
+                "enableFaultTolerance in the runtime config"};
+      }
+    }
 
     auto rec = std::make_shared<JobRecord>();
     {
@@ -78,7 +98,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
       options.name = "job-" + std::to_string(rec->id);
     }
     rec->options = std::move(options);
-    rec->plan = std::make_shared<fault::FaultPlan>(rec->options.faults);
+    rec->plan = std::make_shared<fault::FaultPlan>(rec->options.faults,
+                                                   rec->options.chaosSeed);
     rec->estimatedOps = problem->blockOps(
         CellRect{0, 0, problem->rows(), problem->cols()});
     rec->problem = std::move(problem);
@@ -163,6 +184,13 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     m.bytesPeerToPeer = bytesPeerToPeer_;
     m.copiesAvoided = copiesAvoided_;
     m.zeroCopyBytes = zeroCopyBytes_;
+    m.retries = retries_;
+    m.subTaskRequeues = subTaskRequeues_;
+    m.ownershipInvalidations = ownershipInvalidations_;
+    m.quarantines = quarantines_;
+    m.heartbeatMisses = heartbeatMisses_;
+    m.faultsTriggered = faultsTriggered_;
+    m.jobRetries = jobRetries_;
     return m;
   }
 
@@ -175,7 +203,15 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     if (rec == nullptr) {
       return std::nullopt;  // closed and drained
     }
+    // Retry backoff: a re-queued job carries its not-before gate; honour
+    // it here on the master thread (only this feed dispatches, so nothing
+    // else can run meanwhile anyway — the cluster is a serial resource).
+    const auto now = std::chrono::steady_clock::now();
+    if (rec->notBefore > now) {
+      std::this_thread::sleep_for(rec->notBefore - now);
+    }
     std::lock_guard<std::mutex> lock(mutex_);
+    ++rec->attempts;
     rec->stats.queueWaitSeconds = sinceSeconds(rec->submitted);
     rec->stats.dispatchSeq = dispatchCounter_++;
     rec->matrix.emplace(
@@ -185,7 +221,7 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     // Publish before JobStart goes out, so slaves can resolve the id.
     directory_[rec->id] = rec;
     return ServiceJob{rec->id, rec->problem.get(), &*rec->matrix,
-                      &rec->cancelRequested};
+                      &rec->cancelRequested, rec->plan.get()};
   }
 
   void jobFinished(JobId id, MasterJobOutcome mo) override {
@@ -198,16 +234,47 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
       EASYHPS_EXPECTS(rec != nullptr && rec->id == id);
       directory_.erase(id);
 
-      o->state = mo.cancelled ? JobState::kCancelled : JobState::kDone;
-      o->stats = rec->stats;
-      o->stats.execSeconds = mo.stats.elapsedSeconds;
-      o->stats.timeToFirstBlockSeconds = mo.timeToFirstBlockSeconds;
-      o->stats.run = mo.stats;
-      o->stats.run.faultsTriggered = rec->plan->triggered();
-      if (!mo.cancelled) {
-        o->matrix = std::move(rec->matrix);
+      if (mo.failed) {
+        rec->matrix.reset();
+        if (rec->attempts < rec->options.maxAttempts &&
+            rec->cancelRequested.load(std::memory_order_acquire) == false) {
+          // Exponential backoff: attempt k (1-based) failed → wait
+          // retryBackoff * 2^(k-1) before dispatching attempt k+1.
+          rec->notBefore =
+              std::chrono::steady_clock::now() +
+              rec->options.retryBackoff * (std::int64_t{1}
+                                           << (rec->attempts - 1));
+          rec->state.store(JobState::kQueued, std::memory_order_release);
+          ++jobRetries_;
+          EASYHPS_LOG_WARN("serve: job " << id << " attempt "
+                                         << rec->attempts << " failed ("
+                                         << mo.failureReason
+                                         << "); re-queueing");
+          if (!queue_.offer(rec)) {
+            return;  // re-admitted; a later jobFinished settles the ticket
+          }
+          // Queue closed while the job was in flight: fall through to the
+          // terminal failure below.
+          rec->state.store(JobState::kRunning, std::memory_order_release);
+        }
+        o->state = JobState::kFailed;
+        o->stats = rec->stats;
+        o->stats.run = mo.stats;
+        o->stats.run.faultsTriggered = rec->plan->triggered();
+        o->error = mo.failureReason;
+        o->failure = JobFailure{mo.failureReason, rec->attempts};
+      } else {
+        o->state = mo.cancelled ? JobState::kCancelled : JobState::kDone;
+        o->stats = rec->stats;
+        o->stats.execSeconds = mo.stats.elapsedSeconds;
+        o->stats.timeToFirstBlockSeconds = mo.timeToFirstBlockSeconds;
+        o->stats.run = mo.stats;
+        o->stats.run.faultsTriggered = rec->plan->triggered();
+        if (!mo.cancelled) {
+          o->matrix = std::move(rec->matrix);
+        }
+        rec->matrix.reset();
       }
-      rec->matrix.reset();
     }
     finishAndAccount(rec, std::move(o));
   }
@@ -257,6 +324,12 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
       bytesPeerToPeer_ += o->stats.run.bytesPeerToPeer;
       copiesAvoided_ += o->stats.run.copiesAvoided;
       zeroCopyBytes_ += o->stats.run.zeroCopyBytes;
+      retries_ += o->stats.run.retries;
+      subTaskRequeues_ += o->stats.run.subTaskRequeues;
+      ownershipInvalidations_ += o->stats.run.ownershipInvalidations;
+      quarantines_ += o->stats.run.quarantines;
+      heartbeatMisses_ += o->stats.run.heartbeatMisses;
+      faultsTriggered_ += o->stats.run.faultsTriggered;
       EASYHPS_EXPECTS(activeJobs_ >= 1);
       --activeJobs_;
     }
@@ -288,6 +361,7 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
       o->state = JobState::kFailed;
       o->stats = rec->stats;
       o->error = reason;
+      o->failure = JobFailure{reason, rec->attempts};
       finishAndAccount(rec, std::move(o));
     }
   }
@@ -325,6 +399,13 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   std::uint64_t bytesPeerToPeer_ = 0;
   std::uint64_t copiesAvoided_ = 0;
   std::uint64_t zeroCopyBytes_ = 0;
+  std::int64_t retries_ = 0;
+  std::int64_t subTaskRequeues_ = 0;
+  std::int64_t ownershipInvalidations_ = 0;
+  std::int64_t quarantines_ = 0;
+  std::int64_t heartbeatMisses_ = 0;
+  std::int64_t faultsTriggered_ = 0;
+  std::int64_t jobRetries_ = 0;
 };
 
 }  // namespace detail

@@ -1,0 +1,138 @@
+// Edge cases of the fault-tolerance bookkeeping pair: the OvertimeQueue
+// deadline heap and the RegisterTable epochs it is checked against.  The
+// runtime-level recovery behaviour is covered end-to-end in test_runtime
+// and test_chaos; these pin down the primitives' corner semantics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "easyhps/sched/worker_pool.hpp"
+
+namespace easyhps {
+namespace {
+
+using Clock = OvertimeQueue::Clock;
+using std::chrono::milliseconds;
+
+TEST(OvertimeQueue, ZeroTimeoutExpiresImmediately) {
+  OvertimeQueue q;
+  q.push(/*task=*/1, /*worker=*/2, /*epoch=*/7, milliseconds(0));
+  ASSERT_EQ(q.size(), 1u);
+  const auto expired = q.popExpired();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].task, 1);
+  EXPECT_EQ(expired[0].worker, 2);
+  EXPECT_EQ(expired[0].epoch, 7);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(OvertimeQueue, NegativeTimeoutIsAlreadyExpiredAtPush) {
+  OvertimeQueue q;
+  q.push(3, 1, 1, milliseconds(-50));
+  const auto expired = q.popExpired();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].task, 3);
+}
+
+TEST(OvertimeQueue, PopsOnlyPastDeadlinesInOrder) {
+  OvertimeQueue q;
+  const Clock::time_point now = Clock::now();
+  q.push(1, 1, 1, milliseconds(10000));
+  q.push(2, 2, 2, milliseconds(0));
+  q.push(3, 3, 3, milliseconds(1));
+  const auto expired = q.popExpired(now + milliseconds(100));
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].task, 2);  // earliest deadline first
+  EXPECT_EQ(expired[1].task, 3);
+  EXPECT_EQ(q.size(), 1u);  // the far deadline stays queued
+  const auto deadline = q.nextDeadline();
+  ASSERT_TRUE(deadline.has_value());
+  EXPECT_GT(*deadline, now + milliseconds(100));
+}
+
+TEST(OvertimeQueue, NextDeadlineEmptyWhenDrained) {
+  OvertimeQueue q;
+  EXPECT_FALSE(q.nextDeadline().has_value());
+  EXPECT_TRUE(q.popExpired().empty());
+  q.push(1, 1, 1, milliseconds(0));
+  EXPECT_TRUE(q.nextDeadline().has_value());
+  q.popExpired();
+  EXPECT_FALSE(q.nextDeadline().has_value());
+}
+
+TEST(OvertimeQueue, DuplicateTaskEntriesExpireIndependently) {
+  // A re-distributed task is pushed again under a new epoch while the old
+  // entry may still sit in the heap; both surface and the caller's epoch
+  // check tells them apart.
+  OvertimeQueue q;
+  const Clock::time_point now = Clock::now();
+  q.push(5, 1, 1, milliseconds(0));
+  q.push(5, 2, 2, milliseconds(1));
+  const auto expired = q.popExpired(now + milliseconds(10));
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].epoch, 1);
+  EXPECT_EQ(expired[1].epoch, 2);
+}
+
+// --- Interplay with the RegisterTable epochs ------------------------------
+
+TEST(OvertimeRegister, StaleEpochPopDoesNotCancelReissuedTask) {
+  RegisterTable table;
+  OvertimeQueue q;
+  // First assignment times out...
+  const AssignmentEpoch e1 = table.registerTask(9, /*worker=*/1);
+  q.push(9, 1, e1, milliseconds(0));
+  auto expired = q.popExpired();
+  ASSERT_EQ(expired.size(), 1u);
+  ASSERT_TRUE(table.cancel(9, expired[0].epoch));
+  // ...and is re-issued under a fresh epoch.
+  const AssignmentEpoch e2 = table.registerTask(9, /*worker=*/2);
+  EXPECT_NE(e1, e2);
+  q.push(9, 2, e2, milliseconds(10000));
+
+  // A stale heap entry of the *old* assignment fires late: its epoch no
+  // longer matches, so the FT thread must not cancel the new assignment.
+  q.push(9, 1, e1, milliseconds(0));
+  expired = q.popExpired();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].epoch, e1);
+  EXPECT_FALSE(table.cancel(9, expired[0].epoch));
+  EXPECT_TRUE(table.matches(9, e2));
+  EXPECT_TRUE(table.isRegistered(9));
+}
+
+TEST(OvertimeRegister, CompletionBeforeExpiryWinsTheRace) {
+  RegisterTable table;
+  OvertimeQueue q;
+  const AssignmentEpoch e = table.registerTask(4, /*worker=*/3);
+  q.push(4, 3, e, milliseconds(0));
+
+  // The worker finishes just before the FT thread pops the deadline.
+  const auto entry = table.complete(4);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->worker, 3);
+  EXPECT_EQ(entry->epoch, e);
+
+  const auto expired = q.popExpired();
+  ASSERT_EQ(expired.size(), 1u);
+  // The registration is gone: cancel fails, so no retry is issued.
+  EXPECT_FALSE(table.cancel(4, expired[0].epoch));
+  EXPECT_FALSE(table.isRegistered(4));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(OvertimeRegister, CompleteIsEpochAgnosticAndIdempotent) {
+  RegisterTable table;
+  table.registerTask(6, 1);
+  const AssignmentEpoch e2 = table.registerTask(6, 2);  // re-issue, new epoch
+  // Completion succeeds whichever copy finished first...
+  const auto entry = table.complete(6);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->epoch, e2);
+  // ...and the late duplicate finds nothing to complete.
+  EXPECT_FALSE(table.complete(6).has_value());
+  EXPECT_FALSE(table.matches(6, e2));
+}
+
+}  // namespace
+}  // namespace easyhps
