@@ -1,0 +1,332 @@
+// Closed-loop serve bench: seeded Poisson open-arrival traffic with a
+// configurable duplicate ratio, pushed through serve::Service to measure
+// p50/p99 end-to-end latency versus offered load.
+//
+// Arms:
+//   * cache on vs cache off at a 50% duplicate ratio — the cross-job
+//     result cache plus in-flight dedup should collapse the p50 of a
+//     duplicate-heavy stream (acceptance: >= 5x at 50% duplicates).
+//   * bounded admission (small queue + shed watermark) vs an effectively
+//     unbounded queue, both past the saturation knee — bounded keeps the
+//     p99 of *completed* jobs finite by converting excess offered load
+//     into kRejectedOverload instead of queueing time.
+//
+// Latency is reconstructed per ticket as queueWait + exec from JobStats
+// (for a coalesced waiter that sum is exactly submit -> fan-out), so the
+// measurement is independent of the order the bench harvests tickets in.
+// One cache hit per cached arm is oracle-checked against solveReference —
+// a cache serving wrong bytes fails the bench, including under --smoke.
+//
+// Prints a table + CSV and writes BENCH_serve_throughput.json next to the
+// binary.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/serve/service.hpp"
+#include "easyhps/trace/report.hpp"
+
+namespace {
+
+using namespace easyhps;
+
+struct BenchShape {
+  std::int64_t side = 120;     // problem edge length
+  int arrivals = 40;           // offered jobs per arm
+  int poolSize = 4;            // distinct contents duplicates draw from
+  std::int64_t partition = 60; // process partition edge
+};
+
+struct Arm {
+  std::string name;
+  bool cacheOn = true;
+  bool bounded = false;
+  double loadMult = 0.9;  // offered λ as a multiple of service rate
+  double dupRatio = 0.5;  // P(arrival repeats a pool content)
+};
+
+struct ArmResult {
+  Arm arm;
+  int offered = 0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t shed = 0;
+  std::int64_t cacheHits = 0;
+  std::int64_t coalesced = 0;
+  double p50Ms = 0.0;
+  double p99Ms = 0.0;
+  double meanMs = 0.0;
+  double elapsedSeconds = 0.0;
+};
+
+serve::ServiceConfig serviceConfig(const BenchShape& shape, const Arm& arm) {
+  serve::ServiceConfig cfg;
+  cfg.runtime.slaveCount = 2;
+  cfg.runtime.threadsPerSlave = 2;
+  cfg.runtime.processPartitionRows = cfg.runtime.processPartitionCols =
+      shape.partition;
+  cfg.runtime.threadPartitionRows = cfg.runtime.threadPartitionCols =
+      std::max<std::int64_t>(shape.partition / 5, 4);
+  cfg.cache.enabled = arm.cacheOn;
+  if (arm.bounded) {
+    cfg.maxQueueDepth = 8;
+    cfg.shedWatermark = 6;
+  } else {
+    cfg.maxQueueDepth = 100000;  // effectively unbounded
+  }
+  return cfg;
+}
+
+std::shared_ptr<EditDistance> makeProblem(std::int64_t side, int seed) {
+  return std::make_shared<EditDistance>(
+      randomSequence(side, seed), randomSequence(side, seed + 1));
+}
+
+/// Mean solo service time of one representative job, measured on a
+/// dedicated cache-less service: the yardstick offered load scales from.
+double calibrateServiceSeconds(const BenchShape& shape) {
+  Arm plain;
+  plain.cacheOn = false;
+  serve::Service service(serviceConfig(shape, plain));
+  double total = 0.0;
+  const int reps = 3;
+  for (int i = 0; i < reps; ++i) {
+    auto o = service.submit(makeProblem(shape.side, 77000 + 2 * i)).wait();
+    total += o->stats.execSeconds;
+  }
+  service.shutdown();
+  return total / reps;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[idx];
+}
+
+/// Drives one arm: Poisson arrivals at loadMult × the calibrated service
+/// rate, duplicate contents drawn from a fixed pool.  Returns latency
+/// percentiles over completed jobs plus the admission counters.
+ArmResult runArm(const BenchShape& shape, const Arm& arm,
+                 double serviceSeconds, std::uint64_t seed) {
+  serve::Service service(serviceConfig(shape, arm));
+  if (arm.dupRatio > 0.0) {
+    // Steady-state measurement: solve each pool content once up front, so
+    // the duplicate stream measures the warm cache (or, cache off, just a
+    // repeat execution) rather than the first-touch misses.
+    std::vector<serve::JobTicket> warm;
+    for (int k = 0; k < shape.poolSize; ++k) {
+      warm.push_back(service.submit(makeProblem(shape.side, 40000 + 2 * k)));
+    }
+    for (auto& t : warm) {
+      t.wait();
+    }
+  }
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> interarrival(
+      arm.loadMult / serviceSeconds);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> pick(0, shape.poolSize - 1);
+
+  struct Pending {
+    serve::JobTicket ticket;
+  };
+  std::vector<Pending> pending;
+  ArmResult r;
+  r.arm = arm;
+  r.offered = shape.arrivals;
+  int uniqueSeed = 50000;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < shape.arrivals; ++i) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interarrival(rng)));
+    const bool duplicate = coin(rng) < arm.dupRatio;
+    const int contentSeed =
+        duplicate ? 40000 + 2 * pick(rng) : (uniqueSeed += 2);
+    serve::Admission a =
+        service.trySubmit(makeProblem(shape.side, contentSeed));
+    if (a.accepted()) {
+      pending.push_back({*std::move(a.ticket)});
+    } else {
+      ++r.rejected;
+    }
+  }
+
+  std::vector<double> latenciesMs;
+  bool oracleChecked = false;
+  for (auto& p : pending) {
+    const auto o = p.ticket.wait();
+    if (o->state == serve::JobState::kDone) {
+      latenciesMs.push_back(
+          (o->stats.queueWaitSeconds + std::max(o->stats.execSeconds, 0.0)) *
+          1e3);
+      if (o->stats.cacheHit && !oracleChecked) {
+        // Oracle: the first cache hit must be bit-equal to the reference
+        // table of one of the pool contents (hits only ever serve those).
+        oracleChecked = true;
+        const auto matchesPoolContent = [&] {
+          for (int k = 0; k < shape.poolSize; ++k) {
+            const auto candidate = makeProblem(shape.side, 40000 + 2 * k);
+            const DenseMatrix<Score> ref = candidate->solveReference();
+            bool equal = true;
+            for (std::int64_t row = 0; row < candidate->rows() && equal;
+                 ++row) {
+              for (std::int64_t col = 0; col < candidate->cols(); ++col) {
+                if (o->matrix->get(row, col) != ref.at(row, col)) {
+                  equal = false;
+                  break;
+                }
+              }
+            }
+            if (equal) {
+              return true;
+            }
+          }
+          return false;
+        };
+        if (!matchesPoolContent()) {
+          std::cerr << "ORACLE FAILURE: cache hit matches no pool "
+                       "content's reference table\n";
+          std::exit(1);
+        }
+      }
+    } else if (o->failure.has_value() &&
+               o->failure->code == serve::FailureCode::kRejectedOverload) {
+      ++r.shed;
+    }
+  }
+  r.elapsedSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const serve::ServiceMetrics m = service.metrics();
+  // Completed counts measured tickets only (warmup solves are excluded).
+  r.completed = static_cast<std::int64_t>(latenciesMs.size());
+  r.cacheHits = m.cacheHits;
+  r.coalesced = m.dedupCoalesced;
+  r.p50Ms = percentile(latenciesMs, 0.50);
+  r.p99Ms = percentile(latenciesMs, 0.99);
+  for (double l : latenciesMs) {
+    r.meanMs += l;
+  }
+  if (!latenciesMs.empty()) {
+    r.meanMs /= static_cast<double>(latenciesMs.size());
+  }
+  service.shutdown();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchShape shape;
+  shape.arrivals = 61;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0 ||
+        std::strcmp(argv[i], "--quick") == 0) {
+      smoke = true;
+      shape.side = 48;
+      shape.partition = 24;
+      shape.arrivals = 12;
+      shape.poolSize = 2;
+    }
+  }
+
+  std::cout << trace::banner(
+      "serve — closed-loop Poisson traffic, cache & admission arms");
+  const double serviceSeconds = calibrateServiceSeconds(shape);
+  std::cout << "calibrated solo service time: " << serviceSeconds * 1e3
+            << " ms (editdist " << shape.side << "², pool "
+            << shape.poolSize << ", " << shape.arrivals
+            << " arrivals per arm)\n";
+
+  std::vector<Arm> arms;
+  const std::vector<double> loads =
+      smoke ? std::vector<double>{0.9} : std::vector<double>{0.5, 0.9, 1.5};
+  for (double load : loads) {
+    for (bool cacheOn : {false, true}) {
+      Arm a;
+      a.cacheOn = cacheOn;
+      a.loadMult = load;
+      a.dupRatio = 0.5;
+      a.name = std::string(cacheOn ? "cache" : "nocache") + "-load" +
+               trace::Table::num(load, 1);
+      arms.push_back(a);
+    }
+  }
+  // Saturation arms: same overload, bounded vs unbounded admission.
+  {
+    Arm bounded;
+    bounded.cacheOn = false;
+    bounded.bounded = true;
+    bounded.loadMult = smoke ? 2.0 : 1.5;
+    bounded.dupRatio = 0.0;
+    bounded.name = "bounded-sat";
+    arms.push_back(bounded);
+    Arm unbounded = bounded;
+    unbounded.bounded = false;
+    unbounded.name = "unbounded-sat";
+    arms.push_back(unbounded);
+  }
+
+  trace::Table table({"arm", "cache", "bounded", "load", "dup", "offered",
+                      "completed", "rejected", "shed", "hits", "coalesced",
+                      "p50_ms", "p99_ms", "mean_ms", "elapsed_s"});
+  double cacheP50 = -1.0, nocacheP50 = -1.0;
+  double boundedP99 = -1.0, unboundedP99 = -1.0;
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult r =
+        runArm(shape, arms[i], serviceSeconds, 4242 + 17 * i);
+    table.addRow({r.arm.name, r.arm.cacheOn ? "on" : "off",
+                  r.arm.bounded ? "yes" : "no",
+                  trace::Table::num(r.arm.loadMult, 1),
+                  trace::Table::num(r.arm.dupRatio, 2),
+                  trace::Table::num(static_cast<std::int64_t>(r.offered)),
+                  trace::Table::num(r.completed),
+                  trace::Table::num(r.rejected), trace::Table::num(r.shed),
+                  trace::Table::num(r.cacheHits),
+                  trace::Table::num(r.coalesced),
+                  trace::Table::num(r.p50Ms, 3),
+                  trace::Table::num(r.p99Ms, 3),
+                  trace::Table::num(r.meanMs, 3),
+                  trace::Table::num(r.elapsedSeconds, 2)});
+    if (r.arm.name == "bounded-sat") {
+      boundedP99 = r.p99Ms;
+    } else if (r.arm.name == "unbounded-sat") {
+      unboundedP99 = r.p99Ms;
+    } else if (r.arm.loadMult == loads.back()) {
+      (r.arm.cacheOn ? cacheP50 : nocacheP50) = r.p50Ms;
+    }
+  }
+
+  std::cout << table.render();
+  std::cout << "\nCSV:\n" << table.csv();
+  if (nocacheP50 > 0 && cacheP50 > 0) {
+    std::cout << "\np50 speedup from caching at 50% duplicates: "
+              << trace::Table::num(nocacheP50 / cacheP50, 1) << "x\n";
+  }
+  if (boundedP99 > 0 && unboundedP99 > 0) {
+    std::cout << "p99 past saturation: bounded "
+              << trace::Table::num(boundedP99, 1) << " ms vs unbounded "
+              << trace::Table::num(unboundedP99, 1)
+              << " ms (bounded sheds instead of queueing)\n";
+  }
+
+  std::ofstream json("BENCH_serve_throughput.json");
+  json << table.json();
+  std::cout << "\nwrote BENCH_serve_throughput.json\n";
+  return 0;
+}

@@ -13,7 +13,9 @@
 //     starving batch.
 //
 // Prints per-class mean dispatch position / queue wait / exec time plus a
-// CSV block, and writes BENCH_serve_throughput.json next to the binary.
+// CSV block, and writes BENCH_serve_policies.json next to the binary.
+// (BENCH_serve_throughput.json belongs to bench_serve_closedloop, the
+// latency-vs-offered-load bench.)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -162,8 +164,8 @@ int main(int argc, char** argv) {
   std::cout << table.render();
   std::cout << "\nCSV:\n" << table.csv();
 
-  std::ofstream json("BENCH_serve_throughput.json");
+  std::ofstream json("BENCH_serve_policies.json");
   json << table.json();
-  std::cout << "\nwrote BENCH_serve_throughput.json\n";
+  std::cout << "\nwrote BENCH_serve_policies.json\n";
   return 0;
 }

@@ -1,0 +1,27 @@
+#include "easyhps/cache/key.hpp"
+
+namespace easyhps::cache {
+
+std::optional<CacheKey> jobKey(const DpProblem& problem,
+                               const RuntimeConfig& cfg) {
+  util::Hasher h;
+  h.tag("easyhps.cache.v1");
+  if (!problem.fingerprint(h)) {
+    return std::nullopt;
+  }
+  // Partition-relevant config.  Partition sizes do not change cell values
+  // (the oracle suite proves that), but they do change which cells a
+  // sparse run materializes and how the assembled matrix is tiled, so two
+  // partitionings are kept as distinct cache entries rather than promised
+  // interchangeable.
+  h.tag("cfg");
+  h.value(cfg.processPartitionRows);
+  h.value(cfg.processPartitionCols);
+  h.value(cfg.threadPartitionRows);
+  h.value(cfg.threadPartitionCols);
+  h.value(cfg.sparseSlaveWindows);
+  h.value(cfg.dataPlane);
+  return h.digest();
+}
+
+}  // namespace easyhps::cache

@@ -1,0 +1,36 @@
+#pragma once
+/// \file key.hpp
+/// Content-addressed cache keys for completed DP jobs.
+///
+/// A key identifies *what table a job produces*: the problem's canonical
+/// fingerprint (kind tag + full input payload; DpProblem::fingerprint)
+/// plus the configuration fields that shape the result matrix.  Two
+/// submissions with equal keys are promised bit-identical tables, so a
+/// cached Window can stand in for a fresh solve.
+///
+/// Deliberately excluded from the key: scheduling policies, timeouts,
+/// liveness knobs, fault plans, message path, kernel path.  All of those
+/// change *how* the table is computed, never its cells — that invariance
+/// is exactly what the correctness suite (test_correctness, test_chaos)
+/// pins down, and the cache leans on it.  Fault-injecting submissions are
+/// kept out of the cache by the serve layer instead (they are about
+/// exercising failure paths, not producing tables).
+
+#include <optional>
+
+#include "easyhps/dp/problem.hpp"
+#include "easyhps/runtime/config.hpp"
+#include "easyhps/util/hash.hpp"
+
+namespace easyhps::cache {
+
+using CacheKey = util::HashDigest;
+using CacheKeyHasher = util::HashDigestHasher;
+
+/// Canonical key for running `problem` under `cfg`, or nullopt when the
+/// problem has no canonical form (DpProblem::fingerprint returned false)
+/// and is therefore uncacheable.
+std::optional<CacheKey> jobKey(const DpProblem& problem,
+                               const RuntimeConfig& cfg);
+
+}  // namespace easyhps::cache

@@ -1,0 +1,117 @@
+#include "easyhps/cache/result_cache.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace easyhps::cache {
+
+namespace {
+
+// EASYHPS_CACHE=off|0|false disables the result cache process-wide — the
+// acceptance escape hatch ("reproduces today's behavior exactly") and the
+// same idiom as EASYHPS_KERNEL_PATH / EASYHPS_MSG_PATH.
+bool initialCacheEnabled() {
+  const char* env = std::getenv("EASYHPS_CACHE");
+  if (env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+       std::strcmp(env, "false") == 0)) {
+    return false;
+  }
+  return true;
+}
+
+std::atomic<bool> g_cache_enabled{initialCacheEnabled()};
+
+// Fixed per-entry bookkeeping charge (map node, list node, control block)
+// so a budget of N small entries cannot balloon the index unbounded.
+constexpr std::int64_t kEntryOverheadBytes = 256;
+
+}  // namespace
+
+bool cacheEnabled() {
+  return g_cache_enabled.load(std::memory_order_relaxed);
+}
+
+void setCacheEnabled(bool enabled) {
+  g_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+ScopedCacheEnabled::ScopedCacheEnabled(bool enabled)
+    : previous_(cacheEnabled()) {
+  setCacheEnabled(enabled);
+}
+
+ScopedCacheEnabled::~ScopedCacheEnabled() { setCacheEnabled(previous_); }
+
+CachedResult::CachedResult(Window m, std::uint64_t checksum)
+    : matrix(std::move(m)),
+      tableChecksum(checksum),
+      bytes(matrix.box().cellCount() *
+                static_cast<std::int64_t>(sizeof(Score)) +
+            kEntryOverheadBytes) {}
+
+ResultCache::ResultCache(std::int64_t byteBudget)
+    : byteBudget_(byteBudget < 1 ? 1 : byteBudget) {}
+
+std::shared_ptr<const CachedResult> ResultCache::find(const CacheKey& key) {
+  if (!cacheEnabled()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump recency
+  ++stats_.hits;
+  return it->second->result;
+}
+
+std::shared_ptr<const CachedResult> ResultCache::insert(
+    const CacheKey& key, Window matrix, std::uint64_t tableChecksum) {
+  if (!cacheEnabled()) {
+    return nullptr;
+  }
+  auto result =
+      std::make_shared<const CachedResult>(std::move(matrix), tableChecksum);
+  if (result->bytes > byteBudget_) {
+    return nullptr;  // would evict everything and still not fit
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh: identical key ⇒ identical table, but replacing keeps the
+    // accounting simple and tolerates a checksum-bearing re-run.
+    stats_.bytes -= it->second->result->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    --stats_.entries;
+  }
+  lru_.push_front(Entry{key, result});
+  index_[key] = lru_.begin();
+  ++stats_.entries;
+  ++stats_.inserts;
+  stats_.bytes += result->bytes;
+  evictToBudgetLocked();
+  return result;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ResultCache::evictToBudgetLocked() {
+  while (stats_.bytes > byteBudget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.result->bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    --stats_.entries;
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace easyhps::cache

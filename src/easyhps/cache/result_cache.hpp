@@ -1,0 +1,111 @@
+#pragma once
+/// \file result_cache.hpp
+/// Content-addressed LRU cache of completed DP tables.
+///
+/// Maps a CacheKey (cache/key.hpp) to the finished whole-matrix Window of
+/// an earlier run.  Entries are immutable and shared by pointer: a hit
+/// hands back `shared_ptr<const CachedResult>` and callers copy the
+/// Window into their own outcome, so a hit never aliases mutable state
+/// across jobs.  Eviction is plain LRU over a byte budget — the cache
+/// holds *results* (one Window per distinct job), so recency is the right
+/// signal and per-entry cost is easy to account exactly.
+///
+/// Thread-safe; every public method takes the one internal mutex.  The
+/// serve layer calls it from the submit path and the master-loop
+/// completion path concurrently.
+///
+/// Global kill switch: `EASYHPS_CACHE=off` (or `0`/`false`) disables
+/// every lookup and insert process-wide without touching configs, the
+/// same escape-hatch idiom as EASYHPS_KERNEL_PATH / EASYHPS_MSG_PATH.
+/// `find`/`insert` honour it internally; `cacheEnabled()` exposes it so
+/// callers can skip key derivation too.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "easyhps/cache/key.hpp"
+#include "easyhps/dp/window.hpp"
+
+namespace easyhps::cache {
+
+/// Process-wide cache toggle: EASYHPS_CACHE env (read once) overridden by
+/// setCacheEnabled.  Defaults to enabled.
+bool cacheEnabled();
+/// Test/tooling override of the env toggle (mirrors setKernelPath).
+void setCacheEnabled(bool enabled);
+
+/// RAII scope for setCacheEnabled (tests).
+class ScopedCacheEnabled {
+ public:
+  explicit ScopedCacheEnabled(bool enabled);
+  ~ScopedCacheEnabled();
+  ScopedCacheEnabled(const ScopedCacheEnabled&) = delete;
+  ScopedCacheEnabled& operator=(const ScopedCacheEnabled&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// One completed table.  Immutable after construction.
+struct CachedResult {
+  Window matrix;
+  /// RunStats::tableChecksum of the producing run; propagated into
+  /// cache-hit stats so checksum consumers see the same value as a fresh
+  /// solve.
+  std::uint64_t tableChecksum = 0;
+  /// Bytes this entry charges against the budget (cells + bookkeeping).
+  std::int64_t bytes = 0;
+
+  CachedResult(Window m, std::uint64_t checksum);
+};
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t inserts = 0;
+    std::int64_t evictions = 0;
+    std::int64_t entries = 0;
+    std::int64_t bytes = 0;
+  };
+
+  /// `byteBudget` must be >= 1 (validate() upstream enforces it; the
+  /// constructor clamps defensively).  An entry larger than the whole
+  /// budget is never admitted.
+  explicit ResultCache(std::int64_t byteBudget);
+
+  /// Hit: bumps recency and returns the shared entry.  Miss (or cache
+  /// disabled): nullptr.
+  std::shared_ptr<const CachedResult> find(const CacheKey& key);
+
+  /// Inserts (or refreshes) `key`, then evicts LRU entries until the
+  /// budget holds.  Returns the stored entry, or nullptr when the cache
+  /// is disabled or the entry alone exceeds the budget.
+  std::shared_ptr<const CachedResult> insert(const CacheKey& key,
+                                             Window matrix,
+                                             std::uint64_t tableChecksum);
+
+  Stats stats() const;
+  std::int64_t byteBudget() const { return byteBudget_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const CachedResult> result;
+  };
+  using LruList = std::list<Entry>;
+
+  void evictToBudgetLocked();
+
+  const std::int64_t byteBudget_;
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recent
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHasher> index_;
+  Stats stats_;
+};
+
+}  // namespace easyhps::cache

@@ -126,4 +126,11 @@ Score EditDistance::distanceFrom(const Window& solved) const {
   return solved.get(rows() - 1, cols() - 1);
 }
 
+bool EditDistance::fingerprint(util::Hasher& h) const {
+  h.tag("edit-distance");
+  h.str(a_);
+  h.str(b_);
+  return true;
+}
+
 }  // namespace easyhps

@@ -36,6 +36,7 @@ class EditDistance final : public DpProblem {
   void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
       override;
   DenseMatrix<Score> solveReference() const override;
+  bool fingerprint(util::Hasher& h) const override;
 
   /// The answer: distance between the two full strings.
   Score distanceFrom(const Window& solved) const;

@@ -161,4 +161,15 @@ std::vector<std::int64_t> Knapsack::chosenItems(const Window& solved) const {
   return chosen;
 }
 
+bool Knapsack::fingerprint(util::Hasher& h) const {
+  h.tag("knapsack");
+  h.value<std::uint64_t>(items_.size());
+  for (const Item& it : items_) {
+    h.value(it.weight);
+    h.value(it.value);
+  }
+  h.value(capacity_);
+  return true;
+}
+
 }  // namespace easyhps

@@ -50,6 +50,7 @@ class Knapsack final : public DpProblem {
   void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
       override;
   DenseMatrix<Score> solveReference() const override;
+  bool fingerprint(util::Hasher& h) const override;
 
   /// Optimal total value at full capacity.
   Score bestValue(const Window& solved) const;

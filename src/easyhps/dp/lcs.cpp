@@ -136,4 +136,11 @@ std::string LongestCommonSubsequence::subsequence(const Window& solved) const {
   return out;
 }
 
+bool LongestCommonSubsequence::fingerprint(util::Hasher& h) const {
+  h.tag("lcs");
+  h.str(a_);
+  h.str(b_);
+  return true;
+}
+
 }  // namespace easyhps

@@ -34,6 +34,7 @@ class LongestCommonSubsequence final : public DpProblem {
   void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
       override;
   DenseMatrix<Score> solveReference() const override;
+  bool fingerprint(util::Hasher& h) const override;
 
   /// LCS length of the full strings.
   Score length(const Window& solved) const;

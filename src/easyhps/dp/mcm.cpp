@@ -200,4 +200,10 @@ std::string MatrixChain::parenthesization(const Window& solved) const {
   return build(0, n_ - 1);
 }
 
+bool MatrixChain::fingerprint(util::Hasher& h) const {
+  h.tag("matrix-chain");
+  h.vec(dims_);
+  return true;
+}
+
 }  // namespace easyhps

@@ -148,4 +148,14 @@ std::pair<std::string, std::string> NeedlemanWunsch::alignment(
   return {top, bottom};
 }
 
+bool NeedlemanWunsch::fingerprint(util::Hasher& h) const {
+  h.tag("needleman-wunsch");
+  h.str(a_);
+  h.str(b_);
+  h.value(params_.match);
+  h.value(params_.mismatch);
+  h.value(params_.gap);
+  return true;
+}
+
 }  // namespace easyhps

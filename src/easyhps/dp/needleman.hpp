@@ -44,6 +44,7 @@ class NeedlemanWunsch final : public DpProblem {
   void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
       override;
   DenseMatrix<Score> solveReference() const override;
+  bool fingerprint(util::Hasher& h) const override;
 
   /// Global alignment score of the full strings.
   Score score(const Window& solved) const;

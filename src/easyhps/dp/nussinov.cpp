@@ -257,4 +257,10 @@ std::string Nussinov::dotBracket(
   return s;
 }
 
+bool Nussinov::fingerprint(util::Hasher& h) const {
+  h.tag("nussinov");
+  h.str(rna_);
+  return true;
+}
+
 }  // namespace easyhps

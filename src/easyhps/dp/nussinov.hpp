@@ -51,6 +51,7 @@ class Nussinov final : public DpProblem {
   void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
       override;
   DenseMatrix<Score> solveReference() const override;
+  bool fingerprint(util::Hasher& h) const override;
 
   /// Per-cell work is Θ(j - i) (the split scan); summed over active cells.
   double blockOps(const CellRect& rect) const override;

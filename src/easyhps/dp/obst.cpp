@@ -195,4 +195,10 @@ Score OptimalBst::bestCost(const Window& solved) const {
   return solved.get(0, n_ - 1);
 }
 
+bool OptimalBst::fingerprint(util::Hasher& h) const {
+  h.tag("optimal-bst");
+  h.vec(freqs_);
+  return true;
+}
+
 }  // namespace easyhps

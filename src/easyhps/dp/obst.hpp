@@ -45,6 +45,7 @@ class OptimalBst final : public DpProblem {
   void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
       override;
   DenseMatrix<Score> solveReference() const override;
+  bool fingerprint(util::Hasher& h) const override;
   double blockOps(const CellRect& rect) const override;
 
   /// Total weighted search cost of the optimal tree over all keys.

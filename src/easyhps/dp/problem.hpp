@@ -24,6 +24,7 @@
 #include "easyhps/dp/sparse_window.hpp"
 #include "easyhps/dp/window.hpp"
 #include "easyhps/matrix/dense.hpp"
+#include "easyhps/util/hash.hpp"
 
 namespace easyhps {
 
@@ -102,6 +103,19 @@ class DpProblem {
   /// Abstract operation count for `rect` (simulator cost model).
   virtual double blockOps(const CellRect& rect) const {
     return static_cast<double>(rect.cellCount());
+  }
+
+  /// Folds a canonical description of this *instance* — a problem-kind tag
+  /// plus the full input payload — into `h`, and returns true.  Two
+  /// instances that fold the same stream are promised to solve to
+  /// bit-identical tables; that promise is what the result cache
+  /// (easyhps::cache) is addressed by.  Returns false when the instance
+  /// has no canonical form (closures, user-defined problems): such
+  /// problems are simply uncacheable, never mis-cached.  The default is
+  /// uncacheable, so custom DpProblems opt *in* to caching.
+  virtual bool fingerprint(util::Hasher& h) const {
+    (void)h;
+    return false;
   }
 
   /// Boundary function bound to this problem (for constructing Windows).

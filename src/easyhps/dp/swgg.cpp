@@ -22,6 +22,7 @@ SmithWatermanGeneralGap::SmithWatermanGeneralGap(std::string a, std::string b,
   EASYHPS_EXPECTS(!a_.empty() && !b_.empty());
   if (!params_.gap) {
     params_.gap = affineGap(2, 1);
+    defaultGap_ = true;
   }
 }
 
@@ -235,6 +236,18 @@ Score SmithWatermanGeneralGap::bestScore(const Window& solved) const {
     }
   }
   return best;
+}
+
+bool SmithWatermanGeneralGap::fingerprint(util::Hasher& h) const {
+  if (!defaultGap_) {
+    return false;  // user-supplied GapFn: opaque closure, uncacheable
+  }
+  h.tag("swgg.affine-2-1");
+  h.str(a_);
+  h.str(b_);
+  h.value(params_.match);
+  h.value(params_.mismatch);
+  return true;
 }
 
 }  // namespace easyhps

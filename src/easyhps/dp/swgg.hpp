@@ -60,6 +60,7 @@ class SmithWatermanGeneralGap final : public DpProblem {
   void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
       override;
   DenseMatrix<Score> solveReference() const override;
+  bool fingerprint(util::Hasher& h) const override;
 
   /// Per-cell work is Θ(i + j) (two linear scans), so block cost is the
   /// sum of (i + j + 2) over the rectangle — closed form.
@@ -86,6 +87,10 @@ class SmithWatermanGeneralGap final : public DpProblem {
   std::string a_;
   std::string b_;
   Params params_;
+  /// True iff the gap function was left null and defaulted to affineGap(2,
+  /// 1).  A user-supplied GapFn is an opaque closure with no canonical
+  /// form, so only default-gap instances are fingerprintable (cacheable).
+  bool defaultGap_ = false;
 };
 
 }  // namespace easyhps

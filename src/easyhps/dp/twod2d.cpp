@@ -214,4 +214,12 @@ double TwoDTwoD::blockOps(const CellRect& rect) const {
                                                        rect.cols);
 }
 
+bool TwoDTwoD::fingerprint(util::Hasher& h) const {
+  h.tag("2d2d");
+  h.value(n_);
+  h.value(seed_);
+  h.value(max_weight_);
+  return true;
+}
+
 }  // namespace easyhps

@@ -39,6 +39,7 @@ class TwoDTwoD final : public DpProblem {
   void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
       override;
   DenseMatrix<Score> solveReference() const override;
+  bool fingerprint(util::Hasher& h) const override;
 
   /// Per-cell work is Θ(i·j): the whole dominated rectangle is scanned.
   double blockOps(const CellRect& rect) const override;

@@ -196,4 +196,12 @@ std::vector<std::int64_t> Viterbi::bestPath(const Window& solved) const {
   return path;
 }
 
+bool Viterbi::fingerprint(util::Hasher& h) const {
+  h.tag("viterbi");
+  h.value(steps_);
+  h.value(states_);
+  h.value(seed_);
+  return true;
+}
+
 }  // namespace easyhps

@@ -55,6 +55,7 @@ class Viterbi final : public DpProblem {
   void computeBlockSparse(SparseWindow& w, const CellRect& rect) const
       override;
   DenseMatrix<Score> solveReference() const override;
+  bool fingerprint(util::Hasher& h) const override;
 
   /// Per-cell work is Θ(states).
   double blockOps(const CellRect& rect) const override;

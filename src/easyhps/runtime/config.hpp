@@ -111,6 +111,11 @@ struct RuntimeConfig {
 
 struct RunStats {
   double elapsedSeconds = 0.0;
+
+  /// True when Runtime::run answered from an attached ResultCache instead
+  /// of executing the cluster; all message/task counters are then zero.
+  bool servedFromCache = false;
+
   std::uint64_t messages = 0;  ///< substrate messages (incl. collectives)
   std::uint64_t bytes = 0;
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "easyhps/cache/result_cache.hpp"
 #include "easyhps/msg/cluster.hpp"
 #include "easyhps/runtime/master.hpp"
 #include "easyhps/runtime/slave.hpp"
@@ -126,6 +127,25 @@ Runtime::Runtime(RuntimeConfig cfg) : cfg_(std::move(cfg)) {
 
 RunResult Runtime::run(const DpProblem& problem) const {
   cfg_.validate();  // cfg_ is immutable, but run() is the documented gate
+
+  // Cross-run result cache (attachCache).  Cacheable iff the problem has
+  // a canonical fingerprint, the run is fault-free (fault configs exist
+  // to exercise failure paths), and the full matrix is assembled (a
+  // boundary-only matrix is not the product the cache promises).
+  std::optional<cache::CacheKey> cacheKey;
+  if (cache_ && cache::cacheEnabled() && cfg_.faults.empty() &&
+      cfg_.chaosSeed == 0 && cfg_.assembleFullMatrix) {
+    cacheKey = cache::jobKey(problem, cfg_);
+    if (cacheKey) {
+      if (auto hit = cache_->find(*cacheKey)) {
+        RunResult cached{hit->matrix, RunStats{}};
+        cached.stats.servedFromCache = true;
+        cached.stats.tableChecksum = hit->tableChecksum;
+        return cached;
+      }
+    }
+  }
+
   RunResult result{
       Window(CellRect{0, 0, problem.rows(), problem.cols()},
              problem.boundaryFn()),
@@ -157,6 +177,9 @@ RunResult Runtime::run(const DpProblem& problem) const {
   result.stats.messages = report.messages;
   result.stats.bytes = report.bytes;
   result.stats.faultsTriggered = plan.triggered();
+  if (cacheKey) {
+    cache_->insert(*cacheKey, result.matrix, result.stats.tableChecksum);
+  }
   return result;
 }
 

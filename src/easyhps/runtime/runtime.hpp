@@ -20,10 +20,16 @@
 /// two-level master/slave schedule and returns the solved matrix plus run
 /// statistics.
 
+#include <memory>
+
 #include "easyhps/dp/problem.hpp"
 #include "easyhps/runtime/config.hpp"
 
 namespace easyhps {
+
+namespace cache {
+class ResultCache;
+}  // namespace cache
 
 struct RunResult {
   Window matrix;   ///< whole-matrix window with every active cell computed
@@ -39,10 +45,22 @@ class Runtime {
   /// cfg.faults are recovered, not thrown.
   RunResult run(const DpProblem& problem) const;
 
+  /// Attaches a cross-run result cache: `run` answers from it when the
+  /// problem is fingerprintable (DpProblem::fingerprint) and inserts the
+  /// assembled matrix on success.  Only fault-free configs participate —
+  /// a config with injected faults exists to exercise failure paths, so
+  /// it always executes.  Pass nullptr to detach.  The serve layer keeps
+  /// its own cache (service.hpp); this hook serves one-shot runs (soaks,
+  /// examples, repeated CLI invocations within one process).
+  void attachCache(std::shared_ptr<cache::ResultCache> cache) {
+    cache_ = std::move(cache);
+  }
+
   const RuntimeConfig& config() const { return cfg_; }
 
  private:
   RuntimeConfig cfg_;
+  std::shared_ptr<cache::ResultCache> cache_;
 };
 
 }  // namespace easyhps

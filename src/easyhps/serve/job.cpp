@@ -20,6 +20,28 @@ const char* jobStateName(JobState s) {
   return "?";
 }
 
+const char* jobClassName(JobClass c) {
+  switch (c) {
+    case JobClass::kInteractive:
+      return "interactive";
+    case JobClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+const char* failureCodeName(FailureCode c) {
+  switch (c) {
+    case FailureCode::kExecutionFailed:
+      return "execution-failed";
+    case FailureCode::kRejectedOverload:
+      return "rejected-overload";
+    case FailureCode::kServiceFailed:
+      return "service-failed";
+  }
+  return "?";
+}
+
 void JobRecord::finish(std::shared_ptr<const JobOutcome> o) {
   EASYHPS_EXPECTS(o != nullptr);
   {

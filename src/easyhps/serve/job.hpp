@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "easyhps/cache/key.hpp"
 #include "easyhps/dp/problem.hpp"
 #include "easyhps/fault/plan.hpp"
 #include "easyhps/runtime/config.hpp"
@@ -38,6 +39,18 @@ enum class JobState {
 };
 
 const char* jobStateName(JobState s);
+
+/// Request class for SLO-aware admission and scheduling.  Interactive
+/// jobs are latency-sensitive (a user is waiting); batch jobs are
+/// throughput work.  The kDeadlineUtility scheduler prefers interactive
+/// among deadline-less jobs, and admission can cap each class separately
+/// (ServiceConfig::maxInteractiveDepth / maxBatchDepth).
+enum class JobClass {
+  kInteractive,
+  kBatch,
+};
+
+const char* jobClassName(JobClass c);
 
 /// Per-job submission options.
 struct JobOptions {
@@ -63,6 +76,13 @@ struct JobOptions {
   /// Base delay before a retry is dispatched again; doubles per attempt
   /// (exponential backoff: retry k waits retryBackoff * 2^(k-1)).
   std::chrono::milliseconds retryBackoff{10};
+  /// Request class (admission caps + kDeadlineUtility tie-breaking).
+  JobClass jobClass = JobClass::kBatch;
+  /// Soft SLO deadline, measured from submit.  Must be positive when set.
+  /// kDeadlineUtility orders runnable jobs by slack against it; the
+  /// service counts `deadline_misses` for jobs finishing past it.  Soft:
+  /// a missed deadline never cancels the job.
+  std::optional<std::chrono::milliseconds> softDeadline;
 };
 
 /// Service-level timing around one job, alongside the runtime's RunStats.
@@ -75,8 +95,24 @@ struct JobStats {
   /// never ran.  Completion order is timing-dependent, dispatch order is
   /// exactly what the inter-job scheduler decided — benches assert on it.
   std::int64_t dispatchSeq = -1;
+  /// Served from the result cache: no cluster execution, `run` counters
+  /// are zero except tableChecksum.
+  bool cacheHit = false;
+  /// Coalesced onto an in-flight identical submission (dedup follower).
+  bool coalesced = false;
+  /// Finished past the job's soft deadline (JobOptions::softDeadline).
+  bool missedDeadline = false;
   RunStats run;  ///< per-job runtime statistics
 };
+
+/// Machine-readable cause attached to a terminal kFailed outcome.
+enum class FailureCode {
+  kExecutionFailed,    ///< the run itself failed (all attempts exhausted)
+  kRejectedOverload,   ///< shed by admission control under load
+  kServiceFailed,      ///< the cluster/service died under the job
+};
+
+const char* failureCodeName(FailureCode c);
 
 /// Structured failure report attached to a terminal kFailed outcome.
 struct JobFailure {
@@ -85,6 +121,10 @@ struct JobFailure {
   std::string reason;
   /// Dispatch attempts consumed (0 = the job never reached the cluster).
   int attempts = 0;
+  FailureCode code = FailureCode::kExecutionFailed;
+  /// Backpressure hint for kRejectedOverload: resubmitting sooner than
+  /// this is unlikely to be admitted.  Zero otherwise.
+  std::chrono::milliseconds retryAfter{0};
 };
 
 /// Immutable snapshot published when a job reaches a terminal state.
@@ -112,6 +152,20 @@ struct JobRecord {
   /// Scheduler cost estimate (DpProblem::blockOps over the whole matrix).
   double estimatedOps = 0.0;
   std::chrono::steady_clock::time_point submitted;
+  /// Absolute soft deadline (submitted + options.softDeadline) when set.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Content-addressed identity when the job is cacheable (fingerprintable
+  /// problem, fault-free options); drives cache insert + in-flight dedup.
+  std::optional<cache::CacheKey> cacheKey;
+  /// Internal executor record of a dedup group: owned by the service, runs
+  /// through the queue, but is never ticket-backed and never finish()ed —
+  /// its outcome fans out to the group's waiter records instead.
+  bool isExec = false;
+  /// Ticket-backed member of a dedup group (the leader's own ticket and
+  /// every coalesced follower).  Never enters the queue; cancel detaches
+  /// it from the group instead of going through the queue.
+  bool coalesceWaiter = false;
 
   std::atomic<JobState> state{JobState::kQueued};
   std::atomic<bool> cancelRequested{false};

@@ -5,29 +5,68 @@
 namespace easyhps::serve {
 
 JobQueue::JobQueue(std::unique_ptr<JobScheduler> scheduler,
-                   std::size_t maxDepth)
-    : scheduler_(std::move(scheduler)), maxDepth_(maxDepth) {
+                   QueueLimits limits)
+    : scheduler_(std::move(scheduler)), limits_(limits) {
   EASYHPS_EXPECTS(scheduler_ != nullptr);
-  EASYHPS_EXPECTS(maxDepth_ >= 1);
+  EASYHPS_EXPECTS(limits_.maxDepth >= 1);
 }
 
-std::optional<std::string> JobQueue::offer(std::shared_ptr<JobRecord> job) {
+JobQueue::Offer JobQueue::offer(std::shared_ptr<JobRecord> job) {
   EASYHPS_EXPECTS(job != nullptr);
   EASYHPS_EXPECTS(job->state.load() == JobState::kQueued);
+  Offer result;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) {
-      return closeReason_;
+      result.reason = closeReason_;
+      return result;
     }
-    if (depth_ >= maxDepth_) {
-      return "queue full (depth " + std::to_string(depth_) + "/" +
-             std::to_string(maxDepth_) + ")";
+    if (depth_ >= limits_.maxDepth) {
+      result.overloaded = true;
+      result.reason = "queue full (depth " + std::to_string(depth_) + "/" +
+                      std::to_string(limits_.maxDepth) + ")";
+      return result;
+    }
+    const JobClass cls = job->options.jobClass;
+    if (cls == JobClass::kInteractive && limits_.maxInteractive > 0 &&
+        interactiveDepth_ >= limits_.maxInteractive) {
+      result.overloaded = true;
+      result.reason = "interactive class full (depth " +
+                      std::to_string(interactiveDepth_) + "/" +
+                      std::to_string(limits_.maxInteractive) + ")";
+      return result;
+    }
+    if (cls == JobClass::kBatch && limits_.maxBatch > 0 &&
+        batchDepth_ >= limits_.maxBatch) {
+      result.overloaded = true;
+      result.reason = "batch class full (depth " +
+                      std::to_string(batchDepth_) + "/" +
+                      std::to_string(limits_.maxBatch) + ")";
+      return result;
     }
     ++depth_;
+    (cls == JobClass::kInteractive ? interactiveDepth_ : batchDepth_)++;
     scheduler_->enqueue(std::move(job));
+    result.admitted = true;
+    // Watermark shedding: push out the least valuable queued jobs until
+    // the depth is back at the watermark.  Victims are flipped to kFailed
+    // here (same lock as the cancel CAS, so the transition cannot race);
+    // the caller publishes their kRejectedOverload outcomes lock-free.
+    while (limits_.shedWatermark > 0 && depth_ > limits_.shedWatermark) {
+      std::shared_ptr<JobRecord> victim = scheduler_->shed();
+      if (victim == nullptr) {
+        break;  // depth_ counts records the scheduler already dropped
+      }
+      JobState expected = JobState::kQueued;
+      const bool ok = victim->state.compare_exchange_strong(
+          expected, JobState::kFailed, std::memory_order_acq_rel);
+      EASYHPS_ENSURES(ok);  // shed() only returns still-queued records
+      releaseSlotLocked(*victim);
+      result.shed.push_back(std::move(victim));
+    }
   }
   cv_.notify_all();
-  return std::nullopt;
+  return result;
 }
 
 std::shared_ptr<JobRecord> JobQueue::take() {
@@ -36,8 +75,7 @@ std::shared_ptr<JobRecord> JobQueue::take() {
     // The scheduler silently drops cancelled records, so poll it rather
     // than trusting a counter.
     if (std::shared_ptr<JobRecord> job = scheduler_->pick()) {
-      EASYHPS_EXPECTS(depth_ >= 1);
-      --depth_;
+      releaseSlotLocked(*job);
       JobState expected = JobState::kQueued;
       // The cancelled check in pick() and this transition are both under
       // the queue lock, so the CAS cannot lose to cancelQueued.
@@ -62,8 +100,7 @@ bool JobQueue::cancelQueued(JobRecord& job) {
   }
   // The record stays inside the scheduler; pick() drops it later.  Its
   // admission slot frees now, though, so a full queue accepts again.
-  EASYHPS_EXPECTS(depth_ >= 1);
-  --depth_;
+  releaseSlotLocked(job);
   return true;
 }
 
@@ -83,8 +120,7 @@ std::vector<std::shared_ptr<JobRecord>> JobQueue::drainRemaining() {
   std::vector<std::shared_ptr<JobRecord>> drained;
   std::lock_guard<std::mutex> lock(mutex_);
   while (std::shared_ptr<JobRecord> job = scheduler_->pick()) {
-    EASYHPS_EXPECTS(depth_ >= 1);
-    --depth_;
+    releaseSlotLocked(*job);
     JobState expected = JobState::kQueued;
     job->state.compare_exchange_strong(expected, JobState::kCancelled,
                                        std::memory_order_acq_rel);
@@ -96,6 +132,16 @@ std::vector<std::shared_ptr<JobRecord>> JobQueue::drainRemaining() {
 std::size_t JobQueue::depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return scheduler_->size();
+}
+
+void JobQueue::releaseSlotLocked(const JobRecord& job) {
+  EASYHPS_EXPECTS(depth_ >= 1);
+  --depth_;
+  auto& classDepth = job.options.jobClass == JobClass::kInteractive
+                         ? interactiveDepth_
+                         : batchDepth_;
+  EASYHPS_EXPECTS(classDepth >= 1);
+  --classDepth;
 }
 
 }  // namespace easyhps::serve

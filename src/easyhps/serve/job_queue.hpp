@@ -25,14 +25,43 @@
 
 namespace easyhps::serve {
 
+/// Admission bounds (ServiceConfig mirrors these; see its field docs).
+struct QueueLimits {
+  /// Hard bound on queued (undispatched) jobs.
+  std::size_t maxDepth = 64;
+  /// Per-class bounds; 0 = only maxDepth applies to that class.
+  std::int64_t maxInteractive = 0;
+  std::int64_t maxBatch = 0;
+  /// Load-shedding watermark: after an admission pushes the depth past
+  /// it, the scheduler's least-valuable queued jobs are shed (turned
+  /// kFailed with kRejectedOverload) until the depth is back at the
+  /// watermark.  0 = off.  Shedding keeps *latency* bounded under
+  /// sustained overload where the hard bound alone only keeps *memory*
+  /// bounded: the queue stays short, so admitted jobs still meet their
+  /// deadlines, at the price of failing the least valuable ones fast.
+  std::size_t shedWatermark = 0;
+};
+
 class JobQueue {
  public:
-  /// `maxDepth` bounds the number of queued (undispatched) jobs.
-  JobQueue(std::unique_ptr<JobScheduler> scheduler, std::size_t maxDepth);
+  /// Admission verdict.  Exactly one of `admitted` / non-empty `reason`
+  /// holds; `overloaded` distinguishes capacity rejections (retryable,
+  /// backpressure) from closed/stopping ones.  `shed` holds watermark
+  /// victims — already transitioned kQueued → kFailed — whose outcomes
+  /// the *caller* publishes outside the queue lock (the admitted job
+  /// itself may be among them if it was instantly the least valuable).
+  struct Offer {
+    bool admitted = false;
+    bool overloaded = false;
+    std::string reason;
+    std::vector<std::shared_ptr<JobRecord>> shed;
+  };
 
-  /// Admission check + enqueue.  Returns nullopt on success, otherwise the
-  /// rejection reason.  The job must be in state kQueued.
-  std::optional<std::string> offer(std::shared_ptr<JobRecord> job);
+  JobQueue(std::unique_ptr<JobScheduler> scheduler, QueueLimits limits);
+
+  /// Admission check + enqueue + watermark shedding.  The job must be in
+  /// state kQueued.
+  Offer offer(std::shared_ptr<JobRecord> job);
 
   /// Blocks for the next job per the scheduling policy; transitions it
   /// kQueued → kRunning.  Returns nullptr once the queue is closed *and*
@@ -57,11 +86,16 @@ class JobQueue {
   std::size_t depth() const;
 
  private:
+  /// Frees the admission slot(s) `job` holds (total + its class).
+  void releaseSlotLocked(const JobRecord& job);
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::unique_ptr<JobScheduler> scheduler_;
-  const std::size_t maxDepth_;
+  const QueueLimits limits_;
   std::size_t depth_ = 0;  ///< admission slots in use
+  std::int64_t interactiveDepth_ = 0;
+  std::int64_t batchDepth_ = 0;
   bool closed_ = false;
   std::string closeReason_;
 };

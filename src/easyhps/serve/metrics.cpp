@@ -8,7 +8,8 @@ trace::Table metricsTable(const ServiceMetrics& m) {
                   "mean_ttfb_s", "jobs_per_s", "messages", "master_mb",
                   "p2p_mb", "zc_msgs", "zc_mb", "retries", "requeues",
                   "own_inval", "quarantines", "hb_misses", "faults",
-                  "job_retries"});
+                  "job_retries", "cache_hits", "cache_bytes", "coalesced",
+                  "shed_jobs", "deadline_misses"});
   t.addRow({m.policy, trace::Table::num(m.accepted),
             trace::Table::num(m.rejected), trace::Table::num(m.completed),
             trace::Table::num(m.cancelled), trace::Table::num(m.failed),
@@ -28,7 +29,11 @@ trace::Table metricsTable(const ServiceMetrics& m) {
             trace::Table::num(m.quarantines),
             trace::Table::num(m.heartbeatMisses),
             trace::Table::num(m.faultsTriggered),
-            trace::Table::num(m.jobRetries)});
+            trace::Table::num(m.jobRetries), trace::Table::num(m.cacheHits),
+            trace::Table::num(m.cacheBytes),
+            trace::Table::num(m.dedupCoalesced),
+            trace::Table::num(m.shedJobs),
+            trace::Table::num(m.deadlineMisses)});
   return t;
 }
 

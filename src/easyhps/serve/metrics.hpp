@@ -62,6 +62,23 @@ struct ServiceMetrics {
   /// machinery (distinct from the runtime's per-task `retries`).
   std::int64_t jobRetries = 0;
 
+  // Result cache, dedup and SLO counters (see DESIGN.md, "Serve-layer
+  // caching, admission & SLOs").  All zero with the cache disabled and no
+  // deadlines/watermark configured.
+  std::int64_t cacheHits = 0;    ///< submissions served from the cache
+  std::int64_t cacheMisses = 0;  ///< cacheable submissions that executed
+  std::int64_t cacheBytes = 0;   ///< bytes resident in the cache now
+  std::int64_t cacheEntries = 0;
+  std::int64_t cacheEvictions = 0;
+  /// Submissions coalesced onto an in-flight identical execution.
+  std::int64_t dedupCoalesced = 0;
+  /// Jobs shed past the admission watermark (failed kRejectedOverload
+  /// after admission; submit-time capacity rejections count as
+  /// `rejected`).
+  std::int64_t shedJobs = 0;
+  /// Jobs that finished past their soft deadline.
+  std::int64_t deadlineMisses = 0;
+
   double meanQueueWaitSeconds() const {
     const std::int64_t n = completed + cancelled + failed;
     return n > 0 ? totalQueueWaitSeconds / static_cast<double>(n) : 0.0;

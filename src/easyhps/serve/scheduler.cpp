@@ -40,6 +40,18 @@ class FifoScheduler final : public JobScheduler {
                       [](const auto& j) { return stillQueued(*j); }));
   }
 
+  std::shared_ptr<JobRecord> shed() override {
+    // Newest admission is the least valuable under FIFO semantics.
+    while (!queue_.empty()) {
+      std::shared_ptr<JobRecord> job = std::move(queue_.back());
+      queue_.pop_back();
+      if (stillQueued(*job)) {
+        return job;
+      }
+    }
+    return nullptr;
+  }
+
  private:
   std::deque<std::shared_ptr<JobRecord>> queue_;
 };
@@ -79,6 +91,28 @@ class PriorityScheduler final : public JobScheduler {
     return static_cast<std::size_t>(
         std::count_if(queue_.begin(), queue_.end(),
                       [](const auto& j) { return stillQueued(*j); }));
+  }
+
+  std::shared_ptr<JobRecord> shed() override {
+    for (;;) {
+      auto worst = queue_.end();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (worst == queue_.end() ||
+            (*it)->options.priority < (*worst)->options.priority ||
+            ((*it)->options.priority == (*worst)->options.priority &&
+             (*it)->seq > (*worst)->seq)) {
+          worst = it;
+        }
+      }
+      if (worst == queue_.end()) {
+        return nullptr;
+      }
+      std::shared_ptr<JobRecord> job = std::move(*worst);
+      queue_.erase(worst);
+      if (stillQueued(*job)) {
+        return job;
+      }
+    }
   }
 
  private:
@@ -143,9 +177,109 @@ class FairShareScheduler final : public JobScheduler {
                       [](const auto& j) { return stillQueued(*j); }));
   }
 
+  std::shared_ptr<JobRecord> shed() override {
+    // Least valuable = the key furthest ahead of its fair share (highest
+    // pass), newest submission within that key.  Shedding is never
+    // charged to the share — the job did not run.
+    for (;;) {
+      auto worst = queue_.end();
+      double worstPass = 0.0;
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        const double p = pass_.at((*it)->shareKey());
+        if (worst == queue_.end() || p > worstPass ||
+            (p == worstPass && (*it)->seq > (*worst)->seq)) {
+          worst = it;
+          worstPass = p;
+        }
+      }
+      if (worst == queue_.end()) {
+        return nullptr;
+      }
+      std::shared_ptr<JobRecord> job = std::move(*worst);
+      queue_.erase(worst);
+      if (stillQueued(*job)) {
+        return job;
+      }
+    }
+  }
+
  private:
   std::vector<std::shared_ptr<JobRecord>> queue_;
   std::unordered_map<std::string, double> pass_;
+};
+
+/// SLO-aware ordering by deadline slack and class utility.  Jobs with a
+/// soft deadline run first, most urgent (earliest absolute deadline)
+/// first — with one cluster and no preemption, least-slack-first is EDF,
+/// which minimizes the worst lateness of the queued set.  Deadline-less
+/// jobs follow: interactive before batch, then shortest estimated work
+/// (SJF keeps mean latency low when nothing is urgent), then admission
+/// order.
+class DeadlineUtilityScheduler final : public JobScheduler {
+ public:
+  const char* name() const override { return "deadline-utility"; }
+
+  void enqueue(std::shared_ptr<JobRecord> job) override {
+    queue_.push_back(std::move(job));
+  }
+
+  std::shared_ptr<JobRecord> pick() override {
+    return extract(/*worstFirst=*/false);
+  }
+
+  std::shared_ptr<JobRecord> shed() override {
+    return extract(/*worstFirst=*/true);
+  }
+
+  std::size_t size() const override {
+    return static_cast<std::size_t>(
+        std::count_if(queue_.begin(), queue_.end(),
+                      [](const auto& j) { return stillQueued(*j); }));
+  }
+
+ private:
+  /// True when `a` should dispatch before `b`.
+  static bool runsBefore(const JobRecord& a, const JobRecord& b) {
+    if (a.deadline.has_value() != b.deadline.has_value()) {
+      return a.deadline.has_value();
+    }
+    if (a.deadline.has_value()) {
+      if (*a.deadline != *b.deadline) {
+        return *a.deadline < *b.deadline;
+      }
+      return a.seq < b.seq;
+    }
+    if (a.options.jobClass != b.options.jobClass) {
+      return a.options.jobClass == JobClass::kInteractive;
+    }
+    if (a.estimatedOps != b.estimatedOps) {
+      return a.estimatedOps < b.estimatedOps;
+    }
+    return a.seq < b.seq;
+  }
+
+  std::shared_ptr<JobRecord> extract(bool worstFirst) {
+    for (;;) {
+      auto best = queue_.end();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (best == queue_.end() ||
+            (worstFirst ? runsBefore(**best, **it)
+                        : runsBefore(**it, **best))) {
+          best = it;
+        }
+      }
+      if (best == queue_.end()) {
+        return nullptr;
+      }
+      std::shared_ptr<JobRecord> job = std::move(*best);
+      queue_.erase(best);
+      if (stillQueued(*job)) {
+        return job;
+      }
+    }
+  }
+
+  std::vector<std::shared_ptr<JobRecord>> queue_;
 };
 
 }  // namespace
@@ -158,6 +292,8 @@ const char* jobSchedPolicyName(JobSchedPolicy p) {
       return "priority";
     case JobSchedPolicy::kFairShare:
       return "fair-share";
+    case JobSchedPolicy::kDeadlineUtility:
+      return "deadline-utility";
   }
   return "?";
 }
@@ -170,6 +306,8 @@ std::unique_ptr<JobScheduler> makeJobScheduler(JobSchedPolicy policy) {
       return std::make_unique<PriorityScheduler>();
     case JobSchedPolicy::kFairShare:
       return std::make_unique<FairShareScheduler>();
+    case JobSchedPolicy::kDeadlineUtility:
+      return std::make_unique<DeadlineUtilityScheduler>();
   }
   throw LogicError("unknown job scheduling policy");
 }

@@ -30,6 +30,10 @@ enum class JobSchedPolicy {
   kFifo,
   kPriority,
   kFairShare,
+  /// SLO-aware ordering: jobs with a soft deadline run by least slack
+  /// (most urgent first); deadline-less jobs follow, interactive before
+  /// batch, shortest estimated work first within a class.
+  kDeadlineUtility,
 };
 
 const char* jobSchedPolicyName(JobSchedPolicy p);
@@ -52,6 +56,11 @@ class JobScheduler {
 
   /// Queued (still dispatchable) jobs currently held.
   virtual std::size_t size() const = 0;
+
+  /// Removes and returns the *least* valuable queued job — the one pick()
+  /// would dispatch last — for load shedding past the admission
+  /// watermark.  nullptr if nothing is queued.
+  virtual std::shared_ptr<JobRecord> shed() = 0;
 };
 
 std::unique_ptr<JobScheduler> makeJobScheduler(JobSchedPolicy policy);

@@ -1,5 +1,6 @@
 #include "easyhps/serve/service.hpp"
 
+#include <algorithm>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -13,20 +14,67 @@
 #include "easyhps/util/log.hpp"
 
 namespace easyhps::serve {
+
+void ServiceConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw LogicError("invalid ServiceConfig: " + what);
+  };
+  runtime.validate();
+  if (maxQueueDepth < 1) {
+    fail("maxQueueDepth must be >= 1");
+  }
+  if (maxInteractiveDepth < 0) {
+    fail("maxInteractiveDepth must be >= 0 (0 = uncapped)");
+  }
+  if (maxBatchDepth < 0) {
+    fail("maxBatchDepth must be >= 0 (0 = uncapped)");
+  }
+  if (retryAfterHint.count() < 0) {
+    fail("retryAfterHint must be non-negative");
+  }
+  if (cache.byteBudget < 1) {
+    fail("cache.byteBudget must be >= 1");
+  }
+}
+
 namespace detail {
 
 /// The service engine.  Owns the job queue and the cluster thread;
 /// implements JobFeed for the master rank and SlaveJobDirectory for the
 /// slave ranks.  Kept alive by the Service *and* every outstanding
 /// JobTicket, so tickets stay valid after the Service is destroyed.
+///
+/// Caching & dedup (DESIGN.md, "Serve-layer caching, admission & SLOs"):
+/// a cacheable submission (fingerprintable problem, no per-job faults,
+/// full-matrix assembly) first consults the ResultCache — a hit publishes
+/// the ticket's outcome immediately, without touching the queue.  On a
+/// miss with dedup enabled, identical concurrent submissions coalesce:
+/// one internal *exec* record (JobRecord::isExec, never ticket-backed)
+/// runs through the queue, and every ticket becomes a *waiter* whose
+/// outcome is fanned out when the exec finishes.  Cancelling a waiter
+/// detaches only that ticket; the exec is cancelled only when its last
+/// waiter detaches.
 class ServiceCore final : public JobFeed, public SlaveJobDirectory {
  public:
+  /// trySubmit verdict (the Service maps it onto Admission).
+  struct CoreAdmission {
+    std::shared_ptr<JobRecord> rec;
+    std::string reason;
+    bool overloaded = false;
+    std::chrono::milliseconds retryAfter{0};
+  };
+
   explicit ServiceCore(ServiceConfig cfg)
-      : cfg_(std::move(cfg)),
-        queue_(makeJobScheduler(cfg_.policy), cfg_.maxQueueDepth) {
-    cfg_.runtime.validate();
-    EASYHPS_EXPECTS(cfg_.maxQueueDepth >= 1);
-  }
+      : cfg_(validated(std::move(cfg))),
+        cache_(cfg_.cache.enabled
+                   ? (cfg_.sharedCache != nullptr
+                          ? cfg_.sharedCache
+                          : std::make_shared<cache::ResultCache>(
+                                cfg_.cache.byteBudget))
+                   : nullptr),
+        queue_(makeJobScheduler(cfg_.policy),
+               QueueLimits{cfg_.maxQueueDepth, cfg_.maxInteractiveDepth,
+                           cfg_.maxBatchDepth, cfg_.shedWatermark}) {}
 
   ~ServiceCore() override {
     try {
@@ -59,24 +107,24 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     });
   }
 
-  std::pair<std::shared_ptr<JobRecord>, std::string> trySubmit(
-      std::shared_ptr<const DpProblem> problem, JobOptions options) {
+  CoreAdmission trySubmit(std::shared_ptr<const DpProblem> problem,
+                          JobOptions options) {
     EASYHPS_EXPECTS(problem != nullptr);
     EASYHPS_EXPECTS(options.weight > 0.0);
 
     if (options.maxAttempts < 1) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++rejected_;
-      return {nullptr, "maxAttempts must be >= 1"};
+      return rejectOptions("maxAttempts must be >= 1");
+    }
+    if (options.softDeadline.has_value() &&
+        options.softDeadline->count() <= 0) {
+      return rejectOptions("softDeadline must be positive");
     }
     for (const fault::FaultSpec& spec : options.faults) {
       if (spec.kind == fault::FaultKind::kSlaveDeath &&
           !(cfg_.runtime.enableLiveness && cfg_.runtime.enableFaultTolerance)) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++rejected_;
-        return {nullptr,
-                "kSlaveDeath faults require enableLiveness and "
-                "enableFaultTolerance in the runtime config"};
+        return rejectOptions(
+            "kSlaveDeath faults require enableLiveness and "
+            "enableFaultTolerance in the runtime config");
       }
     }
 
@@ -104,19 +152,52 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
         CellRect{0, 0, problem->rows(), problem->cols()});
     rec->problem = std::move(problem);
     rec->submitted = std::chrono::steady_clock::now();
-
-    if (auto rejection = queue_.offer(rec)) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++rejected_;
-      return {nullptr, *rejection};
+    if (rec->options.softDeadline.has_value()) {
+      rec->deadline = rec->submitted + *rec->options.softDeadline;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++accepted_;
-    ++activeJobs_;
+
+    // Content identity: only fault-free submissions of fingerprintable
+    // problems, and only when the run assembles the full matrix (a
+    // boundary-only result is not what the cache promises).  Fault
+    // injectors exist to exercise failure paths — they always execute.
+    if (cache_ != nullptr && cache::cacheEnabled() &&
+        rec->options.faults.empty() && rec->options.chaosSeed == 0 &&
+        cfg_.runtime.assembleFullMatrix) {
+      rec->cacheKey = cache::jobKey(*rec->problem, cfg_.runtime);
+    }
+
+    if (rec->cacheKey.has_value()) {
+      if (auto hit = cache_->find(*rec->cacheKey)) {
+        return admitCacheHit(std::move(rec), std::move(hit));
+      }
+      if (cfg_.cache.dedupInFlight) {
+        return admitDedup(std::move(rec));
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++cacheMisses_;
+    }
+
+    JobQueue::Offer off = queue_.offer(rec);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!off.admitted) {
+        ++rejected_;
+      } else {
+        ++accepted_;
+        ++activeJobs_;
+      }
+    }
+    publishShedVictims(off.shed);
+    if (!off.admitted) {
+      return rejection(std::move(off));
+    }
     return {std::move(rec), ""};
   }
 
   bool cancel(const std::shared_ptr<JobRecord>& rec) {
+    if (rec->coalesceWaiter) {
+      return cancelWaiter(rec);
+    }
     if (queue_.cancelQueued(*rec)) {
       // Cancelled before dispatch: the job never reaches the cluster, so
       // the service publishes the outcome itself.
@@ -162,6 +243,10 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   }
 
   ServiceMetrics metrics() const {
+    cache::ResultCache::Stats cs;
+    if (cache_ != nullptr) {
+      cs = cache_->stats();
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     ServiceMetrics m;
     m.policy = jobSchedPolicyName(cfg_.policy);
@@ -191,10 +276,20 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     m.heartbeatMisses = heartbeatMisses_;
     m.faultsTriggered = faultsTriggered_;
     m.jobRetries = jobRetries_;
+    m.cacheHits = cacheHits_;
+    m.cacheMisses = cacheMisses_;
+    m.cacheBytes = cs.bytes;
+    m.cacheEntries = cs.entries;
+    m.cacheEvictions = cs.evictions;
+    m.dedupCoalesced = dedupCoalesced_;
+    m.shedJobs = shedJobs_;
+    m.deadlineMisses = deadlineMisses_;
     return m;
   }
 
   const ServiceConfig& config() const { return cfg_; }
+
+  std::shared_ptr<cache::ResultCache> resultCache() const { return cache_; }
 
   // --- JobFeed (called from the master rank's thread) -------------------
 
@@ -226,7 +321,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
 
   void jobFinished(JobId id, MasterJobOutcome mo) override {
     std::shared_ptr<JobRecord> rec;
-    auto o = std::make_shared<JobOutcome>();
+    std::vector<std::shared_ptr<JobRecord>> shedVictims;
+    bool requeued = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       rec = std::move(running_);
@@ -234,47 +330,64 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
       EASYHPS_EXPECTS(rec != nullptr && rec->id == id);
       directory_.erase(id);
 
-      if (mo.failed) {
+      if (mo.failed && rec->attempts < rec->options.maxAttempts &&
+          rec->cancelRequested.load(std::memory_order_acquire) == false) {
+        // Exponential backoff: attempt k (1-based) failed → wait
+        // retryBackoff * 2^(k-1) before dispatching attempt k+1.
         rec->matrix.reset();
-        if (rec->attempts < rec->options.maxAttempts &&
-            rec->cancelRequested.load(std::memory_order_acquire) == false) {
-          // Exponential backoff: attempt k (1-based) failed → wait
-          // retryBackoff * 2^(k-1) before dispatching attempt k+1.
-          rec->notBefore =
-              std::chrono::steady_clock::now() +
-              rec->options.retryBackoff * (std::int64_t{1}
-                                           << (rec->attempts - 1));
-          rec->state.store(JobState::kQueued, std::memory_order_release);
-          ++jobRetries_;
-          EASYHPS_LOG_WARN("serve: job " << id << " attempt "
-                                         << rec->attempts << " failed ("
-                                         << mo.failureReason
-                                         << "); re-queueing");
-          if (!queue_.offer(rec)) {
-            return;  // re-admitted; a later jobFinished settles the ticket
-          }
-          // Queue closed while the job was in flight: fall through to the
-          // terminal failure below.
+        rec->notBefore =
+            std::chrono::steady_clock::now() +
+            rec->options.retryBackoff * (std::int64_t{1}
+                                         << (rec->attempts - 1));
+        rec->state.store(JobState::kQueued, std::memory_order_release);
+        ++jobRetries_;
+        EASYHPS_LOG_WARN("serve: job " << id << " attempt " << rec->attempts
+                                       << " failed (" << mo.failureReason
+                                       << "); re-queueing");
+        JobQueue::Offer off = queue_.offer(rec);
+        if (off.admitted) {
+          requeued = true;  // a later jobFinished settles the ticket(s)
+          shedVictims = std::move(off.shed);
+        } else {
+          // Queue closed while the job was in flight: terminal below.
           rec->state.store(JobState::kRunning, std::memory_order_release);
         }
-        o->state = JobState::kFailed;
-        o->stats = rec->stats;
-        o->stats.run = mo.stats;
-        o->stats.run.faultsTriggered = rec->plan->triggered();
-        o->error = mo.failureReason;
-        o->failure = JobFailure{mo.failureReason, rec->attempts};
-      } else {
-        o->state = mo.cancelled ? JobState::kCancelled : JobState::kDone;
-        o->stats = rec->stats;
-        o->stats.execSeconds = mo.stats.elapsedSeconds;
-        o->stats.timeToFirstBlockSeconds = mo.timeToFirstBlockSeconds;
-        o->stats.run = mo.stats;
-        o->stats.run.faultsTriggered = rec->plan->triggered();
-        if (!mo.cancelled) {
-          o->matrix = std::move(rec->matrix);
-        }
-        rec->matrix.reset();
       }
+    }
+    if (requeued) {
+      publishShedVictims(shedVictims);
+      return;
+    }
+
+    if (rec->isExec) {
+      finishExec(rec, std::move(mo));
+      return;
+    }
+
+    auto o = std::make_shared<JobOutcome>();
+    if (mo.failed) {
+      rec->matrix.reset();
+      o->state = JobState::kFailed;
+      o->stats = rec->stats;
+      o->stats.run = mo.stats;
+      o->stats.run.faultsTriggered = rec->plan->triggered();
+      o->error = mo.failureReason;
+      o->failure = JobFailure{mo.failureReason, rec->attempts};
+    } else {
+      o->state = mo.cancelled ? JobState::kCancelled : JobState::kDone;
+      o->stats = rec->stats;
+      o->stats.execSeconds = mo.stats.elapsedSeconds;
+      o->stats.timeToFirstBlockSeconds = mo.timeToFirstBlockSeconds;
+      o->stats.run = mo.stats;
+      o->stats.run.faultsTriggered = rec->plan->triggered();
+      if (!mo.cancelled) {
+        o->matrix = std::move(rec->matrix);
+        if (rec->cacheKey.has_value() && cache_ != nullptr) {
+          cache_->insert(*rec->cacheKey, *o->matrix,
+                         o->stats.run.tableChecksum);
+        }
+      }
+      rec->matrix.reset();
     }
     finishAndAccount(rec, std::move(o));
   }
@@ -290,15 +403,248 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   }
 
  private:
+  /// One coalesced execution: the queued/running exec record plus every
+  /// ticket waiting on its result.  Guarded by mutex_.
+  struct InflightEntry {
+    std::shared_ptr<JobRecord> exec;
+    std::vector<std::shared_ptr<JobRecord>> waiters;
+  };
+
+  static ServiceConfig validated(ServiceConfig cfg) {
+    cfg.validate();
+    return cfg;
+  }
+
   double sinceSeconds(std::chrono::steady_clock::time_point t) const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          t)
         .count();
   }
 
+  CoreAdmission rejectOptions(std::string reason) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_;
+    return {nullptr, std::move(reason)};
+  }
+
+  CoreAdmission rejection(JobQueue::Offer off) {
+    CoreAdmission a{nullptr, std::move(off.reason), off.overloaded, {}};
+    if (a.overloaded) {
+      a.retryAfter = cfg_.retryAfterHint;
+    }
+    return a;
+  }
+
+  /// Cache hit: the ticket's outcome is published right here — the job
+  /// never touches the queue or the cluster.  Drain/stop still gate it:
+  /// "rejected from the moment drain begins" holds for hits too.
+  CoreAdmission admitCacheHit(
+      std::shared_ptr<JobRecord> rec,
+      std::shared_ptr<const cache::CachedResult> hit) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (draining_ || stopped_) {
+        ++rejected_;
+        return {nullptr, "service draining"};
+      }
+      ++accepted_;
+      ++activeJobs_;
+      ++cacheHits_;
+    }
+    auto o = std::make_shared<JobOutcome>();
+    o->state = JobState::kDone;
+    o->matrix = hit->matrix;  // copy; the cached entry stays immutable
+    o->stats = rec->stats;
+    o->stats.cacheHit = true;
+    o->stats.run.servedFromCache = true;
+    o->stats.run.tableChecksum = hit->tableChecksum;
+    finishAndAccount(rec, std::move(o));
+    return {std::move(rec), ""};
+  }
+
+  /// Cache miss with dedup: attach to the in-flight group for this key,
+  /// or become its leader by queueing an internal exec record.
+  CoreAdmission admitDedup(std::shared_ptr<JobRecord> rec) {
+    rec->coalesceWaiter = true;
+    std::shared_ptr<JobRecord> exec;
+    JobQueue::Offer off;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_ || draining_) {
+        ++rejected_;
+        return {nullptr, "service draining"};
+      }
+      auto it = inflight_.find(*rec->cacheKey);
+      if (it != inflight_.end()) {
+        rec->stats.coalesced = true;
+        it->second.waiters.push_back(rec);
+        ++accepted_;
+        ++activeJobs_;
+        ++dedupCoalesced_;
+        return {std::move(rec), ""};
+      }
+      // Leader: build the exec record.  It shares the problem/options but
+      // is owned by the service — no ticket, not counted in activeJobs_.
+      exec = std::make_shared<JobRecord>();
+      exec->id = nextId_++;
+      exec->seq = nextSeq_++;
+      exec->options = rec->options;
+      exec->options.name += "#exec";
+      exec->plan = rec->plan;  // empty fault plan (cacheable ⇒ fault-free)
+      exec->problem = rec->problem;
+      exec->estimatedOps = rec->estimatedOps;
+      exec->submitted = rec->submitted;
+      exec->deadline = rec->deadline;
+      exec->cacheKey = rec->cacheKey;
+      exec->isExec = true;
+      off = queue_.offer(exec);
+      if (off.admitted) {
+        inflight_[*rec->cacheKey] = InflightEntry{exec, {rec}};
+        ++accepted_;
+        ++activeJobs_;
+        ++cacheMisses_;
+      } else {
+        ++rejected_;
+      }
+    }
+    publishShedVictims(off.shed);
+    if (!off.admitted) {
+      return rejection(std::move(off));
+    }
+    return {std::move(rec), ""};
+  }
+
+  /// Ticket cancel of a dedup waiter: detaches only that ticket.  The
+  /// shared exec keeps running for the remaining waiters; only the last
+  /// detaching waiter takes the exec down with it.
+  bool cancelWaiter(const std::shared_ptr<JobRecord>& rec) {
+    std::shared_ptr<JobRecord> execToCancel;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = inflight_.find(*rec->cacheKey);
+      if (it == inflight_.end()) {
+        return false;  // exec already finished; outcome is being fanned
+      }
+      auto& waiters = it->second.waiters;
+      auto pos = std::find(waiters.begin(), waiters.end(), rec);
+      if (pos == waiters.end()) {
+        return false;  // already detached
+      }
+      waiters.erase(pos);
+      if (waiters.empty()) {
+        execToCancel = it->second.exec;
+        inflight_.erase(it);
+      }
+    }
+    auto o = std::make_shared<JobOutcome>();
+    o->state = JobState::kCancelled;
+    o->stats = rec->stats;
+    o->stats.queueWaitSeconds = sinceSeconds(rec->submitted);
+    finishAndAccount(rec, std::move(o));
+    if (execToCancel != nullptr) {
+      // Nobody is waiting anymore.  A queued exec just disappears (no
+      // ticket to settle); a running one stops at the next block
+      // boundary, and finishExec finds no waiters to fan out to.
+      if (!queue_.cancelQueued(*execToCancel)) {
+        execToCancel->cancelRequested.store(true, std::memory_order_release);
+      }
+    }
+    return true;
+  }
+
+  /// Terminal outcome of an exec record: detach the in-flight group and
+  /// fan the result out to every waiter.  The exec itself has no ticket
+  /// and is never finish()ed.
+  void finishExec(const std::shared_ptr<JobRecord>& rec,
+                  MasterJobOutcome mo) {
+    std::vector<std::shared_ptr<JobRecord>> waiters;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = inflight_.find(*rec->cacheKey);
+      if (it != inflight_.end() && it->second.exec == rec) {
+        waiters = std::move(it->second.waiters);
+        inflight_.erase(it);
+      }
+    }
+
+    std::optional<Window> matrix;
+    if (!mo.failed && !mo.cancelled) {
+      matrix = std::move(rec->matrix);
+      if (matrix.has_value() && cache_ != nullptr) {
+        cache_->insert(*rec->cacheKey, *matrix, mo.stats.tableChecksum);
+      }
+    }
+    rec->matrix.reset();
+
+    for (std::size_t i = 0; i < waiters.size(); ++i) {
+      const auto& w = waiters[i];
+      auto o = std::make_shared<JobOutcome>();
+      o->stats = w->stats;  // keeps the per-waiter coalesced flag
+      o->stats.execSeconds = mo.stats.elapsedSeconds;
+      o->stats.timeToFirstBlockSeconds = mo.timeToFirstBlockSeconds;
+      o->stats.dispatchSeq = rec->stats.dispatchSeq;
+      o->stats.queueWaitSeconds = std::max(
+          0.0, sinceSeconds(w->submitted) - mo.stats.elapsedSeconds);
+      o->stats.run = mo.stats;
+      if (mo.failed) {
+        o->state = JobState::kFailed;
+        o->error = mo.failureReason;
+        o->failure = JobFailure{mo.failureReason, rec->attempts};
+      } else if (mo.cancelled) {
+        o->state = JobState::kCancelled;
+      } else {
+        o->state = JobState::kDone;
+        o->matrix = matrix;  // per-ticket copy of the solved table
+      }
+      // The run executed once: its substrate counters roll into the
+      // service totals once, through the first waiter only.
+      finishAndAccount(w, std::move(o), /*accountRun=*/i == 0);
+    }
+  }
+
+  /// Publishes kRejectedOverload outcomes for watermark-shed records.
+  /// Exec victims fan the rejection out to their whole dedup group.
+  void publishShedVictims(
+      const std::vector<std::shared_ptr<JobRecord>>& victims) {
+    for (const auto& victim : victims) {
+      std::vector<std::shared_ptr<JobRecord>> tickets;
+      if (victim->isExec) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = inflight_.find(*victim->cacheKey);
+        if (it != inflight_.end() && it->second.exec == victim) {
+          tickets = std::move(it->second.waiters);
+          inflight_.erase(it);
+        }
+      } else {
+        tickets.push_back(victim);
+      }
+      for (const auto& rec : tickets) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++shedJobs_;
+        }
+        auto o = std::make_shared<JobOutcome>();
+        o->state = JobState::kFailed;
+        o->stats = rec->stats;
+        o->stats.queueWaitSeconds = sinceSeconds(rec->submitted);
+        o->error = "shed under overload (queue past watermark)";
+        o->failure = JobFailure{o->error, 0, FailureCode::kRejectedOverload,
+                                cfg_.retryAfterHint};
+        finishAndAccount(rec, std::move(o));
+      }
+    }
+  }
+
   /// Publishes a terminal outcome and rolls it into the service counters.
+  /// `accountRun` gates the per-run substrate counters so a fanned-out
+  /// dedup group charges its one execution exactly once.
   void finishAndAccount(const std::shared_ptr<JobRecord>& rec,
-                        std::shared_ptr<JobOutcome> o) {
+                        std::shared_ptr<JobOutcome> o,
+                        bool accountRun = true) {
+    if (rec->deadline.has_value() && o->state != JobState::kCancelled &&
+        std::chrono::steady_clock::now() > *rec->deadline) {
+      o->stats.missedDeadline = true;
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       switch (o->state) {
@@ -311,6 +657,9 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
         default:
           ++failed_;
       }
+      if (o->stats.missedDeadline) {
+        ++deadlineMisses_;
+      }
       totalQueueWait_ += o->stats.queueWaitSeconds;
       maxQueueWait_ = std::max(maxQueueWait_, o->stats.queueWaitSeconds);
       totalExec_ += o->stats.execSeconds;
@@ -318,18 +667,20 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
         totalTtfb_ += o->stats.timeToFirstBlockSeconds;
         ++ttfbSamples_;
       }
-      messages_ += o->stats.run.messages;
-      bytes_ += o->stats.run.bytes;
-      bytesViaMaster_ += o->stats.run.bytesViaMaster;
-      bytesPeerToPeer_ += o->stats.run.bytesPeerToPeer;
-      copiesAvoided_ += o->stats.run.copiesAvoided;
-      zeroCopyBytes_ += o->stats.run.zeroCopyBytes;
-      retries_ += o->stats.run.retries;
-      subTaskRequeues_ += o->stats.run.subTaskRequeues;
-      ownershipInvalidations_ += o->stats.run.ownershipInvalidations;
-      quarantines_ += o->stats.run.quarantines;
-      heartbeatMisses_ += o->stats.run.heartbeatMisses;
-      faultsTriggered_ += o->stats.run.faultsTriggered;
+      if (accountRun) {
+        messages_ += o->stats.run.messages;
+        bytes_ += o->stats.run.bytes;
+        bytesViaMaster_ += o->stats.run.bytesViaMaster;
+        bytesPeerToPeer_ += o->stats.run.bytesPeerToPeer;
+        copiesAvoided_ += o->stats.run.copiesAvoided;
+        zeroCopyBytes_ += o->stats.run.zeroCopyBytes;
+        retries_ += o->stats.run.retries;
+        subTaskRequeues_ += o->stats.run.subTaskRequeues;
+        ownershipInvalidations_ += o->stats.run.ownershipInvalidations;
+        quarantines_ += o->stats.run.quarantines;
+        heartbeatMisses_ += o->stats.run.heartbeatMisses;
+        faultsTriggered_ += o->stats.run.faultsTriggered;
+      }
       EASYHPS_EXPECTS(activeJobs_ >= 1);
       --activeJobs_;
     }
@@ -351,22 +702,35 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
         toFail.push_back(std::move(running_));
         running_.reset();
       }
+      // Dedup groups: every waiter fails with the service; the exec
+      // records themselves (ticketless) are dropped.
+      for (auto& [key, entry] : inflight_) {
+        for (auto& w : entry.waiters) {
+          toFail.push_back(std::move(w));
+        }
+      }
+      inflight_.clear();
     }
     queue_.close("service failed: " + reason);
     for (auto& rec : queue_.drainRemaining()) {
       toFail.push_back(std::move(rec));
     }
     for (const auto& rec : toFail) {
+      if (rec->isExec) {
+        continue;  // no ticket; its waiters were collected above
+      }
       auto o = std::make_shared<JobOutcome>();
       o->state = JobState::kFailed;
       o->stats = rec->stats;
       o->error = reason;
-      o->failure = JobFailure{reason, rec->attempts};
+      o->failure = JobFailure{reason, rec->attempts,
+                              FailureCode::kServiceFailed};
       finishAndAccount(rec, std::move(o));
     }
   }
 
   ServiceConfig cfg_;
+  std::shared_ptr<cache::ResultCache> cache_;
   JobQueue queue_;
   std::thread cluster_;
   Stopwatch uptime_;
@@ -374,6 +738,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::unordered_map<JobId, std::shared_ptr<JobRecord>> directory_;
+  std::unordered_map<cache::CacheKey, InflightEntry, cache::CacheKeyHasher>
+      inflight_;
   std::shared_ptr<JobRecord> running_;
   JobId nextId_ = 1;
   std::int64_t nextSeq_ = 0;
@@ -406,6 +772,11 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   std::int64_t heartbeatMisses_ = 0;
   std::int64_t faultsTriggered_ = 0;
   std::int64_t jobRetries_ = 0;
+  std::int64_t cacheHits_ = 0;
+  std::int64_t cacheMisses_ = 0;
+  std::int64_t dedupCoalesced_ = 0;
+  std::int64_t shedJobs_ = 0;
+  std::int64_t deadlineMisses_ = 0;
 };
 
 }  // namespace detail
@@ -452,12 +823,12 @@ Service::~Service() {
 
 Admission Service::trySubmit(std::shared_ptr<const DpProblem> problem,
                              JobOptions options) {
-  auto [rec, reason] = core_->trySubmit(std::move(problem),
-                                        std::move(options));
-  if (rec == nullptr) {
-    return Admission{std::nullopt, std::move(reason)};
+  auto a = core_->trySubmit(std::move(problem), std::move(options));
+  if (a.rec == nullptr) {
+    return Admission{std::nullopt, std::move(a.reason), a.overloaded,
+                     a.retryAfter};
   }
-  return Admission{JobTicket(core_, std::move(rec)), ""};
+  return Admission{JobTicket(core_, std::move(a.rec)), "", false, {}};
 }
 
 JobTicket Service::submit(std::shared_ptr<const DpProblem> problem,
@@ -476,5 +847,9 @@ void Service::shutdown() { core_->shutdown(); }
 ServiceMetrics Service::metrics() const { return core_->metrics(); }
 
 const ServiceConfig& Service::config() const { return core_->config(); }
+
+std::shared_ptr<cache::ResultCache> Service::resultCache() const {
+  return core_->resultCache();
+}
 
 }  // namespace easyhps::serve

@@ -32,6 +32,7 @@
 #include <optional>
 #include <string>
 
+#include "easyhps/cache/result_cache.hpp"
 #include "easyhps/serve/job.hpp"
 #include "easyhps/serve/metrics.hpp"
 #include "easyhps/serve/scheduler.hpp"
@@ -44,6 +45,19 @@ class ServiceCore;
 }
 
 struct ServiceConfig {
+  /// Result-cache knobs.  The cache is keyed by content (cache/key.hpp):
+  /// only fingerprintable problems submitted without per-job faults
+  /// participate, and only when `runtime.assembleFullMatrix` is on.  The
+  /// process-wide EASYHPS_CACHE=off escape hatch overrides `enabled`.
+  struct CacheConfig {
+    bool enabled = true;
+    /// LRU byte budget of the result cache (>= 1).
+    std::int64_t byteBudget = 256LL << 20;
+    /// Coalesce identical concurrent submissions onto one execution whose
+    /// result fans out to every ticket.
+    bool dedupInFlight = true;
+  };
+
   /// Cluster shape + per-job runtime knobs.  `runtime.faults` is ignored;
   /// faults are per-job (JobOptions::faults).
   RuntimeConfig runtime;
@@ -51,6 +65,25 @@ struct ServiceConfig {
   JobSchedPolicy policy = JobSchedPolicy::kFifo;
   /// Admission bound on queued (undispatched) jobs.
   std::size_t maxQueueDepth = 64;
+  /// Per-class admission bounds (0 = only maxQueueDepth applies).  A full
+  /// class rejects with `Admission::overloaded` without starving the
+  /// other class's slots.
+  std::int64_t maxInteractiveDepth = 0;
+  std::int64_t maxBatchDepth = 0;
+  /// Load-shedding watermark (0 = off); see QueueLimits::shedWatermark.
+  std::size_t shedWatermark = 0;
+  /// Retry-after hint attached to overload rejections and shed outcomes.
+  std::chrono::milliseconds retryAfterHint{25};
+
+  CacheConfig cache;
+  /// Share one ResultCache across services (A/B arms of a bench, a
+  /// Runtime and a Service).  When null the service builds its own from
+  /// `cache.byteBudget`.
+  std::shared_ptr<cache::ResultCache> sharedCache;
+
+  /// Rejects degenerate configurations with the offending field named
+  /// (util LogicError); also validates `runtime`.  Called by Service.
+  void validate() const;
 };
 
 /// Thrown by Service::submit when admission refuses the job.
@@ -91,6 +124,11 @@ class JobTicket {
 struct Admission {
   std::optional<JobTicket> ticket;
   std::string reason;  ///< set when rejected
+  /// The rejection was backpressure (queue or class at capacity) rather
+  /// than a closed service or invalid options; retrying after
+  /// `retryAfter` may succeed.
+  bool overloaded = false;
+  std::chrono::milliseconds retryAfter{0};
 
   bool accepted() const { return ticket.has_value(); }
 };
@@ -125,6 +163,9 @@ class Service {
 
   /// Consistent snapshot of the service-level counters.
   ServiceMetrics metrics() const;
+
+  /// The service's result cache; nullptr when caching is disabled.
+  std::shared_ptr<cache::ResultCache> resultCache() const;
 
   const ServiceConfig& config() const;
 

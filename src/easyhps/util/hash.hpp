@@ -1,0 +1,123 @@
+#pragma once
+/// \file hash.hpp
+/// Streaming canonical hashing for content-addressed keys.
+///
+/// `Hasher` folds a typed byte stream into a 128-bit digest: two
+/// independent 64-bit FNV-1a lanes over the same stream, seeded with
+/// different offset bases.  128 bits makes accidental collisions between
+/// distinct cache keys a non-concern at any realistic cache size, while
+/// the per-byte cost stays two multiplies — the keys hashed here (DP
+/// problem payloads) are kilobytes, not gigabytes.
+///
+/// Canonicality rules (what makes two streams equal):
+///  * every variable-length field is length-prefixed (`str`, `vec`), so
+///    concatenation ambiguity ("ab"+"c" vs "a"+"bc") cannot alias;
+///  * integers are folded by value through a fixed 8-byte little-endian
+///    form, never by in-memory representation, so the digest is identical
+///    across platforms and integer widths;
+///  * callers open each record with `tag` (a domain-separation literal),
+///    so streams of different kinds never collide by construction.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace easyhps::util {
+
+/// 128-bit hash value; usable as a map key.
+struct HashDigest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const HashDigest&, const HashDigest&) = default;
+
+  /// Short hex form for logs ("1f3a…"); not reversible, just displayable.
+  std::string hex() const {
+    static const char* d = "0123456789abcdef";
+    std::string out;
+    out.reserve(32);
+    for (const std::uint64_t word : {hi, lo}) {
+      for (int shift = 60; shift >= 0; shift -= 4) {
+        out.push_back(d[(word >> shift) & 0xF]);
+      }
+    }
+    return out;
+  }
+};
+
+/// std::hash adapter so HashDigest keys drop into unordered_map.
+struct HashDigestHasher {
+  std::size_t operator()(const HashDigest& d) const {
+    return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+class Hasher {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hi_ = (hi_ ^ p[i]) * kPrimeHi;
+      lo_ = (lo_ ^ p[i]) * kPrimeLo;
+    }
+  }
+
+  /// Folds an integral or enum value canonically (8-byte little-endian).
+  template <typename T>
+  void value(T v) {
+    static_assert((std::is_integral_v<T> && !std::is_same_v<T, bool>) ||
+                      std::is_same_v<T, bool> || std::is_enum_v<T>,
+                  "Hasher::value takes integers/enums; use str/vec/bytes");
+    std::uint64_t wide = 0;
+    if constexpr (std::is_enum_v<T>) {
+      wide = static_cast<std::uint64_t>(
+          static_cast<std::make_unsigned_t<std::underlying_type_t<T>>>(v));
+    } else if constexpr (std::is_same_v<T, bool>) {
+      wide = v ? 1 : 0;
+    } else {
+      wide = static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<T>>(v));
+    }
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<unsigned char>((wide >> (8 * i)) & 0xFF);
+    }
+    bytes(buf, sizeof(buf));
+  }
+
+  void str(const std::string& s) {
+    value<std::uint64_t>(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  /// Domain-separation literal opening a record ("easyhps.cache.v1", a
+  /// problem kind, ...).  Same canonical form as str.
+  void tag(const char* s) {
+    const std::size_t n = std::strlen(s);
+    value<std::uint64_t>(n);
+    bytes(s, n);
+  }
+
+  /// Length-prefixed fold of a vector of integral values.
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    value<std::uint64_t>(v.size());
+    for (const T& x : v) {
+      value(x);
+    }
+  }
+
+  HashDigest digest() const { return HashDigest{hi_, lo_}; }
+
+ private:
+  // Lane 1: standard FNV-1a (offset basis + prime).  Lane 2: a distinct
+  // offset and a distinct odd multiplier, so the lanes share no algebraic
+  // structure beyond reading the same bytes.
+  static constexpr std::uint64_t kPrimeHi = 1099511628211ULL;
+  static constexpr std::uint64_t kPrimeLo = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t hi_ = 14695981039346656037ULL;
+  std::uint64_t lo_ = 14695981039346656037ULL ^ 0xA24BAED4963EE407ULL;
+};
+
+}  // namespace easyhps::util

@@ -1,0 +1,538 @@
+// Tests of the easyhps::cache subsystem and its serve-layer integration:
+// canonical key derivation, LRU byte-budget eviction, cache hits serving
+// bit-identical tables, in-flight dedup fan-out (including the
+// follower-cancel regression), bounded admission with kRejectedOverload
+// backpressure, SLO-aware scheduling, and ServiceConfig::validate().
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "easyhps/cache/key.hpp"
+#include "easyhps/cache/result_cache.hpp"
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/kernel_common.hpp"
+#include "easyhps/dp/knapsack.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/swgg.hpp"
+#include "easyhps/msg/payload.hpp"
+#include "easyhps/serve/service.hpp"
+
+namespace easyhps {
+namespace {
+
+using cache::CacheKey;
+using cache::ResultCache;
+using cache::ScopedCacheEnabled;
+using serve::JobClass;
+using serve::JobOptions;
+using serve::JobState;
+using serve::JobTicket;
+using serve::Service;
+using serve::ServiceConfig;
+
+void expectMatchesReference(const DpProblem& p, const Window& solved) {
+  const DenseMatrix<Score> ref = p.solveReference();
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      if (!p.cellActive(r, c)) {
+        continue;
+      }
+      ASSERT_EQ(solved.get(r, c), ref.at(r, c))
+          << p.name() << " mismatch at (" << r << "," << c << ")";
+    }
+  }
+}
+
+ServiceConfig smallService(int slaves) {
+  ServiceConfig cfg;
+  cfg.runtime.slaveCount = slaves;
+  cfg.runtime.threadsPerSlave = 2;
+  cfg.runtime.processPartitionRows = cfg.runtime.processPartitionCols = 12;
+  cfg.runtime.threadPartitionRows = cfg.runtime.threadPartitionCols = 4;
+  return cfg;
+}
+
+/// Options making a job hold the cluster for ~`delay` (kTaskDelay on the
+/// gating first block).  Fault-bearing, so deliberately uncacheable —
+/// ideal for pinning the cluster while queued work piles up.
+JobOptions slowOptions(std::string name, std::chrono::milliseconds delay) {
+  JobOptions o;
+  o.name = std::move(name);
+  fault::FaultSpec f;
+  f.kind = fault::FaultKind::kTaskDelay;
+  f.vertex = 0;
+  f.delay = delay;
+  o.faults.push_back(f);
+  return o;
+}
+
+std::shared_ptr<EditDistance> seqProblem(int n, int seed) {
+  return std::make_shared<EditDistance>(randomSequence(n, seed),
+                                        randomSequence(n, seed + 1));
+}
+
+bool waitUntil(const std::function<bool()>& pred,
+               std::chrono::milliseconds limit = std::chrono::seconds(5)) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+/// Submits a slow fault-bearing job and blocks until the cluster picked it
+/// up, so everything submitted afterwards is guaranteed to queue behind it.
+JobTicket pinCluster(Service& service, int seed,
+                     std::chrono::milliseconds delay) {
+  JobTicket blocker = service.submit(
+      std::make_shared<EditDistance>(randomSequence(10, seed),
+                                     randomSequence(10, seed + 1)),
+      slowOptions("blocker", delay));
+  EXPECT_TRUE(waitUntil([&] { return blocker.state() == JobState::kRunning; }));
+  return blocker;
+}
+
+Window windowOfBytes(std::int64_t cells) {
+  Window w(CellRect{0, 0, 1, cells}, [](std::int64_t, std::int64_t) {
+    return Score{0};
+  });
+  for (std::int64_t c = 0; c < cells; ++c) {
+    w.set(0, c, static_cast<Score>(c));
+  }
+  return w;
+}
+
+// --- Canonical keys ------------------------------------------------------
+
+// Two independently constructed instances with equal payloads must hash to
+// the same key; any payload or partition-relevant config change must move
+// it.  The key must NOT depend on execution-path toggles (kernel path, msg
+// path) or scheduling policy — that invariance is what lets a table cached
+// under one path serve submissions under another.
+TEST(CacheKey, CanonicalOverPayloadAndConfigOnly) {
+  RuntimeConfig cfg;
+  const EditDistance a(randomSequence(30, 901), randomSequence(30, 902));
+  const EditDistance b(randomSequence(30, 901), randomSequence(30, 902));
+  const EditDistance other(randomSequence(30, 903),
+                           randomSequence(30, 902));
+
+  const auto ka = cache::jobKey(a, cfg);
+  ASSERT_TRUE(ka.has_value());
+  ASSERT_EQ(*ka, *cache::jobKey(b, cfg));
+  EXPECT_NE(*ka, *cache::jobKey(other, cfg));
+
+  // Execution-path toggles leave the key alone...
+  {
+    ScopedKernelPath kp(KernelPath::kReference);
+    msg::ScopedMsgPath mp(msg::MsgPath::kCopy);
+    EXPECT_EQ(*ka, *cache::jobKey(a, cfg));
+  }
+  RuntimeConfig policyOnly = cfg;
+  policyOnly.masterPolicy = PolicyKind::kBlockCyclicWavefront;
+  EXPECT_EQ(*ka, *cache::jobKey(a, policyOnly));
+
+  // ...while partition-relevant config moves it.
+  RuntimeConfig partitioned = cfg;
+  partitioned.processPartitionRows = cfg.processPartitionRows / 2;
+  EXPECT_NE(*ka, *cache::jobKey(a, partitioned));
+  RuntimeConfig dense = cfg;
+  dense.sparseSlaveWindows = !cfg.sparseSlaveWindows;
+  EXPECT_NE(*ka, *cache::jobKey(a, dense));
+}
+
+// Problem kinds are domain-separated, and problems without a canonical
+// form opt out: a user-supplied gap closure has no fingerprint.
+TEST(CacheKey, KindSeparationAndOptOut) {
+  RuntimeConfig cfg;
+  const std::string s1 = randomSequence(24, 911);
+  const std::string s2 = randomSequence(24, 912);
+  const EditDistance ed(s1, s2);
+  const SmithWatermanGeneralGap sw(s1, s2);
+  EXPECT_NE(*cache::jobKey(ed, cfg), *cache::jobKey(sw, cfg));
+
+  const SmithWatermanGeneralGap custom(
+      s1, s2, {.match = 2, .mismatch = -1, .gap = [](std::int64_t k) {
+                 return static_cast<Score>(k * k);
+               }});
+  EXPECT_FALSE(cache::jobKey(custom, cfg).has_value());
+}
+
+// --- ResultCache ---------------------------------------------------------
+
+TEST(ResultCache, LruEvictsAtByteBudget) {
+  // Each 1000-cell entry charges cells*sizeof(Score) + fixed overhead;
+  // the budget fits exactly two entries.
+  const std::int64_t cells = 1000;
+  const std::int64_t entryBytes =
+      cells * static_cast<std::int64_t>(sizeof(Score)) + 256;
+  ResultCache cache(entryBytes * 2);
+  const auto key = [](std::uint64_t i) { return CacheKey{i, ~i}; };
+
+  EXPECT_EQ(cache.insert(key(1), windowOfBytes(cells), 1)->bytes, entryBytes);
+  cache.insert(key(2), windowOfBytes(cells), 2);
+  ASSERT_EQ(cache.stats().entries, 2);
+
+  // Touch 1 so 2 becomes least-recent, then overflow.
+  ASSERT_NE(cache.find(key(1)), nullptr);
+  cache.insert(key(3), windowOfBytes(cells), 3);
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_NE(cache.find(key(1)), nullptr);
+  EXPECT_EQ(cache.find(key(2)), nullptr);  // the LRU victim
+  EXPECT_NE(cache.find(key(3)), nullptr);
+  EXPECT_LE(cache.stats().bytes, cache.byteBudget());
+
+  // An entry larger than the whole budget is never admitted.
+  EXPECT_EQ(cache.insert(key(4), windowOfBytes(cells * 3), 4), nullptr);
+  EXPECT_EQ(cache.stats().entries, 2);
+}
+
+TEST(ResultCache, ScopedDisableTurnsOffLookupAndInsert) {
+  ResultCache cache(1 << 20);
+  cache.insert(CacheKey{7, 7}, windowOfBytes(10), 7);
+  {
+    ScopedCacheEnabled off(false);
+    EXPECT_EQ(cache.find(CacheKey{7, 7}), nullptr);
+    EXPECT_EQ(cache.insert(CacheKey{8, 8}, windowOfBytes(10), 8), nullptr);
+  }
+  EXPECT_NE(cache.find(CacheKey{7, 7}), nullptr);
+  EXPECT_EQ(cache.find(CacheKey{8, 8}), nullptr);
+}
+
+// --- Serve-layer integration --------------------------------------------
+
+// A resubmission of identical content is served from the cache: no
+// cluster dispatch, bit-identical table, and the same tableChecksum the
+// fresh run reported.  Exercised across both kernel paths and both msg
+// paths through a shared cache: the entry produced under the default
+// paths answers under the reference/copy paths bit-identically.
+TEST(ServeCache, HitServesBitIdenticalTableAcrossPaths) {
+  auto shared = std::make_shared<ResultCache>(64 << 20);
+  auto problem = seqProblem(40, 921);
+
+  std::uint64_t freshChecksum = 0;
+  std::optional<Window> freshMatrix;
+  {
+    ServiceConfig cfg = smallService(2);
+    cfg.sharedCache = shared;
+    Service service(cfg);
+    auto outcome = service.submit(problem).wait();
+    ASSERT_EQ(outcome->state, JobState::kDone) << outcome->error;
+    EXPECT_FALSE(outcome->stats.cacheHit);
+    freshChecksum = outcome->stats.run.tableChecksum;
+    freshMatrix = *outcome->matrix;
+    EXPECT_EQ(service.metrics().cacheMisses, 1);
+  }
+  ASSERT_EQ(shared->stats().inserts, 1);
+
+  // New service on the other kernel/msg paths, same shared cache.
+  ScopedKernelPath kp(KernelPath::kReference);
+  msg::ScopedMsgPath mp(msg::MsgPath::kCopy);
+  ServiceConfig cfg = smallService(2);
+  cfg.sharedCache = shared;
+  Service service(cfg);
+  auto equivalent = std::make_shared<EditDistance>(
+      randomSequence(40, 921), randomSequence(40, 922));  // same content
+  auto outcome = service.submit(equivalent).wait();
+  ASSERT_EQ(outcome->state, JobState::kDone) << outcome->error;
+  EXPECT_TRUE(outcome->stats.cacheHit);
+  EXPECT_TRUE(outcome->stats.run.servedFromCache);
+  EXPECT_EQ(outcome->stats.dispatchSeq, -1);  // never reached the cluster
+  EXPECT_EQ(outcome->stats.run.messages, 0u);
+  EXPECT_EQ(outcome->stats.run.tableChecksum, freshChecksum);
+  expectMatchesReference(*equivalent, *outcome->matrix);
+  for (std::int64_t r = 0; r < equivalent->rows(); ++r) {
+    for (std::int64_t c = 0; c < equivalent->cols(); ++c) {
+      ASSERT_EQ(outcome->matrix->get(r, c), freshMatrix->get(r, c));
+    }
+  }
+  EXPECT_EQ(service.metrics().cacheHits, 1);
+  EXPECT_GT(service.metrics().cacheBytes, 0);
+}
+
+// EASYHPS_CACHE=off (here via its setter) reproduces cache-less behavior:
+// the identical resubmission executes again.
+TEST(ServeCache, DisabledCacheExecutesEveryTime) {
+  ScopedCacheEnabled off(false);
+  Service service(smallService(2));
+  auto first = service.submit(seqProblem(30, 931)).wait();
+  auto second = service.submit(seqProblem(30, 931)).wait();
+  ASSERT_EQ(first->state, JobState::kDone);
+  ASSERT_EQ(second->state, JobState::kDone);
+  EXPECT_FALSE(second->stats.cacheHit);
+  EXPECT_GT(second->stats.run.messages, 0u);
+  EXPECT_EQ(service.metrics().cacheHits, 0);
+  EXPECT_EQ(service.metrics().cacheMisses, 0);
+}
+
+// N identical concurrent submissions coalesce onto ONE execution whose
+// result fans out to every ticket.
+TEST(ServeCache, InFlightDedupFansOutOneExecution) {
+  Service service(smallService(1));
+  // Pin the cluster so the dedup group forms while its exec is queued.
+  JobTicket blocker =
+      pinCluster(service, 941, std::chrono::milliseconds(300));
+
+  auto problem = seqProblem(36, 942);
+  std::vector<JobTicket> group;
+  group.push_back(service.submit(problem));  // leader
+  for (int i = 0; i < 3; ++i) {
+    group.push_back(service.submit(seqProblem(36, 942)));  // followers
+  }
+
+  for (auto& t : group) {
+    auto outcome = t.wait();
+    ASSERT_EQ(outcome->state, JobState::kDone) << outcome->error;
+    expectMatchesReference(*problem, *outcome->matrix);
+    EXPECT_GT(outcome->stats.run.messages, 0u);  // executed, not cached
+    EXPECT_FALSE(outcome->stats.cacheHit);
+  }
+  blocker.wait();
+  const auto m = service.metrics();
+  EXPECT_EQ(m.dedupCoalesced, 3);
+  EXPECT_EQ(m.cacheMisses, 1);  // one execution for the whole group
+  EXPECT_EQ(m.completed, 5);    // blocker + all 4 tickets
+  service.shutdown();
+}
+
+// Regression (satellite): cancelling a coalesced follower detaches only
+// that ticket — the shared execution keeps running and the remaining
+// waiters still receive the result.
+TEST(ServeCache, FollowerCancelDetachesOnlyThatTicket) {
+  Service service(smallService(1));
+  JobTicket blocker =
+      pinCluster(service, 951, std::chrono::milliseconds(300));
+
+  auto problem = seqProblem(36, 952);
+  JobTicket leader = service.submit(problem);
+  JobTicket follower1 = service.submit(seqProblem(36, 952));
+  JobTicket follower2 = service.submit(seqProblem(36, 952));
+
+  ASSERT_TRUE(follower1.cancel());
+  auto cancelled = follower1.wait();
+  EXPECT_EQ(cancelled->state, JobState::kCancelled);
+
+  for (JobTicket* t : {&leader, &follower2}) {
+    auto outcome = t->wait();
+    ASSERT_EQ(outcome->state, JobState::kDone) << outcome->error;
+    expectMatchesReference(*problem, *outcome->matrix);
+  }
+  blocker.wait();
+  EXPECT_EQ(service.metrics().cancelled, 1);
+  EXPECT_EQ(service.metrics().completed, 3);  // blocker + leader + follower2
+  service.shutdown();
+}
+
+// Cancelling the LAST waiter takes the shared execution down with it, and
+// a later identical submission starts fresh.
+TEST(ServeCache, LastWaiterCancelCancelsExecution) {
+  Service service(smallService(1));
+  JobTicket blocker =
+      pinCluster(service, 961, std::chrono::milliseconds(250));
+
+  auto problem = seqProblem(30, 962);
+  JobTicket only = service.submit(problem);
+  ASSERT_TRUE(only.cancel());
+  EXPECT_EQ(only.wait()->state, JobState::kCancelled);
+
+  // The group is gone; the same content resubmits as a fresh execution.
+  auto outcome = service.submit(seqProblem(30, 962)).wait();
+  ASSERT_EQ(outcome->state, JobState::kDone) << outcome->error;
+  EXPECT_FALSE(outcome->stats.cacheHit);
+  expectMatchesReference(*problem, *outcome->matrix);
+  blocker.wait();
+  service.shutdown();
+}
+
+// --- Bounded admission & backpressure ------------------------------------
+
+// Hard bound: a full queue rejects with the overloaded flag and a
+// retry-after hint instead of queueing unboundedly.
+TEST(ServeAdmission, FullQueueRejectsWithBackpressure) {
+  ServiceConfig cfg = smallService(1);
+  cfg.maxQueueDepth = 1;
+  cfg.cache.enabled = false;  // distinct plain jobs, no dedup
+  Service service(cfg);
+  JobTicket blocker =
+      pinCluster(service, 971, std::chrono::milliseconds(300));
+  // One slot: the first queued job fills it...
+  serve::Admission first = service.trySubmit(seqProblem(12, 972));
+  ASSERT_TRUE(first.accepted());
+  // ...the next submission is backpressure, not a hard error.
+  serve::Admission second = service.trySubmit(seqProblem(12, 973));
+  ASSERT_FALSE(second.accepted());
+  EXPECT_TRUE(second.overloaded);
+  EXPECT_GT(second.retryAfter.count(), 0);
+  EXPECT_NE(second.reason.find("queue full"), std::string::npos);
+
+  blocker.wait();
+  first.ticket->wait();
+  service.shutdown();
+}
+
+// Per-class caps: a full interactive class rejects interactive work while
+// batch still admits (and vice versa, by symmetry of the same code path).
+TEST(ServeAdmission, PerClassCapsRejectIndependently) {
+  ServiceConfig cfg = smallService(1);
+  cfg.maxInteractiveDepth = 1;
+  cfg.cache.enabled = false;
+  Service service(cfg);
+  JobTicket blocker =
+      pinCluster(service, 981, std::chrono::milliseconds(300));
+
+  JobOptions interactive;
+  interactive.jobClass = JobClass::kInteractive;
+  ASSERT_TRUE(service.trySubmit(seqProblem(12, 982), interactive).accepted());
+  serve::Admission rejected =
+      service.trySubmit(seqProblem(12, 983), interactive);
+  ASSERT_FALSE(rejected.accepted());
+  EXPECT_TRUE(rejected.overloaded);
+  EXPECT_NE(rejected.reason.find("interactive class full"),
+            std::string::npos);
+  // Batch slots are independent of the interactive cap.
+  EXPECT_TRUE(service.trySubmit(seqProblem(12, 984)).accepted());
+
+  blocker.wait();
+  service.drain();
+  service.shutdown();
+}
+
+// Load shedding: past the watermark the least valuable queued job turns
+// terminal kFailed with kRejectedOverload + retry-after in its JobFailure.
+TEST(ServeAdmission, WatermarkShedsSurfaceRejectedOverload) {
+  ServiceConfig cfg = smallService(1);
+  cfg.shedWatermark = 1;
+  cfg.cache.enabled = false;
+  Service service(cfg);
+  JobTicket blocker =
+      pinCluster(service, 991, std::chrono::milliseconds(300));
+
+  // Two queued jobs over a watermark of one: an admission must shed.
+  JobTicket a = service.submit(seqProblem(12, 992));
+  JobTicket b = service.submit(seqProblem(12, 993));
+  auto oa = a.wait();
+  auto ob = b.wait();
+  const auto* shedOutcome =
+      oa->state == JobState::kFailed ? oa.get() : ob.get();
+  ASSERT_EQ(shedOutcome->state, JobState::kFailed);
+  ASSERT_TRUE(shedOutcome->failure.has_value());
+  EXPECT_EQ(shedOutcome->failure->code,
+            serve::FailureCode::kRejectedOverload);
+  EXPECT_GT(shedOutcome->failure->retryAfter.count(), 0);
+  EXPECT_GE(service.metrics().shedJobs, 1);
+
+  blocker.wait();
+  service.shutdown();
+}
+
+// --- SLO-aware scheduling ------------------------------------------------
+
+// kDeadlineUtility dispatches the deadline-bearing job before an earlier-
+// queued deadline-less batch job.
+TEST(ServeSlo, DeadlineUtilityDispatchesUrgentFirst) {
+  ServiceConfig cfg = smallService(1);
+  cfg.policy = serve::JobSchedPolicy::kDeadlineUtility;
+  cfg.cache.enabled = false;
+  Service service(cfg);
+  JobTicket blocker =
+      pinCluster(service, 1001, std::chrono::milliseconds(250));
+
+  JobTicket batch = service.submit(seqProblem(12, 1002));  // queued first
+  JobOptions urgent;
+  urgent.jobClass = JobClass::kInteractive;
+  urgent.softDeadline = std::chrono::milliseconds(400);
+  JobTicket deadline = service.submit(seqProblem(12, 1003), urgent);
+
+  auto od = deadline.wait();
+  auto ob = batch.wait();
+  ASSERT_EQ(od->state, JobState::kDone) << od->error;
+  ASSERT_EQ(ob->state, JobState::kDone) << ob->error;
+  EXPECT_LT(od->stats.dispatchSeq, ob->stats.dispatchSeq);
+  blocker.wait();
+  service.shutdown();
+}
+
+// Soft deadline: missing it never cancels the job, but the outcome and
+// the deadline_misses counter record it.
+TEST(ServeSlo, MissedSoftDeadlineIsCountedNotFatal) {
+  Service service(smallService(1));
+  JobOptions tight;
+  tight.softDeadline = std::chrono::milliseconds(1);
+  tight.faults = slowOptions("", std::chrono::milliseconds(150)).faults;
+  auto outcome = service.submit(seqProblem(16, 1011), tight).wait();
+  ASSERT_EQ(outcome->state, JobState::kDone) << outcome->error;
+  EXPECT_TRUE(outcome->stats.missedDeadline);
+  EXPECT_EQ(service.metrics().deadlineMisses, 1);
+  service.shutdown();
+}
+
+// --- Config validation ---------------------------------------------------
+
+TEST(ServeConfigValidate, RejectsDegenerateKnobsNamingTheField) {
+  const auto expectInvalid = [](ServiceConfig cfg, const std::string& field) {
+    try {
+      cfg.validate();
+      FAIL() << "expected rejection naming " << field;
+    } catch (const LogicError& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  {
+    ServiceConfig cfg;
+    cfg.maxQueueDepth = 0;
+    expectInvalid(cfg, "maxQueueDepth");
+  }
+  {
+    ServiceConfig cfg;
+    cfg.cache.byteBudget = 0;
+    expectInvalid(cfg, "cache.byteBudget");
+  }
+  {
+    ServiceConfig cfg;
+    cfg.cache.byteBudget = -64;
+    expectInvalid(cfg, "cache.byteBudget");
+  }
+  {
+    ServiceConfig cfg;
+    cfg.maxInteractiveDepth = -1;
+    expectInvalid(cfg, "maxInteractiveDepth");
+  }
+  {
+    ServiceConfig cfg;
+    cfg.maxBatchDepth = -1;
+    expectInvalid(cfg, "maxBatchDepth");
+  }
+  {
+    ServiceConfig cfg;
+    cfg.retryAfterHint = std::chrono::milliseconds(-1);
+    expectInvalid(cfg, "retryAfterHint");
+  }
+  // Degenerate runtime knobs surface through ServiceConfig::validate too.
+  {
+    ServiceConfig cfg;
+    cfg.runtime.slaveCount = 0;
+    expectInvalid(cfg, "slaveCount");
+  }
+}
+
+// A non-positive soft deadline is an options error, named at submit.
+TEST(ServeConfigValidate, RejectsNonPositiveSoftDeadlineAtSubmit) {
+  Service service(smallService(1));
+  JobOptions o;
+  o.softDeadline = std::chrono::milliseconds(0);
+  serve::Admission a = service.trySubmit(seqProblem(10, 1021), o);
+  ASSERT_FALSE(a.accepted());
+  EXPECT_NE(a.reason.find("softDeadline"), std::string::npos);
+  EXPECT_FALSE(a.overloaded);
+  service.shutdown();
+}
+
+}  // namespace
+}  // namespace easyhps

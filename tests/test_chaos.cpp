@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "easyhps/cache/result_cache.hpp"
 #include "easyhps/dp/editdist.hpp"
 #include "easyhps/dp/nussinov.hpp"
 #include "easyhps/dp/sequence.hpp"
@@ -496,6 +497,64 @@ TEST(ChaosSoak, SlaveDeathMixStaysCorrect) {
             EXPECT_EQ(s.readmissions, 0);
             EXPECT_GE(s.statsSkipped, 1);
           });
+}
+
+// Cache-under-chaos soak: one shared ResultCache across runs that
+// interleave fault-free (cacheable) and slave-death (always-executing)
+// configs.  Both kinds of result — a fresh faulty solve and a cache hit
+// populated by an earlier clean run — must stay bit-equal to the
+// reference table, and a fault config must never be answered from or
+// admitted into the cache.
+TEST(ChaosSoak, CacheStaysBitCorrectUnderSlaveDeath) {
+  RuntimeConfig clean = chaosConfig();
+  RuntimeConfig death = chaosConfig();
+  death.enableLiveness = true;
+  death.heartbeatInterval = milliseconds(10);
+  death.heartbeatTimeout = milliseconds(20);
+  death.heartbeatMissThreshold = 2;
+  death.quarantineBackoff = milliseconds(10000);
+  death.faults.push_back({fault::FaultKind::kSlaveDeath, -1, -1, -1, {},
+                          /*count=*/1, /*skip=*/2});
+
+  auto cache = std::make_shared<cache::ResultCache>(64 << 20);
+  for (int seed = 3100; seed < 3100 + 3 * 13; seed += 13) {
+    const std::unique_ptr<DpProblem> p = std::make_unique<EditDistance>(
+        randomSequence(36, seed), randomSequence(36, seed + 1));
+
+    // Clean run populates the cache.
+    Runtime fresh(clean);
+    fresh.attachCache(cache);
+    const RunResult first = fresh.run(*p);
+    EXPECT_FALSE(first.stats.servedFromCache);
+    expectMatchesReference(*p, first.matrix);
+
+    // The slave-death run shares the cache but must execute anyway: a
+    // fault config exists to exercise failure paths, and its crash-then-
+    // recover table must still be bit-correct.
+    RuntimeConfig cfg = death;
+    cfg.chaosSeed = static_cast<std::uint64_t>(seed);
+    Runtime faulty(cfg);
+    faulty.attachCache(cache);
+    const RunResult survived = faulty.run(*p);
+    EXPECT_FALSE(survived.stats.servedFromCache);
+    EXPECT_EQ(survived.stats.faultsTriggered, 1);
+    EXPECT_GE(survived.stats.retries, 1);
+    expectMatchesReference(*p, survived.matrix);
+
+    // Re-running the clean config now hits, bit-equal to both solves.
+    const RunResult hit = fresh.run(*p);
+    EXPECT_TRUE(hit.stats.servedFromCache);
+    EXPECT_EQ(hit.stats.tableChecksum, first.stats.tableChecksum);
+    expectMatchesReference(*p, hit.matrix);
+    for (std::int64_t r = 0; r < p->rows(); ++r) {
+      for (std::int64_t c = 0; c < p->cols(); ++c) {
+        ASSERT_EQ(hit.matrix.get(r, c), survived.matrix.get(r, c));
+      }
+    }
+  }
+  // One clean solve per seed was inserted; the death runs never were.
+  EXPECT_EQ(cache->stats().inserts, 3);
+  EXPECT_EQ(cache->stats().hits, 3);
 }
 
 // --- Quarantine gating: the scheduling-trace acceptance test --------------
