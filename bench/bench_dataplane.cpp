@@ -16,6 +16,7 @@
 //    halos): halo traffic dwarfs the blocks themselves, so even with full
 //    assembly the master drops out of the data path >= 5x.
 #include <cstdint>
+#include <cstring>
 #include <iostream>
 
 #include "common.hpp"
@@ -47,6 +48,11 @@ struct ModeRow {
   PolicyKind policy;
   bool assemble;
 };
+
+// The >= 5x claim is stated for the full-size workload; at smoke sizes
+// halos are proportionally fatter, so the gate drops to >= 2x (still a
+// real reduction — a broken data plane reads ~1x).
+double ratioFloor = 5.0;
 
 int failures = 0;
 
@@ -108,16 +114,31 @@ void runProblem(const char* label, const DpProblem& problem,
                 trace::Table::num(r.stats.blocksAssembled),
                 trace::Table::num(r.stats.elapsedSeconds, 3)});
     if (m.dataPlane == DataPlaneMode::kPeerToPeer) {
-      check(ratio >= 5.0, std::string(label) + " " + m.mode +
-                              ": bytesViaMaster reduced >= 5x (got " +
-                              trace::Table::num(ratio, 2) + "x)");
+      check(ratio >= ratioFloor,
+            std::string(label) + " " + m.mode +
+                ": bytesViaMaster reduced >= " +
+                trace::Table::num(ratioFloor, 1) + "x (got " +
+                trace::Table::num(ratio, 2) + "x)");
     }
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0 ||
+        std::strcmp(argv[i], "--quick") == 0) {
+      smoke = true;
+    }
+  }
+  // Smoke keeps >= 16 blocks while shrinking the cell count ~6x.
+  const std::int64_t n = smoke ? 256 : kN;
+  if (smoke) {
+    ratioFloor = 2.0;
+  }
+
   std::cout << trace::banner(
       "Data plane — master relay vs peer-to-peer halo exchange");
 
@@ -128,8 +149,8 @@ int main() {
   // LCS: the ratio target applies to deferred assembly (the full-assembly
   // row is informative — pulling 100 interior blocks to rank 0 at job end
   // necessarily costs relay-sized traffic once).
-  LongestCommonSubsequence lcs(randomSequence(kN, kSeedLcsA),
-                               randomSequence(kN, kSeedLcsB));
+  LongestCommonSubsequence lcs(randomSequence(n, kSeedLcsA),
+                               randomSequence(n, kSeedLcsB));
   runProblem("lcs", lcs,
              {{"relay", DataPlaneMode::kMasterRelay, PolicyKind::kDynamic,
                true},
@@ -158,7 +179,7 @@ int main() {
 
   // Nussinov: whole row/column segment halos — >= 5x holds even with the
   // master assembling the full triangle.
-  Nussinov nussinov(randomRna(kN, kSeedRna));
+  Nussinov nussinov(randomRna(n, kSeedRna));
   runProblem("nussinov", nussinov,
              {{"relay", DataPlaneMode::kMasterRelay, PolicyKind::kDynamic,
                true},
@@ -170,6 +191,27 @@ int main() {
 
   std::cout << "\n" << table.render();
   bench::writeBenchJson("dataplane", table);
+
+  if (smoke) {
+    // Oracle-combination coverage: re-run the relay/p2p checksum equality
+    // under every pipeline × msg-path toggle so CI logs show which combos
+    // this smoke actually exercised.
+    LongestCommonSubsequence tiny(randomSequence(192, kSeedLcsA),
+                                  randomSequence(192, kSeedLcsB));
+    failures += bench::runToggleMatrix([&](PipelineMode, msg::MsgPath) {
+      RuntimeConfig cfg = baseConfig();
+      cfg.dataPlane = DataPlaneMode::kMasterRelay;
+      const RunResult relay = Runtime(cfg).run(tiny);
+      cfg.dataPlane = DataPlaneMode::kPeerToPeer;
+      const RunResult peer = Runtime(cfg).run(tiny);
+      if (relay.stats.tableChecksum != peer.stats.tableChecksum) {
+        return std::string("FAIL relay/p2p checksum mismatch");
+      }
+      return "PASS checksum " +
+             trace::Table::num(
+                 static_cast<std::int64_t>(relay.stats.tableChecksum));
+    });
+  }
   if (failures > 0) {
     std::cout << failures << " check(s) FAILED\n";
     return 1;

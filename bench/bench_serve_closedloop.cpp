@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "easyhps/dp/editdist.hpp"
 #include "easyhps/dp/sequence.hpp"
 #include "easyhps/serve/service.hpp"
@@ -328,5 +329,39 @@ int main(int argc, char** argv) {
   std::ofstream json("BENCH_serve_throughput.json");
   json << table.json();
   std::cout << "\nwrote BENCH_serve_throughput.json\n";
+
+  if (smoke) {
+    // Oracle-combination coverage: one end-to-end serve solve per
+    // pipeline × msg-path toggle, each checked against solveReference,
+    // so CI logs show which combos this smoke actually exercised.
+    const int matrixFailures =
+        bench::runToggleMatrix([&](PipelineMode, msg::MsgPath) {
+          BenchShape tinyShape = shape;
+          tinyShape.side = 32;
+          tinyShape.partition = 16;
+          Arm plain;
+          plain.cacheOn = false;
+          serve::Service service(serviceConfig(tinyShape, plain));
+          const auto problem = makeProblem(tinyShape.side, 90000);
+          const auto o = service.submit(problem).wait();
+          service.shutdown();
+          if (o->state != serve::JobState::kDone) {
+            return std::string("FAIL job did not complete");
+          }
+          const DenseMatrix<Score> ref = problem->solveReference();
+          for (std::int64_t row = 0; row < problem->rows(); ++row) {
+            for (std::int64_t col = 0; col < problem->cols(); ++col) {
+              if (o->matrix->get(row, col) != ref.at(row, col)) {
+                return std::string("FAIL matrix diverges from reference");
+              }
+            }
+          }
+          return std::string("PASS matches solveReference");
+        });
+    if (matrixFailures > 0) {
+      std::cout << matrixFailures << " toggle-matrix combo(s) FAILED\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -16,6 +16,8 @@
 #include "easyhps/dp/nussinov.hpp"
 #include "easyhps/dp/sequence.hpp"
 #include "easyhps/dp/swgg.hpp"
+#include "easyhps/msg/payload.hpp"
+#include "easyhps/runtime/pipeline.hpp"
 #include "easyhps/sim/simulator.hpp"
 #include "easyhps/trace/report.hpp"
 
@@ -36,6 +38,33 @@ inline void writeBenchJson(const std::string& name,
   std::ofstream out(path);
   out << table.json();
   std::cout << "\nwrote " << path << "\n";
+}
+
+/// Runs `body(pipeline, path)` under every pipeline × msg-path toggle
+/// combination (RAII overrides, restored afterwards) and prints one row
+/// per combination, so CI logs record which oracle combos a --smoke run
+/// actually exercised.  `body` returns the status cell for its row; any
+/// status starting with "FAIL" bumps the returned failure count.
+template <typename Body>
+inline int runToggleMatrix(Body&& body) {
+  int failures = 0;
+  std::cout << "\ntoggle matrix (pipeline x msg path):\n";
+  for (const PipelineMode pm :
+       {PipelineMode::kStreaming, PipelineMode::kBarrier}) {
+    for (const msg::MsgPath mp :
+         {msg::MsgPath::kFast, msg::MsgPath::kCopy}) {
+      const ScopedPipelineMode scopedPipeline(pm);
+      const msg::ScopedMsgPath scopedPath(mp);
+      const std::string status = body(pm, mp);
+      std::cout << "  pipeline=" << pipelineModeName(pm) << " msg="
+                << (mp == msg::MsgPath::kCopy ? "copy" : "fast") << "  "
+                << status << "\n";
+      if (status.rfind("FAIL", 0) == 0) {
+        ++failures;
+      }
+    }
+  }
+  return failures;
 }
 
 struct PaperSetup {

@@ -1,0 +1,122 @@
+#include "easyhps/dag/fragment.hpp"
+
+#include <algorithm>
+
+namespace easyhps {
+
+CellRect intersectRects(const CellRect& a, const CellRect& b) {
+  const std::int64_t r0 = std::max(a.row0, b.row0);
+  const std::int64_t c0 = std::max(a.col0, b.col0);
+  const std::int64_t r1 = std::min(a.rowEnd(), b.rowEnd());
+  const std::int64_t c1 = std::min(a.colEnd(), b.colEnd());
+  if (r1 <= r0 || c1 <= c0) return {};
+  return {r0, c0, r1 - r0, c1 - c0};
+}
+
+void subtractRect(const CellRect& a, const CellRect& b,
+                  std::vector<CellRect>& out) {
+  const CellRect inter = intersectRects(a, b);
+  if (inter.cellCount() == 0) {
+    if (a.cellCount() > 0) out.push_back(a);
+    return;
+  }
+  // Slice `a` into the band above the hole, the band below it, and the
+  // left/right remainders of the middle band.
+  if (inter.row0 > a.row0) {
+    out.push_back({a.row0, a.col0, inter.row0 - a.row0, a.cols});
+  }
+  if (inter.rowEnd() < a.rowEnd()) {
+    out.push_back({inter.rowEnd(), a.col0, a.rowEnd() - inter.rowEnd(),
+                   a.cols});
+  }
+  if (inter.col0 > a.col0) {
+    out.push_back({inter.row0, a.col0, inter.rows, inter.col0 - a.col0});
+  }
+  if (inter.colEnd() < a.colEnd()) {
+    out.push_back({inter.row0, inter.colEnd(), inter.rows,
+                   a.colEnd() - inter.colEnd()});
+  }
+}
+
+std::vector<CellRect> externalSegments(const std::vector<CellRect>& reads,
+                                       const CellRect& home) {
+  std::vector<CellRect> out;
+  for (const CellRect& r : reads) {
+    subtractRect(r, home, out);
+  }
+  return out;
+}
+
+CoverageSplit partitionByCoverage(const CellRect& piece,
+                                  const std::vector<CellRect>& validRects) {
+  CoverageSplit split;
+  if (piece.cellCount() == 0) return split;
+  std::vector<CellRect> pending{piece};
+  std::vector<CellRect> next;
+  for (const CellRect& valid : validRects) {
+    next.clear();
+    for (const CellRect& p : pending) {
+      const CellRect inter = intersectRects(p, valid);
+      if (inter.cellCount() > 0) split.covered.push_back(inter);
+      subtractRect(p, valid, next);
+    }
+    pending.swap(next);
+    if (pending.empty()) break;
+  }
+  split.pending = std::move(pending);
+  return split;
+}
+
+void HaloFragmentTracker::expect(const CellRect& rect) {
+  if (rect.cellCount() == 0) return;
+  outstanding_.push_back(rect);
+  expected_cells_ += rect.cellCount();
+}
+
+bool HaloFragmentTracker::blocked(const CellRect& rect) const {
+  for (const CellRect& o : outstanding_) {
+    if (intersectRects(o, rect).cellCount() > 0) return true;
+  }
+  return false;
+}
+
+std::vector<CellRect> HaloFragmentTracker::intersectOutstanding(
+    const CellRect& rect) const {
+  std::vector<CellRect> pieces;
+  for (const CellRect& o : outstanding_) {
+    const CellRect inter = intersectRects(o, rect);
+    if (inter.cellCount() > 0) pieces.push_back(inter);
+  }
+  return pieces;
+}
+
+bool HaloFragmentTracker::fill(const CellRect& rect) {
+  if (rect.cellCount() == 0 || outstanding_.empty()) return false;
+  std::vector<CellRect> next;
+  next.reserve(outstanding_.size());
+  bool grew = false;
+  for (const CellRect& o : outstanding_) {
+    if (intersectRects(o, rect).cellCount() == 0) {
+      next.push_back(o);
+      continue;
+    }
+    grew = true;
+    subtractRect(o, rect, next);
+  }
+  outstanding_.swap(next);
+  return grew;
+}
+
+std::int64_t HaloFragmentTracker::outstandingCells() const {
+  std::int64_t cells = 0;
+  for (const CellRect& o : outstanding_) cells += o.cellCount();
+  return cells;
+}
+
+double HaloFragmentTracker::progress() const {
+  if (expected_cells_ == 0) return 1.0;
+  const double missing = static_cast<double>(outstandingCells());
+  return 1.0 - missing / static_cast<double>(expected_cells_);
+}
+
+}  // namespace easyhps

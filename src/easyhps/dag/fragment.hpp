@@ -1,0 +1,93 @@
+#pragma once
+/// \file fragment.hpp
+/// Halo-fragment geometry and readiness tracking for cross-level
+/// dataflow pipelining.
+///
+/// Barrier-mode EasyHPS stitches its two scheduling levels with
+/// whole-block handoffs: a consumer block only starts once its *entire*
+/// halo is resident.  Streaming mode (runtime/pipeline.hpp) breaks the
+/// halo into *fragments* — intersections of producer sub-blocks with the
+/// consumer-facing boundary rects — and lets both levels react as
+/// fragments land:
+///
+///  * the slave pool fires a sub-block node as soon as the halo segments
+///    that node actually reads (`externalSegments`) are covered;
+///  * the master fires a consumer block assignment once the first
+///    fragment of its pending halo arrives (runtime/master.cpp).
+///
+/// `HaloFragmentTracker` is the readiness core shared by both sides: a
+/// set of outstanding rectangles shrunk by rectangle subtraction as
+/// fragments arrive.  It is deliberately order-free — fragments may
+/// arrive out of order, duplicated (transport chaos, resends) or
+/// coalesced (one wide fragment covering many expected segments); only
+/// coverage matters.  `intersectOutstanding` doubles as the dedup
+/// primitive: callers inject exactly the not-yet-covered pieces, so a
+/// valid cell is never rewritten while a fired node may be reading it.
+
+#include <cstdint>
+#include <vector>
+
+#include "easyhps/matrix/geometry.hpp"
+
+namespace easyhps {
+
+/// Intersection of two cell rects; a rect with rows == 0 or cols == 0
+/// (cellCount() == 0) when they are disjoint.
+CellRect intersectRects(const CellRect& a, const CellRect& b);
+
+/// Appends the up-to-four rectangular pieces of `a \ b` to `out`.
+/// Appends `a` unchanged when the rects are disjoint.
+void subtractRect(const CellRect& a, const CellRect& b,
+                  std::vector<CellRect>& out);
+
+/// The pieces of `reads` that fall outside `home`: the halo segments a
+/// sub-block node needs from *outside* its own block, i.e. the cells that
+/// stream in rather than being produced by sibling nodes of the same
+/// slave DAG.
+std::vector<CellRect> externalSegments(const std::vector<CellRect>& reads,
+                                       const CellRect& home);
+
+/// Splits `piece` against a set of already-valid rects: `covered` holds
+/// the parts inside some valid rect, `pending` the remainder.  Used by
+/// the master to inline the arrived part of a halo piece into an early
+/// assignment and declare the rest as streaming.
+struct CoverageSplit {
+  std::vector<CellRect> covered;
+  std::vector<CellRect> pending;
+};
+CoverageSplit partitionByCoverage(const CellRect& piece,
+                                  const std::vector<CellRect>& validRects);
+
+/// Rectangle-coverage readiness tracker.  `expect` registers segments
+/// that must eventually arrive; `fill` shrinks the outstanding set and
+/// reports whether coverage actually grew (a pure duplicate returns
+/// false).  Not thread-safe; callers hold their own pool/master mutex.
+class HaloFragmentTracker {
+ public:
+  /// Registers a segment that must arrive before the halo is complete.
+  void expect(const CellRect& rect);
+
+  /// True while any cell of `rect` is still outstanding.
+  bool blocked(const CellRect& rect) const;
+
+  /// The not-yet-covered pieces of `rect` (empty for a pure duplicate).
+  std::vector<CellRect> intersectOutstanding(const CellRect& rect) const;
+
+  /// Marks `rect` arrived.  Returns true when coverage grew.
+  bool fill(const CellRect& rect);
+
+  bool done() const { return outstanding_.empty(); }
+  std::int64_t outstandingCells() const;
+  std::int64_t expectedCells() const { return expected_cells_; }
+  const std::vector<CellRect>& outstanding() const { return outstanding_; }
+
+  /// Fraction of expected cells already arrived (1.0 when nothing was
+  /// ever expected — an empty halo is trivially complete).
+  double progress() const;
+
+ private:
+  std::vector<CellRect> outstanding_;
+  std::int64_t expected_cells_ = 0;
+};
+
+}  // namespace easyhps

@@ -20,10 +20,12 @@ std::vector<VertexId> DagParseState::initiallyComputable() const {
   return dag_->sources();
 }
 
-std::vector<VertexId> DagParseState::finish(VertexId v) {
+std::vector<VertexId> DagParseState::finish(VertexId v, bool allowPendingPreds) {
   EASYHPS_EXPECTS(v >= 0 && v < vertexCount());
-  EASYHPS_CHECK(remaining_preds_[static_cast<std::size_t>(v)] == 0,
-                "finishing a vertex whose predecessors are incomplete");
+  if (!allowPendingPreds) {
+    EASYHPS_CHECK(remaining_preds_[static_cast<std::size_t>(v)] == 0,
+                  "finishing a vertex whose predecessors are incomplete");
+  }
   if (finished_[static_cast<std::size_t>(v)]) {
     return {};  // duplicate completion (fault-tolerance re-delivery)
   }
@@ -31,7 +33,10 @@ std::vector<VertexId> DagParseState::finish(VertexId v) {
   ++finished_count_;
   std::vector<VertexId> newly;
   for (VertexId s : dag_->successors(v)) {
-    if (--remaining_preds_[static_cast<std::size_t>(s)] == 0) {
+    // A successor finished ahead of its counters (streamed completion)
+    // must not be announced computable a second time.
+    if (--remaining_preds_[static_cast<std::size_t>(s)] == 0 &&
+        !finished_[static_cast<std::size_t>(s)]) {
       newly.push_back(s);
     }
   }

@@ -28,7 +28,21 @@ class DagParseState {
 
   /// Marks `v` finished; returns the vertices that just became computable.
   /// Finishing an already-finished vertex returns an empty list.
-  std::vector<VertexId> finish(VertexId v);
+  ///
+  /// `allowPendingPreds` is the streamed-completion path (cross-level
+  /// pipelining, runtime/pipeline.hpp): a vertex fired early off halo
+  /// fragments can complete while some precedence predecessors are still
+  /// in flight.  Its data dependencies were satisfied cell-by-cell when it
+  /// computed, so finishing it with pending predecessor *counters* is
+  /// sound; the counters keep draining as those predecessors finish, and
+  /// the `finished_` guard below keeps it from being re-announced.
+  std::vector<VertexId> finish(VertexId v, bool allowPendingPreds = false);
+
+  /// Unfinished predecessor count (fragment-eligibility bookkeeping).
+  std::int64_t remainingPreds(VertexId v) const {
+    EASYHPS_EXPECTS(v >= 0 && v < vertexCount());
+    return remaining_preds_[static_cast<std::size_t>(v)];
+  }
 
   bool isFinished(VertexId v) const {
     EASYHPS_EXPECTS(v >= 0 && v < vertexCount());

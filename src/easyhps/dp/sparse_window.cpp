@@ -58,6 +58,8 @@ std::vector<Score> SparseWindow::extract(const CellRect& rect) const {
   const Segment* s = segmentContaining(rect);
   EASYHPS_CHECK(s != nullptr,
                 "SparseWindow::extract rect spans no single segment");
+  EASYHPS_DCHECK(valid_.rectValid(rect.row0, rect.col0, rect.rows,
+                                  rect.cols));
   std::vector<Score> out(static_cast<std::size_t>(rect.cellCount()));
   for (std::int64_t r = 0; r < rect.rows; ++r) {
     const Score* src = s->data.data() + s->index(rect.row0 + r, rect.col0);
@@ -81,6 +83,7 @@ void SparseWindow::inject(const CellRect& rect,
               s->data.begin() + static_cast<std::ptrdiff_t>(
                                     s->index(rect.row0 + r, rect.col0)));
   }
+  valid_.fill(rect);  // after the copy: release pairs with reader acquire
 }
 
 std::int64_t SparseWindow::storedCells() const {

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "easyhps/dp/valid_mask.hpp"
 #include "easyhps/dp/window.hpp"
 #include "easyhps/matrix/geometry.hpp"
 
@@ -54,6 +55,7 @@ class SparseWindow {
   Score get(std::int64_t r, std::int64_t c) const {
     for (const Segment& s : segments_) {
       if (s.rect.contains(r, c)) {
+        EASYHPS_DCHECK(valid_.cellValid(r, c));
         return s.data[s.index(r, c)];
       }
     }
@@ -90,6 +92,11 @@ class SparseWindow {
   /// Writes a flat buffer into `rect` (must lie within a single segment).
   void inject(const CellRect& rect, std::span<const Score> values);
 
+  /// Streamed-halo support: marks `rect` as storage-backed but unarrived;
+  /// reads trip an EASYHPS_DCHECK until an inject() covers it.  Must be
+  /// called before computing threads start (see ValidityMask contract).
+  void quarantine(const CellRect& rect) { valid_.quarantine(rect); }
+
   /// Cells actually stored (the memory footprint).
   std::int64_t storedCells() const;
 
@@ -107,6 +114,7 @@ class SparseWindow {
       if (s == nullptr) {
         return w_->boundary_(r, c);
       }
+      EASYHPS_DCHECK(w_->valid_.cellValid(r, c));
       return s->data[s->index(r, c)];
     }
 
@@ -125,7 +133,11 @@ class SparseWindow {
         return nullptr;
       }
       const Segment* s = find(r, c0, r + 1, c0 + len);
-      return s == nullptr ? nullptr : s->data.data() + s->index(r, c0);
+      if (s == nullptr) {
+        return nullptr;
+      }
+      EASYHPS_DCHECK(w_->valid_.rectValid(r, c0, 1, len));
+      return s->data.data() + s->index(r, c0);
     }
 
     Score* rowOut(std::int64_t r, std::int64_t c0, std::int64_t len) {
@@ -147,6 +159,7 @@ class SparseWindow {
       if (s == nullptr) {
         return nullptr;
       }
+      EASYHPS_DCHECK(w_->valid_.rectValid(r0, c, len, 1));
       *stride = s->rect.cols;
       return s->data.data() + s->index(r0, c);
     }
@@ -177,6 +190,7 @@ class SparseWindow {
 
   std::vector<Segment> segments_;
   BoundaryFn boundary_;
+  ValidityMask valid_;
 };
 
 }  // namespace easyhps

@@ -1,0 +1,60 @@
+#include "easyhps/dp/valid_mask.hpp"
+
+#include <algorithm>
+
+namespace easyhps {
+
+void ValidityMask::quarantine(const CellRect& rect) {
+  if (rect.cellCount() <= 0) return;
+  Pending p;
+  p.rect = rect;
+  p.arrived.assign(static_cast<std::size_t>(rect.cellCount()), 0);
+  pending_.push_back(std::move(p));
+}
+
+void ValidityMask::fill(const CellRect& rect) {
+  if (pending_.empty() || rect.cellCount() <= 0) return;
+  for (Pending& p : pending_) {
+    const std::int64_t r0 = std::max(rect.row0, p.rect.row0);
+    const std::int64_t c0 = std::max(rect.col0, p.rect.col0);
+    const std::int64_t r1 = std::min(rect.rowEnd(), p.rect.rowEnd());
+    const std::int64_t c1 = std::min(rect.colEnd(), p.rect.colEnd());
+    for (std::int64_t r = r0; r < r1; ++r) {
+      for (std::int64_t c = c0; c < c1; ++c) {
+        const auto idx = static_cast<std::size_t>(
+            (r - p.rect.row0) * p.rect.cols + (c - p.rect.col0));
+        // Release pairs with the acquire in cellValid: a reader that sees
+        // the flag also sees the injected cell bytes.
+        std::atomic_ref<char>(p.arrived[idx])
+            .store(1, std::memory_order_release);
+      }
+    }
+  }
+}
+
+bool ValidityMask::cellValid(std::int64_t r, std::int64_t c) const {
+  for (const Pending& p : pending_) {
+    if (!p.rect.contains(r, c)) continue;
+    const auto idx = static_cast<std::size_t>(
+        (r - p.rect.row0) * p.rect.cols + (c - p.rect.col0));
+    // atomic_ref needs a mutable lvalue; flags are logically const here.
+    auto& flag = const_cast<char&>(p.arrived[idx]);
+    if (std::atomic_ref<char>(flag).load(std::memory_order_acquire) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidityMask::rectValid(std::int64_t r0, std::int64_t c0,
+                             std::int64_t rows, std::int64_t cols) const {
+  if (pending_.empty()) return true;
+  for (std::int64_t r = r0; r < r0 + rows; ++r) {
+    for (std::int64_t c = c0; c < c0 + cols; ++c) {
+      if (!cellValid(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace easyhps

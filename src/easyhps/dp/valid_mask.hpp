@@ -1,0 +1,62 @@
+#pragma once
+/// \file valid_mask.hpp
+/// Per-segment cell-validity tracking for streamed halo injection.
+///
+/// Under PipelineMode::kStreaming a slave window starts with *holes*: the
+/// pending halo rects of its assignment have storage but no data yet, and
+/// fragments fill them in while sibling sub-blocks already compute.  The
+/// fragment tracker (dag/fragment.hpp) guarantees no fired node reads an
+/// unarrived cell — this mask is the tripwire that *verifies* it.  Window
+/// and SparseWindow reads go through an `EASYHPS_DCHECK` against the
+/// mask, so debug and sanitizer builds abort on a read of a quarantined,
+/// not-yet-filled cell while release builds pay nothing in the per-cell
+/// hot loops (the checks compile out with EASYHPS_DCHECK).
+///
+/// The mask tracks only explicitly quarantined rects (the pending halo
+/// segments): everything else — block cells, arrived halos, boundary
+/// fallbacks — is valid by default, so barrier-mode windows and the
+/// master matrix never pay a false positive.
+///
+/// Concurrency contract: all `quarantine` calls happen before the
+/// computing threads start (assignment setup), so the entry list is
+/// immutable while threads run; `fill` only flips per-cell flags, which
+/// are accessed through std::atomic_ref so the single-writer fragment
+/// pump and the DCHECKing reader threads race cleanly.  Entries are never
+/// erased — the mask lives for one assignment.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "easyhps/matrix/geometry.hpp"
+
+namespace easyhps {
+
+class ValidityMask {
+ public:
+  /// Marks `rect` as not-yet-arrived.  Cells stay invalid until covered
+  /// by `fill`.  Must not run concurrently with readers (setup phase).
+  void quarantine(const CellRect& rect);
+
+  /// Marks `rect` arrived (an injection landed).
+  void fill(const CellRect& rect);
+
+  /// True when any rect was ever quarantined (cheap inactive check).
+  bool active() const { return !pending_.empty(); }
+
+  /// True when cell (r, c) is readable (not quarantined, or filled).
+  bool cellValid(std::int64_t r, std::int64_t c) const;
+
+  /// True when every cell of [r0, r0+rows) × [c0, c0+cols) is readable.
+  bool rectValid(std::int64_t r0, std::int64_t c0, std::int64_t rows,
+                 std::int64_t cols) const;
+
+ private:
+  struct Pending {
+    CellRect rect;
+    std::vector<char> arrived;  // one flag per cell, atomic_ref access
+  };
+  std::vector<Pending> pending_;
+};
+
+}  // namespace easyhps

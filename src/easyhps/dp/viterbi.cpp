@@ -54,10 +54,9 @@ Score Viterbi::boundary(std::int64_t r, std::int64_t c) const {
 }
 
 std::vector<CellRect> Viterbi::haloFor(const CellRect& rect) const {
-  // Blocks span all states, so the only external data is the previous
-  // stage row (full width).
-  EASYHPS_CHECK(rect.col0 == 0 && rect.cols == states_,
-                "Viterbi blocks must span the full state axis");
+  // Every cell (t, s) maxes over ALL states of stage t-1, so any rect —
+  // a full-width process block or a partial-width thread sub-block (the
+  // streaming gate asks per sub-block) — reads the full previous row.
   std::vector<CellRect> halos;
   if (rect.row0 > 0) {
     halos.push_back(CellRect{rect.row0 - 1, 0, 1, states_});

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "easyhps/dp/valid_mask.hpp"
 #include "easyhps/matrix/geometry.hpp"
 #include "easyhps/util/error.hpp"
 
@@ -48,6 +49,7 @@ class Window {
   /// Read cell (r, c) in global coordinates.
   Score get(std::int64_t r, std::int64_t c) const {
     if (inBox(r, c)) {
+      EASYHPS_DCHECK(valid_.cellValid(r, c));
       return data_[index(r, c)];
     }
     return boundary_(r, c);
@@ -67,6 +69,7 @@ class Window {
     if (len <= 0 || !inBox(r, c0) || !inBox(r, c0 + len - 1)) {
       return nullptr;
     }
+    EASYHPS_DCHECK(valid_.rectValid(r, c0, 1, len));
     return data_.data() + index(r, c0);
   }
 
@@ -85,8 +88,19 @@ class Window {
     if (len <= 0 || !inBox(r0, c) || !inBox(r0 + len - 1, c)) {
       return nullptr;
     }
+    EASYHPS_DCHECK(valid_.rectValid(r0, c, len, 1));
     *stride = box_.cols;
     return data_.data() + index(r0, c);
+  }
+
+  /// Streamed-halo support: cells of `rect` are storage-backed but have
+  /// not arrived yet; reads trip an EASYHPS_DCHECK until an inject()
+  /// covers them.  No-op in release builds' hot paths (the mask is only
+  /// consulted from DCHECKed reads).
+  void quarantine(const CellRect& rect) {
+    EASYHPS_DCHECK(rect.row0 >= box_.row0 && rect.rowEnd() <= box_.rowEnd());
+    EASYHPS_DCHECK(rect.col0 >= box_.col0 && rect.colEnd() <= box_.colEnd());
+    valid_.quarantine(rect);
   }
 
   /// Uniform accessor facade over a Window, mirroring SparseWindow::View
@@ -118,6 +132,8 @@ class Window {
   std::vector<Score> extract(const CellRect& rect) const {
     EASYHPS_DCHECK(rect.row0 >= box_.row0 && rect.rowEnd() <= box_.rowEnd());
     EASYHPS_DCHECK(rect.col0 >= box_.col0 && rect.colEnd() <= box_.colEnd());
+    EASYHPS_DCHECK(valid_.rectValid(rect.row0, rect.col0, rect.rows,
+                                    rect.cols));
     std::vector<Score> out(static_cast<std::size_t>(rect.cellCount()));
     for (std::int64_t r = 0; r < rect.rows; ++r) {
       const Score* src = data_.data() + index(rect.row0 + r, rect.col0);
@@ -145,6 +161,7 @@ class Window {
                     static_cast<std::ptrdiff_t>(index(rect.row0 + r,
                                                       rect.col0)));
     }
+    valid_.fill(rect);  // after the copy: release pairs with reader acquire
   }
 
  private:
@@ -156,6 +173,7 @@ class Window {
   CellRect box_;
   BoundaryFn boundary_;
   std::vector<Score> data_;
+  ValidityMask valid_;
 };
 
 /// Bounding box of a block rectangle and its halo rectangles.

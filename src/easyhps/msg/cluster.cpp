@@ -41,6 +41,11 @@ ClusterReport Cluster::run(int size, const RankMain& main,
         Comm comm(r, &state);
         try {
           main(comm);
+        } catch (const std::exception& ex) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          EASYHPS_LOG_WARN("rank " << r << " failed ("
+                                   << ex.what() << "); aborting cluster");
+          state.closeAll();  // wake every blocked recv so ranks can exit
         } catch (...) {
           errors[static_cast<std::size_t>(r)] = std::current_exception();
           EASYHPS_LOG_WARN("rank " << r << " failed; aborting cluster");

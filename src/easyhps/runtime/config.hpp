@@ -94,7 +94,10 @@ struct RuntimeConfig {
   /// Data-plane protocol; see DataPlaneMode.
   DataPlaneMode dataPlane = DataPlaneMode::kPeerToPeer;
   /// Byte budget of each slave's BlockStore (kPeerToPeer only); blocks
-  /// evicted beyond it spill to the master.  0 = unlimited.
+  /// evicted beyond it spill to the master.  Must be positive: validate()
+  /// rejects 0 (the raw store::BlockStore treats 0 as unlimited, but at
+  /// the config level that silent meaning flip has proven to be a
+  /// misconfiguration, not an intent).
   std::uint64_t storeByteBudget = 256ULL << 20;
   /// kPeerToPeer: pull every non-resident block to the master matrix at
   /// job end.  Off = the result matrix holds only boundary cells; callers
@@ -177,6 +180,22 @@ struct RunStats {
   /// Ownership entries invalidated after a timeout re-distribution (the
   /// peers-must-not-fetch-from-a-dead-rank fix).
   std::int64_t ownershipInvalidations = 0;
+
+  // Streaming-pipeline counters (all zero under PipelineMode::kBarrier).
+  std::int64_t fragmentsSent = 0;       ///< producer → master halo fragments
+  std::int64_t fragmentsApplied = 0;    ///< fragment pieces injected into
+                                        ///< consumer windows
+  std::int64_t fragmentsForwarded = 0;  ///< master → consumer forwards
+  std::int64_t fragmentsCoalesced = 0;  ///< fragments adding no new coverage
+                                        ///< (duplicates, resend overlap)
+  std::int64_t fragmentResends = 0;     ///< stalled-consumer resend requests
+                                        ///< the master served
+  std::int64_t blocksStartedEarly = 0;  ///< assignments fired before every
+                                        ///< producer block finished
+  /// Summed per-block overlap between first sub-block compute and the
+  /// arrival of the last pending halo fragment ("first-compute-to-full-
+  /// halo"): the wall-clock the pipeline reclaimed from the barrier.
+  double streamOverlapSeconds = 0.0;
 
   std::vector<std::int64_t> tasksPerSlave;
 

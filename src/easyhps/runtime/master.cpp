@@ -9,7 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "easyhps/dag/fragment.hpp"
 #include "easyhps/dag/parse_state.hpp"
+#include "easyhps/runtime/pipeline.hpp"
 #include "easyhps/runtime/wire.hpp"
 #include "easyhps/sched/worker_pool.hpp"
 #include "easyhps/store/ownership.hpp"
@@ -23,8 +25,9 @@ namespace {
 /// thread and the data-plane thread, scoped to one job.
 struct MasterState {
   MasterState(JobId j, const PartitionedDag& d, const DpProblem& prob,
-              Window& m, bool p)
-      : jobId(j), dag(&d), problem(&prob), parse(d.dag), matrix(&m), peer(p) {}
+              Window& m, bool p, bool s)
+      : jobId(j), dag(&d), problem(&prob), parse(d.dag), matrix(&m), peer(p),
+        streaming(s) {}
 
   const JobId jobId;
   const PartitionedDag* dag;
@@ -45,13 +48,33 @@ struct MasterState {
   std::chrono::milliseconds fetchTimeout{250};
   bool recordTrace = false;
 
-  // Data-plane geometry, precomputed once per job (peer mode only).
+  // Data-plane geometry, precomputed once per job (peer mode, and — for
+  // the streaming pipeline — relay mode too).
   // haloPieces[u]: u's halo rects decomposed into per-block pieces
   // (owner filled in at Assign time from the directory).
   // outboundRects[v]: deduped sub-rects of block v some successor's halo
   // reads — what v's result ack must carry back (Assign's ackRects).
   std::vector<std::vector<wire::HaloSource>> haloPieces;
   std::vector<std::vector<CellRect>> outboundRects;
+
+  // Streaming pipeline (PipelineMode::kStreaming), all guarded by mutex.
+  // streamOut[v]: pieces a slave computing v must emit as HaloPartial
+  // fragments the moment the covering sub-block finishes (relay: every
+  // successor-facing piece; peer: ack-sized only, thick pieces stay on
+  // the ownership path).  fragmentConsumers[v]: blocks whose halo reads v.
+  // precedencePreds[u]: u's block-DAG predecessors (reverse adjacency) —
+  // an early fire must never overtake a pure-ordering edge.
+  // fragTracker[v] / validRects[v]: which of v's streamOut cells have
+  // already landed in the master matrix (dedup + resend source).
+  const bool streaming;
+  std::vector<std::vector<CellRect>> streamOut;
+  std::vector<std::vector<VertexId>> fragmentConsumers;
+  std::vector<std::vector<VertexId>> precedencePreds;
+  std::vector<HaloFragmentTracker> fragTracker;
+  std::vector<std::vector<CellRect>> validRects;
+  std::vector<char> firedEarly;   ///< queued/assigned ahead of its preds
+  std::vector<char> inFlight;     ///< currently assigned to some rank
+  std::vector<int> assignedRank;  ///< rank computing v (0 = none)
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -71,6 +94,9 @@ struct MasterState {
   std::int64_t blocksAssembled = 0;
   std::int64_t blocksRecomputed = 0;
   std::int64_t statsSkipped = 0;
+  std::int64_t fragmentsForwarded = 0;
+  std::int64_t fragmentsCoalesced = 0;
+  std::int64_t blocksStartedEarly = 0;
   double firstBlockSeconds = -1.0;
   std::vector<std::int64_t> tasksPerSlave;
   std::vector<RunStats::ScheduleEvent> scheduleTrace;
@@ -81,17 +107,6 @@ struct MasterState {
 };
 
 constexpr int kMaxFetchAttempts = 4;
-
-CellRect intersectRect(const CellRect& a, const CellRect& b) {
-  CellRect r;
-  r.row0 = std::max(a.row0, b.row0);
-  r.col0 = std::max(a.col0, b.col0);
-  r.rows = std::max<std::int64_t>(
-      0, std::min(a.rowEnd(), b.rowEnd()) - r.row0);
-  r.cols = std::max<std::int64_t>(
-      0, std::min(a.colEnd(), b.colEnd()) - r.col0);
-  return r;
-}
 
 /// Ack threshold: a successor-facing piece rides back in the result ack
 /// only if it covers at most a quarter of its block ("boundary rows/cols").
@@ -108,12 +123,34 @@ bool ackSized(const CellRect& piece, const CellRect& block) {
 /// per block: triangular patterns request the same full-block rect from
 /// every row/column successor, and without the dedupe an ack would carry
 /// the block once per successor.
+///
+/// Streaming pipeline: additionally fills streamOut (the pieces a
+/// producer must emit as fragments — relay streams everything a successor
+/// reads, peer mode only ack-sized pieces so thick dependencies keep
+/// riding the ownership path and bench_dataplane's traffic split holds),
+/// the fragmentConsumers reverse map, per-producer fragment trackers, and
+/// the precedence reverse adjacency.
 void buildHaloGeometry(const DpProblem& problem, MasterState& state) {
   const PartitionedDag& dag = *state.dag;
   const BlockGrid& grid = dag.grid;
   const auto count = static_cast<std::size_t>(dag.vertexCount());
   state.haloPieces.resize(count);
   state.outboundRects.resize(count);
+  if (state.streaming) {
+    state.streamOut.resize(count);
+    state.fragmentConsumers.resize(count);
+    state.precedencePreds.resize(count);
+    state.fragTracker.resize(count);
+    state.validRects.resize(count);
+    state.firedEarly.assign(count, 0);
+    state.inFlight.assign(count, 0);
+    state.assignedRank.assign(count, 0);
+    for (VertexId v = 0; v < dag.vertexCount(); ++v) {
+      for (VertexId s : dag.dag.successors(v)) {
+        state.precedencePreds[static_cast<std::size_t>(s)].push_back(v);
+      }
+    }
+  }
   for (VertexId u = 0; u < dag.vertexCount(); ++u) {
     for (const CellRect& halo : problem.haloFor(dag.rectOf(u))) {
       if (halo.cellCount() <= 0) {
@@ -128,17 +165,32 @@ void buildHaloGeometry(const DpProblem& problem, MasterState& state) {
       for (std::int64_t bi = bi0; bi <= bi1; ++bi) {
         for (std::int64_t bj = bj0; bj <= bj1; ++bj) {
           const CellRect piece =
-              intersectRect(halo, grid.blockRect(bi, bj));
+              intersectRects(halo, grid.blockRect(bi, bj));
           if (piece.cellCount() <= 0) {
             continue;
           }
           const VertexId v = dag.vertexAt(bi, bj);
           state.haloPieces[static_cast<std::size_t>(u)].push_back(
               wire::HaloSource{piece, v, 0});
-          if (v >= 0 && v != u && ackSized(piece, grid.blockRect(bi, bj))) {
+          if (v < 0 || v == u) {
+            continue;
+          }
+          const bool small = ackSized(piece, grid.blockRect(bi, bj));
+          if (small) {
             auto& out = state.outboundRects[static_cast<std::size_t>(v)];
             if (std::find(out.begin(), out.end(), piece) == out.end()) {
               out.push_back(piece);
+            }
+          }
+          if (state.streaming && (small || !state.peer)) {
+            auto& so = state.streamOut[static_cast<std::size_t>(v)];
+            if (std::find(so.begin(), so.end(), piece) == so.end()) {
+              so.push_back(piece);
+              state.fragTracker[static_cast<std::size_t>(v)].expect(piece);
+            }
+            auto& fc = state.fragmentConsumers[static_cast<std::size_t>(v)];
+            if (std::find(fc.begin(), fc.end(), u) == fc.end()) {
+              fc.push_back(u);
             }
           }
         }
@@ -147,56 +199,204 @@ void buildHaloGeometry(const DpProblem& problem, MasterState& state) {
   }
 }
 
+/// Fraction of `u`'s halo cells already available to a streamed
+/// assignment (finished producers count in full).  Under state.mutex.
+double haloProgress(const MasterState& state, VertexId u) {
+  std::int64_t total = 0;
+  std::int64_t arrived = 0;
+  for (const wire::HaloSource& p :
+       state.haloPieces[static_cast<std::size_t>(u)]) {
+    total += p.rect.cellCount();
+    if (p.vertex < 0 || p.vertex == u || state.parse.isFinished(p.vertex)) {
+      arrived += p.rect.cellCount();
+      continue;
+    }
+    std::int64_t missing = 0;
+    for (const CellRect& o :
+         state.fragTracker[static_cast<std::size_t>(p.vertex)].outstanding()) {
+      missing += intersectRects(o, p.rect).cellCount();
+    }
+    arrived += p.rect.cellCount() - missing;
+  }
+  return total == 0 ? 1.0 : static_cast<double>(arrived) /
+                                static_cast<double>(total);
+}
+
+/// Early-fire check (streaming pipeline, under state.mutex): queues `u`
+/// for assignment while some of its predecessors are still computing,
+/// provided the stream can actually feed it —
+///  * every unfinished halo producer is itself in flight (its fragments
+///    are coming; in peer mode the piece must also be ack-sized, thick
+///    pieces never stream),
+///  * every pure-precedence predecessor is finished or in flight,
+///  * at least one fragment of its pending halo has already landed
+///    ("assignments eligible at first fragment").
+/// Deadlock-freedom: eligibility only ever *adds* runnable work for
+/// queued-behind fragments; a producer that dies mid-stream is handled by
+/// the consumer's bounded resend/abandon path plus the master's overtime
+/// re-distribution — never an unbounded wait.
+void maybeFireEarly(MasterState& state, VertexId u) {
+  if (!state.streaming || state.done) {
+    return;
+  }
+  const auto iu = static_cast<std::size_t>(u);
+  if (state.parse.isFinished(u) || state.parse.remainingPreds(u) == 0 ||
+      state.firedEarly[iu] != 0 || state.inFlight[iu] != 0) {
+    return;
+  }
+  bool anyFragment = false;
+  for (const wire::HaloSource& p : state.haloPieces[iu]) {
+    if (p.vertex < 0 || p.vertex == u || state.parse.isFinished(p.vertex)) {
+      continue;
+    }
+    const auto ip = static_cast<std::size_t>(p.vertex);
+    if (state.inFlight[ip] == 0) {
+      return;  // producer not running: nothing will stream this piece
+    }
+    if (state.peer && !ackSized(p.rect, state.dag->rectOf(p.vertex))) {
+      return;  // thick piece stays on the ownership path; wait for finish
+    }
+    if (!anyFragment) {
+      for (const CellRect& v : state.validRects[ip]) {
+        if (intersectRects(v, p.rect).cellCount() > 0) {
+          anyFragment = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!anyFragment) {
+    return;
+  }
+  for (VertexId pred : state.precedencePreds[iu]) {
+    if (!state.parse.isFinished(pred) &&
+        state.inFlight[static_cast<std::size_t>(pred)] == 0) {
+      return;  // ordering edge not yet backed by running work
+    }
+  }
+  state.firedEarly[iu] = 1;
+  ++state.blocksStartedEarly;
+  state.policy->onFragmentProgress(u, haloProgress(state, u));
+  state.policy->onReady(u);
+  state.cv.notify_all();
+}
+
 /// Injects a result and advances the parse state.  Returns true if this
 /// completion was new (false = stale job, duplicate, or late result).
 /// `data` is the decoded cell view (borrowed from the message body on the
 /// fast path; `result.data` itself stays empty).
-bool processResult(MasterState& state, const wire::ResultPayload& result,
+///
+/// Streaming pipeline: a completion also closes the producer's fragment
+/// stream — any streamOut piece whose fragments were chaos-dropped is
+/// proactively forwarded (from the just-injected matrix cells) to every
+/// early-fired in-flight consumer, so a consumer never waits on a
+/// fragment whose producer already finished.  Sends happen after the
+/// mutex is released; targets are captured under the same mutex that
+/// assigns ranks, so there is no forward/assign gap.
+bool processResult(msg::Comm& comm, MasterState& state,
+                   const wire::ResultPayload& result,
                    std::span<const Score> data, int slaveRank) {
-  std::lock_guard<std::mutex> lock(state.mutex);
-  if (result.job != state.jobId) {
-    // A reply that outlived its job (delay fault, slow slave).  Vertex ids
-    // restart at 0 every job, so crediting it here would corrupt the
-    // current job's matrix; discard it.
-    ++state.staleJobResults;
-    return false;
-  }
-  (void)state.registerTable.complete(result.vertex);
-  if (state.parse.isFinished(result.vertex)) {
-    ++state.lateResults;
-    return false;
-  }
-  if (state.peer) {
-    // Ack: inject the boundary cells and record who owns the full block.
-    bool resident = false;
-    for (const wire::HaloBlock& edge : result.edges) {
-      state.matrix->inject(edge.rect, edge.data);
-      resident = resident || edge.rect == result.rect;
+  struct Forward {
+    int rank;
+    wire::HaloPartialPayload payload;
+  };
+  std::vector<Forward> forwards;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (result.job != state.jobId) {
+      // A reply that outlived its job (delay fault, slow slave).  Vertex
+      // ids restart at 0 every job, so crediting it here would corrupt
+      // the current job's matrix; discard it.
+      ++state.staleJobResults;
+      return false;
     }
-    state.directory.registerBlock(result.vertex, slaveRank);
-    if (resident) {
-      state.directory.markResident(result.vertex);
+    (void)state.registerTable.complete(result.vertex);
+    if (state.parse.isFinished(result.vertex)) {
+      ++state.lateResults;
+      return false;
     }
-    state.tableChecksum += result.checksum;
-  } else {
-    state.matrix->inject(result.rect, data);
-    const std::uint64_t sum =
-        wire::blockChecksum(result.vertex, result.rect, data);
-    EASYHPS_CHECK(sum == result.checksum,
-                  "relayed block does not match the slave's checksum");
-    state.tableChecksum += sum;
+    if (state.peer) {
+      // Ack: inject the boundary cells and record who owns the full block.
+      bool resident = false;
+      for (const wire::HaloBlock& edge : result.edges) {
+        state.matrix->inject(edge.rect, edge.data);
+        resident = resident || edge.rect == result.rect;
+      }
+      state.directory.registerBlock(result.vertex, slaveRank);
+      if (resident) {
+        state.directory.markResident(result.vertex);
+      }
+      state.tableChecksum += result.checksum;
+    } else {
+      state.matrix->inject(result.rect, data);
+      const std::uint64_t sum =
+          wire::blockChecksum(result.vertex, result.rect, data);
+      EASYHPS_CHECK(sum == result.checksum,
+                    "relayed block does not match the slave's checksum");
+      state.tableChecksum += sum;
+    }
+    if (state.streaming) {
+      const auto iv = static_cast<std::size_t>(result.vertex);
+      state.inFlight[iv] = 0;
+      state.assignedRank[iv] = 0;
+      state.firedEarly[iv] = 0;
+      auto& tracker = state.fragTracker[iv];
+      if (!tracker.done()) {
+        const std::vector<CellRect> missing = tracker.outstanding();
+        for (VertexId u : state.fragmentConsumers[iv]) {
+          const auto iu = static_cast<std::size_t>(u);
+          if (state.firedEarly[iu] == 0 || state.inFlight[iu] == 0 ||
+              state.assignedRank[iu] <= 0) {
+            continue;
+          }
+          for (const CellRect& rect : missing) {
+            forwards.push_back(
+                {state.assignedRank[iu],
+                 wire::HaloPartialPayload{state.jobId, result.vertex, rect,
+                                          state.matrix->extract(rect)}});
+            ++state.fragmentsForwarded;
+          }
+        }
+        for (const CellRect& rect : missing) {
+          tracker.fill(rect);
+          state.validRects[iv].push_back(rect);
+        }
+      }
+    }
+    // A streamed (early-fired) completion may finish with live preds:
+    // allowPendingPreds skips the counter check, and successors already
+    // queued or running via their own early fire are not re-announced.
+    for (VertexId next : state.parse.finish(result.vertex, state.streaming)) {
+      if (state.streaming &&
+          state.firedEarly[static_cast<std::size_t>(next)] != 0) {
+        continue;
+      }
+      state.policy->onReady(next);
+    }
+    if (state.streaming && !state.done) {
+      // Full coverage from this completion may unlock early fires (and
+      // refresh fragment-progress hints) for the consumers it feeds.
+      for (VertexId u :
+           state.fragmentConsumers[static_cast<std::size_t>(result.vertex)]) {
+        if (!state.parse.isFinished(u)) {
+          state.policy->onFragmentProgress(u, haloProgress(state, u));
+          maybeFireEarly(state, u);
+        }
+      }
+    }
+    ++state.completed;
+    if (state.firstBlockSeconds < 0.0) {
+      state.firstBlockSeconds = state.watch.elapsedSeconds();
+    }
+    if (state.parse.allDone()) {
+      state.done = true;
+    }
+    state.cv.notify_all();
   }
-  for (VertexId next : state.parse.finish(result.vertex)) {
-    state.policy->onReady(next);
+  for (Forward& f : forwards) {
+    comm.send(f.rank, wire::kTagHaloPartial,
+              wire::encodeHaloPartial(std::move(f.payload)));
   }
-  ++state.completed;
-  if (state.firstBlockSeconds < 0.0) {
-    state.firstBlockSeconds = state.watch.elapsedSeconds();
-  }
-  if (state.parse.allDone()) {
-    state.done = true;
-  }
-  state.cv.notify_all();
   return true;
 }
 
@@ -282,7 +482,7 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
         }
         inflight = Inflight{vertex, epoch};
         assign.vertex = vertex;
-        if (state.peer) {
+        if (state.peer && !state.streaming) {
           // Metadata-only assignment: fetch instructions resolved against
           // the ownership directory (which this mutex also guards).
           const auto& pieces =
@@ -296,13 +496,62 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
           assign.ackRects =
               state.outboundRects[static_cast<std::size_t>(vertex)];
         }
+        if (state.streaming) {
+          // Streamed assignment, built fully under the mutex (fragments
+          // mutate the matrix concurrently, so the barrier path's
+          // outside-mutex halo extraction is off the table).  Pieces of
+          // finished producers resolve as usual (inline extract / fetch
+          // sources); each unfinished producer's piece splits into the
+          // part whose fragments already landed (inlined) and the part
+          // the consumer's fragment pump will cover (pendingRects).
+          const auto ivx = static_cast<std::size_t>(vertex);
+          state.inFlight[ivx] = 1;
+          state.assignedRank[ivx] = slaveRank;
+          assign.streamRects = state.streamOut[ivx];
+          if (state.peer) {
+            assign.ackRects = state.outboundRects[ivx];
+          }
+          for (const wire::HaloSource& p : state.haloPieces[ivx]) {
+            if (p.rect.cellCount() <= 0) {
+              continue;
+            }
+            if (p.vertex < 0 || state.parse.isFinished(p.vertex)) {
+              if (state.peer) {
+                wire::HaloSource src = p;
+                src.owner = p.vertex >= 0
+                                ? state.directory.haloSource(p.vertex)
+                                : 0;
+                assign.sources.push_back(src);
+              } else {
+                assign.halos.push_back(
+                    wire::HaloBlock{p.rect, state.matrix->extract(p.rect)});
+              }
+              continue;
+            }
+            const CoverageSplit split = partitionByCoverage(
+                p.rect, state.validRects[static_cast<std::size_t>(p.vertex)]);
+            for (const CellRect& c : split.covered) {
+              assign.halos.push_back(
+                  wire::HaloBlock{c, state.matrix->extract(c)});
+            }
+            for (const CellRect& q : split.pending) {
+              assign.pendingRects.push_back(q);
+            }
+          }
+          // This vertex is now a live fragment source: consumers blocked
+          // only on "producer not in flight" may become eligible.
+          for (VertexId u : state.fragmentConsumers[ivx]) {
+            maybeFireEarly(state, u);
+          }
+        }
       }
       assign.job = state.jobId;
       assign.rect = state.dag->rectOf(assign.vertex);
 
       // Relay mode: halo extraction and send happen outside the scheduler
-      // mutex; see master.hpp for why this is race-free.
-      if (!state.peer) {
+      // mutex; see master.hpp for why this is race-free.  (Streamed jobs
+      // extracted under the mutex above.)
+      if (!state.peer && !state.streaming) {
         for (const CellRect& h : problem.haloFor(assign.rect)) {
           assign.halos.push_back(
               wire::HaloBlock{h, state.matrix->extract(h)});
@@ -342,7 +591,7 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
     }
     wire::ScoreCells cells;
     const wire::ResultPayload result = wire::decodeResult(m->payload, cells);
-    processResult(state, result, cells.cells(), slaveRank);
+    processResult(comm, state, result, cells.cells(), slaveRank);
     if (result.job == state.jobId && result.vertex == inflight->vertex) {
       inflight.reset();
     }
@@ -415,7 +664,27 @@ void controlLoop(MasterState& state, const RuntimeConfig& cfg,
                                                 << e.worker);
               }
             }
-            state.policy->onReady(e.task);
+            bool requeue = true;
+            if (state.streaming) {
+              const auto it = static_cast<std::size_t>(e.task);
+              state.inFlight[it] = 0;
+              state.assignedRank[it] = 0;
+              if (state.firedEarly[it] != 0 &&
+                  state.parse.remainingPreds(e.task) > 0) {
+                // An early fire that timed out must NOT be requeued while
+                // its preds still compute: a second early assignment
+                // would chase the same possibly-dead fragment stream
+                // (starvation livelock).  Clearing the flag re-arms the
+                // normal paths — maybeFireEarly on the next fragment, or
+                // plain readiness when the last pred finishes.
+                state.firedEarly[it] = 0;
+                requeue = false;
+              }
+              state.firedEarly[it] = 0;
+            }
+            if (requeue) {
+              state.policy->onReady(e.task);
+            }
             EASYHPS_LOG_WARN("sub-task " << e.task << " timed out on slave "
                                          << e.worker << "; re-distributing");
           }
@@ -424,6 +693,122 @@ void controlLoop(MasterState& state, const RuntimeConfig& cfg,
       }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+/// Copies sub-rectangle `sub` out of a row-major buffer covering `rect`.
+std::vector<Score> fragmentPiece(const CellRect& rect,
+                                 std::span<const Score> data,
+                                 const CellRect& sub) {
+  EASYHPS_EXPECTS(sub.row0 >= rect.row0 && sub.rowEnd() <= rect.rowEnd());
+  EASYHPS_EXPECTS(sub.col0 >= rect.col0 && sub.colEnd() <= rect.colEnd());
+  std::vector<Score> out(static_cast<std::size_t>(sub.cellCount()));
+  for (std::int64_t r = 0; r < sub.rows; ++r) {
+    const auto srcOff = static_cast<std::size_t>(
+        (sub.row0 + r - rect.row0) * rect.cols + (sub.col0 - rect.col0));
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(srcOff),
+              data.begin() + static_cast<std::ptrdiff_t>(srcOff + sub.cols),
+              out.begin() + static_cast<std::ptrdiff_t>(r * sub.cols));
+  }
+  return out;
+}
+
+/// A producer-emitted halo fragment landed: inject the not-yet-covered
+/// pieces into the matrix, refresh consumer progress/eligibility, and
+/// forward the fragment (a payload refcount bump, not a re-encode) to
+/// every early-fired in-flight consumer of the producer.  Duplicates
+/// (chaos, resends) coalesce to a counter tick.
+void absorbFragment(msg::Comm& comm, MasterState& state,
+                    const msg::Message& m) {
+  wire::ScoreCells cells;
+  const wire::HaloPartialPayload frag =
+      wire::decodeHaloPartial(m.payload, cells);
+  std::vector<int> targets;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (frag.job != state.jobId || !state.streaming || frag.vertex < 0 ||
+        frag.vertex >= state.dag->vertexCount()) {
+      return;
+    }
+    const auto iv = static_cast<std::size_t>(frag.vertex);
+    auto& tracker = state.fragTracker[iv];
+    const std::vector<CellRect> pieces =
+        tracker.intersectOutstanding(frag.rect);
+    if (pieces.empty()) {
+      ++state.fragmentsCoalesced;
+      return;
+    }
+    for (const CellRect& piece : pieces) {
+      state.matrix->inject(piece, fragmentPiece(frag.rect, cells.cells(),
+                                                piece));
+      state.validRects[iv].push_back(piece);
+    }
+    tracker.fill(frag.rect);
+    for (VertexId u : state.fragmentConsumers[iv]) {
+      const auto iu = static_cast<std::size_t>(u);
+      if (state.parse.isFinished(u)) {
+        continue;
+      }
+      state.policy->onFragmentProgress(u, haloProgress(state, u));
+      maybeFireEarly(state, u);
+      if (state.firedEarly[iu] != 0 && state.inFlight[iu] != 0 &&
+          state.assignedRank[iu] > 0) {
+        const int rank = state.assignedRank[iu];
+        if (std::find(targets.begin(), targets.end(), rank) ==
+            targets.end()) {
+          targets.push_back(rank);
+        }
+      }
+    }
+    state.fragmentsForwarded += static_cast<std::int64_t>(targets.size());
+  }
+  for (int rank : targets) {
+    comm.send(rank, wire::kTagHaloPartial, m.payload);
+  }
+}
+
+/// A consumer stalled mid-stream: re-send whatever of its pending halo
+/// the matrix can currently cover.  Finished producers serve their whole
+/// (streamable) piece; in-flight producers serve the fragments that have
+/// landed so far.  The consumer clips against its own tracker, so over-
+/// sending is harmless.
+void serveFragmentResend(msg::Comm& comm, MasterState& state,
+                         const msg::Message& m) {
+  const auto req = wire::decodeFragmentResend(m.payload);
+  std::vector<wire::HaloPartialPayload> replies;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (req.job != state.jobId || !state.streaming || req.vertex < 0 ||
+        req.vertex >= state.dag->vertexCount()) {
+      return;
+    }
+    for (const wire::HaloSource& p :
+         state.haloPieces[static_cast<std::size_t>(req.vertex)]) {
+      if (p.vertex < 0 || p.rect.cellCount() <= 0) {
+        continue;
+      }
+      if (state.peer && !ackSized(p.rect, state.dag->rectOf(p.vertex))) {
+        continue;  // thick pieces were fetch sources, never pendingRects
+      }
+      if (state.parse.isFinished(p.vertex)) {
+        replies.push_back({state.jobId, p.vertex, p.rect,
+                           state.matrix->extract(p.rect)});
+        continue;
+      }
+      const auto covered =
+          partitionByCoverage(
+              p.rect, state.validRects[static_cast<std::size_t>(p.vertex)])
+              .covered;
+      for (const CellRect& c : covered) {
+        replies.push_back(
+            {state.jobId, p.vertex, c, state.matrix->extract(c)});
+      }
+    }
+    state.fragmentsForwarded += static_cast<std::int64_t>(replies.size());
+  }
+  for (wire::HaloPartialPayload& r : replies) {
+    comm.send(m.source, wire::kTagHaloPartial,
+              wire::encodeHaloPartial(std::move(r)));
   }
 }
 
@@ -576,9 +961,11 @@ void materializeBlock(msg::Comm& comm, MasterState& state, VertexId v,
   }
 }
 
-/// Master data-plane thread (peer mode): serves halo fallback requests
-/// from the job matrix (lazily pulling non-resident blocks) and absorbs
-/// spilled blocks.  Runs until the job's Stats handshake finished — a
+/// Master data-plane thread (peer mode, and relay mode when streaming):
+/// serves halo fallback requests from the job matrix (lazily pulling
+/// non-resident blocks), absorbs spilled blocks, and — streaming
+/// pipeline — absorbs producer fragments and serves consumer resend
+/// requests.  Runs until the job's Stats handshake finished — a
 /// re-distributed straggler may still be computing (and fetching) while
 /// the main thread assembles.
 void masterDataLoop(msg::Comm& comm, MasterState& state,
@@ -622,8 +1009,16 @@ void masterDataLoop(msg::Comm& comm, MasterState& state,
         case wire::DataMsgKind::kBlockSpill:
           absorbSpill(state, m->payload);
           break;
+        case wire::DataMsgKind::kHaloPartial:
+          absorbFragment(comm, state, *m);
+          break;
+        case wire::DataMsgKind::kFragmentResend:
+          serveFragmentResend(comm, state, *m);
+          break;
         case wire::DataMsgKind::kBlockFetch:
-          EASYHPS_LOG_WARN("master received a misrouted BlockFetch");
+        case wire::DataMsgKind::kPing:
+          // Fetches and liveness pings only target slaves; drop.
+          EASYHPS_LOG_WARN("master received a misrouted data message");
           break;
       }
     }
@@ -640,6 +1035,11 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   EASYHPS_EXPECTS(comm.size() == cfg.slaveCount + 1);
   EASYHPS_EXPECTS(job.problem != nullptr && job.out != nullptr);
   const bool peer = cfg.dataPlane == DataPlaneMode::kPeerToPeer;
+  // Cross-level dataflow pipelining: sampled once per job, so a job sees
+  // one consistent mode even if the toggle flips mid-run.  Only the
+  // master consults it — slaves behave per Assign contents, and under
+  // kBarrier those are byte-for-byte the seed protocol.
+  const bool streaming = pipelineMode() == PipelineMode::kStreaming;
 
   // Injected job-level failure (chaos plan): consumed *before* dispatch,
   // so there is no JobStart bracket to unwind — the serve layer's retry
@@ -665,11 +1065,11 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   // (paper §V-B step a).
   const PartitionedDag dag = buildMasterDag(
       *job.problem, cfg.processPartitionRows, cfg.processPartitionCols);
-  MasterState state(job.id, dag, *job.problem, *job.out, peer);
+  MasterState state(job.id, dag, *job.problem, *job.out, peer, streaming);
   state.health = health;
   state.fetchTimeout = cfg.dataFetchTimeout;
   state.recordTrace = cfg.recordScheduleTrace;
-  if (peer) {
+  if (peer || streaming) {
     buildHaloGeometry(*job.problem, state);
   }
   if (cfg.masterPolicy == PolicyKind::kLocality) {
@@ -710,7 +1110,9 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
 
   std::atomic<bool> stopData{false};
   std::optional<std::jthread> dataThread;
-  if (peer) {
+  if (peer || streaming) {
+    // Streaming needs the data loop in *both* data-plane modes: producer
+    // fragments and consumer resend requests ride the kTagData envelope.
     dataThread.emplace([&] { masterDataLoop(comm, state, stopData); });
   }
 
@@ -817,11 +1219,12 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
     dataThread->join();
     dataThread.reset();
   }
-  if (peer) {
+  if (peer || streaming) {
     // Drain data requests that raced the shutdown: spills sent by a
     // straggler just before its Stats must land in the matrix (their
     // owner's store is flushed).  Requests of *earlier* jobs may also
-    // surface here; they are dropped by the job-id check.
+    // surface here (and, streaming, stray fragments of this one); they
+    // are dropped by the job-id / kind checks.
     while (auto m = comm.tryRecv(msg::kAnySource, wire::kTagData)) {
       if (wire::peekDataKind(m->payload) != wire::DataMsgKind::kBlockSpill) {
         continue;
@@ -852,6 +1255,9 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   stats.blocksAssembled = state.blocksAssembled;
   stats.blocksRecomputed = state.blocksRecomputed;
   stats.statsSkipped = state.statsSkipped;
+  stats.fragmentsForwarded = state.fragmentsForwarded;
+  stats.fragmentsCoalesced = state.fragmentsCoalesced;
+  stats.blocksStartedEarly = state.blocksStartedEarly;
   stats.ownershipInvalidations = state.directory.invalidations();
   stats.scheduleTrace = std::move(state.scheduleTrace);
   if (health != nullptr) {
@@ -881,6 +1287,11 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
     stats.halosServedToPeers += s.halosServed;
     stats.storeEvictions += s.storeEvictions;
     stats.storeSpilledBytes += s.storeSpilledBytes;
+    stats.fragmentsSent += s.fragmentsSent;
+    stats.fragmentsApplied += s.fragmentsApplied;
+    stats.fragmentResends += s.fragmentResends;
+    stats.streamOverlapSeconds +=
+        static_cast<double>(s.streamOverlapMicros) * 1e-6;
   }
   const msg::TrafficSnapshot traffic1 = comm.traffic();
   stats.messages = traffic1.messages - traffic0.messages;

@@ -1,0 +1,34 @@
+#include "easyhps/runtime/pipeline.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace easyhps {
+namespace {
+
+PipelineMode initialPipelineMode() {
+  const char* env = std::getenv("EASYHPS_PIPELINE");
+  if (env != nullptr && std::strcmp(env, "barrier") == 0) {
+    return PipelineMode::kBarrier;
+  }
+  return PipelineMode::kStreaming;
+}
+
+std::atomic<PipelineMode> g_pipeline_mode{initialPipelineMode()};
+
+}  // namespace
+
+PipelineMode pipelineMode() {
+  return g_pipeline_mode.load(std::memory_order_relaxed);
+}
+
+void setPipelineMode(PipelineMode mode) {
+  g_pipeline_mode.store(mode, std::memory_order_relaxed);
+}
+
+const char* pipelineModeName(PipelineMode mode) {
+  return mode == PipelineMode::kBarrier ? "barrier" : "streaming";
+}
+
+}  // namespace easyhps

@@ -1,0 +1,49 @@
+#pragma once
+/// \file pipeline.hpp
+/// Process-wide cross-level pipelining toggle.
+///
+/// `kStreaming` (default) lets halo *fragments* flow between blocks while
+/// their producers are still computing: the master fires a consumer
+/// assignment once the first fragment of its halo has arrived, and the
+/// slave thread pool starts the ready corner of the block while the rest
+/// streams in (see dag/fragment.hpp and DESIGN.md).  `kBarrier` restores
+/// the seed whole-block handoff semantics and serves as the bit-exactness
+/// oracle, exactly like `EASYHPS_KERNEL_PATH=reference` and
+/// `EASYHPS_MSG_PATH=copy` do for their layers.
+///
+/// Only the master consults the toggle: slaves derive their behaviour
+/// entirely from the Assign contents (pending/stream rects), so a single
+/// process-wide switch flipped between jobs cannot leave the two sides
+/// disagreeing mid-job.
+///
+/// The env override `EASYHPS_PIPELINE=barrier` selects the oracle at
+/// startup; anything else (or unset) keeps streaming.
+
+namespace easyhps {
+
+enum class PipelineMode {
+  kStreaming,  ///< fragment-granular halo flow (default)
+  kBarrier,    ///< whole-block handoffs (seed semantics, oracle)
+};
+
+PipelineMode pipelineMode();
+void setPipelineMode(PipelineMode mode);
+
+/// RAII pipeline-mode override for tests and benches.
+class ScopedPipelineMode {
+ public:
+  explicit ScopedPipelineMode(PipelineMode mode) : saved_(pipelineMode()) {
+    setPipelineMode(mode);
+  }
+  ~ScopedPipelineMode() { setPipelineMode(saved_); }
+  ScopedPipelineMode(const ScopedPipelineMode&) = delete;
+  ScopedPipelineMode& operator=(const ScopedPipelineMode&) = delete;
+
+ private:
+  PipelineMode saved_;
+};
+
+/// "streaming" / "barrier" (trace and bench output).
+const char* pipelineModeName(PipelineMode mode);
+
+}  // namespace easyhps

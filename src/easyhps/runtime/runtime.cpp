@@ -83,6 +83,12 @@ void RuntimeConfig::validate() const {
   if (dataFetchTimeout.count() <= 0) {
     fail("dataFetchTimeout must be positive");
   }
+  if (storeByteBudget == 0) {
+    // The raw BlockStore reads 0 as "unlimited", but a config reaching 0
+    // is a sizing bug (e.g. a MiB→byte conversion that truncated), and
+    // "unlimited" silently defeats the spill machinery under test.
+    fail("storeByteBudget must be positive (no store would fit a block)");
+  }
   if (enableLiveness) {
     if (!enableFaultTolerance) {
       fail("enableLiveness requires enableFaultTolerance (quarantined "

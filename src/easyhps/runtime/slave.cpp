@@ -5,9 +5,11 @@
 #include <condition_variable>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "easyhps/dag/fragment.hpp"
 #include "easyhps/dag/parse_state.hpp"
 #include "easyhps/sched/worker_pool.hpp"
 #include "easyhps/store/block_store.hpp"
@@ -27,7 +29,69 @@ struct PoolState {
   std::int64_t threadRestarts = 0;
   std::int64_t subTaskRequeues = 0;
   std::exception_ptr error;  // first non-injected kernel failure
+
+  // Streaming pipeline (assign.pendingRects non-empty).  The tracker and
+  // the gated list are guarded by `mutex`; `comm` is only non-null when
+  // the assignment streams (producer emission) or the rank has a comm at
+  // all (runSlaveJob), and msg::Comm sends are thread-safe.
+  bool streaming = false;
+  msg::Comm* comm = nullptr;
+  HaloFragmentTracker tracker;  ///< outstanding pending-halo coverage
+  struct GatedNode {
+    VertexId node = -1;
+    std::vector<CellRect> reads;  ///< haloFor(sub-rect) of the node
+  };
+  std::vector<GatedNode> haloGated;  ///< DAG-ready but waiting on fragments
+  bool abandoned = false;            ///< fragment starvation: give up
+  std::atomic<std::int64_t> fragmentsSent{0};
+  /// Set by the fragment pump when the last pending fragment lands
+  /// (steady_clock micros since the pool started): the per-block
+  /// "first-compute-to-full-halo overlap".
+  std::int64_t fullHaloMicros = -1;
 };
+
+/// Under pool.mutex: a DAG-ready node either enters the scheduler or, if
+/// any of its halo reads still overlaps outstanding pending fragments,
+/// parks in the gated list until the pump covers them.  Reads *inside*
+/// the block (sibling sub-blocks) never intersect the tracker — only the
+/// assignment's pendingRects are ever outstanding.
+void fireOrGate(PoolState& pool, const DpProblem& problem,
+                const PartitionedDag& slaveDag, const CellRect& blockRect,
+                VertexId node) {
+  if (pool.streaming && !pool.tracker.done()) {
+    auto reads = problem.haloFor(slaveVertexRect(slaveDag, blockRect, node));
+    for (const CellRect& r : reads) {
+      if (pool.tracker.blocked(r)) {
+        pool.haloGated.push_back({node, std::move(reads)});
+        return;
+      }
+    }
+  }
+  pool.policy->onReady(node);
+}
+
+/// Under pool.mutex: re-checks every gated node after new coverage and
+/// releases the unblocked ones.  Returns true if anything fired.
+bool releaseUngated(PoolState& pool) {
+  bool fired = false;
+  for (auto it = pool.haloGated.begin(); it != pool.haloGated.end();) {
+    bool stillBlocked = false;
+    for (const CellRect& r : it->reads) {
+      if (pool.tracker.blocked(r)) {
+        stillBlocked = true;
+        break;
+      }
+    }
+    if (stillBlocked) {
+      ++it;
+      continue;
+    }
+    pool.policy->onReady(it->node);
+    it = pool.haloGated.erase(it);
+    fired = true;
+  }
+  return fired;
+}
 
 /// Dispatch helper so the pool code is storage-agnostic while the problem
 /// kernels stay devirtualized per storage type.
@@ -67,12 +131,12 @@ void computingThreadLoop(int threadIdx, const DpProblem& problem,
       pool.overtime.push(sub, threadIdx, 0, cfg.subTaskTimeout);
     }
 
+    const CellRect subRect = slaveVertexRect(slaveDag, assign.rect, sub);
     try {
       if (plan.consumeThreadCrash(assign.vertex, slaveRank, sub)) {
         throw fault::InjectedThreadCrash();
       }
-      computeOn(problem, local,
-                slaveVertexRect(slaveDag, assign.rect, sub));
+      computeOn(problem, local, subRect);
     } catch (const fault::InjectedThreadCrash&) {
       // Thread-level fault tolerance (paper §V-C step h): "restart" the
       // computing thread by re-entering the loop after re-queueing the
@@ -99,10 +163,27 @@ void computingThreadLoop(int threadIdx, const DpProblem& problem,
       return;
     }
 
+    // Producer side of the streaming pipeline: the successor-facing
+    // boundary cells this sub-block just produced leave *now*, not at
+    // block completion.  Reading them back is race-free — this thread
+    // wrote them, and sibling sub-blocks write disjoint cells.
+    if (!assign.streamRects.empty() && pool.comm != nullptr) {
+      for (const CellRect& out : assign.streamRects) {
+        const CellRect inter = intersectRects(out, subRect);
+        if (inter.cellCount() <= 0) {
+          continue;
+        }
+        pool.comm->send(0, wire::kTagData,
+                        wire::encodeHaloPartial({assign.job, assign.vertex,
+                                                 inter, local.extract(inter)}));
+        pool.fragmentsSent.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
     {
       std::lock_guard<std::mutex> lock(pool.mutex);
       for (VertexId next : pool.parse->finish(sub)) {
-        pool.policy->onReady(next);
+        fireOrGate(pool, problem, slaveDag, assign.rect, next);
       }
       if (pool.parse->allDone()) {
         pool.done = true;
@@ -112,12 +193,131 @@ void computingThreadLoop(int threadIdx, const DpProblem& problem,
   }
 }
 
+constexpr int kMaxFetchAttempts = 4;
+
+/// Copies sub-rectangle `sub` out of a row-major buffer covering `rect`.
+std::vector<Score> extractSub(const CellRect& rect, std::span<const Score> data,
+                              const CellRect& sub) {
+  EASYHPS_EXPECTS(sub.row0 >= rect.row0 && sub.rowEnd() <= rect.rowEnd());
+  EASYHPS_EXPECTS(sub.col0 >= rect.col0 && sub.colEnd() <= rect.colEnd());
+  std::vector<Score> out(static_cast<std::size_t>(sub.cellCount()));
+  for (std::int64_t r = 0; r < sub.rows; ++r) {
+    const auto srcOff = static_cast<std::size_t>(
+        (sub.row0 + r - rect.row0) * rect.cols + (sub.col0 - rect.col0));
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(srcOff),
+              data.begin() + static_cast<std::ptrdiff_t>(srcOff + sub.cols),
+              out.begin() + static_cast<std::ptrdiff_t>(r * sub.cols));
+  }
+  return out;
+}
+
+/// Marks the pool abandoned (fragment starvation / cluster shutdown) and
+/// releases every worker.  The assignment's overtime deadline on the
+/// master re-distributes the block.
+void abandonPool(PoolState& pool) {
+  {
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    pool.abandoned = true;
+    pool.done = true;
+  }
+  pool.cv.notify_all();
+}
+
+/// The consumer side of the streaming pipeline, run on the pool's calling
+/// thread while the worker threads compute: drains kTagHaloPartial
+/// forwards from the master, injects the not-yet-covered pieces into the
+/// local window and releases gated sub-blocks.  Exits once the pending
+/// halo is fully covered (recording the compute/stream overlap) or the
+/// pool finished/aborted first.
+///
+/// Starvation recovery: no fragment progress for `cfg.dataFetchTimeout`
+/// (dead producer, chaos-dropped forwards) sends the master a
+/// FragmentResend asking for whatever coverage it can currently serve;
+/// after kMaxFetchAttempts silent rounds the assignment is abandoned —
+/// bounded wait, never a hang.
+template <typename WindowT>
+void fragmentPump(const RuntimeConfig& cfg, const wire::AssignPayload& assign,
+                  WindowT& local, PoolState& pool,
+                  wire::SlaveStatsPayload& stats,
+                  std::chrono::steady_clock::time_point poolStart) {
+  int stalledRounds = 0;
+  auto lastProgress = std::chrono::steady_clock::now();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(pool.mutex);
+      if (pool.tracker.done()) {
+        pool.fullHaloMicros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - poolStart)
+                .count();
+        return;
+      }
+      if (pool.done) {
+        return;
+      }
+    }
+    auto m = pool.comm->recvFor(msg::kAnySource, wire::kTagHaloPartial,
+                                std::chrono::milliseconds(2));
+    if (!m) {
+      if (pool.comm->mailboxClosed()) {
+        abandonPool(pool);
+        return;
+      }
+      if (std::chrono::steady_clock::now() - lastProgress >=
+          cfg.dataFetchTimeout) {
+        if (++stalledRounds > kMaxFetchAttempts) {
+          EASYHPS_LOG_WARN("slave fragment pump starved on sub-task "
+                           << assign.vertex << "; abandoning assignment");
+          abandonPool(pool);
+          return;
+        }
+        ++stats.fragmentResends;
+        pool.comm->send(
+            0, wire::kTagData,
+            wire::encodeFragmentResend({assign.job, assign.vertex}));
+        lastProgress = std::chrono::steady_clock::now();
+      }
+      continue;
+    }
+    wire::ScoreCells cells;
+    const wire::HaloPartialPayload frag =
+        wire::decodeHaloPartial(m->payload, cells);
+    if (frag.job != assign.job) {
+      continue;  // chaos-delayed fragment of an earlier job
+    }
+    std::vector<CellRect> pieces;
+    {
+      std::lock_guard<std::mutex> lock(pool.mutex);
+      pieces = pool.tracker.intersectOutstanding(frag.rect);
+    }
+    if (pieces.empty()) {
+      continue;  // duplicate (resend/chaos): already covered, never rewrite
+    }
+    // Inject outside the mutex: the pump is the only writer of pending
+    // cells, and no compute thread reads them until the tracker coverage
+    // flips below.
+    for (const CellRect& piece : pieces) {
+      local.inject(piece, extractSub(frag.rect, cells.cells(), piece));
+      ++stats.fragmentsApplied;
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool.mutex);
+      pool.tracker.fill(frag.rect);
+      releaseUngated(pool);
+    }
+    pool.cv.notify_all();
+    lastProgress = std::chrono::steady_clock::now();
+    stalledRounds = 0;
+  }
+}
+
 /// Runs the slave worker pool over any window storage.
 template <typename WindowT>
 std::vector<Score> runPool(const DpProblem& problem, const RuntimeConfig& cfg,
                            fault::FaultPlan& plan, int slaveRank,
                            const wire::AssignPayload& assign, WindowT& local,
-                           wire::SlaveStatsPayload& stats) {
+                           wire::SlaveStatsPayload& stats, msg::Comm* comm,
+                           bool* abandoned) {
   // Slave DAG Data Driven Model initialization (paper §V-C steps c-d).
   const PartitionedDag slaveDag =
       buildSlaveDag(problem, assign.rect, cfg.threadPartitionRows,
@@ -132,13 +332,24 @@ std::vector<Score> runPool(const DpProblem& problem, const RuntimeConfig& cfg,
   PoolState pool;
   pool.parse = &parse;
   pool.policy = policy.get();
+  pool.comm = comm;
+  pool.streaming = !assign.pendingRects.empty();
+  EASYHPS_CHECK(!pool.streaming || comm != nullptr,
+                "streamed assignment requires a comm for the fragment pump");
+  for (const CellRect& r : assign.pendingRects) {
+    // Quarantine before any compute thread exists: DCHECK builds trip on
+    // a read of a cell whose fragment has not landed yet.
+    local.quarantine(r);
+    pool.tracker.expect(r);
+  }
   for (VertexId v : parse.initiallyComputable()) {
-    policy->onReady(v);
+    fireOrGate(pool, problem, slaveDag, assign.rect, v);
   }
   if (parse.allDone()) {
     pool.done = true;  // degenerate: empty slave DAG
   }
 
+  const auto poolStart = std::chrono::steady_clock::now();
   {
     std::vector<std::jthread> threads;
     threads.reserve(static_cast<std::size_t>(cfg.threadsPerSlave));
@@ -150,12 +361,27 @@ std::vector<Score> runPool(const DpProblem& problem, const RuntimeConfig& cfg,
                             slaveDag, local, pool);
       });
     }
+    if (pool.streaming) {
+      // The calling thread pumps fragments while the ready corner of the
+      // block already computes — the paper's cross-level overlap.
+      fragmentPump(cfg, assign, local, pool, stats, poolStart);
+    }
   }  // join: pool.done was set by the thread finishing the last sub-task
 
   if (pool.error) {
     std::rethrow_exception(pool.error);
   }
+  stats.fragmentsSent += pool.fragmentsSent.load(std::memory_order_relaxed);
+  if (pool.abandoned) {
+    if (abandoned != nullptr) {
+      *abandoned = true;
+    }
+    return {};
+  }
   EASYHPS_ENSURES(parse.allDone());
+  if (pool.fullHaloMicros >= 0) {
+    stats.streamOverlapMicros += pool.fullHaloMicros;
+  }
   stats.threadRestarts += pool.threadRestarts;
   stats.subTaskRequeues += pool.subTaskRequeues;
   ++stats.tasksExecuted;
@@ -168,17 +394,20 @@ std::vector<Score> executeAssignment(const DpProblem& problem,
                                      const RuntimeConfig& cfg,
                                      fault::FaultPlan& plan, int slaveRank,
                                      const wire::AssignPayload& assign,
-                                     wire::SlaveStatsPayload& stats) {
+                                     wire::SlaveStatsPayload& stats,
+                                     msg::Comm* comm, bool* abandoned) {
   const auto halos = problem.haloFor(assign.rect);
   if (cfg.sparseSlaveWindows) {
     // Memory-bounded path: store only the block + halo segments.
     std::vector<CellRect> segments{assign.rect};
     segments.insert(segments.end(), halos.begin(), halos.end());
     SparseWindow local(std::move(segments), problem.boundaryFn());
-    return runPool(problem, cfg, plan, slaveRank, assign, local, stats);
+    return runPool(problem, cfg, plan, slaveRank, assign, local, stats, comm,
+                   abandoned);
   }
   Window local(boundingBox(assign.rect, halos), problem.boundaryFn());
-  return runPool(problem, cfg, plan, slaveRank, assign, local, stats);
+  return runPool(problem, cfg, plan, slaveRank, assign, local, stats, comm,
+                 abandoned);
 }
 
 namespace {
@@ -188,25 +417,6 @@ namespace {
 struct DataPlaneCounters {
   std::atomic<std::int64_t> halosServed{0};
 };
-
-constexpr int kMaxFetchAttempts = 4;
-
-/// Copies sub-rectangle `sub` out of a row-major buffer covering `rect`.
-std::vector<Score> extractSub(const CellRect& rect,
-                              const std::vector<Score>& data,
-                              const CellRect& sub) {
-  EASYHPS_EXPECTS(sub.row0 >= rect.row0 && sub.rowEnd() <= rect.rowEnd());
-  EASYHPS_EXPECTS(sub.col0 >= rect.col0 && sub.colEnd() <= rect.colEnd());
-  std::vector<Score> out(static_cast<std::size_t>(sub.cellCount()));
-  for (std::int64_t r = 0; r < sub.rows; ++r) {
-    const auto srcOff = static_cast<std::size_t>(
-        (sub.row0 + r - rect.row0) * rect.cols + (sub.col0 - rect.col0));
-    std::copy(data.begin() + static_cast<std::ptrdiff_t>(srcOff),
-              data.begin() + static_cast<std::ptrdiff_t>(srcOff + sub.cols),
-              out.begin() + static_cast<std::ptrdiff_t>(r * sub.cols));
-  }
-  return out;
-}
 
 /// The slave's data-plane thread: serves peer halo requests and master
 /// block fetches straight from the rank's BlockStore, for the whole
@@ -267,6 +477,14 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
         // Spills only target the master; a misrouted one is dropped.
         EASYHPS_LOG_WARN("slave " << comm.rank()
                                   << " received a misrouted BlockSpill");
+        break;
+      case wire::DataMsgKind::kHaloPartial:
+      case wire::DataMsgKind::kFragmentResend:
+        // Pipeline traffic only targets the master's data loop (forwards
+        // to consumers come back under kTagHaloPartial, not kTagData); a
+        // misrouted one is dropped.
+        EASYHPS_LOG_WARN("slave " << comm.rank()
+                                  << " received a misrouted pipeline message");
         break;
       case wire::DataMsgKind::kPing:
         // Liveness probe: answered here so the reply reflects the data
@@ -451,8 +669,18 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
     result.job = job;
     result.vertex = assign.vertex;
     result.rect = assign.rect;
-    std::vector<Score> data =
-        executeAssignment(problem, cfg, plan, comm.rank(), assign, stats);
+    bool abandoned = false;
+    std::vector<Score> data = executeAssignment(
+        problem, cfg, plan, comm.rank(), assign, stats, &comm, &abandoned);
+    if (abandoned) {
+      // Fragment starvation (dead producer, cluster aborting): drop the
+      // assignment like a failed halo fetch — its overtime deadline on
+      // the master re-distributes it against whoever is still alive.
+      EASYHPS_LOG_WARN("slave " << comm.rank() << " abandoning sub-task "
+                                << assign.vertex
+                                << " (halo fragment stream starved)");
+      continue;
+    }
     result.checksum = wire::blockChecksum(assign.vertex, assign.rect, data);
 
     if (peer) {
@@ -490,7 +718,11 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
   // JobEnd flush: vertex ids restart at 0 next job, so retained blocks
   // must not outlive the job (the store-level analogue of the stale-job
   // result discard).  The master pulled everything it needs before
-  // sending JobEnd.
+  // sending JobEnd.  Stray halo-fragment forwards (sent while our pump
+  // had already completed, or for an assignment we abandoned) would
+  // otherwise sit in the mailbox and confuse next job's pump.
+  while (comm.tryRecv(msg::kAnySource, wire::kTagHaloPartial)) {
+  }
   blockStore.clear(job);
   const store::BlockStoreStats storeAfter = blockStore.stats();
   stats.halosServed =

@@ -57,10 +57,21 @@ void runSlaveService(msg::Comm& comm, const RuntimeConfig& cfg,
 /// Executes one assignment on a fresh thread pool; exposed separately so
 /// tests can drive the slave pool without a cluster.  Returns the computed
 /// block data (row-major over `assign.rect`).
+///
+/// Streaming pipeline: when `assign.pendingRects` is non-empty the pool
+/// starts with those halo rects quarantined and the calling thread pumps
+/// kTagHaloPartial fragments from `comm` (required non-null) while ready
+/// sub-blocks already compute; when `assign.streamRects` is non-empty and
+/// `comm` is set, boundary fragments are emitted to the master as each
+/// covering sub-block completes.  If the fragment stream starves past its
+/// retry budget the assignment is dropped: `*abandoned` is set and the
+/// returned vector is empty.
 std::vector<Score> executeAssignment(const DpProblem& problem,
                                      const RuntimeConfig& cfg,
                                      fault::FaultPlan& plan, int slaveRank,
                                      const wire::AssignPayload& assign,
-                                     wire::SlaveStatsPayload& stats);
+                                     wire::SlaveStatsPayload& stats,
+                                     msg::Comm* comm = nullptr,
+                                     bool* abandoned = nullptr);
 
 }  // namespace easyhps

@@ -86,6 +86,14 @@ msg::Payload encodeAssign(const AssignPayload& p) {
   for (const CellRect& r : p.ackRects) {
     putRect(w, r);
   }
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(p.pendingRects.size()));
+  for (const CellRect& r : p.pendingRects) {
+    putRect(w, r);
+  }
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(p.streamRects.size()));
+  for (const CellRect& r : p.streamRects) {
+    putRect(w, r);
+  }
   return std::move(w).take();
 }
 
@@ -109,6 +117,16 @@ AssignPayload decodeAssign(const msg::Payload& payload) {
   p.ackRects.reserve(nAcks);
   for (std::uint32_t i = 0; i < nAcks; ++i) {
     p.ackRects.push_back(getRect(r));
+  }
+  const auto nPending = r.get<std::uint32_t>();
+  p.pendingRects.reserve(nPending);
+  for (std::uint32_t i = 0; i < nPending; ++i) {
+    p.pendingRects.push_back(getRect(r));
+  }
+  const auto nStream = r.get<std::uint32_t>();
+  p.streamRects.reserve(nStream);
+  for (std::uint32_t i = 0; i < nStream; ++i) {
+    p.streamRects.push_back(getRect(r));
   }
   return p;
 }
@@ -157,6 +175,10 @@ msg::Payload encodeSlaveStats(const SlaveStatsPayload& p) {
   w.put<std::int64_t>(p.halosServed);
   w.put<std::int64_t>(p.storeEvictions);
   w.put<std::uint64_t>(p.storeSpilledBytes);
+  w.put<std::int64_t>(p.fragmentsSent);
+  w.put<std::int64_t>(p.fragmentsApplied);
+  w.put<std::int64_t>(p.fragmentResends);
+  w.put<std::int64_t>(p.streamOverlapMicros);
   return std::move(w).take();
 }
 
@@ -173,6 +195,10 @@ SlaveStatsPayload decodeSlaveStats(const msg::Payload& payload) {
   p.halosServed = r.get<std::int64_t>();
   p.storeEvictions = r.get<std::int64_t>();
   p.storeSpilledBytes = r.get<std::uint64_t>();
+  p.fragmentsSent = r.get<std::int64_t>();
+  p.fragmentsApplied = r.get<std::int64_t>();
+  p.fragmentResends = r.get<std::int64_t>();
+  p.streamOverlapMicros = r.get<std::int64_t>();
   return p;
 }
 
@@ -323,6 +349,60 @@ BlockSpillPayload decodeBlockSpill(const msg::Payload& payload) {
   return p;
 }
 
+// HaloPartial puts `data` last so fragments ride the zero-copy body on
+// both legs (producer → master → consumer; the forward is a refcount
+// bump of the same payload, so the kind byte stays in place).
+msg::Payload encodeHaloPartial(HaloPartialPayload p) {
+  msg::PayloadWriter w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(DataMsgKind::kHaloPartial));
+  w.put<JobId>(p.job);
+  w.put<VertexId>(p.vertex);
+  putRect(w, p.rect);
+  w.putVectorZeroCopy(std::move(p.data));
+  return std::move(w).take();
+}
+
+HaloPartialPayload decodeHaloPartial(const msg::Payload& payload,
+                                     ScoreCells& data) {
+  ByteReader r(payload);
+  EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
+                    DataMsgKind::kHaloPartial,
+                "kind byte is not HaloPartial");
+  HaloPartialPayload p;
+  p.job = r.get<JobId>();
+  p.vertex = r.get<VertexId>();
+  p.rect = getRect(r);
+  getScores(r, payload, data);
+  return p;
+}
+
+HaloPartialPayload decodeHaloPartial(const msg::Payload& payload) {
+  ScoreCells cells;
+  HaloPartialPayload p = decodeHaloPartial(payload, cells);
+  p.data.assign(cells.cells().begin(), cells.cells().end());
+  return p;
+}
+
+msg::Payload encodeFragmentResend(const FragmentResendPayload& p) {
+  msg::PayloadWriter w;
+  w.put<std::uint8_t>(
+      static_cast<std::uint8_t>(DataMsgKind::kFragmentResend));
+  w.put<JobId>(p.job);
+  w.put<VertexId>(p.vertex);
+  return std::move(w).take();
+}
+
+FragmentResendPayload decodeFragmentResend(const msg::Payload& payload) {
+  ByteReader r(payload);
+  EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
+                    DataMsgKind::kFragmentResend,
+                "kind byte is not FragmentResend");
+  FragmentResendPayload p;
+  p.job = r.get<JobId>();
+  p.vertex = r.get<VertexId>();
+  return p;
+}
+
 msg::Payload encodeHealthPing(const HealthPingPayload& p) {
   msg::PayloadWriter w;
   w.put<std::uint8_t>(static_cast<std::uint8_t>(DataMsgKind::kPing));
@@ -366,7 +446,8 @@ msg::TransportFn makeChaosTransport(const fault::TransportChaos& chaos,
       case kTagHaloData:
       case kTagBlockData:
       case kTagHealthAck:
-        break;
+      case kTagHaloPartial:  // forwarded fragments: fair game, fragments
+        break;               // are idempotent and resend-recoverable
       case kTagData:
         if (peekDataKind(m.payload) == DataMsgKind::kBlockSpill) {
           return {};  // the only copy of an evicted block: never faulted

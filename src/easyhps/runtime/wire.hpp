@@ -82,6 +82,14 @@ enum Tag : int {
   // answers it; the ack gets its own tag so the master's liveness thread
   // is the only consumer.
   kTagHealthAck = 11,
+  // Streaming pipeline (PipelineMode::kStreaming): halo fragments
+  // forwarded master → consumer slave.  Producer-emitted fragments ride
+  // the kTagData envelope (kind kHaloPartial) into the master's data
+  // thread; the forward leg gets its own tag so the consumer's fragment
+  // pump can block on exactly this traffic without stealing data-plane
+  // requests.  Both legs carry the identical payload (a forward is a
+  // refcount bump, not a re-encode).
+  kTagHaloPartial = 12,
 };
 
 /// Discriminates the kTagData request envelope (first payload byte).
@@ -90,6 +98,8 @@ enum class DataMsgKind : std::uint8_t {
   kBlockFetch = 2,
   kBlockSpill = 3,
   kPing = 4,
+  kHaloPartial = 5,     ///< streamed halo fragment (producer → master)
+  kFragmentResend = 6,  ///< stalled consumer asks master to re-send
 };
 
 /// One halo rectangle and its cell data.
@@ -120,6 +130,15 @@ struct AssignPayload {
   /// the boundary cells some successor's halo will read.  Computed by the
   /// master (it owns the block DAG); the slave just extracts them.
   std::vector<CellRect> ackRects;
+  /// Streaming pipeline: halo sub-rects that were *not* available when
+  /// this assignment fired and will arrive as kTagHaloPartial fragments.
+  /// Empty under PipelineMode::kBarrier (and for fully-ready blocks), in
+  /// which case the slave's behaviour is byte-for-byte the seed protocol.
+  std::vector<CellRect> pendingRects;
+  /// Streaming pipeline: sub-rects of `rect` the producer must emit as
+  /// fragments to the master as soon as the covering sub-block finishes
+  /// (successor-facing boundary cells).  Empty under kBarrier.
+  std::vector<CellRect> streamRects;
 };
 
 struct ResultPayload {
@@ -147,6 +166,13 @@ struct SlaveStatsPayload {
   std::int64_t halosServed = 0;        ///< peer requests this rank answered
   std::int64_t storeEvictions = 0;     ///< LRU evictions (spilled blocks)
   std::uint64_t storeSpilledBytes = 0;
+  // Streaming-pipeline counters (all zero under PipelineMode::kBarrier).
+  std::int64_t fragmentsSent = 0;     ///< halo fragments emitted to master
+  std::int64_t fragmentsApplied = 0;  ///< fragment pieces injected locally
+  std::int64_t fragmentResends = 0;   ///< stall-recovery resend requests
+  /// Summed first-compute-to-full-halo overlap across this rank's
+  /// streamed assignments, microseconds.
+  std::int64_t streamOverlapMicros = 0;
 };
 
 /// Payload of JobStart / JobEnd and of the per-job Idle ready-ack.
@@ -203,6 +229,28 @@ struct BlockSpillPayload {
 /// master's health registry can match it to the outstanding ping and
 /// measure round-trip latency; a stale or duplicated ack simply mismatches
 /// and is ignored.
+/// HaloPartial: one streamed halo fragment — cells `rect` of producer
+/// block (job, vertex), emitted the moment the covering sub-block
+/// completes.  Producer → master as a kTagData envelope; master →
+/// consumer as the same payload under kTagHaloPartial.  Fragments are
+/// idempotent (global coordinates, bit-exact cells): receivers clip
+/// against their outstanding-coverage tracker, so duplicates from chaos
+/// or resends collapse to no-ops.
+struct HaloPartialPayload {
+  JobId job = kNoJob;
+  VertexId vertex = -1;
+  CellRect rect;
+  std::vector<Score> data;
+};
+
+/// FragmentResend: a consumer stalled mid-stream (dropped fragments, dead
+/// producer) asks the master to re-send whatever of `vertex`'s pending
+/// halo it can currently cover.  Consumer → master, kTagData envelope.
+struct FragmentResendPayload {
+  JobId job = kNoJob;
+  VertexId vertex = -1;  ///< the *consumer* block
+};
+
 struct HealthPingPayload {
   std::uint64_t seq = 0;
 };
@@ -280,6 +328,14 @@ msg::Payload encodeBlockSpill(BlockSpillPayload p);
 BlockSpillPayload decodeBlockSpill(const msg::Payload& payload);
 BlockSpillPayload decodeBlockSpill(const msg::Payload& payload,
                                    ScoreCells& data);
+
+msg::Payload encodeHaloPartial(HaloPartialPayload p);
+HaloPartialPayload decodeHaloPartial(const msg::Payload& payload);
+HaloPartialPayload decodeHaloPartial(const msg::Payload& payload,
+                                     ScoreCells& data);
+
+msg::Payload encodeFragmentResend(const FragmentResendPayload& p);
+FragmentResendPayload decodeFragmentResend(const msg::Payload& payload);
 
 msg::Payload encodeHealthPing(const HealthPingPayload& p);
 HealthPingPayload decodeHealthPing(const msg::Payload& payload);

@@ -1,6 +1,7 @@
 #include "easyhps/sched/policy.hpp"
 
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "easyhps/util/error.hpp"
@@ -112,7 +113,10 @@ class CwPolicy final : public StaticOwnershipPolicy {
 
 /// Dynamic pool with an affinity tie-break: among ready tasks, an idle
 /// worker takes the one whose dependency bytes it already owns the most
-/// of; on a tie (including the no-oracle case, affinity ≡ 0) the most
+/// of; equal-affinity candidates are ordered by halo-fragment progress
+/// (streaming pipeline — a block whose halo has fully arrived beats one
+/// still waiting on fragments); on a full tie (including the no-oracle
+/// case, affinity ≡ 0 and barrier mode, progress ≡ unset) the most
 /// recently readied task wins, matching DynamicPolicy's LIFO order.
 class LocalityPolicy final : public SchedulingPolicy {
  public:
@@ -123,23 +127,33 @@ class LocalityPolicy final : public SchedulingPolicy {
 
   void onReady(VertexId task) override { ready_.push_back(task); }
 
+  void onFragmentProgress(VertexId task, double fraction) override {
+    progress_[task] = fraction;
+  }
+
   std::optional<VertexId> pick(int worker) override {
     if (ready_.empty()) {
       return std::nullopt;
     }
     std::size_t best = ready_.size() - 1;  // LIFO default
-    if (affinity_) {
-      std::int64_t bestScore = affinity_(ready_[best], worker);
+    if (affinity_ || !progress_.empty()) {
+      std::int64_t bestScore = affinity_ ? affinity_(ready_[best], worker) : 0;
+      double bestProgress = progressOf(ready_[best]);
       for (std::size_t i = ready_.size(); i-- > 0;) {
-        const std::int64_t score = affinity_(ready_[i], worker);
-        if (score > bestScore) {
+        const std::int64_t score =
+            affinity_ ? affinity_(ready_[i], worker) : 0;
+        const double progress = progressOf(ready_[i]);
+        if (score > bestScore ||
+            (score == bestScore && progress > bestProgress)) {
           best = i;
           bestScore = score;
+          bestProgress = progress;
         }
       }
     }
     const VertexId t = ready_[best];
     ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(best));
+    progress_.erase(t);
     return t;
   }
 
@@ -148,8 +162,15 @@ class LocalityPolicy final : public SchedulingPolicy {
   }
 
  private:
+  double progressOf(VertexId task) const {
+    const auto it = progress_.find(task);
+    // Unreported = not streaming = fully available.
+    return it == progress_.end() ? 1.0 : it->second;
+  }
+
   LocalityAffinityFn affinity_;
   std::vector<VertexId> ready_;
+  std::unordered_map<VertexId, double> progress_;
 };
 
 }  // namespace

@@ -57,6 +57,16 @@ class SchedulingPolicy {
   /// Computable tasks currently queued (any owner).
   virtual std::int64_t queuedCount() const = 0;
 
+  /// Streaming pipeline (PipelineMode::kStreaming): fraction of `task`'s
+  /// halo cells already arrived, in [0, 1].  Called as fragments land —
+  /// including for tasks already queued via onReady (a partially-ready
+  /// early fire) — so policies can prefer work that is closer to fully
+  /// fed.  Default: ignore fragment progress.
+  virtual void onFragmentProgress(VertexId task, double fraction) {
+    (void)task;
+    (void)fraction;
+  }
+
   /// Times pick() returned nullopt while queuedCount() > 0 — the static
   /// schedule's "ready task but forbidden worker" stalls.
   std::int64_t stalledPicks() const { return stalled_picks_; }

@@ -6,7 +6,8 @@ trace::Table metricsTable(const ServiceMetrics& m) {
   trace::Table t({"policy", "accepted", "rejected", "completed", "cancelled",
                   "failed", "queue_depth", "mean_wait_s", "max_wait_s",
                   "mean_ttfb_s", "jobs_per_s", "messages", "master_mb",
-                  "p2p_mb", "zc_msgs", "zc_mb", "retries", "requeues",
+                  "p2p_mb", "zc_msgs", "zc_mb", "fragments", "early_starts",
+                  "overlap_s", "retries", "requeues",
                   "own_inval", "quarantines", "hb_misses", "faults",
                   "job_retries", "cache_hits", "cache_bytes", "coalesced",
                   "shed_jobs", "deadline_misses"});
@@ -24,6 +25,9 @@ trace::Table metricsTable(const ServiceMetrics& m) {
                               2),
             trace::Table::num(static_cast<std::int64_t>(m.copiesAvoided)),
             trace::Table::num(static_cast<double>(m.zeroCopyBytes) / 1e6, 2),
+            trace::Table::num(m.fragmentsSent),
+            trace::Table::num(m.blocksStartedEarly),
+            trace::Table::num(m.streamOverlapSeconds, 4),
             trace::Table::num(m.retries), trace::Table::num(m.subTaskRequeues),
             trace::Table::num(m.ownershipInvalidations),
             trace::Table::num(m.quarantines),

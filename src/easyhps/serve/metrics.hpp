@@ -50,6 +50,14 @@ struct ServiceMetrics {
   std::uint64_t copiesAvoided = 0;
   std::uint64_t zeroCopyBytes = 0;
 
+  // Streaming-pipeline counters (sums of the jobs' RunStats; see
+  // DESIGN.md, "Cross-level dataflow pipelining").  All zero under
+  // PipelineMode::kBarrier.
+  std::int64_t fragmentsSent = 0;       ///< producer halo fragments emitted
+  std::int64_t fragmentsApplied = 0;    ///< fragments injected by consumers
+  std::int64_t blocksStartedEarly = 0;  ///< assignments fired pre-full-halo
+  double streamOverlapSeconds = 0.0;    ///< compute overlapped with halo
+
   // Fault-tolerance counters (sums of the jobs' RunStats; see DESIGN.md,
   // "Fault domains & chaos").  All zero on a healthy, chaos-free service.
   std::int64_t retries = 0;          ///< master task re-distributions

@@ -269,6 +269,10 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     m.bytesPeerToPeer = bytesPeerToPeer_;
     m.copiesAvoided = copiesAvoided_;
     m.zeroCopyBytes = zeroCopyBytes_;
+    m.fragmentsSent = fragmentsSent_;
+    m.fragmentsApplied = fragmentsApplied_;
+    m.blocksStartedEarly = blocksStartedEarly_;
+    m.streamOverlapSeconds = streamOverlapSeconds_;
     m.retries = retries_;
     m.subTaskRequeues = subTaskRequeues_;
     m.ownershipInvalidations = ownershipInvalidations_;
@@ -674,6 +678,10 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
         bytesPeerToPeer_ += o->stats.run.bytesPeerToPeer;
         copiesAvoided_ += o->stats.run.copiesAvoided;
         zeroCopyBytes_ += o->stats.run.zeroCopyBytes;
+        fragmentsSent_ += o->stats.run.fragmentsSent;
+        fragmentsApplied_ += o->stats.run.fragmentsApplied;
+        blocksStartedEarly_ += o->stats.run.blocksStartedEarly;
+        streamOverlapSeconds_ += o->stats.run.streamOverlapSeconds;
         retries_ += o->stats.run.retries;
         subTaskRequeues_ += o->stats.run.subTaskRequeues;
         ownershipInvalidations_ += o->stats.run.ownershipInvalidations;
@@ -765,6 +773,10 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   std::uint64_t bytesPeerToPeer_ = 0;
   std::uint64_t copiesAvoided_ = 0;
   std::uint64_t zeroCopyBytes_ = 0;
+  std::int64_t fragmentsSent_ = 0;
+  std::int64_t fragmentsApplied_ = 0;
+  std::int64_t blocksStartedEarly_ = 0;
+  double streamOverlapSeconds_ = 0.0;
   std::int64_t retries_ = 0;
   std::int64_t subTaskRequeues_ = 0;
   std::int64_t ownershipInvalidations_ = 0;

@@ -17,6 +17,14 @@
 ///    never survive a job boundary (the store analogue of the wire
 ///    protocol's stale-job-result discard).
 ///
+/// Streaming pipeline (DESIGN.md, "Cross-level dataflow pipelining"):
+/// stores hold only *finished* blocks.  A peer-served halo whose producer
+/// is still in flight never reaches the store; it streams as
+/// `HaloPartial` fragments instead, and the master only lists a rank as a
+/// `HaloSource` once the producer's Result landed.  The byte budget is
+/// validated up front (`RuntimeConfig::validate` rejects 0 — a store
+/// that can't fit a block would silently defeat the spill machinery).
+///
 /// Thread-safe: the slave's compute loop inserts while its data-plane
 /// thread serves peer requests concurrently.
 

@@ -21,6 +21,7 @@
 #include "easyhps/msg/message.hpp"
 #include "easyhps/msg/payload.hpp"
 #include "easyhps/runtime/health.hpp"
+#include "easyhps/runtime/pipeline.hpp"
 #include "easyhps/runtime/runtime.hpp"
 #include "easyhps/runtime/wire.hpp"
 #include "easyhps/serve/metrics.hpp"
@@ -422,19 +423,25 @@ std::vector<ProblemFactory> soakProblems(bool includeSwgg) {
 
 void runSoak(const RuntimeConfig& base, bool includeSwgg, int seedBase,
              const std::function<void(const RunStats&)>& perRun) {
-  for (PolicyKind policy : {PolicyKind::kDynamic, PolicyKind::kLocality}) {
-    for (msg::MsgPath path : {msg::MsgPath::kFast, msg::MsgPath::kCopy}) {
-      for (const ProblemFactory& factory : soakProblems(includeSwgg)) {
-        seedBase += 13;
-        const std::unique_ptr<DpProblem> p = factory.make(seedBase);
-        RuntimeConfig cfg = base;
-        cfg.masterPolicy = policy;
-        cfg.chaosSeed = static_cast<std::uint64_t>(seedBase);
-        cfg.transportChaos.seed = static_cast<std::uint64_t>(seedBase);
-        msg::ScopedMsgPath scoped(path);
-        const RunResult r = Runtime(cfg).run(*p);
-        expectMatchesReference(*p, r.matrix);
-        perRun(r.stats);
+  // Both pipeline modes soak: streaming is the default data flow, barrier
+  // is the oracle path that must stay green under the same fault mixes.
+  for (PipelineMode pipeline :
+       {PipelineMode::kStreaming, PipelineMode::kBarrier}) {
+    for (PolicyKind policy : {PolicyKind::kDynamic, PolicyKind::kLocality}) {
+      for (msg::MsgPath path : {msg::MsgPath::kFast, msg::MsgPath::kCopy}) {
+        for (const ProblemFactory& factory : soakProblems(includeSwgg)) {
+          seedBase += 13;
+          const std::unique_ptr<DpProblem> p = factory.make(seedBase);
+          RuntimeConfig cfg = base;
+          cfg.masterPolicy = policy;
+          cfg.chaosSeed = static_cast<std::uint64_t>(seedBase);
+          cfg.transportChaos.seed = static_cast<std::uint64_t>(seedBase);
+          ScopedPipelineMode scopedPipeline(pipeline);
+          msg::ScopedMsgPath scoped(path);
+          const RunResult r = Runtime(cfg).run(*p);
+          expectMatchesReference(*p, r.matrix);
+          perRun(r.stats);
+        }
       }
     }
   }

@@ -10,6 +10,7 @@
 #include "easyhps/dp/nussinov.hpp"
 #include "easyhps/dp/sequence.hpp"
 #include "easyhps/dp/swgg.hpp"
+#include "easyhps/runtime/pipeline.hpp"
 #include "easyhps/runtime/runtime.hpp"
 #include "easyhps/sim/simulator.hpp"
 
@@ -19,6 +20,9 @@ namespace {
 // The real runtime and the simulator partition identically, so their task
 // counts must match exactly for the same problem + partition size.
 TEST(Integration, RuntimeAndSimulatorAgreeOnTaskCount) {
+  // The exact message formulas below count the barrier protocol's
+  // Assign/Result pairs; streamed halo fragments would add traffic.
+  ScopedPipelineMode barrier(PipelineMode::kBarrier);
   SmithWatermanGeneralGap p(randomSequence(120, 301),
                             randomSequence(120, 302));
 
