@@ -1,9 +1,13 @@
-// Kernel micro-benchmark: span fast path vs per-cell reference path.
+// Kernel micro-benchmark: the full kernel-tier matrix — per-cell
+// reference, scalar span fast path, and the SIMD tier — over dense and
+// sparse storage.
 //
 // For every shipped kernel this bench computes one mid-matrix block through
-// the same Window / SparseWindow machinery the runtime uses, on both kernel
-// paths (kernel_common.hpp), and reports cells/sec and the span-over-
-// reference speedup.  Halo cells are filled with deterministic pseudo-random
+// the same Window / SparseWindow machinery the runtime uses, on all three
+// kernel paths (kernel_common.hpp), and reports cells/sec plus the
+// span-over-reference and simd-over-span speedups.  Kernels without a
+// vector flavour dispatch kSimd to the span path, so their simd column
+// doubles as a dispatch-totality check (speedup ≈ 1).  Halo cells are filled with deterministic pseudo-random
 // data rather than solved prefixes — a kernel is a pure recurrence over its
 // window, so both paths must still agree bit-for-bit on the block they
 // produce (the `identical` column; full-matrix exactness lives in
@@ -33,6 +37,7 @@
 #include "easyhps/dp/obst.hpp"
 #include "easyhps/dp/problem.hpp"
 #include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/simd.hpp"
 #include "easyhps/dp/sparse_window.hpp"
 #include "easyhps/dp/swgg.hpp"
 #include "easyhps/dp/twod2d.hpp"
@@ -210,39 +215,49 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::cout << "simd backend: " << simd::backendName()
+            << (simd::runtimeSupported() ? "" : " (unsupported by this CPU)")
+            << "\n";
   trace::Table table({"kernel", "storage", "cells", "ref_ms", "span_ms",
-                      "ref_mcells_s", "span_mcells_s", "speedup",
+                      "simd_ms", "ref_mcells_s", "span_mcells_s",
+                      "simd_mcells_s", "span_speedup", "simd_speedup",
                       "identical", "checksum"});
   bool allIdentical = true;
   for (const Case& c : makeCases(smoke)) {
     const double cells = static_cast<double>(c.rect.cellCount());
     for (const char* storage : {"dense", "sparse"}) {
       const bool dense = std::strcmp(storage, "dense") == 0;
-      const PathResult ref =
-          dense ? runDense(*c.problem, c.rect, KernelPath::kReference, smoke)
-                : runSparse(*c.problem, c.rect, KernelPath::kReference, smoke);
-      const PathResult span =
-          dense ? runDense(*c.problem, c.rect, KernelPath::kSpan, smoke)
-                : runSparse(*c.problem, c.rect, KernelPath::kSpan, smoke);
-      const bool identical = ref.sum == span.sum;
+      const auto run = [&](KernelPath path) {
+        return dense ? runDense(*c.problem, c.rect, path, smoke)
+                     : runSparse(*c.problem, c.rect, path, smoke);
+      };
+      const PathResult ref = run(KernelPath::kReference);
+      const PathResult span = run(KernelPath::kSpan);
+      const PathResult simd = run(KernelPath::kSimd);
+      const bool identical = ref.sum == span.sum && ref.sum == simd.sum;
       allIdentical = allIdentical && identical;
       const double refCps = cells / (ref.millisPerRep * 1e-3);
       const double spanCps = cells / (span.millisPerRep * 1e-3);
+      const double simdCps = cells / (simd.millisPerRep * 1e-3);
       table.addRow({c.name, storage, trace::Table::num(c.rect.cellCount()),
                     trace::Table::num(ref.millisPerRep, 4),
                     trace::Table::num(span.millisPerRep, 4),
+                    trace::Table::num(simd.millisPerRep, 4),
                     trace::Table::num(refCps / 1e6, 2),
                     trace::Table::num(spanCps / 1e6, 2),
+                    trace::Table::num(simdCps / 1e6, 2),
                     trace::Table::num(refCps > 0 ? spanCps / refCps : 0.0, 2),
+                    trace::Table::num(spanCps > 0 ? simdCps / spanCps : 0.0,
+                                      2),
                     identical ? "yes" : "NO",
-                    std::to_string(span.sum)});
+                    std::to_string(simd.sum)});
       std::cout << c.name << "/" << storage << " done\n";
     }
   }
   std::cout << "\n" << table.render() << "\n";
   writeBenchJson("kernels", table);
   if (!allIdentical) {
-    std::cerr << "FAIL: span/reference checksum divergence\n";
+    std::cerr << "FAIL: kernel tier checksum divergence\n";
     return 1;
   }
   return 0;

@@ -209,6 +209,9 @@ int main(int argc, char** argv) {
       trace::Table t({"metric", "value"});
       t.addRow({"problem", problem->name()});
       t.addRow({"policy", policyKindName(opt.policy)});
+      t.addRow({"kernel path", r.stats.kernelPathName});
+      t.addRow({"tiles", r.stats.kernelTiles.empty() ? "-"
+                                                     : r.stats.kernelTiles});
       t.addRow({"elapsed (s)", trace::Table::num(r.stats.elapsedSeconds)});
       t.addRow({"tasks", trace::Table::num(r.stats.completedTasks)});
       t.addRow({"messages", trace::Table::num(static_cast<std::int64_t>(

@@ -1,0 +1,242 @@
+#include "easyhps/dp/autotune.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/knapsack.hpp"
+#include "easyhps/dp/lcs.hpp"
+#include "easyhps/dp/needleman.hpp"
+#include "easyhps/dp/problem.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/simd.hpp"
+#include "easyhps/dp/sparse_window.hpp"
+#include "easyhps/dp/window.hpp"
+#include "easyhps/util/clock.hpp"
+
+namespace easyhps::autotune {
+namespace {
+
+// The sweep pins candidates through this thread-local so its own probe
+// computeBlock calls never re-enter the sweep (tileFor checks it before
+// touching the mutex).  Also the hook for ScopedForcedTile in tests.
+thread_local std::optional<TileChoice> t_forced;
+
+TileChoice clampChoice(TileChoice c) {
+  c.tileCols = std::clamp<std::int64_t>(c.tileCols, 16, 1 << 20);
+  c.stripBands = std::clamp(c.stripBands, 1, kMaxSimdBands);
+  return c;
+}
+
+// EASYHPS_TILE_COLS="512" or "256,2" (tileCols[,stripBands]) forces one
+// choice for every (family, storage, tier) key — parsed once per process.
+std::optional<TileChoice> envOverride() {
+  static const std::optional<TileChoice> parsed = [] {
+    std::optional<TileChoice> out;
+    const char* env = std::getenv("EASYHPS_TILE_COLS");
+    if (env == nullptr || *env == '\0') {
+      return out;
+    }
+    TileChoice c;
+    char* end = nullptr;
+    const long long cols = std::strtoll(env, &end, 10);
+    if (end == env || cols <= 0) {
+      return out;  // malformed: ignore, fall through to the sweep
+    }
+    c.tileCols = static_cast<std::int64_t>(cols);
+    if (*end == ',') {
+      const long long bands = std::strtoll(end + 1, nullptr, 10);
+      if (bands > 0) {
+        c.stripBands = static_cast<int>(bands);
+      }
+    }
+    out = clampChoice(c);
+    return out;
+  }();
+  return parsed;
+}
+
+struct Key {
+  std::string family;
+  Storage storage;
+  KernelPath tier;
+  bool operator<(const Key& o) const {
+    if (family != o.family) {
+      return family < o.family;
+    }
+    if (storage != o.storage) {
+      return storage < o.storage;
+    }
+    return tier < o.tier;
+  }
+};
+
+std::mutex g_mutex;
+std::map<Key, TileChoice>& memo() {
+  static std::map<Key, TileChoice> m;
+  return m;
+}
+
+// Probe blocks are sized to finish in ~a hundred microseconds per
+// candidate rep while still spanning several column tiles and vector
+// strips; rows are a multiple of kMaxSimdBands × kVecWidth so every strip
+// height runs its vector path rather than the tail fallback.
+struct Probe {
+  std::unique_ptr<DpProblem> problem;
+  CellRect rect;
+};
+
+std::optional<Probe> makeProbe(const std::string& family) {
+  const std::int64_t rows = 6 * kMaxSimdBands * simd::kVecWidth;
+  if (family == "lcs") {
+    return Probe{std::make_unique<LongestCommonSubsequence>(
+                     randomSequence(rows + 16, 0xA1), randomSequence(1536, 0xA2)),
+                 CellRect{8, 64, rows, 1408}};
+  }
+  if (family == "needleman") {
+    return Probe{std::make_unique<NeedlemanWunsch>(
+                     randomSequence(rows + 16, 0xB1), randomSequence(1536, 0xB2)),
+                 CellRect{8, 64, rows, 1408}};
+  }
+  if (family == "editdist") {
+    return Probe{std::make_unique<EditDistance>(randomSequence(rows + 16, 0xC1),
+                                                randomSequence(1536, 0xC2)),
+                 CellRect{8, 64, rows, 1408}};
+  }
+  return std::nullopt;
+}
+
+// Deterministic small halo values, same idea as bench_kernels: the probe
+// recomputes one block in place, which is idempotent given fixed halos.
+std::vector<Score> haloData(const CellRect& h) {
+  std::vector<Score> d(static_cast<std::size_t>(h.cellCount()));
+  std::size_t k = 0;
+  for (std::int64_t r = h.row0; r < h.rowEnd(); ++r) {
+    for (std::int64_t c = h.col0; c < h.colEnd(); ++c) {
+      d[k++] = hashWeight(r, c, 0x7E57, 8);
+    }
+  }
+  return d;
+}
+
+// Times every candidate on one shared window (the probe recomputes its
+// block in place, which is idempotent given fixed halos).  Reps are
+// interleaved round-robin across candidates — pass 1 times every
+// candidate, then pass 2, ... — with the per-candidate minimum kept, so
+// clock-frequency drift or a scheduling hiccup during one pass cannot
+// systematically favour the candidates that happened to run after it.
+template <typename WindowT>
+TileChoice sweepOn(const Probe& probe, WindowT& window,
+                   const std::vector<TileChoice>& candidates) {
+  const auto runOnce = [&](const TileChoice& c) {
+    ScopedForcedTile forced(c);
+    Stopwatch sw;
+    if constexpr (std::is_same_v<WindowT, Window>) {
+      probe.problem->computeBlock(window, probe.rect);
+    } else {
+      probe.problem->computeBlockSparse(window, probe.rect);
+    }
+    return sw.elapsedSeconds();
+  };
+  runOnce(candidates.front());  // untimed warm-up: page faults, caches
+  std::vector<double> best(candidates.size(), 1e18);
+  constexpr int kPasses = 4;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      best[i] = std::min(best[i], runOnce(candidates[i]));
+    }
+  }
+  const std::size_t winner = static_cast<std::size_t>(
+      std::min_element(best.begin(), best.end()) - best.begin());
+  return candidates[winner];
+}
+
+TileChoice sweep(const Key& key) {
+  const auto probe = makeProbe(key.family);
+  if (!probe.has_value() || key.tier == KernelPath::kReference) {
+    return TileChoice{};  // no probe registered: memoize the defaults
+  }
+  std::vector<TileChoice> candidates;
+  for (const std::int64_t cols : {128, 256, 512, 1024}) {
+    for (const int bands : {1, kMaxSimdBands}) {
+      if (key.tier != KernelPath::kSimd && bands != 1) {
+        continue;  // strip height only exists on the simd tier
+      }
+      candidates.push_back(TileChoice{cols, bands});
+    }
+  }
+  ScopedKernelPath path(key.tier);
+  const auto halos = probe->problem->haloFor(probe->rect);
+  if (key.storage == Storage::kDense) {
+    Window local(boundingBox(probe->rect, halos),
+                 probe->problem->boundaryFn());
+    for (const CellRect& h : halos) {
+      local.inject(h, haloData(h));
+    }
+    return sweepOn(*probe, local, candidates);
+  }
+  std::vector<CellRect> segments{probe->rect};
+  segments.insert(segments.end(), halos.begin(), halos.end());
+  SparseWindow local(std::move(segments), probe->problem->boundaryFn());
+  for (const CellRect& h : halos) {
+    local.inject(h, haloData(h));
+  }
+  return sweepOn(*probe, local, candidates);
+}
+
+}  // namespace
+
+TileChoice tileFor(const char* family, Storage storage, KernelPath tier) {
+  if (t_forced.has_value()) {
+    return *t_forced;
+  }
+  if (const auto env = envOverride(); env.has_value()) {
+    return *env;
+  }
+  const Key key{family, storage, tier};
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = memo().find(key);
+  if (it != memo().end()) {
+    return it->second;
+  }
+  const TileChoice choice = clampChoice(sweep(key));
+  memo().emplace(key, choice);
+  return choice;
+}
+
+ScopedForcedTile::ScopedForcedTile(TileChoice choice) {
+  t_forced = clampChoice(choice);
+}
+
+ScopedForcedTile::~ScopedForcedTile() { t_forced.reset(); }
+
+std::string summary() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [key, choice] : memo()) {
+    if (!first) {
+      out << " ";
+    }
+    first = false;
+    out << key.family << "/"
+        << (key.storage == Storage::kDense ? "dense" : "sparse") << "/"
+        << kernelPathName(key.tier) << "=" << choice.tileCols << "x"
+        << choice.stripBands;
+  }
+  return out.str();
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  memo().clear();
+}
+
+}  // namespace easyhps::autotune

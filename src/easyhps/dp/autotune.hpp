@@ -1,0 +1,72 @@
+#pragma once
+/// \file autotune.hpp
+/// Per-kernel tile autotuner for the span/SIMD fast paths.
+///
+/// The interior loops of the fast-path kernels are column tiled
+/// (kKernelTileCols) and the anti-diagonal SIMD kernels additionally pick a
+/// vector-strip height (bands × simd::kVecWidth rows per pass).  The best
+/// choice depends on the cache hierarchy, the vector width and the storage
+/// flavour, so instead of hard-coding one constant the first time a kernel
+/// family runs on a given (storage, tier) combination we sweep a handful of
+/// candidates over a small probe block (~a millisecond, once per process)
+/// and memoize the winner.
+///
+/// Order of precedence inside tileFor():
+///   1. a thread-local forced choice (ScopedForcedTile — also how the sweep
+///      itself pins candidates without recursing);
+///   2. the EASYHPS_TILE_COLS env override ("512" or "256,2" for
+///      tileCols[,stripBands]), applied to every key;
+///   3. the memo;
+///   4. a fresh sweep (kernel families without a registered probe memoize
+///      the defaults).
+///
+/// The memo is process-wide and thread-safe; concurrent first calls race
+/// benignly (one sweep wins, both produce bit-identical kernels either
+/// way).  autotune::summary() renders the memo for RunStats / metrics.
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "easyhps/dp/kernel_common.hpp"
+
+namespace easyhps::autotune {
+
+enum class Storage {
+  kDense,
+  kSparse,
+};
+
+/// Storage flavour of a window type (Window → kDense, else kSparse) — lets
+/// the kernel templates key the memo without spelling the distinction out.
+template <typename W>
+constexpr Storage storageOf() {
+  return std::is_same_v<W, Window> ? Storage::kDense : Storage::kSparse;
+}
+
+struct TileChoice {
+  std::int64_t tileCols = kKernelTileCols;
+  int stripBands = 1;
+};
+
+/// The tile choice kernel `family` ("lcs", "needleman", ...) should use on
+/// this (storage, tier) combination.  First call per key may run the sweep.
+TileChoice tileFor(const char* family, Storage storage, KernelPath tier);
+
+/// Pin the choice for the current thread (tests, and the sweep itself).
+class ScopedForcedTile {
+ public:
+  explicit ScopedForcedTile(TileChoice choice);
+  ~ScopedForcedTile();
+  ScopedForcedTile(const ScopedForcedTile&) = delete;
+  ScopedForcedTile& operator=(const ScopedForcedTile&) = delete;
+};
+
+/// Compact memo dump, e.g. "lcs/dense/simd=512x2 lcs/sparse/simd=256x1";
+/// empty string until the first tuned kernel has run.
+std::string summary();
+
+/// Drop the memo (tests); the next tileFor() per key sweeps again.
+void reset();
+
+}  // namespace easyhps::autotune

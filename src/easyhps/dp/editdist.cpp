@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "easyhps/dp/autotune.hpp"
 #include "easyhps/dp/kernel_common.hpp"
 
 namespace easyhps {
@@ -69,6 +70,8 @@ void EditDistance::referenceKernel(W& w, const CellRect& rect) const {
 template <typename W>
 void EditDistance::spanKernel(W& w, const CellRect& rect) const {
   typename W::View v(w);
+  const auto tile = autotune::tileFor("editdist", autotune::storageOf<W>(),
+                                      KernelPath::kSpan);
   wavefrontSpanKernel(
       v, rect,
       [this](std::int64_t r, std::int64_t c, Score diag, Score up,
@@ -79,15 +82,48 @@ void EditDistance::spanKernel(W& w, const CellRect& rect) const {
                                       : 1);
         return std::min({sub, static_cast<Score>(up + 1),
                          static_cast<Score>(left + 1)});
-      });
+      },
+      tile.tileCols);
+}
+
+template <typename W>
+void EditDistance::simdKernel(W& w, const CellRect& rect) const {
+  using simd::VecScore;
+  typename W::View v(w);
+  const auto tile = autotune::tileFor("editdist", autotune::storageOf<W>(),
+                                      KernelPath::kSimd);
+  const VecScore one = VecScore::splat(1);
+  WavefrontSimdScratch scratch;
+  wavefrontSimdKernel(
+      v, rect, a_.data(), b_.data(), cols(),
+      [this](std::int64_t r, std::int64_t c, Score diag, Score up,
+             Score left) -> Score {
+        const Score sub = diag + (a_[static_cast<std::size_t>(r)] ==
+                                          b_[static_cast<std::size_t>(c)]
+                                      ? 0
+                                      : 1);
+        return std::min({sub, static_cast<Score>(up + 1),
+                         static_cast<Score>(left + 1)});
+      },
+      [one](VecScore diag, VecScore up, VecScore left, VecScore eq) {
+        const VecScore sub = VecScore::blend(eq, diag, diag + one);
+        return VecScore::min(sub, VecScore::min(up + one, left + one));
+      },
+      tile.tileCols, tile.stripBands, scratch);
 }
 
 template <typename W>
 void EditDistance::kernel(W& w, const CellRect& rect) const {
-  if (kernelPath() == KernelPath::kReference) {
-    referenceKernel(w, rect);
-  } else {
-    spanKernel(w, rect);
+  switch (effectiveKernelPath()) {
+    case KernelPath::kReference:
+      referenceKernel(w, rect);
+      break;
+    case KernelPath::kSpan:
+      spanKernel(w, rect);
+      break;
+    case KernelPath::kSimd:
+      simdKernel(w, rect);
+      break;
   }
 }
 

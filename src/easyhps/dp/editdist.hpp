@@ -42,13 +42,15 @@ class EditDistance final : public DpProblem {
   Score distanceFrom(const Window& solved) const;
 
  private:
-  /// Dispatches on kernelPath(): span fast path vs per-cell reference.
+  /// Dispatches on effectiveKernelPath(): simd / span / reference.
   template <typename W>
   void kernel(W& w, const CellRect& rect) const;
   template <typename W>
   void referenceKernel(W& w, const CellRect& rect) const;
   template <typename W>
   void spanKernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void simdKernel(W& w, const CellRect& rect) const;
 
   std::string a_;
   std::string b_;

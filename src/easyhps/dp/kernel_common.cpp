@@ -4,19 +4,28 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "easyhps/dp/simd.hpp"
+
 namespace easyhps {
 namespace {
 
-// EASYHPS_KERNEL_PATH=reference forces the per-cell oracle path process-
+// EASYHPS_KERNEL_PATH=simd|span|reference selects the kernel tier process-
 // wide without a rebuild — used to A/B the figure benches and to bisect a
-// suspected span-path miscompute in the field.  Anything else (including
-// unset) selects the span default.
+// suspected fast-path miscompute in the field.  Unset (or anything
+// unrecognised) selects the simd default; a CPU without the compiled ISA
+// is handled later by effectiveKernelPath(), not here, so the *requested*
+// tier stays observable in stats.
 KernelPath initialKernelPath() {
   const char* env = std::getenv("EASYHPS_KERNEL_PATH");
-  if (env != nullptr && std::strcmp(env, "reference") == 0) {
-    return KernelPath::kReference;
+  if (env != nullptr) {
+    if (std::strcmp(env, "reference") == 0) {
+      return KernelPath::kReference;
+    }
+    if (std::strcmp(env, "span") == 0) {
+      return KernelPath::kSpan;
+    }
   }
-  return KernelPath::kSpan;
+  return KernelPath::kSimd;
 }
 
 // Relaxed is enough: the toggle is set before a run and read by kernel
@@ -31,6 +40,26 @@ KernelPath kernelPath() {
 
 void setKernelPath(KernelPath path) {
   g_kernel_path.store(path, std::memory_order_relaxed);
+}
+
+KernelPath effectiveKernelPath() {
+  const KernelPath requested = kernelPath();
+  if (requested == KernelPath::kSimd && !simd::runtimeSupported()) {
+    return KernelPath::kSpan;
+  }
+  return requested;
+}
+
+const char* kernelPathName(KernelPath path) {
+  switch (path) {
+    case KernelPath::kSimd:
+      return "simd";
+    case KernelPath::kSpan:
+      return "span";
+    case KernelPath::kReference:
+      return "reference";
+  }
+  return "unknown";
 }
 
 }  // namespace easyhps

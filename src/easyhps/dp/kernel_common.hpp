@@ -1,29 +1,41 @@
 #pragma once
 /// \file kernel_common.hpp
-/// Shared helpers for the span-based kernel fast path.
+/// Shared helpers for the span and SIMD kernel fast paths.
 ///
-/// Every shipped kernel exists in two bit-identical flavours:
+/// Every shipped kernel exists in bit-identical flavours:
 ///
 ///  * the *reference* path — the original per-cell `get`/`set` loop, kept
 ///    as the oracle for the bit-exactness suite and as the A/B baseline of
 ///    `bench_kernels`;
-///  * the *span* path (default) — an interior/border split where border
-///    rows and columns keep the safe per-cell accessors (boundary
-///    functions, triangular masks, halo corners) while the interior runs
-///    over raw row pointers obtained once per row via
-///    `Window::View::rowIn/rowOut/colIn`.
+///  * the *span* path — an interior/border split where border rows and
+///    columns keep the safe per-cell accessors (boundary functions,
+///    triangular masks, halo corners) while the interior runs over raw row
+///    pointers obtained once per row via `Window::View::rowIn/rowOut/colIn`;
+///  * the *simd* path (default) — the span structure with the innermost
+///    loops rewritten over `simd::VecScore` lanes: branchless compare+blend
+///    instead of per-cell `if`, anti-diagonal lane pipelines where row-order
+///    dependencies block row vectors (the wavefront trio), and row/state
+///    vectors where the recurrence already permits them (knapsack, viterbi).
+///    Kernels without a vector flavour fall through to the span path, so
+///    dispatch stays total.
 ///
-/// The split is what takes the per-cell abstraction (bounds check, segment
-/// scan, `std::function` boundary fallback) out of the O(cells) and
-/// O(cells·scan) inner loops; see DESIGN.md, "Kernel fast path".
+/// The span split is what takes the per-cell abstraction (bounds check,
+/// segment scan, `std::function` boundary fallback) out of the O(cells)
+/// inner loops; the SIMD tier then recovers the 4-8× of data-parallel width
+/// those scalar loops leave on the table.  See DESIGN.md, "Kernel fast
+/// path" and "SIMD kernel tier & autotuning".
 ///
 /// Which path runs is a process-wide toggle so the whole runtime — master,
 /// slave pools, tests — can be flipped for A/B without threading a flag
-/// through every call chain.
+/// through every call chain.  `effectiveKernelPath()` additionally demotes
+/// kSimd to kSpan when the executing CPU lacks the compiled-in ISA
+/// (simd::runtimeSupported), so one binary degrades instead of faulting.
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 
+#include "easyhps/dp/simd.hpp"
 #include "easyhps/dp/sparse_window.hpp"
 #include "easyhps/dp/window.hpp"
 #include "easyhps/matrix/geometry.hpp"
@@ -32,15 +44,23 @@ namespace easyhps {
 
 /// Which kernel implementation computeBlock/computeBlockSparse dispatch to.
 enum class KernelPath {
-  kSpan,       ///< interior/border split over row spans (default)
+  kSpan,       ///< interior/border split over row spans
   kReference,  ///< original per-cell get/set loops (oracle / A-B baseline)
+  kSimd,       ///< vector lanes over the span structure (default)
 };
 
-/// Process-wide kernel path; defaults to kSpan, or kReference when the
-/// process started with EASYHPS_KERNEL_PATH=reference in the environment
-/// (no-rebuild A/B switch for the figure benches and field bisection).
+/// Process-wide kernel path; defaults to kSimd, or the tier named by
+/// EASYHPS_KERNEL_PATH=simd|span|reference in the environment (no-rebuild
+/// A/B switch for the figure benches and field bisection).
 KernelPath kernelPath();
 void setKernelPath(KernelPath path);
+
+/// The path dispatch actually takes: kSimd demotes to kSpan when the CPU
+/// executing the process lacks the ISA the library was compiled for.
+KernelPath effectiveKernelPath();
+
+/// "simd" | "span" | "reference" (for stats, metrics and env parsing).
+const char* kernelPathName(KernelPath path);
 
 /// RAII path override for benches and the bit-exactness suite.
 class ScopedKernelPath {
@@ -56,11 +76,16 @@ class ScopedKernelPath {
   KernelPath prev_;
 };
 
-/// Column tile width of the interior loops.  Three Score rows of a tile
-/// (previous row, output row, and the write-allocated lines) stay resident
-/// in L1/L2 while a tall block walks down its rows, instead of streaming
-/// whole matrix rows per iteration.
+/// Default column tile width of the interior loops.  Three Score rows of a
+/// tile (previous row, output row, and the write-allocated lines) stay
+/// resident in L1/L2 while a tall block walks down its rows, instead of
+/// streaming whole matrix rows per iteration.  The per-kernel autotuner
+/// (dp/autotune.hpp) sweeps alternatives around this value at startup.
 inline constexpr std::int64_t kKernelTileCols = 512;
+
+/// Maximum vector strips a single anti-diagonal pass may carry (strip
+/// height = bands × simd::kVecWidth rows).
+inline constexpr int kMaxSimdBands = 2;
 
 /// The classic three-neighbour wavefront recurrence over `rect`, column
 /// tiled:  out(r, c) = cell(r, c, diag, up, left) with diag = (r-1, c-1),
@@ -74,10 +99,10 @@ inline constexpr std::int64_t kKernelTileCols = 512;
 /// recurrence: a tile only reads its own columns and the fully-computed
 /// tile to its left.
 template <typename View, typename CellFn>
-void wavefrontSpanKernel(View& v, const CellRect& rect, CellFn cell) {
-  for (std::int64_t t0 = rect.col0; t0 < rect.colEnd();
-       t0 += kKernelTileCols) {
-    const std::int64_t t1 = std::min(t0 + kKernelTileCols, rect.colEnd());
+void wavefrontSpanKernel(View& v, const CellRect& rect, CellFn cell,
+                         std::int64_t tileCols = kKernelTileCols) {
+  for (std::int64_t t0 = rect.col0; t0 < rect.colEnd(); t0 += tileCols) {
+    const std::int64_t t1 = std::min(t0 + tileCols, rect.colEnd());
     const std::int64_t len = t1 - t0;
     for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
       const Score* prev = v.rowIn(r - 1, t0, len);
@@ -99,6 +124,247 @@ void wavefrontSpanKernel(View& v, const CellRect& rect, CellFn cell) {
         left = val;
         diag = up;
       }
+    }
+  }
+}
+
+/// Anti-diagonal SIMD flavour of the wavefront recurrence.  The row-order
+/// dependency out(r, c-1) → out(r, c) blocks row vectors, but cells on one
+/// anti-diagonal are independent, so a strip of `bands × kVecWidth` rows is
+/// computed as a lane pipeline: lane g holds cell (r0+g, t0-1+j-g) at step
+/// j, its `left` neighbour is the lane's own previous step, and `up`/`diag`
+/// arrive from lane g-1 via shiftUpInsert (band boundaries hand over
+/// through topLane).  Results come back to row-major storage through an
+/// in-register W×W transpose: kVecWidth consecutive step vectors form, per
+/// lane, a contiguous run of that lane's row.
+///
+/// The per-cell recurrence is supplied twice: `cell` (scalar, for the span
+/// fallback that handles short strips, tail rows and unresolvable spans)
+/// and `vcell(diag, up, left, eq) -> VecScore`, the branchless vector
+/// version, where `eq` is the lanewise a[r] == b[c] compare mask.
+///
+/// `scratch` carries the per-call buffers (previous-row values, reversed
+/// b characters) so the hot loop never allocates.
+struct WavefrontSimdScratch {
+  std::vector<Score> prevRow;  ///< v.get(r0-1, t0-1+m), m ∈ [0, W]; 0-pad
+  std::vector<Score> bRev;     ///< reversed b chars, padded for lane loads
+};
+
+namespace detail {
+
+/// Register-resident step loop for one strip of `kBands × kVecWidth` rows
+/// by `w` columns.  The band count is a template parameter so the
+/// loop-carried vectors (`d1`, and the previous step's `up`) are scalars
+/// to the compiler and live in vector registers: with a runtime band
+/// array they spill to the stack and every step pays a store-to-load
+/// forward on the critical dependency chain, which is enough to lose to
+/// the scalar span path.
+///
+/// One lane shift per band per step: the `diag` operand of step j equals
+/// the `up` operand of step j-1 — both are res(j-2) shifted up one lane
+/// with prevBuf[j-1] (or the band-handoff top lane) inserted, and both
+/// fall back to 0 outside [1, w+1] — so it is carried in `upPrev` instead
+/// of being re-derived with a second shiftUpInsert + topLane chain.
+template <int kBands, typename VecCellFn>
+inline void wavefrontSimdStrip(Score* const* out, const Score* prevBuf,
+                               const Score* leftCol, const Score* revBuf,
+                               const simd::VecScore* aVecIn,
+                               const Score* maskBuf, std::int64_t w,
+                               VecCellFn vcell) {
+  using simd::VecScore;
+  constexpr int kVW = simd::kVecWidth;
+  constexpr int stripH = kBands * kVW;
+
+  VecScore aVec[kBands];
+  VecScore d1[kBands];
+  VecScore upPrev[kBands];
+  for (int bi = 0; bi < kBands; ++bi) {
+    aVec[bi] = aVecIn[bi];
+    d1[bi] = VecScore::zero();  // ramp garbage, overwritten lane by lane
+    upPrev[bi] = VecScore::zero();
+  }
+  VecScore pend[kBands][kVW];
+  int pcount = 0;
+  std::int64_t pendStart = 0;
+
+  const auto flush = [&](std::int64_t j0, int count) {
+    for (int bi = 0; bi < kBands; ++bi) {
+      const std::int64_t gLo = bi * kVW;
+      const bool full =
+          count == kVW && j0 >= gLo + kVW && j0 + kVW - 1 <= w + gLo;
+      if (full) {
+        VecScore tr[kVW];
+        for (int l = 0; l < kVW; ++l) {
+          tr[l] = pend[bi][l];
+        }
+        simd::transpose(tr);
+        for (int l = 0; l < kVW; ++l) {
+          const std::int64_t g = gLo + l;
+          tr[l].store(out[g] + (j0 - g - 1));
+        }
+      } else {
+        for (int t = 0; t < count; ++t) {
+          for (int l = 0; l < kVW; ++l) {
+            const std::int64_t g = gLo + l;
+            const std::int64_t col = j0 + t - g - 1;
+            if (col >= 0 && col < w) {
+              out[g][col] = pend[bi][t].lane(l);
+            }
+          }
+        }
+      }
+    }
+  };
+
+  for (std::int64_t j = 0; j < w + stripH; ++j) {
+    // prevBuf is zero-padded past index w, so no per-step bounds branch.
+    const Score up0 = prevBuf[j];
+    // Band handoff: band bi's up comes from band bi-1's top lane, using
+    // the values every band held before any band updates this step.
+    VecScore d1Prev[kBands];
+    for (int bi = 0; bi < kBands; ++bi) {
+      d1Prev[bi] = d1[bi];
+    }
+    for (int bi = 0; bi < kBands; ++bi) {
+      const VecScore up =
+          bi == 0 ? d1[bi].shiftUpInsert(up0)
+                  : VecScore::shiftUpConcat(d1[bi], d1Prev[bi - 1]);
+      const VecScore diag = upPrev[bi];
+      const VecScore left = d1[bi];
+      const VecScore bv =
+          VecScore::load(revBuf + (w - j + stripH - 1) + bi * kVW);
+      const VecScore eq = VecScore::cmpeq(aVec[bi], bv);
+      VecScore res = vcell(diag, up, left, eq);
+      if (j < stripH && j / kVW == bi) {
+        const VecScore mask =
+            VecScore::load(maskBuf + kVW - static_cast<int>(j) % kVW);
+        res = VecScore::blend(
+            mask, VecScore::splat(leftCol[static_cast<int>(j)]), res);
+      }
+      upPrev[bi] = up;
+      d1[bi] = res;
+      pend[bi][pcount] = res;
+    }
+    ++pcount;
+    if (pcount == kVW) {
+      flush(pendStart, pcount);
+      pcount = 0;
+      pendStart = j + 1;
+    }
+  }
+  if (pcount > 0) {
+    flush(pendStart, pcount);
+  }
+}
+
+}  // namespace detail
+
+template <typename View, typename CellFn, typename VecCellFn>
+void wavefrontSimdKernel(View& v, const CellRect& rect, const char* a,
+                         const char* b, std::int64_t bCols, CellFn cell,
+                         VecCellFn vcell, std::int64_t tileCols, int bands,
+                         WavefrontSimdScratch& scratch) {
+  using simd::VecScore;
+  constexpr int kVW = simd::kVecWidth;
+  bands = std::clamp(bands, 1, kMaxSimdBands);
+  const int stripH = bands * kVW;
+  const std::int64_t stripRows = (rect.rows / stripH) * stripH;
+  if (tileCols < stripH) {
+    tileCols = kKernelTileCols;  // degenerate tile: fall back to default
+  }
+
+  // Single-lane blend masks: lane l of load(maskBuf + kVW - l) is -1, all
+  // other lanes 0 — used to insert the left-halo seed at a lane's entry
+  // step without a runtime-indexed insert.
+  alignas(64) Score maskBuf[2 * kVW + 1] = {};
+  maskBuf[kVW] = static_cast<Score>(-1);
+
+  const std::int64_t maxW = std::min<std::int64_t>(tileCols, rect.cols);
+  // +stripH: zero pad past index w so the step loop's up0 read is
+  // branchless (steps j in (w, w + stripH) read 0, the inactive value).
+  scratch.prevRow.resize(static_cast<std::size_t>(maxW + stripH));
+  scratch.bRev.resize(static_cast<std::size_t>(maxW + 2 * stripH));
+  Score* prevBuf = scratch.prevRow.data();
+  Score* revBuf = scratch.bRev.data();
+
+  for (std::int64_t t0 = rect.col0; t0 < rect.colEnd(); t0 += tileCols) {
+    const std::int64_t t1 = std::min(t0 + tileCols, rect.colEnd());
+    const std::int64_t w = t1 - t0;
+    // revBuf[p] = b char of column t0 + w + stripH - 2 - p (0 outside
+    // the string: those lanes are inactive).  Lane g of the load at
+    // revBuf + (w - j + stripH - 1) is then b[t0 - 1 + j - g], exactly
+    // the character the lane's cell compares against.  Tile-invariant,
+    // so it is built once per tile, not per strip.
+    for (std::int64_t p = 0; p < w + 2 * stripH - 1; ++p) {
+      const std::int64_t col = t0 + w + stripH - 2 - p;
+      revBuf[p] = (col >= 0 && col < bCols)
+                      ? static_cast<Score>(static_cast<unsigned char>(
+                            b[static_cast<std::size_t>(col)]))
+                      : Score{0};
+    }
+    for (std::int64_t r0 = rect.row0; r0 < rect.row0 + stripRows;
+         r0 += stripH) {
+      Score* out[kMaxSimdBands * kVW];
+      bool spansOk = true;
+      for (int g = 0; g < stripH; ++g) {
+        out[g] = v.rowOut(r0 + g, t0, w);
+        spansOk = spansOk && out[g] != nullptr;
+      }
+      if (!spansOk) {
+        wavefrontSpanKernel(v, CellRect{r0, t0, stripH, w}, cell, tileCols);
+        continue;
+      }
+      // Previous-row seed: the corner and any unresolvable row go through
+      // the safe accessor (it uniformly answers stored cells, injected
+      // halos and virtual boundary cells), but the common case — the row
+      // above is stored contiguously, e.g. just computed by the previous
+      // strip — is one span resolve + memcpy instead of w bounds-checked
+      // gets, which would otherwise cost more than the strip's compute.
+      prevBuf[0] = v.get(r0 - 1, t0 - 1);
+      if (const Score* prev = v.rowIn(r0 - 1, t0, w)) {
+        std::memcpy(prevBuf + 1, prev,
+                    static_cast<std::size_t>(w) * sizeof(Score));
+      } else {
+        for (std::int64_t m = 1; m <= w; ++m) {
+          prevBuf[m] = v.get(r0 - 1, t0 - 1 + m);
+        }
+      }
+      for (std::int64_t m = w + 1; m < w + stripH; ++m) {
+        prevBuf[m] = 0;  // pad: read by drain steps, never used
+      }
+      Score leftCol[kMaxSimdBands * kVW];
+      for (int g = 0; g < stripH; ++g) {
+        leftCol[g] = v.get(r0 + g, t0 - 1);
+      }
+      VecScore aVec[kMaxSimdBands];
+      for (int bi = 0; bi < bands; ++bi) {
+        Score abuf[kVW];
+        for (int l = 0; l < kVW; ++l) {
+          abuf[l] = static_cast<Score>(static_cast<unsigned char>(
+              a[static_cast<std::size_t>(r0 + bi * kVW + l)]));
+        }
+        aVec[bi] = VecScore::load(abuf);
+      }
+
+      static_assert(kMaxSimdBands == 2,
+                    "band dispatch below enumerates the template arity");
+      if (bands == 1) {
+        detail::wavefrontSimdStrip<1>(out, prevBuf, leftCol, revBuf, aVec,
+                                      maskBuf, w, vcell);
+      } else {
+        detail::wavefrontSimdStrip<2>(out, prevBuf, leftCol, revBuf, aVec,
+                                      maskBuf, w, vcell);
+      }
+    }
+    // Tail rows shorter than a strip keep the scalar span path; they run
+    // after the strips of this tile but before the next tile needs their
+    // columns — except the left-neighbour cells the *next* tile's strips
+    // seed from, which is why the tail runs inside the tile loop.
+    if (stripRows < rect.rows) {
+      wavefrontSpanKernel(
+          v,
+          CellRect{rect.row0 + stripRows, t0, rect.rows - stripRows, w},
+          cell, tileCols);
     }
   }
 }

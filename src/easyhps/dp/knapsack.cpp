@@ -102,11 +102,78 @@ void Knapsack::spanKernel(W& w, const CellRect& rect) const {
 }
 
 template <typename W>
+void Knapsack::simdKernel(W& w, const CellRect& rect) const {
+  using simd::VecScore;
+  constexpr std::int64_t kVW = simd::kVecWidth;
+  typename W::View v(w);
+  for (std::int64_t r = rect.row0; r < rect.rowEnd(); ++r) {
+    const Item& item = items_[static_cast<std::size_t>(r)];
+    Score* out = v.rowOut(r, rect.col0, rect.cols);
+    const Score* prevBlk =
+        r > 0 ? v.rowIn(r - 1, rect.col0, rect.cols) : nullptr;
+    const Score* prevLeft =
+        (r > 0 && rect.col0 > 0) ? v.rowIn(r - 1, 0, rect.col0) : nullptr;
+    if (out == nullptr || prevBlk == nullptr ||
+        (rect.col0 > 0 && prevLeft == nullptr)) {
+      referenceKernel(w, CellRect{r, rect.col0, 1, rect.cols});
+      continue;
+    }
+    const std::int64_t weight = item.weight;
+    const VecScore value = VecScore::splat(item.value);
+    // Column ranges by where the jump dependency (r-1, c - weight) lands:
+    // nowhere (the item does not fit), the zero boundary (c == weight-1),
+    // the previous row's left-strip halo, or the previous row under the
+    // block.  Each contiguous range takes unaligned vector loads directly
+    // from its source span; take-vs-leave is a branchless lanewise max.
+    const std::int64_t skipEnd = std::min(rect.colEnd(), weight - 1);
+    for (std::int64_t c = rect.col0; c < skipEnd; ++c) {
+      out[c - rect.col0] = prevBlk[c - rect.col0];
+    }
+    if (weight - 1 >= rect.col0 && weight - 1 < rect.colEnd()) {
+      const std::int64_t c = weight - 1;
+      out[c - rect.col0] = std::max(prevBlk[c - rect.col0],
+                                    static_cast<Score>(item.value));
+    }
+    const auto vectorRange = [&](std::int64_t lo, std::int64_t hi,
+                                 const Score* src, std::int64_t srcBase) {
+      // src[c - srcBase] holds cell (r-1, c - weight) for c in [lo, hi).
+      std::int64_t c = lo;
+      for (; c + kVW <= hi; c += kVW) {
+        const VecScore skip = VecScore::load(prevBlk + (c - rect.col0));
+        const VecScore take = value + VecScore::load(src + (c - srcBase));
+        VecScore::max(skip, take).store(out + (c - rect.col0));
+      }
+      for (; c < hi; ++c) {
+        const Score skip = prevBlk[c - rect.col0];
+        const Score take =
+            static_cast<Score>(item.value + src[c - srcBase]);
+        out[c - rect.col0] = std::max(skip, take);
+      }
+    };
+    const std::int64_t leftLo = std::max(rect.col0, weight);
+    const std::int64_t leftHi = std::min(rect.colEnd(), weight + rect.col0);
+    if (leftLo < leftHi) {
+      vectorRange(leftLo, leftHi, prevLeft, weight);
+    }
+    const std::int64_t blkLo = std::max(rect.col0, weight + rect.col0);
+    if (blkLo < rect.colEnd()) {
+      vectorRange(blkLo, rect.colEnd(), prevBlk, weight + rect.col0);
+    }
+  }
+}
+
+template <typename W>
 void Knapsack::kernel(W& w, const CellRect& rect) const {
-  if (kernelPath() == KernelPath::kReference) {
-    referenceKernel(w, rect);
-  } else {
-    spanKernel(w, rect);
+  switch (effectiveKernelPath()) {
+    case KernelPath::kReference:
+      referenceKernel(w, rect);
+      break;
+    case KernelPath::kSpan:
+      spanKernel(w, rect);
+      break;
+    case KernelPath::kSimd:
+      simdKernel(w, rect);
+      break;
   }
 }
 

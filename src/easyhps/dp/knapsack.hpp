@@ -61,13 +61,15 @@ class Knapsack final : public DpProblem {
   const std::vector<Item>& items() const { return items_; }
 
  private:
-  /// Dispatches on kernelPath(): span fast path vs per-cell reference.
+  /// Dispatches on effectiveKernelPath(): simd / span / reference.
   template <typename W>
   void kernel(W& w, const CellRect& rect) const;
   template <typename W>
   void referenceKernel(W& w, const CellRect& rect) const;
   template <typename W>
   void spanKernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void simdKernel(W& w, const CellRect& rect) const;
 
   std::vector<Item> items_;
   std::int64_t capacity_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "easyhps/dp/autotune.hpp"
 #include "easyhps/dp/kernel_common.hpp"
 
 namespace easyhps {
@@ -61,6 +62,7 @@ void LongestCommonSubsequence::referenceKernel(W& w,
 template <typename W>
 void LongestCommonSubsequence::spanKernel(W& w, const CellRect& rect) const {
   typename W::View v(w);
+  const auto tile = autotune::tileFor("lcs", autotune::storageOf<W>(), KernelPath::kSpan);
   wavefrontSpanKernel(
       v, rect,
       [this](std::int64_t r, std::int64_t c, Score diag, Score up,
@@ -70,15 +72,45 @@ void LongestCommonSubsequence::spanKernel(W& w, const CellRect& rect) const {
           return static_cast<Score>(diag + 1);
         }
         return std::max(up, left);
-      });
+      },
+      tile.tileCols);
+}
+
+template <typename W>
+void LongestCommonSubsequence::simdKernel(W& w, const CellRect& rect) const {
+  using simd::VecScore;
+  typename W::View v(w);
+  const auto tile = autotune::tileFor("lcs", autotune::storageOf<W>(), KernelPath::kSimd);
+  const VecScore one = VecScore::splat(1);
+  WavefrontSimdScratch scratch;
+  wavefrontSimdKernel(
+      v, rect, a_.data(), b_.data(), cols(),
+      [this](std::int64_t r, std::int64_t c, Score diag, Score up,
+             Score left) -> Score {
+        if (a_[static_cast<std::size_t>(r)] ==
+            b_[static_cast<std::size_t>(c)]) {
+          return static_cast<Score>(diag + 1);
+        }
+        return std::max(up, left);
+      },
+      [one](VecScore diag, VecScore up, VecScore left, VecScore eq) {
+        return VecScore::blend(eq, diag + one, VecScore::max(up, left));
+      },
+      tile.tileCols, tile.stripBands, scratch);
 }
 
 template <typename W>
 void LongestCommonSubsequence::kernel(W& w, const CellRect& rect) const {
-  if (kernelPath() == KernelPath::kReference) {
-    referenceKernel(w, rect);
-  } else {
-    spanKernel(w, rect);
+  switch (effectiveKernelPath()) {
+    case KernelPath::kReference:
+      referenceKernel(w, rect);
+      break;
+    case KernelPath::kSpan:
+      spanKernel(w, rect);
+      break;
+    case KernelPath::kSimd:
+      simdKernel(w, rect);
+      break;
   }
 }
 

@@ -43,13 +43,15 @@ class LongestCommonSubsequence final : public DpProblem {
   std::string subsequence(const Window& solved) const;
 
  private:
-  /// Dispatches on kernelPath(): span fast path vs per-cell reference.
+  /// Dispatches on effectiveKernelPath(): simd / span / reference.
   template <typename W>
   void kernel(W& w, const CellRect& rect) const;
   template <typename W>
   void referenceKernel(W& w, const CellRect& rect) const;
   template <typename W>
   void spanKernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void simdKernel(W& w, const CellRect& rect) const;
 
   std::string a_;
   std::string b_;

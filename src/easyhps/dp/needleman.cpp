@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "easyhps/dp/autotune.hpp"
 #include "easyhps/dp/kernel_common.hpp"
 
 namespace easyhps {
@@ -67,6 +68,8 @@ void NeedlemanWunsch::referenceKernel(W& w, const CellRect& rect) const {
 template <typename W>
 void NeedlemanWunsch::spanKernel(W& w, const CellRect& rect) const {
   typename W::View v(w);
+  const auto tile = autotune::tileFor("needleman", autotune::storageOf<W>(),
+                                      KernelPath::kSpan);
   wavefrontSpanKernel(
       v, rect,
       [this](std::int64_t r, std::int64_t c, Score diag, Score up,
@@ -75,15 +78,49 @@ void NeedlemanWunsch::spanKernel(W& w, const CellRect& rect) const {
             {static_cast<Score>(diag + substitution(r, c)),
              static_cast<Score>(up - params_.gap),
              static_cast<Score>(left - params_.gap)});
-      });
+      },
+      tile.tileCols);
+}
+
+template <typename W>
+void NeedlemanWunsch::simdKernel(W& w, const CellRect& rect) const {
+  using simd::VecScore;
+  typename W::View v(w);
+  const auto tile = autotune::tileFor("needleman", autotune::storageOf<W>(),
+                                      KernelPath::kSimd);
+  const VecScore match = VecScore::splat(params_.match);
+  const VecScore mismatch = VecScore::splat(params_.mismatch);
+  const VecScore gap = VecScore::splat(params_.gap);
+  WavefrontSimdScratch scratch;
+  wavefrontSimdKernel(
+      v, rect, a_.data(), b_.data(), cols(),
+      [this](std::int64_t r, std::int64_t c, Score diag, Score up,
+             Score left) -> Score {
+        return std::max(
+            {static_cast<Score>(diag + substitution(r, c)),
+             static_cast<Score>(up - params_.gap),
+             static_cast<Score>(left - params_.gap)});
+      },
+      [match, mismatch, gap](VecScore diag, VecScore up, VecScore left,
+                             VecScore eq) {
+        const VecScore sub = diag + VecScore::blend(eq, match, mismatch);
+        return VecScore::max(sub, VecScore::max(up - gap, left - gap));
+      },
+      tile.tileCols, tile.stripBands, scratch);
 }
 
 template <typename W>
 void NeedlemanWunsch::kernel(W& w, const CellRect& rect) const {
-  if (kernelPath() == KernelPath::kReference) {
-    referenceKernel(w, rect);
-  } else {
-    spanKernel(w, rect);
+  switch (effectiveKernelPath()) {
+    case KernelPath::kReference:
+      referenceKernel(w, rect);
+      break;
+    case KernelPath::kSpan:
+      spanKernel(w, rect);
+      break;
+    case KernelPath::kSimd:
+      simdKernel(w, rect);
+      break;
   }
 }
 

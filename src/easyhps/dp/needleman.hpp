@@ -60,6 +60,8 @@ class NeedlemanWunsch final : public DpProblem {
   void referenceKernel(W& w, const CellRect& rect) const;
   template <typename W>
   void spanKernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void simdKernel(W& w, const CellRect& rect) const;
 
   Score substitution(std::int64_t r, std::int64_t c) const {
     return a_[static_cast<std::size_t>(r)] == b_[static_cast<std::size_t>(c)]

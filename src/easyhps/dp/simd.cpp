@@ -1,0 +1,46 @@
+#include "easyhps/dp/simd.hpp"
+
+namespace easyhps::simd {
+namespace {
+
+// One CPUID probe per process: the answer cannot change while we run.
+bool probeRuntimeSupport() {
+#if defined(EASYHPS_SIMD_AVX2)
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return true;  // compiled for AVX2 by a compiler we cannot query: trust it
+#endif
+#elif defined(EASYHPS_SIMD_SSE)
+#if (defined(__GNUC__) || defined(__clang__)) && defined(__SSE4_1__)
+  return __builtin_cpu_supports("sse4.1") != 0;
+#else
+  return true;  // SSE2 is x86-64 baseline
+#endif
+#else
+  return true;  // scalar backend runs anywhere
+#endif
+}
+
+}  // namespace
+
+bool runtimeSupported() {
+  static const bool supported = probeRuntimeSupport();
+  return supported;
+}
+
+const char* backendName() {
+#if defined(EASYHPS_SIMD_AVX2)
+  return "avx2";
+#elif defined(EASYHPS_SIMD_SSE)
+#if defined(__SSE4_1__)
+  return "sse4.1";
+#else
+  return "sse2";
+#endif
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace easyhps::simd

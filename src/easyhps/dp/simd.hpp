@@ -1,0 +1,358 @@
+#pragma once
+/// \file simd.hpp
+/// Portable fixed-width integer vector wrapper for the SIMD kernel tier.
+///
+/// One backend is selected at *compile time* from the ISA the translation
+/// units were built with:
+///
+///   * AVX2   — `VecScore` is 8 × int32 (`__m256i`)
+///   * SSE    — 4 × int32 (`__m128i`; min/max/blend emulated via compare
+///              when SSE4.1 is not available, so plain x86-64 SSE2 works)
+///   * scalar — 4 × int32 in a plain array; the loops compile to portable
+///              C++ on any architecture, and doubles as the reference
+///              backend for the `generic` CMake preset
+///              (-DEASYHPS_SIMD_SCALAR=ON forces it on any hardware)
+///
+/// A *runtime* CPUID guard (`runtimeSupported()`) answers whether the
+/// executing CPU implements the compiled-in ISA; kernel dispatch demotes
+/// `KernelPath::kSimd` to the span tier when it does not, so a binary
+/// built on an AVX2 box degrades instead of faulting on an older node
+/// (see kernel_common.hpp, `effectiveKernelPath`).
+///
+/// The operation set is exactly what branchless DP recurrences need:
+/// load/store (unaligned), splat, add/sub, min/max, compare-equal,
+/// blend (mask select), the lane-pipeline helpers `shiftUpInsert` /
+/// `lane` / `topLane` used by the anti-diagonal wavefront kernel, and an
+/// in-register W×W transpose used to turn anti-diagonal result vectors
+/// back into row-major stores.  All lanes are int32 (`Score`); every
+/// operation is bit-exact with its scalar equivalent — integer min/max
+/// and wrap-around add have no reassociation or rounding freedom — which
+/// is what keeps the SIMD tier inside the PR 3 bit-exactness gate.
+
+#include <cstdint>
+
+#include "easyhps/dp/window.hpp"
+
+#if !defined(EASYHPS_SIMD_SCALAR)
+#if defined(__AVX2__)
+#define EASYHPS_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__)
+#define EASYHPS_SIMD_SSE 1
+#include <emmintrin.h>
+#if defined(__SSE4_1__)
+#include <smmintrin.h>
+#endif
+#endif
+#endif
+
+namespace easyhps::simd {
+
+/// True when the CPU executing this process implements the ISA the
+/// library was compiled for (CPUID check, cached).  Always true for the
+/// scalar backend.
+bool runtimeSupported();
+
+/// Compile-time backend name: "avx2", "sse4.1", "sse2", or "scalar".
+const char* backendName();
+
+#if defined(EASYHPS_SIMD_AVX2)
+
+inline constexpr int kVecWidth = 8;
+
+struct VecScore {
+  __m256i v;
+
+  static VecScore load(const Score* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  void store(Score* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static VecScore splat(Score x) { return {_mm256_set1_epi32(x)}; }
+  static VecScore zero() { return {_mm256_setzero_si256()}; }
+
+  friend VecScore operator+(VecScore a, VecScore b) {
+    return {_mm256_add_epi32(a.v, b.v)};
+  }
+  friend VecScore operator-(VecScore a, VecScore b) {
+    return {_mm256_sub_epi32(a.v, b.v)};
+  }
+  static VecScore min(VecScore a, VecScore b) {
+    return {_mm256_min_epi32(a.v, b.v)};
+  }
+  static VecScore max(VecScore a, VecScore b) {
+    return {_mm256_max_epi32(a.v, b.v)};
+  }
+  /// Lanewise a == b, as an all-ones/all-zeros int32 mask.
+  static VecScore cmpeq(VecScore a, VecScore b) {
+    return {_mm256_cmpeq_epi32(a.v, b.v)};
+  }
+  /// mask ? a : b, per lane (mask lanes all-ones or all-zeros).
+  static VecScore blend(VecScore mask, VecScore a, VecScore b) {
+    return {_mm256_blendv_epi8(b.v, a.v, mask.v)};
+  }
+
+  /// result[0] = x, result[k] = this[k-1] — the anti-diagonal pipeline
+  /// step (lane k's `up` neighbour lives in lane k-1 of the previous
+  /// step's vector).
+  VecScore shiftUpInsert(Score x) const {
+    // broadcast + immediate blend, not insert_epi32: the broadcast of x
+    // has no dependence on v, so only the 1-cycle blend lands on the
+    // loop-carried rotate chain of the wavefront lane pipeline.
+    const __m256i idx = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+    const __m256i rot = _mm256_permutevar8x32_epi32(v, idx);
+    return {_mm256_blend_epi32(rot, _mm256_set1_epi32(x), 1)};
+  }
+  /// result[0] = lo[kVecWidth-1], result[k] = hi[k-1] — the cross-band
+  /// flavour of shiftUpInsert, kept entirely in the vector domain (a
+  /// scalar topLane round trip would serialize the band pipeline).
+  static VecScore shiftUpConcat(VecScore hi, VecScore lo) {
+    const __m256i t = _mm256_permute2x128_si256(lo.v, hi.v, 0x21);
+    return {_mm256_alignr_epi8(hi.v, t, 12)};
+  }
+  Score lane(int i) const {
+    alignas(32) Score tmp[kVecWidth];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v);
+    return tmp[i];
+  }
+  Score topLane() const { return _mm256_extract_epi32(v, 7); }
+
+  /// Horizontal max over all lanes.
+  Score reduceMax() const {
+    __m128i lo = _mm256_castsi256_si128(v);
+    __m128i hi = _mm256_extracti128_si256(v, 1);
+    __m128i m = _mm_max_epi32(lo, hi);
+    m = _mm_max_epi32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(1, 0, 3, 2)));
+    m = _mm_max_epi32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(m);
+  }
+};
+
+/// In-register 8×8 int32 transpose: t[k] = {m[0].lane(k), ..., m[7].lane(k)}.
+inline void transpose(VecScore (&m)[kVecWidth]) {
+  __m256i a0 = _mm256_unpacklo_epi32(m[0].v, m[1].v);
+  __m256i a1 = _mm256_unpackhi_epi32(m[0].v, m[1].v);
+  __m256i a2 = _mm256_unpacklo_epi32(m[2].v, m[3].v);
+  __m256i a3 = _mm256_unpackhi_epi32(m[2].v, m[3].v);
+  __m256i a4 = _mm256_unpacklo_epi32(m[4].v, m[5].v);
+  __m256i a5 = _mm256_unpackhi_epi32(m[4].v, m[5].v);
+  __m256i a6 = _mm256_unpacklo_epi32(m[6].v, m[7].v);
+  __m256i a7 = _mm256_unpackhi_epi32(m[6].v, m[7].v);
+  __m256i b0 = _mm256_unpacklo_epi64(a0, a2);
+  __m256i b1 = _mm256_unpackhi_epi64(a0, a2);
+  __m256i b2 = _mm256_unpacklo_epi64(a1, a3);
+  __m256i b3 = _mm256_unpackhi_epi64(a1, a3);
+  __m256i b4 = _mm256_unpacklo_epi64(a4, a6);
+  __m256i b5 = _mm256_unpackhi_epi64(a4, a6);
+  __m256i b6 = _mm256_unpacklo_epi64(a5, a7);
+  __m256i b7 = _mm256_unpackhi_epi64(a5, a7);
+  m[0].v = _mm256_permute2x128_si256(b0, b4, 0x20);
+  m[1].v = _mm256_permute2x128_si256(b1, b5, 0x20);
+  m[2].v = _mm256_permute2x128_si256(b2, b6, 0x20);
+  m[3].v = _mm256_permute2x128_si256(b3, b7, 0x20);
+  m[4].v = _mm256_permute2x128_si256(b0, b4, 0x31);
+  m[5].v = _mm256_permute2x128_si256(b1, b5, 0x31);
+  m[6].v = _mm256_permute2x128_si256(b2, b6, 0x31);
+  m[7].v = _mm256_permute2x128_si256(b3, b7, 0x31);
+}
+
+#elif defined(EASYHPS_SIMD_SSE)
+
+inline constexpr int kVecWidth = 4;
+
+struct VecScore {
+  __m128i v;
+
+  static VecScore load(const Score* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  void store(Score* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static VecScore splat(Score x) { return {_mm_set1_epi32(x)}; }
+  static VecScore zero() { return {_mm_setzero_si128()}; }
+
+  friend VecScore operator+(VecScore a, VecScore b) {
+    return {_mm_add_epi32(a.v, b.v)};
+  }
+  friend VecScore operator-(VecScore a, VecScore b) {
+    return {_mm_sub_epi32(a.v, b.v)};
+  }
+  static VecScore cmpeq(VecScore a, VecScore b) {
+    return {_mm_cmpeq_epi32(a.v, b.v)};
+  }
+  static VecScore blend(VecScore mask, VecScore a, VecScore b) {
+#if defined(__SSE4_1__)
+    return {_mm_blendv_epi8(b.v, a.v, mask.v)};
+#else
+    return {_mm_or_si128(_mm_and_si128(mask.v, a.v),
+                         _mm_andnot_si128(mask.v, b.v))};
+#endif
+  }
+  static VecScore min(VecScore a, VecScore b) {
+#if defined(__SSE4_1__)
+    return {_mm_min_epi32(a.v, b.v)};
+#else
+    return blend({_mm_cmpgt_epi32(b.v, a.v)}, a, b);
+#endif
+  }
+  static VecScore max(VecScore a, VecScore b) {
+#if defined(__SSE4_1__)
+    return {_mm_max_epi32(a.v, b.v)};
+#else
+    return blend({_mm_cmpgt_epi32(a.v, b.v)}, a, b);
+#endif
+  }
+
+  VecScore shiftUpInsert(Score x) const {
+    return {_mm_or_si128(_mm_slli_si128(v, 4),
+                         _mm_cvtsi32_si128(static_cast<int>(x)))};
+  }
+  /// result[0] = lo[kVecWidth-1], result[k] = hi[k-1] (SSE2-safe: two
+  /// byte shifts + or, no SSSE3 palignr required).
+  static VecScore shiftUpConcat(VecScore hi, VecScore lo) {
+    return {_mm_or_si128(_mm_slli_si128(hi.v, 4),
+                         _mm_srli_si128(lo.v, 12))};
+  }
+  Score lane(int i) const {
+    alignas(16) Score tmp[kVecWidth];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v);
+    return tmp[i];
+  }
+  Score topLane() const { return lane(kVecWidth - 1); }
+
+  Score reduceMax() const {
+    __m128i m = max({v}, {_mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2))}).v;
+    m = max({m}, {_mm_shuffle_epi32(m, _MM_SHUFFLE(2, 3, 0, 1))}).v;
+    return _mm_cvtsi128_si32(m);
+  }
+};
+
+inline void transpose(VecScore (&m)[kVecWidth]) {
+  __m128i a0 = _mm_unpacklo_epi32(m[0].v, m[1].v);
+  __m128i a1 = _mm_unpackhi_epi32(m[0].v, m[1].v);
+  __m128i a2 = _mm_unpacklo_epi32(m[2].v, m[3].v);
+  __m128i a3 = _mm_unpackhi_epi32(m[2].v, m[3].v);
+  m[0].v = _mm_unpacklo_epi64(a0, a2);
+  m[1].v = _mm_unpackhi_epi64(a0, a2);
+  m[2].v = _mm_unpacklo_epi64(a1, a3);
+  m[3].v = _mm_unpackhi_epi64(a1, a3);
+}
+
+#else  // scalar fallback backend
+
+inline constexpr int kVecWidth = 4;
+
+struct VecScore {
+  Score v[kVecWidth];
+
+  static VecScore load(const Score* p) {
+    VecScore r;
+    for (int i = 0; i < kVecWidth; ++i) {
+      r.v[i] = p[i];
+    }
+    return r;
+  }
+  void store(Score* p) const {
+    for (int i = 0; i < kVecWidth; ++i) {
+      p[i] = v[i];
+    }
+  }
+  static VecScore splat(Score x) {
+    VecScore r;
+    for (int i = 0; i < kVecWidth; ++i) {
+      r.v[i] = x;
+    }
+    return r;
+  }
+  static VecScore zero() { return splat(0); }
+
+  friend VecScore operator+(VecScore a, VecScore b) {
+    VecScore r;
+    for (int i = 0; i < kVecWidth; ++i) {
+      r.v[i] = static_cast<Score>(
+          static_cast<std::uint32_t>(a.v[i]) +
+          static_cast<std::uint32_t>(b.v[i]));  // wrap like the hardware
+    }
+    return r;
+  }
+  friend VecScore operator-(VecScore a, VecScore b) {
+    VecScore r;
+    for (int i = 0; i < kVecWidth; ++i) {
+      r.v[i] = static_cast<Score>(static_cast<std::uint32_t>(a.v[i]) -
+                                  static_cast<std::uint32_t>(b.v[i]));
+    }
+    return r;
+  }
+  static VecScore min(VecScore a, VecScore b) {
+    VecScore r;
+    for (int i = 0; i < kVecWidth; ++i) {
+      r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+    }
+    return r;
+  }
+  static VecScore max(VecScore a, VecScore b) {
+    VecScore r;
+    for (int i = 0; i < kVecWidth; ++i) {
+      r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+    }
+    return r;
+  }
+  static VecScore cmpeq(VecScore a, VecScore b) {
+    VecScore r;
+    for (int i = 0; i < kVecWidth; ++i) {
+      r.v[i] = a.v[i] == b.v[i] ? static_cast<Score>(-1) : 0;
+    }
+    return r;
+  }
+  static VecScore blend(VecScore mask, VecScore a, VecScore b) {
+    VecScore r;
+    for (int i = 0; i < kVecWidth; ++i) {
+      r.v[i] = mask.v[i] != 0 ? a.v[i] : b.v[i];
+    }
+    return r;
+  }
+
+  VecScore shiftUpInsert(Score x) const {
+    VecScore r;
+    r.v[0] = x;
+    for (int i = 1; i < kVecWidth; ++i) {
+      r.v[i] = v[i - 1];
+    }
+    return r;
+  }
+  /// result[0] = lo[kVecWidth-1], result[k] = hi[k-1].
+  static VecScore shiftUpConcat(VecScore hi, VecScore lo) {
+    VecScore r;
+    r.v[0] = lo.v[kVecWidth - 1];
+    for (int i = 1; i < kVecWidth; ++i) {
+      r.v[i] = hi.v[i - 1];
+    }
+    return r;
+  }
+  Score lane(int i) const { return v[i]; }
+  Score topLane() const { return v[kVecWidth - 1]; }
+
+  Score reduceMax() const {
+    Score m = v[0];
+    for (int i = 1; i < kVecWidth; ++i) {
+      m = v[i] > m ? v[i] : m;
+    }
+    return m;
+  }
+};
+
+inline void transpose(VecScore (&m)[kVecWidth]) {
+  for (int i = 0; i < kVecWidth; ++i) {
+    for (int j = i + 1; j < kVecWidth; ++j) {
+      const Score t = m[i].v[j];
+      m[i].v[j] = m[j].v[i];
+      m[j].v[i] = t;
+    }
+  }
+}
+
+#endif  // backend selection
+
+}  // namespace easyhps::simd

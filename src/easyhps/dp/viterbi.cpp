@@ -124,11 +124,58 @@ void Viterbi::spanKernel(W& w, const CellRect& rect) const {
 }
 
 template <typename W>
+void Viterbi::simdKernel(W& w, const CellRect& rect) const {
+  using simd::VecScore;
+  constexpr std::int64_t kVW = simd::kVecWidth;
+  typename W::View v(w);
+  // Same tabulation as the span path, but transposed — s-major so that the
+  // max-over-predecessors inner loop reads trans(·, s) contiguously and
+  // vectorizes along the state axis.  Integer max is exactly associative,
+  // so lanewise max + horizontal reduce keeps bit-exactness.
+  std::vector<Score> tr(static_cast<std::size_t>(states_ * rect.cols));
+  for (std::int64_t p = 0; p < states_; ++p) {
+    for (std::int64_t s = rect.col0; s < rect.colEnd(); ++s) {
+      tr[static_cast<std::size_t>((s - rect.col0) * states_ + p)] =
+          trans(p, s);
+    }
+  }
+  for (std::int64_t t = rect.row0; t < rect.rowEnd(); ++t) {
+    const Score* prev = t > 0 ? v.rowIn(t - 1, 0, states_) : nullptr;
+    Score* out = v.rowOut(t, rect.col0, rect.cols);
+    if (out == nullptr || prev == nullptr) {
+      referenceKernel(w, CellRect{t, rect.col0, 1, rect.cols});
+      continue;
+    }
+    for (std::int64_t s = rect.col0; s < rect.colEnd(); ++s) {
+      const Score* col =
+          tr.data() + static_cast<std::size_t>((s - rect.col0) * states_);
+      VecScore acc = VecScore::splat(std::numeric_limits<Score>::min());
+      std::int64_t p = 0;
+      for (; p + kVW <= states_; p += kVW) {
+        acc = VecScore::max(acc,
+                            VecScore::load(prev + p) + VecScore::load(col + p));
+      }
+      Score best = acc.reduceMax();
+      for (; p < states_; ++p) {
+        best = std::max(best, static_cast<Score>(prev[p] + col[p]));
+      }
+      out[s - rect.col0] = static_cast<Score>(best + emit(t, s));
+    }
+  }
+}
+
+template <typename W>
 void Viterbi::kernel(W& w, const CellRect& rect) const {
-  if (kernelPath() == KernelPath::kReference) {
-    referenceKernel(w, rect);
-  } else {
-    spanKernel(w, rect);
+  switch (effectiveKernelPath()) {
+    case KernelPath::kReference:
+      referenceKernel(w, rect);
+      break;
+    case KernelPath::kSpan:
+      spanKernel(w, rect);
+      break;
+    case KernelPath::kSimd:
+      simdKernel(w, rect);
+      break;
   }
 }
 

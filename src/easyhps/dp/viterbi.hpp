@@ -71,13 +71,15 @@ class Viterbi final : public DpProblem {
   Score prior(std::int64_t s) const;
 
  private:
-  /// Dispatches on kernelPath(): span fast path vs per-cell reference.
+  /// Dispatches on effectiveKernelPath(): simd / span / reference.
   template <typename W>
   void kernel(W& w, const CellRect& rect) const;
   template <typename W>
   void referenceKernel(W& w, const CellRect& rect) const;
   template <typename W>
   void spanKernel(W& w, const CellRect& rect) const;
+  template <typename W>
+  void simdKernel(W& w, const CellRect& rect) const;
 
   std::int64_t steps_;
   std::int64_t states_;

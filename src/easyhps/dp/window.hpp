@@ -35,7 +35,8 @@ class Window {
   /// Creates a zero-initialized window over `box`.
   Window(CellRect box, BoundaryFn boundary)
       : box_(box), boundary_(std::move(boundary)),
-        data_(static_cast<std::size_t>(box.cellCount()), Score{0}) {
+        stride_(paddedStride(box.cols)),
+        data_(static_cast<std::size_t>(box.rows * stride_), Score{0}) {
     EASYHPS_EXPECTS(box.rows >= 0 && box.cols >= 0);
     EASYHPS_EXPECTS(boundary_ != nullptr);
   }
@@ -89,7 +90,7 @@ class Window {
       return nullptr;
     }
     EASYHPS_DCHECK(valid_.rectValid(r0, c, len, 1));
-    *stride = box_.cols;
+    *stride = stride_;
     return data_.data() + index(r0, c);
   }
 
@@ -165,13 +166,36 @@ class Window {
   }
 
  private:
+  // Row stride in elements, padded so the byte distance between adjacent
+  // rows stays well clear of 4 KiB multiples.  The SIMD tier keeps up to
+  // kMaxSimdBands × vector-width output rows open per strip; at a
+  // near-4 KiB stride (any power-of-two block width) they all map to the
+  // same L1 sets and evict each other (~2× kernel slowdown measured on
+  // 1024-wide blocks).  Cost: at most ~140 padding elements per row.
+  static std::int64_t paddedStride(std::int64_t cols) {
+    if (cols < 64) {
+      return cols;  // small windows cannot alias across a 4 KiB page
+    }
+    std::int64_t stride = (cols + 15) & ~std::int64_t{15};
+    for (int i = 0; i < 16; ++i) {
+      const std::int64_t mod =
+          (stride * static_cast<std::int64_t>(sizeof(Score))) % 4096;
+      if (mod >= 256 && mod <= 4096 - 256) {
+        break;
+      }
+      stride += 16;  // one cache line; escapes the ±256 B zone in ≤ 8 steps
+    }
+    return stride;
+  }
+
   std::size_t index(std::int64_t r, std::int64_t c) const {
-    return static_cast<std::size_t>((r - box_.row0) * box_.cols +
+    return static_cast<std::size_t>((r - box_.row0) * stride_ +
                                     (c - box_.col0));
   }
 
   CellRect box_;
   BoundaryFn boundary_;
+  std::int64_t stride_;
   std::vector<Score> data_;
   ValidityMask valid_;
 };

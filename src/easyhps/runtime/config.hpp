@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "easyhps/fault/chaos.hpp"
@@ -141,6 +142,14 @@ struct RunStats {
   /// Sum of wire::blockChecksum over the job's distinct completed blocks;
   /// identical across data-plane modes for the same problem.
   std::uint64_t tableChecksum = 0;
+
+  /// Kernel tier the job's blocks actually dispatched to ("simd", "span",
+  /// "reference" — after the runtime ISA demotion, so a simd-requesting
+  /// run on a non-simd CPU reports "span"), and the autotuner's memoized
+  /// tile picks ("lcs/dense/simd=512x2 ..."; empty when no tuned kernel
+  /// ran).  Makes mixed-tier runs diagnosable from stats alone.
+  std::string kernelPathName;
+  std::string kernelTiles;
 
   std::int64_t tasks = 0;            ///< master-level assignments sent
   std::int64_t completedTasks = 0;   ///< distinct sub-tasks finished

@@ -11,6 +11,8 @@
 
 #include "easyhps/dag/fragment.hpp"
 #include "easyhps/dag/parse_state.hpp"
+#include "easyhps/dp/autotune.hpp"
+#include "easyhps/dp/kernel_common.hpp"
 #include "easyhps/runtime/pipeline.hpp"
 #include "easyhps/runtime/wire.hpp"
 #include "easyhps/sched/worker_pool.hpp"
@@ -1252,6 +1254,8 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   stats.masterStalledPicks = state.policy->stalledPicks();
   stats.tasksPerSlave = state.tasksPerSlave;
   stats.tableChecksum = state.tableChecksum;
+  stats.kernelPathName = kernelPathName(effectiveKernelPath());
+  stats.kernelTiles = autotune::summary();
   stats.blocksAssembled = state.blocksAssembled;
   stats.blocksRecomputed = state.blocksRecomputed;
   stats.statsSkipped = state.statsSkipped;

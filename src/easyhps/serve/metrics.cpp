@@ -3,7 +3,8 @@
 namespace easyhps::serve {
 
 trace::Table metricsTable(const ServiceMetrics& m) {
-  trace::Table t({"policy", "accepted", "rejected", "completed", "cancelled",
+  trace::Table t({"policy", "kpath", "tile", "accepted", "rejected",
+                  "completed", "cancelled",
                   "failed", "queue_depth", "mean_wait_s", "max_wait_s",
                   "mean_ttfb_s", "jobs_per_s", "messages", "master_mb",
                   "p2p_mb", "zc_msgs", "zc_mb", "fragments", "early_starts",
@@ -11,7 +12,9 @@ trace::Table metricsTable(const ServiceMetrics& m) {
                   "own_inval", "quarantines", "hb_misses", "faults",
                   "job_retries", "cache_hits", "cache_bytes", "coalesced",
                   "shed_jobs", "deadline_misses"});
-  t.addRow({m.policy, trace::Table::num(m.accepted),
+  t.addRow({m.policy, m.kernelPath.empty() ? "-" : m.kernelPath,
+            m.tiles.empty() ? "-" : m.tiles,
+            trace::Table::num(m.accepted),
             trace::Table::num(m.rejected), trace::Table::num(m.completed),
             trace::Table::num(m.cancelled), trace::Table::num(m.failed),
             trace::Table::num(m.queueDepth),

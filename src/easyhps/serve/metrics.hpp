@@ -18,6 +18,14 @@ namespace easyhps::serve {
 struct ServiceMetrics {
   std::string policy;  ///< inter-job scheduling policy name
 
+  /// Kernel tier of the most recent finished job ("simd"/"span"/
+  /// "reference", post ISA demotion) and the autotuner's tile picks at
+  /// that point — the serve-side mirror of RunStats::kernelPathName /
+  /// kernelTiles, so mixed-tier fleets are diagnosable from the metrics
+  /// table.  Empty until a job finishes.
+  std::string kernelPath;
+  std::string tiles;
+
   std::int64_t accepted = 0;   ///< submissions admitted
   std::int64_t rejected = 0;   ///< submissions refused (full/closed)
   std::int64_t completed = 0;  ///< jobs finished kDone

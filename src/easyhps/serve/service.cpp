@@ -250,6 +250,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     std::lock_guard<std::mutex> lock(mutex_);
     ServiceMetrics m;
     m.policy = jobSchedPolicyName(cfg_.policy);
+    m.kernelPath = lastKernelPath_;
+    m.tiles = lastTiles_;
     m.accepted = accepted_;
     m.rejected = rejected_;
     m.completed = completed_;
@@ -688,6 +690,10 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
         quarantines_ += o->stats.run.quarantines;
         heartbeatMisses_ += o->stats.run.heartbeatMisses;
         faultsTriggered_ += o->stats.run.faultsTriggered;
+        if (!o->stats.run.kernelPathName.empty()) {
+          lastKernelPath_ = o->stats.run.kernelPathName;
+          lastTiles_ = o->stats.run.kernelTiles;
+        }
       }
       EASYHPS_EXPECTS(activeJobs_ >= 1);
       --activeJobs_;
@@ -789,6 +795,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   std::int64_t dedupCoalesced_ = 0;
   std::int64_t shedJobs_ = 0;
   std::int64_t deadlineMisses_ = 0;
+  std::string lastKernelPath_;  ///< kernel tier of the last finished job
+  std::string lastTiles_;       ///< autotuned tile memo at that point
 };
 
 }  // namespace detail

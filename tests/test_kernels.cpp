@@ -1,10 +1,12 @@
-// Bit-exactness suite for the span kernel fast path (kernel_common.hpp):
-// every shipped kernel is solved through the block/halo machinery on both
-// kernel paths (span and per-cell reference) over dense and sparse windows,
-// and the results must be bit-identical to each other and to the
-// textbook solveReference() — across degenerate partitions (1×N and N×1
-// block rows/columns, 1×1 blocks, odd remainders, triangular masks) and
-// column counts that cross the kKernelTileCols tile boundary.
+// Bit-exactness suite for the kernel fast paths (kernel_common.hpp):
+// every shipped kernel is solved through the block/halo machinery on every
+// kernel tier (simd, span, and the per-cell reference) over dense and
+// sparse windows, and the results must be bit-identical to each other and
+// to the textbook solveReference() — across degenerate partitions (1×N and
+// N×1 block rows/columns, 1×1 blocks, odd remainders, triangular masks),
+// column counts that cross the kKernelTileCols tile boundary, unaligned
+// widths that leave non-multiple-of-vector tails, and row counts around
+// the SIMD strip height.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -12,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "easyhps/dp/autotune.hpp"
 #include "easyhps/dp/editdist.hpp"
 #include "easyhps/dp/kernel_common.hpp"
 #include "easyhps/dp/knapsack.hpp"
@@ -22,6 +25,7 @@
 #include "easyhps/dp/obst.hpp"
 #include "easyhps/dp/problem.hpp"
 #include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/simd.hpp"
 #include "easyhps/dp/sparse_window.hpp"
 #include "easyhps/dp/swgg.hpp"
 #include "easyhps/dp/twod2d.hpp"
@@ -29,6 +33,12 @@
 
 namespace easyhps {
 namespace {
+
+// The fast tiers under test, each compared against the reference oracle.
+// kSimd silently runs the span path on a CPU without the compiled ISA
+// (effectiveKernelPath) — the comparison is then trivially green, and the
+// demotion itself is covered in test_simd.cpp.
+const KernelPath kFastPaths[] = {KernelPath::kSimd, KernelPath::kSpan};
 
 // All ten kernels at a size where even the O(n^4) problem stays fast.
 std::vector<std::unique_ptr<DpProblem>> makeAllProblems(std::int64_t n) {
@@ -103,12 +113,12 @@ Window solveSparse(const DpProblem& p, std::int64_t pr, std::int64_t pc,
   return full;
 }
 
-void expectBitIdentical(const DpProblem& p, const Window& span,
+void expectBitIdentical(const DpProblem& p, const Window& fast,
                         const Window& ref, const std::string& what) {
   for (std::int64_t r = 0; r < p.rows(); ++r) {
     for (std::int64_t c = 0; c < p.cols(); ++c) {
-      ASSERT_EQ(span.get(r, c), ref.get(r, c))
-          << p.name() << " span/reference divergence at (" << r << "," << c
+      ASSERT_EQ(fast.get(r, c), ref.get(r, c))
+          << p.name() << " fast/reference divergence at (" << r << "," << c
           << ") [" << what << "]";
     }
   }
@@ -147,19 +157,24 @@ TEST(KernelBitExact, DenseAllProblemsAllPartitions) {
   const auto problems = makeAllProblems(16);
   for (const auto& p : problems) {
     for (const Partition& part : kPartitions) {
-      const std::string what =
-          "dense " + std::to_string(part.pr) + "x" + std::to_string(part.pc) +
-          "/" + std::to_string(part.tr) + "x" + std::to_string(part.tc);
-      Window span = [&] {
-        ScopedKernelPath sp(KernelPath::kSpan);
-        return solveDense(*p, part.pr, part.pc, part.tr, part.tc);
-      }();
       Window ref = [&] {
         ScopedKernelPath rp(KernelPath::kReference);
         return solveDense(*p, part.pr, part.pc, part.tr, part.tc);
       }();
-      expectBitIdentical(*p, span, ref, what);
-      expectMatchesOracle(*p, span, what);
+      for (const KernelPath path : kFastPaths) {
+        const std::string what = std::string("dense ") +
+                                 kernelPathName(path) + " " +
+                                 std::to_string(part.pr) + "x" +
+                                 std::to_string(part.pc) + "/" +
+                                 std::to_string(part.tr) + "x" +
+                                 std::to_string(part.tc);
+        Window fast = [&] {
+          ScopedKernelPath sp(path);
+          return solveDense(*p, part.pr, part.pc, part.tr, part.tc);
+        }();
+        expectBitIdentical(*p, fast, ref, what);
+        expectMatchesOracle(*p, fast, what);
+      }
     }
   }
 }
@@ -168,25 +183,31 @@ TEST(KernelBitExact, SparseAllProblemsAllPartitions) {
   const auto problems = makeAllProblems(16);
   for (const auto& p : problems) {
     for (const Partition& part : kPartitions) {
-      const std::string what =
-          "sparse " + std::to_string(part.pr) + "x" + std::to_string(part.pc) +
-          "/" + std::to_string(part.tr) + "x" + std::to_string(part.tc);
-      Window span = [&] {
-        ScopedKernelPath sp(KernelPath::kSpan);
-        return solveSparse(*p, part.pr, part.pc, part.tr, part.tc);
-      }();
       Window ref = [&] {
         ScopedKernelPath rp(KernelPath::kReference);
         return solveSparse(*p, part.pr, part.pc, part.tr, part.tc);
       }();
-      expectBitIdentical(*p, span, ref, what);
-      expectMatchesOracle(*p, span, what);
+      for (const KernelPath path : kFastPaths) {
+        const std::string what = std::string("sparse ") +
+                                 kernelPathName(path) + " " +
+                                 std::to_string(part.pr) + "x" +
+                                 std::to_string(part.pc) + "/" +
+                                 std::to_string(part.tr) + "x" +
+                                 std::to_string(part.tc);
+        Window fast = [&] {
+          ScopedKernelPath sp(path);
+          return solveSparse(*p, part.pr, part.pc, part.tr, part.tc);
+        }();
+        expectBitIdentical(*p, fast, ref, what);
+        expectMatchesOracle(*p, fast, what);
+      }
     }
   }
 }
 
 // Degenerate matrix shapes: a single row (1×N) and a single column (N×1)
-// drive every border case of the wavefront interior/border split.
+// drive every border case of the wavefront interior/border split and the
+// SIMD strip tail (all rows fall through to the span path).
 TEST(KernelBitExact, DegenerateMatrixShapes) {
   std::vector<std::unique_ptr<DpProblem>> problems;
   problems.push_back(std::make_unique<LongestCommonSubsequence>(
@@ -206,28 +227,34 @@ TEST(KernelBitExact, DegenerateMatrixShapes) {
     for (const Partition& part :
          {Partition{1, 1, 0, 0}, Partition{1, 3, 0, 0},
           Partition{3, 1, 0, 0}}) {
-      const std::string what = p->name() + " degenerate " +
-                               std::to_string(part.pr) + "x" +
-                               std::to_string(part.pc);
-      Window span = [&] {
-        ScopedKernelPath sp(KernelPath::kSpan);
-        return solveSparse(*p, part.pr, part.pc);
-      }();
       Window ref = [&] {
         ScopedKernelPath rp(KernelPath::kReference);
         return solveSparse(*p, part.pr, part.pc);
       }();
-      expectBitIdentical(*p, span, ref, what);
-      expectMatchesOracle(*p, span, what);
+      for (const KernelPath path : kFastPaths) {
+        const std::string what = p->name() + " degenerate " +
+                                 kernelPathName(path) + " " +
+                                 std::to_string(part.pr) + "x" +
+                                 std::to_string(part.pc);
+        Window fast = [&] {
+          ScopedKernelPath sp(path);
+          return solveSparse(*p, part.pr, part.pc);
+        }();
+        expectBitIdentical(*p, fast, ref, what);
+        expectMatchesOracle(*p, fast, what);
+      }
     }
   }
 }
 
 // Column counts past kKernelTileCols make the wavefront tile loop take
-// several iterations with an odd remainder in the last tile.
+// several iterations with an odd remainder in the last tile; the forced
+// tile choice pins the autotuner so the boundary actually lands mid-rect.
 TEST(KernelBitExact, WavefrontTileBoundaries) {
   ASSERT_LT(2 * kKernelTileCols, 1100);  // 1100 → tiles 512 + 512 + 76
   ASSERT_GT(3 * kKernelTileCols, 1100);
+  autotune::ScopedForcedTile forced(
+      autotune::TileChoice{kKernelTileCols, kMaxSimdBands});
   std::vector<std::unique_ptr<DpProblem>> problems;
   problems.push_back(std::make_unique<LongestCommonSubsequence>(
       randomSequence(4, 51), randomSequence(1100, 52)));
@@ -235,22 +262,105 @@ TEST(KernelBitExact, WavefrontTileBoundaries) {
       randomSequence(3, 53), randomSequence(1100, 54)));
   problems.push_back(std::make_unique<EditDistance>(
       randomSequence(3, 55), randomSequence(1100, 56)));
+  // Tall enough for several SIMD strips on any backend, with column tiling.
+  problems.push_back(std::make_unique<LongestCommonSubsequence>(
+      randomSequence(67, 57), randomSequence(1100, 58)));
   for (const auto& p : problems) {
     for (const Partition& part :
          {Partition{1, 1, 0, 0}, Partition{2, 3, 0, 0}}) {
-      const std::string what = p->name() + " tiles " +
-                               std::to_string(part.pr) + "x" +
-                               std::to_string(part.pc);
-      Window span = [&] {
-        ScopedKernelPath sp(KernelPath::kSpan);
-        return solveDense(*p, part.pr, part.pc);
-      }();
       Window ref = [&] {
         ScopedKernelPath rp(KernelPath::kReference);
         return solveDense(*p, part.pr, part.pc);
       }();
-      expectBitIdentical(*p, span, ref, what);
-      expectMatchesOracle(*p, span, what);
+      for (const KernelPath path : kFastPaths) {
+        const std::string what = p->name() + " tiles " +
+                                 kernelPathName(path) + " " +
+                                 std::to_string(part.pr) + "x" +
+                                 std::to_string(part.pc);
+        Window fast = [&] {
+          ScopedKernelPath sp(path);
+          return solveDense(*p, part.pr, part.pc);
+        }();
+        expectBitIdentical(*p, fast, ref, what);
+        expectMatchesOracle(*p, fast, what);
+      }
+    }
+  }
+}
+
+// Unaligned widths leave non-multiple-of-vector tails on every backend
+// (kVecWidth is 4 or 8; 9/17/23/131 are coprime with both), and row counts
+// straddling the strip height (kVecWidth ± 1, bands × kVecWidth ± 1)
+// exercise the strip/tail split of the anti-diagonal kernel plus the
+// knapsack/viterbi remainder loops.
+TEST(KernelBitExact, SimdUnalignedWidthsAndStripBoundaries) {
+  const std::int64_t vw = simd::kVecWidth;
+  const std::int64_t rowCounts[] = {vw - 1, vw, vw + 1,
+                                    kMaxSimdBands * vw - 1,
+                                    kMaxSimdBands * vw,
+                                    kMaxSimdBands * vw + 1, 3 * vw + 2};
+  const std::int64_t colCounts[] = {9, 17, 23, 131};
+  for (const std::int64_t rows : rowCounts) {
+    for (const std::int64_t cols : colCounts) {
+      std::vector<std::unique_ptr<DpProblem>> problems;
+      problems.push_back(std::make_unique<LongestCommonSubsequence>(
+          randomSequence(rows, 61), randomSequence(cols, 62)));
+      problems.push_back(std::make_unique<NeedlemanWunsch>(
+          randomSequence(rows, 63), randomSequence(cols, 64)));
+      problems.push_back(std::make_unique<EditDistance>(
+          randomSequence(rows, 65), randomSequence(cols, 66)));
+      problems.push_back(std::make_unique<Knapsack>(rows, cols, 67));
+      problems.push_back(std::make_unique<Viterbi>(rows, cols, 68));
+      for (const auto& p : problems) {
+        Window ref = [&] {
+          ScopedKernelPath rp(KernelPath::kReference);
+          return solveDense(*p, 2, 2);
+        }();
+        for (const KernelPath path : kFastPaths) {
+          const std::string what = p->name() + " " + kernelPathName(path) +
+                                   " " + std::to_string(rows) + "x" +
+                                   std::to_string(cols);
+          Window dense = [&] {
+            ScopedKernelPath sp(path);
+            return solveDense(*p, 2, 2);
+          }();
+          Window sparse = [&] {
+            ScopedKernelPath sp(path);
+            return solveSparse(*p, 2, 2);
+          }();
+          expectBitIdentical(*p, dense, ref, what + " dense");
+          expectBitIdentical(*p, sparse, ref, what + " sparse");
+          expectMatchesOracle(*p, dense, what);
+        }
+      }
+    }
+  }
+}
+
+// Every (tileCols, stripBands) combination the autotuner can pick must be
+// bit-exact, including tiles narrower than the strip height.
+TEST(KernelBitExact, ForcedTileChoices) {
+  LongestCommonSubsequence lcs(randomSequence(37, 71),
+                               randomSequence(300, 72));
+  Window ref = [&] {
+    ScopedKernelPath rp(KernelPath::kReference);
+    return solveDense(lcs, 2, 2);
+  }();
+  for (const std::int64_t tileCols : {16L, 128L, 512L, 4096L}) {
+    for (const int bands : {1, kMaxSimdBands}) {
+      autotune::ScopedForcedTile forced(
+          autotune::TileChoice{tileCols, bands});
+      for (const KernelPath path : kFastPaths) {
+        const std::string what = std::string("forced ") +
+                                 kernelPathName(path) + " " +
+                                 std::to_string(tileCols) + "x" +
+                                 std::to_string(bands);
+        Window fast = [&] {
+          ScopedKernelPath sp(path);
+          return solveDense(lcs, 2, 2);
+        }();
+        expectBitIdentical(lcs, fast, ref, what);
+      }
     }
   }
 }
@@ -258,17 +368,22 @@ TEST(KernelBitExact, WavefrontTileBoundaries) {
 // The toggle itself: flipping the process-wide path is what benches and
 // this suite rely on.
 TEST(KernelPathToggle, ScopedOverrideRestores) {
-  ASSERT_EQ(kernelPath(), KernelPath::kSpan);  // library default
+  ASSERT_EQ(kernelPath(), KernelPath::kSimd);  // library default
   {
     ScopedKernelPath ref(KernelPath::kReference);
     EXPECT_EQ(kernelPath(), KernelPath::kReference);
     {
       ScopedKernelPath span(KernelPath::kSpan);
       EXPECT_EQ(kernelPath(), KernelPath::kSpan);
+      {
+        ScopedKernelPath simd(KernelPath::kSimd);
+        EXPECT_EQ(kernelPath(), KernelPath::kSimd);
+      }
+      EXPECT_EQ(kernelPath(), KernelPath::kSpan);
     }
     EXPECT_EQ(kernelPath(), KernelPath::kReference);
   }
-  EXPECT_EQ(kernelPath(), KernelPath::kSpan);
+  EXPECT_EQ(kernelPath(), KernelPath::kSimd);
 }
 
 }  // namespace

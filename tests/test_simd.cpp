@@ -1,0 +1,240 @@
+// The SIMD tier's building blocks: the portable vector wrapper (simd.hpp),
+// the runtime ISA guard that demotes kSimd dispatch on CPUs without the
+// compiled instruction set, and the per-kernel tile autotuner
+// (autotune.hpp).  Carries the `tsan` label: the final test hammers kernel
+// dispatch and the autotuner memo from several threads at once, which is
+// exactly the shape of a multi-slave runtime's first blocks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "easyhps/dp/autotune.hpp"
+#include "easyhps/dp/kernel_common.hpp"
+#include "easyhps/dp/lcs.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/dp/simd.hpp"
+#include "easyhps/dp/window.hpp"
+
+namespace easyhps {
+namespace {
+
+using simd::kVecWidth;
+using simd::VecScore;
+
+std::vector<Score> iota(Score start) {
+  std::vector<Score> v(kVecWidth);
+  for (int i = 0; i < kVecWidth; ++i) {
+    v[static_cast<std::size_t>(i)] = static_cast<Score>(start + i);
+  }
+  return v;
+}
+
+TEST(SimdWrapper, LoadStoreRoundTrip) {
+  const auto in = iota(5);
+  std::vector<Score> out(kVecWidth, 0);
+  VecScore::load(in.data()).store(out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST(SimdWrapper, ArithmeticMinMaxMatchScalar) {
+  const auto a = iota(-3);
+  std::vector<Score> b(kVecWidth);
+  for (int i = 0; i < kVecWidth; ++i) {
+    b[static_cast<std::size_t>(i)] = static_cast<Score>(i % 2 == 0 ? 7 : -9);
+  }
+  const VecScore va = VecScore::load(a.data());
+  const VecScore vb = VecScore::load(b.data());
+  std::vector<Score> sum(kVecWidth);
+  std::vector<Score> diff(kVecWidth);
+  std::vector<Score> mn(kVecWidth);
+  std::vector<Score> mx(kVecWidth);
+  (va + vb).store(sum.data());
+  (va - vb).store(diff.data());
+  VecScore::min(va, vb).store(mn.data());
+  VecScore::max(va, vb).store(mx.data());
+  for (int i = 0; i < kVecWidth; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    EXPECT_EQ(sum[s], a[s] + b[s]);
+    EXPECT_EQ(diff[s], a[s] - b[s]);
+    EXPECT_EQ(mn[s], std::min(a[s], b[s]));
+    EXPECT_EQ(mx[s], std::max(a[s], b[s]));
+  }
+}
+
+TEST(SimdWrapper, CmpeqBlendSelectLanewise) {
+  const auto a = iota(0);
+  auto b = iota(0);
+  for (int i = 0; i < kVecWidth; i += 2) {
+    b[static_cast<std::size_t>(i)] = -1;  // equal only on odd lanes
+  }
+  const VecScore mask =
+      VecScore::cmpeq(VecScore::load(a.data()), VecScore::load(b.data()));
+  std::vector<Score> picked(kVecWidth);
+  VecScore::blend(mask, VecScore::splat(100), VecScore::splat(200))
+      .store(picked.data());
+  for (int i = 0; i < kVecWidth; ++i) {
+    EXPECT_EQ(picked[static_cast<std::size_t>(i)], i % 2 == 0 ? 200 : 100);
+  }
+}
+
+TEST(SimdWrapper, ShiftUpInsertLaneTopLaneReduce) {
+  const auto a = iota(10);
+  const VecScore va = VecScore::load(a.data());
+  std::vector<Score> shifted(kVecWidth);
+  va.shiftUpInsert(-7).store(shifted.data());
+  EXPECT_EQ(shifted[0], -7);
+  for (int i = 1; i < kVecWidth; ++i) {
+    EXPECT_EQ(shifted[static_cast<std::size_t>(i)],
+              a[static_cast<std::size_t>(i - 1)]);
+  }
+  for (int i = 0; i < kVecWidth; ++i) {
+    EXPECT_EQ(va.lane(i), a[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(va.topLane(), a.back());
+  EXPECT_EQ(va.reduceMax(), a.back());  // iota: max is the top lane
+}
+
+TEST(SimdWrapper, TransposeIsitsOwnInverse) {
+  VecScore m[kVecWidth];
+  for (int r = 0; r < kVecWidth; ++r) {
+    std::vector<Score> row(kVecWidth);
+    for (int c = 0; c < kVecWidth; ++c) {
+      row[static_cast<std::size_t>(c)] =
+          static_cast<Score>(r * kVecWidth + c);
+    }
+    m[r] = VecScore::load(row.data());
+  }
+  simd::transpose(m);
+  for (int r = 0; r < kVecWidth; ++r) {
+    for (int c = 0; c < kVecWidth; ++c) {
+      EXPECT_EQ(m[r].lane(c), c * kVecWidth + r);
+    }
+  }
+  simd::transpose(m);
+  for (int r = 0; r < kVecWidth; ++r) {
+    for (int c = 0; c < kVecWidth; ++c) {
+      EXPECT_EQ(m[r].lane(c), r * kVecWidth + c);
+    }
+  }
+}
+
+// The guard the tentpole promises: dispatch never selects an ISA the CPU
+// lacks.  On a machine with the compiled ISA the requested tier passes
+// through; without it, kSimd demotes to kSpan and nothing else changes.
+TEST(SimdDispatchGuard, EffectivePathNeverExceedsCpu) {
+  {
+    ScopedKernelPath simd(KernelPath::kSimd);
+    if (simd::runtimeSupported()) {
+      EXPECT_EQ(effectiveKernelPath(), KernelPath::kSimd);
+    } else {
+      EXPECT_EQ(effectiveKernelPath(), KernelPath::kSpan);
+    }
+  }
+  {
+    ScopedKernelPath span(KernelPath::kSpan);
+    EXPECT_EQ(effectiveKernelPath(), KernelPath::kSpan);
+  }
+  {
+    ScopedKernelPath ref(KernelPath::kReference);
+    EXPECT_EQ(effectiveKernelPath(), KernelPath::kReference);
+  }
+  // The name table covers every tier (metrics and env parsing rely on it).
+  EXPECT_STREQ(kernelPathName(KernelPath::kSimd), "simd");
+  EXPECT_STREQ(kernelPathName(KernelPath::kSpan), "span");
+  EXPECT_STREQ(kernelPathName(KernelPath::kReference), "reference");
+  // And the backend name is one of the known ISAs.
+  const std::string backend = simd::backendName();
+  EXPECT_TRUE(backend == "avx2" || backend == "sse4.1" || backend == "sse2" ||
+              backend == "scalar")
+      << backend;
+}
+
+TEST(Autotune, MemoizesAndSummarizes) {
+  autotune::reset();
+  const auto first = autotune::tileFor("lcs", autotune::Storage::kDense,
+                                       KernelPath::kSimd);
+  EXPECT_GE(first.tileCols, 16);
+  EXPECT_GE(first.stripBands, 1);
+  EXPECT_LE(first.stripBands, kMaxSimdBands);
+  const auto again = autotune::tileFor("lcs", autotune::Storage::kDense,
+                                       KernelPath::kSimd);
+  EXPECT_EQ(first.tileCols, again.tileCols);
+  EXPECT_EQ(first.stripBands, again.stripBands);
+  const std::string s = autotune::summary();
+  EXPECT_NE(s.find("lcs/dense/simd="), std::string::npos) << s;
+  autotune::reset();
+  EXPECT_TRUE(autotune::summary().empty());
+}
+
+TEST(Autotune, UnknownFamilyGetsDefaults) {
+  autotune::reset();
+  const auto choice = autotune::tileFor("nussinov", autotune::Storage::kDense,
+                                        KernelPath::kSpan);
+  EXPECT_EQ(choice.tileCols, kKernelTileCols);
+  EXPECT_EQ(choice.stripBands, 1);
+  autotune::reset();
+}
+
+TEST(Autotune, ScopedForcedTileWinsAndRestores) {
+  autotune::reset();
+  {
+    autotune::ScopedForcedTile forced(autotune::TileChoice{256, 2});
+    const auto choice = autotune::tileFor("lcs", autotune::Storage::kSparse,
+                                          KernelPath::kSimd);
+    EXPECT_EQ(choice.tileCols, 256);
+    EXPECT_EQ(choice.stripBands, std::min(2, kMaxSimdBands));
+    // Forcing bypasses the sweep entirely: nothing is memoized.
+    EXPECT_TRUE(autotune::summary().empty());
+  }
+  // Out of range values are clamped, not honoured.
+  {
+    autotune::ScopedForcedTile forced(autotune::TileChoice{1, 99});
+    const auto choice = autotune::tileFor("lcs", autotune::Storage::kDense,
+                                          KernelPath::kSimd);
+    EXPECT_EQ(choice.tileCols, 16);
+    EXPECT_EQ(choice.stripBands, kMaxSimdBands);
+  }
+  autotune::reset();
+}
+
+// Concurrent first-touch: many threads dispatch SIMD kernels while the
+// autotuner memo is cold, so sweeps, memo reads and kernel runs all
+// overlap — the shape of a multi-slave runtime's first blocks.  Run under
+// ThreadSanitizer via the tsan label.
+TEST(Autotune, ConcurrentDispatchAndSweepIsClean) {
+  autotune::reset();
+  const LongestCommonSubsequence lcs(randomSequence(64, 91),
+                                     randomSequence(200, 92));
+  const DenseMatrix<Score> oracle = lcs.solveReference();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 3; ++rep) {
+        Window w(CellRect{0, 0, lcs.rows(), lcs.cols()}, lcs.boundaryFn());
+        lcs.computeBlock(w, CellRect{0, 0, lcs.rows(), lcs.cols()});
+        for (std::int64_t r = 0; r < lcs.rows(); ++r) {
+          for (std::int64_t c = 0; c < lcs.cols(); ++c) {
+            if (w.get(r, c) != oracle.at(r, c)) {
+              ++failures[static_cast<std::size_t>(t)];
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0);
+  }
+  EXPECT_FALSE(autotune::summary().empty());
+  autotune::reset();
+}
+
+}  // namespace
+}  // namespace easyhps
