@@ -1,0 +1,231 @@
+// Heterogeneity-aware scheduling sweep: locality vs ECT vs ECT+steal on
+// simulated clusters with uniform, 2× and 4× node-speed skew, plus a
+// block-granularity crossover at 4× skew.
+//
+// The simulator divides each node's block service time by its true speed
+// (SimConfig::nodeSpeeds) but the scheduler is NOT told — ECT starts from
+// uniform profiles and must learn the skew online from observed task
+// latencies (RankEstimator EWMA), exactly as the runtime does when no
+// RankProfile is configured.  Locality degenerates to the shared dynamic
+// queue here (no ownership oracle in the sim), which is the strongest
+// homogeneous baseline: pull-based self-balancing.  Its weakness on
+// skewed hardware is dispatch order — idle nodes are offered work lowest
+// index first, and the slow nodes sit at the low indices — so every
+// narrow wavefront phase and every end-of-job tail is paced by the
+// slowest rank.  The crossover table shows where that bites: at fine
+// granularity (many blocks per node) pull-based sharing self-balances
+// and the policies converge; as blocks get coarser each misplacement
+// costs a full 4×-slower block and the ECT gap opens.
+//
+// Gate (full size only): at 4× skew on the 20×20 grid, ECT+steal must
+// beat locality by ≥ 1.3× makespan, or the bench exits non-zero.
+//
+// Correctness gate (all sizes, including --smoke): the real runtime runs
+// a small wavefront problem under locality, ect and ect-steal with a
+// skewed RankProfile set, across the full pipeline × msg-path toggle
+// matrix; every combination must report the same table checksum and match
+// solveReference cell for cell.  Placement is a performance decision; it
+// must never change the answer.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/runtime/runtime.hpp"
+
+namespace {
+
+using namespace easyhps;
+using namespace easyhps::bench;
+
+int failures = 0;
+
+struct Skew {
+  const char* name;
+  std::vector<double> speeds;  // slow nodes first: stresses dispatch order
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  PaperSetup setup = setupFromArgs(argc, argv);
+  if (smoke) {
+    setup.seqLen = 1200;
+  }
+
+  std::cout << trace::banner("Scheduling policies under node-speed skew");
+
+  const auto problem = makeSwgg(setup);
+  const int nodes = 5;  // 4 computing nodes + the master
+  const int ct = 8;
+  const std::vector<Skew> skews = {
+      {"uniform", {1, 1, 1, 1}},
+      {"skew2x", {1, 1, 2, 2}},
+      {"skew4x", {1, 1, 4, 4}},
+  };
+  const std::vector<PolicyKind> policies = {
+      PolicyKind::kLocality, PolicyKind::kEct, PolicyKind::kEctSteal};
+  // 20×20 blocks: the coarsest granularity the paper's partition advice
+  // still tolerates, and where the gate below is checked.
+  const std::int64_t gatePartition = setup.seqLen / 20;
+
+  // One artifact table; `section` keys the sweep each row belongs to.
+  trace::Table out({"section", "skew", "partition", "policy", "makespan_s",
+                    "loc_ratio", "stolen", "checksum", "status"});
+
+  auto runSim = [&](const Skew& skew, std::int64_t pp, PolicyKind policy) {
+    auto cfg = simConfig(setup, nodes, ct);
+    cfg.processPartitionRows = cfg.processPartitionCols = pp;
+    cfg.masterPolicy = policy;
+    cfg.nodeSpeeds = skew.speeds;
+    return sim::simulate(*problem, cfg);
+  };
+
+  // --- Skew sweep at the gate granularity ----------------------------------
+  std::map<std::string, double> makespan;  // "<skew>/<policy>"
+  {
+    trace::Table table({"skew", "policy", "makespan_s", "speedup",
+                        "node_util", "stolen"});
+    for (const Skew& skew : skews) {
+      for (const PolicyKind policy : policies) {
+        const sim::SimResult r = runSim(skew, gatePartition, policy);
+        makespan[std::string(skew.name) + "/" + policyKindName(policy)] =
+            r.makespan;
+        table.addRow({skew.name, policyKindName(policy),
+                      trace::Table::num(r.makespan),
+                      trace::Table::num(r.speedup(), 2),
+                      trace::Table::num(r.nodeUtilization(), 3),
+                      trace::Table::num(r.tasksStolen)});
+        const double base =
+            makespan[std::string(skew.name) + "/locality"];
+        out.addRow({"skew", skew.name, trace::Table::num(gatePartition),
+                    policyKindName(policy), trace::Table::num(r.makespan),
+                    trace::Table::num(r.makespan > 0 ? base / r.makespan
+                                                     : 0.0, 3),
+                    trace::Table::num(r.tasksStolen), "-", "ok"});
+      }
+    }
+    std::cout << "\nSWGG " << setup.seqLen << "², 4 computing nodes × " << ct
+              << " threads, " << gatePartition
+              << "-cell blocks, slow nodes at low indices\n"
+              << table.render();
+  }
+
+  // --- Granularity crossover at 4× skew ------------------------------------
+  {
+    trace::Table table({"partition", "blocks", "locality_s", "ect_s",
+                        "ect_steal_s", "loc/ect_steal"});
+    for (const std::int64_t div : {50, 20, 10, 5}) {
+      const std::int64_t pp = setup.seqLen / div;
+      std::map<PolicyKind, double> m;
+      std::int64_t stolen = 0;
+      for (const PolicyKind policy : policies) {
+        const sim::SimResult r = runSim(skews.back(), pp, policy);
+        m[policy] = r.makespan;
+        if (policy == PolicyKind::kEctSteal) {
+          stolen = r.tasksStolen;
+        }
+      }
+      const double ratio = m[PolicyKind::kEctSteal] > 0
+                               ? m[PolicyKind::kLocality] /
+                                     m[PolicyKind::kEctSteal]
+                               : 0.0;
+      table.addRow({trace::Table::num(pp), trace::Table::num(div * div),
+                    trace::Table::num(m[PolicyKind::kLocality]),
+                    trace::Table::num(m[PolicyKind::kEct]),
+                    trace::Table::num(m[PolicyKind::kEctSteal]),
+                    trace::Table::num(ratio, 3)});
+      out.addRow({"crossover", "skew4x", trace::Table::num(pp), "ect-steal",
+                  trace::Table::num(m[PolicyKind::kEctSteal]),
+                  trace::Table::num(ratio, 3), trace::Table::num(stolen),
+                  "-", "ok"});
+    }
+    std::cout << "\ncrossover at skew4x (self-balancing fades as blocks "
+                 "coarsen):\n"
+              << table.render();
+  }
+
+  // --- Makespan gate --------------------------------------------------------
+  {
+    const double ratio =
+        makespan["skew4x/ect-steal"] > 0
+            ? makespan["skew4x/locality"] / makespan["skew4x/ect-steal"]
+            : 0.0;
+    // Quantization noise dominates tiny smoke grids: full size only.
+    const bool pass = smoke || ratio >= 1.3;
+    if (!pass) {
+      ++failures;
+    }
+    const std::string status =
+        smoke ? "skipped (smoke)" : (pass ? "ok" : "FAIL");
+    std::cout << "\ngate: skew4x locality/ect-steal = "
+              << trace::Table::num(ratio, 3) << "  (>= 1.3, " << status
+              << ")\n";
+    out.addRow({"gate", "skew4x", trace::Table::num(gatePartition),
+                "ect-steal", trace::Table::num(makespan["skew4x/ect-steal"]),
+                trace::Table::num(ratio, 3), "-", "-", status});
+  }
+
+  // --- Real-runtime correctness gate ----------------------------------------
+  {
+    EditDistance p(randomSequence(smoke ? 36 : 72, 110),
+                   randomSequence(smoke ? 36 : 72, 111));
+    const DenseMatrix<Score> ref = p.solveReference();
+    std::set<std::uint64_t> checksums;
+    for (const PolicyKind policy : policies) {
+      std::uint64_t checksum = 0;
+      failures += runToggleMatrix([&](PipelineMode, msg::MsgPath) {
+        RuntimeConfig cfg;
+        cfg.slaveCount = 3;
+        cfg.threadsPerSlave = 2;
+        cfg.processPartitionRows = cfg.processPartitionCols = 12;
+        cfg.threadPartitionRows = cfg.threadPartitionCols = 4;
+        cfg.masterPolicy = policy;
+        cfg.rankProfiles = {RankProfile{4.0}, RankProfile{1.0},
+                            RankProfile{1.0}};
+        const RunResult r = Runtime(cfg).run(p);
+        for (std::int64_t row = 0; row < p.rows(); ++row) {
+          for (std::int64_t col = 0; col < p.cols(); ++col) {
+            if (r.matrix.get(row, col) != ref.at(row, col)) {
+              return std::string("FAIL: mismatch vs reference");
+            }
+          }
+        }
+        checksum = r.stats.tableChecksum;
+        checksums.insert(checksum);
+        return std::string("ok policy=") +
+               std::string(policyKindName(policy)) +
+               " checksum=" + std::to_string(checksum);
+      });
+      out.addRow({"runtime", "profiles 4,1,1", "12", policyKindName(policy),
+                  "-", "-", "-", std::to_string(checksum),
+                  checksums.size() == 1 ? "ok" : "FAIL"});
+    }
+    if (checksums.size() != 1) {
+      std::cout << "FAIL: policies disagree on the table checksum\n";
+      ++failures;
+    } else {
+      std::cout << "\nall policies × toggles agree: checksum "
+                << *checksums.begin() << "\n";
+    }
+  }
+
+  writeBenchJson("sched", out);
+  if (failures > 0) {
+    std::cout << failures << " check(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "\nall checks passed\n";
+  return 0;
+}

@@ -11,7 +11,7 @@
 //   --threads T     computing threads per node  (default 2)
 //   --ppart P       process partition size      (default 50 run / 200 sim)
 //   --tpart P       thread partition size       (default 10)
-//   --policy NAME   dynamic | bcw | cw          (default dynamic)
+//   --policy NAME   dynamic|bcw|cw|locality|ect|ect-steal  (default dynamic)
 //   --seed S        workload seed               (default 1)
 //   --gantt         (sim only) print an ASCII Gantt chart of the schedule
 //
@@ -95,19 +95,11 @@ std::unique_ptr<DpProblem> makeProblem(const Options& opt) {
 }
 
 PolicyKind parsePolicy(const std::string& s) {
-  if (s == "dynamic") {
-    return PolicyKind::kDynamic;
+  if (auto kind = parsePolicyKind(s)) {
+    return *kind;
   }
-  if (s == "bcw") {
-    return PolicyKind::kBlockCyclicWavefront;
-  }
-  if (s == "cw") {
-    return PolicyKind::kColumnWavefront;
-  }
-  if (s == "locality") {
-    return PolicyKind::kLocality;
-  }
-  throw Error("unknown policy: " + s + " (use dynamic|bcw|cw|locality)");
+  throw Error("unknown policy: " + s +
+              " (use dynamic|bcw|cw|locality|ect|ect-steal)");
 }
 
 int usage() {
@@ -205,10 +197,11 @@ int main(int argc, char** argv) {
       cfg.processPartitionRows = cfg.processPartitionCols = opt.ppart;
       cfg.threadPartitionRows = cfg.threadPartitionCols = opt.tpart;
       cfg.masterPolicy = cfg.slavePolicy = opt.policy;
+      applySchedulerEnv(cfg);  // EASYHPS_SCHED / EASYHPS_RANK_SPEEDS
       const RunResult r = Runtime(cfg).run(*problem);
       trace::Table t({"metric", "value"});
       t.addRow({"problem", problem->name()});
-      t.addRow({"policy", policyKindName(opt.policy)});
+      t.addRow({"policy", policyKindName(cfg.masterPolicy)});
       t.addRow({"kernel path", r.stats.kernelPathName});
       t.addRow({"tiles", r.stats.kernelTiles.empty() ? "-"
                                                      : r.stats.kernelTiles});
@@ -223,6 +216,9 @@ int main(int argc, char** argv) {
                                                     2)});
       t.addRow({"stalled picks", trace::Table::num(
                                      r.stats.masterStalledPicks)});
+      t.addRow({"tasks stolen", trace::Table::num(r.stats.tasksStolen)});
+      t.addRow({"placement spills",
+                trace::Table::num(r.stats.placementSpills)});
       t.addRow({"via master (MB)",
                 trace::Table::num(
                     static_cast<double>(r.stats.bytesViaMaster) / 1e6, 2)});

@@ -106,12 +106,40 @@ struct RuntimeConfig {
   /// instead of reading interior cells.
   bool assembleFullMatrix = true;
 
+  /// Per-rank capability profiles for the heterogeneity-aware scheduler
+  /// (PolicyKind::kEct / kEctSteal) — entry i describes slave rank i+1.
+  /// Empty = homogeneous cluster (speed 1, `storeByteBudget`, default
+  /// bandwidth).  When non-empty it must have exactly `slaveCount`
+  /// entries with positive speed/bandwidth/memoryBudget (validate()),
+  /// and each rank's BlockStore adopts its profile's `memoryBudget`
+  /// instead of the global `storeByteBudget`.  The `EASYHPS_RANK_SPEEDS`
+  /// env knob fills speeds here when the list is empty.
+  std::vector<RankProfile> rankProfiles;
+
+  /// Profiles with defaults filled in — always `slaveCount` entries, each
+  /// carrying `storeByteBudget` when no explicit profile was configured.
+  std::vector<RankProfile> resolvedRankProfiles() const;
+
+  /// BlockStore byte budget for slave `rank` (1-based, as in msg::Comm).
+  std::uint64_t storeBudgetForRank(int rank) const;
+
   /// Rejects configurations that would hang or spin instead of failing
   /// (non-positive counts, partitions, timeouts; liveness without fault
-  /// tolerance).  Throws util LogicError with the offending field named.
+  /// tolerance; degenerate rank profiles).  Throws util LogicError with
+  /// the offending field named.
   /// Called by Runtime (construction + run) and serve::Service.
   void validate() const;
 };
+
+/// Applies the process-wide scheduler env knobs to `cfg`:
+///  * `EASYHPS_SCHED=dynamic|bcw|cw|locality|ect|ect-steal` overrides
+///    `masterPolicy`;
+///  * `EASYHPS_RANK_SPEEDS=4,1,...` (one entry per slave) fills
+///    `rankProfiles` speeds when none are configured.
+/// Unknown names / malformed lists are ignored with a note on stderr, so
+/// a stale env var can never turn into a crash.  Called by the Runtime
+/// constructor and serve::Service.
+void applySchedulerEnv(RuntimeConfig& cfg);
 
 struct RunStats {
   double elapsedSeconds = 0.0;
@@ -189,6 +217,19 @@ struct RunStats {
   /// Ownership entries invalidated after a timeout re-distribution (the
   /// peers-must-not-fetch-from-a-dead-rank fix).
   std::int64_t ownershipInvalidations = 0;
+
+  // Heterogeneity-aware placement counters (zero unless masterPolicy is
+  // kEct / kEctSteal).
+  /// Placements where no healthy rank's store budget could fit the output
+  /// block — the block will spill reactively at the slave; surfaced here
+  /// instead of hiding inside storeEvictions.
+  std::int64_t placementSpills = 0;
+  /// Steal grants: unstarted assignments revoked from the most-loaded
+  /// rank's plan and re-issued to an idle one.
+  std::int64_t tasksStolen = 0;
+  /// Largest BlockStore high-water mark across slave ranks (peer data
+  /// plane only) — the number the memory-aware placement bounds.
+  std::uint64_t storePeakBytes = 0;
 
   // Streaming-pipeline counters (all zero under PipelineMode::kBarrier).
   std::int64_t fragmentsSent = 0;       ///< producer → master halo fragments

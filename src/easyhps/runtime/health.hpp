@@ -92,6 +92,9 @@ class HealthRegistry {
 
   Counters counters() const;
   /// EWMA of ack round-trip latency, seconds (0 until the first ack).
+  /// Doubles as the per-rank RTT seed for the ECT scheduler's estimator:
+  /// the master copies it into `RankEstimator::setRttSeconds` at job start
+  /// so placement scores reflect observed control-plane latency.
   double ewmaLatencySeconds(int rank) const;
   std::vector<QuarantineSpan> quarantineSpans() const;
 

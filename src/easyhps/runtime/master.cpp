@@ -297,7 +297,8 @@ void maybeFireEarly(MasterState& state, VertexId u) {
 /// assigns ranks, so there is no forward/assign gap.
 bool processResult(msg::Comm& comm, MasterState& state,
                    const wire::ResultPayload& result,
-                   std::span<const Score> data, int slaveRank) {
+                   std::span<const Score> data, int slaveRank,
+                   double elapsedSeconds = 0.0) {
   struct Forward {
     int rank;
     wire::HaloPartialPayload payload;
@@ -314,6 +315,10 @@ bool processResult(msg::Comm& comm, MasterState& state,
     }
     (void)state.registerTable.complete(result.vertex);
     if (state.parse.isFinished(result.vertex)) {
+      // Late duplicate: the vertex is done, but a planning policy may
+      // still carry this assignment (or a stale re-queued copy) on its
+      // books — clear it without feeding the latency estimator.
+      state.policy->onTaskCompleted(result.vertex, slaveRank - 1, 0.0);
       ++state.lateResults;
       return false;
     }
@@ -324,7 +329,10 @@ bool processResult(msg::Comm& comm, MasterState& state,
         state.matrix->inject(edge.rect, edge.data);
         resident = resident || edge.rect == result.rect;
       }
-      state.directory.registerBlock(result.vertex, slaveRank);
+      state.directory.registerBlock(
+          result.vertex, slaveRank,
+          static_cast<std::uint64_t>(result.rect.cellCount()) *
+              sizeof(Score));
       if (resident) {
         state.directory.markResident(result.vertex);
       }
@@ -386,6 +394,11 @@ bool processResult(msg::Comm& comm, MasterState& state,
         }
       }
     }
+    // Settle the policy's in-flight accounting and feed the rank
+    // estimator (assign-to-result latency; 0 when this worker was not the
+    // assignee, e.g. a duplicate delivered cross-rank).
+    state.policy->onTaskCompleted(result.vertex, slaveRank - 1,
+                                  elapsedSeconds);
     ++state.completed;
     if (state.firstBlockSeconds < 0.0) {
       state.firstBlockSeconds = state.watch.elapsedSeconds();
@@ -438,6 +451,9 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
   struct Inflight {
     VertexId vertex;
     AssignmentEpoch epoch;
+    /// Assign-send time — the task-latency sample the rank estimator
+    /// ingests when the matching result lands.
+    std::chrono::steady_clock::time_point sentAt;
   };
   std::optional<Inflight> inflight;
 
@@ -482,7 +498,7 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
               state.jobSeconds(std::chrono::steady_clock::now()), slaveRank,
               vertex});
         }
-        inflight = Inflight{vertex, epoch};
+        inflight = Inflight{vertex, epoch, std::chrono::steady_clock::now()};
         assign.vertex = vertex;
         if (state.peer && !state.streaming) {
           // Metadata-only assignment: fetch instructions resolved against
@@ -593,8 +609,15 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
     }
     wire::ScoreCells cells;
     const wire::ResultPayload result = wire::decodeResult(m->payload, cells);
-    processResult(comm, state, result, cells.cells(), slaveRank);
-    if (result.job == state.jobId && result.vertex == inflight->vertex) {
+    const bool matches =
+        result.job == state.jobId && result.vertex == inflight->vertex;
+    const double elapsed =
+        matches ? std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - inflight->sentAt)
+                      .count()
+                : 0.0;
+    processResult(comm, state, result, cells.cells(), slaveRank, elapsed);
+    if (matches) {
       inflight.reset();
     }
   }
@@ -1032,7 +1055,8 @@ void masterDataLoop(msg::Comm& comm, MasterState& state,
 }  // namespace
 
 MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
-                              const ServiceJob& job, HealthRegistry* health) {
+                              const ServiceJob& job, HealthRegistry* health,
+                              const std::shared_ptr<RankEstimator>& estimator) {
   EASYHPS_EXPECTS(cfg.slaveCount >= 1);
   EASYHPS_EXPECTS(comm.size() == cfg.slaveCount + 1);
   EASYHPS_EXPECTS(job.problem != nullptr && job.out != nullptr);
@@ -1094,6 +1118,64 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
       };
     }
     state.policy = makeLocalityPolicy(dag, cfg.slaveCount, std::move(affinity));
+  } else if (cfg.masterPolicy == PolicyKind::kEct ||
+             cfg.masterPolicy == PolicyKind::kEctSteal) {
+    // Heterogeneity-aware placement: score candidate ranks by estimated
+    // completion time against the (service-lifetime) rank estimator.  All
+    // oracles run under state.mutex, which also guards the directory.
+    EctOptions opt;
+    opt.steal = cfg.masterPolicy == PolicyKind::kEctSteal;
+    opt.estimator = estimator != nullptr
+                        ? estimator
+                        : std::make_shared<RankEstimator>(
+                              cfg.slaveCount, cfg.resolvedRankProfiles());
+    if (health != nullptr) {
+      // Seed/refresh the control-plane RTT term from the health
+      // registry's ack-latency EWMA (PR 5 collects it; now it places).
+      for (int s = 1; s <= cfg.slaveCount; ++s) {
+        opt.estimator->setRttSeconds(s - 1,
+                                     health->ewmaLatencySeconds(s));
+      }
+      opt.allowAssign = [health](int worker) {
+        return health->allowAssign(worker + 1);
+      };
+    }
+    opt.taskWork = [&state](VertexId task) {
+      return state.problem->blockOps(state.dag->rectOf(task));
+    };
+    if (peer) {
+      opt.blockBytes = [&state](VertexId task) {
+        return static_cast<std::uint64_t>(
+                   state.dag->rectOf(task).cellCount()) *
+               sizeof(Score);
+      };
+      opt.remoteBytes = [&state](VertexId task, int worker) {
+        // Halo bytes this rank would pull from elsewhere — pieces whose
+        // current owner (per the directory) is not the candidate itself.
+        std::int64_t bytes = 0;
+        for (const wire::HaloSource& p :
+             state.haloPieces[static_cast<std::size_t>(task)]) {
+          if (p.vertex >= 0 &&
+              state.directory.haloSource(p.vertex) == worker + 1) {
+            continue;
+          }
+          bytes +=
+              p.rect.cellCount() * static_cast<std::int64_t>(sizeof(Score));
+        }
+        return bytes;
+      };
+      opt.residentBytes = [&state](int worker) {
+        return state.directory.bytesOwnedBy(worker + 1);
+      };
+    } else {
+      // Relay mode: every halo ships from the master, so the byte term
+      // only differentiates ranks through their link bandwidth.
+      opt.remoteBytes = [&state](VertexId task, int worker) {
+        (void)worker;
+        return haloBytes(*state.problem, state.dag->rectOf(task));
+      };
+    }
+    state.policy = makeEctPolicy(dag, cfg.slaveCount, std::move(opt));
   } else {
     state.policy = makePolicy(cfg.masterPolicy, dag, cfg.slaveCount);
   }
@@ -1263,6 +1345,8 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   stats.fragmentsCoalesced = state.fragmentsCoalesced;
   stats.blocksStartedEarly = state.blocksStartedEarly;
   stats.ownershipInvalidations = state.directory.invalidations();
+  stats.placementSpills = state.policy->placementSpills();
+  stats.tasksStolen = state.policy->tasksStolen();
   stats.scheduleTrace = std::move(state.scheduleTrace);
   if (health != nullptr) {
     const HealthRegistry::Counters health1 = health->counters();
@@ -1282,7 +1366,8 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
       }
     }
   }
-  for (const auto& s : slaveStats) {
+  for (std::size_t i = 0; i < slaveStats.size(); ++i) {
+    const auto& s = slaveStats[i];
     stats.threadRestarts += s.threadRestarts;
     stats.subTaskRequeues += s.subTaskRequeues;
     stats.haloLocalHits += s.haloLocalHits;
@@ -1291,11 +1376,19 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
     stats.halosServedToPeers += s.halosServed;
     stats.storeEvictions += s.storeEvictions;
     stats.storeSpilledBytes += s.storeSpilledBytes;
+    stats.storePeakBytes = std::max(stats.storePeakBytes, s.storePeakBytes);
     stats.fragmentsSent += s.fragmentsSent;
     stats.fragmentsApplied += s.fragmentsApplied;
     stats.fragmentResends += s.fragmentResends;
     stats.streamOverlapSeconds +=
         static_cast<double>(s.streamOverlapMicros) * 1e-6;
+    if (estimator != nullptr) {
+      // Refine the link-bandwidth belief from the rank's timed p2p halo
+      // fetches (the per-link byte matrix's scheduler-facing summary).
+      estimator->observeTransfer(
+          static_cast<int>(i), static_cast<double>(s.peerFetchBytes),
+          static_cast<double>(s.peerFetchMicros) * 1e-6);
+    }
   }
   const msg::TrafficSnapshot traffic1 = comm.traffic();
   stats.messages = traffic1.messages - traffic0.messages;
@@ -1368,10 +1461,19 @@ void runMasterService(msg::Comm& comm, const RuntimeConfig& cfg,
     });
   }
 
+  // Service-lifetime rank estimator: speeds/bandwidths learned while
+  // serving job N place job N+1's blocks (only the ECT policies read it).
+  std::shared_ptr<RankEstimator> estimator;
+  if (cfg.masterPolicy == PolicyKind::kEct ||
+      cfg.masterPolicy == PolicyKind::kEctSteal) {
+    estimator = std::make_shared<RankEstimator>(cfg.slaveCount,
+                                                cfg.resolvedRankProfiles());
+  }
+
   try {
     while (std::optional<ServiceJob> job = feed.nextJob()) {
-      MasterJobOutcome outcome =
-          runMasterJob(comm, cfg, *job, health ? &*health : nullptr);
+      MasterJobOutcome outcome = runMasterJob(
+          comm, cfg, *job, health ? &*health : nullptr, estimator);
       feed.jobFinished(job->id, std::move(outcome));
     }
   } catch (...) {

@@ -42,6 +42,7 @@
 ///    job's matrix (`RunStats::staleJobResults`).
 
 #include <atomic>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -101,11 +102,16 @@ class JobFeed {
 /// JobStart/JobEnd, schedules all sub-tasks onto the slave ranks and fills
 /// `job.out`.  `health` (may be nullptr) is the service-lifetime liveness
 /// registry: quarantined ranks get no new assignments and their ownership
-/// entries are invalidated.  Exposed for the service loop; most callers
+/// entries are invalidated.  `estimator` (may be null) is the
+/// service-lifetime rank estimator the ECT policies score against — kept
+/// outside the job so speeds learned in job N inform job N+1's placement;
+/// when null and the policy needs one, a job-local estimator seeded from
+/// `cfg.rankProfiles` is used.  Exposed for the service loop; most callers
 /// want runMasterService.
-MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
-                              const ServiceJob& job,
-                              HealthRegistry* health = nullptr);
+MasterJobOutcome runMasterJob(
+    msg::Comm& comm, const RuntimeConfig& cfg, const ServiceJob& job,
+    HealthRegistry* health = nullptr,
+    const std::shared_ptr<RankEstimator>& estimator = nullptr);
 
 /// Master service loop: runs every job the feed yields, then sends End to
 /// all slaves.  With `cfg.enableLiveness` a service-lifetime heartbeat

@@ -1,5 +1,7 @@
 #include "easyhps/runtime/runtime.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "easyhps/cache/result_cache.hpp"
@@ -125,9 +127,78 @@ void RuntimeConfig::validate() const {
            "enableFaultTolerance");
     }
   }
+  if (!rankProfiles.empty()) {
+    if (static_cast<int>(rankProfiles.size()) != slaveCount) {
+      fail("rankProfiles must have one entry per slave (got " +
+           std::to_string(rankProfiles.size()) + " for " +
+           std::to_string(slaveCount) + " slaves)");
+    }
+    for (std::size_t i = 0; i < rankProfiles.size(); ++i) {
+      const std::string field = "rankProfiles[" + std::to_string(i) + "]";
+      if (!(rankProfiles[i].speed > 0)) {
+        fail(field + ".speed must be positive");
+      }
+      if (!(rankProfiles[i].linkBandwidth > 0)) {
+        fail(field + ".linkBandwidth must be positive");
+      }
+      if (rankProfiles[i].memoryBudget == 0) {
+        // Same reasoning as storeByteBudget: 0 would silently mean
+        // "unlimited" at the store layer and defeat memory-aware
+        // placement.
+        fail(field + ".memoryBudget must be positive");
+      }
+    }
+  }
+}
+
+std::vector<RankProfile> RuntimeConfig::resolvedRankProfiles() const {
+  if (!rankProfiles.empty()) {
+    return rankProfiles;
+  }
+  RankProfile uniform;
+  uniform.memoryBudget = storeByteBudget;
+  return std::vector<RankProfile>(static_cast<std::size_t>(slaveCount),
+                                  uniform);
+}
+
+std::uint64_t RuntimeConfig::storeBudgetForRank(int rank) const {
+  if (rankProfiles.empty() || rank < 1 ||
+      rank > static_cast<int>(rankProfiles.size())) {
+    return storeByteBudget;
+  }
+  return rankProfiles[static_cast<std::size_t>(rank - 1)].memoryBudget;
+}
+
+void applySchedulerEnv(RuntimeConfig& cfg) {
+  if (const char* env = std::getenv("EASYHPS_SCHED")) {
+    if (const auto kind = parsePolicyKind(env)) {
+      cfg.masterPolicy = *kind;
+    } else {
+      std::fprintf(stderr,
+                   "easyhps: ignoring EASYHPS_SCHED=%s (unknown policy)\n",
+                   env);
+    }
+  }
+  if (cfg.rankProfiles.empty()) {
+    if (const char* env = std::getenv("EASYHPS_RANK_SPEEDS")) {
+      RankProfile base;
+      base.memoryBudget = cfg.storeByteBudget;
+      std::string error;
+      auto profiles =
+          parseRankSpeeds(env, cfg.slaveCount, base, &error);
+      if (profiles.empty()) {
+        std::fprintf(stderr,
+                     "easyhps: ignoring EASYHPS_RANK_SPEEDS=%s (%s)\n", env,
+                     error.c_str());
+      } else {
+        cfg.rankProfiles = std::move(profiles);
+      }
+    }
+  }
 }
 
 Runtime::Runtime(RuntimeConfig cfg) : cfg_(std::move(cfg)) {
+  applySchedulerEnv(cfg_);
   cfg_.validate();
 }
 

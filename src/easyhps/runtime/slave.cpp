@@ -553,12 +553,21 @@ bool fetchHalos(msg::Comm& comm, const RuntimeConfig& cfg,
     }
     bool got = false;
     if (src.owner != 0 && src.owner != comm.rank()) {
+      const auto fetchStart = std::chrono::steady_clock::now();
       comm.send(src.owner, wire::kTagData,
                 wire::encodeHaloRequest({assign.job, src.vertex, src.rect}));
       auto halo = recvHaloFor(comm, src.owner, assign.job, src.rect,
                               cfg.dataFetchTimeout);
       if (halo && halo->found) {
         ++stats.haloPeerFetches;
+        // Timed link sample for the master's bandwidth estimator (only
+        // successful pulls: a timeout says "dead", not "slow link").
+        stats.peerFetchBytes +=
+            static_cast<std::uint64_t>(halo->data.size()) * sizeof(Score);
+        stats.peerFetchMicros +=
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - fetchStart)
+                .count();
         assign.halos.push_back(
             wire::HaloBlock{src.rect, std::move(halo->data)});
         got = true;
@@ -730,6 +739,7 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
   stats.storeEvictions = storeAfter.evictions - storeBefore.evictions;
   stats.storeSpilledBytes =
       storeAfter.spilledBytes - storeBefore.spilledBytes;
+  stats.storePeakBytes = storeAfter.peakBytes;
 
   // Per-job slave-side counters for the master's RunStats.
   comm.send(0, wire::kTagStats, wire::encodeSlaveStats(stats));
@@ -742,8 +752,11 @@ void runSlaveService(msg::Comm& comm, const RuntimeConfig& cfg,
   log::setThreadName("slave-" + std::to_string(comm.rank()));
 
   // The rank's block store and data-plane thread live for the whole
-  // service: requests can arrive whenever a peer still computes.
-  store::BlockStore blockStore(cfg.storeByteBudget);
+  // service: requests can arrive whenever a peer still computes.  The
+  // budget is this rank's profile budget when heterogeneity profiles are
+  // configured — the same number the master's placement-time capacity
+  // check enforces.
+  store::BlockStore blockStore(cfg.storeBudgetForRank(comm.rank()));
   DataPlaneCounters counters;
   std::atomic<bool> stopData{false};
   std::atomic<bool> dead{false};  // kSlaveDeath: rank went silent

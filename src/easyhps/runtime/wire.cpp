@@ -175,6 +175,9 @@ msg::Payload encodeSlaveStats(const SlaveStatsPayload& p) {
   w.put<std::int64_t>(p.halosServed);
   w.put<std::int64_t>(p.storeEvictions);
   w.put<std::uint64_t>(p.storeSpilledBytes);
+  w.put<std::uint64_t>(p.storePeakBytes);
+  w.put<std::uint64_t>(p.peerFetchBytes);
+  w.put<std::int64_t>(p.peerFetchMicros);
   w.put<std::int64_t>(p.fragmentsSent);
   w.put<std::int64_t>(p.fragmentsApplied);
   w.put<std::int64_t>(p.fragmentResends);
@@ -195,6 +198,9 @@ SlaveStatsPayload decodeSlaveStats(const msg::Payload& payload) {
   p.halosServed = r.get<std::int64_t>();
   p.storeEvictions = r.get<std::int64_t>();
   p.storeSpilledBytes = r.get<std::uint64_t>();
+  p.storePeakBytes = r.get<std::uint64_t>();
+  p.peerFetchBytes = r.get<std::uint64_t>();
+  p.peerFetchMicros = r.get<std::int64_t>();
   p.fragmentsSent = r.get<std::int64_t>();
   p.fragmentsApplied = r.get<std::int64_t>();
   p.fragmentResends = r.get<std::int64_t>();

@@ -166,6 +166,14 @@ struct SlaveStatsPayload {
   std::int64_t halosServed = 0;        ///< peer requests this rank answered
   std::int64_t storeEvictions = 0;     ///< LRU evictions (spilled blocks)
   std::uint64_t storeSpilledBytes = 0;
+  /// BlockStore high-water mark (service lifetime) — what memory-aware
+  /// placement tries to keep under the rank's profile budget.
+  std::uint64_t storePeakBytes = 0;
+  /// Timed peer-to-peer halo pulls this job: payload bytes and wall time.
+  /// The master's rank estimator turns them into a per-link bandwidth
+  /// EWMA for the next job's ECT scores.
+  std::uint64_t peerFetchBytes = 0;
+  std::int64_t peerFetchMicros = 0;
   // Streaming-pipeline counters (all zero under PipelineMode::kBarrier).
   std::int64_t fragmentsSent = 0;     ///< halo fragments emitted to master
   std::int64_t fragmentsApplied = 0;  ///< fragment pieces injected locally

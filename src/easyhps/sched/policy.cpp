@@ -1,5 +1,6 @@
 #include "easyhps/sched/policy.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 #include <vector>
@@ -173,6 +174,326 @@ class LocalityPolicy final : public SchedulingPolicy {
   std::unordered_map<VertexId, double> progress_;
 };
 
+/// Heterogeneity- and memory-aware planner.  Unlike the pull-based pools
+/// above, ECT commits every ready task to a per-worker lane the moment it
+/// becomes computable, scoring candidates by estimated completion time
+/// against the shared RankEstimator:
+///
+///   ECT(t, w) = (backlog_w + inflight_w + work_t) / speed_w
+///             + remoteBytes(t, w) / bandwidth_w + rtt_w
+///
+/// Memory awareness: a worker whose BlockStore budget cannot fit the
+/// task's output block on top of its pending + resident bytes is skipped
+/// in a first pass; only when *no* worker fits does the planner fall back
+/// to the min-ECT worker and count a `placementSpills` (the old reactive
+/// spill, now visible).  With `steal` an idle worker revokes the tail
+/// (least-committed, lowest fragment progress is irrelevant — back of the
+/// FIFO) task of the most-loaded worker when it would finish it sooner.
+///
+/// Invariant the double-assign test leans on: a task lives in exactly one
+/// of {some lane's queue, the in-flight map} between onReady and
+/// onTaskCompleted; pick/steal move it atomically (under the caller's
+/// scheduler mutex), so no sequence of picks can return it twice without
+/// an intervening timeout re-onReady.
+class EctPolicy final : public SchedulingPolicy {
+ public:
+  EctPolicy(const PartitionedDag& dag, int workers, EctOptions options)
+      : dag_(&dag), opt_(std::move(options)),
+        lanes_(static_cast<std::size_t>(workers)) {
+    EASYHPS_EXPECTS(workers > 0);
+    EASYHPS_EXPECTS(opt_.estimator != nullptr);
+    EASYHPS_EXPECTS(opt_.estimator->workers() == workers);
+  }
+
+  std::string name() const override { return opt_.steal ? "ect-steal" : "ect"; }
+
+  void onReady(VertexId task) override {
+    // A timeout re-distribution re-readies a task we still carry as
+    // in-flight: the old assignment is cancelled, so release its debit
+    // (the block was never produced) before planning it afresh.
+    releaseInflight(task);
+    if (queued_.count(task) != 0) {
+      return;  // duplicate onReady; already planned
+    }
+    plan(task);
+  }
+
+  void onFragmentProgress(VertexId task, double fraction) override {
+    progress_[task] = fraction;
+  }
+
+  std::optional<VertexId> pick(int worker) override {
+    EASYHPS_EXPECTS(worker >= 0 &&
+                    worker < static_cast<int>(lanes_.size()));
+    reclaimDisallowed();
+    if (!allowed(worker)) {
+      return std::nullopt;  // quarantined; master gate normally precedes us
+    }
+    Lane& lane = lanes_[static_cast<std::size_t>(worker)];
+    if (!lane.queue.empty()) {
+      // Prefer the queued task whose halo fragments have advanced
+      // furthest (streaming pipeline); ties fall back to FIFO order.
+      std::size_t best = 0;
+      double bestProgress = progressOf(lane.queue[0]);
+      for (std::size_t i = 1; i < lane.queue.size(); ++i) {
+        const double p = progressOf(lane.queue[i]);
+        if (p > bestProgress) {
+          best = i;
+          bestProgress = p;
+        }
+      }
+      return take(worker, worker, best);
+    }
+    if (opt_.steal) {
+      if (const auto stolen = trySteal(worker)) {
+        return stolen;
+      }
+    }
+    if (queued_count_ > 0) {
+      noteStall();  // ready tasks exist, but they are planned elsewhere
+    }
+    return std::nullopt;
+  }
+
+  void onTaskCompleted(VertexId task, int worker, double seconds) override {
+    releaseInflight(task);
+    // A late duplicate may complete a task that a timeout re-planned onto
+    // some queue; drop the stale queued copy so it is never re-issued.
+    const auto qit = queued_.find(task);
+    if (qit != queued_.end()) {
+      Lane& lane = lanes_[static_cast<std::size_t>(qit->second.lane)];
+      const auto pos =
+          std::find(lane.queue.begin(), lane.queue.end(), task);
+      if (pos != lane.queue.end()) {
+        lane.queue.erase(pos);
+      }
+      lane.backlogWork -= qit->second.work;
+      lane.pendingBytes -= qit->second.bytes;
+      --queued_count_;
+      queued_.erase(qit);
+    }
+    progress_.erase(task);
+    if (seconds > 0) {
+      opt_.estimator->observeTask(worker, workOf(task), seconds);
+    }
+  }
+
+  std::int64_t queuedCount() const override { return queued_count_; }
+  std::int64_t tasksStolen() const override { return steals_; }
+  std::int64_t placementSpills() const override { return spills_; }
+
+ private:
+  /// One task's planned footprint; `lane` is where its work/bytes are
+  /// currently debited.
+  struct TaskInfo {
+    int lane = 0;
+    double work = 0.0;
+    std::uint64_t bytes = 0;
+  };
+
+  struct Lane {
+    std::deque<VertexId> queue;  ///< planned, not yet issued (FIFO)
+    double backlogWork = 0.0;    ///< work units queued
+    double inflightWork = 0.0;   ///< work units issued, result pending
+    std::uint64_t pendingBytes = 0;  ///< output bytes queued + in flight
+  };
+
+  bool allowed(int worker) const {
+    return !opt_.allowAssign || opt_.allowAssign(worker);
+  }
+
+  double workOf(VertexId task) const {
+    return opt_.taskWork
+               ? opt_.taskWork(task)
+               : static_cast<double>(dag_->rectOf(task).cellCount());
+  }
+
+  double progressOf(VertexId task) const {
+    const auto it = progress_.find(task);
+    return it == progress_.end() ? 1.0 : it->second;
+  }
+
+  /// Estimated completion time of `task` if appended to `worker`'s lane.
+  double ectOf(VertexId task, int worker, double work) const {
+    const Lane& lane = lanes_[static_cast<std::size_t>(worker)];
+    const RankEstimator& est = *opt_.estimator;
+    double ect =
+        (lane.backlogWork + lane.inflightWork + work) / est.speed(worker);
+    if (opt_.remoteBytes) {
+      ect += static_cast<double>(opt_.remoteBytes(task, worker)) /
+             est.bandwidth(worker);
+    }
+    return ect + est.rttSeconds(worker);
+  }
+
+  /// Seconds until `worker` drains everything already planned on it.
+  double drainSecondsOf(int worker) const {
+    const Lane& lane = lanes_[static_cast<std::size_t>(worker)];
+    return (lane.backlogWork + lane.inflightWork) /
+           opt_.estimator->speed(worker);
+  }
+
+  bool fitsBudget(int worker, std::uint64_t bytes) const {
+    const std::uint64_t budget = opt_.estimator->memoryBudget(worker);
+    if (budget == 0 || bytes == 0) {
+      return true;  // unlimited store / no capacity oracle
+    }
+    std::uint64_t used = lanes_[static_cast<std::size_t>(worker)].pendingBytes;
+    if (opt_.residentBytes) {
+      used += opt_.residentBytes(worker);
+    }
+    return used + bytes <= budget;
+  }
+
+  /// Min-ECT worker for `task`; workers that fail the store-budget check
+  /// lose to any worker that fits.  `requireAllowed` skips quarantined
+  /// workers; -1 if that leaves nobody.
+  int bestLaneFor(VertexId task, double work, std::uint64_t bytes,
+                  bool requireAllowed, bool* fits) const {
+    int best = -1;
+    bool bestFits = false;
+    double bestEct = 0.0;
+    for (int w = 0; w < static_cast<int>(lanes_.size()); ++w) {
+      if (requireAllowed && !allowed(w)) {
+        continue;
+      }
+      const bool f = fitsBudget(w, bytes);
+      const double ect = ectOf(task, w, work);
+      if (best < 0 || (f && !bestFits) ||
+          (f == bestFits && ect < bestEct)) {
+        best = w;
+        bestFits = f;
+        bestEct = ect;
+      }
+    }
+    *fits = bestFits;
+    return best;
+  }
+
+  void plan(VertexId task) {
+    const double work = workOf(task);
+    const std::uint64_t bytes = opt_.blockBytes ? opt_.blockBytes(task) : 0;
+    bool fits = false;
+    int lane = bestLaneFor(task, work, bytes, /*requireAllowed=*/true, &fits);
+    if (lane < 0) {
+      // Every worker quarantined: plan anyway (the master's health gate
+      // withholds the actual assignment until a rank is readmitted).
+      lane = bestLaneFor(task, work, bytes, /*requireAllowed=*/false, &fits);
+    }
+    if (!fits && bytes > 0) {
+      ++spills_;  // will spill reactively at the slave; count it up front
+    }
+    Lane& l = lanes_[static_cast<std::size_t>(lane)];
+    l.queue.push_back(task);
+    l.backlogWork += work;
+    l.pendingBytes += bytes;
+    queued_[task] = TaskInfo{lane, work, bytes};
+    ++queued_count_;
+  }
+
+  /// Removes queue position `index` of `victimLane` and marks it in
+  /// flight on `worker` (== victimLane except when stealing).
+  VertexId take(int worker, int victimLane, std::size_t index) {
+    Lane& victim = lanes_[static_cast<std::size_t>(victimLane)];
+    const VertexId task = victim.queue[index];
+    victim.queue.erase(victim.queue.begin() +
+                       static_cast<std::ptrdiff_t>(index));
+    TaskInfo info = queued_.at(task);
+    victim.backlogWork -= info.work;
+    victim.pendingBytes -= info.bytes;
+    queued_.erase(task);
+    --queued_count_;
+    info.lane = worker;
+    Lane& mine = lanes_[static_cast<std::size_t>(worker)];
+    mine.inflightWork += info.work;
+    mine.pendingBytes += info.bytes;
+    inflight_[task] = info;
+    progress_.erase(task);
+    return task;
+  }
+
+  /// Idle `thief` asks for the tail task of the most-loaded worker; grant
+  /// it when the thief's ECT beats the victim's projected drain time.
+  std::optional<VertexId> trySteal(int thief) {
+    int victim = -1;
+    double victimDrain = 0.0;
+    for (int w = 0; w < static_cast<int>(lanes_.size()); ++w) {
+      if (w == thief || lanes_[static_cast<std::size_t>(w)].queue.empty()) {
+        continue;
+      }
+      const double drain = drainSecondsOf(w);
+      if (victim < 0 || drain > victimDrain) {
+        victim = w;
+        victimDrain = drain;
+      }
+    }
+    if (victim < 0) {
+      return std::nullopt;
+    }
+    const Lane& lane = lanes_[static_cast<std::size_t>(victim)];
+    const VertexId candidate = lane.queue.back();  // tail = least committed
+    if (ectOf(candidate, thief, workOf(candidate)) >= victimDrain) {
+      return std::nullopt;  // the victim would finish it sooner anyway
+    }
+    ++steals_;
+    return take(thief, victim, lane.queue.size() - 1);
+  }
+
+  /// Cancelled in-flight assignment (timeout or completion): undo its
+  /// work and byte debits.
+  void releaseInflight(VertexId task) {
+    const auto it = inflight_.find(task);
+    if (it == inflight_.end()) {
+      return;
+    }
+    Lane& lane = lanes_[static_cast<std::size_t>(it->second.lane)];
+    lane.inflightWork -= it->second.work;
+    lane.pendingBytes -= it->second.bytes;
+    inflight_.erase(it);
+  }
+
+  /// Re-plans tasks stranded on quarantined workers so the job cannot
+  /// deadlock waiting on a lane nobody is allowed to drain.
+  void reclaimDisallowed() {
+    if (!opt_.allowAssign) {
+      return;
+    }
+    bool anyAllowed = false;
+    for (int w = 0; w < static_cast<int>(lanes_.size()); ++w) {
+      anyAllowed = anyAllowed || allowed(w);
+    }
+    if (!anyAllowed) {
+      return;  // nowhere to move them; wait for a readmission
+    }
+    for (int w = 0; w < static_cast<int>(lanes_.size()); ++w) {
+      Lane& lane = lanes_[static_cast<std::size_t>(w)];
+      if (allowed(w) || lane.queue.empty()) {
+        continue;
+      }
+      std::vector<VertexId> stranded(lane.queue.begin(), lane.queue.end());
+      for (const VertexId task : stranded) {
+        const TaskInfo info = queued_.at(task);
+        lane.queue.pop_front();
+        lane.backlogWork -= info.work;
+        lane.pendingBytes -= info.bytes;
+        queued_.erase(task);
+        --queued_count_;
+        plan(task);
+      }
+    }
+  }
+
+  const PartitionedDag* dag_;
+  EctOptions opt_;
+  std::vector<Lane> lanes_;
+  std::unordered_map<VertexId, TaskInfo> queued_;
+  std::unordered_map<VertexId, TaskInfo> inflight_;
+  std::unordered_map<VertexId, double> progress_;
+  std::int64_t queued_count_ = 0;
+  std::int64_t steals_ = 0;
+  std::int64_t spills_ = 0;
+};
+
 }  // namespace
 
 std::string policyKindName(PolicyKind kind) {
@@ -185,8 +506,34 @@ std::string policyKindName(PolicyKind kind) {
       return "cw";
     case PolicyKind::kLocality:
       return "locality";
+    case PolicyKind::kEct:
+      return "ect";
+    case PolicyKind::kEctSteal:
+      return "ect-steal";
   }
   return "unknown";
+}
+
+std::optional<PolicyKind> parsePolicyKind(const std::string& name) {
+  if (name == "dynamic") {
+    return PolicyKind::kDynamic;
+  }
+  if (name == "bcw") {
+    return PolicyKind::kBlockCyclicWavefront;
+  }
+  if (name == "cw") {
+    return PolicyKind::kColumnWavefront;
+  }
+  if (name == "locality") {
+    return PolicyKind::kLocality;
+  }
+  if (name == "ect") {
+    return PolicyKind::kEct;
+  }
+  if (name == "ect-steal") {
+    return PolicyKind::kEctSteal;
+  }
+  return std::nullopt;
 }
 
 std::unique_ptr<SchedulingPolicy> makePolicy(PolicyKind kind,
@@ -202,6 +549,15 @@ std::unique_ptr<SchedulingPolicy> makePolicy(PolicyKind kind,
       return std::make_unique<CwPolicy>(dag, workers);
     case PolicyKind::kLocality:
       return std::make_unique<LocalityPolicy>(nullptr);
+    case PolicyKind::kEct:
+    case PolicyKind::kEctSteal: {
+      // Default wiring (CLI / simulator fallback): uniform profiles,
+      // block cell count as the work unit, no capacity or health oracles.
+      EctOptions opt;
+      opt.steal = kind == PolicyKind::kEctSteal;
+      opt.estimator = std::make_shared<RankEstimator>(workers);
+      return makeEctPolicy(dag, workers, std::move(opt));
+    }
   }
   throw LogicError("unknown policy kind");
 }
@@ -211,6 +567,13 @@ std::unique_ptr<SchedulingPolicy> makeLocalityPolicy(
   (void)dag;
   EASYHPS_EXPECTS(workers > 0);
   return std::make_unique<LocalityPolicy>(std::move(affinity));
+}
+
+std::unique_ptr<SchedulingPolicy> makeEctPolicy(const PartitionedDag& dag,
+                                                int workers,
+                                                EctOptions options) {
+  EASYHPS_EXPECTS(workers > 0);
+  return std::make_unique<EctPolicy>(dag, workers, std::move(options));
 }
 
 }  // namespace easyhps

@@ -23,12 +23,14 @@
 /// Policies are not thread-safe; the runtime serializes calls under its
 /// scheduler mutex.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "easyhps/dag/library.hpp"
+#include "easyhps/sched/profile.hpp"
 
 namespace easyhps {
 
@@ -37,9 +39,16 @@ enum class PolicyKind {
   kBlockCyclicWavefront,  ///< BCW static baseline
   kColumnWavefront,       ///< CW static baseline (contiguous bands)
   kLocality,              ///< dynamic pool + ownership-directory affinity
+  kEct,                   ///< heterogeneity-aware estimated-completion-time
+  kEctSteal,              ///< ECT + slave→slave work stealing for the tail
 };
 
 std::string policyKindName(PolicyKind kind);
+
+/// Inverse of `policyKindName` (plus the CLI/env spellings "bcw"/"cw"/
+/// "ect-steal"); nullopt on an unknown name.  Backs `--policy` and the
+/// `EASYHPS_SCHED` env knob.
+std::optional<PolicyKind> parsePolicyKind(const std::string& name);
 
 class SchedulingPolicy {
  public:
@@ -66,6 +75,26 @@ class SchedulingPolicy {
     (void)task;
     (void)fraction;
   }
+
+  /// `task` finished on `worker` after `seconds` of assign-to-result
+  /// latency (0 when the caller has no measurement, e.g. a late duplicate
+  /// result whose bookkeeping must still be cleared).  Planning policies
+  /// use it to settle in-flight accounting and feed the rank estimator;
+  /// default: ignore.
+  virtual void onTaskCompleted(VertexId task, int worker, double seconds) {
+    (void)task;
+    (void)worker;
+    (void)seconds;
+  }
+
+  /// Steal grants: tasks revoked from one worker's plan and re-issued to
+  /// an idle one (PolicyKind::kEctSteal only; 0 elsewhere).
+  virtual std::int64_t tasksStolen() const { return 0; }
+
+  /// Placements where no rank had store budget left for the task's output
+  /// block — the reactive-spill blind spot surfaced as a counter
+  /// (PolicyKind::kEct/kEctSteal only; 0 elsewhere).
+  virtual std::int64_t placementSpills() const { return 0; }
 
   /// Times pick() returned nullopt while queuedCount() > 0 — the static
   /// schedule's "ready task but forbidden worker" stalls.
@@ -98,5 +127,42 @@ using LocalityAffinityFn =
 /// runtime injects the real oracle via this factory.
 std::unique_ptr<SchedulingPolicy> makeLocalityPolicy(
     const PartitionedDag& dag, int workers, LocalityAffinityFn affinity);
+
+/// Wiring for the ECT policy.  All oracles are called under whatever lock
+/// serializes the policy (the master's scheduler mutex), so they may read
+/// the ownership directory / health registry directly.  Null oracles
+/// degrade gracefully: no remoteBytes = no bandwidth term, no blockBytes =
+/// no memory-capacity check, no allowAssign = every worker eligible.
+struct EctOptions {
+  /// Grant steal requests from idle workers (PolicyKind::kEctSteal).
+  bool steal = false;
+  /// Speed/bandwidth/RTT/budget source; required (shared with the master
+  /// service so estimates persist across jobs).
+  std::shared_ptr<RankEstimator> estimator;
+  /// Work units in `task` (e.g. DpProblem::blockOps); null = block cell
+  /// count from the DAG.
+  std::function<double(VertexId task)> taskWork;
+  /// Dependency-halo bytes `worker` would have to pull from other ranks.
+  std::function<std::int64_t(VertexId task, int worker)> remoteBytes;
+  /// Output-block bytes `task` will pin in its rank's BlockStore; enables
+  /// the placement-time budget check and the placementSpills counter.
+  std::function<std::uint64_t(VertexId task)> blockBytes;
+  /// Bytes already resident in `worker`'s store per the master's ownership
+  /// directory (reflects spills/evictions the planner cannot see).
+  std::function<std::uint64_t(int worker)> residentBytes;
+  /// Health gate: false = quarantined, never plan onto this worker.
+  std::function<bool(int worker)> allowAssign;
+};
+
+/// Estimated-completion-time policy (heterogeneity- and memory-aware):
+/// each ready task is planned onto the worker minimizing
+/// (backlog + in-flight + work) / speed + remote bytes / bandwidth + rtt,
+/// preferring workers whose store budget still fits the output block.
+/// With `options.steal` an idle worker may steal the *least-committed*
+/// (tail) queued task from the most-loaded eligible worker, when it would
+/// finish it sooner than the victim.
+std::unique_ptr<SchedulingPolicy> makeEctPolicy(const PartitionedDag& dag,
+                                                int workers,
+                                                EctOptions options);
 
 }  // namespace easyhps

@@ -1,0 +1,143 @@
+#include "easyhps/sched/profile.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+namespace {
+
+/// EWMA smoothing for latency/bandwidth observations; matches the health
+/// registry's ack-latency filter so both signals move at the same pace.
+constexpr double kEwmaAlpha = 0.25;
+
+/// Floor for speed/bandwidth estimates so a pathological observation can
+/// never make an ECT score divide by ~0.
+constexpr double kMinRate = 1e-9;
+
+double ewma(double current, double sample, bool seeded) {
+  return seeded ? (1.0 - kEwmaAlpha) * current + kEwmaAlpha * sample : sample;
+}
+
+}  // namespace
+
+RankEstimator::RankEstimator(int workers, std::vector<RankProfile> profiles) {
+  EASYHPS_EXPECTS(workers > 0);
+  EASYHPS_EXPECTS(profiles.empty() ||
+                  static_cast<int>(profiles.size()) == workers);
+  ranks_.resize(static_cast<std::size_t>(workers));
+  for (std::size_t w = 0; w < ranks_.size(); ++w) {
+    if (!profiles.empty()) {
+      ranks_[w].profile = profiles[w];
+    }
+  }
+}
+
+double RankEstimator::calibrationLocked() const {
+  double sum = 0.0;
+  int seen = 0;
+  for (const Rank& r : ranks_) {
+    if (r.sawTask && r.profile.speed > 0) {
+      sum += r.ewmaOpsPerSec / r.profile.speed;
+      ++seen;
+    }
+  }
+  return seen > 0 ? sum / seen : 1.0;
+}
+
+double RankEstimator::speed(int worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Rank& r = ranks_.at(static_cast<std::size_t>(worker));
+  const double s = r.sawTask ? r.ewmaOpsPerSec
+                             : r.profile.speed * calibrationLocked();
+  return std::max(s, kMinRate);
+}
+
+double RankEstimator::bandwidth(int worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Rank& r = ranks_.at(static_cast<std::size_t>(worker));
+  const double b = r.sawTransfer ? r.ewmaBytesPerSec : r.profile.linkBandwidth;
+  return std::max(b, kMinRate);
+}
+
+double RankEstimator::rttSeconds(int worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ranks_.at(static_cast<std::size_t>(worker)).rttSeconds;
+}
+
+std::uint64_t RankEstimator::memoryBudget(int worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ranks_.at(static_cast<std::size_t>(worker)).profile.memoryBudget;
+}
+
+RankProfile RankEstimator::profile(int worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ranks_.at(static_cast<std::size_t>(worker)).profile;
+}
+
+void RankEstimator::observeTask(int worker, double workUnits, double seconds) {
+  if (workUnits <= 0 || seconds <= 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Rank& r = ranks_.at(static_cast<std::size_t>(worker));
+  r.ewmaOpsPerSec = ewma(r.ewmaOpsPerSec, workUnits / seconds, r.sawTask);
+  r.sawTask = true;
+  ++task_observations_;
+}
+
+void RankEstimator::observeTransfer(int worker, double bytes, double seconds) {
+  if (bytes <= 0 || seconds <= 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Rank& r = ranks_.at(static_cast<std::size_t>(worker));
+  r.ewmaBytesPerSec = ewma(r.ewmaBytesPerSec, bytes / seconds, r.sawTransfer);
+  r.sawTransfer = true;
+}
+
+void RankEstimator::setRttSeconds(int worker, double seconds) {
+  if (seconds < 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ranks_.at(static_cast<std::size_t>(worker)).rttSeconds = seconds;
+}
+
+std::int64_t RankEstimator::taskObservations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return task_observations_;
+}
+
+std::vector<RankProfile> parseRankSpeeds(const std::string& text, int workers,
+                                         const RankProfile& base,
+                                         std::string* error) {
+  std::vector<RankProfile> profiles;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    char* end = nullptr;
+    const double speed = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || speed <= 0) {
+      if (error) {
+        *error = "bad speed entry '" + item + "'";
+      }
+      return {};
+    }
+    RankProfile p = base;
+    p.speed = speed;
+    profiles.push_back(p);
+  }
+  if (static_cast<int>(profiles.size()) != workers) {
+    if (error) {
+      *error = "expected " + std::to_string(workers) + " speeds, got " +
+               std::to_string(profiles.size());
+    }
+    return {};
+  }
+  return profiles;
+}
+
+}  // namespace easyhps

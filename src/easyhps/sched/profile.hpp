@@ -1,0 +1,123 @@
+#pragma once
+/// \file profile.hpp
+/// Per-rank capability profiles and the online rank estimator.
+///
+/// The paper's two-level scheduler assumes identical slaves; real clusters
+/// are heterogeneous.  A `RankProfile` states what the operator believes
+/// about a rank — relative compute speed, store byte budget, link
+/// bandwidth — and a `RankEstimator` refines that belief online from
+/// observed task latencies (EWMA of work-units-per-second per rank, seeded
+/// from the health registry's ack RTTs) and from timed peer-to-peer halo
+/// transfers (the per-link byte matrix the data plane already collects).
+///
+/// The estimator is the single source of truth the ECT scheduling policy
+/// (`policy.hpp`, PolicyKind::kEct / kEctSteal) scores candidates against:
+///
+///   ECT(task, rank) = (backlog + in-flight + task work) / speed(rank)
+///                   + remote halo bytes / bandwidth(rank)
+///                   + rtt(rank)
+///
+/// Speeds mix two unit systems: profiles are *relative* (speed 2 = twice
+/// the baseline), observations are *absolute* (work units per second).
+/// `speed()` reconciles them by calibrating unobserved ranks against the
+/// mean observed-per-profile-unit rate of the ranks we have seen, so a
+/// never-assigned rank stays comparable instead of starving or hogging.
+///
+/// Thread-safe: the master's worker threads observe under the scheduler
+/// mutex while the service loop seeds RTTs between jobs; a private mutex
+/// keeps the estimator usable from tests without external locking.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace easyhps {
+
+/// Operator-declared belief about one slave rank.  Defaults describe the
+/// homogeneous baseline (relative speed 1, the RuntimeConfig default store
+/// budget, the simulator's default link bandwidth).
+struct RankProfile {
+  /// Relative compute speed; 2.0 = twice the baseline rank.  Must be > 0.
+  double speed = 1.0;
+  /// BlockStore byte budget for this rank; the placement-time capacity
+  /// check and the slave's actual store both use it.  Must be > 0 when
+  /// profiles are configured (0 only means "unlimited" inside tests that
+  /// build estimators directly).
+  std::uint64_t memoryBudget = 256ULL << 20;
+  /// Master→rank link bandwidth in bytes/second.  Must be > 0.
+  double linkBandwidth = 3.0e9;
+};
+
+/// Online refinement of a cluster's `RankProfile`s.  Workers are 0-based
+/// (worker w drives slave rank w+1, matching SchedulingPolicy).
+class RankEstimator {
+ public:
+  /// `profiles` may be empty (uniform defaults) or have exactly `workers`
+  /// entries.
+  RankEstimator(int workers, std::vector<RankProfile> profiles = {});
+
+  int workers() const { return static_cast<int>(ranks_.size()); }
+
+  /// Calibrated work units per second for `worker` — the observed EWMA
+  /// once the rank has completed a task, the profile speed times the
+  /// cluster calibration factor before that.  Always > 0.
+  double speed(int worker) const;
+
+  /// Bytes per second on the link to `worker` — observed transfer EWMA if
+  /// any, else the profile value.  Always > 0.
+  double bandwidth(int worker) const;
+
+  /// Control-plane round-trip estimate (seeded from the health registry's
+  /// ack-latency EWMA); 0 until seeded.
+  double rttSeconds(int worker) const;
+
+  /// Store byte budget for `worker`; 0 = unlimited.
+  std::uint64_t memoryBudget(int worker) const;
+
+  RankProfile profile(int worker) const;
+
+  /// A task worth `workUnits` completed on `worker` in `seconds`
+  /// (assign-send to result-receive).  Non-positive inputs are ignored.
+  void observeTask(int worker, double workUnits, double seconds);
+
+  /// `bytes` moved over `worker`'s link in `seconds` (timed halo fetch or
+  /// per-link matrix delta).  Non-positive inputs are ignored.
+  void observeTransfer(int worker, double bytes, double seconds);
+
+  /// Seeds/refreshes the RTT term, e.g. from
+  /// `HealthRegistry::ewmaLatencySeconds`.
+  void setRttSeconds(int worker, double seconds);
+
+  /// Task observations absorbed so far (all ranks).
+  std::int64_t taskObservations() const;
+
+ private:
+  struct Rank {
+    RankProfile profile;
+    double ewmaOpsPerSec = 0.0;
+    double ewmaBytesPerSec = 0.0;
+    double rttSeconds = 0.0;
+    bool sawTask = false;
+    bool sawTransfer = false;
+  };
+
+  /// Mean observed ops/sec per unit of profile speed; 1.0 with no
+  /// observations.  Caller holds mutex_.
+  double calibrationLocked() const;
+
+  mutable std::mutex mutex_;
+  std::vector<Rank> ranks_;
+  std::int64_t task_observations_ = 0;
+};
+
+/// Parses a comma-separated speed list ("4,1,1,1") into profiles carrying
+/// `memoryBudget`/`linkBandwidth` defaults from `base`.  Returns an empty
+/// vector (and leaves a note in `error` if non-null) when the text is
+/// malformed or the count does not match `workers`.  Backs the
+/// `EASYHPS_RANK_SPEEDS` env knob.
+std::vector<RankProfile> parseRankSpeeds(const std::string& text, int workers,
+                                         const RankProfile& base,
+                                         std::string* error = nullptr);
+
+}  // namespace easyhps

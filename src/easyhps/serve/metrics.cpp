@@ -9,7 +9,8 @@ trace::Table metricsTable(const ServiceMetrics& m) {
                   "mean_ttfb_s", "jobs_per_s", "messages", "master_mb",
                   "p2p_mb", "zc_msgs", "zc_mb", "fragments", "early_starts",
                   "overlap_s", "retries", "requeues",
-                  "own_inval", "quarantines", "hb_misses", "faults",
+                  "own_inval", "spills", "steals",
+                  "quarantines", "hb_misses", "faults",
                   "job_retries", "cache_hits", "cache_bytes", "coalesced",
                   "shed_jobs", "deadline_misses"});
   t.addRow({m.policy, m.kernelPath.empty() ? "-" : m.kernelPath,
@@ -33,6 +34,8 @@ trace::Table metricsTable(const ServiceMetrics& m) {
             trace::Table::num(m.streamOverlapSeconds, 4),
             trace::Table::num(m.retries), trace::Table::num(m.subTaskRequeues),
             trace::Table::num(m.ownershipInvalidations),
+            trace::Table::num(m.placementSpills),
+            trace::Table::num(m.tasksStolen),
             trace::Table::num(m.quarantines),
             trace::Table::num(m.heartbeatMisses),
             trace::Table::num(m.faultsTriggered),

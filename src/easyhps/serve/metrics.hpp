@@ -71,6 +71,10 @@ struct ServiceMetrics {
   std::int64_t retries = 0;          ///< master task re-distributions
   std::int64_t subTaskRequeues = 0;  ///< slave overtime re-queues
   std::int64_t ownershipInvalidations = 0;
+  // Heterogeneity-aware placement counters (sums of the jobs' RunStats;
+  // zero unless the master policy is kEct / kEctSteal).
+  std::int64_t placementSpills = 0;  ///< placements past every store budget
+  std::int64_t tasksStolen = 0;      ///< steal re-issues granted
   std::int64_t quarantines = 0;
   std::int64_t heartbeatMisses = 0;
   std::int64_t faultsTriggered = 0;  ///< injected faults that fired

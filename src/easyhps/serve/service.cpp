@@ -278,6 +278,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     m.retries = retries_;
     m.subTaskRequeues = subTaskRequeues_;
     m.ownershipInvalidations = ownershipInvalidations_;
+    m.placementSpills = placementSpills_;
+    m.tasksStolen = tasksStolen_;
     m.quarantines = quarantines_;
     m.heartbeatMisses = heartbeatMisses_;
     m.faultsTriggered = faultsTriggered_;
@@ -417,6 +419,7 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   };
 
   static ServiceConfig validated(ServiceConfig cfg) {
+    applySchedulerEnv(cfg.runtime);
     cfg.validate();
     return cfg;
   }
@@ -687,6 +690,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
         retries_ += o->stats.run.retries;
         subTaskRequeues_ += o->stats.run.subTaskRequeues;
         ownershipInvalidations_ += o->stats.run.ownershipInvalidations;
+        placementSpills_ += o->stats.run.placementSpills;
+        tasksStolen_ += o->stats.run.tasksStolen;
         quarantines_ += o->stats.run.quarantines;
         heartbeatMisses_ += o->stats.run.heartbeatMisses;
         faultsTriggered_ += o->stats.run.faultsTriggered;
@@ -786,6 +791,8 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   std::int64_t retries_ = 0;
   std::int64_t subTaskRequeues_ = 0;
   std::int64_t ownershipInvalidations_ = 0;
+  std::int64_t placementSpills_ = 0;
+  std::int64_t tasksStolen_ = 0;
   std::int64_t quarantines_ = 0;
   std::int64_t heartbeatMisses_ = 0;
   std::int64_t faultsTriggered_ = 0;

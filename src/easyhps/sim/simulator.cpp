@@ -22,6 +22,7 @@ struct Event {
   VertexId vertex = -1;
   std::int64_t epoch = 0;  // assignment epoch (overtime-queue matching)
   bool silent = false;     // blackholed assignment: node got nothing
+  double service = 0.0;    // block service time (fed back to the policy)
 
   bool operator>(const Event& o) const {
     return time > o.time || (time == o.time && seq > o.seq);
@@ -67,7 +68,32 @@ SimResult simulate(const DpProblem& problem, const SimConfig& cfg) {
   const PartitionedDag dag = buildMasterDag(
       problem, cfg.processPartitionRows, cfg.processPartitionCols);
   DagParseState parse(dag.dag);
-  auto policy = makePolicy(cfg.masterPolicy, dag, nodes);
+
+  // Ground-truth node speed: divides service time.  The scheduler only
+  // sees cfg.rankProfiles (its prior) plus whatever it learns online.
+  auto speedOf = [&cfg](int node) {
+    const auto i = static_cast<std::size_t>(node);
+    return i < cfg.nodeSpeeds.size() && cfg.nodeSpeeds[i] > 0.0
+               ? cfg.nodeSpeeds[i]
+               : 1.0;
+  };
+
+  std::unique_ptr<SchedulingPolicy> policy;
+  if (cfg.masterPolicy == PolicyKind::kEct ||
+      cfg.masterPolicy == PolicyKind::kEctSteal) {
+    EctOptions opt;
+    opt.steal = cfg.masterPolicy == PolicyKind::kEctSteal;
+    opt.estimator = std::make_shared<RankEstimator>(nodes, cfg.rankProfiles);
+    opt.taskWork = [&problem, &dag](VertexId v) {
+      return static_cast<double>(problem.blockOps(dag.rectOf(v)));
+    };
+    opt.remoteBytes = [&problem, &dag](VertexId v, int) {
+      return static_cast<std::int64_t>(haloBytes(problem, dag.rectOf(v)));
+    };
+    policy = makeEctPolicy(dag, nodes, std::move(opt));
+  } else {
+    policy = makePolicy(cfg.masterPolicy, dag, nodes);
+  }
   for (VertexId v : parse.initiallyComputable()) {
     policy->onReady(v);
   }
@@ -122,7 +148,9 @@ SimResult simulate(const DpProblem& problem, const SimConfig& cfg) {
       auto picked = policy->pick(s);
       // A re-queued task may have completed via a late result meanwhile;
       // drop such stale entries (the runtime's register-table check).
+      // Tell the policy so ECT releases the phantom in-flight work.
       while (picked && parse.isFinished(*picked)) {
+        policy->onTaskCompleted(*picked, s, 0.0);
         picked = policy->pick(s);
       }
       if (!picked) {
@@ -180,7 +208,8 @@ SimResult simulate(const DpProblem& problem, const SimConfig& cfg) {
           cfg.threadPartitionCols,
           threads[static_cast<std::size_t>(e.node)], cfg.slavePolicy, pf);
       result.threadStalledPicks += intra.stalledPicks;
-      const double service = pf.slaveInitOverhead + intra.makespan;
+      const double service =
+          (pf.slaveInitOverhead + intra.makespan) / speedOf(e.node);
       result.nodeBusy[static_cast<std::size_t>(e.node)] += service;
 
       const double bytes =
@@ -194,7 +223,7 @@ SimResult simulate(const DpProblem& problem, const SimConfig& cfg) {
         t->computeDone = e.time + service;
       }
       events.push(Event{arrive, seq++, EventKind::kResultArrive, e.node,
-                        e.vertex, e.epoch, false});
+                        e.vertex, e.epoch, false, service});
       continue;
     }
 
@@ -222,6 +251,11 @@ SimResult simulate(const DpProblem& problem, const SimConfig& cfg) {
     masterFreeAt = processed;
     result.masterBusy += pf.masterResultOverhead;
     nodeIdle[static_cast<std::size_t>(e.node)] = true;
+    // Feed observed latency back (late duplicates report 0 so they only
+    // clear bookkeeping without polluting the speed EWMA) — same contract
+    // as the runtime's processResult.
+    policy->onTaskCompleted(e.vertex, e.node,
+                            parse.isFinished(e.vertex) ? 0.0 : e.service);
     if (!parse.isFinished(e.vertex)) {
       lastProcessed = processed;
       if (TaskTrace* t = traceOf(e.vertex)) {
@@ -240,6 +274,8 @@ SimResult simulate(const DpProblem& problem, const SimConfig& cfg) {
   result.bytesTransferred += kHeaderBytes * nodes;
   result.makespan = lastProcessed;
   result.masterStalledPicks = policy->stalledPicks();
+  result.tasksStolen = policy->tasksStolen();
+  result.placementSpills = policy->placementSpills();
   return result;
 }
 

@@ -38,6 +38,17 @@ struct SimConfig {
   PolicyKind masterPolicy = PolicyKind::kDynamic;
   PolicyKind slavePolicy = PolicyKind::kDynamic;
 
+  /// Actual relative speed of each computing node (empty = uniform 1.0).
+  /// Node i's block service time is divided by `nodeSpeeds[i]` — the
+  /// ground truth of the simulated hardware, *not* told to the scheduler.
+  std::vector<double> nodeSpeeds;
+
+  /// What the ECT scheduler *believes* about each node (entry i = node i;
+  /// empty = uniform defaults).  Deliberately separate from `nodeSpeeds`:
+  /// with uniform profiles over skewed hardware the estimator must learn
+  /// the skew online from observed task latencies.
+  std::vector<RankProfile> rankProfiles;
+
   /// Record a per-task TaskTrace (adds memory ∝ task count).
   bool collectTrace = false;
 
@@ -76,6 +87,8 @@ struct SimResult {
   std::int64_t retries = 0;             ///< overtime re-distributions
   std::int64_t masterStalledPicks = 0;  ///< BCW "fatal situation" count
   std::int64_t threadStalledPicks = 0;
+  std::int64_t tasksStolen = 0;         ///< ect-steal revocations granted
+  std::int64_t placementSpills = 0;     ///< placements over every budget
 
   /// Mean computing-node busy fraction of the makespan.
   double nodeUtilization() const;

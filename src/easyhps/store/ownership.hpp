@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "easyhps/dag/pattern.hpp"
 
@@ -33,22 +34,32 @@ class OwnershipDirectory {
     int owner = 0;          ///< rank whose store holds the block; 0 = master
     bool suspect = false;   ///< owner timed out; don't route peers to it
     bool resident = false;  ///< master's matrix holds the *full* block
+    std::uint64_t bytes = 0;  ///< block payload bytes pinned at the owner
   };
 
-  /// Records a completed block.  A spill may have landed first (the slave
-  /// evicted the block before its ack was processed); the master copy
-  /// stays authoritative then, so the owner is not rewritten.
-  void registerBlock(VertexId vertex, int owner) {
+  /// Records a completed block (`bytes` = its payload size, for the
+  /// per-rank occupancy accounting the memory-aware placement reads).  A
+  /// spill may have landed first (the slave evicted the block before its
+  /// ack was processed); the master copy stays authoritative then, so the
+  /// owner is not rewritten.
+  void registerBlock(VertexId vertex, int owner, std::uint64_t bytes = 0) {
     Entry& e = entries_[vertex];
     if (!e.resident) {
+      creditOwner(e.owner, -static_cast<std::int64_t>(e.bytes));
       e.owner = owner;
+      e.bytes = bytes;
+      creditOwner(owner, static_cast<std::int64_t>(bytes));
     }
   }
 
   /// The block's cells (at least the boundary rows/cols) now live in the
   /// master matrix in full; peers and assembly can be served locally.
+  /// Releases the owner's occupancy credit (a spill means the bytes left
+  /// that rank's store).
   void markResident(VertexId vertex) {
     Entry& e = entries_[vertex];
+    creditOwner(e.owner, -static_cast<std::int64_t>(e.bytes));
+    e.bytes = 0;
     e.owner = 0;
     e.resident = true;
   }
@@ -90,11 +101,33 @@ class OwnershipDirectory {
     return it != entries_.end() && it->second.resident;
   }
 
+  /// Block payload bytes currently pinned in `rank`'s store per this
+  /// directory (excludes spilled/resident blocks).  The ECT policy's
+  /// placement-time capacity check reads it as the "already used" part of
+  /// the rank's budget.
+  std::uint64_t bytesOwnedBy(int rank) const {
+    return rank >= 1 && rank <= static_cast<int>(owned_bytes_.size())
+               ? owned_bytes_[static_cast<std::size_t>(rank - 1)]
+               : 0;
+  }
+
   std::int64_t invalidations() const { return invalidations_; }
   std::size_t size() const { return entries_.size(); }
 
  private:
+  void creditOwner(int rank, std::int64_t delta) {
+    if (rank < 1 || delta == 0) {
+      return;  // master-held bytes are not store occupancy
+    }
+    if (rank > static_cast<int>(owned_bytes_.size())) {
+      owned_bytes_.resize(static_cast<std::size_t>(rank), 0);
+    }
+    auto& slot = owned_bytes_[static_cast<std::size_t>(rank - 1)];
+    slot = static_cast<std::uint64_t>(static_cast<std::int64_t>(slot) + delta);
+  }
+
   std::unordered_map<VertexId, Entry> entries_;
+  std::vector<std::uint64_t> owned_bytes_;
   std::int64_t invalidations_ = 0;
 };
 

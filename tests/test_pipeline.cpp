@@ -186,6 +186,60 @@ TEST(ConfigValidate, ServiceConfigRejectsZeroStoreByteBudget) {
   EXPECT_THROW(cfg.validate(), LogicError);
 }
 
+// --- Config validation (satellite: degenerate RankProfiles) -----------------
+
+TEST(ConfigValidate, RejectsDegenerateRankProfilesNamingTheField) {
+  const auto expectRejects = [](RuntimeConfig cfg, const char* field) {
+    try {
+      cfg.validate();
+      FAIL() << "validate() accepted a degenerate " << field;
+    } catch (const LogicError& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << "message must name the offending field: " << e.what();
+    }
+  };
+
+  RuntimeConfig cfg;
+  cfg.slaveCount = 2;
+  cfg.rankProfiles.assign(2, RankProfile{});
+
+  auto bad = cfg;
+  bad.rankProfiles[1].speed = 0.0;
+  expectRejects(bad, "rankProfiles[1].speed");
+
+  bad = cfg;
+  bad.rankProfiles[0].speed = -2.0;
+  expectRejects(bad, "rankProfiles[0].speed");
+
+  bad = cfg;
+  bad.rankProfiles[0].linkBandwidth = 0.0;
+  expectRejects(bad, "rankProfiles[0].linkBandwidth");
+
+  bad = cfg;
+  bad.rankProfiles[1].memoryBudget = 0;
+  expectRejects(bad, "rankProfiles[1].memoryBudget");
+
+  bad = cfg;
+  bad.rankProfiles.pop_back();  // one entry for two slaves
+  expectRejects(bad, "rankProfiles");
+}
+
+TEST(ConfigValidate, AcceptsMatchingRankProfilesAndResolvesBudgets) {
+  RuntimeConfig cfg;
+  cfg.slaveCount = 2;
+  cfg.rankProfiles = {RankProfile{4.0, 1u << 20}, RankProfile{1.0, 2u << 20}};
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.storeBudgetForRank(1), 1u << 20);
+  EXPECT_EQ(cfg.storeBudgetForRank(2), 2u << 20);
+  // Empty profiles resolve to uniform defaults carrying storeByteBudget.
+  RuntimeConfig uniform;
+  uniform.slaveCount = 3;
+  const auto resolved = uniform.resolvedRankProfiles();
+  ASSERT_EQ(resolved.size(), 3u);
+  EXPECT_EQ(resolved[0].memoryBudget, uniform.storeByteBudget);
+  EXPECT_EQ(uniform.storeBudgetForRank(2), uniform.storeByteBudget);
+}
+
 // --- Barrier vs streaming bit-equality --------------------------------------
 
 RuntimeConfig pipelineConfig() {

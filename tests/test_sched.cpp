@@ -156,5 +156,252 @@ TEST(FaultPlan, ThreadCrashMatchesSubVertex) {
   EXPECT_TRUE(plan.consumeThreadCrash(2, 1, 3));
 }
 
+TEST(ParsePolicyKind, AllNamesRoundTrip) {
+  for (auto kind : {PolicyKind::kDynamic, PolicyKind::kBlockCyclicWavefront,
+                    PolicyKind::kColumnWavefront, PolicyKind::kLocality,
+                    PolicyKind::kEct, PolicyKind::kEctSteal}) {
+    const auto parsed = parsePolicyKind(policyKindName(kind));
+    ASSERT_TRUE(parsed.has_value()) << policyKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parsePolicyKind("no-such-policy").has_value());
+  EXPECT_FALSE(parsePolicyKind("").has_value());
+}
+
+TEST(RankEstimator, ProfilesSeedSpeedUntilObserved) {
+  RankEstimator est(2, {RankProfile{4.0}, RankProfile{1.0}});
+  EXPECT_DOUBLE_EQ(est.speed(0), 4.0);
+  EXPECT_DOUBLE_EQ(est.speed(1), 1.0);
+  // Rank 1 observed at 100 work-units/s: its profile said 1.0, so the
+  // calibration factor becomes 100×, lifting unseen rank 0 to ~400.
+  est.observeTask(1, 100.0, 1.0);
+  EXPECT_NEAR(est.speed(1), 100.0, 1e-9);
+  EXPECT_NEAR(est.speed(0), 400.0, 1e-6);
+  EXPECT_EQ(est.taskObservations(), 1);
+}
+
+TEST(RankEstimator, ObservationsConvergeByEwma) {
+  RankEstimator est(1);
+  est.observeTask(0, 50.0, 1.0);  // first sample seeds the EWMA exactly
+  EXPECT_NEAR(est.speed(0), 50.0, 1e-9);
+  for (int i = 0; i < 64; ++i) {
+    est.observeTask(0, 200.0, 1.0);
+  }
+  EXPECT_NEAR(est.speed(0), 200.0, 1.0);
+  est.observeTask(0, 0.0, 1.0);   // degenerate samples are ignored
+  est.observeTask(0, 10.0, 0.0);
+  EXPECT_NEAR(est.speed(0), 200.0, 1.0);
+}
+
+TEST(RankEstimator, ParseRankSpeeds) {
+  std::string err;
+  auto profiles = parseRankSpeeds("4,1,2", 3, RankProfile{}, &err);
+  ASSERT_EQ(profiles.size(), 3u) << err;
+  EXPECT_DOUBLE_EQ(profiles[0].speed, 4.0);
+  EXPECT_DOUBLE_EQ(profiles[2].speed, 2.0);
+  EXPECT_TRUE(parseRankSpeeds("4,1", 3, RankProfile{}, &err).empty());
+  EXPECT_FALSE(err.empty());
+  EXPECT_TRUE(parseRankSpeeds("4,-1,2", 3, RankProfile{}, &err).empty());
+  EXPECT_TRUE(parseRankSpeeds("4,zap,2", 3, RankProfile{}, &err).empty());
+}
+
+// --- ECT policy -----------------------------------------------------------
+
+EctOptions ectOptionsFor(std::vector<RankProfile> profiles) {
+  EctOptions opt;
+  opt.estimator = std::make_shared<RankEstimator>(
+      static_cast<int>(profiles.size()), std::move(profiles));
+  opt.taskWork = [](VertexId) { return 100.0; };  // uniform work
+  return opt;
+}
+
+TEST(EctPolicy, FastRankWinsTies) {
+  const auto dag = smallGrid();
+  // Fast rank deliberately NOT at index 0 — placement must follow speed,
+  // not worker order.
+  auto p = makeEctPolicy(dag, 2, ectOptionsFor({RankProfile{1.0},
+                                                RankProfile{4.0}}));
+  p->onReady(dag.vertexAt(0, 0));
+  EXPECT_FALSE(p->pick(0).has_value());  // planned on the fast lane
+  EXPECT_EQ(p->stalledPicks(), 1);
+  EXPECT_EQ(p->pick(1), dag.vertexAt(0, 0));
+}
+
+TEST(EctPolicy, BacklogShiftsPlacementToSlowRank) {
+  const auto dag = smallGrid();
+  auto p = makeEctPolicy(dag, 2, ectOptionsFor({RankProfile{2.0},
+                                                RankProfile{1.0}}));
+  // Each task costs 100/2 = 50s on rank 0, 100s on rank 1.  The first two
+  // go to rank 0 (ECT 50, then 100); the third sees rank 0 at 150 vs
+  // rank 1 at 100 and overflows to the slow rank.
+  p->onReady(dag.vertexAt(0, 0));
+  p->onReady(dag.vertexAt(0, 1));
+  p->onReady(dag.vertexAt(1, 0));
+  EXPECT_TRUE(p->pick(0).has_value());
+  EXPECT_TRUE(p->pick(0).has_value());
+  EXPECT_EQ(p->pick(1), dag.vertexAt(1, 0));
+}
+
+TEST(EctPolicy, MemoryFullRankSkipped) {
+  const auto dag = smallGrid();
+  // Rank 0 is 4× faster but its store only holds 64 bytes; blocks are
+  // 1000 bytes, so placement must prefer the slower rank that fits.
+  auto opt = ectOptionsFor(
+      {RankProfile{4.0, 64}, RankProfile{1.0, 1ULL << 30}});
+  opt.blockBytes = [](VertexId) { return std::uint64_t{1000}; };
+  auto p = makeEctPolicy(dag, 2, opt);
+  p->onReady(dag.vertexAt(0, 0));
+  EXPECT_FALSE(p->pick(0).has_value());
+  EXPECT_EQ(p->pick(1), dag.vertexAt(0, 0));
+  EXPECT_EQ(p->placementSpills(), 0);  // it fit somewhere
+}
+
+TEST(EctPolicy, SpillCountedWhenNoRankFits) {
+  const auto dag = smallGrid();
+  auto opt = ectOptionsFor({RankProfile{4.0, 64}, RankProfile{1.0, 64}});
+  opt.blockBytes = [](VertexId) { return std::uint64_t{1000}; };
+  auto p = makeEctPolicy(dag, 2, opt);
+  p->onReady(dag.vertexAt(0, 0));
+  EXPECT_EQ(p->placementSpills(), 1);
+  // Falls back to min-ECT: the fast rank still gets the task.
+  EXPECT_EQ(p->pick(0), dag.vertexAt(0, 0));
+}
+
+TEST(EctPolicy, PendingBytesCountAgainstBudget) {
+  const auto dag = smallGrid();
+  // Budget fits exactly one queued block per rank; the second ready block
+  // must land on the other rank even though rank 0 is faster.
+  auto opt = ectOptionsFor(
+      {RankProfile{4.0, 1500}, RankProfile{1.0, 1500}});
+  opt.blockBytes = [](VertexId) { return std::uint64_t{1000}; };
+  auto p = makeEctPolicy(dag, 2, opt);
+  p->onReady(dag.vertexAt(0, 0));
+  p->onReady(dag.vertexAt(0, 1));
+  EXPECT_EQ(p->placementSpills(), 0);
+  EXPECT_TRUE(p->pick(0).has_value());
+  EXPECT_TRUE(p->pick(1).has_value());
+}
+
+TEST(EctPolicy, StealRevocationNeverDoubleAssigns) {
+  const auto dag = smallGrid();
+  // Worker 1 is believed near-dead at plan time, so every task lands on
+  // lane 0.  Stealing exists for exactly this case: the belief turns out
+  // wrong and the idle rank rebalances the tail.
+  auto opt = ectOptionsFor({RankProfile{1.0}, RankProfile{0.05}});
+  opt.steal = true;
+  auto est = opt.estimator;
+  auto p = makeEctPolicy(dag, 2, opt);
+  std::vector<VertexId> ready = {dag.vertexAt(0, 0), dag.vertexAt(0, 1),
+                                 dag.vertexAt(1, 0), dag.vertexAt(1, 1)};
+  for (VertexId v : ready) {
+    p->onReady(v);
+  }
+  EXPECT_EQ(p->queuedCount(), 4);
+  // Observed reality: worker 1 is 10× faster than worker 0.
+  est->observeTask(0, 100.0, 1.0);
+  est->observeTask(1, 100.0, 0.1);
+  // Idle worker 1 steals from worker 0's tail; each task is issued once.
+  std::multiset<VertexId> got;
+  for (int round = 0; round < 8; ++round) {
+    for (int w = 0; w < 2; ++w) {
+      if (auto t = p->pick(w)) {
+        got.insert(*t);
+      }
+    }
+  }
+  EXPECT_EQ(got.size(), ready.size());
+  for (VertexId v : ready) {
+    EXPECT_EQ(got.count(v), 1u) << "task " << v << " double-assigned";
+  }
+  EXPECT_GT(p->tasksStolen(), 0);
+  EXPECT_EQ(p->queuedCount(), 0);
+}
+
+TEST(EctPolicy, StealDeclinedWhenVictimFinishesSooner) {
+  const auto dag = smallGrid();
+  // Victim is 100× faster: its drain time is far below the thief's ECT
+  // for the same task, so the steal must be declined.
+  auto opt = ectOptionsFor({RankProfile{100.0}, RankProfile{1.0}});
+  opt.steal = true;
+  auto p = makeEctPolicy(dag, 2, opt);
+  p->onReady(dag.vertexAt(0, 0));
+  EXPECT_FALSE(p->pick(1).has_value());
+  EXPECT_EQ(p->tasksStolen(), 0);
+  EXPECT_EQ(p->pick(0), dag.vertexAt(0, 0));
+}
+
+TEST(EctPolicy, TimeoutReissueAfterStealStaysSingleAssignment) {
+  const auto dag = smallGrid();
+  auto opt = ectOptionsFor({RankProfile{1.0}, RankProfile{0.05}});
+  opt.steal = true;
+  auto est = opt.estimator;
+  auto p = makeEctPolicy(dag, 2, opt);
+  const VertexId a = dag.vertexAt(0, 0);
+  const VertexId b = dag.vertexAt(0, 1);
+  p->onReady(a);
+  p->onReady(b);  // both planned onto lane 0 (worker 1 believed dead slow)
+  est->observeTask(0, 100.0, 1.0);  // reality: worker 1 is 10× faster
+  est->observeTask(1, 100.0, 0.1);
+  ASSERT_EQ(p->pick(1), b);  // idle worker 1 steals the tail task
+  EXPECT_EQ(p->tasksStolen(), 1);
+  // The thief dies mid-steal: the master's overtime queue cancels the
+  // registration and re-readies the task.  The stale in-flight debit must
+  // be released and the task issued exactly once more.
+  p->onReady(b);
+  EXPECT_EQ(p->queuedCount(), 2);
+  std::multiset<VertexId> got;
+  for (int round = 0; round < 4; ++round) {
+    for (int w = 0; w < 2; ++w) {
+      if (auto t = p->pick(w)) {
+        got.insert(*t);
+      }
+    }
+  }
+  EXPECT_EQ(got.count(a), 1u);
+  EXPECT_EQ(got.count(b), 1u);
+  EXPECT_EQ(p->queuedCount(), 0);
+}
+
+TEST(EctPolicy, LateDuplicatePurgesRequeuedCopy) {
+  const auto dag = smallGrid();
+  auto p = makeEctPolicy(dag, 2, ectOptionsFor({RankProfile{1.0},
+                                                RankProfile{1.0}}));
+  const VertexId v = dag.vertexAt(0, 0);
+  p->onReady(v);
+  ASSERT_EQ(p->pick(0), v);
+  p->onReady(v);  // timeout re-plan while the original is still running
+  // The original's late result lands: the re-queued copy must vanish.
+  p->onTaskCompleted(v, 0, 0.0);
+  EXPECT_EQ(p->queuedCount(), 0);
+  EXPECT_FALSE(p->pick(0).has_value());
+  EXPECT_FALSE(p->pick(1).has_value());
+}
+
+TEST(EctPolicy, QuarantinedLaneReclaimed) {
+  const auto dag = smallGrid();
+  bool rank0Allowed = true;
+  auto opt = ectOptionsFor({RankProfile{4.0}, RankProfile{1.0}});
+  opt.allowAssign = [&rank0Allowed](int w) {
+    return w != 0 || rank0Allowed;
+  };
+  auto p = makeEctPolicy(dag, 2, opt);
+  p->onReady(dag.vertexAt(0, 0));  // planned on fast rank 0
+  rank0Allowed = false;            // rank 0 quarantined before issue
+  EXPECT_FALSE(p->pick(0).has_value());
+  EXPECT_EQ(p->pick(1), dag.vertexAt(0, 0));  // reclaimed, not stranded
+}
+
+TEST(EctPolicy, StreamingProgressOrdersOwnLane) {
+  const auto dag = smallGrid();
+  auto p = makeEctPolicy(dag, 1, ectOptionsFor({RankProfile{1.0}}));
+  const VertexId a = dag.vertexAt(0, 0);
+  const VertexId b = dag.vertexAt(0, 1);
+  p->onReady(a);
+  p->onReady(b);
+  p->onFragmentProgress(a, 0.25);  // b has no fragments → progress 1.0
+  EXPECT_EQ(p->pick(0), b);        // furthest-along halo first
+  EXPECT_EQ(p->pick(0), a);
+}
+
 }  // namespace
 }  // namespace easyhps

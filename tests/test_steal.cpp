@@ -1,0 +1,194 @@
+// Heterogeneity-aware placement and slave→slave work stealing: runtime
+// integration of the ECT policies.  Every run — skewed profiles, tiny
+// store budgets, stolen-from rank dying mid-job — must produce a table
+// bit-equal to the problem's reference solution on both message paths.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/nussinov.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/fault/plan.hpp"
+#include "easyhps/msg/message.hpp"
+#include "easyhps/runtime/pipeline.hpp"
+#include "easyhps/runtime/runtime.hpp"
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+namespace {
+
+using std::chrono::milliseconds;
+
+void expectMatchesReference(const DpProblem& p, const Window& solved) {
+  const DenseMatrix<Score> ref = p.solveReference();
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      if (!p.cellActive(r, c)) {
+        continue;
+      }
+      ASSERT_EQ(solved.get(r, c), ref.at(r, c))
+          << p.name() << " mismatch at (" << r << "," << c << ")";
+    }
+  }
+}
+
+RuntimeConfig stealConfig() {
+  RuntimeConfig cfg;
+  cfg.slaveCount = 3;
+  cfg.threadsPerSlave = 2;
+  cfg.processPartitionRows = cfg.processPartitionCols = 12;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 4;
+  cfg.taskTimeout = milliseconds(150);
+  cfg.subTaskTimeout = milliseconds(150);
+  cfg.dataFetchTimeout = milliseconds(40);
+  return cfg;
+}
+
+std::vector<RankProfile> skewedProfiles() {
+  // Rank 1 believed 4× faster; modest budgets so accounting is exercised.
+  return {RankProfile{4.0, 32ULL << 20}, RankProfile{1.0, 32ULL << 20},
+          RankProfile{1.0, 32ULL << 20}};
+}
+
+// The tentpole acceptance gate at unit scale: locality, ect and ect-steal
+// must all be bit-equal to the reference — and to each other — across
+// both message paths and both pipeline modes, under a heterogeneous
+// profile.  Placement is a performance decision; it must never change
+// the answer.
+TEST(StealRuntime, PoliciesBitEqualAcrossMsgPathsAndProfiles) {
+  EditDistance p(randomSequence(36, 90), randomSequence(36, 91));
+  std::set<std::uint64_t> checksums;
+  for (PolicyKind policy :
+       {PolicyKind::kLocality, PolicyKind::kEct, PolicyKind::kEctSteal}) {
+    for (msg::MsgPath path : {msg::MsgPath::kFast, msg::MsgPath::kCopy}) {
+      for (PipelineMode pipeline :
+           {PipelineMode::kStreaming, PipelineMode::kBarrier}) {
+        RuntimeConfig cfg = stealConfig();
+        cfg.masterPolicy = policy;
+        cfg.rankProfiles = skewedProfiles();
+        msg::ScopedMsgPath scopedPath(path);
+        ScopedPipelineMode scopedPipeline(pipeline);
+        const RunResult r = Runtime(cfg).run(p);
+        expectMatchesReference(p, r.matrix);
+        checksums.insert(r.stats.tableChecksum);
+        EXPECT_GE(r.stats.tasksStolen, 0);
+        EXPECT_GE(r.stats.placementSpills, 0);
+      }
+    }
+  }
+  EXPECT_EQ(checksums.size(), 1u)
+      << "placement policy changed the solved table";
+}
+
+// Starved budgets: every block exceeds every rank's store budget, so the
+// scheduler counts a placement spill up front and the data plane falls
+// back to reactive spill-to-master — while the answer stays exact.
+TEST(StealRuntime, PlacementSpillsCountedWhenBudgetsTooSmall) {
+  EditDistance p(randomSequence(36, 92), randomSequence(36, 93));
+  RuntimeConfig cfg = stealConfig();
+  cfg.masterPolicy = PolicyKind::kEctSteal;
+  // 12×12 blocks of 8-byte scores = 1152 bytes; budget holds none of it.
+  cfg.rankProfiles.assign(3, RankProfile{1.0, 1024});
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+  EXPECT_GT(r.stats.placementSpills, 0);
+  EXPECT_GT(r.stats.storeSpilledBytes, 0u);  // the reactive path fired too
+  EXPECT_GT(r.stats.storePeakBytes, 0u);
+  EXPECT_LE(r.stats.storePeakBytes, 2048u);  // per-profile budget honored
+}
+
+// Chaos soak: the most-loaded (stolen-from) rank dies while ect-steal is
+// redistributing its tail.  Liveness quarantines it, the overtime queue
+// re-issues the lost assignments with redirected halo sources, and the
+// final table must stay bit-equal to the reference on both msg paths.
+TEST(StealChaos, StolenFromRankDiesMidStealStaysCorrect) {
+  int seed = 3200;
+  for (msg::MsgPath path : {msg::MsgPath::kFast, msg::MsgPath::kCopy}) {
+    for (const bool nussinov : {false, true}) {
+      seed += 13;
+      std::unique_ptr<DpProblem> p;
+      if (nussinov) {
+        p = std::make_unique<Nussinov>(randomRna(36, seed));
+      } else {
+        p = std::make_unique<EditDistance>(randomSequence(36, seed),
+                                           randomSequence(36, seed + 1));
+      }
+      RuntimeConfig cfg = stealConfig();
+      cfg.masterPolicy = PolicyKind::kEctSteal;
+      // Rank 1 is believed fast, so placement loads it up — making it
+      // both the preferred victim for steals and the rank whose death
+      // strands the most queued work.
+      cfg.rankProfiles = skewedProfiles();
+      cfg.enableLiveness = true;
+      cfg.heartbeatInterval = milliseconds(10);
+      cfg.heartbeatTimeout = milliseconds(20);
+      cfg.heartbeatMissThreshold = 2;
+      cfg.quarantineBackoff = milliseconds(10000);
+      cfg.chaosSeed = static_cast<std::uint64_t>(seed);
+      // The loaded rank dies on its second assignment.
+      cfg.faults.push_back({fault::FaultKind::kSlaveDeath, -1, /*slave=*/1,
+                            -1, {}, /*count=*/1, /*skip=*/1});
+      msg::ScopedMsgPath scoped(path);
+      const RunResult r = Runtime(cfg).run(*p);
+      expectMatchesReference(*p, r.matrix);
+      EXPECT_EQ(r.stats.faultsTriggered, 1);
+      EXPECT_GE(r.stats.retries, 1);
+      EXPECT_GE(r.stats.quarantines, 1);
+    }
+  }
+}
+
+// --- EASYHPS_SCHED / EASYHPS_RANK_SPEEDS env knobs --------------------------
+
+struct ScopedEnv {
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  const char* name_;
+};
+
+TEST(SchedEnv, PolicyAndSpeedsApplied) {
+  ScopedEnv sched("EASYHPS_SCHED", "ect-steal");
+  ScopedEnv speeds("EASYHPS_RANK_SPEEDS", "4,1,1");
+  RuntimeConfig cfg = stealConfig();
+  applySchedulerEnv(cfg);
+  EXPECT_EQ(cfg.masterPolicy, PolicyKind::kEctSteal);
+  ASSERT_EQ(cfg.rankProfiles.size(), 3u);
+  EXPECT_DOUBLE_EQ(cfg.rankProfiles[0].speed, 4.0);
+  EXPECT_DOUBLE_EQ(cfg.rankProfiles[1].speed, 1.0);
+  // Env-derived profiles inherit the configured store budget.
+  EXPECT_EQ(cfg.rankProfiles[0].memoryBudget, cfg.storeByteBudget);
+  // And the whole thing still runs correctly end to end.
+  EditDistance p(randomSequence(30, 95), randomSequence(30, 96));
+  const RunResult r = Runtime(cfg).run(p);
+  expectMatchesReference(p, r.matrix);
+}
+
+TEST(SchedEnv, MalformedValuesIgnored) {
+  ScopedEnv sched("EASYHPS_SCHED", "warp-drive");
+  ScopedEnv speeds("EASYHPS_RANK_SPEEDS", "4,1");  // wrong count for 3 slaves
+  RuntimeConfig cfg = stealConfig();
+  const PolicyKind before = cfg.masterPolicy;
+  applySchedulerEnv(cfg);
+  EXPECT_EQ(cfg.masterPolicy, before);
+  EXPECT_TRUE(cfg.rankProfiles.empty());
+}
+
+TEST(SchedEnv, ExplicitProfilesWinOverEnvSpeeds) {
+  ScopedEnv speeds("EASYHPS_RANK_SPEEDS", "9,9,9");
+  RuntimeConfig cfg = stealConfig();
+  cfg.rankProfiles = skewedProfiles();
+  applySchedulerEnv(cfg);
+  ASSERT_EQ(cfg.rankProfiles.size(), 3u);
+  EXPECT_DOUBLE_EQ(cfg.rankProfiles[0].speed, 4.0);  // untouched
+}
+
+}  // namespace
+}  // namespace easyhps
