@@ -1,0 +1,486 @@
+#include "easyhps/ckpt/journal.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <unordered_map>
+#include <utility>
+
+#include "easyhps/util/error.hpp"
+
+namespace easyhps::ckpt {
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x48435045u;  // "EPCH"
+constexpr std::uint8_t kRecJobMeta = 1;
+constexpr std::uint8_t kRecBlock = 2;
+constexpr std::uint8_t kRecEpoch = 3;
+constexpr std::uint8_t kRecCommit = 4;
+
+std::uint64_t fnv1a(const std::byte* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Flat little-endian serializer for journal payloads.  Deliberately
+/// self-contained: the journal is a durable on-disk format and must not
+/// drift with the in-memory wire archive.
+struct RecWriter {
+  std::vector<std::byte> out;
+
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto offset = out.size();
+    out.resize(offset + sizeof(T));
+    std::memcpy(out.data() + offset, &value, sizeof(T));
+  }
+  void putString(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    const auto offset = out.size();
+    out.resize(offset + s.size());
+    std::memcpy(out.data() + offset, s.data(), s.size());
+  }
+  void putRect(const CellRect& r) {
+    put<std::int64_t>(r.row0);
+    put<std::int64_t>(r.col0);
+    put<std::int64_t>(r.rows);
+    put<std::int64_t>(r.cols);
+  }
+  void putCells(const std::vector<Score>& cells) {
+    put<std::uint64_t>(cells.size());
+    const std::size_t bytes = cells.size() * sizeof(Score);
+    const auto offset = out.size();
+    out.resize(offset + bytes);
+    if (bytes > 0) {
+      std::memcpy(out.data() + offset, cells.data(), bytes);
+    }
+  }
+};
+
+/// Bounds-checked reader; `ok` goes false (sticky) instead of throwing so
+/// a torn tail degrades to "stop replaying here".
+struct RecReader {
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    if (!ok || size - pos < sizeof(T)) {
+      ok = false;
+      return value;
+    }
+    std::memcpy(&value, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return value;
+  }
+  std::string getString() {
+    const auto n = get<std::uint64_t>();
+    if (!ok || size - pos < n) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data + pos),
+                  static_cast<std::size_t>(n));
+    pos += static_cast<std::size_t>(n);
+    return s;
+  }
+  CellRect getRect() {
+    CellRect r;
+    r.row0 = get<std::int64_t>();
+    r.col0 = get<std::int64_t>();
+    r.rows = get<std::int64_t>();
+    r.cols = get<std::int64_t>();
+    return r;
+  }
+  std::vector<Score> getCells() {
+    const auto n = get<std::uint64_t>();
+    std::vector<Score> cells;
+    const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(Score);
+    if (!ok || size - pos < bytes) {
+      ok = false;
+      return cells;
+    }
+    cells.resize(static_cast<std::size_t>(n));
+    if (bytes > 0) {
+      std::memcpy(cells.data(), data + pos, bytes);
+    }
+    pos += bytes;
+    return cells;
+  }
+};
+
+std::vector<std::byte> encodeMeta(const JobMetaRecord& meta) {
+  RecWriter w;
+  w.putString(meta.key);
+  w.put<std::int64_t>(meta.partitionRows);
+  w.put<std::int64_t>(meta.partitionCols);
+  w.put<std::int64_t>(meta.vertexCount);
+  w.put<std::uint8_t>(meta.dataPlane);
+  return std::move(w.out);
+}
+
+std::vector<std::byte> encodeBlock(const BlockRecord& rec) {
+  RecWriter w;
+  w.put<std::int64_t>(static_cast<std::int64_t>(rec.vertex));
+  w.put<std::int32_t>(rec.owner);
+  w.put<std::uint8_t>(rec.spilled ? 1 : 0);
+  w.put<std::uint64_t>(rec.checksum);
+  w.putRect(rec.rect);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(rec.pieces.size()));
+  for (const BlockPiece& piece : rec.pieces) {
+    w.putRect(piece.rect);
+    w.putCells(piece.cells);
+  }
+  return std::move(w.out);
+}
+
+/// Frames one record: magic | type | len | payload | fnv1a(payload).
+void appendFrame(std::vector<std::byte>& out, std::uint8_t type,
+                 const std::vector<std::byte>& payload) {
+  RecWriter w;
+  w.put<std::uint32_t>(kRecordMagic);
+  w.put<std::uint8_t>(type);
+  w.put<std::uint64_t>(payload.size());
+  out.insert(out.end(), w.out.begin(), w.out.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  RecWriter tail;
+  tail.put<std::uint64_t>(fnv1a(payload.data(), payload.size()));
+  out.insert(out.end(), tail.out.begin(), tail.out.end());
+}
+
+std::string journalPath(const std::string& dir, const std::string& key,
+                        const char* ext) {
+  return dir + "/job-" + key + ext;
+}
+
+bool readFile(const std::string& path, std::vector<std::byte>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+  std::size_t got = 0;
+  if (!out.empty()) {
+    got = std::fread(out.data(), 1, out.size(), f);
+  }
+  std::fclose(f);
+  out.resize(got);
+  return true;
+}
+
+/// Replays one file's frames into `state`; returns false on a torn or
+/// corrupt record (replay of this file stops there).
+bool replayFile(const std::vector<std::byte>& bytes, RecoveredState& state,
+                std::unordered_map<VertexId, std::size_t>& slot) {
+  std::size_t pos = 0;
+  constexpr std::size_t kHeader = 4 + 1 + 8;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kHeader) {
+      return false;  // torn frame header
+    }
+    RecReader head{bytes.data() + pos, kHeader, 0};
+    const auto magic = head.get<std::uint32_t>();
+    const auto type = head.get<std::uint8_t>();
+    const auto len = head.get<std::uint64_t>();
+    if (magic != kRecordMagic || bytes.size() - pos - kHeader < len + 8) {
+      return false;  // corrupt magic or torn payload/trailer
+    }
+    const std::byte* payload = bytes.data() + pos + kHeader;
+    RecReader tail{payload + len, 8, 0};
+    if (tail.get<std::uint64_t>() !=
+        fnv1a(payload, static_cast<std::size_t>(len))) {
+      return false;  // bit-flipped record
+    }
+    RecReader r{payload, static_cast<std::size_t>(len), 0};
+    switch (type) {
+      case kRecJobMeta: {
+        JobMetaRecord meta;
+        meta.key = r.getString();
+        meta.partitionRows = r.get<std::int64_t>();
+        meta.partitionCols = r.get<std::int64_t>();
+        meta.vertexCount = r.get<std::int64_t>();
+        meta.dataPlane = r.get<std::uint8_t>();
+        if (r.ok) {
+          state.meta = std::move(meta);
+          state.hasMeta = true;
+        }
+        break;
+      }
+      case kRecBlock: {
+        BlockRecord rec;
+        rec.vertex = static_cast<VertexId>(r.get<std::int64_t>());
+        rec.owner = r.get<std::int32_t>();
+        rec.spilled = r.get<std::uint8_t>() != 0;
+        rec.checksum = r.get<std::uint64_t>();
+        rec.rect = r.getRect();
+        const auto pieces = r.get<std::uint32_t>();
+        for (std::uint32_t i = 0; r.ok && i < pieces; ++i) {
+          BlockPiece piece;
+          piece.rect = r.getRect();
+          piece.cells = r.getCells();
+          rec.pieces.push_back(std::move(piece));
+        }
+        if (r.ok) {
+          // Latest record per vertex wins (a spill supersedes the
+          // original completion record).
+          auto it = slot.find(rec.vertex);
+          if (it == slot.end()) {
+            slot.emplace(rec.vertex, state.blocks.size());
+            state.blocks.push_back(std::move(rec));
+          } else {
+            state.blocks[it->second] = std::move(rec);
+          }
+        }
+        break;
+      }
+      case kRecEpoch:
+        ++state.epochs;
+        break;
+      case kRecCommit:
+        state.committed = true;
+        break;
+      default:
+        return false;  // unknown record type: treat as corruption
+    }
+    pos += kHeader + static_cast<std::size_t>(len) + 8;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<RecoveredState> loadJournal(const std::string& dir,
+                                          const std::string& key) {
+  std::vector<std::byte> snap;
+  std::vector<std::byte> wal;
+  const bool haveSnap = readFile(journalPath(dir, key, ".snap"), snap);
+  const bool haveWal = readFile(journalPath(dir, key, ".wal"), wal);
+  if (!haveSnap && !haveWal) {
+    return std::nullopt;
+  }
+  RecoveredState state;
+  std::unordered_map<VertexId, std::size_t> slot;
+  // A torn snapshot poisons everything after it; a torn WAL tail only
+  // loses the records past the tear — both degrade, neither throws.
+  if (!replayFile(snap, state, slot)) {
+    state.tornTail = true;
+    return state;
+  }
+  if (!replayFile(wal, state, slot)) {
+    state.tornTail = true;
+  }
+  return state;
+}
+
+void discardJournal(const std::string& dir, const std::string& key) {
+  std::error_code ec;
+  std::filesystem::remove(journalPath(dir, key, ".wal"), ec);
+  std::filesystem::remove(journalPath(dir, key, ".snap"), ec);
+}
+
+JournalWriter::JournalWriter(Options options, const JobMetaRecord& meta)
+    : options_(std::move(options)) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  metaBytes_ = encodeMeta(meta);
+  const std::string path = walPath();
+  std::error_code sizeEc;
+  const auto existing = std::filesystem::file_size(path, sizeEc);
+  const bool walEmpty = sizeEc || existing == 0;
+  const bool fresh = walEmpty && !std::filesystem::exists(snapPath());
+  wal_ = std::fopen(path.c_str(), "ab");
+  if (wal_ == nullptr) {
+    throw Error("ckpt: cannot open journal " + path);
+  }
+  walBytes_ = sizeEc ? 0 : static_cast<std::uint64_t>(existing);
+  lastFlush_ = std::chrono::steady_clock::now();
+  if (fresh) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    appendFrameLocked(kRecJobMeta, metaBytes_);
+    flushLocked(/*withEpoch=*/true);
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wal_ != nullptr) {
+    if (!crashed_ && !committed_) {
+      flushLocked(/*withEpoch=*/true);
+    }
+    std::fclose(wal_);
+    wal_ = nullptr;
+  }
+}
+
+void JournalWriter::appendFrameLocked(std::uint8_t type,
+                                      const std::vector<std::byte>& payload) {
+  appendFrame(buffer_, type, payload);
+}
+
+void JournalWriter::appendBlock(BlockRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_ || committed_ || wal_ == nullptr) {
+    return;
+  }
+  appendFrameLocked(kRecBlock, encodeBlock(record));
+  bool found = false;
+  for (BlockRecord& live : live_) {
+    if (live.vertex == record.vertex) {
+      live = std::move(record);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    live_.push_back(std::move(record));
+  }
+}
+
+void JournalWriter::flushLocked(bool withEpoch) {
+  if (wal_ == nullptr) {
+    return;
+  }
+  if (withEpoch) {
+    RecWriter epoch;
+    epoch.put<std::uint64_t>(epochs_ + 1);
+    appendFrameLocked(kRecEpoch, epoch.out);
+  }
+  if (!buffer_.empty()) {
+    std::fwrite(buffer_.data(), 1, buffer_.size(), wal_);
+    walBytes_ += buffer_.size();
+    bytesWritten_ += buffer_.size();
+    buffer_.clear();
+  }
+  std::fflush(wal_);
+  ::fsync(fileno(wal_));
+  if (withEpoch) {
+    ++epochs_;
+  }
+  lastFlush_ = std::chrono::steady_clock::now();
+}
+
+void JournalWriter::compactLocked() {
+  // Rewrite the deduped live state as a fresh snapshot (tmp + rename so a
+  // crash mid-compaction leaves the previous snapshot intact), then
+  // truncate the WAL.
+  const std::string tmp = snapPath() + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return;  // disk trouble: keep journaling into the (long) WAL
+  }
+  std::vector<std::byte> bytes;
+  appendFrame(bytes, kRecJobMeta, metaBytes_);
+  for (const BlockRecord& rec : live_) {
+    appendFrame(bytes, kRecBlock, encodeBlock(rec));
+  }
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fflush(f);
+  ::fsync(fileno(f));
+  std::fclose(f);
+  std::error_code ec;
+  std::filesystem::rename(tmp, snapPath(), ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  std::fclose(wal_);
+  wal_ = std::fopen(walPath().c_str(), "wb");
+  walBytes_ = 0;
+  bytesWritten_ += bytes.size();
+  ++compactions_;
+}
+
+void JournalWriter::maybeFlush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_ || committed_ || wal_ == nullptr) {
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (now - lastFlush_ < options_.flushInterval) {
+    return;
+  }
+  flushLocked(/*withEpoch=*/true);
+  if (walBytes_ > options_.compactThresholdBytes) {
+    compactLocked();
+  }
+}
+
+void JournalWriter::flushEpoch() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_ || committed_ || wal_ == nullptr) {
+    return;
+  }
+  flushLocked(/*withEpoch=*/true);
+  if (walBytes_ > options_.compactThresholdBytes) {
+    compactLocked();
+  }
+}
+
+void JournalWriter::commit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_ || committed_ || wal_ == nullptr) {
+    return;
+  }
+  appendFrameLocked(kRecCommit, {});
+  flushLocked(/*withEpoch=*/false);
+  std::fclose(wal_);
+  wal_ = nullptr;
+  committed_ = true;
+  std::error_code ec;
+  std::filesystem::remove(walPath(), ec);
+  std::filesystem::remove(snapPath(), ec);
+}
+
+void JournalWriter::simulateCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wal_ == nullptr) {
+    return;
+  }
+  buffer_.clear();  // unflushed records die with the process
+  std::fclose(wal_);
+  wal_ = nullptr;
+  crashed_ = true;
+}
+
+std::uint64_t JournalWriter::epochsSealed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epochs_;
+}
+
+std::uint64_t JournalWriter::bytesWritten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytesWritten_;
+}
+
+std::uint64_t JournalWriter::compactions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compactions_;
+}
+
+bool JournalWriter::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+std::string JournalWriter::walPath() const {
+  return journalPath(options_.dir, options_.key, ".wal");
+}
+
+std::string JournalWriter::snapPath() const {
+  return journalPath(options_.dir, options_.key, ".snap");
+}
+
+}  // namespace easyhps::ckpt

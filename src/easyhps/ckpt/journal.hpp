@@ -1,0 +1,175 @@
+#pragma once
+/// \file journal.hpp
+/// Durable checkpoint/restart journal for master-side job progress.
+///
+/// The master is the single point of failure of the paper's protocol: it
+/// alone knows which blocks of a job have completed, who owns their cells,
+/// and what the completed frontier of the wavefront is.  `easyhps::ckpt`
+/// makes that knowledge durable with the classic write-ahead-log shape:
+///
+///  * an append-only WAL (`<dir>/job-<key>.wal`) of framed records —
+///    JobMeta once at open, then one Block record per completed block
+///    (owner rank, content checksum, and the cells the master would need
+///    to rebuild successor halos: the full block under kMasterRelay, the
+///    ack-edge boundary cells under kPeerToPeer) and one Spill record per
+///    block evicted out of a slave store (full cells — the spill copy is
+///    the only one left);
+///  * buffered appends flushed on a configurable interval; every flush is
+///    `fsync`ed and sealed with an Epoch marker, so everything before the
+///    last epoch survives process death and everything after it is
+///    discarded by `simulateCrash()` — the crash model the kMasterCrash
+///    chaos kind exercises;
+///  * periodic compaction: when the WAL outgrows a threshold the deduped
+///    latest-record-per-vertex state is rewritten into a snapshot file
+///    (`.snap`, tmp + rename) and the WAL truncated, bounding replay cost
+///    by live state, not job length;
+///  * `commit()` on clean job completion deletes both files — a finished
+///    job needs no restart.
+///
+/// Every record is framed as
+///   magic u32 | type u8 | payloadLen u64 | payload | fnv1a(payload) u64
+/// so `loadJournal` detects a torn or bit-flipped tail record, stops
+/// there, and reports `tornTail` instead of replaying garbage — replaying
+/// the same journal twice yields the same recovered state (idempotence).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "easyhps/dag/pattern.hpp"
+#include "easyhps/dp/window.hpp"
+#include "easyhps/matrix/geometry.hpp"
+
+namespace easyhps::ckpt {
+
+/// One rectangle of cells persisted with a block record: the full block
+/// under kMasterRelay / for spills, the ack-edge boundary rects under
+/// kPeerToPeer (all a successor's halo can ever read).
+struct BlockPiece {
+  CellRect rect;
+  std::vector<Score> cells;
+};
+
+/// Journal image of one completed block.
+struct BlockRecord {
+  VertexId vertex = -1;
+  /// Rank whose BlockStore held the block when the record was written
+  /// (0 = the master's matrix holds everything the record carries).
+  int owner = 0;
+  /// True when this record is a spill: the owner evicted the block and
+  /// `pieces` holds the full cells (the only surviving copy).
+  bool spilled = false;
+  /// Content checksum (wire::blockChecksum over the full block) — what a
+  /// reloaded copy from a slave store is verified against.
+  std::uint64_t checksum = 0;
+  CellRect rect;
+  std::vector<BlockPiece> pieces;
+};
+
+/// Written once when a journal is created; replay refuses to resume a job
+/// whose identity or partitioning no longer matches.
+struct JobMetaRecord {
+  std::string key;  ///< hex job fingerprint (cache::jobKey)
+  std::int64_t partitionRows = 0;
+  std::int64_t partitionCols = 0;
+  std::int64_t vertexCount = 0;
+  std::uint8_t dataPlane = 0;  ///< static_cast of DataPlaneMode
+};
+
+/// Result of replaying snapshot + WAL.
+struct RecoveredState {
+  JobMetaRecord meta;
+  bool hasMeta = false;
+  /// Deduped, latest record per vertex, in first-seen order.
+  std::vector<BlockRecord> blocks;
+  std::uint64_t epochs = 0;  ///< fsync'd epoch markers replayed
+  bool committed = false;    ///< clean-completion marker present
+  bool tornTail = false;     ///< replay stopped at a torn/corrupt record
+};
+
+/// Replays `<dir>/job-<key>.snap` then `.wal`.  nullopt = no journal on
+/// disk (nothing to recover); a present-but-mismatched or empty journal
+/// comes back with `hasMeta == false` and no blocks.
+std::optional<RecoveredState> loadJournal(const std::string& dir,
+                                          const std::string& key);
+
+/// Deletes `<dir>/job-<key>.{wal,snap}` if present — used when a journal
+/// on disk turns out to be incompatible with the job about to run (e.g.
+/// the partition config changed) and must not seed its recovery.
+void discardJournal(const std::string& dir, const std::string& key);
+
+/// Append-side of the journal.  Thread-safe: the master's scheduler thread
+/// and its data-plane thread (spills) both append.
+class JournalWriter {
+ public:
+  struct Options {
+    std::string dir;
+    std::string key;
+    std::chrono::milliseconds flushInterval{200};
+    std::uint64_t compactThresholdBytes = 4ull << 20;
+  };
+
+  /// Opens (creating `dir` if needed) and appends; writes `meta` + an
+  /// epoch marker when the journal is fresh.  Throws util::Error on I/O
+  /// failure.
+  JournalWriter(Options options, const JobMetaRecord& meta);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Buffers one block (or spill) record; durable only after the next
+  /// interval flush / flushEpoch().
+  void appendBlock(BlockRecord record);
+
+  /// Flushes + fsyncs + seals an epoch if `flushInterval` has elapsed
+  /// since the last one (and compacts if the WAL outgrew the threshold).
+  void maybeFlush();
+
+  /// Unconditional flush + fsync + epoch marker.
+  void flushEpoch();
+
+  /// Clean completion: flush, append a Commit record, delete both files.
+  void commit();
+
+  /// Crash model: everything buffered since the last flush is lost; the
+  /// file is closed as-is (no flush, no epoch).  The writer is dead
+  /// afterwards — reopen a new one to resume.
+  void simulateCrash();
+
+  std::uint64_t epochsSealed() const;
+  std::uint64_t bytesWritten() const;
+  std::uint64_t compactions() const;
+  bool crashed() const;
+
+  std::string walPath() const;
+  std::string snapPath() const;
+
+ private:
+  void flushLocked(bool withEpoch);
+  void compactLocked();
+  void appendFrameLocked(std::uint8_t type,
+                         const std::vector<std::byte>& payload);
+
+  mutable std::mutex mutex_;
+  Options options_;
+  std::FILE* wal_ = nullptr;
+  std::vector<std::byte> buffer_;  ///< records not yet fwritten
+  std::chrono::steady_clock::time_point lastFlush_;
+  /// Mirror of the deduped live state, for compaction.
+  std::vector<BlockRecord> live_;
+  std::vector<std::byte> metaBytes_;  ///< re-emitted into snapshots
+  std::uint64_t walBytes_ = 0;
+  std::uint64_t bytesWritten_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t compactions_ = 0;
+  bool crashed_ = false;
+  bool committed_ = false;
+};
+
+}  // namespace easyhps::ckpt

@@ -14,6 +14,8 @@ TransportChaosEngine::TransportChaosEngine(TransportChaos config, int ranks)
                   config.duplicateProbability <= 1.0);
   EASYHPS_EXPECTS(config.delayProbability >= 0.0 &&
                   config.delayProbability <= 1.0);
+  EASYHPS_EXPECTS(config.corruptProbability >= 0.0 &&
+                  config.corruptProbability <= 1.0);
   linkSeq_ = std::make_unique<std::atomic<std::uint64_t>[]>(
       static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks));
 }
@@ -26,8 +28,10 @@ msg::TransportDecision TransportChaosEngine::decide(int source, int dest) {
       static_cast<std::size_t>(dest);
   const std::uint64_t ordinal =
       linkSeq_[link].fetch_add(1, std::memory_order_relaxed);
-  // Three independent rolls from one per-message stream; roll order is
-  // part of the schedule, so keep it fixed: drop, duplicate, delay.
+  // Independent rolls from one per-message stream; roll order is part of
+  // the schedule, so keep it fixed: drop, duplicate, delay, corrupt (the
+  // corrupt roll is appended last so pre-existing seeded schedules are
+  // unchanged when corruptProbability is 0).
   SplitMix64 mixer(config_.seed ^
                    (static_cast<std::uint64_t>(link) + 1) *
                        0x9E3779B97F4A7C15ULL ^
@@ -41,6 +45,7 @@ msg::TransportDecision TransportChaosEngine::decide(int source, int dest) {
   if (roll() < config_.delayProbability) {
     decision.delay = config_.delay;
   }
+  decision.corrupt = roll() < config_.corruptProbability;
   return decision;
 }
 

@@ -31,13 +31,17 @@ struct TransportChaos {
   double dropProbability = 0.0;
   double duplicateProbability = 0.0;
   double delayProbability = 0.0;
+  /// Chance a data-carrying payload has one byte flipped in transit.
+  /// Detection relies on the end-to-end content checksums every
+  /// block/halo transfer carries (wire layer), not on the transport.
+  double corruptProbability = 0.0;
   /// Latency added to a delayed message.
   std::chrono::milliseconds delay{3};
   std::uint64_t seed = 0;
 
   bool enabled() const {
     return dropProbability > 0.0 || duplicateProbability > 0.0 ||
-           delayProbability > 0.0;
+           delayProbability > 0.0 || corruptProbability > 0.0;
   }
 };
 

@@ -23,6 +23,10 @@ const char* faultKindName(FaultKind kind) {
       return "slave-death";
     case FaultKind::kJobAbort:
       return "job-abort";
+    case FaultKind::kMasterCrash:
+      return "master-crash";
+    case FaultKind::kPayloadCorrupt:
+      return "payload-corrupt";
   }
   return "unknown";
 }
@@ -129,6 +133,15 @@ bool ChaosPlan::consumeSlaveDeath(VertexId vertex, int slave) {
 
 bool ChaosPlan::consumeJobAbort() {
   return matchAndConsume(FaultKind::kJobAbort, -1, -1, -1, nullptr);
+}
+
+bool ChaosPlan::consumeMasterCrash(VertexId vertex, int slave) {
+  return matchAndConsume(FaultKind::kMasterCrash, vertex, slave, -1, nullptr);
+}
+
+bool ChaosPlan::consumeCorrupt(VertexId vertex, int slave) {
+  return matchAndConsume(FaultKind::kPayloadCorrupt, vertex, slave, -1,
+                         nullptr);
 }
 
 std::int64_t ChaosPlan::triggered() const {

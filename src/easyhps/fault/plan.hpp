@@ -45,8 +45,19 @@ enum class FaultKind {
   kThreadCrash,
   kSlaveDeath,
   kJobAbort,
+  /// The master "process" dies right after completing a block: the
+  /// in-memory scheduler state (parse state, register table, matrix) is
+  /// abandoned and a fresh master incarnation resumes the job from the
+  /// checkpoint journal (easyhps::ckpt) — or from scratch when
+  /// journaling is off.  Consumed in the master's result path.
+  kMasterCrash,
+  /// A slave flips one byte of an outgoing Result's cell data *after*
+  /// computing the content checksum — silent data corruption at the
+  /// source.  The master's verify-at-inject check must detect and
+  /// re-distribute; detection count equals trigger count by design.
+  kPayloadCorrupt,
 };
-constexpr int kFaultKindCount = 5;
+constexpr int kFaultKindCount = 7;
 
 const char* faultKindName(FaultKind kind);
 
@@ -107,6 +118,13 @@ class ChaosPlan {
 
   /// Consumes a job-abort fault (checked by the master before dispatch).
   bool consumeJobAbort();
+
+  /// Consumes a master-crash fault; checked by the master after each
+  /// completed block, so `skip = K` crashes the master after K blocks.
+  bool consumeMasterCrash(VertexId vertex, int slave);
+
+  /// Consumes a payload-corruption fault for the Result of (vertex, slave).
+  bool consumeCorrupt(VertexId vertex, int slave);
 
   /// Number of faults consumed so far (all kinds).
   std::int64_t triggered() const;

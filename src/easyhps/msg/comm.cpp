@@ -61,9 +61,24 @@ void ClusterState::deliver(Message message) {
   }
   if (decision.duplicate) {
     // The copy shares heap buffers by reference count; on the kCopy path
-    // deliverNow deep-copies it like any other message.
+    // deliverNow deep-copies it like any other message.  Delivered before
+    // corruption is applied: corruption is per-copy, and the intact
+    // duplicate exercises the receiver's accept-after-reject path.
     traffic_.duplicated.fetch_add(1, std::memory_order_relaxed);
     deliverNow(message);
+  }
+  if (decision.corrupt && !message.payload.empty()) {
+    // One byte flipped at a deterministic (size-derived) offset.  The
+    // payload is immutable/refcounted, so the corrupted copy is rebuilt
+    // from the linearized bytes — shared buffers (a duplicate already
+    // delivered, the sender's copy) stay intact.
+    std::vector<std::byte> bytes = message.payload.linearize();
+    const std::size_t pos =
+        static_cast<std::size_t>(bytes.size() * 0x9E3779B97F4A7C15ULL %
+                                 bytes.size());
+    bytes[pos] ^= std::byte{0x2D};
+    message.payload = Payload(std::move(bytes));
+    traffic_.corrupted.fetch_add(1, std::memory_order_relaxed);
   }
   if (decision.delay.count() > 0) {
     traffic_.delayed.fetch_add(1, std::memory_order_relaxed);
@@ -219,6 +234,7 @@ TrafficSnapshot Comm::traffic() const {
   snap.dropped = t.dropped.load();
   snap.duplicated = t.duplicated.load();
   snap.delayed = t.delayed.load();
+  snap.corrupted = t.corrupted.load();
   snap.copiesAvoided = t.copiesAvoided.load();
   snap.zeroCopyBytes = t.zeroCopyBytes.load();
   snap.ranks = size();

@@ -34,6 +34,10 @@ struct TrafficStats {
   /// were held back by an injected latency (see TransportFn).
   std::atomic<std::uint64_t> duplicated{0};
   std::atomic<std::uint64_t> delayed{0};
+  /// Deliveries whose payload had a byte flipped in transit (corruption
+  /// chaos).  The message is still delivered — detection is the
+  /// receiver's job, via the wire layer's end-to-end checksums.
+  std::atomic<std::uint64_t> corrupted{0};
   /// Deliveries that skipped the buffered-send copy the kCopy oracle
   /// performs (every non-empty fast-path message), and the bytes that
   /// moved by reference count instead of memcpy.  `bytes` stays the
@@ -51,6 +55,7 @@ struct TrafficSnapshot {
   std::uint64_t dropped = 0;
   std::uint64_t duplicated = 0;
   std::uint64_t delayed = 0;
+  std::uint64_t corrupted = 0;
   std::uint64_t copiesAvoided = 0;
   std::uint64_t zeroCopyBytes = 0;
 
@@ -81,10 +86,14 @@ using DropFn = std::function<bool(const Message&)>;
 /// What the transport hook decided for one message.  Default-constructed
 /// means "deliver normally".  `duplicate` delivers an extra copy
 /// immediately (before the original); `delay > 0` holds the original back
-/// on a timer thread.  Drop wins over both.
+/// on a timer thread; `corrupt` flips one payload byte before delivery
+/// (the duplicate, if any, is delivered intact — corruption is per-copy
+/// in a real network, and the clean duplicate exercises the receiver's
+/// accept-after-reject path).  Drop wins over all.
 struct TransportDecision {
   bool drop = false;
   bool duplicate = false;
+  bool corrupt = false;
   std::chrono::nanoseconds delay{0};
 };
 

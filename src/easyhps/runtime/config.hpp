@@ -88,6 +88,22 @@ struct RuntimeConfig {
   /// dead peer costs a timeout, not a hang.
   std::chrono::milliseconds dataFetchTimeout{250};
 
+  /// Durable checkpoint/restart (easyhps::ckpt).  Empty = journaling off;
+  /// non-empty = the master journals completed blocks to
+  /// `<checkpointDir>/job-<key>.wal` and a crashed/restarted master
+  /// resumes the wavefront from the journal's frontier.  The
+  /// `EASYHPS_CKPT_DIR` env knob fills this when empty.
+  std::string checkpointDir;
+  /// Flush + fsync + epoch cadence of the journal: everything sealed by
+  /// the last epoch survives a master crash, everything after it is
+  /// recomputed.  Smaller = less recompute on recovery, more fsyncs.
+  std::chrono::milliseconds checkpointInterval{200};
+  /// Bounded escalation on data-plane integrity failures: after this many
+  /// failed/corrupt fetch attempts for one block the master stops
+  /// re-fetching, invalidates the owner and recomputes from dependencies
+  /// (same path as PR 5's dead-owner recovery).
+  int maxRecoveryRefetches = 4;
+
   /// Record every (time, slave, vertex) assignment in
   /// RunStats::scheduleTrace — the quarantine gate's audit trail (tests).
   bool recordScheduleTrace = false;
@@ -205,6 +221,26 @@ struct RunStats {
   std::uint64_t transportDropped = 0;
   std::uint64_t transportDuplicated = 0;
   std::uint64_t transportDelayed = 0;
+  std::uint64_t transportCorrupted = 0;
+
+  // End-to-end integrity + checkpoint/restart counters (easyhps::ckpt).
+  /// Payloads whose carried content checksum failed verification at
+  /// inject time (master and slaves combined) — each one was discarded
+  /// and recovered by re-fetch / re-distribution, never injected.
+  std::int64_t corruptBlocks = 0;
+  /// Malformed/truncated payloads rejected by the hardened wire decoders
+  /// (master and slaves combined) instead of aborting the rank.
+  std::int64_t decodeErrors = 0;
+  /// Blocks restored from the checkpoint journal on a resumed run
+  /// instead of being recomputed.
+  std::int64_t blocksRecovered = 0;
+  /// Master crash/restart cycles this job survived (kMasterCrash chaos
+  /// or a real process restart over the same checkpointDir).
+  std::int64_t masterRestarts = 0;
+  /// Wall-clock a resumed master spent getting back to the crash-point
+  /// frontier (journal replay + recomputing unjournaled blocks); 0 on a
+  /// clean run.  Scales with checkpointInterval, not job size.
+  double recoverySeconds = 0.0;
 
   // Data-plane counters (all zero under kMasterRelay).
   std::int64_t haloLocalHits = 0;      ///< halo pieces served by own store

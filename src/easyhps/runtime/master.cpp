@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "easyhps/cache/key.hpp"
+#include "easyhps/ckpt/journal.hpp"
 #include "easyhps/dag/fragment.hpp"
 #include "easyhps/dag/parse_state.hpp"
 #include "easyhps/dp/autotune.hpp"
@@ -50,6 +52,20 @@ struct MasterState {
   std::chrono::milliseconds fetchTimeout{250};
   bool recordTrace = false;
 
+  /// Chaos plan of the job (kMasterCrash consumption); may be nullptr.
+  fault::FaultPlan* plan = nullptr;
+  /// Checkpoint journal (thread-safe, its own mutex); nullptr = off.
+  ckpt::JournalWriter* journal = nullptr;
+  /// Bounded re-fetch → recompute escalation (cfg.maxRecoveryRefetches).
+  int maxFetchAttempts = 4;
+  /// This incarnation resumed an in-flight job (skip bracket/ready-acks).
+  bool resumed = false;
+  /// Completions at the prior incarnation's crash; < 0 = not resuming.
+  std::int64_t crashTarget = -1;
+  /// Journal-recorded block checksums (0 = none): what a block reloaded
+  /// from a slave store at assembly time must hash to.
+  std::vector<std::uint64_t> expectedChecksum;
+
   // Data-plane geometry, precomputed once per job (peer mode, and — for
   // the streaming pipeline — relay mode too).
   // haloPieces[u]: u's halo rects decomposed into per-block pieces
@@ -82,6 +98,7 @@ struct MasterState {
   std::condition_variable cv;
   bool done = false;
   bool cancelled = false;
+  bool crashed = false;  ///< kMasterCrash fired this incarnation
 
   // Guarded by mutex, like the parse state it must stay consistent with.
   store::OwnershipDirectory directory;
@@ -99,6 +116,10 @@ struct MasterState {
   std::int64_t fragmentsForwarded = 0;
   std::int64_t fragmentsCoalesced = 0;
   std::int64_t blocksStartedEarly = 0;
+  std::int64_t blocksRecovered = 0;
+  std::int64_t corruptBlocks = 0;
+  std::int64_t decodeErrors = 0;
+  double recoverySeconds = -1.0;
   double firstBlockSeconds = -1.0;
   std::vector<std::int64_t> tasksPerSlave;
   std::vector<RunStats::ScheduleEvent> scheduleTrace;
@@ -107,8 +128,6 @@ struct MasterState {
     return std::chrono::duration<double>(t - traceBase).count();
   }
 };
-
-constexpr int kMaxFetchAttempts = 4;
 
 /// Ack threshold: a successor-facing piece rides back in the result ack
 /// only if it covers at most a quarter of its block ("boundary rows/cols").
@@ -304,6 +323,8 @@ bool processResult(msg::Comm& comm, MasterState& state,
     wire::HaloPartialPayload payload;
   };
   std::vector<Forward> forwards;
+  ckpt::BlockRecord journalRec;
+  bool journalIt = false;
   {
     std::lock_guard<std::mutex> lock(state.mutex);
     if (result.job != state.jobId) {
@@ -311,6 +332,24 @@ bool processResult(msg::Comm& comm, MasterState& state,
       // ids restart at 0 every job, so crediting it here would corrupt
       // the current job's matrix; discard it.
       ++state.staleJobResults;
+      return false;
+    }
+    // End-to-end integrity, tier 1: the header checksum covers vertex,
+    // rect, the block checksum and every boundary edge.  On mismatch
+    // nothing in the payload can be trusted — not even the vertex id —
+    // so the result is dropped outright and the overtime queue
+    // re-distributes the assignment.
+    if (wire::resultChecksum(result) != result.edgesChecksum) {
+      ++state.corruptBlocks;
+      EASYHPS_LOG_WARN("corrupt result header from slave " << slaveRank
+                                                           << "; dropped");
+      return false;
+    }
+    if (result.vertex < 0 || result.vertex >= state.dag->vertexCount() ||
+        !(result.rect == state.dag->rectOf(result.vertex))) {
+      // Header verified but inconsistent with this job's partition: a
+      // slave-side fault, not transport damage.  Same recovery: drop.
+      ++state.corruptBlocks;
       return false;
     }
     (void)state.registerTable.complete(result.vertex);
@@ -321,6 +360,29 @@ bool processResult(msg::Comm& comm, MasterState& state,
       state.policy->onTaskCompleted(result.vertex, slaveRank - 1, 0.0);
       ++state.lateResults;
       return false;
+    }
+    if (!state.peer) {
+      // Tier 2 (relay): the block cells travel in this very message;
+      // verify them against the checksum the (intact) header vouches
+      // for.  The vertex id is trusted here, so an immediate requeue is
+      // safe — and cheaper than waiting out the overtime deadline.
+      if (wire::blockChecksum(result.vertex, result.rect, data) !=
+          result.checksum) {
+        ++state.corruptBlocks;
+        state.policy->onTaskCompleted(result.vertex, slaveRank - 1, 0.0);
+        if (state.streaming) {
+          const auto iv = static_cast<std::size_t>(result.vertex);
+          state.inFlight[iv] = 0;
+          state.assignedRank[iv] = 0;
+          state.firedEarly[iv] = 0;
+        }
+        state.policy->onReady(result.vertex);
+        state.cv.notify_all();
+        EASYHPS_LOG_WARN("corrupt block cells for sub-task "
+                         << result.vertex << " from slave " << slaveRank
+                         << "; re-queued");
+        return false;
+      }
     }
     if (state.peer) {
       // Ack: inject the boundary cells and record who owns the full block.
@@ -339,11 +401,7 @@ bool processResult(msg::Comm& comm, MasterState& state,
       state.tableChecksum += result.checksum;
     } else {
       state.matrix->inject(result.rect, data);
-      const std::uint64_t sum =
-          wire::blockChecksum(result.vertex, result.rect, data);
-      EASYHPS_CHECK(sum == result.checksum,
-                    "relayed block does not match the slave's checksum");
-      state.tableChecksum += sum;
+      state.tableChecksum += result.checksum;
     }
     if (state.streaming) {
       const auto iv = static_cast<std::size_t>(result.vertex);
@@ -360,10 +418,13 @@ bool processResult(msg::Comm& comm, MasterState& state,
             continue;
           }
           for (const CellRect& rect : missing) {
+            std::vector<Score> fragCells = state.matrix->extract(rect);
+            const std::uint64_t fragSum =
+                wire::blockChecksum(result.vertex, rect, fragCells);
             forwards.push_back(
                 {state.assignedRank[iu],
                  wire::HaloPartialPayload{state.jobId, result.vertex, rect,
-                                          state.matrix->extract(rect)}});
+                                          fragSum, std::move(fragCells)}});
             ++state.fragmentsForwarded;
           }
         }
@@ -400,13 +461,51 @@ bool processResult(msg::Comm& comm, MasterState& state,
     state.policy->onTaskCompleted(result.vertex, slaveRank - 1,
                                   elapsedSeconds);
     ++state.completed;
+    if (state.recoverySeconds < 0.0 && state.crashTarget >= 0 &&
+        state.completed >= state.crashTarget) {
+      // The resumed incarnation regained the completion level the prior
+      // one crashed at: recovery is over, normal progress resumes.
+      state.recoverySeconds = state.watch.elapsedSeconds();
+    }
     if (state.firstBlockSeconds < 0.0) {
       state.firstBlockSeconds = state.watch.elapsedSeconds();
+    }
+    if (state.journal != nullptr) {
+      // Journal the completion: full cells under relay, the ack-edge
+      // boundary cells (plus the owning rank) under peer — everything a
+      // restarted master needs to rebuild successor halos.
+      journalIt = true;
+      journalRec.vertex = result.vertex;
+      journalRec.owner = state.peer ? slaveRank : 0;
+      journalRec.checksum = result.checksum;
+      journalRec.rect = result.rect;
+      if (state.peer) {
+        journalRec.pieces.reserve(result.edges.size());
+        for (const wire::HaloBlock& edge : result.edges) {
+          journalRec.pieces.push_back(ckpt::BlockPiece{edge.rect, edge.data});
+        }
+      } else {
+        journalRec.pieces.push_back(ckpt::BlockPiece{
+            result.rect, std::vector<Score>(data.begin(), data.end())});
+      }
+    }
+    if (state.plan != nullptr &&
+        state.plan->consumeMasterCrash(result.vertex, slaveRank)) {
+      // kMasterCrash: this incarnation dies right here — no JobEnd, no
+      // assembly, no further sends.  The journal's unflushed tail is
+      // dropped by the service loop (simulateCrash) before the restart.
+      state.crashed = true;
+      state.done = true;
+      forwards.clear();
     }
     if (state.parse.allDone()) {
       state.done = true;
     }
     state.cv.notify_all();
+  }
+  if (journalIt && state.journal != nullptr) {
+    state.journal->appendBlock(std::move(journalRec));
+    state.journal->maybeFlush();
   }
   for (Forward& f : forwards) {
     comm.send(f.rank, wire::kTagHaloPartial,
@@ -428,7 +527,9 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
   // bounded, because a dead slave never acks: the job must be able to
   // finish on the surviving ranks while this worker idles.  Ready signals
   // of an *earlier* job (stale after a slave death) are discarded.
-  {
+  // A resumed incarnation (kMasterCrash restart) skips the wait: the
+  // slaves never saw JobEnd and acked the job to the crashed master.
+  if (!state.resumed) {
     bool ready = false;
     while (!ready) {
       auto idle = comm.recvFor(slaveRank, wire::kTagIdle,
@@ -608,7 +709,18 @@ void masterWorkerLoop(msg::Comm& comm, const DpProblem& problem,
       continue;
     }
     wire::ScoreCells cells;
-    const wire::ResultPayload result = wire::decodeResult(m->payload, cells);
+    wire::ResultPayload result;
+    try {
+      result = wire::decodeResult(m->payload, cells);
+    } catch (const DecodeError& e) {
+      // Malformed/truncated result (transport corruption hit a length
+      // field): count it and let the overtime queue re-distribute.
+      std::lock_guard<std::mutex> lock(state.mutex);
+      ++state.decodeErrors;
+      EASYHPS_LOG_WARN("dropped undecodable result from slave "
+                       << slaveRank << ": " << e.what());
+      continue;
+    }
     const bool matches =
         result.job == state.jobId && result.vertex == inflight->vertex;
     const double elapsed =
@@ -755,6 +867,15 @@ void absorbFragment(msg::Comm& comm, MasterState& state,
         frag.vertex >= state.dag->vertexCount()) {
       return;
     }
+    if (wire::blockChecksum(frag.vertex, frag.rect, cells.cells()) !=
+        frag.checksum) {
+      // Corrupt fragment: drop it — the consumer's bounded stall-resend
+      // path (and ultimately the producer's completion) re-covers it.
+      ++state.corruptBlocks;
+      EASYHPS_LOG_WARN("dropped corrupt halo fragment of sub-task "
+                       << frag.vertex);
+      return;
+    }
     const auto iv = static_cast<std::size_t>(frag.vertex);
     auto& tracker = state.fragTracker[iv];
     const std::vector<CellRect> pieces =
@@ -816,8 +937,11 @@ void serveFragmentResend(msg::Comm& comm, MasterState& state,
         continue;  // thick pieces were fetch sources, never pendingRects
       }
       if (state.parse.isFinished(p.vertex)) {
-        replies.push_back({state.jobId, p.vertex, p.rect,
-                           state.matrix->extract(p.rect)});
+        std::vector<Score> cells = state.matrix->extract(p.rect);
+        const std::uint64_t sum =
+            wire::blockChecksum(p.vertex, p.rect, cells);
+        replies.push_back(
+            {state.jobId, p.vertex, p.rect, sum, std::move(cells)});
         continue;
       }
       const auto covered =
@@ -825,8 +949,9 @@ void serveFragmentResend(msg::Comm& comm, MasterState& state,
               p.rect, state.validRects[static_cast<std::size_t>(p.vertex)])
               .covered;
       for (const CellRect& c : covered) {
-        replies.push_back(
-            {state.jobId, p.vertex, c, state.matrix->extract(c)});
+        std::vector<Score> cells = state.matrix->extract(c);
+        const std::uint64_t sum = wire::blockChecksum(p.vertex, c, cells);
+        replies.push_back({state.jobId, p.vertex, c, sum, std::move(cells)});
       }
     }
     state.fragmentsForwarded += static_cast<std::int64_t>(replies.size());
@@ -841,10 +966,43 @@ void absorbSpill(MasterState& state, const msg::Payload& payload) {
   wire::ScoreCells cells;
   const wire::BlockSpillPayload spill =
       wire::decodeBlockSpill(payload, cells);
-  std::lock_guard<std::mutex> lock(state.mutex);
-  if (spill.job == state.jobId) {
+  ckpt::BlockRecord rec;
+  bool journalIt = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (spill.job != state.jobId) {
+      return;
+    }
+    if (spill.vertex < 0 || spill.vertex >= state.dag->vertexCount() ||
+        wire::blockChecksum(spill.vertex, spill.rect, cells.cells()) !=
+            spill.checksum) {
+      // The spill is the only surviving copy of an evicted block, but a
+      // corrupt one must not poison the table: drop it and let the
+      // bounded fetch path escalate to a local recompute.
+      ++state.corruptBlocks;
+      EASYHPS_LOG_WARN("dropped corrupt block spill (sub-task "
+                       << spill.vertex << ")");
+      return;
+    }
     state.matrix->inject(spill.rect, cells.cells());
     state.directory.markResident(spill.vertex);
+    if (state.journal != nullptr) {
+      // Re-journal with full cells: the spill copy superseded the owner's
+      // store copy, so a restarted master can no longer fetch it.
+      journalIt = true;
+      rec.vertex = spill.vertex;
+      rec.owner = 0;
+      rec.spilled = true;
+      rec.checksum = spill.checksum;
+      rec.rect = spill.rect;
+      rec.pieces.push_back(ckpt::BlockPiece{
+          spill.rect,
+          std::vector<Score>(cells.cells().begin(), cells.cells().end())});
+    }
+  }
+  if (journalIt) {
+    state.journal->appendBlock(std::move(rec));
+    state.journal->maybeFlush();
   }
 }
 
@@ -901,8 +1059,9 @@ void recomputeBlock(msg::Comm& comm, MasterState& state, VertexId v,
 /// happens once the parse is done, i.e. the requester's assignment was
 /// re-distributed and its result will be discarded; we bail out and serve
 /// whatever the matrix holds.  Each pull waits at most
-/// `state.fetchTimeout`; after kMaxFetchAttempts silent timeouts (owner
-/// dead or the traffic chaos-dropped) the block is recomputed locally.
+/// `state.fetchTimeout`; after `cfg.maxRecoveryRefetches` silent timeouts
+/// (owner dead or the traffic chaos-dropped) the block is recomputed
+/// locally.
 /// `deferred` is non-null on the data thread only, which must set aside
 /// peer *requests* it drains while waiting for a spill; the assembly phase
 /// passes nullptr and lets the still-running data thread absorb spills.
@@ -921,7 +1080,7 @@ void materializeBlock(msg::Comm& comm, MasterState& state, VertexId v,
     if (owner == 0) {
       return;  // never completed (cancelled job): serve matrix as-is
     }
-    if (fetchTimeouts >= kMaxFetchAttempts) {
+    if (fetchTimeouts >= state.maxFetchAttempts) {
       recomputeBlock(comm, state, v, deferred);
       return;
     }
@@ -939,29 +1098,80 @@ void materializeBlock(msg::Comm& comm, MasterState& state, VertexId v,
       continue;
     }
     wire::ScoreCells cells;
-    const wire::BlockDataPayload block =
-        wire::decodeBlockData(reply->payload, cells);
+    wire::BlockDataPayload block;
+    try {
+      block = wire::decodeBlockData(reply->payload, cells);
+    } catch (const DecodeError&) {
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        ++state.decodeErrors;
+      }
+      ++fetchTimeouts;  // counts toward the recompute escalation
+      continue;
+    }
     if (block.found) {
-      std::lock_guard<std::mutex> lock(state.mutex);
-      if (block.job == state.jobId) {
-        // Inject by payload identity: the assembly phase may be fetching
-        // from the same owner concurrently, and (source, tag) matching can
-        // hand each receiver the other's reply — both replies get applied
-        // either way, so re-check residency and retry if ours swapped.
-        state.matrix->inject(block.rect, cells.cells());
-        state.directory.markResident(block.vertex);
+      bool applied = true;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (block.job == state.jobId) {
+          const bool inRange =
+              block.vertex >= 0 && block.vertex < state.dag->vertexCount();
+          const std::uint64_t sum =
+              inRange ? wire::blockChecksum(block.vertex, block.rect,
+                                            cells.cells())
+                      : 0;
+          const std::uint64_t journaled =
+              inRange ? state.expectedChecksum[static_cast<std::size_t>(
+                            block.vertex)]
+                      : 0;
+          if (!inRange || sum != block.checksum ||
+              (journaled != 0 && sum != journaled)) {
+            // End-to-end verification failed: either the transfer was
+            // damaged (sum != carried checksum) or the owner's copy
+            // diverged from what the journal recorded at completion time
+            // — the latter means the rank must stop being a source.
+            ++state.corruptBlocks;
+            if (inRange && sum == block.checksum) {
+              (void)state.directory.invalidateRank(owner);
+            }
+            EASYHPS_LOG_WARN("corrupt block fetch reply for sub-task "
+                             << block.vertex << "; retrying");
+            applied = false;
+          } else {
+            // Inject by payload identity: the assembly phase may be
+            // fetching from the same owner concurrently, and (source,
+            // tag) matching can hand each receiver the other's reply —
+            // both replies get applied either way, so re-check residency
+            // and retry if ours swapped.
+            state.matrix->inject(block.rect, cells.cells());
+            state.directory.markResident(block.vertex);
+          }
+        }
+      }
+      if (!applied) {
+        ++fetchTimeouts;
       }
       continue;
     }
-    for (;;) {
+    // Evicted: the owner's spill is (or shortly will be) in our kTagData
+    // queue.  Wait for it — but bounded: a chaos-dropped or corrupt-
+    // dropped spill must escalate to recompute, not hang here.
+    const auto spillDeadline =
+        std::chrono::steady_clock::now() + state.fetchTimeout;
+    bool spillLanded = false;
+    while (!spillLanded) {
       {
         std::lock_guard<std::mutex> lock(state.mutex);
         if (state.directory.resident(v)) {
+          spillLanded = true;
           break;
         }
         if (state.done) {
           return;  // JobEnd flush: requester is redundant
         }
+      }
+      if (std::chrono::steady_clock::now() >= spillDeadline) {
+        break;
       }
       if (deferred == nullptr) {
         // Assembly phase: the data thread still owns kTagData and will
@@ -982,6 +1192,9 @@ void materializeBlock(msg::Comm& comm, MasterState& state, VertexId v,
       } else {
         deferred->push_back(std::move(*m));  // requests wait their turn
       }
+    }
+    if (!spillLanded) {
+      ++fetchTimeouts;
     }
   }
 }
@@ -1013,38 +1226,49 @@ void masterDataLoop(msg::Comm& comm, MasterState& state,
           continue;
         }
       }
-      switch (wire::peekDataKind(m->payload)) {
-        case wire::DataMsgKind::kHaloRequest: {
-          const auto req = wire::decodeHaloRequest(m->payload);
-          wire::HaloDataPayload reply;
-          reply.job = req.job;
-          reply.rect = req.rect;
-          if (req.job == state.jobId) {
-            if (req.vertex >= 0) {
-              materializeBlock(comm, state, req.vertex, &deferred);
+      try {
+        switch (wire::peekDataKind(m->payload)) {
+          case wire::DataMsgKind::kHaloRequest: {
+            const auto req = wire::decodeHaloRequest(m->payload);
+            wire::HaloDataPayload reply;
+            reply.job = req.job;
+            reply.rect = req.rect;
+            if (req.job == state.jobId) {
+              if (req.vertex >= 0) {
+                materializeBlock(comm, state, req.vertex, &deferred);
+              }
+              std::lock_guard<std::mutex> lock(state.mutex);
+              reply.found = true;
+              reply.data = state.matrix->extract(req.rect);
+              reply.checksum =
+                  wire::blockChecksum(-1, reply.rect, reply.data);
             }
-            std::lock_guard<std::mutex> lock(state.mutex);
-            reply.found = true;
-            reply.data = state.matrix->extract(req.rect);
+            comm.send(m->source, wire::kTagHaloData,
+                      wire::encodeHaloData(std::move(reply)));
+            break;
           }
-          comm.send(m->source, wire::kTagHaloData,
-                    wire::encodeHaloData(std::move(reply)));
-          break;
+          case wire::DataMsgKind::kBlockSpill:
+            absorbSpill(state, m->payload);
+            break;
+          case wire::DataMsgKind::kHaloPartial:
+            absorbFragment(comm, state, *m);
+            break;
+          case wire::DataMsgKind::kFragmentResend:
+            serveFragmentResend(comm, state, *m);
+            break;
+          case wire::DataMsgKind::kBlockFetch:
+          case wire::DataMsgKind::kPing:
+            // Fetches and liveness pings only target slaves; drop.
+            EASYHPS_LOG_WARN("master received a misrouted data message");
+            break;
         }
-        case wire::DataMsgKind::kBlockSpill:
-          absorbSpill(state, m->payload);
-          break;
-        case wire::DataMsgKind::kHaloPartial:
-          absorbFragment(comm, state, *m);
-          break;
-        case wire::DataMsgKind::kFragmentResend:
-          serveFragmentResend(comm, state, *m);
-          break;
-        case wire::DataMsgKind::kBlockFetch:
-        case wire::DataMsgKind::kPing:
-          // Fetches and liveness pings only target slaves; drop.
-          EASYHPS_LOG_WARN("master received a misrouted data message");
-          break;
+      } catch (const DecodeError& e) {
+        // A malformed data-plane payload (corruption landed in a length
+        // or kind field) is dropped, never fatal: the sender's bounded
+        // retry machinery covers the loss.
+        std::lock_guard<std::mutex> lock(state.mutex);
+        ++state.decodeErrors;
+        EASYHPS_LOG_WARN("dropped undecodable data message: " << e.what());
       }
     }
   } catch (const CommError&) {
@@ -1052,11 +1276,74 @@ void masterDataLoop(msg::Comm& comm, MasterState& state,
   }
 }
 
+/// Seeds a (re)starting job from a replayed checkpoint journal: re-injects
+/// the recorded cells, re-registers peer ownership, advances the parse
+/// state to the journaled frontier and records the expected per-block
+/// checksums later store fetches are verified against.  A record is
+/// *restorable* when the journal itself carries the full block (relay
+/// records, spills, resident acks) or when the owning slave's store
+/// survived (`storesWarm`, i.e. an in-process master restart); anything
+/// else — a peer-owned boundary-only record on a cold restart — is
+/// skipped and its task reruns like a never-completed one.
+void replayJournal(MasterState& state, const ckpt::RecoveredState& rec,
+                   bool storesWarm) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const ckpt::BlockRecord& b : rec.blocks) {
+    if (b.vertex < 0 || b.vertex >= state.dag->vertexCount() ||
+        state.parse.isFinished(b.vertex) ||
+        !(b.rect == state.dag->rectOf(b.vertex))) {
+      continue;  // stale/foreign record (meta check should prevent this)
+    }
+    bool fullCells = false;
+    bool piecesValid = true;
+    for (const ckpt::BlockPiece& p : b.pieces) {
+      if (p.rect.cellCount() !=
+          static_cast<std::int64_t>(p.cells.size())) {
+        piecesValid = false;
+        break;
+      }
+      fullCells = fullCells || p.rect == b.rect;
+    }
+    if (!piecesValid) {
+      continue;
+    }
+    if (!fullCells && !(state.peer && b.owner >= 1 && storesWarm)) {
+      continue;  // no surviving full copy anywhere: recompute the task
+    }
+    for (const ckpt::BlockPiece& p : b.pieces) {
+      if (p.rect.cellCount() > 0) {
+        state.matrix->inject(p.rect, p.cells);
+      }
+    }
+    if (state.peer) {
+      if (fullCells) {
+        state.directory.registerBlock(
+            b.vertex, b.owner >= 1 ? b.owner : 1,
+            static_cast<std::uint64_t>(b.rect.cellCount()) * sizeof(Score));
+        state.directory.markResident(b.vertex);
+      } else {
+        state.directory.registerBlock(
+            b.vertex, b.owner,
+            static_cast<std::uint64_t>(b.rect.cellCount()) * sizeof(Score));
+      }
+    }
+    state.expectedChecksum[static_cast<std::size_t>(b.vertex)] = b.checksum;
+    state.tableChecksum += b.checksum;
+    (void)state.parse.finish(b.vertex, true);
+    ++state.completed;
+    ++state.blocksRecovered;
+  }
+  if (state.parse.allDone()) {
+    state.done = true;
+  }
+}
+
 }  // namespace
 
 MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
                               const ServiceJob& job, HealthRegistry* health,
-                              const std::shared_ptr<RankEstimator>& estimator) {
+                              const std::shared_ptr<RankEstimator>& estimator,
+                              const MasterResume* resume) {
   EASYHPS_EXPECTS(cfg.slaveCount >= 1);
   EASYHPS_EXPECTS(comm.size() == cfg.slaveCount + 1);
   EASYHPS_EXPECTS(job.problem != nullptr && job.out != nullptr);
@@ -1066,11 +1353,14 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   // master consults it — slaves behave per Assign contents, and under
   // kBarrier those are byte-for-byte the seed protocol.
   const bool streaming = pipelineMode() == PipelineMode::kStreaming;
+  const bool resuming = resume != nullptr && resume->skipBracket;
 
   // Injected job-level failure (chaos plan): consumed *before* dispatch,
   // so there is no JobStart bracket to unwind — the serve layer's retry
-  // machinery re-enqueues or fails the ticket.
-  if (job.plan != nullptr && job.plan->consumeJobAbort()) {
+  // machinery re-enqueues or fails the ticket.  A crash-resumed
+  // incarnation must not consume one: the slaves are mid-job and a
+  // bracket-less failure would strand them.
+  if (!resuming && job.plan != nullptr && job.plan->consumeJobAbort()) {
     MasterJobOutcome outcome;
     outcome.failed = true;
     outcome.failureReason = "injected job abort (chaos plan)";
@@ -1083,8 +1373,12 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
       health != nullptr ? health->counters() : HealthRegistry::Counters{};
 
   // Bracket the job: every slave resets its per-job state on JobStart.
-  for (int s = 1; s <= cfg.slaveCount; ++s) {
-    comm.send(s, wire::kTagJobStart, wire::encodeJobControl({job.id}));
+  // Skipped on a crash resume — the slaves never saw a JobEnd and are
+  // still inside this very job (warm stores and all).
+  if (!resuming) {
+    for (int s = 1; s <= cfg.slaveCount; ++s) {
+      comm.send(s, wire::kTagJobStart, wire::encodeJobControl({job.id}));
+    }
   }
 
   // Master DAG Data Driven Model initialization + task partition
@@ -1095,6 +1389,15 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   state.health = health;
   state.fetchTimeout = cfg.dataFetchTimeout;
   state.recordTrace = cfg.recordScheduleTrace;
+  state.plan = job.plan;
+  state.maxFetchAttempts = std::max(1, cfg.maxRecoveryRefetches);
+  state.expectedChecksum.assign(static_cast<std::size_t>(dag.vertexCount()),
+                                0);
+  if (resume != nullptr) {
+    state.journal = resume->journal;
+    state.resumed = resume->skipBracket;
+    state.crashTarget = resume->completedAtCrash;
+  }
   if (peer || streaming) {
     buildHaloGeometry(*job.problem, state);
   }
@@ -1180,8 +1483,25 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
     state.policy = makePolicy(cfg.masterPolicy, dag, cfg.slaveCount);
   }
   state.tasksPerSlave.assign(static_cast<std::size_t>(cfg.slaveCount), 0);
-  for (VertexId v : state.parse.initiallyComputable()) {
-    state.policy->onReady(v);
+  if (resume != nullptr && resume->recovered != nullptr) {
+    replayJournal(state, *resume->recovered, resume->storesWarm);
+    if (state.blocksRecovered > 0) {
+      EASYHPS_LOG_WARN("resumed job " << job.id << " from checkpoint: "
+                                      << state.blocksRecovered << "/"
+                                      << dag.vertexCount()
+                                      << " blocks recovered");
+    }
+  }
+  if (state.crashTarget >= 0 && state.completed >= state.crashTarget) {
+    state.recoverySeconds = state.watch.elapsedSeconds();
+  }
+  // Seed the ready frontier.  On a fresh job this is exactly
+  // initiallyComputable(); after a journal replay it is every unfinished
+  // vertex whose predecessors all sit behind the recovered frontier.
+  for (VertexId v = 0; v < dag.vertexCount(); ++v) {
+    if (!state.parse.isFinished(v) && state.parse.remainingPreds(v) == 0) {
+      state.policy->onReady(v);
+    }
   }
   if (state.parse.allDone()) {
     state.done = true;
@@ -1230,7 +1550,7 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
         std::rethrow_exception(e);
       }
     }
-    if (!state.cancelled) {
+    if (!state.cancelled && !state.crashed) {
       EASYHPS_ENSURES(state.parse.allDone());
     }
 
@@ -1239,9 +1559,10 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
     // substrate a slow rank answers eventually; a found=false reply means
     // the block was evicted and its spill is already in our kTagData
     // queue (absorbed by the still-running data thread).  A silent owner
-    // (slave death) costs kMaxFetchAttempts fetch timeouts and the block
-    // is recomputed locally.
-    if (peer && !state.cancelled && cfg.assembleFullMatrix) {
+    // (slave death) costs `cfg.maxRecoveryRefetches` fetch timeouts and
+    // the block is recomputed locally.
+    if (peer && !state.cancelled && !state.crashed &&
+        cfg.assembleFullMatrix) {
       for (VertexId v = 0; v < dag.vertexCount(); ++v) {
         {
           std::lock_guard<std::mutex> lock(state.mutex);
@@ -1259,38 +1580,42 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
     }
 
     // JobEnd/Stats bracket (moved out of the worker loops: the job ends
-    // only after assembly, and a slave flushes its store on JobEnd).
-    for (int s = 1; s <= cfg.slaveCount; ++s) {
-      comm.send(s, wire::kTagJobEnd, wire::encodeJobControl({state.jobId}));
-    }
-    for (int s = 1; s <= cfg.slaveCount; ++s) {
-      auto& slot = slaveStats[static_cast<std::size_t>(s - 1)];
-      for (;;) {
-        auto statsMsg =
-            comm.recvFor(s, wire::kTagStats, std::chrono::milliseconds(20));
-        if (statsMsg) {
-          slot = wire::decodeSlaveStats(statsMsg->payload);
-          if (slot.job != state.jobId) {
-            // Stats of an *earlier* job a reborn/slow slave finally
-            // flushed; keep waiting for ours.
-            slot = wire::SlaveStatsPayload{};
-            continue;
+    // only after assembly, and a slave flushes its store on JobEnd).  A
+    // crashed master sends nothing: the slaves stay in the job, stores
+    // warm, until the resumed incarnation finishes it.
+    if (!state.crashed) {
+      for (int s = 1; s <= cfg.slaveCount; ++s) {
+        comm.send(s, wire::kTagJobEnd, wire::encodeJobControl({state.jobId}));
+      }
+      for (int s = 1; s <= cfg.slaveCount; ++s) {
+        auto& slot = slaveStats[static_cast<std::size_t>(s - 1)];
+        for (;;) {
+          auto statsMsg =
+              comm.recvFor(s, wire::kTagStats, std::chrono::milliseconds(20));
+          if (statsMsg) {
+            slot = wire::decodeSlaveStats(statsMsg->payload);
+            if (slot.job != state.jobId) {
+              // Stats of an *earlier* job a reborn/slow slave finally
+              // flushed; keep waiting for ours.
+              slot = wire::SlaveStatsPayload{};
+              continue;
+            }
+            break;
           }
-          break;
+          if (comm.mailboxClosed()) {
+            throw CommError("cluster shut down while awaiting slave " +
+                            std::to_string(s) + " stats");
+          }
+          if (health != nullptr &&
+              health->stateOf(s) == SlaveHealth::kQuarantined) {
+            // A dead slave never sends Stats; its work was re-distributed
+            // and accounted by the survivors, so skip rather than hang.
+            ++state.statsSkipped;
+            break;
+          }
+          // No liveness registry: preserve the paper protocol and wait —
+          // a slow slave's stats always arrive eventually.
         }
-        if (comm.mailboxClosed()) {
-          throw CommError("cluster shut down while awaiting slave " +
-                          std::to_string(s) + " stats");
-        }
-        if (health != nullptr &&
-            health->stateOf(s) == SlaveHealth::kQuarantined) {
-          // A dead slave never sends Stats; its work was re-distributed
-          // and accounted by the survivors, so skip rather than hang.
-          ++state.statsSkipped;
-          break;
-        }
-        // No liveness registry: preserve the paper protocol and wait —
-        // a slow slave's stats always arrive eventually.
       }
     }
   } catch (...) {
@@ -1303,28 +1628,31 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
     dataThread->join();
     dataThread.reset();
   }
-  if (peer || streaming) {
+  if ((peer || streaming) && !state.crashed) {
     // Drain data requests that raced the shutdown: spills sent by a
     // straggler just before its Stats must land in the matrix (their
     // owner's store is flushed).  Requests of *earlier* jobs may also
     // surface here (and, streaming, stray fragments of this one); they
-    // are dropped by the job-id / kind checks.
+    // are dropped by the job-id / kind checks.  A crashed master leaves
+    // the mailbox alone — the resumed incarnation's data thread absorbs
+    // whatever is queued (same job id).
     while (auto m = comm.tryRecv(msg::kAnySource, wire::kTagData)) {
-      if (wire::peekDataKind(m->payload) != wire::DataMsgKind::kBlockSpill) {
-        continue;
-      }
-      wire::ScoreCells cells;
-      const auto spill = wire::decodeBlockSpill(m->payload, cells);
-      if (spill.job == state.jobId) {
+      try {
+        if (wire::peekDataKind(m->payload) ==
+            wire::DataMsgKind::kBlockSpill) {
+          absorbSpill(state, m->payload);
+        }
+      } catch (const DecodeError&) {
         std::lock_guard<std::mutex> lock(state.mutex);
-        state.matrix->inject(spill.rect, cells.cells());
-        state.directory.markResident(spill.vertex);
+        ++state.decodeErrors;
       }
     }
   }
 
   MasterJobOutcome outcome;
   outcome.cancelled = state.cancelled;
+  outcome.masterCrashed = state.crashed;
+  outcome.completedAtCrash = state.completed;
   outcome.timeToFirstBlockSeconds = state.firstBlockSeconds;
   RunStats& stats = outcome.stats;
   stats.elapsedSeconds = state.watch.elapsedSeconds();
@@ -1344,6 +1672,13 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   stats.fragmentsForwarded = state.fragmentsForwarded;
   stats.fragmentsCoalesced = state.fragmentsCoalesced;
   stats.blocksStartedEarly = state.blocksStartedEarly;
+  stats.blocksRecovered = state.blocksRecovered;
+  stats.corruptBlocks = state.corruptBlocks;
+  stats.decodeErrors = state.decodeErrors;
+  stats.recoverySeconds = std::max(0.0, state.recoverySeconds);
+  if (state.crashed) {
+    stats.faultsTriggered += 1;
+  }
   stats.ownershipInvalidations = state.directory.invalidations();
   stats.placementSpills = state.policy->placementSpills();
   stats.tasksStolen = state.policy->tasksStolen();
@@ -1380,6 +1715,8 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
     stats.fragmentsSent += s.fragmentsSent;
     stats.fragmentsApplied += s.fragmentsApplied;
     stats.fragmentResends += s.fragmentResends;
+    stats.corruptBlocks += s.corruptPayloads;
+    stats.decodeErrors += s.decodeErrors;
     stats.streamOverlapSeconds +=
         static_cast<double>(s.streamOverlapMicros) * 1e-6;
     if (estimator != nullptr) {
@@ -1398,6 +1735,7 @@ MasterJobOutcome runMasterJob(msg::Comm& comm, const RuntimeConfig& cfg,
   stats.transportDropped = traffic1.dropped - traffic0.dropped;
   stats.transportDuplicated = traffic1.duplicated - traffic0.duplicated;
   stats.transportDelayed = traffic1.delayed - traffic0.delayed;
+  stats.transportCorrupted = traffic1.corrupted - traffic0.corrupted;
   const int ranks = traffic1.ranks;
   stats.linkBytes.assign(traffic1.linkBytes.size(), 0);
   for (int src = 0; src < ranks; ++src) {
@@ -1470,10 +1808,109 @@ void runMasterService(msg::Comm& comm, const RuntimeConfig& cfg,
                                                 cfg.resolvedRankProfiles());
   }
 
+  // Durable checkpoint/restart (easyhps::ckpt): with `cfg.checkpointDir`
+  // configured and a cacheable job, completed blocks are journaled as
+  // results land; a journal left behind by a crashed incarnation (or an
+  // earlier process over the same directory) seeds the resumed run's
+  // completed frontier.  Journal open failures degrade to journaling off
+  // — durability is best-effort, correctness never depends on it.
+  const auto openJournal = [&cfg](const std::string& keyHex)
+      -> std::unique_ptr<ckpt::JournalWriter> {
+    ckpt::JobMetaRecord meta;
+    meta.key = keyHex;
+    meta.partitionRows = cfg.processPartitionRows;
+    meta.partitionCols = cfg.processPartitionCols;
+    meta.vertexCount = cfg.processPartitionRows * cfg.processPartitionCols;
+    meta.dataPlane = static_cast<std::uint8_t>(cfg.dataPlane);
+    ckpt::JournalWriter::Options opt;
+    opt.dir = cfg.checkpointDir;
+    opt.key = keyHex;
+    opt.flushInterval = cfg.checkpointInterval;
+    try {
+      return std::make_unique<ckpt::JournalWriter>(std::move(opt), meta);
+    } catch (const Error& e) {
+      EASYHPS_LOG_WARN("checkpoint journaling disabled: " << e.what());
+      return nullptr;
+    }
+  };
+  const auto loadCompatible =
+      [&cfg](const std::string& keyHex) -> std::optional<ckpt::RecoveredState> {
+    std::optional<ckpt::RecoveredState> rec =
+        ckpt::loadJournal(cfg.checkpointDir, keyHex);
+    if (!rec) {
+      return std::nullopt;
+    }
+    const ckpt::JobMetaRecord& m = rec->meta;
+    const bool compatible =
+        rec->hasMeta && !rec->committed &&
+        m.partitionRows == cfg.processPartitionRows &&
+        m.partitionCols == cfg.processPartitionCols &&
+        m.dataPlane == static_cast<std::uint8_t>(cfg.dataPlane);
+    if (!compatible) {
+      // Wrong partitioning/data plane (or a stale committed leftover):
+      // its records must not seed this run.
+      ckpt::discardJournal(cfg.checkpointDir, keyHex);
+      return std::nullopt;
+    }
+    return rec;
+  };
+
   try {
     while (std::optional<ServiceJob> job = feed.nextJob()) {
-      MasterJobOutcome outcome = runMasterJob(
-          comm, cfg, *job, health ? &*health : nullptr, estimator);
+      std::string keyHex;
+      if (!cfg.checkpointDir.empty() && job->problem != nullptr) {
+        if (auto key = cache::jobKey(*job->problem, cfg)) {
+          keyHex = key->hex();
+        }
+      }
+      std::unique_ptr<ckpt::JournalWriter> journal;
+      std::optional<ckpt::RecoveredState> recovered;
+      if (!keyHex.empty()) {
+        recovered = loadCompatible(keyHex);
+        journal = openJournal(keyHex);
+      }
+      MasterJobOutcome outcome;
+      {
+        MasterResume resume;
+        resume.journal = journal.get();
+        resume.recovered = recovered ? &*recovered : nullptr;
+        const bool haveResume =
+            resume.journal != nullptr || resume.recovered != nullptr;
+        outcome =
+            runMasterJob(comm, cfg, *job, health ? &*health : nullptr,
+                         estimator, haveResume ? &resume : nullptr);
+      }
+      std::int64_t restarts = 0;
+      while (outcome.masterCrashed) {
+        // kMasterCrash chaos: the incarnation died mid-job.  Model the
+        // restart faithfully — unflushed journal tail lost, journal
+        // reopened, surviving state replayed — then re-run the job with
+        // the slaves still inside it (warm stores, no bracket).
+        ++restarts;
+        EASYHPS_LOG_WARN("master crashed mid-job " << job->id
+                                                   << " (chaos); restarting");
+        recovered.reset();
+        if (journal) {
+          journal->simulateCrash();
+          journal.reset();
+        }
+        if (!keyHex.empty()) {
+          recovered = loadCompatible(keyHex);
+          journal = openJournal(keyHex);
+        }
+        MasterResume resume;
+        resume.journal = journal.get();
+        resume.recovered = recovered ? &*recovered : nullptr;
+        resume.skipBracket = true;
+        resume.storesWarm = true;
+        resume.completedAtCrash = outcome.completedAtCrash;
+        outcome = runMasterJob(comm, cfg, *job, health ? &*health : nullptr,
+                               estimator, &resume);
+      }
+      outcome.stats.masterRestarts = restarts;
+      if (journal && !outcome.failed && !outcome.cancelled) {
+        journal->commit();
+      }
       feed.jobFinished(job->id, std::move(outcome));
     }
   } catch (...) {

@@ -55,6 +55,11 @@
 
 namespace easyhps {
 
+namespace ckpt {
+class JournalWriter;
+struct RecoveredState;
+}  // namespace ckpt
+
 /// One job as seen by the master service loop.  All pointers stay valid
 /// until the feed's `jobFinished` for this id returns.
 struct ServiceJob {
@@ -81,6 +86,37 @@ struct MasterJobOutcome {
   std::string failureReason;
   /// Seconds from dispatch to the first block injected; -1 if none was.
   double timeToFirstBlockSeconds = -1.0;
+  /// The master crashed mid-job (kMasterCrash chaos): the slaves are still
+  /// inside the job (no JobEnd was sent, their stores are warm) and the
+  /// service loop must re-run the job with a resume context.
+  bool masterCrashed = false;
+  /// Completions credited when the crash fired — the resumed incarnation's
+  /// recovery-time target (RunStats::recoverySeconds).
+  std::int64_t completedAtCrash = 0;
+};
+
+/// Checkpoint/restart context for one runMasterJob incarnation.  Passed by
+/// runMasterService whenever journaling is on or a previous incarnation
+/// (or process) left a journal to resume from; nullptr = neither.
+struct MasterResume {
+  /// Journal completed blocks here as results land; may be nullptr
+  /// (recovery without further journaling, e.g. after a disk failure).
+  ckpt::JournalWriter* journal = nullptr;
+  /// Replayed journal to seed the completed frontier from; may be nullptr
+  /// (fresh job with journaling on).
+  const ckpt::RecoveredState* recovered = nullptr;
+  /// True on an in-process crash resume: the slaves never saw JobEnd, so
+  /// skip the JobStart broadcast and the per-slave ready-ack wait.
+  bool skipBracket = false;
+  /// True when the slave BlockStores survived the crash (in-process
+  /// restart).  False on a cross-process restart: peer-owned blocks whose
+  /// journal record carries only boundary cells did not survive and are
+  /// recomputed like never-run tasks.
+  bool storesWarm = false;
+  /// Completions at the prior crash; < 0 when not resuming.  The resumed
+  /// incarnation records RunStats::recoverySeconds when its completion
+  /// count regains this level.
+  std::int64_t completedAtCrash = -1;
 };
 
 /// Source of jobs for the master service loop.  Implemented by
@@ -108,10 +144,15 @@ class JobFeed {
 /// when null and the policy needs one, a job-local estimator seeded from
 /// `cfg.rankProfiles` is used.  Exposed for the service loop; most callers
 /// want runMasterService.
+/// `resume` (may be nullptr) carries the checkpoint journal to feed and/or
+/// the recovered state to seed the completed frontier from; see
+/// MasterResume.  An outcome with `masterCrashed` set means the job is
+/// still live on the slaves — run it again with `skipBracket`.
 MasterJobOutcome runMasterJob(
     msg::Comm& comm, const RuntimeConfig& cfg, const ServiceJob& job,
     HealthRegistry* health = nullptr,
-    const std::shared_ptr<RankEstimator>& estimator = nullptr);
+    const std::shared_ptr<RankEstimator>& estimator = nullptr,
+    const MasterResume* resume = nullptr);
 
 /// Master service loop: runs every job the feed yields, then sends End to
 /// all slaves.  With `cfg.enableLiveness` a service-lifetime heartbeat

@@ -85,6 +85,15 @@ void RuntimeConfig::validate() const {
   if (dataFetchTimeout.count() <= 0) {
     fail("dataFetchTimeout must be positive");
   }
+  if (!checkpointDir.empty() && checkpointInterval.count() <= 0) {
+    // An interval of 0 would fsync on every record and a negative one
+    // would never seal an epoch — both are sizing bugs, not intents.
+    fail("checkpointIntervalMs must be positive when checkpointDir is set");
+  }
+  if (maxRecoveryRefetches < 1) {
+    fail("maxRecoveryRefetches must be >= 1 (a block needs at least one "
+         "fetch attempt before recompute escalation)");
+  }
   if (storeByteBudget == 0) {
     // The raw BlockStore reads 0 as "unlimited", but a config reaching 0
     // is a sizing bug (e.g. a MiB→byte conversion that truncated), and
@@ -112,7 +121,8 @@ void RuntimeConfig::validate() const {
   const auto validProbability = [](double p) { return p >= 0.0 && p <= 1.0; };
   if (!validProbability(transportChaos.dropProbability) ||
       !validProbability(transportChaos.duplicateProbability) ||
-      !validProbability(transportChaos.delayProbability)) {
+      !validProbability(transportChaos.delayProbability) ||
+      !validProbability(transportChaos.corruptProbability)) {
     fail("transportChaos probabilities must lie in [0, 1]");
   }
   for (const fault::FaultSpec& spec : faults) {
@@ -125,6 +135,17 @@ void RuntimeConfig::validate() const {
       // per-job Stats; without FT its in-flight work is never recovered.
       fail("kSlaveDeath faults require enableLiveness and "
            "enableFaultTolerance");
+    }
+    if (spec.kind == fault::FaultKind::kMasterCrash) {
+      if (!enableFaultTolerance) {
+        // Recovery re-distributes the crashed frontier through the
+        // overtime queue; without FT the resumed job would hang.
+        fail("kMasterCrash faults require enableFaultTolerance");
+      }
+      if (spec.count < 0) {
+        fail("kMasterCrash faults must have a finite count (an unlimited "
+             "spec would crash every resumed incarnation forever)");
+      }
     }
   }
   if (!rankProfiles.empty()) {
@@ -177,6 +198,13 @@ void applySchedulerEnv(RuntimeConfig& cfg) {
       std::fprintf(stderr,
                    "easyhps: ignoring EASYHPS_SCHED=%s (unknown policy)\n",
                    env);
+    }
+  }
+  if (cfg.checkpointDir.empty()) {
+    if (const char* env = std::getenv("EASYHPS_CKPT_DIR")) {
+      if (env[0] != '\0') {
+        cfg.checkpointDir = env;
+      }
     }
   }
   if (cfg.rankProfiles.empty()) {

@@ -173,9 +173,13 @@ void computingThreadLoop(int threadIdx, const DpProblem& problem,
         if (inter.cellCount() <= 0) {
           continue;
         }
+        std::vector<Score> cells = local.extract(inter);
+        const std::uint64_t sum =
+            wire::blockChecksum(assign.vertex, inter, cells);
         pool.comm->send(0, wire::kTagData,
                         wire::encodeHaloPartial({assign.job, assign.vertex,
-                                                 inter, local.extract(inter)}));
+                                                 inter, sum,
+                                                 std::move(cells)}));
         pool.fragmentsSent.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -192,8 +196,6 @@ void computingThreadLoop(int threadIdx, const DpProblem& problem,
     pool.cv.notify_all();
   }
 }
-
-constexpr int kMaxFetchAttempts = 4;
 
 /// Copies sub-rectangle `sub` out of a row-major buffer covering `rect`.
 std::vector<Score> extractSub(const CellRect& rect, std::span<const Score> data,
@@ -233,7 +235,7 @@ void abandonPool(PoolState& pool) {
 /// Starvation recovery: no fragment progress for `cfg.dataFetchTimeout`
 /// (dead producer, chaos-dropped forwards) sends the master a
 /// FragmentResend asking for whatever coverage it can currently serve;
-/// after kMaxFetchAttempts silent rounds the assignment is abandoned —
+/// after cfg.maxRecoveryRefetches silent rounds the assignment is abandoned —
 /// bounded wait, never a hang.
 template <typename WindowT>
 void fragmentPump(const RuntimeConfig& cfg, const wire::AssignPayload& assign,
@@ -265,7 +267,7 @@ void fragmentPump(const RuntimeConfig& cfg, const wire::AssignPayload& assign,
       }
       if (std::chrono::steady_clock::now() - lastProgress >=
           cfg.dataFetchTimeout) {
-        if (++stalledRounds > kMaxFetchAttempts) {
+        if (++stalledRounds > cfg.maxRecoveryRefetches) {
           EASYHPS_LOG_WARN("slave fragment pump starved on sub-task "
                            << assign.vertex << "; abandoning assignment");
           abandonPool(pool);
@@ -280,10 +282,22 @@ void fragmentPump(const RuntimeConfig& cfg, const wire::AssignPayload& assign,
       continue;
     }
     wire::ScoreCells cells;
-    const wire::HaloPartialPayload frag =
-        wire::decodeHaloPartial(m->payload, cells);
+    wire::HaloPartialPayload frag;
+    try {
+      frag = wire::decodeHaloPartial(m->payload, cells);
+    } catch (const DecodeError&) {
+      ++stats.decodeErrors;  // corrupted length/kind field: drop, resend
+      continue;              // machinery re-covers the loss
+    }
     if (frag.job != assign.job) {
       continue;  // chaos-delayed fragment of an earlier job
+    }
+    if (wire::blockChecksum(frag.vertex, frag.rect, cells.cells()) !=
+        frag.checksum) {
+      // Corrupt fragment cells: injecting them would poison the local
+      // window.  Drop; the stall-resend path re-fetches the coverage.
+      ++stats.corruptPayloads;
+      continue;
     }
     std::vector<CellRect> pieces;
     {
@@ -416,6 +430,7 @@ namespace {
 /// (the job loop reports per-job deltas in the Stats payload).
 struct DataPlaneCounters {
   std::atomic<std::int64_t> halosServed{0};
+  std::atomic<std::int64_t> decodeErrors{0};  ///< malformed data payloads
 };
 
 /// The slave's data-plane thread: serves peer halo requests and master
@@ -445,54 +460,75 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
                  // peers time out, heartbeats go unanswered, the master
                  // quarantines this rank.
     }
-    switch (wire::peekDataKind(m->payload)) {
-      case wire::DataMsgKind::kHaloRequest: {
-        const auto req = wire::decodeHaloRequest(m->payload);
-        wire::HaloDataPayload reply;
-        reply.job = req.job;
-        reply.rect = req.rect;
-        reply.found =
-            store.extractInto(req.job, req.vertex, req.rect, reply.data);
-        // A miss (evicted block) is answered found=false; the requester
-        // falls back to the master, whose spill copy landed before this
-        // reply could be sent.
-        comm.send(m->source, wire::kTagHaloData,
-                  wire::encodeHaloData(std::move(reply)));
-        counters.halosServed.fetch_add(1, std::memory_order_relaxed);
-        break;
+    try {
+      switch (wire::peekDataKind(m->payload)) {
+        case wire::DataMsgKind::kHaloRequest: {
+          const auto req = wire::decodeHaloRequest(m->payload);
+          wire::HaloDataPayload reply;
+          reply.job = req.job;
+          reply.rect = req.rect;
+          reply.found =
+              store.extractInto(req.job, req.vertex, req.rect, reply.data);
+          if (reply.found) {
+            // End-to-end: the requester re-derives this from the received
+            // bytes and treats a mismatch as a fetch failure.
+            reply.checksum = wire::blockChecksum(-1, reply.rect, reply.data);
+          }
+          // A miss (evicted block) is answered found=false; the requester
+          // falls back to the master, whose spill copy landed before this
+          // reply could be sent.
+          comm.send(m->source, wire::kTagHaloData,
+                    wire::encodeHaloData(std::move(reply)));
+          counters.halosServed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        case wire::DataMsgKind::kBlockFetch: {
+          const auto req = wire::decodeBlockFetch(m->payload);
+          wire::BlockDataPayload reply;
+          reply.job = req.job;
+          reply.vertex = req.vertex;
+          reply.rect = req.rect;
+          reply.found =
+              store.extractInto(req.job, req.vertex, req.rect, reply.data);
+          if (reply.found) {
+            // The stored completion-time checksum, not a re-hash of what
+            // the store returned: in-store corruption stays detectable.
+            reply.checksum =
+                store.checksumOf(req.job, req.vertex).value_or(0);
+          }
+          comm.send(m->source, wire::kTagBlockData,
+                    wire::encodeBlockData(std::move(reply)));
+          break;
+        }
+        case wire::DataMsgKind::kBlockSpill:
+          // Spills only target the master; a misrouted one is dropped.
+          EASYHPS_LOG_WARN("slave " << comm.rank()
+                                    << " received a misrouted BlockSpill");
+          break;
+        case wire::DataMsgKind::kHaloPartial:
+        case wire::DataMsgKind::kFragmentResend:
+          // Pipeline traffic only targets the master's data loop (forwards
+          // to consumers come back under kTagHaloPartial, not kTagData); a
+          // misrouted one is dropped.
+          EASYHPS_LOG_WARN("slave "
+                           << comm.rank()
+                           << " received a misrouted pipeline message");
+          break;
+        case wire::DataMsgKind::kPing:
+          // Liveness probe: answered here so the reply reflects the data
+          // plane actually servicing traffic, busy compute pool or not.
+          comm.send(m->source, wire::kTagHealthAck,
+                    wire::encodeHealthAck(
+                        {wire::decodeHealthPing(m->payload).seq}));
+          break;
       }
-      case wire::DataMsgKind::kBlockFetch: {
-        const auto req = wire::decodeBlockFetch(m->payload);
-        wire::BlockDataPayload reply;
-        reply.job = req.job;
-        reply.vertex = req.vertex;
-        reply.rect = req.rect;
-        reply.found =
-            store.extractInto(req.job, req.vertex, req.rect, reply.data);
-        comm.send(m->source, wire::kTagBlockData,
-                  wire::encodeBlockData(std::move(reply)));
-        break;
-      }
-      case wire::DataMsgKind::kBlockSpill:
-        // Spills only target the master; a misrouted one is dropped.
-        EASYHPS_LOG_WARN("slave " << comm.rank()
-                                  << " received a misrouted BlockSpill");
-        break;
-      case wire::DataMsgKind::kHaloPartial:
-      case wire::DataMsgKind::kFragmentResend:
-        // Pipeline traffic only targets the master's data loop (forwards
-        // to consumers come back under kTagHaloPartial, not kTagData); a
-        // misrouted one is dropped.
-        EASYHPS_LOG_WARN("slave " << comm.rank()
-                                  << " received a misrouted pipeline message");
-        break;
-      case wire::DataMsgKind::kPing:
-        // Liveness probe: answered here so the reply reflects the data
-        // plane actually servicing traffic, busy compute pool or not.
-        comm.send(m->source, wire::kTagHealthAck,
-                  wire::encodeHealthAck(
-                      {wire::decodeHealthPing(m->payload).seq}));
-        break;
+    } catch (const DecodeError& e) {
+      // Malformed data payload (corruption in a length/kind field): count
+      // and drop — the sender's bounded retry machinery covers the loss.
+      counters.decodeErrors.fetch_add(1, std::memory_order_relaxed);
+      EASYHPS_LOG_WARN("slave " << comm.rank()
+                                << " dropped undecodable data message: "
+                                << e.what());
     }
   }
 }
@@ -505,7 +541,7 @@ void dataPlaneLoop(msg::Comm& comm, store::BlockStore& store,
 /// cluster shutdown.
 std::optional<wire::HaloDataPayload> recvHaloFor(
     msg::Comm& comm, int owner, JobId job, const CellRect& rect,
-    std::chrono::milliseconds timeout) {
+    std::chrono::milliseconds timeout, wire::SlaveStatsPayload& stats) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
     const auto now = std::chrono::steady_clock::now();
@@ -521,10 +557,24 @@ std::optional<wire::HaloDataPayload> recvHaloFor(
       }
       continue;
     }
-    wire::HaloDataPayload halo = wire::decodeHaloData(reply->payload);
-    if (halo.job == job && halo.rect == rect) {
-      return halo;
+    wire::HaloDataPayload halo;
+    try {
+      halo = wire::decodeHaloData(reply->payload);
+    } catch (const DecodeError&) {
+      ++stats.decodeErrors;
+      continue;  // corrupted length field: wait out the deadline
     }
+    if (halo.job != job || !(halo.rect == rect)) {
+      continue;  // reply to an earlier, timed-out request of ours
+    }
+    if (halo.found &&
+        wire::blockChecksum(-1, halo.rect, halo.data) != halo.checksum) {
+      // Corrupt halo cells: treat like a fetch failure — the caller's
+      // bounded retry/fallback ladder escalates.
+      ++stats.corruptPayloads;
+      return std::nullopt;
+    }
+    return halo;
   }
 }
 
@@ -533,7 +583,7 @@ std::optional<wire::HaloDataPayload> recvHaloFor(
 /// owning peer, then the master (unknown owner, suspect owner, or peer
 /// miss after eviction).  Every wire fetch is bounded by
 /// `cfg.dataFetchTimeout` so a dead peer costs a timeout, not a hang; if
-/// even the master fallback stays silent for kMaxFetchAttempts rounds
+/// even the master fallback stays silent for cfg.maxRecoveryRefetches rounds
 /// (rank 0 unreachable — the cluster is aborting), returns false and the
 /// caller abandons the assignment (its deadline re-distributes it).
 bool fetchHalos(msg::Comm& comm, const RuntimeConfig& cfg,
@@ -557,7 +607,7 @@ bool fetchHalos(msg::Comm& comm, const RuntimeConfig& cfg,
       comm.send(src.owner, wire::kTagData,
                 wire::encodeHaloRequest({assign.job, src.vertex, src.rect}));
       auto halo = recvHaloFor(comm, src.owner, assign.job, src.rect,
-                              cfg.dataFetchTimeout);
+                              cfg.dataFetchTimeout, stats);
       if (halo && halo->found) {
         ++stats.haloPeerFetches;
         // Timed link sample for the master's bandwidth estimator (only
@@ -575,16 +625,17 @@ bool fetchHalos(msg::Comm& comm, const RuntimeConfig& cfg,
       // Miss (evicted block, found=false) or a dead/silent peer: fall
       // back to the master either way.
     }
-    for (int attempt = 0; !got && attempt < kMaxFetchAttempts; ++attempt) {
+    for (int attempt = 0; !got && attempt < cfg.maxRecoveryRefetches;
+         ++attempt) {
       // Master fallback: rank 0's matrix holds the boundary cells of
       // every acked block (and spilled blocks in full); anything thicker
       // the master pulls lazily from the owning rank, keyed by
       // src.vertex.  found is always true for the current job, so only a
-      // dropped request/reply leaves us retrying.
+      // dropped (or corrupt-dropped) request/reply leaves us retrying.
       comm.send(0, wire::kTagData,
                 wire::encodeHaloRequest({assign.job, src.vertex, src.rect}));
-      auto halo =
-          recvHaloFor(comm, 0, assign.job, src.rect, cfg.dataFetchTimeout);
+      auto halo = recvHaloFor(comm, 0, assign.job, src.rect,
+                              cfg.dataFetchTimeout, stats);
       if (halo && halo->found) {
         ++stats.haloMasterFetches;
         assign.halos.push_back(
@@ -616,6 +667,8 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
   stats.job = job;
   const std::int64_t servedBefore =
       counters.halosServed.load(std::memory_order_relaxed);
+  const std::int64_t decodeBefore =
+      counters.decodeErrors.load(std::memory_order_relaxed);
   const store::BlockStoreStats storeBefore = blockStore.stats();
 
   // Step a: announce readiness for this job.
@@ -691,6 +744,8 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
       continue;
     }
     result.checksum = wire::blockChecksum(assign.vertex, assign.rect, data);
+    const bool corruptInjected =
+        plan.consumeCorrupt(assign.vertex, comm.rank());
 
     if (peer) {
       // Ack carries only the boundary cells successors will read; the
@@ -699,17 +754,44 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
         result.edges.push_back(
             wire::HaloBlock{edge, extractSub(assign.rect, data, edge)});
       }
-      auto evicted =
-          blockStore.put(job, assign.vertex, assign.rect, std::move(data));
+      auto evicted = blockStore.put(job, assign.vertex, assign.rect,
+                                    std::move(data), result.checksum);
       for (store::StoredBlock& b : evicted) {
         // Spill-to-master: send *before* the ack so the master's copy is
         // in place before any peer can be told to ask us and miss.
         comm.send(0, wire::kTagData,
                   wire::encodeBlockSpill(
-                      {b.job, b.vertex, b.rect, std::move(b.data)}));
+                      {b.job, b.vertex, b.rect, b.checksum,
+                       std::move(b.data)}));
       }
     } else {
       result.data = std::move(data);
+    }
+    result.edgesChecksum = wire::resultChecksum(result);
+
+    if (corruptInjected) {
+      // kPayloadCorrupt at the source: flip one cell *after* the
+      // checksums were computed, so the wire carries a payload whose
+      // content no longer matches what it vouches for.  The master's
+      // verify-at-inject tier must catch it (corruptBlocks) and recover
+      // by requeue/overtime — never by trusting the cells.
+      if (!result.data.empty()) {
+        result.data[result.data.size() / 2] ^= 1;
+      } else {
+        bool flipped = false;
+        for (wire::HaloBlock& edge : result.edges) {
+          if (!edge.data.empty()) {
+            edge.data[edge.data.size() / 2] ^= 1;
+            flipped = true;
+            break;
+          }
+        }
+        if (!flipped) {
+          result.checksum ^= 1;  // edge-less block: corrupt the header
+        }
+      }
+      EASYHPS_LOG_WARN("payload-corrupt fault: flipping result of sub-task "
+                       << assign.vertex << " on rank " << comm.rank());
     }
 
     if (delay.count() > 0) {
@@ -736,6 +818,8 @@ void runSlaveJob(msg::Comm& comm, const RuntimeConfig& cfg, JobId job,
   const store::BlockStoreStats storeAfter = blockStore.stats();
   stats.halosServed =
       counters.halosServed.load(std::memory_order_relaxed) - servedBefore;
+  stats.decodeErrors +=
+      counters.decodeErrors.load(std::memory_order_relaxed) - decodeBefore;
   stats.storeEvictions = storeAfter.evictions - storeBefore.evictions;
   stats.storeSpilledBytes =
       storeAfter.spilledBytes - storeBefore.spilledBytes;

@@ -1,6 +1,8 @@
 #include "easyhps/runtime/wire.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 
 #include "easyhps/util/archive.hpp"
 
@@ -35,10 +37,16 @@ void putHaloBlocks(Writer& w, const std::vector<HaloBlock>& halos) {
   }
 }
 
+// Caps the speculative reserve() a decoded count is allowed to trigger.
+// A corrupted count still fails (the element reads run out of bytes and
+// throw DecodeError); this only prevents it from allocating gigabytes
+// first.  Real payloads never carry this many variable-length entries.
+constexpr std::uint32_t kMaxReserve = 4096;
+
 std::vector<HaloBlock> getHaloBlocks(ByteReader& r) {
   const auto n = r.get<std::uint32_t>();
   std::vector<HaloBlock> halos;
-  halos.reserve(n);
+  halos.reserve(std::min(n, kMaxReserve));
   for (std::uint32_t i = 0; i < n; ++i) {
     HaloBlock h;
     h.rect = getRect(r);
@@ -54,6 +62,13 @@ std::vector<HaloBlock> getHaloBlocks(ByteReader& r) {
 /// stream.  Same wire format either way: count prefix + raw elements.
 void getScores(ByteReader& r, const msg::Payload& payload, ScoreCells& out) {
   const auto n = r.get<std::uint64_t>();
+  // Validate before allocating: a corrupted count must surface as a
+  // DecodeError, not a bad_alloc (and n * sizeof(Score) must not wrap).
+  if (n > r.remaining() / sizeof(Score)) {
+    throw DecodeError("wire: truncated cell vector (" + std::to_string(n) +
+                      " scores exceed " + std::to_string(r.remaining()) +
+                      " remaining bytes)");
+  }
   const std::size_t bytes = n * sizeof(Score);
   const std::byte* ptr = bytes > 0 ? r.peekContiguous(bytes) : nullptr;
   if (ptr != nullptr && r.inBody() && payload.bodyOwner() != nullptr &&
@@ -105,7 +120,7 @@ AssignPayload decodeAssign(const msg::Payload& payload) {
   p.rect = getRect(r);
   p.halos = getHaloBlocks(r);
   const auto nSources = r.get<std::uint32_t>();
-  p.sources.reserve(nSources);
+  p.sources.reserve(std::min(nSources, kMaxReserve));
   for (std::uint32_t i = 0; i < nSources; ++i) {
     HaloSource s;
     s.rect = getRect(r);
@@ -114,17 +129,17 @@ AssignPayload decodeAssign(const msg::Payload& payload) {
     p.sources.push_back(s);
   }
   const auto nAcks = r.get<std::uint32_t>();
-  p.ackRects.reserve(nAcks);
+  p.ackRects.reserve(std::min(nAcks, kMaxReserve));
   for (std::uint32_t i = 0; i < nAcks; ++i) {
     p.ackRects.push_back(getRect(r));
   }
   const auto nPending = r.get<std::uint32_t>();
-  p.pendingRects.reserve(nPending);
+  p.pendingRects.reserve(std::min(nPending, kMaxReserve));
   for (std::uint32_t i = 0; i < nPending; ++i) {
     p.pendingRects.push_back(getRect(r));
   }
   const auto nStream = r.get<std::uint32_t>();
-  p.streamRects.reserve(nStream);
+  p.streamRects.reserve(std::min(nStream, kMaxReserve));
   for (std::uint32_t i = 0; i < nStream; ++i) {
     p.streamRects.push_back(getRect(r));
   }
@@ -140,6 +155,7 @@ msg::Payload encodeResult(ResultPayload p) {
   putRect(w, p.rect);
   putHaloBlocks(w, p.edges);
   w.put<std::uint64_t>(p.checksum);
+  w.put<std::uint64_t>(p.edgesChecksum);
   w.putVectorZeroCopy(std::move(p.data));
   return std::move(w).take();
 }
@@ -152,6 +168,7 @@ ResultPayload decodeResult(const msg::Payload& payload, ScoreCells& data) {
   p.rect = getRect(r);
   p.edges = getHaloBlocks(r);
   p.checksum = r.get<std::uint64_t>();
+  p.edgesChecksum = r.get<std::uint64_t>();
   getScores(r, payload, data);
   return p;
 }
@@ -182,6 +199,8 @@ msg::Payload encodeSlaveStats(const SlaveStatsPayload& p) {
   w.put<std::int64_t>(p.fragmentsApplied);
   w.put<std::int64_t>(p.fragmentResends);
   w.put<std::int64_t>(p.streamOverlapMicros);
+  w.put<std::int64_t>(p.corruptPayloads);
+  w.put<std::int64_t>(p.decodeErrors);
   return std::move(w).take();
 }
 
@@ -205,6 +224,8 @@ SlaveStatsPayload decodeSlaveStats(const msg::Payload& payload) {
   p.fragmentsApplied = r.get<std::int64_t>();
   p.fragmentResends = r.get<std::int64_t>();
   p.streamOverlapMicros = r.get<std::int64_t>();
+  p.corruptPayloads = r.get<std::int64_t>();
+  p.decodeErrors = r.get<std::int64_t>();
   return p;
 }
 
@@ -237,9 +258,10 @@ msg::Payload encodeHaloRequest(const HaloRequestPayload& p) {
 
 HaloRequestPayload decodeHaloRequest(const msg::Payload& payload) {
   ByteReader r(payload);
-  EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
-                    DataMsgKind::kHaloRequest,
-                "kind byte is not HaloRequest");
+  if (static_cast<DataMsgKind>(r.get<std::uint8_t>()) !=
+      DataMsgKind::kHaloRequest) {
+    throw DecodeError("wire: kind byte is not HaloRequest");
+  }
   HaloRequestPayload p;
   p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
@@ -252,6 +274,7 @@ msg::Payload encodeHaloData(HaloDataPayload p) {
   w.put<JobId>(p.job);
   putRect(w, p.rect);
   w.put<std::uint8_t>(p.found ? 1 : 0);
+  w.put<std::uint64_t>(p.checksum);
   w.putVectorZeroCopy(std::move(p.data));
   return std::move(w).take();
 }
@@ -263,6 +286,7 @@ HaloDataPayload decodeHaloData(const msg::Payload& payload,
   p.job = r.get<JobId>();
   p.rect = getRect(r);
   p.found = r.get<std::uint8_t>() != 0;
+  p.checksum = r.get<std::uint64_t>();
   getScores(r, payload, data);
   return p;
 }
@@ -285,9 +309,10 @@ msg::Payload encodeBlockFetch(const BlockFetchPayload& p) {
 
 BlockFetchPayload decodeBlockFetch(const msg::Payload& payload) {
   ByteReader r(payload);
-  EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
-                    DataMsgKind::kBlockFetch,
-                "kind byte is not BlockFetch");
+  if (static_cast<DataMsgKind>(r.get<std::uint8_t>()) !=
+      DataMsgKind::kBlockFetch) {
+    throw DecodeError("wire: kind byte is not BlockFetch");
+  }
   BlockFetchPayload p;
   p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
@@ -301,6 +326,7 @@ msg::Payload encodeBlockData(BlockDataPayload p) {
   w.put<VertexId>(p.vertex);
   putRect(w, p.rect);
   w.put<std::uint8_t>(p.found ? 1 : 0);
+  w.put<std::uint64_t>(p.checksum);
   w.putVectorZeroCopy(std::move(p.data));
   return std::move(w).take();
 }
@@ -313,6 +339,7 @@ BlockDataPayload decodeBlockData(const msg::Payload& payload,
   p.vertex = r.get<VertexId>();
   p.rect = getRect(r);
   p.found = r.get<std::uint8_t>() != 0;
+  p.checksum = r.get<std::uint64_t>();
   getScores(r, payload, data);
   return p;
 }
@@ -330,6 +357,7 @@ msg::Payload encodeBlockSpill(BlockSpillPayload p) {
   w.put<JobId>(p.job);
   w.put<VertexId>(p.vertex);
   putRect(w, p.rect);
+  w.put<std::uint64_t>(p.checksum);
   w.putVectorZeroCopy(std::move(p.data));
   return std::move(w).take();
 }
@@ -337,13 +365,15 @@ msg::Payload encodeBlockSpill(BlockSpillPayload p) {
 BlockSpillPayload decodeBlockSpill(const msg::Payload& payload,
                                    ScoreCells& data) {
   ByteReader r(payload);
-  EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
-                    DataMsgKind::kBlockSpill,
-                "kind byte is not BlockSpill");
+  if (static_cast<DataMsgKind>(r.get<std::uint8_t>()) !=
+      DataMsgKind::kBlockSpill) {
+    throw DecodeError("wire: kind byte is not BlockSpill");
+  }
   BlockSpillPayload p;
   p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
   p.rect = getRect(r);
+  p.checksum = r.get<std::uint64_t>();
   getScores(r, payload, data);
   return p;
 }
@@ -364,6 +394,7 @@ msg::Payload encodeHaloPartial(HaloPartialPayload p) {
   w.put<JobId>(p.job);
   w.put<VertexId>(p.vertex);
   putRect(w, p.rect);
+  w.put<std::uint64_t>(p.checksum);
   w.putVectorZeroCopy(std::move(p.data));
   return std::move(w).take();
 }
@@ -371,13 +402,15 @@ msg::Payload encodeHaloPartial(HaloPartialPayload p) {
 HaloPartialPayload decodeHaloPartial(const msg::Payload& payload,
                                      ScoreCells& data) {
   ByteReader r(payload);
-  EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
-                    DataMsgKind::kHaloPartial,
-                "kind byte is not HaloPartial");
+  if (static_cast<DataMsgKind>(r.get<std::uint8_t>()) !=
+      DataMsgKind::kHaloPartial) {
+    throw DecodeError("wire: kind byte is not HaloPartial");
+  }
   HaloPartialPayload p;
   p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
   p.rect = getRect(r);
+  p.checksum = r.get<std::uint64_t>();
   getScores(r, payload, data);
   return p;
 }
@@ -400,9 +433,10 @@ msg::Payload encodeFragmentResend(const FragmentResendPayload& p) {
 
 FragmentResendPayload decodeFragmentResend(const msg::Payload& payload) {
   ByteReader r(payload);
-  EASYHPS_CHECK(static_cast<DataMsgKind>(r.get<std::uint8_t>()) ==
-                    DataMsgKind::kFragmentResend,
-                "kind byte is not FragmentResend");
+  if (static_cast<DataMsgKind>(r.get<std::uint8_t>()) !=
+      DataMsgKind::kFragmentResend) {
+    throw DecodeError("wire: kind byte is not FragmentResend");
+  }
   FragmentResendPayload p;
   p.job = r.get<JobId>();
   p.vertex = r.get<VertexId>();
@@ -418,9 +452,9 @@ msg::Payload encodeHealthPing(const HealthPingPayload& p) {
 
 HealthPingPayload decodeHealthPing(const msg::Payload& payload) {
   ByteReader r(payload);
-  EASYHPS_CHECK(
-      static_cast<DataMsgKind>(r.get<std::uint8_t>()) == DataMsgKind::kPing,
-      "kind byte is not Ping");
+  if (static_cast<DataMsgKind>(r.get<std::uint8_t>()) != DataMsgKind::kPing) {
+    throw DecodeError("wire: kind byte is not Ping");
+  }
   HealthPingPayload p;
   p.seq = r.get<std::uint64_t>();
   return p;
@@ -462,7 +496,22 @@ msg::TransportFn makeChaosTransport(const fault::TransportChaos& chaos,
       default:
         return {};  // control bracket + collectives stay reliable
     }
-    return engine->decide(m.source, m.dest);
+    msg::TransportDecision d = engine->decide(m.source, m.dest);
+    // Corruption only targets the cell-carrying reply tags, whose
+    // end-to-end checksums make every flip detectable.  Flipping a
+    // request or an Assign could produce a self-consistent wrong
+    // computation no receiver can distinguish from a correct one.
+    switch (m.tag) {
+      case kTagResult:
+      case kTagHaloData:
+      case kTagBlockData:
+      case kTagHaloPartial:
+        break;
+      default:
+        d.corrupt = false;
+        break;
+    }
+    return d;
   };
 }
 
@@ -483,6 +532,38 @@ std::uint64_t blockChecksum(VertexId vertex, const CellRect& rect,
   mix(static_cast<std::uint64_t>(rect.cols));
   for (Score s : data) {
     mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(s)));
+  }
+  return h;
+}
+
+std::uint64_t resultChecksum(const ResultPayload& p) {
+  // Same FNV-1a mix as blockChecksum, chained across the header fields
+  // and every edge strip, so a flip in vertex, rect, the block checksum,
+  // or any edge's rect/cells (or a dropped/reordered edge) changes the
+  // digest.  `p.data` is excluded: `p.checksum` already covers it.
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xff)) * kPrime;
+    }
+  };
+  mix(static_cast<std::uint64_t>(p.vertex));
+  mix(static_cast<std::uint64_t>(p.rect.row0));
+  mix(static_cast<std::uint64_t>(p.rect.col0));
+  mix(static_cast<std::uint64_t>(p.rect.rows));
+  mix(static_cast<std::uint64_t>(p.rect.cols));
+  mix(p.checksum);
+  mix(static_cast<std::uint64_t>(p.edges.size()));
+  for (const HaloBlock& e : p.edges) {
+    mix(static_cast<std::uint64_t>(e.rect.row0));
+    mix(static_cast<std::uint64_t>(e.rect.col0));
+    mix(static_cast<std::uint64_t>(e.rect.rows));
+    mix(static_cast<std::uint64_t>(e.rect.cols));
+    for (Score s : e.data) {
+      mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(s)));
+    }
   }
   return h;
 }

@@ -152,6 +152,13 @@ struct ResultPayload {
   /// Order-independent per-block checksum (see blockChecksum); lets both
   /// modes assert bit-exact equality without shipping the cells.
   std::uint64_t checksum = 0;
+  /// Checksum over the result *header* — vertex, rect, `checksum`, and
+  /// every edge's rect + cells (see resultChecksum) — computed by the
+  /// slave after filling those fields.  The master verifies it before
+  /// trusting anything else in the payload: under kPeerToPeer `checksum`
+  /// covers cells that never cross this wire, and a flipped vertex/rect
+  /// byte would otherwise misroute an intact-looking result.
+  std::uint64_t edgesChecksum = 0;
 };
 
 struct SlaveStatsPayload {
@@ -181,6 +188,9 @@ struct SlaveStatsPayload {
   /// Summed first-compute-to-full-halo overlap across this rank's
   /// streamed assignments, microseconds.
   std::int64_t streamOverlapMicros = 0;
+  // Integrity counters (wire hardening).
+  std::int64_t corruptPayloads = 0;  ///< checksum mismatches detected
+  std::int64_t decodeErrors = 0;     ///< malformed payloads dropped
 };
 
 /// Payload of JobStart / JobEnd and of the per-job Idle ready-ack.
@@ -203,6 +213,10 @@ struct HaloDataPayload {
   JobId job = kNoJob;
   CellRect rect;
   bool found = false;
+  /// End-to-end content checksum (blockChecksum over (-1, rect, data)),
+  /// computed by the owner; the requester re-derives it from the received
+  /// bytes and treats a mismatch as a fetch failure (retry/fallback).
+  std::uint64_t checksum = 0;
   std::vector<Score> data;
 };
 
@@ -220,6 +234,10 @@ struct BlockDataPayload {
   VertexId vertex = -1;
   CellRect rect;
   bool found = false;
+  /// blockChecksum over (vertex, rect, data); verified by the master at
+  /// inject time, with a bounded re-fetch → recompute escalation on
+  /// mismatch.
+  std::uint64_t checksum = 0;
   std::vector<Score> data;
 };
 
@@ -229,6 +247,10 @@ struct BlockSpillPayload {
   JobId job = kNoJob;
   VertexId vertex = -1;
   CellRect rect;
+  /// blockChecksum over (vertex, rect, data).  Spills are exempt from
+  /// transport chaos (only copy), but the checksum still guards against
+  /// source-side corruption and feeds the checkpoint journal.
+  std::uint64_t checksum = 0;
   std::vector<Score> data;
 };
 
@@ -248,6 +270,9 @@ struct HaloPartialPayload {
   JobId job = kNoJob;
   VertexId vertex = -1;
   CellRect rect;
+  /// blockChecksum over (vertex, rect, data); a corrupted fragment is
+  /// dropped by the receiver and recovered by the stall-resend machinery.
+  std::uint64_t checksum = 0;
   std::vector<Score> data;
 };
 
@@ -361,7 +386,12 @@ HealthAckPayload decodeHealthAck(const msg::Payload& payload);
 ///     of an evicted block — a real system would retry that transfer
 ///     forever, which a probabilistic drop cannot express;
 ///   * everything else (Assign, Result, halo/block request+reply traffic,
-///     heartbeat pings and acks) is fair game.
+///     heartbeat pings and acks) is fair game;
+///   * *corruption* (byte flips) is additionally restricted to the
+///     cell-carrying data tags (Result, HaloData, BlockData, forwarded
+///     HaloPartial) — the traffic whose end-to-end checksums make a flip
+///     detectable.  Flipping a request or control header would model a
+///     different fault (a byzantine sender), not data-path corruption.
 msg::TransportFn makeChaosTransport(const fault::TransportChaos& chaos,
                                     int ranks);
 
@@ -375,5 +405,12 @@ inline std::uint64_t blockChecksum(VertexId vertex, const CellRect& rect,
                                    const std::vector<Score>& data) {
   return blockChecksum(vertex, rect, std::span<const Score>(data));
 }
+
+/// FNV-1a over a Result's trusted header: vertex, rect, the `checksum`
+/// field, and every boundary edge (rect + cells, in ack order).  Sender
+/// stores it in `edgesChecksum`; the receiver recomputes from the decoded
+/// payload — `p.data` is deliberately excluded (it is covered by
+/// `checksum` itself on the relay path, and empty on the peer path).
+std::uint64_t resultChecksum(const ResultPayload& p);
 
 }  // namespace easyhps::wire

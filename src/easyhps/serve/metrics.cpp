@@ -11,7 +11,9 @@ trace::Table metricsTable(const ServiceMetrics& m) {
                   "overlap_s", "retries", "requeues",
                   "own_inval", "spills", "steals",
                   "quarantines", "hb_misses", "faults",
-                  "job_retries", "cache_hits", "cache_bytes", "coalesced",
+                  "job_retries", "recovered_blocks", "corrupt_blocks",
+                  "decode_errors", "master_restarts", "recovery_s",
+                  "cache_hits", "cache_bytes", "coalesced",
                   "shed_jobs", "deadline_misses"});
   t.addRow({m.policy, m.kernelPath.empty() ? "-" : m.kernelPath,
             m.tiles.empty() ? "-" : m.tiles,
@@ -39,7 +41,13 @@ trace::Table metricsTable(const ServiceMetrics& m) {
             trace::Table::num(m.quarantines),
             trace::Table::num(m.heartbeatMisses),
             trace::Table::num(m.faultsTriggered),
-            trace::Table::num(m.jobRetries), trace::Table::num(m.cacheHits),
+            trace::Table::num(m.jobRetries),
+            trace::Table::num(m.recoveredBlocks),
+            trace::Table::num(m.corruptBlocks),
+            trace::Table::num(m.decodeErrors),
+            trace::Table::num(m.masterRestarts),
+            trace::Table::num(m.recoverySeconds, 4),
+            trace::Table::num(m.cacheHits),
             trace::Table::num(m.cacheBytes),
             trace::Table::num(m.dedupCoalesced),
             trace::Table::num(m.shedJobs),

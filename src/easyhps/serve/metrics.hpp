@@ -82,6 +82,15 @@ struct ServiceMetrics {
   /// machinery (distinct from the runtime's per-task `retries`).
   std::int64_t jobRetries = 0;
 
+  // Checkpoint/restart & end-to-end integrity counters (sums of the jobs'
+  // RunStats; see DESIGN.md, "Checkpoint/restart & end-to-end integrity").
+  // All zero with journaling off and no corruption chaos.
+  std::int64_t recoveredBlocks = 0;  ///< blocks seeded from journal replay
+  std::int64_t corruptBlocks = 0;    ///< payloads dropped on checksum fail
+  std::int64_t decodeErrors = 0;     ///< malformed payloads turned faults
+  std::int64_t masterRestarts = 0;   ///< kMasterCrash resumes
+  double recoverySeconds = 0.0;      ///< crash-to-frontier-regained, summed
+
   // Result cache, dedup and SLO counters (see DESIGN.md, "Serve-layer
   // caching, admission & SLOs").  All zero with the cache disabled and no
   // deadlines/watermark configured.

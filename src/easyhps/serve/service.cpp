@@ -284,6 +284,11 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
     m.heartbeatMisses = heartbeatMisses_;
     m.faultsTriggered = faultsTriggered_;
     m.jobRetries = jobRetries_;
+    m.recoveredBlocks = recoveredBlocks_;
+    m.corruptBlocks = corruptBlocks_;
+    m.decodeErrors = decodeErrors_;
+    m.masterRestarts = masterRestarts_;
+    m.recoverySeconds = recoverySeconds_;
     m.cacheHits = cacheHits_;
     m.cacheMisses = cacheMisses_;
     m.cacheBytes = cs.bytes;
@@ -695,6 +700,11 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
         quarantines_ += o->stats.run.quarantines;
         heartbeatMisses_ += o->stats.run.heartbeatMisses;
         faultsTriggered_ += o->stats.run.faultsTriggered;
+        recoveredBlocks_ += o->stats.run.blocksRecovered;
+        corruptBlocks_ += o->stats.run.corruptBlocks;
+        decodeErrors_ += o->stats.run.decodeErrors;
+        masterRestarts_ += o->stats.run.masterRestarts;
+        recoverySeconds_ += o->stats.run.recoverySeconds;
         if (!o->stats.run.kernelPathName.empty()) {
           lastKernelPath_ = o->stats.run.kernelPathName;
           lastTiles_ = o->stats.run.kernelTiles;
@@ -797,6 +807,11 @@ class ServiceCore final : public JobFeed, public SlaveJobDirectory {
   std::int64_t heartbeatMisses_ = 0;
   std::int64_t faultsTriggered_ = 0;
   std::int64_t jobRetries_ = 0;
+  std::int64_t recoveredBlocks_ = 0;
+  std::int64_t corruptBlocks_ = 0;
+  std::int64_t decodeErrors_ = 0;
+  std::int64_t masterRestarts_ = 0;
+  double recoverySeconds_ = 0.0;
   std::int64_t cacheHits_ = 0;
   std::int64_t cacheMisses_ = 0;
   std::int64_t dedupCoalesced_ = 0;

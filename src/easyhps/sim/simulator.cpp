@@ -197,6 +197,8 @@ SimResult simulate(const DpProblem& problem, const SimConfig& cfg) {
   dispatchAll(0.0);
 
   double lastProcessed = 0.0;
+  std::int64_t processedCount = 0;  // distinct results injected (crash model)
+  double serviceSum = 0.0;          // their observed service times
   while (!events.empty()) {
     const Event e = events.top();
     events.pop();
@@ -258,11 +260,40 @@ SimResult simulate(const DpProblem& problem, const SimConfig& cfg) {
                             parse.isFinished(e.vertex) ? 0.0 : e.service);
     if (!parse.isFinished(e.vertex)) {
       lastProcessed = processed;
+      ++processedCount;
+      serviceSum += e.service;
       if (TaskTrace* t = traceOf(e.vertex)) {
         t->resultProcessed = processed;
       }
       for (VertexId next : parse.finish(e.vertex)) {
         policy->onReady(next);
+      }
+      if (result.masterCrashes == 0 && cfg.masterCrashAtTask >= 0 &&
+          processedCount >= cfg.masterCrashAtTask) {
+        // Master crash + journal replay.  Blocks flushed before the crash
+        // come back at replay cost; the ones completed since the last
+        // flush are lost and recomputed at the observed mean service time.
+        // Virtual-time model only — the *data* is deterministic either
+        // way, so the parse state is not rolled back.
+        ++result.masterCrashes;
+        const std::int64_t interval =
+            std::max<std::int64_t>(0, cfg.checkpointIntervalTasks);
+        const std::int64_t lost =
+            interval > 0 ? processedCount % interval : 0;
+        const std::int64_t recovered = processedCount - lost;
+        const double meanService =
+            processedCount > 0
+                ? serviceSum / static_cast<double>(processedCount)
+                : 0.0;
+        const double stall =
+            static_cast<double>(recovered) * pf.masterResultOverhead +
+            static_cast<double>(lost) * meanService;
+        masterFreeAt = processed + stall;
+        result.masterBusy += stall;
+        result.tasksRecovered = recovered;
+        result.tasksRecomputed = lost;
+        result.recoverySeconds = stall;
+        lastProcessed = masterFreeAt;
       }
     }
     dispatchAll(processed);

@@ -59,6 +59,19 @@ struct SimConfig {
   /// frees the node and re-distributes the task.
   std::vector<VertexId> blackholeVertices;
   double taskTimeout = 5.0;  ///< virtual seconds
+
+  /// Master crash/restart model (mirrors the runtime's kMasterCrash chaos
+  /// + checkpoint journal): the master crashes right after processing its
+  /// N-th result (1-based; < 0 = never).  On restart it replays the
+  /// journal — every block checkpointed before the crash is recovered at
+  /// journal-replay cost, and the blocks completed *since the last
+  /// checkpoint flush* are lost and recomputed at their observed mean
+  /// service time.  Recovery latency therefore scales with the checkpoint
+  /// interval, not the job size.
+  std::int64_t masterCrashAtTask = -1;
+  /// Results per checkpoint flush (the virtual-time analogue of
+  /// RuntimeConfig::checkpointInterval); 0 = every result is durable.
+  std::int64_t checkpointIntervalTasks = 0;
 };
 
 /// One sub-task's lifecycle in virtual time (trace mode).
@@ -89,6 +102,10 @@ struct SimResult {
   std::int64_t threadStalledPicks = 0;
   std::int64_t tasksStolen = 0;         ///< ect-steal revocations granted
   std::int64_t placementSpills = 0;     ///< placements over every budget
+  std::int64_t masterCrashes = 0;       ///< kMasterCrash firings
+  std::int64_t tasksRecovered = 0;      ///< blocks replayed from the journal
+  std::int64_t tasksRecomputed = 0;     ///< blocks lost past the last flush
+  double recoverySeconds = 0.0;         ///< virtual crash-recovery stall
 
   /// Mean computing-node busy fraction of the makespan.
   double nodeUtilization() const;

@@ -6,7 +6,8 @@ namespace easyhps::store {
 
 std::vector<StoredBlock> BlockStore::put(JobId job, VertexId vertex,
                                          const CellRect& rect,
-                                         std::vector<Score> data) {
+                                         std::vector<Score> data,
+                                         std::uint64_t checksum) {
   EASYHPS_EXPECTS(static_cast<std::int64_t>(data.size()) == rect.cellCount());
   std::lock_guard<std::mutex> lock(mutex_);
   const Key key{job, vertex};
@@ -20,7 +21,7 @@ std::vector<StoredBlock> BlockStore::put(JobId job, VertexId vertex,
   }
 
   lru_.push_back(key);
-  Entry entry{rect, std::move(data), std::prev(lru_.end())};
+  Entry entry{rect, checksum, std::move(data), std::prev(lru_.end())};
   bytes_stored_ += entryBytes(entry);
   blocks_.emplace(key, std::move(entry));
   ++stats_.puts;
@@ -35,6 +36,7 @@ std::vector<StoredBlock> BlockStore::put(JobId job, VertexId vertex,
     ++stats_.evictions;
     stats_.spilledBytes += entryBytes(it->second);
     evicted.push_back(StoredBlock{victim.job, victim.vertex, it->second.rect,
+                                  it->second.checksum,
                                   std::move(it->second.data)});
     blocks_.erase(it);
   }
@@ -81,6 +83,16 @@ bool BlockStore::extractInto(JobId job, VertexId vertex, const CellRect& sub,
 bool BlockStore::contains(JobId job, VertexId vertex) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return blocks_.find(Key{job, vertex}) != blocks_.end();
+}
+
+std::optional<std::uint64_t> BlockStore::checksumOf(JobId job,
+                                                    VertexId vertex) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = blocks_.find(Key{job, vertex});
+  if (it == blocks_.end()) {
+    return std::nullopt;
+  }
+  return it->second.checksum;
 }
 
 void BlockStore::clear(JobId job) {

@@ -47,6 +47,11 @@ struct StoredBlock {
   JobId job = kNoJob;
   VertexId vertex = -1;
   CellRect rect;
+  /// Content checksum recorded at put() time (wire::blockChecksum over the
+  /// full block) — rides every spill/fetch reply so receivers verify the
+  /// cells against what the block hashed to when it was *computed*, not
+  /// merely what left the store.
+  std::uint64_t checksum = 0;
   std::vector<Score> data;  ///< row-major over `rect`
 };
 
@@ -71,8 +76,12 @@ class BlockStore {
   /// block to the master or its cells become unreachable.  A block larger
   /// than the whole budget is evicted immediately (it comes back in the
   /// result); correctness is preserved by the spill.
+  /// `checksum` is the block's completion-time content checksum; it is
+  /// returned with evictions and by checksumOf() so data leaving the store
+  /// stays end-to-end verifiable.
   std::vector<StoredBlock> put(JobId job, VertexId vertex, const CellRect& rect,
-                               std::vector<Score> data);
+                               std::vector<Score> data,
+                               std::uint64_t checksum = 0);
 
   /// Copies sub-rectangle `sub` (must lie inside the stored rect) out of
   /// block (job, vertex); refreshes its LRU position.  nullopt = absent.
@@ -88,6 +97,9 @@ class BlockStore {
                    std::vector<Score>& out);
 
   bool contains(JobId job, VertexId vertex) const;
+
+  /// Completion-time checksum recorded with the block; nullopt = absent.
+  std::optional<std::uint64_t> checksumOf(JobId job, VertexId vertex) const;
 
   /// Drops every block of `job` (JobEnd flush).  Not counted as eviction.
   void clear(JobId job);
@@ -112,6 +124,7 @@ class BlockStore {
   };
   struct Entry {
     CellRect rect;
+    std::uint64_t checksum = 0;
     std::vector<Score> data;
     std::list<Key>::iterator lruPos;
   };

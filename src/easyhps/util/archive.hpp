@@ -104,6 +104,9 @@ class ByteReader {
 
   std::string getString() {
     const auto n = get<std::uint64_t>();
+    // Validate against the remaining bytes *before* allocating: a
+    // corrupted length prefix must be a DecodeError, not a bad_alloc.
+    require(n);
     std::string s(n, '\0');
     readBytes(s.data(), n);
     return s;
@@ -114,7 +117,13 @@ class ByteReader {
     static_assert(std::is_trivially_copyable_v<T>,
                   "ByteReader::getVector requires trivially copyable T");
     const auto n = get<std::uint64_t>();
-    require(n * sizeof(T));
+    // Divide instead of multiplying: n * sizeof(T) can wrap for a
+    // corrupted length prefix and sneak past the bounds check.
+    if (n > remaining() / sizeof(T)) {
+      throw DecodeError("ByteReader: truncated payload (vector of " +
+                        std::to_string(n) + " elements exceeds " +
+                        std::to_string(remaining()) + " bytes)");
+    }
     std::vector<T> v(n);
     readBytes(v.data(), n * sizeof(T));
     return v;
@@ -172,10 +181,10 @@ class ByteReader {
   std::size_t size() const { return head_size_ + body_size_; }
 
   void require(std::size_t n) const {
-    if (pos_ + n > size()) {
-      throw CommError("ByteReader: truncated payload (need " +
-                      std::to_string(n) + " bytes, have " +
-                      std::to_string(size() - pos_) + ")");
+    if (n > size() - pos_) {
+      throw DecodeError("ByteReader: truncated payload (need " +
+                        std::to_string(n) + " bytes, have " +
+                        std::to_string(size() - pos_) + ")");
     }
   }
 

@@ -31,6 +31,17 @@ class CommError : public Error {
   explicit CommError(const std::string& what) : Error(what) {}
 };
 
+/// A received payload could not be decoded: truncated byte stream, bad
+/// kind byte, malformed field.  Derives from CommError so legacy
+/// catch(CommError) sites keep working, but receivers catch this type
+/// specifically to count-and-drop the message instead of dying with the
+/// rank (the wire-hardening contract: a corrupt payload is a transport
+/// fault, not a crash).
+class DecodeError : public CommError {
+ public:
+  explicit DecodeError(const std::string& what) : CommError(what) {}
+};
+
 /// A task exceeded its deadline or a worker was declared dead.
 class TimeoutError : public Error {
  public:

@@ -1,0 +1,490 @@
+// Durable checkpoint/restart (easyhps::ckpt) and end-to-end block
+// integrity: journal round-trips, torn tails, replay idempotence,
+// compaction, the kMasterCrash crash-kill chaos soak and the
+// kPayloadCorrupt corruption chaos — every recovered run must produce the
+// reference table bit for bit, on both msg paths and both pipeline modes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "easyhps/ckpt/journal.hpp"
+#include "easyhps/dp/editdist.hpp"
+#include "easyhps/dp/sequence.hpp"
+#include "easyhps/fault/plan.hpp"
+#include "easyhps/msg/payload.hpp"
+#include "easyhps/runtime/pipeline.hpp"
+#include "easyhps/runtime/runtime.hpp"
+#include "easyhps/serve/metrics.hpp"
+#include "easyhps/serve/service.hpp"
+#include "easyhps/util/error.hpp"
+
+namespace easyhps {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Fresh per-test scratch directory under the system temp dir; removed on
+/// destruction so journal files never leak across tests.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(std::filesystem::temp_directory_path() /
+              ("easyhps-ckpt-" + tag)) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+void expectMatchesReference(const DpProblem& p, const Window& solved) {
+  const DenseMatrix<Score> ref = p.solveReference();
+  for (std::int64_t r = 0; r < p.rows(); ++r) {
+    for (std::int64_t c = 0; c < p.cols(); ++c) {
+      if (!p.cellActive(r, c)) {
+        continue;
+      }
+      ASSERT_EQ(solved.get(r, c), ref.at(r, c))
+          << p.name() << " mismatch at (" << r << "," << c << ")";
+    }
+  }
+}
+
+ckpt::JobMetaRecord testMeta() {
+  ckpt::JobMetaRecord meta;
+  meta.key = "deadbeef";
+  meta.partitionRows = 4;
+  meta.partitionCols = 4;
+  meta.vertexCount = 16;
+  meta.dataPlane = 1;
+  return meta;
+}
+
+ckpt::BlockRecord blockRecord(VertexId v, std::uint64_t checksum,
+                              Score fill = 7) {
+  ckpt::BlockRecord b;
+  b.vertex = v;
+  b.owner = 1 + static_cast<int>(v % 3);
+  b.checksum = checksum;
+  b.rect = CellRect{v * 2, 0, 2, 2};
+  b.pieces.push_back(
+      ckpt::BlockPiece{b.rect, std::vector<Score>(4, fill)});
+  return b;
+}
+
+void expectSameRecovered(const ckpt::RecoveredState& a,
+                         const ckpt::RecoveredState& b) {
+  EXPECT_EQ(a.hasMeta, b.hasMeta);
+  EXPECT_EQ(a.meta.key, b.meta.key);
+  EXPECT_EQ(a.tornTail, b.tornTail);
+  EXPECT_EQ(a.committed, b.committed);
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    EXPECT_EQ(a.blocks[i].vertex, b.blocks[i].vertex);
+    EXPECT_EQ(a.blocks[i].checksum, b.blocks[i].checksum);
+    EXPECT_EQ(a.blocks[i].owner, b.blocks[i].owner);
+    ASSERT_EQ(a.blocks[i].pieces.size(), b.blocks[i].pieces.size());
+    for (std::size_t j = 0; j < a.blocks[i].pieces.size(); ++j) {
+      EXPECT_EQ(a.blocks[i].pieces[j].cells, b.blocks[i].pieces[j].cells);
+    }
+  }
+}
+
+// --- Journal round-trips --------------------------------------------------
+
+TEST(CkptJournal, RoundTripKeepsLatestRecordPerVertex) {
+  ScratchDir dir("roundtrip");
+  const auto meta = testMeta();
+  {
+    ckpt::JournalWriter w({dir.str(), meta.key, milliseconds(1)}, meta);
+    w.appendBlock(blockRecord(0, 100));
+    w.appendBlock(blockRecord(1, 101));
+    w.appendBlock(blockRecord(0, 200, /*fill=*/9));  // supersedes v0
+    w.flushEpoch();
+  }
+  const auto state = ckpt::loadJournal(dir.str(), meta.key);
+  ASSERT_TRUE(state.has_value());
+  EXPECT_TRUE(state->hasMeta);
+  EXPECT_EQ(state->meta.key, meta.key);
+  EXPECT_EQ(state->meta.partitionRows, meta.partitionRows);
+  EXPECT_EQ(state->meta.partitionCols, meta.partitionCols);
+  EXPECT_EQ(state->meta.vertexCount, meta.vertexCount);
+  EXPECT_EQ(state->meta.dataPlane, meta.dataPlane);
+  EXPECT_FALSE(state->tornTail);
+  EXPECT_FALSE(state->committed);
+  EXPECT_GE(state->epochs, 1u);
+  ASSERT_EQ(state->blocks.size(), 2u);  // deduped: latest per vertex
+  EXPECT_EQ(state->blocks[0].vertex, 0);
+  EXPECT_EQ(state->blocks[0].checksum, 200u);
+  EXPECT_EQ(state->blocks[0].pieces.at(0).cells,
+            std::vector<Score>(4, 9));
+  EXPECT_EQ(state->blocks[1].vertex, 1);
+  EXPECT_EQ(state->blocks[1].checksum, 101u);
+}
+
+TEST(CkptJournal, UnflushedTailIsLostOnSimulatedCrash) {
+  ScratchDir dir("crashtail");
+  const auto meta = testMeta();
+  {
+    ckpt::JournalWriter w({dir.str(), meta.key, milliseconds(10000)}, meta);
+    w.appendBlock(blockRecord(0, 100));
+    w.flushEpoch();
+    w.appendBlock(blockRecord(1, 101));  // buffered, never flushed
+    w.simulateCrash();
+    EXPECT_TRUE(w.crashed());
+  }
+  const auto state = ckpt::loadJournal(dir.str(), meta.key);
+  ASSERT_TRUE(state.has_value());
+  EXPECT_FALSE(state->tornTail);  // the tail was never written, not torn
+  ASSERT_EQ(state->blocks.size(), 1u);
+  EXPECT_EQ(state->blocks[0].vertex, 0);
+}
+
+TEST(CkptJournal, TornFinalRecordStopsReplayAndStaysIdempotent) {
+  ScratchDir dir("torn");
+  const auto meta = testMeta();
+  std::string wal;
+  {
+    ckpt::JournalWriter w({dir.str(), meta.key, milliseconds(1)}, meta);
+    w.appendBlock(blockRecord(0, 100));
+    w.appendBlock(blockRecord(1, 101));
+    w.flushEpoch();
+    wal = w.walPath();
+    w.simulateCrash();  // close without committing
+  }
+  // Tear the tail: append a frame header that promises more payload than
+  // the file holds (a crash mid-write).
+  {
+    std::FILE* f = std::fopen(wal.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const std::uint32_t magic = 0x4a4e4c31;  // whatever bytes: torn either way
+    const std::uint8_t type = 1;
+    const std::uint64_t hugeLen = 1ull << 40;
+    std::fwrite(&magic, sizeof(magic), 1, f);
+    std::fwrite(&type, sizeof(type), 1, f);
+    std::fwrite(&hugeLen, sizeof(hugeLen), 1, f);
+    std::fclose(f);
+  }
+  const auto first = ckpt::loadJournal(dir.str(), meta.key);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->tornTail);
+  ASSERT_EQ(first->blocks.size(), 2u);  // everything before the tear
+  // Idempotence: replaying the same journal again yields the same state.
+  const auto second = ckpt::loadJournal(dir.str(), meta.key);
+  ASSERT_TRUE(second.has_value());
+  expectSameRecovered(*first, *second);
+}
+
+TEST(CkptJournal, CompactionBoundsReplayByLiveState) {
+  ScratchDir dir("compact");
+  const auto meta = testMeta();
+  {
+    ckpt::JournalWriter::Options opt{dir.str(), meta.key, milliseconds(0)};
+    opt.compactThresholdBytes = 512;  // force compactions quickly
+    ckpt::JournalWriter w(opt, meta);
+    for (int round = 0; round < 50; ++round) {
+      for (VertexId v = 0; v < 4; ++v) {
+        w.appendBlock(blockRecord(v, 1000u + static_cast<unsigned>(round)));
+      }
+      w.flushEpoch();
+    }
+    EXPECT_GE(w.compactions(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(w.snapPath()));
+  }
+  const auto state = ckpt::loadJournal(dir.str(), meta.key);
+  ASSERT_TRUE(state.has_value());
+  ASSERT_EQ(state->blocks.size(), 4u);  // live state, not 200 records
+  for (const auto& b : state->blocks) {
+    EXPECT_EQ(b.checksum, 1049u);  // every vertex at its latest round
+  }
+}
+
+TEST(CkptJournal, CommitDeletesBothFiles) {
+  ScratchDir dir("commit");
+  const auto meta = testMeta();
+  ckpt::JournalWriter w({dir.str(), meta.key, milliseconds(1)}, meta);
+  w.appendBlock(blockRecord(0, 100));
+  w.commit();
+  EXPECT_FALSE(std::filesystem::exists(w.walPath()));
+  EXPECT_FALSE(std::filesystem::exists(w.snapPath()));
+  EXPECT_FALSE(ckpt::loadJournal(dir.str(), meta.key).has_value());
+}
+
+TEST(CkptJournal, DiscardRemovesIncompatibleJournal) {
+  ScratchDir dir("discard");
+  const auto meta = testMeta();
+  {
+    ckpt::JournalWriter w({dir.str(), meta.key, milliseconds(1)}, meta);
+    w.appendBlock(blockRecord(0, 100));
+    w.flushEpoch();
+    w.simulateCrash();
+  }
+  ASSERT_TRUE(ckpt::loadJournal(dir.str(), meta.key).has_value());
+  ckpt::discardJournal(dir.str(), meta.key);
+  EXPECT_FALSE(ckpt::loadJournal(dir.str(), meta.key).has_value());
+}
+
+// --- Config validation ----------------------------------------------------
+
+RuntimeConfig ckptConfig() {
+  RuntimeConfig cfg;
+  cfg.slaveCount = 3;
+  cfg.threadsPerSlave = 2;
+  // Partition sizes are cells-per-block: 3-cell blocks over the 36-cell
+  // test problems give a 12x12 = 144-block master DAG, deep enough for
+  // the crash specs' skip windows to land mid-wavefront.
+  cfg.processPartitionRows = cfg.processPartitionCols = 3;
+  cfg.threadPartitionRows = cfg.threadPartitionCols = 2;
+  cfg.taskTimeout = milliseconds(250);
+  cfg.subTaskTimeout = milliseconds(250);
+  cfg.dataFetchTimeout = milliseconds(40);
+  cfg.checkpointInterval = milliseconds(1);
+  return cfg;
+}
+
+TEST(ConfigValidate, CheckpointAndRecoveryKnobs) {
+  {
+    RuntimeConfig cfg = ckptConfig();
+    cfg.checkpointDir = "/tmp/easyhps-x";
+    cfg.checkpointInterval = milliseconds(0);
+    EXPECT_THROW(Runtime{cfg}, LogicError);
+  }
+  {
+    RuntimeConfig cfg = ckptConfig();
+    cfg.maxRecoveryRefetches = 0;
+    EXPECT_THROW(Runtime{cfg}, LogicError);
+  }
+  {
+    // kMasterCrash needs fault tolerance on (overtime machinery drives
+    // the post-restart redistribution).
+    RuntimeConfig cfg = ckptConfig();
+    cfg.enableFaultTolerance = false;
+    cfg.faults.push_back(
+        {fault::FaultKind::kMasterCrash, -1, -1, -1, {}, /*count=*/1});
+    EXPECT_THROW(Runtime{cfg}, LogicError);
+  }
+  {
+    // An unlimited master-crash spec would crash-loop forever.
+    RuntimeConfig cfg = ckptConfig();
+    cfg.faults.push_back(
+        {fault::FaultKind::kMasterCrash, -1, -1, -1, {}, /*count=*/-1});
+    EXPECT_THROW(Runtime{cfg}, LogicError);
+  }
+  {
+    RuntimeConfig cfg = ckptConfig();
+    cfg.checkpointDir = "/tmp/easyhps-x";
+    EXPECT_NO_THROW(Runtime{cfg});
+  }
+}
+
+TEST(ConfigValidate, ServeLayerPassesCheckpointKnobsThrough) {
+  {
+    serve::ServiceConfig cfg;
+    cfg.runtime = ckptConfig();
+    cfg.runtime.checkpointDir = "/tmp/easyhps-x";
+    cfg.runtime.checkpointInterval = milliseconds(-5);
+    EXPECT_THROW(serve::Service{std::move(cfg)}, LogicError);
+  }
+  {
+    serve::ServiceConfig cfg;
+    cfg.runtime = ckptConfig();
+    cfg.runtime.maxRecoveryRefetches = -1;
+    EXPECT_THROW(serve::Service{std::move(cfg)}, LogicError);
+  }
+}
+
+// --- Crash-kill chaos soak ------------------------------------------------
+
+std::unique_ptr<EditDistance> ckptProblem(int seed) {
+  return std::make_unique<EditDistance>(randomSequence(36, seed),
+                                        randomSequence(36, seed + 1));
+}
+
+TEST(CkptChaos, MasterCrashRecoversBitEqualAcrossModes) {
+  ScratchDir dir("crash-soak");
+  std::int64_t totalRecovered = 0;
+  double totalRecovery = 0.0;
+  int seed = 500;
+  for (DataPlaneMode plane :
+       {DataPlaneMode::kMasterRelay, DataPlaneMode::kPeerToPeer}) {
+    for (PipelineMode pipeline :
+         {PipelineMode::kStreaming, PipelineMode::kBarrier}) {
+      for (msg::MsgPath path : {msg::MsgPath::kFast, msg::MsgPath::kCopy}) {
+        seed += 17;
+        const auto p = ckptProblem(seed);
+        RuntimeConfig cfg = ckptConfig();
+        cfg.dataPlane = plane;
+        cfg.checkpointDir = dir.str();
+        // Kill the master after ~60 of the 144 blocks completed.
+        cfg.faults.push_back({fault::FaultKind::kMasterCrash, -1, -1, -1,
+                              {}, /*count=*/1, /*skip=*/60});
+        ScopedPipelineMode scopedPipeline(pipeline);
+        msg::ScopedMsgPath scopedPath(path);
+        const RunResult r = Runtime(cfg).run(*p);
+        expectMatchesReference(*p, r.matrix);
+        EXPECT_EQ(r.stats.masterRestarts, 1)
+            << "plane=" << static_cast<int>(plane)
+            << " pipeline=" << static_cast<int>(pipeline);
+        EXPECT_GE(r.stats.recoverySeconds, 0.0);
+        totalRecovered += r.stats.blocksRecovered;
+        totalRecovery += r.stats.recoverySeconds;
+      }
+    }
+  }
+  // The 1ms checkpoint interval seals epochs throughout the pre-crash
+  // phase: across the soak the journal must have recovered real blocks
+  // (per-run counts may vary with flush timing).
+  EXPECT_GT(totalRecovered, 0);
+  EXPECT_GT(totalRecovery, 0.0);
+  // Every journal was committed on clean completion: no job files left.
+  int leftover = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir.str())) {
+    (void)e;
+    ++leftover;
+  }
+  EXPECT_EQ(leftover, 0);
+}
+
+TEST(CkptChaos, MasterCrashWithoutJournalStillRecomputesCorrectly) {
+  // checkpointDir empty: a crashed master recovers by re-running the whole
+  // wavefront against the still-alive slaves (warm stores), with zero
+  // journal help — correctness must not depend on the journal existing.
+  const auto p = ckptProblem(91);
+  RuntimeConfig cfg = ckptConfig();
+  cfg.faults.push_back({fault::FaultKind::kMasterCrash, -1, -1, -1,
+                        {}, /*count=*/1, /*skip=*/30});
+  const RunResult r = Runtime(cfg).run(*p);
+  expectMatchesReference(*p, r.matrix);
+  EXPECT_EQ(r.stats.masterRestarts, 1);
+  EXPECT_EQ(r.stats.blocksRecovered, 0);
+}
+
+// --- Payload corruption chaos ---------------------------------------------
+
+TEST(CkptChaos, SourceCorruptionIsDetectedAndRecovered) {
+  // kPayloadCorrupt flips one cell of N results after their checksums are
+  // computed: the master must detect every one (corruptBlocks >= N), drop
+  // it, recover by requeue/overtime, and still produce the exact table.
+  constexpr int kInjected = 4;
+  for (DataPlaneMode plane :
+       {DataPlaneMode::kMasterRelay, DataPlaneMode::kPeerToPeer}) {
+    const auto p = ckptProblem(120 + static_cast<int>(plane));
+    RuntimeConfig cfg = ckptConfig();
+    cfg.dataPlane = plane;
+    cfg.faults.push_back({fault::FaultKind::kPayloadCorrupt, -1, -1, -1,
+                          {}, /*count=*/kInjected, /*skip=*/3});
+    const RunResult r = Runtime(cfg).run(*p);
+    expectMatchesReference(*p, r.matrix);
+    EXPECT_GE(r.stats.corruptBlocks, kInjected)
+        << "plane=" << static_cast<int>(plane);
+    EXPECT_GE(r.stats.faultsTriggered, kInjected);
+  }
+}
+
+TEST(CkptChaos, TransportCorruptionSoakStaysCorrect) {
+  // Random in-flight bit flips on data traffic: every detected corruption
+  // is counted (dropped payloads and structured decode failures), none
+  // may reach the table.
+  std::int64_t corrupted = 0;
+  std::int64_t detected = 0;
+  int seed = 700;
+  for (DataPlaneMode plane :
+       {DataPlaneMode::kMasterRelay, DataPlaneMode::kPeerToPeer}) {
+    for (msg::MsgPath path : {msg::MsgPath::kFast, msg::MsgPath::kCopy}) {
+      seed += 13;
+      const auto p = ckptProblem(seed);
+      RuntimeConfig cfg = ckptConfig();
+      cfg.dataPlane = plane;
+      cfg.transportChaos.corruptProbability = 0.05;
+      cfg.transportChaos.seed = static_cast<std::uint64_t>(seed);
+      const RunResult r = Runtime(cfg).run(*p);
+      expectMatchesReference(*p, r.matrix);
+      corrupted += static_cast<std::int64_t>(r.stats.transportCorrupted);
+      detected += r.stats.corruptBlocks + r.stats.decodeErrors;
+    }
+  }
+  EXPECT_GT(corrupted, 0);
+  EXPECT_GT(detected, 0);
+}
+
+TEST(CkptChaos, CrashPlusCorruptionPlusJournal) {
+  // The full gauntlet: source corruption, transport corruption and a
+  // master crash in one job, journaled — still bit-equal.
+  ScratchDir dir("gauntlet");
+  const auto p = ckptProblem(301);
+  RuntimeConfig cfg = ckptConfig();
+  cfg.checkpointDir = dir.str();
+  cfg.transportChaos.corruptProbability = 0.02;
+  cfg.transportChaos.seed = 301;
+  cfg.faults.push_back({fault::FaultKind::kPayloadCorrupt, -1, -1, -1,
+                        {}, /*count=*/2, /*skip=*/5});
+  cfg.faults.push_back({fault::FaultKind::kMasterCrash, -1, -1, -1,
+                        {}, /*count=*/1, /*skip=*/50});
+  const RunResult r = Runtime(cfg).run(*p);
+  expectMatchesReference(*p, r.matrix);
+  EXPECT_EQ(r.stats.masterRestarts, 1);
+  EXPECT_GE(r.stats.corruptBlocks, 2);
+}
+
+// --- Serve-layer recovery -------------------------------------------------
+
+TEST(ServeCkpt, RecoveredTicketCompletesWithStatsAndNoDupCachePublish) {
+  ScratchDir dir("serve");
+  serve::ServiceConfig cfg;
+  cfg.runtime = ckptConfig();
+  cfg.runtime.slaveCount = 2;
+  cfg.runtime.checkpointDir = dir.str();
+  serve::Service service(cfg);
+
+  auto p = std::make_shared<EditDistance>(randomSequence(24, 41),
+                                          randomSequence(24, 42));
+
+  // Job 1: crash mid-job; the ticket must still complete with the exact
+  // table and surface the recovery counters.  Faulted jobs never publish
+  // to the result cache.
+  serve::JobOptions crashOptions;
+  crashOptions.faults.push_back({fault::FaultKind::kMasterCrash, -1, -1, -1,
+                                 {}, /*count=*/1, /*skip=*/40});
+  const auto crashed = service.submit(p, crashOptions).wait();
+  ASSERT_EQ(crashed->state, serve::JobState::kDone);
+  ASSERT_TRUE(crashed->matrix.has_value());
+  expectMatchesReference(*p, *crashed->matrix);
+  EXPECT_EQ(crashed->stats.run.masterRestarts, 1);
+  EXPECT_EQ(service.metrics().cacheEntries, 0);
+
+  // Jobs 2+3: the same problem fault-free executes once and publishes
+  // exactly one cache entry; the resubmission is a hit, not a second
+  // publish.
+  const auto clean = service.submit(p).wait();
+  ASSERT_EQ(clean->state, serve::JobState::kDone);
+  expectMatchesReference(*p, *clean->matrix);
+  const auto cached = service.submit(p).wait();
+  ASSERT_EQ(cached->state, serve::JobState::kDone);
+
+  const serve::ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.completed, 3);
+  EXPECT_EQ(m.cacheEntries, 1);
+  EXPECT_GE(m.cacheHits, 1);
+  EXPECT_GE(m.masterRestarts, 1);
+  EXPECT_GE(m.recoverySeconds, 0.0);
+
+  // Both emitters carry the recovery columns.
+  const trace::Table t = serve::metricsTable(m);
+  EXPECT_NE(t.render().find("recovered_blocks"), std::string::npos);
+  EXPECT_NE(t.json().find("master_restarts"), std::string::npos);
+  EXPECT_NE(t.json().find("recovery_s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easyhps

@@ -402,6 +402,8 @@ TEST(PipelineStress, ManyProducersOneConsumerOutOfOrderWithDuplicates) {
         frag.vertex = 99;  // producer identity is irrelevant to the pump
         frag.rect = cell;
         frag.data = {ref.at(cell.row0, cell.col0)};
+        frag.checksum =
+            wire::blockChecksum(frag.vertex, frag.rect, frag.data);
         comm.send(0, wire::kTagHaloPartial,
                   wire::encodeHaloPartial(std::move(frag)));
         if (i % 16 == 0) {

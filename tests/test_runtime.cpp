@@ -414,6 +414,7 @@ TEST(Wire, ResultRoundTripFuzz) {
       p.edges.push_back(wire::HaloBlock{r, randCells(rng, r.cellCount())});
     }
     p.checksum = rng();
+    p.edgesChecksum = rng();
 
     const wire::ResultPayload q = wire::decodeResult(wire::encodeResult(p));
     EXPECT_EQ(q.job, p.job);
@@ -426,6 +427,7 @@ TEST(Wire, ResultRoundTripFuzz) {
       EXPECT_EQ(q.edges[i].data, p.edges[i].data);
     }
     EXPECT_EQ(q.checksum, p.checksum);
+    EXPECT_EQ(q.edgesChecksum, p.edgesChecksum);
   }
 }
 
@@ -443,6 +445,8 @@ TEST(Wire, SlaveStatsRoundTripFuzz) {
     p.halosServed = static_cast<std::int64_t>(rng() % 100000);
     p.storeEvictions = static_cast<std::int64_t>(rng() % 100000);
     p.storeSpilledBytes = rng();
+    p.corruptPayloads = static_cast<std::int64_t>(rng() % 100000);
+    p.decodeErrors = static_cast<std::int64_t>(rng() % 100000);
 
     const wire::SlaveStatsPayload q =
         wire::decodeSlaveStats(wire::encodeSlaveStats(p));
@@ -456,6 +460,8 @@ TEST(Wire, SlaveStatsRoundTripFuzz) {
     EXPECT_EQ(q.halosServed, p.halosServed);
     EXPECT_EQ(q.storeEvictions, p.storeEvictions);
     EXPECT_EQ(q.storeSpilledBytes, p.storeSpilledBytes);
+    EXPECT_EQ(q.corruptPayloads, p.corruptPayloads);
+    EXPECT_EQ(q.decodeErrors, p.decodeErrors);
   }
 }
 
@@ -490,11 +496,13 @@ TEST(Wire, DataPlaneRoundTripFuzz) {
     hd.found = rng() % 2 == 0;
     if (hd.found) {
       hd.data = randCells(rng, hd.rect.cellCount());
+      hd.checksum = rng();
     }
     const auto hd2 = wire::decodeHaloData(wire::encodeHaloData(hd));
     EXPECT_EQ(hd2.job, hd.job);
     expectEq(hd2.rect, hd.rect);
     EXPECT_EQ(hd2.found, hd.found);
+    EXPECT_EQ(hd2.checksum, hd.checksum);
     EXPECT_EQ(hd2.data, hd.data);
 
     // BlockFetch.
@@ -516,26 +524,122 @@ TEST(Wire, DataPlaneRoundTripFuzz) {
     bd.found = rng() % 2 == 0;
     if (bd.found) {
       bd.data = randCells(rng, bd.rect.cellCount());
+      bd.checksum = rng();
     }
     const auto bd2 = wire::decodeBlockData(wire::encodeBlockData(bd));
     EXPECT_EQ(bd2.job, bd.job);
     EXPECT_EQ(bd2.vertex, bd.vertex);
     expectEq(bd2.rect, bd.rect);
     EXPECT_EQ(bd2.found, bd.found);
+    EXPECT_EQ(bd2.checksum, bd.checksum);
     EXPECT_EQ(bd2.data, bd.data);
 
     // BlockSpill.
     CellRect sr = randRect(rng);
     wire::BlockSpillPayload bs{randJob(rng),
                                static_cast<VertexId>(rng() % 100000), sr,
-                               randCells(rng, sr.cellCount())};
+                               rng(), randCells(rng, sr.cellCount())};
     const auto bsBytes = wire::encodeBlockSpill(bs);
     EXPECT_EQ(wire::peekDataKind(bsBytes), wire::DataMsgKind::kBlockSpill);
     const auto bs2 = wire::decodeBlockSpill(bsBytes);
     EXPECT_EQ(bs2.job, bs.job);
     EXPECT_EQ(bs2.vertex, bs.vertex);
     expectEq(bs2.rect, bs.rect);
+    EXPECT_EQ(bs2.checksum, bs.checksum);
     EXPECT_EQ(bs2.data, bs.data);
+
+    // HaloPartial.
+    CellRect pr = randRect(rng);
+    wire::HaloPartialPayload hp{randJob(rng),
+                                static_cast<VertexId>(rng() % 100000), pr,
+                                rng(), randCells(rng, pr.cellCount())};
+    const auto hp2 = wire::decodeHaloPartial(wire::encodeHaloPartial(hp));
+    EXPECT_EQ(hp2.job, hp.job);
+    EXPECT_EQ(hp2.vertex, hp.vertex);
+    expectEq(hp2.rect, hp.rect);
+    EXPECT_EQ(hp2.checksum, hp.checksum);
+    EXPECT_EQ(hp2.data, hp.data);
+  }
+}
+
+TEST(Wire, TruncatedPayloadsThrowDecodeErrorNotCrash) {
+  // Every prefix of a valid encoding must surface as a structured
+  // DecodeError (the fault-counter path), never a CHECK-abort or a read
+  // past the buffer.  Exercises each decoder's length-validation ladder.
+  std::mt19937_64 rng(815);
+  const CellRect r = randRect(rng);
+  wire::ResultPayload res;
+  res.job = randJob(rng);
+  res.vertex = 7;
+  res.rect = r;
+  res.data = randCells(rng, r.cellCount());
+  res.edges.push_back(wire::HaloBlock{r, randCells(rng, r.cellCount())});
+  res.checksum = rng();
+  res.edgesChecksum = rng();
+
+  wire::AssignPayload asn;
+  asn.job = res.job;
+  asn.vertex = 3;
+  asn.rect = r;
+  asn.halos.push_back(wire::HaloBlock{r, randCells(rng, r.cellCount())});
+  asn.sources.push_back(wire::HaloSource{r, 1, 2});
+  asn.ackRects.push_back(r);
+
+  const std::vector<std::pair<std::string, std::vector<std::byte>>> blobs = {
+      {"Result", wire::encodeResult(res).linearize()},
+      {"Assign", wire::encodeAssign(asn).linearize()},
+      {"SlaveStats", wire::encodeSlaveStats({}).linearize()},
+      {"HaloRequest", wire::encodeHaloRequest({res.job, 1, r}).linearize()},
+      {"HaloData",
+       wire::encodeHaloData({res.job, r, true, rng(),
+                             randCells(rng, r.cellCount())})
+           .linearize()},
+      {"BlockFetch", wire::encodeBlockFetch({res.job, 1, r}).linearize()},
+      {"BlockData",
+       wire::encodeBlockData({res.job, 1, r, true, rng(),
+                              randCells(rng, r.cellCount())})
+           .linearize()},
+      {"BlockSpill",
+       wire::encodeBlockSpill({res.job, 1, r, rng(),
+                               randCells(rng, r.cellCount())})
+           .linearize()},
+      {"HaloPartial",
+       wire::encodeHaloPartial({res.job, 1, r, rng(),
+                                randCells(rng, r.cellCount())})
+           .linearize()},
+  };
+  const auto decodeOf = [](const std::string& name,
+                           const msg::Payload& bytes) {
+    if (name == "Result") {
+      (void)wire::decodeResult(bytes);
+    } else if (name == "Assign") {
+      (void)wire::decodeAssign(bytes);
+    } else if (name == "SlaveStats") {
+      (void)wire::decodeSlaveStats(bytes);
+    } else if (name == "HaloRequest") {
+      (void)wire::decodeHaloRequest(bytes);
+    } else if (name == "HaloData") {
+      (void)wire::decodeHaloData(bytes);
+    } else if (name == "BlockFetch") {
+      (void)wire::decodeBlockFetch(bytes);
+    } else if (name == "BlockData") {
+      (void)wire::decodeBlockData(bytes);
+    } else if (name == "BlockSpill") {
+      (void)wire::decodeBlockSpill(bytes);
+    } else {
+      (void)wire::decodeHaloPartial(bytes);
+    }
+  };
+  for (const auto& [name, bytes] : blobs) {
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const msg::Payload truncated(
+          std::vector<std::byte>(bytes.begin(),
+                                 bytes.begin() + static_cast<long>(len)));
+      EXPECT_THROW(decodeOf(name, truncated), DecodeError)
+          << name << " truncated to " << len << " of " << bytes.size();
+    }
+    // The untruncated blob still decodes.
+    EXPECT_NO_THROW(decodeOf(name, msg::Payload(bytes))) << name;
   }
 }
 

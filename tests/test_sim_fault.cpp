@@ -105,6 +105,53 @@ TEST(SimFault, BcwWithFaultsStillCompletes) {
   EXPECT_GE(r.retries, 2);
 }
 
+TEST(SimFault, MasterCrashSplitsRecoveredAndRecomputed) {
+  const auto p = workload();
+  SimConfig cfg = faultConfig();
+  cfg.masterCrashAtTask = 20;
+  cfg.checkpointIntervalTasks = 8;
+  const SimResult r = simulate(p, cfg);
+  EXPECT_EQ(r.masterCrashes, 1);
+  // 20 results processed at the crash: 16 sealed by the last flush (two
+  // 8-result epochs), 4 lost past it.
+  EXPECT_EQ(r.tasksRecovered, 16);
+  EXPECT_EQ(r.tasksRecomputed, 4);
+  EXPECT_EQ(r.tasksRecovered + r.tasksRecomputed, 20);
+  EXPECT_GT(r.recoverySeconds, 0.0);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(SimFault, RecoveryScalesWithCheckpointIntervalNotJobSize) {
+  const auto p = workload();
+  // Same crash point, coarser checkpoint interval: more blocks fall past
+  // the last flush and recompute at full service cost, so recovery grows.
+  SimConfig fine = faultConfig();
+  fine.masterCrashAtTask = 24;
+  fine.checkpointIntervalTasks = 4;
+  SimConfig coarse = fine;
+  coarse.checkpointIntervalTasks = 0;  // every result durable...
+  const SimResult rFine = simulate(p, fine);
+  const SimResult rDurable = simulate(p, coarse);
+  coarse.checkpointIntervalTasks = 23;  // ...vs almost nothing sealed
+  const SimResult rCoarse = simulate(p, coarse);
+  EXPECT_EQ(rDurable.tasksRecomputed, 0);
+  EXPECT_GT(rCoarse.tasksRecomputed, rFine.tasksRecomputed);
+  EXPECT_GT(rCoarse.recoverySeconds, rFine.recoverySeconds);
+  EXPECT_GE(rFine.recoverySeconds, rDurable.recoverySeconds);
+}
+
+TEST(SimFault, MasterCrashDeterministic) {
+  const auto p = workload();
+  SimConfig cfg = faultConfig();
+  cfg.masterCrashAtTask = 12;
+  cfg.checkpointIntervalTasks = 5;
+  const SimResult a = simulate(p, cfg);
+  const SimResult b = simulate(p, cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.recoverySeconds, b.recoverySeconds);
+  EXPECT_EQ(a.tasksRecovered, b.tasksRecovered);
+}
+
 }  // namespace
 }  // namespace easyhps::sim
 
